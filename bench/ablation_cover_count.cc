@@ -1,0 +1,72 @@
+// Ablation I: how many covers does a CAD part need? The paper settles
+// on k = 7 ("7 covers are necessary to model real-world CAD objects
+// accurately", Section 5.3, Figure 9 + Table 1). This bench sweeps k
+// and reports every axis that k trades off:
+//   - residual approximation error Err_k / |O|,
+//   - proper-permutation rate (Table 1's statistic),
+//   - leave-one-out 1-NN classification accuracy,
+//   - matching-distance cost (the O(k^3) term).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vsim/common/stopwatch.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/features/cover_sequence.h"
+
+using namespace vsim;
+
+int main() {
+  const bench::BenchConfig cfg = bench::Config();
+  const int kMax = 12;
+  ExtractionOptions opt;
+  opt.extract_histograms = false;
+  opt.num_covers = kMax;  // prefix-stable: smaller k = truncation
+  const Dataset ds = MakeCarDataset(cfg.car_objects, 42);
+  const CadDatabase db = bench::BuildDatabase(ds, opt);
+  const int n = static_cast<int>(db.size());
+
+  std::printf("Ablation I: choosing the number of covers k "
+              "(car-like, %d objects, canonical poses)\n\n", n);
+
+  TablePrinter table({"k", "mean Err_k/|O|", "permutation rate", "1-NN acc",
+                      "us/distance"});
+  for (int k : {1, 2, 3, 5, 7, 9, 12}) {
+    std::vector<VectorSet> sets(n);
+    double err_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const CoverSequence& seq = db.object(i).cover_sequence;
+      sets[i] = ToVectorSet(seq, k);
+      const size_t used = std::min<size_t>(k, seq.covers.size());
+      err_sum += static_cast<double>(seq.error_history[used]) /
+                 static_cast<double>(seq.error_history[0]);
+    }
+    // Permutation rate + timing over all pairs.
+    size_t permutations = 0, computations = 0;
+    Stopwatch watch;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const MatchingDistanceResult r = MinimalMatchingDistanceDetailed(
+            sets[i], sets[j], MinMatchingOptions{});
+        permutations += r.permutation_used ? 1 : 0;
+        ++computations;
+      }
+    }
+    const double us_per_distance = 1e6 * watch.ElapsedSeconds() /
+                                   static_cast<double>(computations);
+    const double accuracy = LeaveOneOutKnnAccuracy(
+        n,
+        [&](int a, int b) { return VectorSetDistance(sets[a], sets[b]); },
+        ds.EvaluationLabels(), 1);
+    table.AddRow({std::to_string(k),
+                  TablePrinter::Num(err_sum / n, 3),
+                  TablePrinter::Num(100.0 * permutations / computations, 1) + "%",
+                  TablePrinter::Num(100.0 * accuracy, 1) + "%",
+                  TablePrinter::Num(us_per_distance, 2)});
+  }
+  table.Print();
+  std::printf("\nExpected shape: error and accuracy saturate around k = 7 "
+              "while the permutation rate approaches ~99%% and the O(k^3) "
+              "distance cost keeps growing -- the paper's choice of 7 is "
+              "the knee.\n");
+  return 0;
+}

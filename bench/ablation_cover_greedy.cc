@@ -1,0 +1,65 @@
+// Ablation D (Section 3.3.3): the paper uses Jagadish & Bruckstein's
+// *greedy* algorithm rather than the exponential branch-and-bound. Our
+// greedy step itself has two arg-max search modes: multi-seed hill
+// climbing (default) and exhaustive cuboid enumeration (exact greedy).
+// This bench measures the approximation error and runtime of both on
+// real part shapes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vsim/common/stopwatch.h"
+#include "vsim/features/cover_sequence.h"
+#include "vsim/voxel/voxelizer.h"
+
+using namespace vsim;
+
+int main() {
+  const bench::BenchConfig cfg = bench::Config();
+  Dataset ds = MakeCarDataset(std::min<size_t>(cfg.car_objects, 60), 42);
+
+  std::printf("Ablation D: greedy cover search quality (hill-climb vs "
+              "exhaustive arg-max), %zu car parts, r = 15\n\n",
+              ds.size());
+
+  VoxelizerOptions vox;
+  vox.resolution = 15;
+
+  TablePrinter table({"k", "mean Err_k/|O| (hill-climb)",
+                      "mean Err_k/|O| (exhaustive)", "hc ms/object",
+                      "ex ms/object"});
+  for (int k : {1, 3, 5, 7, 9}) {
+    double hc_err = 0, ex_err = 0, hc_ms = 0, ex_ms = 0;
+    size_t objects = 0;
+    for (const CadObject& obj : ds.objects) {
+      StatusOr<VoxelModel> model = VoxelizeParts(obj.parts, vox);
+      if (!model.ok()) continue;
+      ++objects;
+      const double total = static_cast<double>(model->grid.Count());
+
+      CoverSequenceOptions hc;
+      hc.max_covers = k;
+      Stopwatch w1;
+      StatusOr<CoverSequence> seq_hc = ComputeCoverSequence(model->grid, hc);
+      hc_ms += w1.ElapsedMillis();
+
+      CoverSequenceOptions ex = hc;
+      ex.search = CoverSequenceOptions::Search::kExhaustive;
+      Stopwatch w2;
+      StatusOr<CoverSequence> seq_ex = ComputeCoverSequence(model->grid, ex);
+      ex_ms += w2.ElapsedMillis();
+
+      hc_err += static_cast<double>(seq_hc->final_error()) / total;
+      ex_err += static_cast<double>(seq_ex->final_error()) / total;
+    }
+    table.AddRow({std::to_string(k),
+                  TablePrinter::Num(hc_err / objects, 4),
+                  TablePrinter::Num(ex_err / objects, 4),
+                  TablePrinter::Num(hc_ms / objects, 2),
+                  TablePrinter::Num(ex_ms / objects, 2)});
+  }
+  table.Print();
+  std::printf("\nExpected shape: hill climbing tracks the exact greedy "
+              "arg-max closely at a fraction of the cost; the symmetric "
+              "volume difference falls monotonically with k.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation A (Section 4.2 claim): the Kuhn-Munkres O(k^3) matching is
+// far cheaper than minimizing over all k! permutations, while computing
+// the same distance value. Google-benchmark microbenchmark over the
+// number of covers k.
+#include <benchmark/benchmark.h>
+
+#include "vsim/common/rng.h"
+#include "vsim/distance/lp.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/distance/permutation_distance.h"
+
+namespace vsim {
+namespace {
+
+VectorSet RandomSet(Rng& rng, int count, int dim = 6) {
+  VectorSet s;
+  for (int i = 0; i < count; ++i) {
+    FeatureVector v(dim);
+    for (double& x : v) x = rng.Uniform(-0.5, 0.5);
+    s.vectors.push_back(std::move(v));
+  }
+  return s;
+}
+
+FeatureVector Flatten(const VectorSet& s) {
+  FeatureVector f;
+  for (const auto& v : s.vectors) f.insert(f.end(), v.begin(), v.end());
+  return f;
+}
+
+void BM_HungarianMatching(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(k);
+  const VectorSet a = RandomSet(rng, k);
+  const VectorSet b = RandomSet(rng, k);
+  MinMatchingOptions opt;
+  opt.ground = GroundDistance::kSquaredEuclidean;
+  opt.sqrt_of_total = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimalMatchingDistance(a, b, opt));
+  }
+}
+BENCHMARK(BM_HungarianMatching)->DenseRange(2, 9);
+
+void BM_BruteForcePermutations(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(k);
+  const FeatureVector a = Flatten(RandomSet(rng, k));
+  const FeatureVector b = Flatten(RandomSet(rng, k));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MinEuclideanUnderPermutationBruteForce(a, b, 6).value_or(0));
+  }
+}
+BENCHMARK(BM_BruteForcePermutations)->DenseRange(2, 9);
+
+void BM_PlainEuclidean42d(benchmark::State& state) {
+  Rng rng(7);
+  const FeatureVector a = Flatten(RandomSet(rng, 7));
+  const FeatureVector b = Flatten(RandomSet(rng, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EuclideanDistance(a, b));
+  }
+}
+BENCHMARK(BM_PlainEuclidean42d);
+
+}  // namespace
+}  // namespace vsim
+
+BENCHMARK_MAIN();

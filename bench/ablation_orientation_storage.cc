@@ -1,0 +1,174 @@
+// Ablation H: the paper's Section-3.2 design decision. To support
+// 90-degree-rotation + reflection invariance one can either
+//   (1) store all 48 orientations of every object in the database, or
+//   (2) store one orientation and run 48 permuted queries at runtime.
+// The paper chooses (2) so reflection invariance stays switchable at
+// query time. This bench makes the trade-off concrete for invariant
+// 10-NN queries under the vector set model: storage footprint, filter
+// work and I/O per query -- and verifies both variants return identical
+// neighbors.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "vsim/common/rng.h"
+#include "vsim/common/stopwatch.h"
+#include "vsim/distance/centroid_filter.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/features/orientation.h"
+#include "vsim/core/query_engine.h"
+#include "vsim/index/multistep.h"
+
+using namespace vsim;
+
+namespace {
+
+// Merges per-orientation neighbor lists into per-object minima.
+std::vector<Neighbor> BestPerObject(std::vector<Neighbor> hits, int k) {
+  std::map<int, double> best;
+  for (const Neighbor& n : hits) {
+    auto [it, inserted] = best.emplace(n.id, n.distance);
+    if (!inserted) it->second = std::min(it->second, n.distance);
+  }
+  std::vector<Neighbor> out;
+  for (const auto& [id, d] : best) out.push_back({id, d});
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  });
+  if (static_cast<int>(out.size()) > k) out.resize(k);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig cfg = bench::Config();
+  ExtractionOptions opt;
+  opt.extract_histograms = false;
+  Dataset ds = MakeCarDataset(cfg.car_objects, 42);
+  ApplyRandomOrientations(&ds, 4711, true);
+  const CadDatabase db = bench::BuildDatabase(ds, opt);
+  const int n = static_cast<int>(db.size());
+  const int k_covers = db.options().num_covers;
+  const auto& group = CubeRotationsWithReflections();
+
+  std::printf("Ablation H: invariance by 48x storage vs 48 query "
+              "permutations\n(car-like, %d objects in arbitrary poses, "
+              "10-NN, vector set model)\n\n", n);
+
+  // ---- Variant 1: orientation-expanded database --------------------
+  // 48 vector sets + centroids per object, one centroid X-tree.
+  std::vector<VectorSet> expanded_sets;
+  XTree expanded_index(6);
+  {
+    std::vector<FeatureVector> centroids;
+    std::vector<int> ids;
+    for (int i = 0; i < n; ++i) {
+      for (size_t g = 0; g < group.size(); ++g) {
+        VectorSet t = TransformVectorSet(db.object(i).vector_set, group[g]);
+        centroids.push_back(ExtendedCentroid(t, k_covers));
+        expanded_sets.push_back(std::move(t));
+        ids.push_back(static_cast<int>(expanded_sets.size()) - 1);
+      }
+    }
+    Status st = expanded_index.BulkLoad(centroids, ids);
+    if (!st.ok()) return 1;
+  }
+  size_t stored_bytes_v1 = 0;
+  for (const VectorSet& s : expanded_sets) {
+    stored_bytes_v1 += s.size() * s.dim() * sizeof(double);
+  }
+
+  // ---- Variant 2: canonical database, query permuted ----------------
+  XTree canonical_index(6);
+  {
+    std::vector<FeatureVector> centroids;
+    std::vector<int> ids;
+    for (int i = 0; i < n; ++i) {
+      centroids.push_back(db.object(i).centroid);
+      ids.push_back(i);
+    }
+    Status st = canonical_index.BulkLoad(centroids, ids);
+    if (!st.ok()) return 1;
+  }
+  size_t stored_bytes_v2 = stored_bytes_v1 / group.size();
+
+  Rng rng(5);
+  std::vector<int> queries;
+  for (int q = 0; q < 30; ++q) {
+    queries.push_back(static_cast<int>(rng.NextBounded(n)));
+  }
+
+  QueryCost v1_cost, v2_cost;
+  size_t v1_refined = 0, v2_refined = 0;
+  bool identical = true;
+  for (int qid : queries) {
+    const VectorSet& query_set = db.object(qid).vector_set;
+    // Variant 1: one query against the expanded index.
+    Stopwatch w1;
+    MultiStepStats ms1;
+    auto exact1 = [&](int id, IoStats* stats) {
+      if (stats != nullptr) stats->AddPageAccesses(1);
+      return VectorSetDistance(query_set, expanded_sets[id]);
+    };
+    auto hits1 = MultiStepKnn(expanded_index,
+                              ExtendedCentroid(query_set, k_covers),
+                              k_covers, 10 * static_cast<int>(group.size()),
+                              exact1, &v1_cost.io, &ms1);
+    for (Neighbor& h : hits1) h.id /= static_cast<int>(group.size());
+    const auto v1 = BestPerObject(std::move(hits1), 10);
+    v1_cost.cpu_seconds += w1.ElapsedSeconds();
+    v1_refined += ms1.candidates_refined;
+
+    // Variant 2: 48 permuted queries against the canonical index.
+    Stopwatch w2;
+    std::vector<Neighbor> merged;
+    for (const Mat3& g : group) {
+      const VectorSet oriented = TransformVectorSet(query_set, g);
+      MultiStepStats ms2;
+      auto exact2 = [&](int id, IoStats* stats) {
+        if (stats != nullptr) stats->AddPageAccesses(1);
+        return VectorSetDistance(oriented, db.object(id).vector_set);
+      };
+      auto hits = MultiStepKnn(canonical_index,
+                               ExtendedCentroid(oriented, k_covers),
+                               k_covers, 10, exact2, &v2_cost.io, &ms2);
+      v2_refined += ms2.candidates_refined;
+      merged.insert(merged.end(), hits.begin(), hits.end());
+    }
+    const auto v2 = BestPerObject(std::move(merged), 10);
+    v2_cost.cpu_seconds += w2.ElapsedSeconds();
+
+    for (int i = 0; i < 10; ++i) {
+      identical &= std::fabs(v1[i].distance - v2[i].distance) < 1e-9;
+    }
+  }
+
+  TablePrinter table({"variant", "stored bytes", "refined/query",
+                      "pages/query", "CPU ms/query"});
+  table.AddRow({"(1) store 48 orientations", std::to_string(stored_bytes_v1),
+                TablePrinter::Num(static_cast<double>(v1_refined) /
+                                      queries.size(), 1),
+                TablePrinter::Num(static_cast<double>(
+                                      v1_cost.io.page_accesses()) /
+                                      queries.size(), 1),
+                TablePrinter::Num(1e3 * v1_cost.cpu_seconds / queries.size(),
+                                  2)});
+  table.AddRow({"(2) permute the query x48", std::to_string(stored_bytes_v2),
+                TablePrinter::Num(static_cast<double>(v2_refined) /
+                                      queries.size(), 1),
+                TablePrinter::Num(static_cast<double>(
+                                      v2_cost.io.page_accesses()) /
+                                      queries.size(), 1),
+                TablePrinter::Num(1e3 * v2_cost.cpu_seconds / queries.size(),
+                                  2)});
+  table.Print();
+  std::printf("\nresults identical across variants: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("The paper picks (2): 48x less storage, and reflection "
+              "invariance can be toggled per query -- at the price of 48 "
+              "filter passes per query.\n");
+  return 0;
+}

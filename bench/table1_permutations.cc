@@ -1,0 +1,67 @@
+// Table 1: "Percentage of proper permutations" -- in how many of the
+// minimal-matching-distance computations of an OPTICS run over the Car
+// data set the optimal matching is strictly cheaper than the
+// order-preserving (identity) pairing, for k = 3, 5, 7, 9 covers.
+//
+// Paper's numbers:  k=3: 68.2%   k=5: 95.1%   k=7: 99.0%   k=9: 99.4%
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/features/cover_sequence.h"
+
+using namespace vsim;
+
+int main() {
+  const bench::BenchConfig cfg = bench::Config();
+  std::printf("Table 1 reproduction: percentage of proper permutations\n");
+  std::printf("Car-like data set, %zu objects, OPTICS all-pairs distance "
+              "computations\n\n",
+              cfg.car_objects);
+
+  // Extract once with the maximum k: the greedy cover sequence is
+  // prefix-stable, so smaller k just truncates.
+  const int kMax = 9;
+  ExtractionOptions opt;
+  opt.extract_histograms = false;
+  opt.num_covers = kMax;
+  const Dataset ds = bench::CarDataset(cfg);
+  const CadDatabase db = bench::BuildDatabase(ds, opt);
+
+  TablePrinter table({"No. of covers", "Permutations", "paper"});
+  const char* paper[] = {"68.2%", "95.1%", "99.0%", "99.4%"};
+  int row = 0;
+  for (int k : {3, 5, 7, 9}) {
+    // Vector sets truncated to the first k covers.
+    std::vector<VectorSet> sets;
+    sets.reserve(db.size());
+    for (size_t i = 0; i < db.size(); ++i) {
+      sets.push_back(ToVectorSet(db.object(i).cover_sequence, k));
+    }
+    size_t computations = 0, permutations = 0;
+    const PairwiseDistanceFn fn = [&](int a, int b) {
+      const MatchingDistanceResult r = MinimalMatchingDistanceDetailed(
+          sets[a], sets[b], MinMatchingOptions{});
+      ++computations;
+      permutations += r.permutation_used ? 1 : 0;
+      return r.distance;
+    };
+    OpticsOptions optics;
+    optics.min_pts = 4;
+    StatusOr<OpticsResult> result =
+        RunOptics(static_cast<int>(db.size()), fn, optics);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const double pct =
+        100.0 * static_cast<double>(permutations) / computations;
+    table.AddRow({std::to_string(k), TablePrinter::Num(pct, 1) + "%",
+                  paper[row++]});
+  }
+  table.Print();
+  std::printf("\nExpected shape: the permutation rate grows with k and "
+              "approaches ~99%% by k = 7,\nshowing that the one-vector "
+              "cover order almost never realizes the minimum distance.\n");
+  return 0;
+}

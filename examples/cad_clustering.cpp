@@ -1,0 +1,72 @@
+// Hierarchical-clustering evaluation of the four similarity models on a
+// synthetic car-parts data set -- the workflow behind the paper's
+// Figures 6-10: run OPTICS under each model, render the reachability
+// plot, and score the extracted clusters against ground-truth labels.
+//
+//   $ ./example_cad_clustering [object_count]
+#include <cstdio>
+#include <cstdlib>
+
+#include "vsim/cluster/cluster_quality.h"
+#include "vsim/cluster/optics.h"
+#include "vsim/common/table_printer.h"
+#include "vsim/core/similarity.h"
+#include "vsim/data/dataset.h"
+
+int main(int argc, char** argv) {
+  using namespace vsim;
+  const size_t count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
+
+  std::printf("generating car-like data set (%zu objects)...\n", count);
+  Dataset ds = MakeCarDataset(count, 42);
+  // Parts are stored in arbitrary standardized poses (and mirrored
+  // counterparts exist); the models must absorb this via the paper's
+  // 90-degree-rotation + reflection invariances.
+  ApplyRandomOrientations(&ds, 4711, /*with_reflections=*/true);
+
+  ExtractionOptions opt;  // paper defaults: r=30 histograms, r=15 covers
+  if (argc > 2) opt.histogram_cells = std::atoi(argv[2]);
+  std::printf("extracting features (all four models)...\n");
+  StatusOr<CadDatabase> db = CadDatabase::FromDataset(ds, opt);
+  if (!db.ok()) {
+    std::fprintf(stderr, "extraction failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  const ModelType models[] = {ModelType::kVolume, ModelType::kSolidAngle,
+                              ModelType::kCoverSequence,
+                              ModelType::kVectorSet};
+  TablePrinter table({"model", "clusters", "purity", "ARI", "NMI",
+                      "noise%"});
+  for (ModelType model : models) {
+    OpticsOptions optics;
+    optics.min_pts = 4;
+    StatusOr<OpticsResult> result =
+        RunOptics(static_cast<int>(db->size()),
+                  db->InvariantDistanceFunction(model, /*with_reflections=*/true),
+                  optics);
+    if (!result.ok()) {
+      std::fprintf(stderr, "OPTICS failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n=== %s model: reachability plot ===\n",
+                ModelTypeName(model));
+    std::printf("%s", ReachabilityAscii(*result, 10, 100).c_str());
+
+    const ClusterQuality q =
+        BestCutQuality(*result, ds.EvaluationLabels(), 32, 3);
+    table.AddRow({ModelTypeName(model), std::to_string(q.cluster_count),
+                  TablePrinter::Num(q.purity), TablePrinter::Num(q.adjusted_rand),
+                  TablePrinter::Num(q.nmi),
+                  TablePrinter::Num(100 * q.noise_fraction, 1)});
+  }
+  std::printf("\ncluster quality vs ground-truth part families "
+              "(best horizontal cut per model):\n");
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Section 5.3): volume < solid-angle < "
+      "cover-sequence <= vector set.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Visual walk-through of the cover sequence model (the paper's Figures
+// 3 and 4): voxelize a part, run the greedy cover search, and render
+// grid slices showing which cover claims each voxel -- then demonstrate
+// the cover-order problem that motivates the vector set model, by
+// comparing the one-vector distance against the minimal matching
+// distance for two similar parts whose covers come out in different
+// orders.
+//
+//   $ ./example_cover_visualization
+#include <cstdio>
+
+#include "vsim/core/similarity.h"
+#include "vsim/distance/lp.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/features/cover_sequence.h"
+#include "vsim/geometry/primitives.h"
+#include "vsim/voxel/voxelizer.h"
+
+using namespace vsim;
+
+namespace {
+
+// Prints z-slices of the grid; object voxels show the index (1-9) of
+// the first cover containing them, '.' = uncovered object voxel,
+// '#' = cover voxel that is not object ("overshoot").
+void PrintSlices(const VoxelGrid& object, const CoverSequence& seq) {
+  const int r = object.nx();
+  for (int z = 0; z < r; z += 3) {
+    std::printf("z = %-2d   ", z);
+  }
+  std::printf("\n");
+  for (int y = 0; y < r; ++y) {
+    for (int z = 0; z < r; z += 3) {
+      for (int x = 0; x < r; ++x) {
+        char c = ' ';
+        // Which cover "owns" this voxel after sequential application?
+        int owner = -1;
+        bool in_approx = false;
+        for (size_t i = 0; i < seq.covers.size(); ++i) {
+          if (seq.covers[i].Contains(x, y, z)) {
+            in_approx = seq.covers[i].positive;
+            owner = static_cast<int>(i);
+          }
+        }
+        const bool in_object = object.At(x, y, z);
+        if (in_object && in_approx) {
+          c = static_cast<char>('1' + owner % 9);
+        } else if (in_object) {
+          c = '.';
+        } else if (in_approx) {
+          c = '#';
+        }
+        std::printf("%c", c);
+      }
+      std::printf("   ");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A bracket: two slabs -> the greedy search should find ~2 covers.
+  TriangleMesh leg1 = MakeBox({2.0, 0.5, 0.5});
+  TriangleMesh leg2 = MakeBox({0.5, 0.5, 1.6});
+  leg2.ApplyTransform(Transform::Translate({0.75, 0, 0.9}));
+
+  VoxelizerOptions vox;
+  vox.resolution = 15;
+  StatusOr<VoxelModel> model = VoxelizeParts({leg1, leg2}, vox);
+  if (!model.ok()) return 1;
+
+  CoverSequenceOptions copt;
+  copt.max_covers = 7;
+  StatusOr<CoverSequence> seq = ComputeCoverSequence(model->grid, copt);
+  if (!seq.ok()) return 1;
+
+  std::printf("cover sequence of an L-bracket (r = 15):\n");
+  for (size_t i = 0; i < seq->covers.size(); ++i) {
+    const Cover& c = seq->covers[i];
+    std::printf("  C%zu %c [%d..%d]x[%d..%d]x[%d..%d]  Err_%zu = %zu\n",
+                i + 1, c.positive ? '+' : '-', c.lo.x, c.hi.x, c.lo.y, c.hi.y,
+                c.lo.z, c.hi.z, i + 1, seq->error_history[i + 1]);
+  }
+  std::printf("|O| = %zu voxels, final symmetric volume difference = %zu\n\n",
+              model->grid.Count(), seq->final_error());
+  PrintSlices(model->grid, *seq);
+
+  // --- The cover-order problem (paper Figure 4) --------------------
+  // The paper's Figure 4 is schematic: a query object and a database
+  // object built from the same covers, whose greedy ranks differ
+  // because two covers have almost the same volume. We reproduce the
+  // schematic directly on cover features (position | extent):
+  std::printf("\nThe cover-order problem (paper Figure 4):\n");
+  auto cover_feature = [](double x, double ex, double ey) {
+    return FeatureVector{x, 0.0, 0.0, ex, ey, 0.1};
+  };
+  VectorSet query, database;
+  // Query: base, then the LEFT attachment (rank 2, volume ~100), then
+  // the RIGHT attachment (rank 3, volume ~99).
+  query.vectors = {cover_feature(0.0, 0.9, 0.3),    // C1: base
+                   cover_feature(-0.3, 0.25, 0.41),  // C2: left, slightly bigger
+                   cover_feature(0.3, 0.25, 0.40)};  // C3: right
+  // Database object: same attachments, but the RIGHT one is now a hair
+  // bigger, so the greedy ranks of covers 2 and 3 swap.
+  database.vectors = {cover_feature(0.0, 0.9, 0.3),
+                      cover_feature(0.3, 0.25, 0.41),   // C2: right
+                      cover_feature(-0.3, 0.25, 0.40)};  // C3: left
+  const double one_vector = [&] {
+    FeatureVector qa, qb;
+    for (const auto& v : query.vectors) qa.insert(qa.end(), v.begin(), v.end());
+    for (const auto& v : database.vectors) qb.insert(qb.end(), v.begin(), v.end());
+    return EuclideanDistance(qa, qb);
+  }();
+  const MatchingDistanceResult mm =
+      MinimalMatchingDistanceDetailed(query, database, MinMatchingOptions{});
+  std::printf("  one-vector (order-bound) distance: %.4f\n", one_vector);
+  std::printf("  minimal matching distance:         %.4f\n", mm.distance);
+  std::printf("  identity-pairing cost:             %.4f\n", mm.identity_cost);
+  std::printf("  optimal matching uses a proper permutation: %s\n",
+              mm.permutation_used ? "yes" : "no");
+  std::printf("-> the order-bound distance compares the left attachment "
+              "with the right one;\n   the matching distance re-pairs them "
+              "(Section 4, Figure 4, Table 1).\n");
+  return 0;
+}

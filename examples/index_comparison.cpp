@@ -1,0 +1,74 @@
+// Query-processing strategies side by side (the machinery behind the
+// paper's Table 2): one-vector X-tree, vector set with the extended-
+// centroid filter, sequential scan, and an M-tree -- with the paper's
+// simulated I/O cost model (8 ms/page, 200 ns/byte).
+//
+//   $ ./example_index_comparison [objects] [queries]
+#include <cstdio>
+#include <cstdlib>
+
+#include "vsim/common/rng.h"
+#include "vsim/common/table_printer.h"
+#include "vsim/core/query_engine.h"
+#include "vsim/core/similarity.h"
+#include "vsim/data/dataset.h"
+
+int main(int argc, char** argv) {
+  using namespace vsim;
+  const size_t objects = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 800;
+  const int queries = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  std::printf("building aircraft-like data set (%zu objects)...\n", objects);
+  const Dataset ds = MakeAircraftDataset(objects, 7);
+  ExtractionOptions opt;
+  opt.extract_histograms = false;  // only covers are needed here
+  StatusOr<CadDatabase> db = CadDatabase::FromDataset(ds, opt);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("building indexes (X-trees + M-tree)...\n");
+  QueryEngine engine(&*db);
+  std::printf("centroid X-tree: %zu nodes, height %d, %zu supernodes\n",
+              engine.centroid_index().node_count(),
+              engine.centroid_index().height(),
+              engine.centroid_index().supernode_count());
+  std::printf("42-d one-vector X-tree: %zu nodes, height %d, %zu supernodes\n\n",
+              engine.one_vector_index().node_count(),
+              engine.one_vector_index().height(),
+              engine.one_vector_index().supernode_count());
+
+  Rng rng(123);
+  std::vector<int> query_ids;
+  for (int q = 0; q < queries; ++q) {
+    query_ids.push_back(static_cast<int>(rng.NextBounded(db->size())));
+  }
+
+  TablePrinter table({"strategy", "CPU ms/query", "sim. I/O s/query",
+                      "refined/query", "pages/query"});
+  for (QueryStrategy strategy :
+       {QueryStrategy::kOneVectorXTree, QueryStrategy::kVectorSetFilter,
+        QueryStrategy::kVectorSetScan, QueryStrategy::kVectorSetMTree}) {
+    QueryCost total;
+    for (int id : query_ids) {
+      QueryCost cost;
+      engine.Knn(strategy, id, 10, &cost);
+      total += cost;
+    }
+    table.AddRow(
+        {QueryStrategyName(strategy),
+         TablePrinter::Num(1e3 * total.cpu_seconds / queries, 3),
+         TablePrinter::Num(total.IoSeconds() / queries, 3),
+         TablePrinter::Num(
+             static_cast<double>(total.candidates_refined) / queries, 1),
+         TablePrinter::Num(
+             static_cast<double>(total.io.page_accesses()) / queries, 1)});
+  }
+  std::printf("10-NN query cost over %d random queries:\n", queries);
+  table.Print();
+  std::printf("\nExpected shape (paper Table 2): the centroid filter cuts "
+              "exact distance computations ~10x vs the scan and wins on "
+              "total time; the scan has cheaper sequential I/O than the "
+              "filter's random accesses.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Vector-set flexibility demo (paper Sections 3.2 and 4.1):
+//   1. partial similarity -- matching only the closest i < k covers
+//      finds a sub-shape inside a composite part;
+//   2. invariance control -- the Definition-2 minimum over the 24
+//      rotations (and optionally 48 with reflections) recognizes
+//      rotated and mirrored parts.
+//
+//   $ ./example_partial_similarity
+#include <cstdio>
+
+#include "vsim/core/similarity.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/geometry/primitives.h"
+#include "vsim/voxel/voxelizer.h"
+
+int main() {
+  using namespace vsim;
+  ExtractionOptions opt;
+  opt.extract_histograms = false;
+  opt.num_covers = 7;
+
+  // --- Part 1: partial similarity ---------------------------------
+  // A bracket alone, and the same bracket welded onto a large plate.
+  TriangleMesh leg1 = MakeBox({2.0, 0.4, 0.4});
+  TriangleMesh leg2 = MakeBox({0.4, 1.2, 0.4});
+  leg2.ApplyTransform(Transform::Translate({0.8, 0.6, 0.4}));
+
+  TriangleMesh plate = MakeBox({4.0, 4.0, 0.3});
+  plate.ApplyTransform(Transform::Translate({0, 0, -0.5}));
+
+  StatusOr<ObjectRepr> bracket = ExtractObject({leg1, leg2}, opt);
+  StatusOr<ObjectRepr> composite = ExtractObject({leg1, leg2, plate}, opt);
+  if (!bracket.ok() || !composite.ok()) {
+    std::fprintf(stderr, "extraction failed\n");
+    return 1;
+  }
+  std::printf("bracket:   %zu covers\ncomposite: %zu covers\n",
+              bracket->vector_set.size(), composite->vector_set.size());
+  const double full =
+      VectorSetDistance(bracket->vector_set, composite->vector_set);
+  std::printf("full minimal matching distance:    %.3f\n", full);
+  for (int pairs = 1;
+       pairs <= static_cast<int>(std::min(bracket->vector_set.size(),
+                                          composite->vector_set.size()));
+       ++pairs) {
+    StatusOr<double> partial = PartialMatchingDistance(
+        bracket->vector_set, composite->vector_set, pairs);
+    if (partial.ok()) {
+      std::printf("partial distance (closest %d covers): %.3f\n", pairs,
+                  *partial);
+    }
+  }
+  std::printf("-> small partial distances reveal the shared sub-shape that "
+              "the full distance hides.\n\n");
+
+  // --- Part 2: rotation / reflection invariance --------------------
+  VoxelizerOptions vox;
+  vox.resolution = opt.cover_resolution;
+  StatusOr<VoxelModel> base = VoxelizeParts({leg1, leg2}, vox);
+  if (!base.ok()) return 1;
+
+  const Mat3& rot = CubeRotations()[5];  // some 90-degree rotation
+  StatusOr<VoxelGrid> rotated = base->grid.Transformed(rot);
+  StatusOr<VoxelGrid> mirrored =
+      base->grid.Transformed(Mat3::Scale(-1, 1, 1));
+  if (!rotated.ok() || !mirrored.ok()) return 1;
+
+  auto report = [&](const char* what, const VoxelGrid& g) {
+    StatusOr<double> rot24 = InvariantVectorSetDistance(base->grid, g, opt,
+                                                        /*with_reflections=*/false);
+    StatusOr<double> rot48 = InvariantVectorSetDistance(base->grid, g, opt,
+                                                        /*with_reflections=*/true);
+    std::printf("%-18s min over 24 rotations: %6.3f   over 48 w/ "
+                "reflections: %6.3f\n",
+                what, rot24.value_or(-1), rot48.value_or(-1));
+  };
+  std::printf("Definition-2 invariant distances of the bracket to itself "
+              "under rigid motions:\n");
+  report("identical", base->grid);
+  report("rotated 90deg", *rotated);
+  report("mirrored", *mirrored);
+  std::printf("-> a mirrored part is 'similar' only when reflection "
+              "invariance is switched on,\n   matching the paper's "
+              "design-vs-production distinction (Section 3.2).\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+#include "vsim/cluster/cluster_quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace vsim {
+
+std::vector<int> LabelsByObject(const OpticsResult& result,
+                                const std::vector<int>& labels_by_position,
+                                int object_count) {
+  std::vector<int> by_object(object_count, -1);
+  for (size_t pos = 0; pos < result.ordering.size(); ++pos) {
+    const int obj = result.ordering[pos].object;
+    if (obj >= 0 && obj < object_count) {
+      by_object[obj] = labels_by_position[pos];
+    }
+  }
+  return by_object;
+}
+
+ClusterQuality EvaluateClustering(const std::vector<int>& predicted,
+                                  const std::vector<int>& truth) {
+  ClusterQuality q;
+  const size_t n = predicted.size();
+  // Collect non-noise objects.
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < n; ++i) {
+    if (predicted[i] >= 0) kept.push_back(i);
+  }
+  // noise_fraction counts only *clusterable* objects (truth class size
+  // >= 2) that the clustering left out: declaring a unique one-off part
+  // noise is correct, not a loss.
+  {
+    std::map<int, size_t> truth_size;
+    for (size_t i = 0; i < n; ++i) ++truth_size[truth[i]];
+    size_t clusterable = 0, missed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (truth_size[truth[i]] < 2) continue;
+      ++clusterable;
+      missed += predicted[i] < 0 ? 1 : 0;
+    }
+    q.noise_fraction =
+        clusterable == 0
+            ? 0.0
+            : static_cast<double>(missed) / static_cast<double>(clusterable);
+  }
+  {
+    std::set<int> distinct;
+    for (size_t i : kept) distinct.insert(predicted[i]);
+    q.cluster_count = static_cast<int>(distinct.size());
+  }
+  if (kept.size() < 2) return q;
+
+  // Contingency table.
+  std::map<std::pair<int, int>, size_t> joint;
+  std::map<int, size_t> pred_size, true_size;
+  for (size_t i : kept) {
+    ++joint[{predicted[i], truth[i]}];
+    ++pred_size[predicted[i]];
+    ++true_size[truth[i]];
+  }
+  const double m = static_cast<double>(kept.size());
+
+  // Purity: sum over predicted clusters of their majority class count.
+  {
+    std::map<int, size_t> best_in_cluster;
+    for (const auto& [key, cnt] : joint) {
+      best_in_cluster[key.first] = std::max(best_in_cluster[key.first], cnt);
+    }
+    size_t majority = 0;
+    for (const auto& [c, cnt] : best_in_cluster) majority += cnt;
+    q.purity = majority / m;
+  }
+
+  // Adjusted Rand index.
+  auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+  double sum_joint = 0.0, sum_pred = 0.0, sum_true = 0.0;
+  for (const auto& [key, cnt] : joint) sum_joint += choose2(cnt);
+  for (const auto& [c, cnt] : pred_size) sum_pred += choose2(cnt);
+  for (const auto& [c, cnt] : true_size) sum_true += choose2(cnt);
+  const double total_pairs = choose2(m);
+  const double expected = sum_pred * sum_true / total_pairs;
+  const double max_index = 0.5 * (sum_pred + sum_true);
+  q.adjusted_rand = (max_index - expected) == 0.0
+                        ? 1.0
+                        : (sum_joint - expected) / (max_index - expected);
+
+  // Normalized mutual information (arithmetic-mean normalization).
+  double mi = 0.0, h_pred = 0.0, h_true = 0.0;
+  for (const auto& [key, cnt] : joint) {
+    const double pij = cnt / m;
+    const double pi = pred_size[key.first] / m;
+    const double pj = true_size[key.second] / m;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  for (const auto& [c, cnt] : pred_size) {
+    const double p = cnt / m;
+    h_pred -= p * std::log(p);
+  }
+  for (const auto& [c, cnt] : true_size) {
+    const double p = cnt / m;
+    h_true -= p * std::log(p);
+  }
+  const double denom = 0.5 * (h_pred + h_true);
+  q.nmi = denom > 0.0 ? mi / denom : 1.0;
+
+  // Pairwise F1 over same-cluster pairs.
+  const double tp = sum_joint;
+  const double fp = sum_pred - sum_joint;
+  const double fn = sum_true - sum_joint;
+  const double precision = tp + fp > 0 ? tp / (tp + fp) : 0.0;
+  const double recall = tp + fn > 0 ? tp / (tp + fn) : 0.0;
+  q.pairwise_f1 = precision + recall > 0
+                      ? 2.0 * precision * recall / (precision + recall)
+                      : 0.0;
+  return q;
+}
+
+ClusterQuality BestCutQuality(const OpticsResult& result,
+                              const std::vector<int>& truth, int steps,
+                              int min_cluster_size) {
+  std::vector<double> finite;
+  for (const OpticsEntry& e : result.ordering) {
+    if (std::isfinite(e.reachability)) finite.push_back(e.reachability);
+  }
+  ClusterQuality best;
+  if (finite.empty()) return best;
+  std::sort(finite.begin(), finite.end());
+  const int object_count = static_cast<int>(result.ordering.size());
+  double best_score = -2.0;
+  for (int s = 1; s <= steps; ++s) {
+    const size_t idx =
+        std::min(finite.size() - 1, finite.size() * s / (steps + 1));
+    const double eps = finite[idx] * 1.0000001;
+    const std::vector<int> labels_pos =
+        ExtractClusters(result, eps, min_cluster_size);
+    const std::vector<int> labels =
+        LabelsByObject(result, labels_pos, object_count);
+    const ClusterQuality q = EvaluateClustering(labels, truth);
+    // ARI alone is computed over the clustered objects only and would
+    // reward a cut that declares almost everything noise except one
+    // tiny pure cluster; Score() discounts by the noise fraction.
+    if (q.Score() > best_score) {
+      best_score = q.Score();
+      best = q;
+    }
+  }
+  return best;
+}
+
+double LeaveOneOutKnnAccuracy(int count, const PairwiseDistanceFn& distance,
+                              const std::vector<int>& truth, int k) {
+  std::map<int, size_t> truth_size;
+  for (int i = 0; i < count; ++i) ++truth_size[truth[i]];
+
+  size_t evaluated = 0, correct = 0;
+  std::vector<std::pair<double, int>> neighbors;  // (distance, label)
+  for (int i = 0; i < count; ++i) {
+    if (truth_size[truth[i]] < 2) continue;
+    neighbors.clear();
+    for (int j = 0; j < count; ++j) {
+      if (j == i) continue;
+      neighbors.emplace_back(distance(i, j), truth[j]);
+    }
+    const size_t kk = std::min<size_t>(k, neighbors.size());
+    std::partial_sort(neighbors.begin(), neighbors.begin() + kk,
+                      neighbors.end());
+    // Majority vote among the k nearest; ties go to the nearer label.
+    std::map<int, int> votes;
+    for (size_t n = 0; n < kk; ++n) ++votes[neighbors[n].second];
+    int best_label = neighbors.front().second;
+    int best_votes = 0;
+    for (size_t n = 0; n < kk; ++n) {
+      const int label = neighbors[n].second;
+      if (votes[label] > best_votes) {
+        best_votes = votes[label];
+        best_label = label;
+      }
+    }
+    ++evaluated;
+    correct += best_label == truth[i] ? 1 : 0;
+  }
+  return evaluated == 0 ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(evaluated);
+}
+
+}  // namespace vsim

@@ -1,0 +1,59 @@
+// External cluster-quality measures. The paper judges models by visual
+// inspection of the objects inside each reachability valley (Figure
+// 10); our synthetic data sets carry ground-truth class labels, so the
+// same judgement can be made objectively: a model is good when the
+// clusters extracted from its reachability plot agree with the labels.
+#ifndef VSIM_CLUSTER_CLUSTER_QUALITY_H_
+#define VSIM_CLUSTER_CLUSTER_QUALITY_H_
+
+#include <vector>
+
+#include "vsim/cluster/optics.h"
+
+namespace vsim {
+
+// Re-keys per-ordering-position cluster labels (from ExtractClusters)
+// to per-object labels.
+std::vector<int> LabelsByObject(const OpticsResult& result,
+                                const std::vector<int>& labels_by_position,
+                                int object_count);
+
+struct ClusterQuality {
+  double purity = 0.0;          // majority-class fraction, clustered objects
+  double adjusted_rand = 0.0;   // ARI over clustered (non-noise) objects
+  double nmi = 0.0;             // normalized mutual information
+  double pairwise_f1 = 0.0;     // F1 over same-cluster pairs
+  double noise_fraction = 0.0;  // clusterable objects labeled -1
+  int cluster_count = 0;
+
+  // ARI discounted by the noise fraction: the scalar used to pick the
+  // best cut, balancing cluster agreement against coverage.
+  double Score() const { return adjusted_rand * (1.0 - noise_fraction); }
+};
+
+// Compares predicted labels (-1 = noise) against ground truth classes.
+// Noise objects are excluded from purity/ARI/NMI/F1 but reported via
+// noise_fraction.
+ClusterQuality EvaluateClustering(const std::vector<int>& predicted,
+                                  const std::vector<int>& truth);
+
+// Convenience: sweeps eps over `steps` quantiles of the finite
+// reachability values and returns the best-ARI quality. This mimics a
+// human picking the most informative horizontal cut through the plot.
+ClusterQuality BestCutQuality(const OpticsResult& result,
+                              const std::vector<int>& truth, int steps = 32,
+                              int min_cluster_size = 2);
+
+// Leave-one-out k-NN classification accuracy: every object is
+// classified by the majority label among its k nearest neighbors under
+// `distance` (ties broken toward the nearer neighbor). Objects whose
+// truth class has fewer than 2 members are skipped (unpredictable by
+// construction). A direct, query-centric effectiveness measure that
+// complements the clustering view (the paper's Section 5 uses sample
+// k-NN queries for exactly this, before switching to OPTICS).
+double LeaveOneOutKnnAccuracy(int count, const PairwiseDistanceFn& distance,
+                              const std::vector<int>& truth, int k = 1);
+
+}  // namespace vsim
+
+#endif  // VSIM_CLUSTER_CLUSTER_QUALITY_H_

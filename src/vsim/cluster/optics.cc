@@ -1,0 +1,351 @@
+#include "vsim/cluster/optics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace vsim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+StatusOr<OpticsResult> RunOptics(int count,
+                                 const PairwiseDistanceFn& distance,
+                                 const OpticsOptions& options) {
+  if (count < 0) return Status::InvalidArgument("negative object count");
+  if (options.min_pts < 1) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  OpticsResult result;
+  result.ordering.reserve(count);
+
+  std::vector<char> processed(count, 0);
+  std::vector<double> reachability(count, kInf);
+
+  // Distances from the current expansion object to all others; reused.
+  std::vector<double> dist_row(count);
+
+  for (int start = 0; start < count; ++start) {
+    if (processed[start]) continue;
+    // Seed list: (reachability, object). OPTICS uses a priority queue
+    // with decrease-key; for the data set sizes here a linear scan for
+    // the minimum is simpler and fast enough.
+    std::vector<int> seeds;
+    int current = start;
+    bool have_current = true;
+    while (have_current) {
+      processed[current] = 1;
+
+      // Neighborhood of `current` within eps.
+      std::vector<int> neighbors;
+      for (int other = 0; other < count; ++other) {
+        if (other == current) continue;
+        const double d = distance(current, other);
+        ++result.distance_evaluations;
+        dist_row[other] = d;
+        if (d <= options.eps) neighbors.push_back(other);
+      }
+      // Core distance: distance to the min_pts-th neighbor (the object
+      // itself counts as the first of its own neighborhood).
+      double core = kInf;
+      if (static_cast<int>(neighbors.size()) + 1 >= options.min_pts) {
+        if (options.min_pts == 1) {
+          core = 0.0;
+        } else {
+          std::vector<double> nd;
+          nd.reserve(neighbors.size());
+          for (int nb : neighbors) nd.push_back(dist_row[nb]);
+          std::nth_element(nd.begin(), nd.begin() + (options.min_pts - 2),
+                           nd.end());
+          core = nd[options.min_pts - 2];
+        }
+      }
+      result.ordering.push_back(
+          OpticsEntry{current, reachability[current], core});
+
+      if (core < kInf) {
+        // Update reachabilities of unprocessed neighbors.
+        for (int nb : neighbors) {
+          if (processed[nb]) continue;
+          const double new_reach = std::max(core, dist_row[nb]);
+          if (new_reach < reachability[nb]) {
+            if (reachability[nb] == kInf) seeds.push_back(nb);
+            reachability[nb] = new_reach;
+          }
+        }
+      }
+      // Next object: unprocessed seed with smallest reachability.
+      have_current = false;
+      double best = kInf;
+      size_t best_pos = 0;
+      for (size_t i = 0; i < seeds.size(); ++i) {
+        if (processed[seeds[i]]) continue;
+        if (reachability[seeds[i]] < best) {
+          best = reachability[seeds[i]];
+          best_pos = i;
+          have_current = true;
+        }
+      }
+      if (have_current) {
+        current = seeds[best_pos];
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<OpticsResult> RunOpticsIndexed(int count,
+                                        const NeighborhoodFn& neighborhood,
+                                        const PairwiseDistanceFn& distance,
+                                        const OpticsOptions& options) {
+  if (count < 0) return Status::InvalidArgument("negative object count");
+  if (options.min_pts < 1) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  if (!std::isfinite(options.eps)) {
+    return Status::InvalidArgument(
+        "indexed OPTICS requires a finite generating eps");
+  }
+  OpticsResult result;
+  result.ordering.reserve(count);
+
+  std::vector<char> processed(count, 0);
+  std::vector<double> reachability(count, kInf);
+
+  for (int start = 0; start < count; ++start) {
+    if (processed[start]) continue;
+    std::vector<int> seeds;
+    int current = start;
+    bool have_current = true;
+    while (have_current) {
+      processed[current] = 1;
+
+      // Neighborhood via the index; exact distances only to members.
+      std::vector<int> neighbors = neighborhood(current, options.eps);
+      neighbors.erase(std::remove(neighbors.begin(), neighbors.end(), current),
+                      neighbors.end());
+      // Index traversal order is arbitrary; normalize to ascending ids
+      // so tie-breaking matches the full-scan variant exactly.
+      std::sort(neighbors.begin(), neighbors.end());
+      std::vector<double> dists(neighbors.size());
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        dists[i] = distance(current, neighbors[i]);
+        ++result.distance_evaluations;
+      }
+      double core = kInf;
+      if (static_cast<int>(neighbors.size()) + 1 >= options.min_pts) {
+        if (options.min_pts == 1) {
+          core = 0.0;
+        } else {
+          std::vector<double> nd = dists;
+          std::nth_element(nd.begin(), nd.begin() + (options.min_pts - 2),
+                           nd.end());
+          core = nd[options.min_pts - 2];
+        }
+      }
+      result.ordering.push_back(
+          OpticsEntry{current, reachability[current], core});
+
+      if (core < kInf) {
+        for (size_t i = 0; i < neighbors.size(); ++i) {
+          const int nb = neighbors[i];
+          if (processed[nb]) continue;
+          const double new_reach = std::max(core, dists[i]);
+          if (new_reach < reachability[nb]) {
+            if (reachability[nb] == kInf) seeds.push_back(nb);
+            reachability[nb] = new_reach;
+          }
+        }
+      }
+      have_current = false;
+      double best = kInf;
+      size_t best_pos = 0;
+      for (size_t i = 0; i < seeds.size(); ++i) {
+        if (processed[seeds[i]]) continue;
+        if (reachability[seeds[i]] < best) {
+          best = reachability[seeds[i]];
+          best_pos = i;
+          have_current = true;
+        }
+      }
+      if (have_current) {
+        current = seeds[best_pos];
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> ExtractClusters(const OpticsResult& result, double eps,
+                                 int min_cluster_size) {
+  const int n = static_cast<int>(result.ordering.size());
+  std::vector<int> labels(n, -1);
+  int cluster = -1;
+  int run_start = -1;
+  auto close_run = [&](int end_exclusive) {
+    if (run_start < 0) return;
+    if (end_exclusive - run_start >= min_cluster_size) {
+      ++cluster;
+      for (int i = run_start; i < end_exclusive; ++i) labels[i] = cluster;
+    }
+    run_start = -1;
+  };
+  for (int i = 0; i < n; ++i) {
+    const double reach = result.ordering[i].reachability;
+    if (reach < eps) {
+      // This object belongs to the current valley; the valley opener is
+      // the preceding object (which has reach >= eps but a small core
+      // distance), include it.
+      if (run_start < 0) run_start = std::max(0, i - 1);
+    } else {
+      close_run(i);
+    }
+  }
+  close_run(n);
+  return labels;
+}
+
+namespace {
+
+// Clusters at one cut level as [begin, end) position ranges.
+std::vector<std::pair<int, int>> RangesAtLevel(const OpticsResult& result,
+                                               double eps,
+                                               int min_cluster_size) {
+  const std::vector<int> labels = ExtractClusters(result, eps,
+                                                  min_cluster_size);
+  std::vector<std::pair<int, int>> ranges;
+  int start = -1;
+  int current = -1;
+  for (int i = 0; i <= static_cast<int>(labels.size()); ++i) {
+    const int label = i < static_cast<int>(labels.size()) ? labels[i] : -1;
+    if (label != current && start >= 0) {
+      ranges.emplace_back(start, i);
+      start = -1;
+    }
+    if (label >= 0 && start < 0) start = i;
+    current = label;
+  }
+  return ranges;
+}
+
+// Inserts `node` into the tree rooted at `roots`, descending into any
+// existing node that contains it.
+void InsertNode(std::vector<ClusterNode>* roots, ClusterNode node) {
+  for (ClusterNode& candidate : *roots) {
+    // A sub-valley's "opener" position can sit one slot before its
+    // parent's range; clip it in rather than treating the child as a
+    // disjoint root.
+    if (node.begin + 1 == candidate.begin && node.end <= candidate.end) {
+      node.begin = candidate.begin;
+    }
+    if (node.begin >= candidate.begin && node.end <= candidate.end) {
+      // Identical span: a re-discovery at a finer level; keep the parent.
+      if (node.begin == candidate.begin && node.end == candidate.end) return;
+      InsertNode(&candidate.children, std::move(node));
+      return;
+    }
+  }
+  roots->push_back(std::move(node));
+}
+
+}  // namespace
+
+std::vector<ClusterNode> ExtractClusterTree(const OpticsResult& result,
+                                            int min_cluster_size,
+                                            int max_levels) {
+  // Sweep distinct finite reachability values from coarse to fine.
+  std::vector<double> levels;
+  for (const OpticsEntry& e : result.ordering) {
+    if (std::isfinite(e.reachability) && e.reachability > 0) {
+      levels.push_back(e.reachability);
+    }
+  }
+  std::sort(levels.begin(), levels.end(), std::greater<double>());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  if (!levels.empty()) {
+    // Synthetic top level slightly above the maximum reachability: each
+    // density-connected component becomes a root even in a flat plot.
+    levels.insert(levels.begin(), levels.front() * 1.0000002);
+  }
+  if (static_cast<int>(levels.size()) > max_levels) {
+    // The largest levels carry the macro structure (walls between
+    // top-level clusters): keep the top third verbatim, sample the
+    // rest evenly down to the finest.
+    const size_t keep = static_cast<size_t>(max_levels) / 3;
+    std::vector<double> sampled(levels.begin(), levels.begin() + keep);
+    const size_t remaining = levels.size() - keep;
+    const size_t slots = static_cast<size_t>(max_levels) - keep;
+    for (size_t s = 0; s < slots; ++s) {
+      sampled.push_back(levels[keep + remaining * s / slots]);
+    }
+    sampled.erase(std::unique(sampled.begin(), sampled.end()), sampled.end());
+    levels = std::move(sampled);
+  }
+  std::vector<ClusterNode> roots;
+  for (double level : levels) {
+    // Cut just *below* the level: positions with that exact
+    // reachability become the separating walls, so even the coarsest
+    // sweep level yields distinct top-level valleys.
+    const double eps = level * 0.9999999;
+    for (const auto& [begin, end] : RangesAtLevel(result, eps,
+                                                  min_cluster_size)) {
+      ClusterNode node;
+      node.begin = begin;
+      node.end = end;
+      node.birth_level = level;
+      InsertNode(&roots, std::move(node));
+    }
+  }
+  return roots;
+}
+
+std::string ReachabilityCsv(const OpticsResult& result, double inf_cap) {
+  std::string out = "position,object,reachability\n";
+  for (size_t i = 0; i < result.ordering.size(); ++i) {
+    const OpticsEntry& e = result.ordering[i];
+    const double reach = std::isinf(e.reachability) ? inf_cap : e.reachability;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%zu,%d,%.6g\n", i, e.object, reach);
+    out += buf;
+  }
+  return out;
+}
+
+std::string ReachabilityAscii(const OpticsResult& result, int height,
+                              int max_width) {
+  const int n = static_cast<int>(result.ordering.size());
+  if (n == 0) return "(empty ordering)\n";
+  const int width = std::min(n, max_width);
+  // Downsample by taking the max reachability per bucket (valleys stay
+  // valleys, walls stay walls).
+  std::vector<double> buckets(width, 0.0);
+  double finite_max = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double reach = result.ordering[i].reachability;
+    if (!std::isinf(reach)) finite_max = std::max(finite_max, reach);
+  }
+  const double cap = finite_max > 0 ? finite_max : 1.0;
+  for (int i = 0; i < n; ++i) {
+    double reach = result.ordering[i].reachability;
+    if (std::isinf(reach)) reach = cap;
+    const int b = static_cast<int>(static_cast<int64_t>(i) * width / n);
+    buckets[b] = std::max(buckets[b], reach);
+  }
+  std::string out;
+  for (int row = height; row >= 1; --row) {
+    const double level = cap * row / height;
+    for (int b = 0; b < width; ++b) {
+      out += buckets[b] >= level - 1e-12 ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  for (int b = 0; b < width; ++b) out += '-';
+  out += '\n';
+  return out;
+}
+
+}  // namespace vsim

@@ -1,0 +1,107 @@
+// OPTICS (Ankerst, Breunig, Kriegel, Sander, SIGMOD'99): density-based
+// hierarchical cluster ordering. The paper uses OPTICS reachability
+// plots as the objective instrument to compare similarity models
+// (Section 5.2): valleys in the plot are clusters; cutting the plot at
+// a level eps yields the density-based clusters for that threshold.
+#ifndef VSIM_CLUSTER_OPTICS_H_
+#define VSIM_CLUSTER_OPTICS_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "vsim/common/status.h"
+
+namespace vsim {
+
+// Distance between stored objects i and j (symmetric, >= 0).
+using PairwiseDistanceFn = std::function<double(int i, int j)>;
+
+struct OpticsOptions {
+  // Generating distance eps: neighborhoods are computed within this
+  // radius. Infinity (the default) never truncates, which is the
+  // safest choice when comparing models with incommensurable distance
+  // scales, at O(n^2) cost (the paper's data sets are small).
+  double eps = std::numeric_limits<double>::infinity();
+  // MinPts: smoothing parameter for core distances.
+  int min_pts = 5;
+};
+
+struct OpticsEntry {
+  int object = -1;               // object id
+  double reachability = std::numeric_limits<double>::infinity();
+  double core_distance = std::numeric_limits<double>::infinity();
+};
+
+struct OpticsResult {
+  // Cluster ordering: entries in OPTICS output order. The first entry
+  // of each connected component has infinite reachability.
+  std::vector<OpticsEntry> ordering;
+
+  // Total number of exact distance evaluations performed.
+  size_t distance_evaluations = 0;
+};
+
+// Runs OPTICS over objects {0, ..., count-1}.
+StatusOr<OpticsResult> RunOptics(int count, const PairwiseDistanceFn& distance,
+                                 const OpticsOptions& options);
+
+// Provider of eps-neighborhoods: all ids within distance `eps` of
+// object `id` (the object itself may or may not be included; it is
+// ignored either way).
+using NeighborhoodFn = std::function<std::vector<int>(int id, double eps)>;
+
+// OPTICS with index-accelerated neighborhoods: instead of scanning all
+// pairwise distances, each expansion step asks `neighborhood` for the
+// eps-range result (e.g. the QueryEngine's filter-and-refine range
+// query over the extended-centroid index) and only evaluates exact
+// distances to those neighbors. Output is identical to RunOptics with
+// the same finite eps. This is why the paper cares about fast range
+// queries: they are the inner loop of density-based cluster analysis.
+// `options.eps` must be finite.
+StatusOr<OpticsResult> RunOpticsIndexed(int count,
+                                        const NeighborhoodFn& neighborhood,
+                                        const PairwiseDistanceFn& distance,
+                                        const OpticsOptions& options);
+
+// Cuts a reachability plot at level eps: consecutive entries with
+// reachability < eps form a cluster (the entry that opens a valley is
+// included). Returns cluster ids per *ordering position*; -1 = noise.
+std::vector<int> ExtractClusters(const OpticsResult& result, double eps,
+                                 int min_cluster_size = 2);
+
+// A node of the hierarchical cluster tree implied by a reachability
+// plot: a maximal run of consecutive ordering positions whose
+// reachability stays below `birth_level`, containing its sub-clusters
+// (valleys within the valley). This captures the cluster hierarchies
+// the paper highlights in Figure 9 (classes G1/G2 inside G).
+struct ClusterNode {
+  int begin = 0;  // first ordering position (inclusive)
+  int end = 0;    // last ordering position (exclusive)
+  double birth_level = 0.0;
+  std::vector<ClusterNode> children;
+
+  int size() const { return end - begin; }
+};
+
+// Builds the cluster tree by sweeping cut levels over the distinct
+// reachability values (coarse to fine). Nodes smaller than
+// `min_cluster_size` are pruned; a child spanning (almost) the whole
+// parent is merged into it. The returned vector holds the roots.
+std::vector<ClusterNode> ExtractClusterTree(const OpticsResult& result,
+                                            int min_cluster_size = 2,
+                                            int max_levels = 24);
+
+// Renders the reachability plot as CSV rows "position,object,reachability"
+// (infinite reachabilities are emitted as the given cap) -- one series
+// of the paper's Figures 6-9.
+std::string ReachabilityCsv(const OpticsResult& result, double inf_cap);
+
+// Renders a coarse ASCII-art reachability plot (height rows) for
+// eyeballing cluster structure in terminal output.
+std::string ReachabilityAscii(const OpticsResult& result, int height = 12,
+                              int max_width = 120);
+
+}  // namespace vsim
+
+#endif  // VSIM_CLUSTER_OPTICS_H_

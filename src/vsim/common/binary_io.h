@@ -1,0 +1,98 @@
+// Minimal binary (de)serialization helpers over iostreams. Fixed-width
+// little-endian integers and raw IEEE-754 doubles; every reader returns
+// false on a short read so callers can surface Status errors.
+#ifndef VSIM_COMMON_BINARY_IO_H_
+#define VSIM_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vsim {
+
+inline void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 4);
+}
+
+inline void PutU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 8);
+}
+
+inline void PutI32(std::ostream& out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+inline void PutDouble(std::ostream& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+inline void PutString(std::ostream& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline void PutDoubleVector(std::ostream& out, const std::vector<double>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (double d : v) PutDouble(out, d);
+}
+
+inline bool GetU32(std::istream& in, uint32_t* v) {
+  unsigned char buf[4];
+  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+inline bool GetU64(std::istream& in, uint64_t* v) {
+  unsigned char buf[8];
+  if (!in.read(reinterpret_cast<char*>(buf), 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+inline bool GetI32(std::istream& in, int32_t* v) {
+  uint32_t u;
+  if (!GetU32(in, &u)) return false;
+  *v = static_cast<int32_t>(u);
+  return true;
+}
+
+inline bool GetDouble(std::istream& in, double* v) {
+  uint64_t bits;
+  if (!GetU64(in, &bits)) return false;
+  std::memcpy(v, &bits, 8);
+  return true;
+}
+
+inline bool GetString(std::istream& in, std::string* s, uint32_t max_len = 1u << 20) {
+  uint32_t len;
+  if (!GetU32(in, &len) || len > max_len) return false;
+  s->resize(len);
+  return static_cast<bool>(in.read(s->data(), len));
+}
+
+inline bool GetDoubleVector(std::istream& in, std::vector<double>* v,
+                            uint32_t max_len = 1u << 24) {
+  uint32_t len;
+  if (!GetU32(in, &len) || len > max_len) return false;
+  v->resize(len);
+  for (double& d : *v) {
+    if (!GetDouble(in, &d)) return false;
+  }
+  return true;
+}
+
+}  // namespace vsim
+
+#endif  // VSIM_COMMON_BINARY_IO_H_

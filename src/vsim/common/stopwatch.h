@@ -1,0 +1,30 @@
+#ifndef VSIM_COMMON_STOPWATCH_H_
+#define VSIM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vsim {
+
+// Wall-clock stopwatch used by the benchmark harness to measure CPU-side
+// query cost (the paper's "CPU time" column; I/O time is simulated
+// separately by PageCostModel).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_COMMON_STOPWATCH_H_

@@ -1,0 +1,63 @@
+#include "vsim/common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vsim {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::fprintf(out, "|");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, " %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  auto print_sep = [&]() {
+    std::fprintf(out, "+");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      for (size_t i = 0; i < widths[c] + 2; ++i) std::fprintf(out, "-");
+      std::fprintf(out, "+");
+    }
+    std::fprintf(out, "\n");
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", row[c].c_str(),
+                   c + 1 == row.size() ? "\n" : ",");
+    }
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace vsim

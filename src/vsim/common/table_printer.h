@@ -1,0 +1,34 @@
+// Plain-text table formatting used by the benchmark harness to print the
+// same row/column structure as the paper's tables.
+#ifndef VSIM_COMMON_TABLE_PRINTER_H_
+#define VSIM_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vsim {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+
+  // Renders the table with column alignment to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  // Renders as comma-separated values (for plotting reachability series).
+  void PrintCsv(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_COMMON_TABLE_PRINTER_H_

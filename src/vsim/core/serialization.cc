@@ -1,0 +1,174 @@
+// Binary persistence for CadDatabase (see CadDatabase::Save/Load).
+#include <fstream>
+
+#include "vsim/common/binary_io.h"
+#include "vsim/core/similarity.h"
+
+namespace vsim {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'S', 'I', 'M', 'D', 'B', '0', '1'};
+
+void PutOptions(std::ostream& out, const ExtractionOptions& opt) {
+  PutU32(out, opt.extract_histograms ? 1 : 0);
+  PutU32(out, opt.extract_covers ? 1 : 0);
+  PutI32(out, opt.histogram_resolution);
+  PutI32(out, opt.cover_resolution);
+  PutI32(out, opt.histogram_cells);
+  PutI32(out, opt.solid_angle_kernel_radius);
+  PutI32(out, opt.num_covers);
+  PutU32(out, opt.cover_search == CoverSequenceOptions::Search::kExhaustive
+                  ? 1
+                  : 0);
+  PutU32(out, opt.anisotropic_fit ? 1 : 0);
+  PutU64(out, opt.seed);
+}
+
+bool GetOptions(std::istream& in, ExtractionOptions* opt) {
+  uint32_t histograms, covers, exhaustive, anisotropic;
+  if (!GetU32(in, &histograms) || !GetU32(in, &covers) ||
+      !GetI32(in, &opt->histogram_resolution) ||
+      !GetI32(in, &opt->cover_resolution) ||
+      !GetI32(in, &opt->histogram_cells) ||
+      !GetI32(in, &opt->solid_angle_kernel_radius) ||
+      !GetI32(in, &opt->num_covers) || !GetU32(in, &exhaustive) ||
+      !GetU32(in, &anisotropic) || !GetU64(in, &opt->seed)) {
+    return false;
+  }
+  opt->extract_histograms = histograms != 0;
+  opt->extract_covers = covers != 0;
+  opt->cover_search = exhaustive != 0
+                          ? CoverSequenceOptions::Search::kExhaustive
+                          : CoverSequenceOptions::Search::kHillClimb;
+  opt->anisotropic_fit = anisotropic != 0;
+  return true;
+}
+
+void PutCoverSequence(std::ostream& out, const CoverSequence& seq) {
+  PutI32(out, seq.grid_resolution);
+  PutU32(out, static_cast<uint32_t>(seq.covers.size()));
+  for (const Cover& c : seq.covers) {
+    PutI32(out, c.lo.x);
+    PutI32(out, c.lo.y);
+    PutI32(out, c.lo.z);
+    PutI32(out, c.hi.x);
+    PutI32(out, c.hi.y);
+    PutI32(out, c.hi.z);
+    PutU32(out, c.positive ? 1 : 0);
+  }
+  PutU32(out, static_cast<uint32_t>(seq.error_history.size()));
+  for (size_t e : seq.error_history) PutU64(out, e);
+}
+
+bool GetCoverSequence(std::istream& in, CoverSequence* seq) {
+  uint32_t covers, history;
+  if (!GetI32(in, &seq->grid_resolution) || !GetU32(in, &covers) ||
+      covers > 1024) {
+    return false;
+  }
+  seq->covers.resize(covers);
+  for (Cover& c : seq->covers) {
+    uint32_t positive;
+    if (!GetI32(in, &c.lo.x) || !GetI32(in, &c.lo.y) || !GetI32(in, &c.lo.z) ||
+        !GetI32(in, &c.hi.x) || !GetI32(in, &c.hi.y) || !GetI32(in, &c.hi.z) ||
+        !GetU32(in, &positive)) {
+      return false;
+    }
+    c.positive = positive != 0;
+  }
+  if (!GetU32(in, &history) || history > 1024) return false;
+  seq->error_history.resize(history);
+  for (size_t& e : seq->error_history) {
+    uint64_t v;
+    if (!GetU64(in, &v)) return false;
+    e = static_cast<size_t>(v);
+  }
+  return true;
+}
+
+void PutVectorSet(std::ostream& out, const VectorSet& set) {
+  PutU32(out, static_cast<uint32_t>(set.size()));
+  for (const FeatureVector& v : set.vectors) PutDoubleVector(out, v);
+}
+
+bool GetVectorSet(std::istream& in, VectorSet* set) {
+  uint32_t n;
+  if (!GetU32(in, &n) || n > 1024) return false;
+  set->vectors.resize(n);
+  for (FeatureVector& v : set->vectors) {
+    if (!GetDoubleVector(in, &v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status CadDatabase::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  PutOptions(out, options_);
+  PutU64(out, objects_.size());
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    const ObjectRepr& repr = objects_[i];
+    PutI32(out, labels_[i]);
+    PutDoubleVector(out, repr.volume);
+    PutDoubleVector(out, repr.solid_angle);
+    PutCoverSequence(out, repr.cover_sequence);
+    PutDoubleVector(out, repr.cover_vector);
+    PutVectorSet(out, repr.vector_set);
+    PutDoubleVector(out, repr.centroid);
+    PutDouble(out, repr.original_extent.x);
+    PutDouble(out, repr.original_extent.y);
+    PutDouble(out, repr.original_extent.z);
+    PutU64(out, repr.voxel_count);
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<CadDatabase> CadDatabase::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not a vsim database");
+  }
+  ExtractionOptions options;
+  if (!GetOptions(in, &options)) {
+    return Status::IOError("truncated database header: " + path);
+  }
+  CadDatabase db(options);
+  uint64_t count;
+  if (!GetU64(in, &count) || count > (1ull << 32)) {
+    return Status::IOError("corrupt object count: " + path);
+  }
+  db.objects_.reserve(count);
+  db.labels_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ObjectRepr repr;
+    int32_t label;
+    uint64_t voxel_count;
+    if (!GetI32(in, &label) || !GetDoubleVector(in, &repr.volume) ||
+        !GetDoubleVector(in, &repr.solid_angle) ||
+        !GetCoverSequence(in, &repr.cover_sequence) ||
+        !GetDoubleVector(in, &repr.cover_vector) ||
+        !GetVectorSet(in, &repr.vector_set) ||
+        !GetDoubleVector(in, &repr.centroid) ||
+        !GetDouble(in, &repr.original_extent.x) ||
+        !GetDouble(in, &repr.original_extent.y) ||
+        !GetDouble(in, &repr.original_extent.z) ||
+        !GetU64(in, &voxel_count)) {
+      return Status::IOError("truncated object record " + std::to_string(i) +
+                             " in " + path);
+    }
+    repr.voxel_count = static_cast<size_t>(voxel_count);
+    db.objects_.push_back(std::move(repr));
+    db.labels_.push_back(label);
+  }
+  return db;
+}
+
+}  // namespace vsim

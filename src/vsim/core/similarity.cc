@@ -1,0 +1,247 @@
+#include "vsim/core/similarity.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+
+#include "vsim/common/math_util.h"
+#include "vsim/distance/centroid_filter.h"
+#include "vsim/distance/lp.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/distance/permutation_distance.h"
+#include "vsim/features/orientation.h"
+#include "vsim/features/solid_angle_model.h"
+#include "vsim/voxel/normalizer.h"
+#include "vsim/features/volume_model.h"
+
+namespace vsim {
+
+const char* ModelTypeName(ModelType model) {
+  switch (model) {
+    case ModelType::kVolume:
+      return "volume";
+    case ModelType::kSolidAngle:
+      return "solid-angle";
+    case ModelType::kCoverSequence:
+      return "cover-sequence";
+    case ModelType::kCoverSequencePermutation:
+      return "cover-sequence-permutation";
+    case ModelType::kVectorSet:
+      return "vector-set";
+  }
+  return "unknown";
+}
+
+StatusOr<ObjectRepr> ExtractObject(const parts::MeshParts& mesh_parts,
+                                   const ExtractionOptions& options) {
+  ObjectRepr repr;
+
+  if (options.extract_histograms) {
+    VoxelizerOptions vox;
+    vox.resolution = options.histogram_resolution;
+    vox.anisotropic_fit = options.anisotropic_fit;
+    VSIM_ASSIGN_OR_RETURN(VoxelModel model, VoxelizeParts(mesh_parts, vox));
+    repr.original_extent = model.original_extent;
+    repr.voxel_count = model.grid.Count();
+
+    VolumeModelOptions vol;
+    vol.cells_per_dim = options.histogram_cells;
+    VSIM_ASSIGN_OR_RETURN(repr.volume, ExtractVolumeFeatures(model.grid, vol));
+
+    SolidAngleModelOptions sa;
+    sa.cells_per_dim = options.histogram_cells;
+    sa.kernel_radius = options.solid_angle_kernel_radius;
+    VSIM_ASSIGN_OR_RETURN(repr.solid_angle,
+                          ExtractSolidAngleFeatures(model.grid, sa));
+  }
+
+  if (options.extract_covers) {
+    VoxelizerOptions vox;
+    vox.resolution = options.cover_resolution;
+    vox.anisotropic_fit = options.anisotropic_fit;
+    VSIM_ASSIGN_OR_RETURN(VoxelModel model, VoxelizeParts(mesh_parts, vox));
+    repr.original_extent = model.original_extent;
+    if (repr.voxel_count == 0) repr.voxel_count = model.grid.Count();
+
+    CoverSequenceOptions cov;
+    cov.max_covers = options.num_covers;
+    cov.search = options.cover_search;
+    cov.seed = options.seed;
+    VSIM_ASSIGN_OR_RETURN(repr.cover_sequence,
+                          ComputeCoverSequence(model.grid, cov));
+    repr.cover_vector = ToFeatureVector(repr.cover_sequence, options.num_covers);
+    repr.vector_set = ToVectorSet(repr.cover_sequence, options.num_covers);
+    repr.centroid = ExtendedCentroid(repr.vector_set, options.num_covers);
+  }
+  return repr;
+}
+
+StatusOr<double> InvariantVectorSetDistance(const VoxelGrid& a,
+                                            const VoxelGrid& b,
+                                            const ExtractionOptions& options,
+                                            bool with_reflections) {
+  CoverSequenceOptions cov;
+  cov.max_covers = options.num_covers;
+  cov.search = options.cover_search;
+  cov.seed = options.seed;
+  VSIM_ASSIGN_OR_RETURN(CoverSequence seq_a, ComputeCoverSequence(a, cov));
+  const VectorSet set_a = ToVectorSet(seq_a, options.num_covers);
+
+  double best = std::numeric_limits<double>::infinity();
+  for (const VoxelGrid& oriented : AllOrientations(b, with_reflections)) {
+    VSIM_ASSIGN_OR_RETURN(CoverSequence seq_b,
+                          ComputeCoverSequence(oriented, cov));
+    const VectorSet set_b = ToVectorSet(seq_b, options.num_covers);
+    best = std::min(best, VectorSetDistance(set_a, set_b));
+  }
+  return best;
+}
+
+StatusOr<int> CadDatabase::AddObject(const parts::MeshParts& mesh_parts,
+                                     int label) {
+  VSIM_ASSIGN_OR_RETURN(ObjectRepr repr, ExtractObject(mesh_parts, options_));
+  objects_.push_back(std::move(repr));
+  labels_.push_back(label);
+  return static_cast<int>(objects_.size()) - 1;
+}
+
+StatusOr<CadDatabase> CadDatabase::FromDataset(
+    const Dataset& dataset, const ExtractionOptions& options,
+    int num_threads) {
+  CadDatabase db(options);
+  const size_t n = dataset.size();
+  db.objects_.resize(n);
+  db.labels_.resize(n);
+  for (size_t i = 0; i < n; ++i) db.labels_[i] = dataset.objects[i].label;
+
+  if (num_threads == 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads = Clamp<int>(num_threads, 1, 64);
+
+  std::vector<Status> failures(n);
+  if (num_threads == 1 || n < 2) {
+    for (size_t i = 0; i < n; ++i) {
+      StatusOr<ObjectRepr> repr = ExtractObject(dataset.objects[i].parts, options);
+      if (!repr.ok()) return repr.status();
+      db.objects_[i] = std::move(repr).value();
+    }
+    return db;
+  }
+
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      StatusOr<ObjectRepr> repr =
+          ExtractObject(dataset.objects[i].parts, options);
+      if (repr.ok()) {
+        db.objects_[i] = std::move(repr).value();
+      } else {
+        failures[i] = repr.status();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  for (size_t i = 0; i < n; ++i) {
+    if (!failures[i].ok()) return failures[i];
+  }
+  return db;
+}
+
+double CadDatabase::Distance(ModelType model, int a, int b) const {
+  const ObjectRepr& ra = objects_[a];
+  const ObjectRepr& rb = objects_[b];
+  switch (model) {
+    case ModelType::kVolume:
+      return EuclideanDistance(ra.volume, rb.volume);
+    case ModelType::kSolidAngle:
+      return EuclideanDistance(ra.solid_angle, rb.solid_angle);
+    case ModelType::kCoverSequence:
+      return EuclideanDistance(ra.cover_vector, rb.cover_vector);
+    case ModelType::kCoverSequencePermutation:
+      return MinEuclideanUnderPermutation(ra.vector_set, rb.vector_set);
+    case ModelType::kVectorSet:
+      return VectorSetDistance(ra.vector_set, rb.vector_set);
+  }
+  return 0.0;
+}
+
+PairwiseDistanceFn CadDatabase::DistanceFunction(ModelType model) const {
+  return [this, model](int a, int b) { return Distance(model, a, b); };
+}
+
+void CadDatabase::EnsureOrientationTables() const {
+  if (!bin_permutations_.empty()) return;
+  const auto& group = CubeRotationsWithReflections();
+  bin_permutations_.reserve(group.size());
+  for (const Mat3& m : group) {
+    bin_permutations_.push_back(
+        HistogramBinPermutation(options_.histogram_cells, m));
+  }
+}
+
+double CadDatabase::InvariantDistance(ModelType model, int a, int b,
+                                      bool with_reflections) const {
+  const ObjectRepr& ra = objects_[a];
+  const ObjectRepr& rb = objects_[b];
+  const auto& group = CubeRotationsWithReflections();
+  const size_t group_size = with_reflections ? group.size() : 24;
+
+  double best = std::numeric_limits<double>::infinity();
+  switch (model) {
+    case ModelType::kVolume:
+    case ModelType::kSolidAngle: {
+      EnsureOrientationTables();
+      const bool volume = model == ModelType::kVolume;
+      const FeatureVector& fa = volume ? ra.volume : ra.solid_angle;
+      const FeatureVector& fb = volume ? rb.volume : rb.solid_angle;
+      for (size_t g = 0; g < group_size; ++g) {
+        best = std::min(
+            best, EuclideanDistance(fa, PermuteBins(fb, bin_permutations_[g])));
+      }
+      break;
+    }
+    case ModelType::kCoverSequence: {
+      for (size_t g = 0; g < group_size; ++g) {
+        best = std::min(best,
+                        EuclideanDistance(
+                            ra.cover_vector,
+                            TransformCoverVector(rb.cover_vector, group[g])));
+      }
+      break;
+    }
+    case ModelType::kCoverSequencePermutation: {
+      for (size_t g = 0; g < group_size; ++g) {
+        best = std::min(best, MinEuclideanUnderPermutation(
+                                  ra.vector_set,
+                                  TransformVectorSet(rb.vector_set, group[g])));
+      }
+      break;
+    }
+    case ModelType::kVectorSet: {
+      for (size_t g = 0; g < group_size; ++g) {
+        best = std::min(best,
+                        VectorSetDistance(
+                            ra.vector_set,
+                            TransformVectorSet(rb.vector_set, group[g])));
+      }
+      break;
+    }
+  }
+  return best;
+}
+
+PairwiseDistanceFn CadDatabase::InvariantDistanceFunction(
+    ModelType model, bool with_reflections) const {
+  return [this, model, with_reflections](int a, int b) {
+    return InvariantDistance(model, a, b, with_reflections);
+  };
+}
+
+}  // namespace vsim

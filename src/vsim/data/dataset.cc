@@ -1,0 +1,130 @@
+#include "vsim/data/dataset.h"
+
+#include <functional>
+
+namespace vsim {
+
+namespace {
+
+struct Family {
+  const char* name;
+  std::function<parts::MeshParts(Rng&)> make;
+  double weight;  // relative frequency in the data set
+};
+
+Dataset BuildDataset(const std::string& name,
+                     const std::vector<Family>& families, size_t count,
+                     uint64_t seed) {
+  Dataset ds;
+  ds.name = name;
+  for (const Family& f : families) ds.class_names.push_back(f.name);
+
+  double total_weight = 0.0;
+  for (const Family& f : families) total_weight += f.weight;
+
+  Rng rng(seed);
+  ds.objects.reserve(count);
+  // Deterministic quota per class (largest-remainder style), then the
+  // object order is shuffled so class blocks do not align with ids.
+  std::vector<size_t> quota(families.size(), 0);
+  size_t assigned = 0;
+  for (size_t f = 0; f < families.size(); ++f) {
+    quota[f] = static_cast<size_t>(families[f].weight / total_weight *
+                                   static_cast<double>(count));
+    assigned += quota[f];
+  }
+  for (size_t f = 0; assigned < count; f = (f + 1) % families.size()) {
+    ++quota[f];
+    ++assigned;
+  }
+  for (size_t f = 0; f < families.size(); ++f) {
+    for (size_t i = 0; i < quota[f]; ++i) {
+      CadObject obj;
+      obj.class_name = families[f].name;
+      obj.label = static_cast<int>(f);
+      obj.parts = families[f].make(rng);
+      ds.objects.push_back(std::move(obj));
+    }
+  }
+  // Fisher-Yates shuffle with the same deterministic generator.
+  for (size_t i = ds.objects.size(); i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    std::swap(ds.objects[i - 1], ds.objects[j]);
+  }
+  return ds;
+}
+
+}  // namespace
+
+std::vector<int> Dataset::Labels() const {
+  std::vector<int> labels;
+  labels.reserve(objects.size());
+  for (const CadObject& o : objects) labels.push_back(o.label);
+  return labels;
+}
+
+std::vector<int> Dataset::EvaluationLabels() const {
+  std::vector<int> labels;
+  labels.reserve(objects.size());
+  int next_singleton = num_classes();
+  for (const CadObject& o : objects) {
+    labels.push_back(o.label == noise_class ? next_singleton++ : o.label);
+  }
+  return labels;
+}
+
+void ApplyRandomOrientations(Dataset* dataset, uint64_t seed,
+                             bool with_reflections) {
+  Rng rng(seed);
+  const std::vector<Mat3>& group =
+      with_reflections ? CubeRotationsWithReflections() : CubeRotations();
+  for (CadObject& obj : dataset->objects) {
+    const Mat3& m = group[rng.NextBounded(group.size())];
+    for (TriangleMesh& mesh : obj.parts) {
+      mesh.ApplyTransform(Transform::Linear(m));
+    }
+  }
+}
+
+Dataset MakeCarDataset(size_t count, uint64_t seed) {
+  const std::vector<Family> families = {
+      {"tire", parts::MakeTire, 1.4},
+      {"wheel_rim", parts::MakeWheelRim, 1.0},
+      {"door_panel", parts::MakeDoorPanel, 1.2},
+      {"fender", parts::MakeFender, 1.0},
+      {"engine_block", parts::MakeEngineBlock, 0.8},
+      {"seat_envelope", parts::MakeSeatEnvelope, 1.0},
+      {"exhaust_pipe", parts::MakeExhaustPipe, 0.8},
+      {"brake_disk", parts::MakeBrakeDisk, 1.0},
+      {"gear_wheel", parts::MakeGearWheel, 0.8},
+      {"knob", parts::MakeKnob, 1.0},
+      {"misc", parts::MakeMiscPart, 2.5},
+  };
+  Dataset ds = BuildDataset("car", families, count, seed);
+  ds.noise_class = static_cast<int>(families.size()) - 1;
+  return ds;
+}
+
+Dataset MakeAircraftDataset(size_t count, uint64_t seed) {
+  // Skewed: fasteners dominate, large structural parts are rare.
+  const std::vector<Family> families = {
+      {"bolt", parts::MakeBolt, 7.0},
+      {"nut", parts::MakeNut, 6.0},
+      {"washer", parts::MakeWasher, 5.0},
+      {"rivet", parts::MakeRivet, 8.0},
+      {"bracket", parts::MakeBracket, 3.0},
+      {"hinge", parts::MakeHinge, 2.0},
+      {"stringer", parts::MakeStringer, 2.5},
+      {"spar", parts::MakeSpar, 1.5},
+      {"skin_panel", parts::MakeSkinPanel, 2.0},
+      {"wing_section", parts::MakeWingSection, 0.6},
+      {"fuselage_ring", parts::MakeFuselageRing, 0.8},
+      {"turbine_disk", parts::MakeTurbineDisk, 0.6},
+      {"misc", parts::MakeMiscPart, 6.0},
+  };
+  Dataset ds = BuildDataset("aircraft", families, count, seed);
+  ds.noise_class = static_cast<int>(families.size()) - 1;
+  return ds;
+}
+
+}  // namespace vsim

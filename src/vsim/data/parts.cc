@@ -1,0 +1,351 @@
+#include "vsim/data/parts.h"
+
+#include <cmath>
+
+#include "vsim/common/math_util.h"
+#include "vsim/geometry/primitives.h"
+#include "vsim/geometry/transform.h"
+
+namespace vsim::parts {
+
+namespace {
+
+// Jitter helper: uniform in [v * (1 - amount), v * (1 + amount)].
+double J(Rng& rng, double v, double amount = 0.35) {
+  return v * rng.Uniform(1.0 - amount, 1.0 + amount);
+}
+
+TriangleMesh Moved(TriangleMesh mesh, Vec3 offset) {
+  mesh.ApplyTransform(Transform::Translate(offset));
+  return mesh;
+}
+
+TriangleMesh Rotated(TriangleMesh mesh, const Mat3& m) {
+  mesh.ApplyTransform(Transform::Linear(m));
+  return mesh;
+}
+
+}  // namespace
+
+MeshParts MakeTire(Rng& rng) {
+  const double major = J(rng, 1.0);
+  const double minor = J(rng, 0.42, 0.2);
+  return {MakeTorus(major, minor, 28, 14)};
+}
+
+MeshParts MakeWheelRim(Rng& rng) {
+  const double outer = J(rng, 1.0);
+  const double band_w = J(rng, 0.45, 0.2);
+  const double hub_r = J(rng, 0.28, 0.2);
+  MeshParts parts;
+  parts.push_back(MakeTube(outer, outer * 0.82, band_w, 24));
+  parts.push_back(MakeCylinder(hub_r, band_w * 0.8, 16));
+  const int spokes = static_cast<int>(rng.UniformInt(3, 7));
+  for (int s = 0; s < spokes; ++s) {
+    TriangleMesh spoke = MakeBox({outer * 1.62, outer * 0.16, band_w * 0.5});
+    parts.push_back(
+        Rotated(std::move(spoke), Mat3::RotationZ(kPi * s / spokes)));
+  }
+  return parts;
+}
+
+MeshParts MakeDoorPanel(Rng& rng) {
+  const double width = J(rng, 2.2);
+  const double height = J(rng, 1.4);
+  const double thick = J(rng, 0.12, 0.3);
+  const double bend = rng.Uniform(0.35, 0.8);
+  MeshParts parts;
+  parts.push_back(MakeCurvedPanel(width, height, thick, bend, 14));
+  // Window band: present on most doors, at a model-dependent position
+  // and size. Moving bulk across histogram cells is exactly what rigid
+  // space partitioning cannot absorb but cover matching can.
+  if (rng.NextBool(0.85)) {
+    TriangleMesh band = MakeCurvedPanel(width * rng.Uniform(0.5, 0.9),
+                                        height * rng.Uniform(0.3, 0.6),
+                                        thick * 0.7, bend, 10);
+    parts.push_back(Moved(std::move(band),
+                          {width * rng.Uniform(-0.15, 0.15), 0,
+                           height * rng.Uniform(0.45, 0.8)}));
+  }
+  // Door handle / mirror mount blob at a random spot.
+  TriangleMesh handle = MakeBox({width * 0.18, thick * 2.2, height * 0.1});
+  parts.push_back(Moved(std::move(handle),
+                        {width * rng.Uniform(-0.3, 0.3), thick,
+                         height * rng.Uniform(-0.3, 0.25)}));
+  return parts;
+}
+
+MeshParts MakeFender(Rng& rng) {
+  const double radius = J(rng, 1.1);
+  const double width = J(rng, 0.7, 0.25);
+  const double thick = J(rng, 0.1, 0.3);
+  const double arc = rng.Uniform(0.45, 0.62) * kPi;
+  // Arch over the wheel: a block bent around the y axis.
+  return {MakeDeformedBlock(
+      [=](double u, double v, double w) {
+        const double theta = (u - 0.5) * arc;
+        const double r = radius + (w - 0.5) * thick;
+        return Vec3{r * std::sin(theta), (v - 0.5) * width,
+                    r * std::cos(theta) - radius * 0.7};
+      },
+      12, 1, 1)};
+}
+
+MeshParts MakeEngineBlock(Rng& rng) {
+  const double width = J(rng, 2.0);
+  const double depth = J(rng, 1.2);
+  const double height = J(rng, 1.0);
+  MeshParts parts;
+  parts.push_back(MakeBox({width, depth, height}));
+  const int bores = static_cast<int>(rng.UniformInt(2, 5));
+  const double bore_r = width / (bores * rng.Uniform(2.4, 3.2));
+  const double bore_h = height * rng.Uniform(0.35, 0.7);
+  const double row_off = depth * rng.Uniform(-0.2, 0.2);
+  for (int b = 0; b < bores; ++b) {
+    const double x = (b + 0.5) / bores * width - width / 2.0;
+    TriangleMesh bore = MakeCylinder(bore_r, bore_h, 12);
+    parts.push_back(Moved(std::move(bore), {x, row_off, height * 0.55}));
+  }
+  // Optional sump / accessory block on a random side.
+  if (rng.NextBool(0.6)) {
+    TriangleMesh sump = MakeBox({width * 0.4, depth * 0.5, height * 0.4});
+    parts.push_back(Moved(std::move(sump),
+                          {width * rng.Uniform(-0.25, 0.25), 0,
+                           -height * 0.6}));
+  }
+  return parts;
+}
+
+MeshParts MakeSeatEnvelope(Rng& rng) {
+  const double seat_w = J(rng, 1.3);
+  const double seat_d = J(rng, 1.2);
+  const double seat_t = J(rng, 0.35, 0.25);
+  const double back_h = J(rng, 1.5);
+  const double recline = rng.Uniform(0.1, 0.35);
+  MeshParts parts;
+  parts.push_back(MakeBox({seat_w, seat_d, seat_t}));
+  // Backrest: tilted slab rising from the rear edge.
+  TriangleMesh back = MakeDeformedBlock(
+      [=](double u, double v, double w) {
+        const double z = v * back_h;
+        return Vec3{(u - 0.5) * seat_w,
+                    -seat_d / 2.0 + z * recline + (w - 0.5) * seat_t, z};
+      },
+      1, 6, 1);
+  parts.push_back(std::move(back));
+  return parts;
+}
+
+MeshParts MakeExhaustPipe(Rng& rng) {
+  const double pipe_r = J(rng, 0.18, 0.25);
+  const double pipe_len = J(rng, 2.6);
+  MeshParts parts;
+  parts.push_back(
+      Rotated(MakeCylinder(pipe_r, pipe_len, 14), Mat3::RotationY(kPi / 2)));
+  // Muffler: cigar-shaped lathe body at a model-dependent position.
+  const double muf_r = pipe_r * rng.Uniform(2.2, 3.4);
+  const double muf_len = pipe_len * rng.Uniform(0.25, 0.45);
+  TriangleMesh muffler =
+      MakeLathe({{0.0, -muf_len / 2}, {muf_r, -muf_len * 0.3},
+                 {muf_r, muf_len * 0.3}, {0.0, muf_len / 2}},
+                16);
+  muffler.ApplyTransform(Transform::Linear(Mat3::RotationY(kPi / 2)));
+  parts.push_back(Moved(std::move(muffler),
+                        {pipe_len * rng.Uniform(-0.3, 0.3), 0, 0}));
+  return parts;
+}
+
+MeshParts MakeBrakeDisk(Rng& rng) {
+  const double outer = J(rng, 1.0);
+  const double inner = outer * rng.Uniform(0.55, 0.7);
+  const double thick = J(rng, 0.1, 0.3);
+  MeshParts parts;
+  parts.push_back(MakeTube(outer, inner, thick, 28));
+  // Hat section: offset varies between vented and plain disk designs.
+  parts.push_back(Moved(MakeTube(inner * 0.95, inner * 0.4, thick * 1.6, 20),
+                        {0, 0, thick * rng.Uniform(-0.8, 0.8)}));
+  return parts;
+}
+
+MeshParts MakeGearWheel(Rng& rng) {
+  const double radius = J(rng, 1.0);
+  const double thick = J(rng, 0.3, 0.25);
+  MeshParts parts;
+  parts.push_back(MakeCylinder(radius, thick, 24));
+  const int teeth = static_cast<int>(rng.UniformInt(6, 16));
+  for (int t = 0; t < teeth; ++t) {
+    TriangleMesh tooth =
+        MakeBox({radius * 0.25, radius * 2.0 * kPi / teeth * 0.45, thick});
+    tooth.ApplyTransform(Transform::Translate({radius * 1.05, 0, 0}));
+    parts.push_back(
+        Rotated(std::move(tooth), Mat3::RotationZ(2.0 * kPi * t / teeth)));
+  }
+  return parts;
+}
+
+MeshParts MakeKnob(Rng& rng) {
+  const double r = J(rng, 0.5);
+  const double h = J(rng, 1.2);
+  return {MakeLathe({{0.0, 0.0},
+                     {r * 0.35, 0.05 * h},
+                     {r * J(rng, 0.4, 0.3), 0.55 * h},
+                     {r, 0.8 * h},
+                     {r * 0.8, 0.97 * h},
+                     {0.0, h}},
+                    18)};
+}
+
+MeshParts MakeBolt(Rng& rng) {
+  const double shaft_r = J(rng, 0.22, 0.2);
+  const double shaft_len = J(rng, 1.6, 0.3);
+  const double head_r = shaft_r * rng.Uniform(1.7, 2.1);
+  const double head_h = shaft_r * rng.Uniform(0.9, 1.3);
+  MeshParts parts;
+  parts.push_back(MakeCylinder(shaft_r, shaft_len, 12));
+  parts.push_back(
+      Moved(MakePrism(6, head_r, head_h), {0, 0, shaft_len / 2 + head_h / 2}));
+  return parts;
+}
+
+MeshParts MakeNut(Rng& rng) {
+  const double r = J(rng, 0.5);
+  const double h = J(rng, 0.4, 0.25);
+  // Hex ring: 6-sided outer wall with a round hole.
+  MeshParts parts;
+  parts.push_back(MakeTube(r, r * rng.Uniform(0.45, 0.55), h, 6));
+  return parts;
+}
+
+MeshParts MakeWasher(Rng& rng) {
+  const double r = J(rng, 0.5);
+  return {MakeTube(r, r * rng.Uniform(0.4, 0.6), J(rng, 0.08, 0.3), 20)};
+}
+
+MeshParts MakeRivet(Rng& rng) {
+  const double shaft_r = J(rng, 0.18, 0.2);
+  const double shaft_len = J(rng, 0.9, 0.3);
+  const double head_r = shaft_r * rng.Uniform(1.8, 2.2);
+  MeshParts parts;
+  parts.push_back(MakeCylinder(shaft_r, shaft_len, 12));
+  // Dome head: upper half of a squashed lathe profile.
+  TriangleMesh head = MakeLathe(
+      {{0.0, 0.0}, {head_r, 0.02}, {head_r * 0.8, shaft_r}, {0.0, shaft_r * 1.4}},
+      14);
+  parts.push_back(Moved(std::move(head), {0, 0, shaft_len / 2}));
+  return parts;
+}
+
+MeshParts MakeBracket(Rng& rng) {
+  const double leg_a = J(rng, 1.2);
+  const double leg_b = J(rng, 0.9);
+  const double width = J(rng, 0.6, 0.25);
+  const double thick = J(rng, 0.12, 0.3);
+  // Left- and right-handed variants exist (mirrored production parts).
+  const double side = rng.NextBool() ? 1.0 : -1.0;
+  MeshParts parts;
+  parts.push_back(MakeBox({leg_a, width, thick}));
+  parts.push_back(Moved(MakeBox({thick, width, leg_b}),
+                        {side * (-leg_a / 2 + thick / 2), 0, leg_b / 2}));
+  return parts;
+}
+
+MeshParts MakeHinge(Rng& rng) {
+  const double plate_w = J(rng, 1.0);
+  const double plate_h = J(rng, 0.7);
+  const double thick = J(rng, 0.08, 0.3);
+  const double barrel_r = J(rng, 0.14, 0.25);
+  MeshParts parts;
+  parts.push_back(MakeBox({plate_w, plate_h, thick}));
+  TriangleMesh barrel = MakeCylinder(barrel_r, plate_h * 1.05, 10);
+  barrel.ApplyTransform(Transform::Linear(Mat3::RotationX(kPi / 2)));
+  parts.push_back(Moved(std::move(barrel), {plate_w / 2, 0, 0}));
+  return parts;
+}
+
+MeshParts MakeStringer(Rng& rng) {
+  return {MakeBox({J(rng, 3.0), J(rng, 0.25, 0.3), J(rng, 0.35, 0.3)})};
+}
+
+MeshParts MakeSpar(Rng& rng) {
+  const double len = J(rng, 2.8);
+  const double flange_w = J(rng, 0.6, 0.2);
+  const double flange_t = J(rng, 0.1, 0.3);
+  const double web_h = J(rng, 0.7, 0.2);
+  MeshParts parts;
+  parts.push_back(Moved(MakeBox({len, flange_w, flange_t}),
+                        {0, 0, web_h / 2 + flange_t / 2}));
+  parts.push_back(Moved(MakeBox({len, flange_w, flange_t}),
+                        {0, 0, -web_h / 2 - flange_t / 2}));
+  parts.push_back(MakeBox({len, flange_t, web_h * 1.02}));
+  return parts;
+}
+
+MeshParts MakeSkinPanel(Rng& rng) {
+  return {MakeCurvedPanel(J(rng, 2.2), J(rng, 1.6), J(rng, 0.06, 0.3),
+                          rng.Uniform(0.05, 0.3), 10)};
+}
+
+MeshParts MakeWingSection(Rng& rng) {
+  return {MakeWing(J(rng, 1.6), J(rng, 0.7), J(rng, 3.2), J(rng, 0.28, 0.25),
+                   J(rng, 0.5, 0.5), 10)};
+}
+
+MeshParts MakeFuselageRing(Rng& rng) {
+  const double r = J(rng, 1.4);
+  return {MakeTube(r, r * rng.Uniform(0.86, 0.93), J(rng, 0.5, 0.3), 24)};
+}
+
+MeshParts MakeTurbineDisk(Rng& rng) {
+  const double hub_r = J(rng, 0.45);
+  const double thick = J(rng, 0.25, 0.25);
+  MeshParts parts;
+  parts.push_back(MakeCylinder(hub_r, thick, 18));
+  const int blades = static_cast<int>(rng.UniformInt(10, 14));
+  for (int b = 0; b < blades; ++b) {
+    TriangleMesh blade = MakeBox({hub_r * 1.6, hub_r * 0.18, thick * 0.7});
+    blade.ApplyTransform(Transform::Translate({hub_r * 1.5, 0, 0}));
+    parts.push_back(
+        Rotated(std::move(blade), Mat3::RotationZ(2.0 * kPi * b / blades)));
+  }
+  return parts;
+}
+
+MeshParts MakeMiscPart(Rng& rng) {
+  MeshParts parts;
+  const int pieces = static_cast<int>(rng.UniformInt(2, 5));
+  for (int i = 0; i < pieces; ++i) {
+    TriangleMesh piece;
+    switch (rng.UniformInt(0, 5)) {
+      case 0:
+        piece = MakeBox({J(rng, 1.0, 0.6), J(rng, 1.0, 0.6), J(rng, 1.0, 0.6)});
+        break;
+      case 1:
+        piece = MakeCylinder(J(rng, 0.5, 0.5), J(rng, 1.2, 0.5), 12);
+        break;
+      case 2:
+        piece = MakeSphere(J(rng, 0.5, 0.4), 12, 6);
+        break;
+      case 3:
+        piece = MakeFrustum(J(rng, 0.6, 0.4), J(rng, 0.25, 0.8), J(rng, 1.0, 0.5), 10);
+        break;
+      case 4:
+        piece = MakeTorus(J(rng, 0.8, 0.3), J(rng, 0.25, 0.4), 16, 8);
+        break;
+      default:
+        piece = MakePrism(static_cast<int>(rng.UniformInt(3, 8)),
+                          J(rng, 0.6, 0.4), J(rng, 0.8, 0.5));
+        break;
+    }
+    piece.ApplyTransform(Transform::Linear(
+        Mat3::AxisAngle({rng.Uniform(-1, 1), rng.Uniform(-1, 1),
+                         rng.Uniform(-1, 1)},
+                        rng.Uniform(0, 3.1))));
+    piece.ApplyTransform(Transform::Translate({rng.Uniform(-0.7, 0.7),
+                                               rng.Uniform(-0.7, 0.7),
+                                               rng.Uniform(-0.7, 0.7)}));
+    parts.push_back(std::move(piece));
+  }
+  return parts;
+}
+
+}  // namespace vsim::parts

@@ -1,0 +1,53 @@
+// Parametric CAD part generators. Each generator produces one part
+// family with randomized proportions, mirroring the object classes the
+// paper reports in its two industrial data sets (tires, doors, fenders,
+// engine blocks, seat envelopes; nuts, bolts, wings, ...). Composite
+// parts are returned as several closed meshes so the voxelizer can
+// union them (see VoxelizeParts).
+#ifndef VSIM_DATA_PARTS_H_
+#define VSIM_DATA_PARTS_H_
+
+#include <vector>
+
+#include "vsim/common/rng.h"
+#include "vsim/geometry/mesh.h"
+
+namespace vsim::parts {
+
+using MeshParts = std::vector<TriangleMesh>;
+
+// --- Car-like part families ------------------------------------------
+MeshParts MakeTire(Rng& rng);          // fat torus
+MeshParts MakeWheelRim(Rng& rng);      // hub disk + outer band + spokes
+MeshParts MakeDoorPanel(Rng& rng);     // curved panel + window band
+MeshParts MakeFender(Rng& rng);        // quarter-arch swept panel
+MeshParts MakeEngineBlock(Rng& rng);   // box + cylinder bores on top
+MeshParts MakeSeatEnvelope(Rng& rng);  // L-shaped swept volume
+MeshParts MakeExhaustPipe(Rng& rng);   // long tube + muffler body
+MeshParts MakeBrakeDisk(Rng& rng);     // thin annulus with wide hole
+MeshParts MakeGearWheel(Rng& rng);     // disk with teeth blocks
+MeshParts MakeKnob(Rng& rng);          // lathe profile (shift knob)
+
+// --- Aircraft-like part families ---------------------------------------
+MeshParts MakeBolt(Rng& rng);            // hex head + shaft
+MeshParts MakeNut(Rng& rng);             // hex ring
+MeshParts MakeWasher(Rng& rng);          // thin annulus
+MeshParts MakeRivet(Rng& rng);           // dome head + shaft
+MeshParts MakeBracket(Rng& rng);         // L of two plates
+MeshParts MakeHinge(Rng& rng);           // plate + barrel cylinder
+MeshParts MakeStringer(Rng& rng);        // long slender box
+MeshParts MakeSpar(Rng& rng);            // I-beam of three boxes
+MeshParts MakeSkinPanel(Rng& rng);       // thin, slightly curved sheet
+MeshParts MakeWingSection(Rng& rng);     // tapered swept airfoil slab
+MeshParts MakeFuselageRing(Rng& rng);    // large short tube
+MeshParts MakeTurbineDisk(Rng& rng);     // hub + blade blocks
+
+// One-off miscellaneous part: a random composite of 2-5 primitives.
+// Real CAD databases contain many unique parts that belong to no
+// family; they fill the space between clusters and separate robust
+// similarity models from brittle ones.
+MeshParts MakeMiscPart(Rng& rng);
+
+}  // namespace vsim::parts
+
+#endif  // VSIM_DATA_PARTS_H_

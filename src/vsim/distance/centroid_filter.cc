@@ -1,0 +1,33 @@
+#include "vsim/distance/centroid_filter.h"
+
+#include <cassert>
+
+#include "vsim/distance/lp.h"
+
+namespace vsim {
+
+FeatureVector ExtendedCentroid(const VectorSet& set, int k,
+                               const FeatureVector& omega) {
+  assert(static_cast<int>(set.size()) <= k);
+  assert(!set.empty() || !omega.empty());
+  const size_t dim = set.empty() ? omega.size() : set.dim();
+  FeatureVector centroid(dim, 0.0);
+  for (const FeatureVector& x : set.vectors) {
+    assert(x.size() == dim);
+    for (size_t c = 0; c < dim; ++c) centroid[c] += x[c];
+  }
+  const double missing = static_cast<double>(k) - static_cast<double>(set.size());
+  if (!omega.empty() && missing > 0) {
+    assert(omega.size() == dim);
+    for (size_t c = 0; c < dim; ++c) centroid[c] += missing * omega[c];
+  }
+  for (double& c : centroid) c /= static_cast<double>(k);
+  return centroid;
+}
+
+double CentroidFilterDistance(const FeatureVector& centroid_a,
+                              const FeatureVector& centroid_b, int k) {
+  return static_cast<double>(k) * EuclideanDistance(centroid_a, centroid_b);
+}
+
+}  // namespace vsim

@@ -1,0 +1,30 @@
+// Extended centroids and the lower-bounding filter distance of Section
+// 4.3 (Definitions 7/8, Lemma 2): for vector sets X, Y with maximum
+// cardinality k and reference point omega,
+//
+//   k * || C_{k,omega}(X) - C_{k,omega}(Y) ||_2
+//     <=  dist_mm^{Eucl, w_omega}(X, Y),
+//
+// so the d-dimensional centroids can be indexed with any spatial index
+// and used as a filter step for range and k-NN queries on the exact
+// minimal matching distance.
+#ifndef VSIM_DISTANCE_CENTROID_FILTER_H_
+#define VSIM_DISTANCE_CENTROID_FILTER_H_
+
+#include "vsim/features/feature_vector.h"
+
+namespace vsim {
+
+// C_{k,omega}(X) = (sum_i x_i + (k - |X|) * omega) / k. An empty
+// `omega` means the origin. |X| must be <= k.
+FeatureVector ExtendedCentroid(const VectorSet& set, int k,
+                               const FeatureVector& omega = {});
+
+// The filter (lower-bound) distance: k * ||ca - cb||_2 where ca, cb are
+// extended centroids computed with the same k and omega.
+double CentroidFilterDistance(const FeatureVector& centroid_a,
+                              const FeatureVector& centroid_b, int k);
+
+}  // namespace vsim
+
+#endif  // VSIM_DISTANCE_CENTROID_FILTER_H_

@@ -1,0 +1,75 @@
+#include "vsim/distance/hungarian.h"
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+namespace vsim {
+
+AssignmentResult SolveAssignment(const std::vector<double>& cost, int rows,
+                                 int cols) {
+  assert(rows <= cols);
+  assert(static_cast<size_t>(rows) * cols == cost.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // 1-based arrays per the classic formulation; column 0 is a sentinel.
+  std::vector<double> u(rows + 1, 0.0);   // row potentials
+  std::vector<double> v(cols + 1, 0.0);   // column potentials
+  std::vector<int> row_of(cols + 1, 0);   // row matched to each column
+  std::vector<int> way(cols + 1, 0);      // predecessor column on path
+
+  for (int i = 1; i <= rows; ++i) {
+    // Find an augmenting path for row i (Dijkstra over reduced costs).
+    row_of[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(cols + 1, kInf);
+    std::vector<char> used(cols + 1, 0);
+    do {
+      used[j0] = 1;
+      const int i0 = row_of[j0];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= cols; ++j) {
+        if (used[j]) continue;
+        const double cur =
+            cost[static_cast<size_t>(i0 - 1) * cols + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= cols; ++j) {
+        if (used[j]) {
+          u[row_of[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (row_of[j0] != 0);
+    // Unwind the augmenting path.
+    do {
+      const int j1 = way[j0];
+      row_of[j0] = row_of[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.column_of.assign(rows, -1);
+  for (int j = 1; j <= cols; ++j) {
+    if (row_of[j] > 0) result.column_of[row_of[j] - 1] = j - 1;
+  }
+  for (int i = 0; i < rows; ++i) {
+    assert(result.column_of[i] >= 0);
+    result.total_cost += cost[static_cast<size_t>(i) * cols + result.column_of[i]];
+  }
+  return result;
+}
+
+}  // namespace vsim

@@ -1,0 +1,27 @@
+// Kuhn-Munkres / Hungarian algorithm for the linear assignment problem,
+// the O(k^3) machinery behind the minimal matching distance (Section
+// 4.2). Implemented as shortest augmenting paths with dual potentials
+// (Jonker-Volgenant formulation), supporting rectangular cost matrices
+// with rows <= columns (every row is assigned to a distinct column).
+#ifndef VSIM_DISTANCE_HUNGARIAN_H_
+#define VSIM_DISTANCE_HUNGARIAN_H_
+
+#include <vector>
+
+namespace vsim {
+
+struct AssignmentResult {
+  // column_of[i] = column assigned to row i.
+  std::vector<int> column_of;
+  double total_cost = 0.0;
+};
+
+// Solves min sum_i cost[i][column_of[i]] over injective assignments of
+// all rows to columns. `cost` is row-major with `rows` x `cols`,
+// rows <= cols. Costs may be any finite doubles.
+AssignmentResult SolveAssignment(const std::vector<double>& cost, int rows,
+                                 int cols);
+
+}  // namespace vsim
+
+#endif  // VSIM_DISTANCE_HUNGARIAN_H_

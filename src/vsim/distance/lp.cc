@@ -1,0 +1,60 @@
+#include "vsim/distance/lp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vsim {
+
+double SquaredEuclideanDistance(const FeatureVector& a,
+                                const FeatureVector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double EuclideanDistance(const FeatureVector& a, const FeatureVector& b) {
+  return std::sqrt(SquaredEuclideanDistance(a, b));
+}
+
+double ManhattanDistance(const FeatureVector& a, const FeatureVector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+double ChebyshevDistance(const FeatureVector& a, const FeatureVector& b) {
+  assert(a.size() == b.size());
+  double mx = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mx = std::fmax(mx, std::fabs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+double MinkowskiDistance(const FeatureVector& a, const FeatureVector& b,
+                         double p) {
+  assert(a.size() == b.size());
+  assert(p >= 1.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::pow(std::fabs(a[i] - b[i]), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+double SquaredEuclideanNorm(const FeatureVector& a) {
+  double sum = 0.0;
+  for (double v : a) sum += v * v;
+  return sum;
+}
+
+double EuclideanNorm(const FeatureVector& a) {
+  return std::sqrt(SquaredEuclideanNorm(a));
+}
+
+}  // namespace vsim

@@ -1,0 +1,31 @@
+// L_p distances on feature vectors (Definition 1 uses Euclidean).
+#ifndef VSIM_DISTANCE_LP_H_
+#define VSIM_DISTANCE_LP_H_
+
+#include "vsim/features/feature_vector.h"
+
+namespace vsim {
+
+// ||a - b||_2^2. Operands must have equal dimension.
+double SquaredEuclideanDistance(const FeatureVector& a, const FeatureVector& b);
+
+// ||a - b||_2.
+double EuclideanDistance(const FeatureVector& a, const FeatureVector& b);
+
+// ||a - b||_1.
+double ManhattanDistance(const FeatureVector& a, const FeatureVector& b);
+
+// ||a - b||_inf.
+double ChebyshevDistance(const FeatureVector& a, const FeatureVector& b);
+
+// General Minkowski distance, p >= 1.
+double MinkowskiDistance(const FeatureVector& a, const FeatureVector& b,
+                         double p);
+
+// ||a||_2 and ||a||_2^2 (used as matching weight functions with omega=0).
+double EuclideanNorm(const FeatureVector& a);
+double SquaredEuclideanNorm(const FeatureVector& a);
+
+}  // namespace vsim
+
+#endif  // VSIM_DISTANCE_LP_H_

@@ -1,0 +1,78 @@
+#include "vsim/distance/min_cost_flow.h"
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+#include <utility>
+
+namespace vsim {
+
+MinCostFlow::MinCostFlow(int num_nodes)
+    : num_nodes_(num_nodes), graph_(num_nodes) {}
+
+int MinCostFlow::AddEdge(int from, int to, int64_t capacity, double cost) {
+  assert(from >= 0 && from < num_nodes_ && to >= 0 && to < num_nodes_);
+  graph_[from].push_back(
+      {to, capacity, cost, static_cast<int>(graph_[to].size())});
+  graph_[to].push_back(
+      {from, 0, -cost, static_cast<int>(graph_[from].size()) - 1});
+  edge_refs_.emplace_back(from, static_cast<int>(graph_[from].size()) - 1);
+  return static_cast<int>(edge_refs_.size()) - 1;
+}
+
+MinCostFlow::Result MinCostFlow::Solve(int source, int sink,
+                                       int64_t max_flow) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Result result;
+  while (result.flow < max_flow) {
+    // Bellman-Ford shortest path by cost (handles the negative reduced
+    // costs introduced by residual edges without potentials; graphs are
+    // tiny so O(V*E) per augmentation is fine).
+    std::vector<double> dist(num_nodes_, kInf);
+    std::vector<int> prev_node(num_nodes_, -1);
+    std::vector<int> prev_edge(num_nodes_, -1);
+    dist[source] = 0.0;
+    bool changed = true;
+    for (int iter = 0; iter < num_nodes_ && changed; ++iter) {
+      changed = false;
+      for (int u = 0; u < num_nodes_; ++u) {
+        if (dist[u] == kInf) continue;
+        for (size_t e = 0; e < graph_[u].size(); ++e) {
+          const Edge& edge = graph_[u][e];
+          if (edge.capacity <= 0) continue;
+          const double nd = dist[u] + edge.cost;
+          if (nd < dist[edge.to] - 1e-15) {
+            dist[edge.to] = nd;
+            prev_node[edge.to] = u;
+            prev_edge[edge.to] = static_cast<int>(e);
+            changed = true;
+          }
+        }
+      }
+    }
+    if (dist[sink] == kInf) break;  // no augmenting path left
+
+    // Bottleneck along the path.
+    int64_t push = max_flow - result.flow;
+    for (int v = sink; v != source; v = prev_node[v]) {
+      push = std::min(push, graph_[prev_node[v]][prev_edge[v]].capacity);
+    }
+    for (int v = sink; v != source; v = prev_node[v]) {
+      Edge& edge = graph_[prev_node[v]][prev_edge[v]];
+      edge.capacity -= push;
+      graph_[edge.to][edge.rev].capacity += push;
+    }
+    result.flow += push;
+    result.cost += static_cast<double>(push) * dist[sink];
+  }
+  return result;
+}
+
+int64_t MinCostFlow::Flow(int id) const {
+  const auto [node, offset] = edge_refs_[id];
+  const Edge& edge = graph_[node][offset];
+  // Flow on a forward edge equals the residual capacity of its reverse.
+  return graph_[edge.to][edge.rev].capacity;
+}
+
+}  // namespace vsim

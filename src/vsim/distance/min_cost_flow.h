@@ -1,0 +1,48 @@
+// Small min-cost max-flow solver (successive shortest augmenting paths
+// with Bellman-Ford potentials). Graphs in this library are tiny
+// (vector sets have cardinality <= ~10), so simplicity beats asymptotic
+// sophistication. Used by the surjection / fair-surjection / link /
+// netflow set distances.
+#ifndef VSIM_DISTANCE_MIN_COST_FLOW_H_
+#define VSIM_DISTANCE_MIN_COST_FLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vsim {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes);
+
+  // Adds a directed edge with the given capacity and per-unit cost.
+  // Returns the edge id (usable with Flow()).
+  int AddEdge(int from, int to, int64_t capacity, double cost);
+
+  // Sends up to `max_flow` units from source to sink along successively
+  // cheapest paths. Returns {flow_sent, total_cost}.
+  struct Result {
+    int64_t flow = 0;
+    double cost = 0.0;
+  };
+  Result Solve(int source, int sink, int64_t max_flow);
+
+  // Flow currently on edge `id` (after Solve).
+  int64_t Flow(int id) const;
+
+ private:
+  struct Edge {
+    int to;
+    int64_t capacity;
+    double cost;
+    int rev;  // index of the reverse edge in graph_[to]
+  };
+
+  int num_nodes_;
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<int, int>> edge_refs_;  // id -> (node, offset)
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_DISTANCE_MIN_COST_FLOW_H_

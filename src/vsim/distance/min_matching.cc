@@ -1,0 +1,146 @@
+#include "vsim/distance/min_matching.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "vsim/distance/hungarian.h"
+#include "vsim/distance/min_cost_flow.h"
+#include "vsim/distance/lp.h"
+
+namespace vsim {
+
+namespace {
+
+double Ground(GroundDistance g, const FeatureVector& a,
+              const FeatureVector& b) {
+  switch (g) {
+    case GroundDistance::kEuclidean:
+      return EuclideanDistance(a, b);
+    case GroundDistance::kSquaredEuclidean:
+      return SquaredEuclideanDistance(a, b);
+    case GroundDistance::kManhattan:
+      return ManhattanDistance(a, b);
+  }
+  return 0.0;
+}
+
+double Weight(GroundDistance g, const FeatureVector& x,
+              const FeatureVector& omega) {
+  if (omega.empty()) {
+    switch (g) {
+      case GroundDistance::kEuclidean:
+        return EuclideanNorm(x);
+      case GroundDistance::kSquaredEuclidean:
+        return SquaredEuclideanNorm(x);
+      case GroundDistance::kManhattan: {
+        double s = 0.0;
+        for (double v : x) s += std::fabs(v);
+        return s;
+      }
+    }
+  }
+  return Ground(g, x, omega);
+}
+
+}  // namespace
+
+MatchingDistanceResult MinimalMatchingDistanceDetailed(
+    const VectorSet& a, const VectorSet& b, const MinMatchingOptions& opt) {
+  MatchingDistanceResult result;
+  result.first_is_larger = a.size() >= b.size();
+  const VectorSet& large = result.first_is_larger ? a : b;
+  const VectorSet& small = result.first_is_larger ? b : a;
+  const int m = static_cast<int>(large.size());
+  const int n = static_cast<int>(small.size());
+
+  if (m == 0) {
+    // Both sets empty.
+    return result;
+  }
+  assert(large.dim() == small.dim() || n == 0);
+
+  // Identity pairing cost (element i with element i, surplus unmatched).
+  for (int i = 0; i < m; ++i) {
+    result.identity_cost +=
+        i < n ? Ground(opt.ground, large.vectors[i], small.vectors[i])
+              : Weight(opt.ground, large.vectors[i], opt.omega);
+  }
+
+  if (n == 0) {
+    // All elements unmatched: distance is the sum of weights.
+    double total = 0.0;
+    for (int i = 0; i < m; ++i) {
+      total += Weight(opt.ground, large.vectors[i], opt.omega);
+    }
+    result.assignment.assign(m, -1);
+    result.distance = opt.sqrt_of_total ? std::sqrt(total) : total;
+    result.identity_cost =
+        opt.sqrt_of_total ? std::sqrt(result.identity_cost) : result.identity_cost;
+    return result;
+  }
+
+  // Square m x m cost matrix: columns [0, n) are the elements of the
+  // smaller set; columns [n, m) are "unmatched" slots charging w(x).
+  std::vector<double> cost(static_cast<size_t>(m) * m);
+  for (int i = 0; i < m; ++i) {
+    const double w = Weight(opt.ground, large.vectors[i], opt.omega);
+    for (int j = 0; j < m; ++j) {
+      cost[static_cast<size_t>(i) * m + j] =
+          j < n ? Ground(opt.ground, large.vectors[i], small.vectors[j]) : w;
+    }
+  }
+  const AssignmentResult assignment = SolveAssignment(cost, m, m);
+
+  result.assignment.resize(m);
+  for (int i = 0; i < m; ++i) {
+    result.assignment[i] = assignment.column_of[i] < n
+                               ? assignment.column_of[i]
+                               : -1;
+  }
+  const double total = assignment.total_cost;
+  result.permutation_used =
+      total < result.identity_cost - 1e-12 * (1.0 + result.identity_cost);
+  result.distance = opt.sqrt_of_total ? std::sqrt(total) : total;
+  if (opt.sqrt_of_total) {
+    result.identity_cost = std::sqrt(result.identity_cost);
+  }
+  return result;
+}
+
+double MinimalMatchingDistance(const VectorSet& a, const VectorSet& b,
+                               const MinMatchingOptions& opt) {
+  return MinimalMatchingDistanceDetailed(a, b, opt).distance;
+}
+
+double VectorSetDistance(const VectorSet& a, const VectorSet& b) {
+  return MinimalMatchingDistance(a, b, MinMatchingOptions{});
+}
+
+StatusOr<double> PartialMatchingDistance(const VectorSet& a,
+                                         const VectorSet& b, int pairs) {
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  if (pairs < 1 || pairs > std::min(m, n)) {
+    return Status::InvalidArgument(
+        "pairs must be in [1, min(|a|, |b|)] for partial matching");
+  }
+  // Min-cost flow of exactly `pairs` units through the bipartite graph.
+  MinCostFlow flow(m + n + 2);
+  const int source = 0, sink = m + n + 1;
+  for (int i = 0; i < m; ++i) flow.AddEdge(source, 1 + i, 1, 0.0);
+  for (int j = 0; j < n; ++j) flow.AddEdge(m + 1 + j, sink, 1, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      flow.AddEdge(1 + i, m + 1 + j, 1,
+                   EuclideanDistance(a.vectors[i], b.vectors[j]));
+    }
+  }
+  const MinCostFlow::Result result = flow.Solve(source, sink, pairs);
+  if (result.flow != pairs) {
+    return Status::Internal("partial matching flow did not saturate");
+  }
+  return result.cost;
+}
+
+}  // namespace vsim

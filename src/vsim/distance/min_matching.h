@@ -1,0 +1,81 @@
+// Minimal matching distance on vector sets (Definition 6): the cost of
+// a minimum-weight perfect matching between two vector sets, where
+// unmatched elements of the larger set pay a weight w(x). With w(x) =
+// ||x - omega|| and a metric ground distance this is a metric (Lemma 1,
+// via the netflow distance of Ramon & Bruynooghe).
+#ifndef VSIM_DISTANCE_MIN_MATCHING_H_
+#define VSIM_DISTANCE_MIN_MATCHING_H_
+
+#include <vector>
+
+#include "vsim/common/status.h"
+#include "vsim/features/feature_vector.h"
+
+namespace vsim {
+
+enum class GroundDistance {
+  kEuclidean,         // the vector set model's choice
+  kSquaredEuclidean,  // reduction for the min. Euclidean distance under
+                      // permutation (Section 4.2)
+  kManhattan,
+};
+
+struct MinMatchingOptions {
+  GroundDistance ground = GroundDistance::kEuclidean;
+
+  // Reference point omega of the weight function w(x) = dist(x, omega).
+  // Empty means the origin -- the paper's choice: covers never have zero
+  // extent, so w(x) > 0 holds and the distance stays a metric.
+  FeatureVector omega;
+
+  // Take the square root of the total (used with kSquaredEuclidean to
+  // recover the minimum Euclidean distance under permutation and keep
+  // the metric character, Section 4.2).
+  bool sqrt_of_total = false;
+};
+
+struct MatchingDistanceResult {
+  double distance = 0.0;
+
+  // For each element of the *larger* input set (a if |a| >= |b|, else
+  // b): index of its partner in the smaller set, or -1 if unmatched.
+  std::vector<int> assignment;
+
+  // True if the first input was the larger (or equal-sized) set, i.e.
+  // `assignment` indexes a -> b.
+  bool first_is_larger = true;
+
+  // Cost of the order-preserving pairing (element i with element i,
+  // surplus unmatched) -- what the one-vector cover sequence model
+  // implicitly uses.
+  double identity_cost = 0.0;
+
+  // True if the optimal matching is strictly cheaper than the identity
+  // pairing, i.e. at least one "proper permutation" was necessary
+  // (the statistic of the paper's Table 1).
+  bool permutation_used = false;
+};
+
+// Full result with the optimal assignment.
+MatchingDistanceResult MinimalMatchingDistanceDetailed(
+    const VectorSet& a, const VectorSet& b, const MinMatchingOptions& opt);
+
+// Distance only.
+double MinimalMatchingDistance(const VectorSet& a, const VectorSet& b,
+                               const MinMatchingOptions& opt);
+
+// The vector set model's distance: Euclidean ground distance, weight
+// w(x) = ||x||, no square root. A metric.
+double VectorSetDistance(const VectorSet& a, const VectorSet& b);
+
+// Partial similarity (Section 4.1): the cost of the cheapest matching
+// of exactly `pairs` vector pairs between the two sets, ignoring all
+// remaining vectors (no unmatched penalty). `pairs` must be at least 1
+// and at most min(|a|, |b|). Useful when only a sub-shape needs to
+// match, e.g. a part that contains another part.
+StatusOr<double> PartialMatchingDistance(const VectorSet& a,
+                                         const VectorSet& b, int pairs);
+
+}  // namespace vsim
+
+#endif  // VSIM_DISTANCE_MIN_MATCHING_H_

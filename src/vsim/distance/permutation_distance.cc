@@ -1,0 +1,57 @@
+#include "vsim/distance/permutation_distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "vsim/distance/min_matching.h"
+
+namespace vsim {
+
+StatusOr<double> MinEuclideanUnderPermutationBruteForce(
+    const FeatureVector& a, const FeatureVector& b, int block_dim) {
+  if (block_dim < 1) {
+    return Status::InvalidArgument("block_dim must be >= 1");
+  }
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("vectors differ in dimension");
+  }
+  if (a.size() % block_dim != 0) {
+    return Status::InvalidArgument("dimension " + std::to_string(a.size()) +
+                                   " is not a multiple of block_dim " +
+                                   std::to_string(block_dim));
+  }
+  const int k = static_cast<int>(a.size()) / block_dim;
+  if (k > 10) {
+    return Status::InvalidArgument(
+        "brute force over k! permutations limited to k <= 10");
+  }
+  std::vector<int> perm(k);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double sum = 0.0;
+    for (int blk = 0; blk < k; ++blk) {
+      const int pa = blk * block_dim;
+      const int pb = perm[blk] * block_dim;
+      for (int c = 0; c < block_dim; ++c) {
+        const double d = a[pa + c] - b[pb + c];
+        sum += d * d;
+      }
+    }
+    best = std::min(best, sum);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return std::sqrt(best);
+}
+
+double MinEuclideanUnderPermutation(const VectorSet& a, const VectorSet& b) {
+  MinMatchingOptions opt;
+  opt.ground = GroundDistance::kSquaredEuclidean;
+  opt.sqrt_of_total = true;
+  return MinimalMatchingDistance(a, b, opt);
+}
+
+}  // namespace vsim

@@ -1,0 +1,31 @@
+// The minimum Euclidean distance under permutation (Definitions 3/4):
+// the distance between two k*d-dimensional cover-sequence vectors
+// minimized over all permutations of the d-dimensional sub-vectors.
+//
+// Two implementations: brute force over all k! permutations (the
+// paper's strawman; exponential, used here as a test oracle) and the
+// O(k^3) reduction to the minimal matching distance with squared
+// Euclidean ground distance and squared-norm weights (Section 4.2).
+#ifndef VSIM_DISTANCE_PERMUTATION_DISTANCE_H_
+#define VSIM_DISTANCE_PERMUTATION_DISTANCE_H_
+
+#include "vsim/common/status.h"
+#include "vsim/features/feature_vector.h"
+
+namespace vsim {
+
+// Brute force: permutes the k blocks of d components of `b` and returns
+// the minimum Euclidean distance to `a`. Both vectors must have k*d
+// components. Cost O(k! * k * d); keep k small.
+StatusOr<double> MinEuclideanUnderPermutationBruteForce(
+    const FeatureVector& a, const FeatureVector& b, int block_dim);
+
+// Reduction (Section 4.2): minimal matching distance with squared
+// Euclidean ground distance, squared-norm weights, square root of the
+// total. Sets with fewer than k vectors behave as if padded with zero
+// dummy covers, exactly like the one-vector representation.
+double MinEuclideanUnderPermutation(const VectorSet& a, const VectorSet& b);
+
+}  // namespace vsim
+
+#endif  // VSIM_DISTANCE_PERMUTATION_DISTANCE_H_

@@ -1,0 +1,206 @@
+#include "vsim/distance/set_distances.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "vsim/distance/hungarian.h"
+#include "vsim/distance/lp.h"
+#include "vsim/distance/min_cost_flow.h"
+
+namespace vsim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Pairwise Euclidean distance matrix, row-major |a| x |b|.
+std::vector<double> DistanceMatrix(const VectorSet& a, const VectorSet& b) {
+  std::vector<double> d(a.size() * b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      d[i * b.size() + j] = EuclideanDistance(a.vectors[i], b.vectors[j]);
+    }
+  }
+  return d;
+}
+
+double DirectedMinSum(const std::vector<double>& d, size_t rows, size_t cols,
+                      bool over_rows, bool take_max) {
+  // over_rows: aggregate min over columns for each row; else transpose.
+  double agg = 0.0;
+  const size_t outer = over_rows ? rows : cols;
+  const size_t inner = over_rows ? cols : rows;
+  for (size_t i = 0; i < outer; ++i) {
+    double mn = kInf;
+    for (size_t j = 0; j < inner; ++j) {
+      const double v = over_rows ? d[i * cols + j] : d[j * cols + i];
+      mn = std::min(mn, v);
+    }
+    agg = take_max ? std::max(agg, mn) : agg + mn;
+  }
+  return agg;
+}
+
+Status CheckNonEmpty(const VectorSet& a, const VectorSet& b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument(
+        "set distance undefined for empty vector sets");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double HausdorffDistance(const VectorSet& a, const VectorSet& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return kInf;
+  const std::vector<double> d = DistanceMatrix(a, b);
+  return std::max(DirectedMinSum(d, a.size(), b.size(), true, true),
+                  DirectedMinSum(d, a.size(), b.size(), false, true));
+}
+
+double SumOfMinimumDistances(const VectorSet& a, const VectorSet& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return kInf;
+  const std::vector<double> d = DistanceMatrix(a, b);
+  return DirectedMinSum(d, a.size(), b.size(), true, false) +
+         DirectedMinSum(d, a.size(), b.size(), false, false);
+}
+
+StatusOr<double> SurjectionDistance(const VectorSet& a, const VectorSet& b) {
+  VSIM_RETURN_NOT_OK(CheckNonEmpty(a, b));
+  const VectorSet& large = a.size() >= b.size() ? a : b;
+  const VectorSet& small = a.size() >= b.size() ? b : a;
+  const int m = static_cast<int>(large.size());
+  const int n = static_cast<int>(small.size());
+  // Nodes: 0 = source, 1..m = large elements, m+1..m+n = small elements,
+  // m+n+1 = overflow hub, m+n+2 = sink. Every small element must receive
+  // at least one unit (its cap-1 edge straight to the sink); the
+  // remaining m-n units must pass through the shared hub (total cap
+  // m-n), so saturating m units of flow forces every mandatory edge to
+  // carry its unit -- the lower bound holds by capacity arithmetic.
+  MinCostFlow flow(m + n + 3);
+  const int source = 0, hub = m + n + 1, sink = m + n + 2;
+  for (int i = 0; i < m; ++i) flow.AddEdge(source, 1 + i, 1, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      flow.AddEdge(1 + i, m + 1 + j,
+                   1, EuclideanDistance(large.vectors[i], small.vectors[j]));
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    flow.AddEdge(m + 1 + j, sink, 1, 0.0);        // mandatory unit
+    if (m > n) flow.AddEdge(m + 1 + j, hub, m - n, 0.0);
+  }
+  if (m > n) flow.AddEdge(hub, sink, m - n, 0.0);
+  const MinCostFlow::Result result = flow.Solve(source, sink, m);
+  if (result.flow != m) {
+    return Status::Internal("surjection flow did not saturate");
+  }
+  return result.cost;
+}
+
+StatusOr<double> FairSurjectionDistance(const VectorSet& a,
+                                        const VectorSet& b) {
+  VSIM_RETURN_NOT_OK(CheckNonEmpty(a, b));
+  const VectorSet& large = a.size() >= b.size() ? a : b;
+  const VectorSet& small = a.size() >= b.size() ? b : a;
+  const int m = static_cast<int>(large.size());
+  const int n = static_cast<int>(small.size());
+  const int base = m / n;       // every small element gets >= base
+  const int extras = m % n;     // `extras` of them get base + 1
+  MinCostFlow flow(m + n + 3);
+  const int source = 0, sink = m + n + 1, extra_hub = m + n + 2;
+  for (int i = 0; i < m; ++i) flow.AddEdge(source, 1 + i, 1, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      flow.AddEdge(1 + i, m + 1 + j, 1,
+                   EuclideanDistance(large.vectors[i], small.vectors[j]));
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    flow.AddEdge(m + 1 + j, sink, base, 0.0);       // mandatory quota
+    flow.AddEdge(m + 1 + j, extra_hub, 1, 0.0);     // at most one extra
+  }
+  flow.AddEdge(extra_hub, sink, extras, 0.0);       // only `extras` in total
+  const MinCostFlow::Result result = flow.Solve(source, sink, m);
+  if (result.flow != m) {
+    return Status::Internal("fair surjection flow did not saturate");
+  }
+  return result.cost;
+}
+
+StatusOr<double> LinkDistance(const VectorSet& a, const VectorSet& b) {
+  VSIM_RETURN_NOT_OK(CheckNonEmpty(a, b));
+  const size_t m = a.size(), n = b.size();
+  const std::vector<double> d = DistanceMatrix(a, b);
+  // Minimum-weight edge cover: an optimal cover is a matching M plus,
+  // for every unmatched element, its cheapest incident edge. Hence
+  //   cost = sum_v cheapest(v) + min over matchings of
+  //          sum_{(x,y) in M} (d(x,y) - cheapest(x) - cheapest(y)),
+  // where only pairs with negative reduced cost are worth matching.
+  std::vector<double> cheap_row(m, kInf), cheap_col(n, kInf);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      cheap_row[i] = std::min(cheap_row[i], d[i * n + j]);
+      cheap_col[j] = std::min(cheap_col[j], d[i * n + j]);
+    }
+  }
+  double base = 0.0;
+  for (double v : cheap_row) base += v;
+  for (double v : cheap_col) base += v;
+  // Assignment with per-row opt-out: columns [0, n) carry the reduced
+  // costs (clamped at 0: never take a non-beneficial pair), columns
+  // [n, n+m) are zero-cost "skip" slots.
+  std::vector<double> cost(m * (n + m), 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double reduced = d[i * n + j] - cheap_row[i] - cheap_col[j];
+      cost[i * (n + m) + j] = std::min(reduced, 0.0);
+    }
+  }
+  const AssignmentResult assignment =
+      SolveAssignment(cost, static_cast<int>(m), static_cast<int>(n + m));
+  return base + assignment.total_cost;
+}
+
+StatusOr<double> NetflowDistance(const VectorSet& a, const VectorSet& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  // Nodes: 0 = source, 1..m = a, m+1..m+n = b, m+n+1 = omega (origin),
+  // m+n+2 = sink. Each a-element supplies one unit, each b-element
+  // demands one unit; surplus/deficit is absorbed/created at omega for
+  // w(x) = ||x||.
+  MinCostFlow flow(m + n + 3);
+  const int source = 0, omega = m + n + 1, sink = m + n + 2;
+  for (int i = 0; i < m; ++i) {
+    flow.AddEdge(source, 1 + i, 1, 0.0);
+    flow.AddEdge(1 + i, omega, 1, EuclideanNorm(a.vectors[i]));
+  }
+  for (int j = 0; j < n; ++j) {
+    flow.AddEdge(m + 1 + j, sink, 1, 0.0);
+    flow.AddEdge(omega, m + 1 + j, 1, EuclideanNorm(b.vectors[j]));
+  }
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      flow.AddEdge(1 + i, m + 1 + j, 1,
+                   EuclideanDistance(a.vectors[i], b.vectors[j]));
+    }
+  }
+  // Route max(m, n) units: omega absorbs or creates the imbalance. The
+  // omega node needs throughput when m != n; give the source/sink side
+  // enough capacity via direct edges.
+  if (m < n) flow.AddEdge(source, omega, n - m, 0.0);
+  const int total = std::max(m, n);
+  if (m > n) flow.AddEdge(omega, sink, m - n, 0.0);
+  const MinCostFlow::Result result = flow.Solve(source, sink, total);
+  if (result.flow != total) {
+    return Status::Internal("netflow did not saturate");
+  }
+  return result.cost;
+}
+
+}  // namespace vsim

@@ -1,0 +1,49 @@
+// Alternative distance measures on vector sets, surveyed by Eiter &
+// Mannila and discussed in Section 4.2 of the paper: the Hausdorff
+// distance, the sum of minimum distances, the (fair-)surjection
+// distance and the link distance -- plus the netflow distance of Ramon
+// & Bruynooghe, of which the minimal matching distance is a
+// specialization. The paper argues minimal matching is the best fit for
+// cover sets; these implementations back that comparison (ablation
+// bench C).
+#ifndef VSIM_DISTANCE_SET_DISTANCES_H_
+#define VSIM_DISTANCE_SET_DISTANCES_H_
+
+#include "vsim/common/status.h"
+#include "vsim/features/feature_vector.h"
+
+namespace vsim {
+
+// max(max_x min_y d(x,y), max_y min_x d(x,y)). A metric, but dominated
+// by extreme elements.
+double HausdorffDistance(const VectorSet& a, const VectorSet& b);
+
+// sum_x min_y d(x,y) + sum_y min_x d(x,y). Not a metric (triangle
+// inequality fails), but robust.
+double SumOfMinimumDistances(const VectorSet& a, const VectorSet& b);
+
+// Minimum total cost of a surjection from the larger set onto the
+// smaller set (every element of the smaller set receives at least one
+// partner; every element of the larger set is mapped exactly once).
+StatusOr<double> SurjectionDistance(const VectorSet& a, const VectorSet& b);
+
+// Like SurjectionDistance, but fair: preimage sizes differ by at most
+// one across the smaller set's elements.
+StatusOr<double> FairSurjectionDistance(const VectorSet& a,
+                                        const VectorSet& b);
+
+// Minimum-weight edge cover of the complete bipartite graph: every
+// element of both sets is linked at least once.
+StatusOr<double> LinkDistance(const VectorSet& a, const VectorSet& b);
+
+// Netflow distance (Ramon & Bruynooghe): minimum-cost flow where each
+// element of `a` supplies one unit, each element of `b` demands one
+// unit, transport between elements costs their Euclidean distance, and
+// units may be absorbed/created at a reference point omega (the origin)
+// at cost w(x) = ||x||. A metric; equals the minimal matching distance
+// whenever w(x) + w(y) >= d(x, y) for all elements.
+StatusOr<double> NetflowDistance(const VectorSet& a, const VectorSet& b);
+
+}  // namespace vsim
+
+#endif  // VSIM_DISTANCE_SET_DISTANCES_H_

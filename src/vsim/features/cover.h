@@ -1,0 +1,41 @@
+// A rectangular cover: one unit of the cover sequence S_k (Section
+// 3.3.3). Covers are axis-aligned voxel cuboids combined with set union
+// (sigma = '+') or set difference (sigma = '-').
+#ifndef VSIM_FEATURES_COVER_H_
+#define VSIM_FEATURES_COVER_H_
+
+#include <array>
+#include <cstdint>
+
+#include "vsim/voxel/voxel_grid.h"
+
+namespace vsim {
+
+struct Cover {
+  VoxelCoord lo;        // inclusive lower corner
+  VoxelCoord hi;        // inclusive upper corner
+  bool positive = true;  // true: union (+), false: difference (-)
+
+  int64_t Volume() const {
+    return static_cast<int64_t>(hi.x - lo.x + 1) * (hi.y - lo.y + 1) *
+           (hi.z - lo.z + 1);
+  }
+
+  bool Contains(int x, int y, int z) const {
+    return x >= lo.x && x <= hi.x && y >= lo.y && y <= hi.y && z >= lo.z &&
+           z <= hi.z;
+  }
+
+  bool operator==(const Cover&) const = default;
+};
+
+// Maps a cover to its 6 feature values (x/y/z position, x/y/z extension;
+// Section 3.3.3). Positions are voxel-center offsets from the grid
+// center divided by r, so the zero vector is the paper's dummy cover C_0
+// ("an initial empty cover at the zero point") and the origin is the
+// natural reference point omega for the centroid filter (Section 4.3).
+std::array<double, 6> CoverToFeature(const Cover& cover, int grid_resolution);
+
+}  // namespace vsim
+
+#endif  // VSIM_FEATURES_COVER_H_

@@ -1,0 +1,423 @@
+#include "vsim/features/cover_sequence.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "vsim/common/rng.h"
+
+namespace vsim {
+
+std::array<double, 6> CoverToFeature(const Cover& cover, int r) {
+  const double inv_r = 1.0 / r;
+  auto pos = [&](int lo, int hi) {
+    // Cuboid center in edge coordinates [0, r], offset from grid center.
+    return ((lo + hi + 1) * 0.5 - r * 0.5) * inv_r;
+  };
+  auto ext = [&](int lo, int hi) { return (hi - lo + 1) * inv_r; };
+  return {pos(cover.lo.x, cover.hi.x), pos(cover.lo.y, cover.hi.y),
+          pos(cover.lo.z, cover.hi.z), ext(cover.lo.x, cover.hi.x),
+          ext(cover.lo.y, cover.hi.y), ext(cover.lo.z, cover.hi.z)};
+}
+
+namespace {
+
+// 3-D integral image over an int8 score field; BoxSum is O(1).
+class IntegralImage {
+ public:
+  IntegralImage(const std::vector<int8_t>& score, int r) : r_(r) {
+    const int n = r + 1;
+    sum_.assign(static_cast<size_t>(n) * n * n, 0);
+    for (int z = 0; z < r; ++z) {
+      for (int y = 0; y < r; ++y) {
+        int64_t row = 0;
+        for (int x = 0; x < r; ++x) {
+          row += score[(static_cast<size_t>(z) * r + y) * r + x];
+          At(x + 1, y + 1, z + 1) = row + At(x + 1, y, z + 1) +
+                                    At(x + 1, y + 1, z) - At(x + 1, y, z);
+        }
+      }
+    }
+  }
+
+  // Sum over inclusive voxel range [lo, hi].
+  int64_t BoxSum(VoxelCoord lo, VoxelCoord hi) const {
+    const int x0 = lo.x, y0 = lo.y, z0 = lo.z;
+    const int x1 = hi.x + 1, y1 = hi.y + 1, z1 = hi.z + 1;
+    return Get(x1, y1, z1) - Get(x0, y1, z1) - Get(x1, y0, z1) -
+           Get(x1, y1, z0) + Get(x0, y0, z1) + Get(x0, y1, z0) +
+           Get(x1, y0, z0) - Get(x0, y0, z0);
+  }
+
+ private:
+  int64_t& At(int x, int y, int z) {
+    return sum_[(static_cast<size_t>(z) * (r_ + 1) + y) * (r_ + 1) + x];
+  }
+  int64_t Get(int x, int y, int z) const {
+    return sum_[(static_cast<size_t>(z) * (r_ + 1) + y) * (r_ + 1) + x];
+  }
+
+  int r_;
+  std::vector<int64_t> sum_;
+};
+
+struct Candidate {
+  Cover cover;
+  int64_t gain = 0;
+};
+
+// Hill climbing from a seed cuboid: repeatedly apply the best of the 12
+// face moves (grow/shrink each of 6 faces by one voxel layer) while the
+// gain improves.
+Candidate HillClimb(const IntegralImage& image, int r, Cover seed) {
+  Candidate best{seed, image.BoxSum(seed.lo, seed.hi)};
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    Candidate local = best;
+    auto consider = [&](Cover c) {
+      if (c.lo.x > c.hi.x || c.lo.y > c.hi.y || c.lo.z > c.hi.z) return;
+      if (c.lo.x < 0 || c.lo.y < 0 || c.lo.z < 0 || c.hi.x >= r ||
+          c.hi.y >= r || c.hi.z >= r) {
+        return;
+      }
+      const int64_t g = image.BoxSum(c.lo, c.hi);
+      if (g > local.gain) local = {c, g};
+    };
+    const Cover& b = best.cover;
+    Cover c = b;
+    c.lo.x = b.lo.x - 1; consider(c); c = b;
+    c.lo.x = b.lo.x + 1; consider(c); c = b;
+    c.hi.x = b.hi.x - 1; consider(c); c = b;
+    c.hi.x = b.hi.x + 1; consider(c); c = b;
+    c.lo.y = b.lo.y - 1; consider(c); c = b;
+    c.lo.y = b.lo.y + 1; consider(c); c = b;
+    c.hi.y = b.hi.y - 1; consider(c); c = b;
+    c.hi.y = b.hi.y + 1; consider(c); c = b;
+    c.lo.z = b.lo.z - 1; consider(c); c = b;
+    c.lo.z = b.lo.z + 1; consider(c); c = b;
+    c.hi.z = b.hi.z - 1; consider(c); c = b;
+    c.hi.z = b.hi.z + 1; consider(c);
+    if (local.gain > best.gain) {
+      best = local;
+      improved = true;
+    }
+  }
+  return best;
+}
+
+// Exact arg-max cuboid by enumerating all axis ranges.
+Candidate ExhaustiveBest(const IntegralImage& image, int r) {
+  Candidate best;
+  best.gain = INT64_MIN;
+  for (int z0 = 0; z0 < r; ++z0) {
+    for (int z1 = z0; z1 < r; ++z1) {
+      for (int y0 = 0; y0 < r; ++y0) {
+        for (int y1 = y0; y1 < r; ++y1) {
+          for (int x0 = 0; x0 < r; ++x0) {
+            for (int x1 = x0; x1 < r; ++x1) {
+              const Cover c{{x0, y0, z0}, {x1, y1, z1}, true};
+              const int64_t g = image.BoxSum(c.lo, c.hi);
+              if (g > best.gain) best = {c, g};
+            }
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+// Finds the best cuboid for one sign. `score` maps each voxel to the
+// error delta (+1: flipping it reduces the error; -1: increases it;
+// 0: flipping has no effect because the voxel would not change).
+Candidate BestCuboid(const std::vector<int8_t>& score, int r,
+                     const CoverSequenceOptions& opt, Rng* rng) {
+  IntegralImage image(score, r);
+  if (opt.search == CoverSequenceOptions::Search::kExhaustive) {
+    return ExhaustiveBest(image, r);
+  }
+  // Collect the positions with positive score as hill-climb seeds.
+  std::vector<VoxelCoord> positives;
+  for (int z = 0; z < r; ++z) {
+    for (int y = 0; y < r; ++y) {
+      for (int x = 0; x < r; ++x) {
+        if (score[(static_cast<size_t>(z) * r + y) * r + x] > 0) {
+          positives.push_back({x, y, z});
+        }
+      }
+    }
+  }
+  Candidate best;
+  best.gain = INT64_MIN;
+  if (positives.empty()) {
+    best.cover = Cover{{0, 0, 0}, {0, 0, 0}, true};
+    best.gain = image.BoxSum(best.cover.lo, best.cover.hi);
+    return best;
+  }
+  // Seed 1: tight bounding box of all positive-score voxels.
+  {
+    VoxelCoord lo = positives.front(), hi = positives.front();
+    for (const VoxelCoord& v : positives) {
+      lo.x = std::min(lo.x, v.x);
+      lo.y = std::min(lo.y, v.y);
+      lo.z = std::min(lo.z, v.z);
+      hi.x = std::max(hi.x, v.x);
+      hi.y = std::max(hi.y, v.y);
+      hi.z = std::max(hi.z, v.z);
+    }
+    const Candidate c = HillClimb(image, r, Cover{lo, hi, true});
+    if (c.gain > best.gain) best = c;
+  }
+  // Remaining seeds: single positive voxels sampled at random.
+  const int seeds = std::min<int>(opt.restarts, static_cast<int>(positives.size()));
+  for (int s = 0; s < seeds; ++s) {
+    const VoxelCoord v = positives[rng->NextBounded(positives.size())];
+    const Candidate c = HillClimb(image, r, Cover{v, v, true});
+    if (c.gain > best.gain) best = c;
+  }
+  return best;
+}
+
+// All cuboids' gains enumerated exhaustively, keeping the `count` best
+// (used as the branching candidates of the beam search).
+std::vector<Candidate> TopCandidates(const IntegralImage& image, int r,
+                                     size_t count) {
+  std::vector<Candidate> best;  // sorted descending by gain
+  for (int z0 = 0; z0 < r; ++z0) {
+    for (int z1 = z0; z1 < r; ++z1) {
+      for (int y0 = 0; y0 < r; ++y0) {
+        for (int y1 = y0; y1 < r; ++y1) {
+          for (int x0 = 0; x0 < r; ++x0) {
+            for (int x1 = x0; x1 < r; ++x1) {
+              const Cover c{{x0, y0, z0}, {x1, y1, z1}, true};
+              const int64_t g = image.BoxSum(c.lo, c.hi);
+              if (g <= 0) continue;
+              if (best.size() == count && g <= best.back().gain) continue;
+              // Insert in sorted position.
+              auto it = best.begin();
+              while (it != best.end() && it->gain >= g) ++it;
+              best.insert(it, {c, g});
+              if (best.size() > count) best.pop_back();
+            }
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+void ApplyCover(const Cover& c, VoxelGrid* grid) {
+  for (int z = c.lo.z; z <= c.hi.z; ++z) {
+    for (int y = c.lo.y; y <= c.hi.y; ++y) {
+      for (int x = c.lo.x; x <= c.hi.x; ++x) {
+        grid->Set(x, y, z, c.positive);
+      }
+    }
+  }
+}
+
+std::vector<size_t> ReplayErrorHistory(const VoxelGrid& object,
+                                       const std::vector<Cover>& covers) {
+  VoxelGrid approx(object.nx());
+  std::vector<size_t> history;
+  history.push_back(object.Count());
+  for (const Cover& c : covers) {
+    ApplyCover(c, &approx);
+    history.push_back(object.XorCount(approx));
+  }
+  return history;
+}
+
+// Beam search over sequences of covers: a bounded-width exploration of
+// the branch-and-bound search space. Returns the best sequence found;
+// the caller compares against the exhaustive greedy chain, so the
+// result is never worse than greedy.
+std::vector<Cover> BeamSearch(const VoxelGrid& object,
+                              const CoverSequenceOptions& opt) {
+  struct State {
+    VoxelGrid approx;
+    std::vector<Cover> covers;
+    size_t err;
+  };
+  const int r = object.nx();
+  std::vector<State> beam;
+  beam.push_back({VoxelGrid(r), {}, object.Count()});
+  State best = beam.front();
+
+  std::vector<int8_t> plus_score(object.size());
+  std::vector<int8_t> minus_score(object.size());
+
+  for (int step = 0; step < opt.max_covers; ++step) {
+    std::vector<State> children;
+    for (const State& state : beam) {
+      if (state.err == 0) continue;
+      for (size_t i = 0; i < object.size(); ++i) {
+        const bool o = object.raw()[i] != 0;
+        const bool s = state.approx.raw()[i] != 0;
+        plus_score[i] = s ? 0 : (o ? 1 : -1);
+        minus_score[i] = s ? (o ? -1 : 1) : 0;
+      }
+      auto expand = [&](const std::vector<int8_t>& score, bool positive) {
+        IntegralImage image(score, r);
+        for (Candidate cand :
+             TopCandidates(image, r, static_cast<size_t>(opt.branch_factor))) {
+          cand.cover.positive = positive;
+          State child = state;
+          ApplyCover(cand.cover, &child.approx);
+          child.covers.push_back(cand.cover);
+          child.err = state.err - static_cast<size_t>(cand.gain);
+          children.push_back(std::move(child));
+        }
+      };
+      expand(plus_score, true);
+      if (opt.allow_subtraction && step > 0) expand(minus_score, false);
+    }
+    if (children.empty()) break;
+    // Keep the beam_width best children, deduplicating identical
+    // approximations (same grid => identical future).
+    std::sort(children.begin(), children.end(),
+              [](const State& a, const State& b) { return a.err < b.err; });
+    std::vector<State> next;
+    for (State& child : children) {
+      bool duplicate = false;
+      for (const State& kept : next) {
+        if (kept.approx == child.approx) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) next.push_back(std::move(child));
+      if (static_cast<int>(next.size()) >= opt.beam_width) break;
+    }
+    beam = std::move(next);
+    for (const State& state : beam) {
+      if (state.err < best.err ||
+          (state.err == best.err && state.covers.size() < best.covers.size())) {
+        best = state;
+      }
+    }
+  }
+  return best.covers;
+}
+
+}  // namespace
+
+StatusOr<CoverSequence> ComputeCoverSequence(const VoxelGrid& object,
+                                             const CoverSequenceOptions& opt) {
+  if (!object.IsCubic()) {
+    return Status::InvalidArgument("cover sequence requires a cubic grid");
+  }
+  if (opt.max_covers < 1) {
+    return Status::InvalidArgument("max_covers must be >= 1");
+  }
+  if (object.Empty()) {
+    return Status::InvalidArgument("cover sequence of an empty object");
+  }
+  const int r = object.nx();
+  Rng rng(opt.seed);
+
+  if (opt.search == CoverSequenceOptions::Search::kBeam) {
+    if (opt.beam_width < 1 || opt.branch_factor < 1) {
+      return Status::InvalidArgument(
+          "beam_width and branch_factor must be >= 1");
+    }
+    // Beam-search lookahead, floored at the exhaustive greedy result.
+    CoverSequenceOptions greedy = opt;
+    greedy.search = CoverSequenceOptions::Search::kExhaustive;
+    VSIM_ASSIGN_OR_RETURN(CoverSequence result,
+                          ComputeCoverSequence(object, greedy));
+    std::vector<Cover> beam_covers = BeamSearch(object, opt);
+    std::vector<size_t> beam_history = ReplayErrorHistory(object, beam_covers);
+    if (beam_history.back() < result.final_error() ||
+        (beam_history.back() == result.final_error() &&
+         beam_covers.size() < result.covers.size())) {
+      result.covers = std::move(beam_covers);
+      result.error_history = std::move(beam_history);
+    }
+    return result;
+  }
+
+  CoverSequence seq;
+  seq.grid_resolution = r;
+  VoxelGrid approx(r);
+  size_t err = object.Count();  // |O XOR empty| = |O|
+  seq.error_history.push_back(err);
+
+  std::vector<int8_t> plus_score(object.size());
+  std::vector<int8_t> minus_score(object.size());
+
+  for (int step = 0; step < opt.max_covers && err > 0; ++step) {
+    // Score fields for this step. For '+' (union) only voxels with S=0
+    // change; correcting O=1 helps (+1), covering O=0 hurts (-1). For
+    // '-' (difference) only voxels with S=1 change; removing a wrong
+    // S=1/O=0 helps (+1), removing a correct S=1/O=1 hurts (-1).
+    for (size_t i = 0; i < object.size(); ++i) {
+      const bool o = object.raw()[i] != 0;
+      const bool s = approx.raw()[i] != 0;
+      plus_score[i] = s ? 0 : (o ? 1 : -1);
+      minus_score[i] = s ? (o ? -1 : 1) : 0;
+    }
+
+    Candidate best = BestCuboid(plus_score, r, opt, &rng);
+    best.cover.positive = true;
+    if (opt.allow_subtraction && step > 0) {
+      Candidate minus = BestCuboid(minus_score, r, opt, &rng);
+      minus.cover.positive = false;
+      if (minus.gain > best.gain) best = minus;
+    }
+    if (best.gain <= 0) break;  // greedy cannot improve further
+
+    // Apply the cover to the approximation.
+    for (int z = best.cover.lo.z; z <= best.cover.hi.z; ++z) {
+      for (int y = best.cover.lo.y; y <= best.cover.hi.y; ++y) {
+        for (int x = best.cover.lo.x; x <= best.cover.hi.x; ++x) {
+          approx.Set(x, y, z, best.cover.positive);
+        }
+      }
+    }
+    err -= static_cast<size_t>(best.gain);
+    assert(err == object.XorCount(approx));
+    seq.covers.push_back(best.cover);
+    seq.error_history.push_back(err);
+  }
+  return seq;
+}
+
+VoxelGrid ReconstructApproximation(const CoverSequence& seq) {
+  VoxelGrid grid(seq.grid_resolution);
+  for (const Cover& c : seq.covers) {
+    for (int z = c.lo.z; z <= c.hi.z; ++z) {
+      for (int y = c.lo.y; y <= c.hi.y; ++y) {
+        for (int x = c.lo.x; x <= c.hi.x; ++x) {
+          grid.Set(x, y, z, c.positive);
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+FeatureVector ToFeatureVector(const CoverSequence& seq, int k) {
+  FeatureVector f(static_cast<size_t>(6) * k, 0.0);
+  const int n = std::min<int>(k, static_cast<int>(seq.covers.size()));
+  for (int i = 0; i < n; ++i) {
+    const auto values = CoverToFeature(seq.covers[i], seq.grid_resolution);
+    std::copy(values.begin(), values.end(), f.begin() + 6 * i);
+  }
+  // Remaining entries stay zero: the paper's dummy covers C_0.
+  return f;
+}
+
+VectorSet ToVectorSet(const CoverSequence& seq, int k) {
+  VectorSet set;
+  const int n = std::min<int>(k, static_cast<int>(seq.covers.size()));
+  set.vectors.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const auto values = CoverToFeature(seq.covers[i], seq.grid_resolution);
+    set.vectors.emplace_back(values.begin(), values.end());
+  }
+  return set;
+}
+
+}  // namespace vsim

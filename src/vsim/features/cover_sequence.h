@@ -1,0 +1,80 @@
+// Cover-sequence approximation of a voxelized object (Section 3.3.3,
+// after Jagadish & Bruckstein): greedily choose rectangular covers
+// C_1..C_k, each unioned with or subtracted from the running
+// approximation S, minimizing the symmetric volume difference
+// Err = |O XOR S| at every step.
+//
+// Each greedy step maximizes the error reduction ("gain") of a single
+// cuboid. Cuboid gains are evaluated in O(1) with a 3-D integral image;
+// the arg-max cuboid is found either by multi-seed hill climbing over
+// the 6 faces (default; fast enough for thousands of objects) or by
+// exhaustive enumeration of all O((r(r+1)/2)^3) cuboids (exact greedy
+// step; used as the test oracle and for small grids).
+#ifndef VSIM_FEATURES_COVER_SEQUENCE_H_
+#define VSIM_FEATURES_COVER_SEQUENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vsim/common/status.h"
+#include "vsim/features/cover.h"
+#include "vsim/features/feature_vector.h"
+#include "vsim/voxel/voxel_grid.h"
+
+namespace vsim {
+
+struct CoverSequenceOptions {
+  // Maximum number of covers k (the paper evaluates 3, 5, 7, 9).
+  int max_covers = 7;
+
+  enum class Search {
+    kHillClimb,   // multi-seed greedy face expansion (default)
+    kExhaustive,  // exact arg-max over all cuboids
+    kBeam,        // beam-search lookahead over exhaustive candidates; a
+                  // bounded-width stand-in for Jagadish & Bruckstein's
+                  // exponential branch-and-bound, never worse than the
+                  // exhaustive greedy sequence
+  };
+  Search search = Search::kHillClimb;
+
+  // Hill-climb restarts (seed voxels) per greedy step.
+  int restarts = 24;
+
+  // Beam search parameters (Search::kBeam only).
+  int beam_width = 4;
+  int branch_factor = 3;  // candidate cuboids expanded per state & sign
+
+  // Allow '-' covers (set difference). The first cover is always '+'.
+  bool allow_subtraction = true;
+
+  // Seed for the hill-climb's seed-voxel sampling.
+  uint64_t seed = 0x5eed;
+};
+
+struct CoverSequence {
+  std::vector<Cover> covers;  // j <= k covers, in greedy order
+  // error_history[i] = Err_i = |O XOR S_i|; error_history[0] = |O|.
+  std::vector<size_t> error_history;
+  int grid_resolution = 0;
+
+  size_t final_error() const { return error_history.back(); }
+};
+
+// Runs the greedy algorithm. Stops early when the error reaches zero or
+// no cuboid yields a positive gain.
+StatusOr<CoverSequence> ComputeCoverSequence(const VoxelGrid& object,
+                                             const CoverSequenceOptions& opt);
+
+// Rebuilds the approximation grid S_j from the covers.
+VoxelGrid ReconstructApproximation(const CoverSequence& seq);
+
+// One-vector representation (Section 3.3.3): 6k dimensions, padded with
+// zero dummy covers if fewer than k covers were needed.
+FeatureVector ToFeatureVector(const CoverSequence& seq, int k);
+
+// Vector-set representation (Section 4): <= k 6-d vectors, no dummies.
+VectorSet ToVectorSet(const CoverSequence& seq, int k);
+
+}  // namespace vsim
+
+#endif  // VSIM_FEATURES_COVER_SEQUENCE_H_

@@ -1,0 +1,25 @@
+// Basic feature-space types shared by all similarity models.
+#ifndef VSIM_FEATURES_FEATURE_VECTOR_H_
+#define VSIM_FEATURES_FEATURE_VECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vsim {
+
+// A point in R^d (Definition 1: objects are mapped to feature vectors).
+using FeatureVector = std::vector<double>;
+
+// An object represented as a set of d-dimensional feature vectors with
+// bounded cardinality (the paper's vector set model, Section 4).
+struct VectorSet {
+  std::vector<FeatureVector> vectors;
+
+  size_t size() const { return vectors.size(); }
+  bool empty() const { return vectors.empty(); }
+  size_t dim() const { return vectors.empty() ? 0 : vectors.front().size(); }
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_FEATURES_FEATURE_VECTOR_H_

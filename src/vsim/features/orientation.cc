@@ -1,0 +1,75 @@
+#include "vsim/features/orientation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vsim {
+
+std::vector<int> HistogramBinPermutation(int p, const Mat3& m) {
+  std::vector<int> target(static_cast<size_t>(p) * p * p, -1);
+  for (int z = 0; z < p; ++z) {
+    for (int y = 0; y < p; ++y) {
+      for (int x = 0; x < p; ++x) {
+        // Doubled centered coordinates (exact integers for any p).
+        const Vec3 c{2.0 * x - (p - 1), 2.0 * y - (p - 1), 2.0 * z - (p - 1)};
+        const Vec3 t = m * c;
+        const int tx = static_cast<int>(std::lround((t.x + (p - 1)) / 2.0));
+        const int ty = static_cast<int>(std::lround((t.y + (p - 1)) / 2.0));
+        const int tz = static_cast<int>(std::lround((t.z + (p - 1)) / 2.0));
+        assert(tx >= 0 && tx < p && ty >= 0 && ty < p && tz >= 0 && tz < p);
+        target[(static_cast<size_t>(z) * p + y) * p + x] =
+            (tz * p + ty) * p + tx;
+      }
+    }
+  }
+  return target;
+}
+
+FeatureVector PermuteBins(const FeatureVector& f,
+                          const std::vector<int>& target) {
+  assert(f.size() == target.size());
+  FeatureVector out(f.size());
+  for (size_t b = 0; b < f.size(); ++b) out[target[b]] = f[b];
+  return out;
+}
+
+std::array<double, 6> TransformCoverFeature(const std::array<double, 6>& f,
+                                            const Mat3& m) {
+  const Vec3 pos = m * Vec3{f[0], f[1], f[2]};
+  // Extents permute with the absolute values of the signed permutation.
+  std::array<double, 6> out = {pos.x, pos.y, pos.z, 0.0, 0.0, 0.0};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      out[3 + i] += std::fabs(m(i, j)) * f[3 + j];
+    }
+  }
+  return out;
+}
+
+FeatureVector TransformCoverVector(const FeatureVector& f, const Mat3& m) {
+  assert(f.size() % 6 == 0);
+  FeatureVector out(f.size());
+  for (size_t block = 0; block < f.size(); block += 6) {
+    std::array<double, 6> b;
+    std::copy(f.begin() + block, f.begin() + block + 6, b.begin());
+    const std::array<double, 6> t = TransformCoverFeature(b, m);
+    std::copy(t.begin(), t.end(), out.begin() + block);
+  }
+  return out;
+}
+
+VectorSet TransformVectorSet(const VectorSet& set, const Mat3& m) {
+  VectorSet out;
+  out.vectors.reserve(set.size());
+  for (const FeatureVector& v : set.vectors) {
+    assert(v.size() == 6);
+    std::array<double, 6> b;
+    std::copy(v.begin(), v.end(), b.begin());
+    const std::array<double, 6> t = TransformCoverFeature(b, m);
+    out.vectors.emplace_back(t.begin(), t.end());
+  }
+  return out;
+}
+
+}  // namespace vsim

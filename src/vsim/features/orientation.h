@@ -1,0 +1,45 @@
+// Feature-space realizations of the octahedral transformation group
+// (Section 3.2): instead of re-voxelizing and re-extracting a rotated /
+// reflected object, the extracted features themselves are transformed.
+// This is exactly the paper's strategy of "carrying out 48 different
+// permutations of the query object at runtime":
+//   - p^3 histogram features (volume and solid-angle models) permute
+//     their bins, because both models' per-cell values are invariant
+//     under cell-preserving rigid motions;
+//   - cover features rotate their position part and permute their
+//     extent part, because an octahedral element maps axis-aligned
+//     cuboids to axis-aligned cuboids.
+#ifndef VSIM_FEATURES_ORIENTATION_H_
+#define VSIM_FEATURES_ORIENTATION_H_
+
+#include <array>
+#include <vector>
+
+#include "vsim/features/feature_vector.h"
+#include "vsim/geometry/transform.h"
+
+namespace vsim {
+
+// target[b] = bin index that bin b of a p^3 histogram maps to under the
+// signed permutation matrix m (bins indexed (z*p + y)*p + x).
+std::vector<int> HistogramBinPermutation(int p, const Mat3& m);
+
+// out[target[b]] = f[b].
+FeatureVector PermuteBins(const FeatureVector& f,
+                          const std::vector<int>& target);
+
+// Transforms one 6-d cover feature (position offset from the grid
+// center, per-axis extent) by an octahedral element.
+std::array<double, 6> TransformCoverFeature(const std::array<double, 6>& f,
+                                            const Mat3& m);
+
+// Applies TransformCoverFeature to every 6-d block of a 6k-d
+// cover-sequence vector (dummy zero blocks stay zero).
+FeatureVector TransformCoverVector(const FeatureVector& f, const Mat3& m);
+
+// Applies TransformCoverFeature to every vector of a vector set.
+VectorSet TransformVectorSet(const VectorSet& set, const Mat3& m);
+
+}  // namespace vsim
+
+#endif  // VSIM_FEATURES_ORIENTATION_H_

@@ -1,0 +1,77 @@
+#include "vsim/features/solid_angle_model.h"
+
+#include <string>
+
+namespace vsim {
+
+std::vector<VoxelCoord> SphereKernelOffsets(int radius) {
+  std::vector<VoxelCoord> offsets;
+  const int r2 = radius * radius;
+  for (int z = -radius; z <= radius; ++z) {
+    for (int y = -radius; y <= radius; ++y) {
+      for (int x = -radius; x <= radius; ++x) {
+        if (x * x + y * y + z * z <= r2) offsets.push_back({x, y, z});
+      }
+    }
+  }
+  return offsets;
+}
+
+double SolidAngleValue(const VoxelGrid& grid, VoxelCoord v,
+                       const std::vector<VoxelCoord>& kernel) {
+  size_t inside = 0;
+  for (const VoxelCoord& d : kernel) {
+    const int x = v.x + d.x, y = v.y + d.y, z = v.z + d.z;
+    if (grid.InBounds(x, y, z) && grid.At(x, y, z)) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(kernel.size());
+}
+
+StatusOr<FeatureVector> ExtractSolidAngleFeatures(
+    const VoxelGrid& grid, const SolidAngleModelOptions& opt) {
+  if (!grid.IsCubic()) {
+    return Status::InvalidArgument("solid-angle model requires a cubic grid");
+  }
+  const int r = grid.nx();
+  const int p = opt.cells_per_dim;
+  if (p < 1 || r % p != 0) {
+    return Status::InvalidArgument("grid resolution " + std::to_string(r) +
+                                   " is not a multiple of cells_per_dim " +
+                                   std::to_string(p));
+  }
+  if (opt.kernel_radius < 1) {
+    return Status::InvalidArgument("kernel_radius must be >= 1");
+  }
+  const int cell = r / p;
+  const std::vector<VoxelCoord> kernel = SphereKernelOffsets(opt.kernel_radius);
+
+  const size_t bins = static_cast<size_t>(p) * p * p;
+  std::vector<double> sa_sum(bins, 0.0);
+  std::vector<size_t> surface_count(bins, 0);
+  std::vector<size_t> voxel_count(bins, 0);
+
+  auto cell_index = [&](VoxelCoord c) {
+    return (static_cast<size_t>(c.z / cell) * p + c.y / cell) * p + c.x / cell;
+  };
+
+  for (const VoxelCoord& c : grid.SetVoxels()) ++voxel_count[cell_index(c)];
+  for (const VoxelCoord& s : grid.SurfaceVoxels()) {
+    const size_t ci = cell_index(s);
+    ++surface_count[ci];
+    sa_sum[ci] += SolidAngleValue(grid, s, kernel);
+  }
+
+  FeatureVector features(bins, 0.0);
+  for (size_t i = 0; i < bins; ++i) {
+    if (surface_count[i] > 0) {
+      features[i] = sa_sum[i] / static_cast<double>(surface_count[i]);
+    } else if (voxel_count[i] > 0) {
+      features[i] = 1.0;  // only interior voxels
+    } else {
+      features[i] = 0.0;  // empty cell
+    }
+  }
+  return features;
+}
+
+}  // namespace vsim

@@ -1,0 +1,42 @@
+// The solid-angle model (Section 3.3.2, after Connolly): for each
+// surface voxel v, the solid-angle value SA(v) is the fraction of a
+// voxelized sphere K_v centered at v that is occupied by the object —
+// small for convex, large for concave surface regions. Cell features:
+//   - mean SA over the cell's surface voxels, if it has any;
+//   - 1.0 if the cell contains only interior voxels;
+//   - 0.0 if the cell contains no object voxels.
+#ifndef VSIM_FEATURES_SOLID_ANGLE_MODEL_H_
+#define VSIM_FEATURES_SOLID_ANGLE_MODEL_H_
+
+#include <vector>
+
+#include "vsim/common/status.h"
+#include "vsim/features/feature_vector.h"
+#include "vsim/voxel/voxel_grid.h"
+
+namespace vsim {
+
+struct SolidAngleModelOptions {
+  // Cells per dimension of the histogram (p^3 bins).
+  int cells_per_dim = 3;
+  // Radius of the voxelized sphere kernel K_c, in voxels.
+  int kernel_radius = 3;
+};
+
+// Offsets of the voxelized sphere kernel: all integer offsets with
+// squared norm <= radius^2 (including the center).
+std::vector<VoxelCoord> SphereKernelOffsets(int radius);
+
+// Solid-angle value at a single voxel of `grid` (kernel voxels falling
+// outside the grid count as empty; the denominator is the full kernel
+// size, matching the paper's |K_v|).
+double SolidAngleValue(const VoxelGrid& grid, VoxelCoord v,
+                       const std::vector<VoxelCoord>& kernel);
+
+// Computes the p^3-dimensional solid-angle histogram.
+StatusOr<FeatureVector> ExtractSolidAngleFeatures(
+    const VoxelGrid& grid, const SolidAngleModelOptions& opt);
+
+}  // namespace vsim
+
+#endif  // VSIM_FEATURES_SOLID_ANGLE_MODEL_H_

@@ -1,0 +1,35 @@
+#include "vsim/features/volume_model.h"
+
+#include <string>
+
+namespace vsim {
+
+StatusOr<FeatureVector> ExtractVolumeFeatures(const VoxelGrid& grid,
+                                              const VolumeModelOptions& opt) {
+  if (!grid.IsCubic()) {
+    return Status::InvalidArgument("volume model requires a cubic grid");
+  }
+  const int r = grid.nx();
+  const int p = opt.cells_per_dim;
+  if (p < 1 || r % p != 0) {
+    return Status::InvalidArgument("grid resolution " + std::to_string(r) +
+                                   " is not a multiple of cells_per_dim " +
+                                   std::to_string(p));
+  }
+  const int cell = r / p;
+  const double K = static_cast<double>(cell) * cell * cell;
+  FeatureVector features(static_cast<size_t>(p) * p * p, 0.0);
+  for (int z = 0; z < r; ++z) {
+    for (int y = 0; y < r; ++y) {
+      for (int x = 0; x < r; ++x) {
+        if (!grid.At(x, y, z)) continue;
+        const int ci = (z / cell * p + y / cell) * p + x / cell;
+        features[ci] += 1.0;
+      }
+    }
+  }
+  for (double& f : features) f /= K;
+  return features;
+}
+
+}  // namespace vsim

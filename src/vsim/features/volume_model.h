@@ -1,0 +1,26 @@
+// The volume model (Section 3.3.1): the data space is partitioned into
+// p^3 axis-parallel equi-sized cells; feature i is the normalized voxel
+// count of the object in cell i.
+#ifndef VSIM_FEATURES_VOLUME_MODEL_H_
+#define VSIM_FEATURES_VOLUME_MODEL_H_
+
+#include "vsim/common/status.h"
+#include "vsim/features/feature_vector.h"
+#include "vsim/voxel/voxel_grid.h"
+
+namespace vsim {
+
+struct VolumeModelOptions {
+  // Cells per dimension; the histogram has p^3 bins. The grid resolution
+  // r must be a multiple of p (the paper assumes r/p is integral).
+  int cells_per_dim = 3;
+};
+
+// Computes the p^3-dimensional volume histogram: bin i holds
+// |V_i^o| / K with K = (r/p)^3. Fails if r is not a multiple of p.
+StatusOr<FeatureVector> ExtractVolumeFeatures(const VoxelGrid& grid,
+                                              const VolumeModelOptions& opt);
+
+}  // namespace vsim
+
+#endif  // VSIM_FEATURES_VOLUME_MODEL_H_

@@ -1,0 +1,59 @@
+#ifndef VSIM_GEOMETRY_AABB_H_
+#define VSIM_GEOMETRY_AABB_H_
+
+#include <limits>
+
+#include "vsim/geometry/vec3.h"
+
+namespace vsim {
+
+// Axis-aligned bounding box. Default-constructed boxes are empty
+// (min > max) and absorb points via Extend().
+struct Aabb {
+  Vec3 min{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity()};
+  Vec3 max{-std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+
+  Aabb() = default;
+  Aabb(Vec3 mn, Vec3 mx) : min(mn), max(mx) {}
+
+  bool IsEmpty() const {
+    return min.x > max.x || min.y > max.y || min.z > max.z;
+  }
+
+  void Extend(Vec3 p) {
+    min = min.Min(p);
+    max = max.Max(p);
+  }
+
+  void Extend(const Aabb& o) {
+    min = min.Min(o.min);
+    max = max.Max(o.max);
+  }
+
+  Vec3 Center() const { return (min + max) * 0.5; }
+  Vec3 Extent() const { return max - min; }
+
+  double Volume() const {
+    if (IsEmpty()) return 0.0;
+    const Vec3 e = Extent();
+    return e.x * e.y * e.z;
+  }
+
+  bool Contains(Vec3 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+
+  bool Intersects(const Aabb& o) const {
+    return min.x <= o.max.x && max.x >= o.min.x && min.y <= o.max.y &&
+           max.y >= o.min.y && min.z <= o.max.z && max.z >= o.min.z;
+  }
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_GEOMETRY_AABB_H_

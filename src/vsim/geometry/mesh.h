@@ -1,0 +1,109 @@
+// Indexed triangle mesh: the input representation for CAD objects before
+// voxelization.
+#ifndef VSIM_GEOMETRY_MESH_H_
+#define VSIM_GEOMETRY_MESH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "vsim/common/status.h"
+#include "vsim/geometry/aabb.h"
+#include "vsim/geometry/transform.h"
+#include "vsim/geometry/vec3.h"
+
+namespace vsim {
+
+struct Triangle {
+  Vec3 a, b, c;
+
+  Vec3 Normal() const { return (b - a).Cross(c - a).Normalized(); }
+  double Area() const { return 0.5 * (b - a).Cross(c - a).Norm(); }
+  Vec3 Centroid() const { return (a + b + c) / 3.0; }
+  Aabb Bounds() const {
+    Aabb box;
+    box.Extend(a);
+    box.Extend(b);
+    box.Extend(c);
+    return box;
+  }
+};
+
+// Merges vertices closer than `tolerance` (and drops triangles that
+// degenerate in the process). STL files store three independent
+// vertices per facet; welding restores shared topology, shrinking the
+// mesh ~3x and making edge-based checks (IsWatertight) meaningful.
+class TriangleMesh;
+TriangleMesh WeldVertices(const TriangleMesh& mesh, double tolerance = 1e-9);
+
+class TriangleMesh {
+ public:
+  TriangleMesh() = default;
+
+  // Adds a vertex, returning its index.
+  uint32_t AddVertex(Vec3 p) {
+    vertices_.push_back(p);
+    return static_cast<uint32_t>(vertices_.size() - 1);
+  }
+
+  // Adds a triangle by vertex indices (must already exist).
+  void AddTriangle(uint32_t i, uint32_t j, uint32_t k) {
+    triangles_.push_back({i, j, k});
+  }
+
+  // Appends a free-standing triangle, creating three vertices.
+  void AddTriangle(Vec3 a, Vec3 b, Vec3 c) {
+    const uint32_t i = AddVertex(a);
+    const uint32_t j = AddVertex(b);
+    const uint32_t k = AddVertex(c);
+    AddTriangle(i, j, k);
+  }
+
+  // Appends all geometry of `other` (vertex indices are re-based).
+  void Append(const TriangleMesh& other);
+
+  size_t vertex_count() const { return vertices_.size(); }
+  size_t triangle_count() const { return triangles_.size(); }
+
+  const std::vector<Vec3>& vertices() const { return vertices_; }
+  const std::vector<std::array<uint32_t, 3>>& triangle_indices() const {
+    return triangles_;
+  }
+
+  Vec3 vertex(uint32_t i) const { return vertices_[i]; }
+  Triangle triangle(size_t t) const {
+    const auto& tri = triangles_[t];
+    return {vertices_[tri[0]], vertices_[tri[1]], vertices_[tri[2]]};
+  }
+
+  Aabb Bounds() const;
+
+  // Sum of triangle areas.
+  double SurfaceArea() const;
+
+  // Signed volume via the divergence theorem; meaningful for closed,
+  // consistently oriented meshes.
+  double SignedVolume() const;
+
+  // Mean of vertices (uniform vertex mass).
+  Vec3 VertexCentroid() const;
+
+  // Applies an affine transform to all vertices in place.
+  void ApplyTransform(const Transform& t);
+
+  // Validation: indices in range, no degenerate (zero-area) triangles,
+  // at least one triangle.
+  Status Validate() const;
+
+  // True if every edge is shared by exactly two triangles (the
+  // precondition for the parity solid fill to be exact).
+  bool IsWatertight() const;
+
+ private:
+  std::vector<Vec3> vertices_;
+  std::vector<std::array<uint32_t, 3>> triangles_;
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_GEOMETRY_MESH_H_

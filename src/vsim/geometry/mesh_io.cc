@@ -1,0 +1,207 @@
+#include "vsim/geometry/mesh_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace vsim {
+
+namespace {
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  if (s.size() < suffix.size()) return false;
+  for (size_t i = 0; i < suffix.size(); ++i) {
+    const char a = static_cast<char>(std::tolower(s[s.size() - suffix.size() + i]));
+    if (a != suffix[i]) return false;
+  }
+  return true;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+StatusOr<TriangleMesh> ParseObj(const std::string& content) {
+  TriangleMesh mesh;
+  std::istringstream in(content);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;
+    if (tag == "v") {
+      double x, y, z;
+      if (!(ls >> x >> y >> z)) {
+        return Status::InvalidArgument("OBJ: bad vertex at line " +
+                                       std::to_string(line_no));
+      }
+      mesh.AddVertex({x, y, z});
+    } else if (tag == "f") {
+      // Faces may be polygons; fan-triangulate. Indices may carry
+      // /vt/vn suffixes and may be negative (relative).
+      std::vector<int64_t> idx;
+      std::string tok;
+      while (ls >> tok) {
+        const size_t slash = tok.find('/');
+        if (slash != std::string::npos) tok = tok.substr(0, slash);
+        int64_t v = 0;
+        try {
+          v = std::stoll(tok);
+        } catch (...) {
+          return Status::InvalidArgument("OBJ: bad face index at line " +
+                                         std::to_string(line_no));
+        }
+        if (v < 0) v = static_cast<int64_t>(mesh.vertex_count()) + v + 1;
+        if (v < 1 || v > static_cast<int64_t>(mesh.vertex_count())) {
+          return Status::InvalidArgument("OBJ: face index out of range at line " +
+                                         std::to_string(line_no));
+        }
+        idx.push_back(v - 1);
+      }
+      if (idx.size() < 3) {
+        return Status::InvalidArgument("OBJ: face with fewer than 3 vertices at line " +
+                                       std::to_string(line_no));
+      }
+      for (size_t i = 1; i + 1 < idx.size(); ++i) {
+        mesh.AddTriangle(static_cast<uint32_t>(idx[0]),
+                         static_cast<uint32_t>(idx[i]),
+                         static_cast<uint32_t>(idx[i + 1]));
+      }
+    }
+    // All other tags (vn, vt, o, g, usemtl, comments...) are skipped.
+  }
+  if (mesh.triangle_count() == 0) {
+    return Status::InvalidArgument("OBJ: no faces found");
+  }
+  return mesh;
+}
+
+StatusOr<TriangleMesh> LoadObj(const std::string& path) {
+  VSIM_ASSIGN_OR_RETURN(std::string content, ReadFile(path));
+  return ParseObj(content);
+}
+
+namespace {
+
+StatusOr<TriangleMesh> ParseStlAscii(const std::string& content) {
+  TriangleMesh mesh;
+  std::istringstream in(content);
+  std::string tok;
+  std::vector<Vec3> verts;
+  while (in >> tok) {
+    if (tok == "vertex") {
+      double x, y, z;
+      if (!(in >> x >> y >> z)) {
+        return Status::InvalidArgument("STL ASCII: malformed vertex");
+      }
+      verts.push_back({x, y, z});
+      if (verts.size() == 3) {
+        mesh.AddTriangle(verts[0], verts[1], verts[2]);
+        verts.clear();
+      }
+    }
+  }
+  if (mesh.triangle_count() == 0) {
+    return Status::InvalidArgument("STL ASCII: no facets found");
+  }
+  return mesh;
+}
+
+StatusOr<TriangleMesh> ParseStlBinary(const std::string& content) {
+  if (content.size() < 84) {
+    return Status::InvalidArgument("STL binary: file too short");
+  }
+  uint32_t count = 0;
+  std::memcpy(&count, content.data() + 80, 4);
+  const size_t expected = 84 + static_cast<size_t>(count) * 50;
+  if (content.size() < expected) {
+    return Status::InvalidArgument("STL binary: truncated facet data");
+  }
+  TriangleMesh mesh;
+  const char* p = content.data() + 84;
+  for (uint32_t t = 0; t < count; ++t, p += 50) {
+    float v[12];
+    std::memcpy(v, p, 48);  // normal (3 floats) then 3 vertices
+    mesh.AddTriangle(Vec3{v[3], v[4], v[5]}, Vec3{v[6], v[7], v[8]},
+                     Vec3{v[9], v[10], v[11]});
+  }
+  if (mesh.triangle_count() == 0) {
+    return Status::InvalidArgument("STL binary: zero facets");
+  }
+  return mesh;
+}
+
+}  // namespace
+
+StatusOr<TriangleMesh> LoadStl(const std::string& path) {
+  VSIM_ASSIGN_OR_RETURN(std::string content, ReadFile(path));
+  // ASCII STL starts with "solid", but some binary exporters do too;
+  // check whether the declared binary size matches.
+  if (content.size() >= 84) {
+    uint32_t count = 0;
+    std::memcpy(&count, content.data() + 80, 4);
+    if (content.size() == 84 + static_cast<size_t>(count) * 50) {
+      return ParseStlBinary(content);
+    }
+  }
+  if (content.rfind("solid", 0) == 0) return ParseStlAscii(content);
+  return ParseStlBinary(content);
+}
+
+StatusOr<TriangleMesh> LoadMesh(const std::string& path) {
+  if (HasSuffix(path, ".obj")) return LoadObj(path);
+  if (HasSuffix(path, ".stl")) return LoadStl(path);
+  return Status::InvalidArgument("unsupported mesh format: " + path);
+}
+
+Status SaveObj(const TriangleMesh& mesh, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.precision(17);  // round-trip exact doubles
+  out << "# vsim OBJ export\n";
+  for (const Vec3& v : mesh.vertices()) {
+    out << "v " << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+  for (const auto& t : mesh.triangle_indices()) {
+    out << "f " << t[0] + 1 << ' ' << t[1] + 1 << ' ' << t[2] + 1 << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status SaveStlBinary(const TriangleMesh& mesh, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  char header[80] = "vsim binary STL export";
+  out.write(header, 80);
+  const uint32_t count = static_cast<uint32_t>(mesh.triangle_count());
+  out.write(reinterpret_cast<const char*>(&count), 4);
+  for (size_t t = 0; t < mesh.triangle_count(); ++t) {
+    const Triangle tri = mesh.triangle(t);
+    const Vec3 n = tri.Normal();
+    const float data[12] = {
+        static_cast<float>(n.x),     static_cast<float>(n.y),
+        static_cast<float>(n.z),     static_cast<float>(tri.a.x),
+        static_cast<float>(tri.a.y), static_cast<float>(tri.a.z),
+        static_cast<float>(tri.b.x), static_cast<float>(tri.b.y),
+        static_cast<float>(tri.b.z), static_cast<float>(tri.c.x),
+        static_cast<float>(tri.c.y), static_cast<float>(tri.c.z)};
+    out.write(reinterpret_cast<const char*>(data), 48);
+    const uint16_t attr = 0;
+    out.write(reinterpret_cast<const char*>(&attr), 2);
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace vsim

@@ -1,0 +1,30 @@
+// Wavefront OBJ and STL (ASCII + binary) mesh readers/writers. These are
+// the interchange formats through which real CAD data (e.g. public 3-D
+// model repositories) can be fed into the pipeline in place of the
+// paper's proprietary data sets.
+#ifndef VSIM_GEOMETRY_MESH_IO_H_
+#define VSIM_GEOMETRY_MESH_IO_H_
+
+#include <string>
+
+#include "vsim/common/status.h"
+#include "vsim/geometry/mesh.h"
+
+namespace vsim {
+
+// Loads a mesh from `path`, dispatching on the file extension
+// (.obj, .stl). STL detection between ASCII and binary is automatic.
+StatusOr<TriangleMesh> LoadMesh(const std::string& path);
+
+StatusOr<TriangleMesh> LoadObj(const std::string& path);
+StatusOr<TriangleMesh> LoadStl(const std::string& path);
+
+// Parses OBJ content from a string (used by tests; LoadObj wraps this).
+StatusOr<TriangleMesh> ParseObj(const std::string& content);
+
+Status SaveObj(const TriangleMesh& mesh, const std::string& path);
+Status SaveStlBinary(const TriangleMesh& mesh, const std::string& path);
+
+}  // namespace vsim
+
+#endif  // VSIM_GEOMETRY_MESH_IO_H_

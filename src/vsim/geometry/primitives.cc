@@ -1,0 +1,306 @@
+#include "vsim/geometry/primitives.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "vsim/common/math_util.h"
+
+namespace vsim {
+
+TriangleMesh MakeBox(Vec3 e) {
+  return MakeDeformedBlock(
+      [e](double u, double v, double w) {
+        return Vec3{(u - 0.5) * e.x, (v - 0.5) * e.y, (w - 0.5) * e.z};
+      },
+      1, 1, 1);
+}
+
+TriangleMesh MakeSphere(double radius, int slices, int stacks) {
+  assert(slices >= 3 && stacks >= 2);
+  TriangleMesh mesh;
+  const uint32_t north = mesh.AddVertex({0, 0, radius});
+  const uint32_t south = mesh.AddVertex({0, 0, -radius});
+  // Interior rings (stacks-1 of them).
+  std::vector<std::vector<uint32_t>> ring(stacks - 1);
+  for (int s = 1; s < stacks; ++s) {
+    const double phi = kPi * s / stacks;  // from north pole
+    for (int i = 0; i < slices; ++i) {
+      const double theta = 2.0 * kPi * i / slices;
+      ring[s - 1].push_back(mesh.AddVertex(
+          {radius * std::sin(phi) * std::cos(theta),
+           radius * std::sin(phi) * std::sin(theta), radius * std::cos(phi)}));
+    }
+  }
+  for (int i = 0; i < slices; ++i) {
+    const int j = (i + 1) % slices;
+    mesh.AddTriangle(north, ring[0][i], ring[0][j]);
+    mesh.AddTriangle(south, ring[stacks - 2][j], ring[stacks - 2][i]);
+  }
+  for (int s = 0; s + 1 < stacks - 1; ++s) {
+    for (int i = 0; i < slices; ++i) {
+      const int j = (i + 1) % slices;
+      mesh.AddTriangle(ring[s][i], ring[s + 1][i], ring[s + 1][j]);
+      mesh.AddTriangle(ring[s][i], ring[s + 1][j], ring[s][j]);
+    }
+  }
+  return mesh;
+}
+
+TriangleMesh MakeFrustum(double r_bottom, double r_top, double height,
+                         int segments) {
+  assert(segments >= 3);
+  assert(r_bottom > 0.0 || r_top > 0.0);
+  TriangleMesh mesh;
+  const double z0 = -height / 2.0, z1 = height / 2.0;
+  for (int i = 0; i < segments; ++i) {
+    const double theta = 2.0 * kPi * i / segments;
+    const double c = std::cos(theta), s = std::sin(theta);
+    if (r_bottom > 0.0) mesh.AddVertex({r_bottom * c, r_bottom * s, z0});
+    if (r_top > 0.0) mesh.AddVertex({r_top * c, r_top * s, z1});
+  }
+  // Re-walk indices depending on which rings exist.
+  auto bottom_idx = [&](int i) -> uint32_t {
+    const int per = (r_bottom > 0.0 ? 1 : 0) + (r_top > 0.0 ? 1 : 0);
+    return static_cast<uint32_t>((i % segments) * per);
+  };
+  auto top_idx = [&](int i) -> uint32_t {
+    const int per = (r_bottom > 0.0 ? 1 : 0) + (r_top > 0.0 ? 1 : 0);
+    return static_cast<uint32_t>((i % segments) * per + (r_bottom > 0.0 ? 1 : 0));
+  };
+  if (r_bottom > 0.0 && r_top > 0.0) {
+    // Side quads.
+    for (int i = 0; i < segments; ++i) {
+      mesh.AddTriangle(bottom_idx(i), bottom_idx(i + 1), top_idx(i + 1));
+      mesh.AddTriangle(bottom_idx(i), top_idx(i + 1), top_idx(i));
+    }
+  } else if (r_top == 0.0) {
+    const uint32_t apex = mesh.AddVertex({0, 0, z1});
+    for (int i = 0; i < segments; ++i) {
+      mesh.AddTriangle(bottom_idx(i), bottom_idx(i + 1), apex);
+    }
+  } else {  // r_bottom == 0: inverted cone
+    const uint32_t apex = mesh.AddVertex({0, 0, z0});
+    for (int i = 0; i < segments; ++i) {
+      mesh.AddTriangle(top_idx(i + 1), top_idx(i), apex);
+    }
+  }
+  if (r_bottom > 0.0) {
+    const uint32_t center = mesh.AddVertex({0, 0, z0});
+    for (int i = 0; i < segments; ++i) {
+      mesh.AddTriangle(center, bottom_idx(i + 1), bottom_idx(i));
+    }
+  }
+  if (r_top > 0.0) {
+    const uint32_t center = mesh.AddVertex({0, 0, z1});
+    for (int i = 0; i < segments; ++i) {
+      mesh.AddTriangle(center, top_idx(i), top_idx(i + 1));
+    }
+  }
+  return mesh;
+}
+
+TriangleMesh MakeCylinder(double radius, double height, int segments) {
+  return MakeFrustum(radius, radius, height, segments);
+}
+
+TriangleMesh MakePrism(int sides, double circumradius, double height) {
+  return MakeFrustum(circumradius, circumradius, height, sides);
+}
+
+TriangleMesh MakeTorus(double major_radius, double minor_radius,
+                       int major_segments, int minor_segments) {
+  assert(major_segments >= 3 && minor_segments >= 3);
+  TriangleMesh mesh;
+  for (int i = 0; i < major_segments; ++i) {
+    const double u = 2.0 * kPi * i / major_segments;
+    for (int j = 0; j < minor_segments; ++j) {
+      const double v = 2.0 * kPi * j / minor_segments;
+      const double r = major_radius + minor_radius * std::cos(v);
+      mesh.AddVertex({r * std::cos(u), r * std::sin(u),
+                      minor_radius * std::sin(v)});
+    }
+  }
+  auto idx = [&](int i, int j) {
+    return static_cast<uint32_t>((i % major_segments) * minor_segments +
+                                 (j % minor_segments));
+  };
+  for (int i = 0; i < major_segments; ++i) {
+    for (int j = 0; j < minor_segments; ++j) {
+      mesh.AddTriangle(idx(i, j), idx(i + 1, j), idx(i + 1, j + 1));
+      mesh.AddTriangle(idx(i, j), idx(i + 1, j + 1), idx(i, j + 1));
+    }
+  }
+  return mesh;
+}
+
+TriangleMesh MakeTube(double outer_radius, double inner_radius, double height,
+                      int segments) {
+  assert(outer_radius > inner_radius && inner_radius > 0.0);
+  // Topologically a torus with a rectangular cross-section: revolve the
+  // 4-corner profile (outer/bottom, outer/top, inner/top, inner/bottom).
+  TriangleMesh mesh;
+  const double z0 = -height / 2.0, z1 = height / 2.0;
+  const Vec3 profile[4] = {{outer_radius, 0, z0},
+                           {outer_radius, 0, z1},
+                           {inner_radius, 0, z1},
+                           {inner_radius, 0, z0}};
+  for (int i = 0; i < segments; ++i) {
+    const double theta = 2.0 * kPi * i / segments;
+    const double c = std::cos(theta), s = std::sin(theta);
+    for (const Vec3& p : profile) {
+      mesh.AddVertex({p.x * c, p.x * s, p.z});
+    }
+  }
+  auto idx = [&](int i, int j) {
+    return static_cast<uint32_t>((i % segments) * 4 + (j % 4));
+  };
+  for (int i = 0; i < segments; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      mesh.AddTriangle(idx(i, j), idx(i + 1, j), idx(i + 1, j + 1));
+      mesh.AddTriangle(idx(i, j), idx(i + 1, j + 1), idx(i, j + 1));
+    }
+  }
+  return mesh;
+}
+
+TriangleMesh MakeLathe(const std::vector<std::pair<double, double>>& profile,
+                       int segments) {
+  assert(profile.size() >= 2 && segments >= 3);
+  TriangleMesh mesh;
+  const int n = static_cast<int>(profile.size());
+  // Ring (or pole) vertex indices per profile point.
+  std::vector<std::vector<uint32_t>> rings(n);
+  for (int p = 0; p < n; ++p) {
+    const double r = profile[p].first, z = profile[p].second;
+    if (r == 0.0) {
+      rings[p].push_back(mesh.AddVertex({0, 0, z}));
+    } else {
+      for (int i = 0; i < segments; ++i) {
+        const double theta = 2.0 * kPi * i / segments;
+        rings[p].push_back(
+            mesh.AddVertex({r * std::cos(theta), r * std::sin(theta), z}));
+      }
+    }
+  }
+  for (int p = 0; p + 1 < n; ++p) {
+    const bool lo_pole = rings[p].size() == 1;
+    const bool hi_pole = rings[p + 1].size() == 1;
+    for (int i = 0; i < segments; ++i) {
+      const int j = (i + 1) % segments;
+      if (lo_pole && hi_pole) continue;  // degenerate segment
+      if (lo_pole) {
+        mesh.AddTriangle(rings[p][0], rings[p + 1][j], rings[p + 1][i]);
+      } else if (hi_pole) {
+        mesh.AddTriangle(rings[p][i], rings[p][j], rings[p + 1][0]);
+      } else {
+        mesh.AddTriangle(rings[p][i], rings[p][j], rings[p + 1][j]);
+        mesh.AddTriangle(rings[p][i], rings[p + 1][j], rings[p + 1][i]);
+      }
+    }
+  }
+  // Close flat ends if the profile does not reach the axis.
+  if (rings.front().size() > 1) {
+    const uint32_t center = mesh.AddVertex({0, 0, profile.front().second});
+    for (int i = 0; i < segments; ++i) {
+      const int j = (i + 1) % segments;
+      mesh.AddTriangle(center, rings.front()[j], rings.front()[i]);
+    }
+  }
+  if (rings.back().size() > 1) {
+    const uint32_t center = mesh.AddVertex({0, 0, profile.back().second});
+    for (int i = 0; i < segments; ++i) {
+      const int j = (i + 1) % segments;
+      mesh.AddTriangle(center, rings.back()[i], rings.back()[j]);
+    }
+  }
+  return mesh;
+}
+
+TriangleMesh MakeDeformedBlock(
+    const std::function<Vec3(double, double, double)>& fn, int nu, int nv,
+    int nw) {
+  assert(nu >= 1 && nv >= 1 && nw >= 1);
+  TriangleMesh mesh;
+  std::map<std::tuple<int, int, int>, uint32_t> vertex_of;
+  auto get = [&](int i, int j, int k) -> uint32_t {
+    const auto key = std::make_tuple(i, j, k);
+    auto it = vertex_of.find(key);
+    if (it != vertex_of.end()) return it->second;
+    const Vec3 p = fn(static_cast<double>(i) / nu, static_cast<double>(j) / nv,
+                      static_cast<double>(k) / nw);
+    const uint32_t idx = mesh.AddVertex(p);
+    vertex_of.emplace(key, idx);
+    return idx;
+  };
+  // Emit a quad (two triangles) with the given corner order.
+  auto quad = [&](uint32_t a, uint32_t b, uint32_t c, uint32_t d) {
+    mesh.AddTriangle(a, b, c);
+    mesh.AddTriangle(a, c, d);
+  };
+  // Six faces of the unit cube. Winding chosen so normals point outward
+  // for the identity map.
+  for (int j = 0; j < nv; ++j) {
+    for (int k = 0; k < nw; ++k) {
+      quad(get(0, j, k), get(0, j, k + 1), get(0, j + 1, k + 1),
+           get(0, j + 1, k));  // u = 0, normal -u
+      quad(get(nu, j, k), get(nu, j + 1, k), get(nu, j + 1, k + 1),
+           get(nu, j, k + 1));  // u = 1, normal +u
+    }
+  }
+  for (int i = 0; i < nu; ++i) {
+    for (int k = 0; k < nw; ++k) {
+      quad(get(i, 0, k), get(i + 1, 0, k), get(i + 1, 0, k + 1),
+           get(i, 0, k + 1));  // v = 0, normal -v
+      quad(get(i, nv, k), get(i, nv, k + 1), get(i + 1, nv, k + 1),
+           get(i + 1, nv, k));  // v = 1, normal +v
+    }
+  }
+  for (int i = 0; i < nu; ++i) {
+    for (int j = 0; j < nv; ++j) {
+      quad(get(i, j, 0), get(i, j + 1, 0), get(i + 1, j + 1, 0),
+           get(i + 1, j, 0));  // w = 0, normal -w
+      quad(get(i, j, nw), get(i + 1, j, nw), get(i + 1, j + 1, nw),
+           get(i, j + 1, nw));  // w = 1, normal +w
+    }
+  }
+  return mesh;
+}
+
+TriangleMesh MakeCurvedPanel(double width, double height, double thickness,
+                             double bend_angle, int segments) {
+  if (std::fabs(bend_angle) < 1e-9) {
+    return MakeBox({width, thickness, height});
+  }
+  const double radius = width / bend_angle;
+  return MakeDeformedBlock(
+      [=](double u, double v, double w) {
+        const double theta = (u - 0.5) * bend_angle;
+        const double r = radius + (v - 0.5) * thickness;
+        // Keep the panel centered near the origin: subtract the chord
+        // midpoint radius so the mesh does not sit at distance `radius`.
+        return Vec3{r * std::sin(theta), r * std::cos(theta) - radius,
+                    (w - 0.5) * height};
+      },
+      segments, 1, 1);
+}
+
+TriangleMesh MakeWing(double root_chord, double tip_chord, double span,
+                      double thickness, double sweep, int segments) {
+  return MakeDeformedBlock(
+      [=](double u, double v, double w) {
+        // u: chordwise, v: spanwise, w: thickness. Chord tapers and the
+        // tip is swept back; thickness thins toward the tip and the
+        // leading/trailing edges (a crude biconvex profile).
+        const double chord = root_chord + (tip_chord - root_chord) * v;
+        const double x = (u - 0.5) * chord + sweep * v;
+        const double y = v * span;
+        const double profile = 4.0 * u * (1.0 - u);  // 0 at edges, 1 mid
+        const double t = thickness * (1.0 - 0.6 * v) * (0.15 + 0.85 * profile);
+        return Vec3{x, y - span / 2.0, (w - 0.5) * t};
+      },
+      segments, segments, 1);
+}
+
+}  // namespace vsim

@@ -1,0 +1,69 @@
+// Parametric builders for watertight triangle meshes. These are the
+// building blocks of the synthetic CAD data sets that substitute for the
+// paper's proprietary car/aircraft parts (see DESIGN.md, Section 2).
+//
+// All builders produce closed, consistently oriented meshes so that the
+// parity-based solid voxelizer can classify interior voxels.
+#ifndef VSIM_GEOMETRY_PRIMITIVES_H_
+#define VSIM_GEOMETRY_PRIMITIVES_H_
+
+#include <functional>
+#include <vector>
+
+#include "vsim/geometry/mesh.h"
+#include "vsim/geometry/vec3.h"
+
+namespace vsim {
+
+// Axis-aligned box centered at the origin with the given full extents.
+TriangleMesh MakeBox(Vec3 extents);
+
+// UV sphere centered at the origin.
+TriangleMesh MakeSphere(double radius, int slices = 24, int stacks = 12);
+
+// Cylinder along +z, centered at the origin, with closed caps.
+TriangleMesh MakeCylinder(double radius, double height, int segments = 24);
+
+// Regular n-gonal prism along +z (n = 6 gives bolt heads / nuts).
+TriangleMesh MakePrism(int sides, double circumradius, double height);
+
+// Truncated cone (frustum) along +z; radius_top may be 0 (a cone).
+TriangleMesh MakeFrustum(double radius_bottom, double radius_top,
+                         double height, int segments = 24);
+
+// Torus around the z axis (tire-like).
+TriangleMesh MakeTorus(double major_radius, double minor_radius,
+                       int major_segments = 32, int minor_segments = 16);
+
+// Annular cylinder (washer / sleeve): outer radius, inner hole, height.
+TriangleMesh MakeTube(double outer_radius, double inner_radius, double height,
+                      int segments = 24);
+
+// Surface of revolution of a polyline profile {(r_i, z_i)} around the z
+// axis. If the first/last r is 0 the pole is closed with an apex; else a
+// flat annulus/disk cap is emitted. Profile must have >= 2 points with
+// strictly increasing z.
+TriangleMesh MakeLathe(const std::vector<std::pair<double, double>>& profile,
+                       int segments = 24);
+
+// Deformed hexahedral block: maps the unit cube through `fn` on an
+// (nu x nv x nw) grid and emits its boundary surface. Watertight by
+// construction; the workhorse behind curved panels, fenders and wings.
+TriangleMesh MakeDeformedBlock(
+    const std::function<Vec3(double u, double v, double w)>& fn, int nu,
+    int nv, int nw);
+
+// Curved rectangular panel (car-door-like): a slab of `width x height x
+// thickness` bent around a vertical axis with the given bend angle
+// (radians; 0 = flat slab).
+TriangleMesh MakeCurvedPanel(double width, double height, double thickness,
+                             double bend_angle, int segments = 16);
+
+// Tapered swept slab (wing-like): root chord, tip chord, span, thickness
+// profile thinning toward the tip, optional sweep offset of the tip.
+TriangleMesh MakeWing(double root_chord, double tip_chord, double span,
+                      double thickness, double sweep, int segments = 12);
+
+}  // namespace vsim
+
+#endif  // VSIM_GEOMETRY_PRIMITIVES_H_

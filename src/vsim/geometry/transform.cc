@@ -1,0 +1,142 @@
+#include "vsim/geometry/transform.h"
+
+#include <cmath>
+
+namespace vsim {
+
+Mat3 Mat3::Scale(double sx, double sy, double sz) {
+  Mat3 r;
+  r.m = {sx, 0, 0, 0, sy, 0, 0, 0, sz};
+  return r;
+}
+
+Mat3 Mat3::RotationX(double a) {
+  const double c = std::cos(a), s = std::sin(a);
+  Mat3 r;
+  r.m = {1, 0, 0, 0, c, -s, 0, s, c};
+  return r;
+}
+
+Mat3 Mat3::RotationY(double a) {
+  const double c = std::cos(a), s = std::sin(a);
+  Mat3 r;
+  r.m = {c, 0, s, 0, 1, 0, -s, 0, c};
+  return r;
+}
+
+Mat3 Mat3::RotationZ(double a) {
+  const double c = std::cos(a), s = std::sin(a);
+  Mat3 r;
+  r.m = {c, -s, 0, s, c, 0, 0, 0, 1};
+  return r;
+}
+
+Mat3 Mat3::AxisAngle(Vec3 axis, double a) {
+  const Vec3 u = axis.Normalized();
+  const double c = std::cos(a), s = std::sin(a), t = 1.0 - c;
+  Mat3 r;
+  r.m = {t * u.x * u.x + c,       t * u.x * u.y - s * u.z, t * u.x * u.z + s * u.y,
+         t * u.x * u.y + s * u.z, t * u.y * u.y + c,       t * u.y * u.z - s * u.x,
+         t * u.x * u.z - s * u.y, t * u.y * u.z + s * u.x, t * u.z * u.z + c};
+  return r;
+}
+
+Vec3 Mat3::operator*(Vec3 v) const {
+  return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+          m[3] * v.x + m[4] * v.y + m[5] * v.z,
+          m[6] * v.x + m[7] * v.y + m[8] * v.z};
+}
+
+Mat3 Mat3::operator*(const Mat3& o) const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 3; ++k) sum += (*this)(i, k) * o(k, j);
+      r(i, j) = sum;
+    }
+  }
+  return r;
+}
+
+Mat3 Mat3::Transposed() const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r(i, j) = (*this)(j, i);
+  return r;
+}
+
+double Mat3::Determinant() const {
+  return m[0] * (m[4] * m[8] - m[5] * m[7]) -
+         m[1] * (m[3] * m[8] - m[5] * m[6]) +
+         m[2] * (m[3] * m[7] - m[4] * m[6]);
+}
+
+Transform Transform::Then(const Transform& next) const {
+  // next.Apply(this->Apply(p)) = next.linear*(linear*p + translation) + next.translation
+  Transform r;
+  r.linear = next.linear * linear;
+  r.translation = next.linear * translation + next.translation;
+  return r;
+}
+
+namespace {
+
+// Builds the signed permutation matrices with determinant `want_det`.
+std::vector<Mat3> SignedPermutations(double want_det) {
+  std::vector<Mat3> result;
+  const int perms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                           {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (const auto& p : perms) {
+    for (int signs = 0; signs < 8; ++signs) {
+      Mat3 mat;
+      mat.m = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+      for (int row = 0; row < 3; ++row) {
+        const double sign = (signs >> row) & 1 ? -1.0 : 1.0;
+        mat(row, p[row]) = sign;
+      }
+      if (std::fabs(mat.Determinant() - want_det) < 1e-12) {
+        result.push_back(mat);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Mat3> BuildRotations() {
+  // Put identity first so callers can treat index 0 as "no transform".
+  std::vector<Mat3> rots = SignedPermutations(1.0);
+  for (size_t i = 0; i < rots.size(); ++i) {
+    bool is_identity = true;
+    for (int r = 0; r < 3 && is_identity; ++r)
+      for (int c = 0; c < 3 && is_identity; ++c)
+        if (std::fabs(rots[i](r, c) - (r == c ? 1.0 : 0.0)) > 1e-12)
+          is_identity = false;
+    if (is_identity) {
+      std::swap(rots[0], rots[i]);
+      break;
+    }
+  }
+  return rots;
+}
+
+std::vector<Mat3> BuildFullGroup() {
+  std::vector<Mat3> all = BuildRotations();
+  std::vector<Mat3> reflections = SignedPermutations(-1.0);
+  all.insert(all.end(), reflections.begin(), reflections.end());
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Mat3>& CubeRotations() {
+  static const std::vector<Mat3>& rotations = *new std::vector<Mat3>(BuildRotations());
+  return rotations;
+}
+
+const std::vector<Mat3>& CubeRotationsWithReflections() {
+  static const std::vector<Mat3>& group = *new std::vector<Mat3>(BuildFullGroup());
+  return group;
+}
+
+}  // namespace vsim

@@ -1,0 +1,60 @@
+// Affine 3-D transforms (rotation matrix + translation) plus the finite
+// octahedral transformation groups used for the paper's normalization
+// step (Section 3.2): the 24 proper 90-degree rotations and the 48
+// rotations-plus-reflections.
+#ifndef VSIM_GEOMETRY_TRANSFORM_H_
+#define VSIM_GEOMETRY_TRANSFORM_H_
+
+#include <array>
+#include <vector>
+
+#include "vsim/geometry/vec3.h"
+
+namespace vsim {
+
+// Row-major 3x3 matrix.
+struct Mat3 {
+  std::array<double, 9> m = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  static Mat3 Identity() { return Mat3{}; }
+  static Mat3 Scale(double sx, double sy, double sz);
+  static Mat3 RotationX(double radians);
+  static Mat3 RotationY(double radians);
+  static Mat3 RotationZ(double radians);
+  // Rotation by `radians` around arbitrary unit axis.
+  static Mat3 AxisAngle(Vec3 axis, double radians);
+
+  double operator()(int r, int c) const { return m[r * 3 + c]; }
+  double& operator()(int r, int c) { return m[r * 3 + c]; }
+
+  Vec3 operator*(Vec3 v) const;
+  Mat3 operator*(const Mat3& o) const;
+
+  Mat3 Transposed() const;
+  double Determinant() const;
+};
+
+// Affine transform p -> rotation * p + translation.
+struct Transform {
+  Mat3 linear;
+  Vec3 translation;
+
+  static Transform Identity() { return Transform{}; }
+  static Transform Translate(Vec3 t) { return {Mat3::Identity(), t}; }
+  static Transform Linear(const Mat3& m) { return {m, Vec3{}}; }
+
+  Vec3 Apply(Vec3 p) const { return linear * p + translation; }
+  Transform Then(const Transform& next) const;
+};
+
+// The 24 proper rotations of the cube (orientation-preserving octahedral
+// group), as signed permutation matrices. Element 0 is the identity.
+const std::vector<Mat3>& CubeRotations();
+
+// The full 48-element octahedral group: the 24 rotations and their
+// compositions with a reflection (determinant -1 elements).
+const std::vector<Mat3>& CubeRotationsWithReflections();
+
+}  // namespace vsim
+
+#endif  // VSIM_GEOMETRY_TRANSFORM_H_

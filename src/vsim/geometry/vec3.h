@@ -1,0 +1,93 @@
+#ifndef VSIM_GEOMETRY_VEC3_H_
+#define VSIM_GEOMETRY_VEC3_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace vsim {
+
+// 3-D vector / point with double components. Small, trivially copyable,
+// passed by value throughout.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xv, double yv, double zv) : x(xv), y(yv), z(zv) {}
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(Vec3 o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(Vec3 o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  void Set(int i, double v) {
+    if (i == 0) {
+      x = v;
+    } else if (i == 1) {
+      y = v;
+    } else {
+      z = v;
+    }
+  }
+
+  constexpr double Dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+
+  constexpr Vec3 Cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  // Component-wise product.
+  constexpr Vec3 Hadamard(Vec3 o) const { return {x * o.x, y * o.y, z * o.z}; }
+
+  double SquaredNorm() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+
+  Vec3 Normalized() const {
+    const double n = Norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+
+  Vec3 Min(Vec3 o) const {
+    return {std::fmin(x, o.x), std::fmin(y, o.y), std::fmin(z, o.z)};
+  }
+  Vec3 Max(Vec3 o) const {
+    return {std::fmax(x, o.x), std::fmax(y, o.y), std::fmax(z, o.z)};
+  }
+
+  double MaxComponent() const { return std::fmax(x, std::fmax(y, z)); }
+  double MinComponent() const { return std::fmin(x, std::fmin(y, z)); }
+};
+
+inline constexpr Vec3 operator*(double s, Vec3 v) { return v * s; }
+
+inline double Distance(Vec3 a, Vec3 b) { return (a - b).Norm(); }
+inline double SquaredDistance(Vec3 a, Vec3 b) { return (a - b).SquaredNorm(); }
+
+}  // namespace vsim
+
+#endif  // VSIM_GEOMETRY_VEC3_H_

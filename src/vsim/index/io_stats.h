@@ -1,0 +1,49 @@
+// Simulated I/O accounting. The paper's efficiency evaluation (Table 2)
+// keeps data and indexes in main memory and *charges* 8 ms per page
+// access and 200 ns per byte read; we reproduce exactly that cost model
+// so the CPU-vs-I/O trade-off of the filter step is comparable.
+#ifndef VSIM_INDEX_IO_STATS_H_
+#define VSIM_INDEX_IO_STATS_H_
+
+#include <cstddef>
+
+namespace vsim {
+
+struct IoCostParams {
+  double seconds_per_page_access = 0.008;  // 8 ms (paper, Section 5.4)
+  double seconds_per_byte = 200e-9;        // 200 ns (paper, Section 5.4)
+  size_t page_size_bytes = 4096;
+};
+
+class IoStats {
+ public:
+  void AddPageAccesses(size_t n) { page_accesses_ += n; }
+  void AddBytesRead(size_t n) { bytes_read_ += n; }
+
+  size_t page_accesses() const { return page_accesses_; }
+  size_t bytes_read() const { return bytes_read_; }
+
+  double SimulatedSeconds(const IoCostParams& params = {}) const {
+    return static_cast<double>(page_accesses_) * params.seconds_per_page_access +
+           static_cast<double>(bytes_read_) * params.seconds_per_byte;
+  }
+
+  void Reset() {
+    page_accesses_ = 0;
+    bytes_read_ = 0;
+  }
+
+  IoStats& operator+=(const IoStats& o) {
+    page_accesses_ += o.page_accesses_;
+    bytes_read_ += o.bytes_read_;
+    return *this;
+  }
+
+ private:
+  size_t page_accesses_ = 0;
+  size_t bytes_read_ = 0;
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_INDEX_IO_STATS_H_

@@ -1,0 +1,68 @@
+// Filter-and-refine query processing (Section 4.3): a lower-bounding
+// filter distance (the extended-centroid distance, indexed in an
+// X-tree) prunes candidates before the exact minimal matching distance
+// is computed.
+//
+//   - Range queries follow Korn et al.: filter with eps, refine.
+//     (With the centroid filter the X-tree is queried with eps / k,
+//     since the indexed centroid distance is the bound divided by k.)
+//   - k-NN queries follow Seidl & Kriegel's *optimal multi-step* k-NN:
+//     candidates are fetched in ascending filter-distance order and the
+//     algorithm stops exactly when the next filter distance exceeds the
+//     current k-th exact distance. No lower-bound-respecting algorithm
+//     can refine fewer candidates.
+#ifndef VSIM_INDEX_MULTISTEP_H_
+#define VSIM_INDEX_MULTISTEP_H_
+
+#include <functional>
+
+#include "vsim/features/feature_vector.h"
+#include "vsim/index/io_stats.h"
+#include "vsim/index/xtree.h"
+
+namespace vsim {
+
+// Computes the exact distance of the query to the stored object `id`,
+// charging any object-fetch I/O to `stats`.
+using ExactDistanceFn = std::function<double(int id, IoStats* stats)>;
+
+struct MultiStepStats {
+  size_t candidates_refined = 0;  // exact distance evaluations
+  size_t filter_hits = 0;         // candidates produced by the filter
+};
+
+// Optimal multi-step k-NN. `filter_index` must index a filter vector
+// per object such that `filter_scale` * (Euclidean distance in the
+// index) lower-bounds the exact distance (for the centroid filter:
+// index the extended centroids and pass filter_scale = k).
+std::vector<Neighbor> MultiStepKnn(const XTree& filter_index,
+                                   const FeatureVector& filter_query,
+                                   double filter_scale, int k,
+                                   const ExactDistanceFn& exact_distance,
+                                   IoStats* stats = nullptr,
+                                   MultiStepStats* msstats = nullptr);
+
+// Multi-step eps-range query: filter with eps / filter_scale, refine.
+std::vector<int> MultiStepRange(const XTree& filter_index,
+                                const FeatureVector& filter_query,
+                                double filter_scale, double eps,
+                                const ExactDistanceFn& exact_distance,
+                                IoStats* stats = nullptr,
+                                MultiStepStats* msstats = nullptr);
+
+// Baselines: sequential scan over `count` objects (ids 0..count-1).
+// `scan_bytes` is the total size of the scanned file; its pages are
+// charged once per query (sequential read).
+std::vector<Neighbor> ScanKnn(int count, int k, size_t scan_bytes,
+                              size_t page_size,
+                              const ExactDistanceFn& exact_distance,
+                              IoStats* stats = nullptr);
+
+std::vector<int> ScanRange(int count, double eps, size_t scan_bytes,
+                           size_t page_size,
+                           const ExactDistanceFn& exact_distance,
+                           IoStats* stats = nullptr);
+
+}  // namespace vsim
+
+#endif  // VSIM_INDEX_MULTISTEP_H_

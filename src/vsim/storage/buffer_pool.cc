@@ -1,0 +1,128 @@
+#include "vsim/storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace vsim {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->Unpin(frame_);
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_ = other.page_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() {
+  if (pool_ != nullptr) pool_->Unpin(frame_);
+}
+
+char* PageHandle::data() {
+  assert(pool_ != nullptr);
+  return pool_->frames_[frame_].data.data();
+}
+
+const char* PageHandle::data() const {
+  assert(pool_ != nullptr);
+  return pool_->frames_[frame_].data.data();
+}
+
+void PageHandle::MarkDirty() {
+  assert(pool_ != nullptr);
+  pool_->frames_[frame_].dirty = true;
+}
+
+BufferPool::BufferPool(PagedFile* file, size_t capacity) : file_(file) {
+  assert(capacity >= 1);
+  frames_.resize(capacity);
+  for (Frame& frame : frames_) {
+    frame.data.assign(file_->page_size(), 0);
+  }
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+void BufferPool::TouchLru(size_t frame) {
+  auto it = lru_pos_.find(frame);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_back(frame);
+  lru_pos_[frame] = std::prev(lru_.end());
+}
+
+void BufferPool::Unpin(size_t frame) {
+  assert(frames_[frame].pin_count > 0);
+  --frames_[frame].pin_count;
+}
+
+StatusOr<size_t> BufferPool::GrabFrame() {
+  // Prefer an empty frame.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page == 0) return i;
+  }
+  // Evict the least-recently-used unpinned frame.
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const size_t frame = *it;
+    if (frames_[frame].pin_count > 0) continue;
+    Frame& victim = frames_[frame];
+    if (victim.dirty) {
+      VSIM_RETURN_NOT_OK(file_->Write(victim.page, victim.data.data()));
+      victim.dirty = false;
+    }
+    frame_of_.erase(victim.page);
+    victim.page = 0;
+    lru_.erase(it);
+    lru_pos_.erase(frame);
+    ++evictions_;
+    return frame;
+  }
+  return Status::FailedPrecondition("all buffer frames are pinned");
+}
+
+StatusOr<PageHandle> BufferPool::Fetch(PageId page) {
+  auto it = frame_of_.find(page);
+  if (it != frame_of_.end()) {
+    ++hits_;
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    TouchLru(it->second);
+    return PageHandle(this, it->second, page);
+  }
+  ++misses_;
+  VSIM_ASSIGN_OR_RETURN(size_t slot, GrabFrame());
+  Frame& frame = frames_[slot];
+  VSIM_RETURN_NOT_OK(file_->Read(page, frame.data.data()));
+  frame.page = page;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame_of_[page] = slot;
+  TouchLru(slot);
+  return PageHandle(this, slot, page);
+}
+
+StatusOr<PageHandle> BufferPool::Allocate() {
+  VSIM_ASSIGN_OR_RETURN(PageId page, file_->Allocate());
+  VSIM_ASSIGN_OR_RETURN(size_t slot, GrabFrame());
+  Frame& frame = frames_[slot];
+  std::memset(frame.data.data(), 0, frame.data.size());
+  frame.page = page;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame_of_[page] = slot;
+  TouchLru(slot);
+  return PageHandle(this, slot, page);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.page != 0 && frame.dirty) {
+      VSIM_RETURN_NOT_OK(file_->Write(frame.page, frame.data.data()));
+      frame.dirty = false;
+    }
+  }
+  return file_->Sync();
+}
+
+}  // namespace vsim

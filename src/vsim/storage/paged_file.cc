@@ -1,0 +1,149 @@
+#include "vsim/storage/paged_file.h"
+
+#include <cstring>
+
+#include "vsim/common/binary_io.h"
+
+namespace vsim {
+
+namespace {
+constexpr char kMagic[8] = {'V', 'S', 'P', 'G', 'F', 'L', '0', '1'};
+constexpr size_t kHeaderBytes = 8 + 8 + 8;  // magic, page size, page count
+}  // namespace
+
+PagedFile::PagedFile(PagedFile&& other) noexcept { *this = std::move(other); }
+
+PagedFile& PagedFile::operator=(PagedFile&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    page_size_ = other.page_size_;
+    page_count_ = other.page_count_;
+    physical_reads_ = other.physical_reads_;
+    physical_writes_ = other.physical_writes_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+PagedFile::~PagedFile() {
+  if (file_ != nullptr) {
+    WriteHeader();  // best effort
+    std::fclose(file_);
+  }
+}
+
+StatusOr<PagedFile> PagedFile::Create(const std::string& path,
+                                      size_t page_size) {
+  if (page_size < 256) {
+    return Status::InvalidArgument("page_size must be >= 256");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  PagedFile file;
+  file.file_ = f;
+  file.page_size_ = page_size;
+  file.page_count_ = 0;
+  VSIM_RETURN_NOT_OK(file.WriteHeader());
+  // Pad the header page to a full page so data pages are aligned.
+  std::vector<char> pad(page_size - kHeaderBytes, 0);
+  if (std::fwrite(pad.data(), 1, pad.size(), f) != pad.size()) {
+    return Status::IOError("cannot pad header page of " + path);
+  }
+  return file;
+}
+
+StatusOr<PagedFile> PagedFile::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char magic[8];
+  if (std::fread(magic, 1, 8, f) != 8 ||
+      std::memcmp(magic, kMagic, 8) != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument(path + " is not a vsim paged file");
+  }
+  unsigned char meta[16];
+  if (std::fread(meta, 1, 16, f) != 16) {
+    std::fclose(f);
+    return Status::IOError("truncated header in " + path);
+  }
+  PagedFile file;
+  file.file_ = f;
+  file.page_size_ = 0;
+  file.page_count_ = 0;
+  for (int i = 0; i < 8; ++i) {
+    file.page_size_ |= static_cast<size_t>(meta[i]) << (8 * i);
+    file.page_count_ |= static_cast<uint64_t>(meta[8 + i]) << (8 * i);
+  }
+  if (file.page_size_ < 256) {
+    std::fclose(f);
+    file.file_ = nullptr;
+    return Status::InvalidArgument("corrupt page size in " + path);
+  }
+  return file;
+}
+
+Status PagedFile::WriteHeader() {
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IOError("seek to header failed");
+  }
+  char header[kHeaderBytes];
+  std::memcpy(header, kMagic, 8);
+  for (int i = 0; i < 8; ++i) {
+    header[8 + i] = static_cast<char>(page_size_ >> (8 * i));
+    header[16 + i] = static_cast<char>(page_count_ >> (8 * i));
+  }
+  if (std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes) {
+    return Status::IOError("header write failed");
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> PagedFile::Allocate() {
+  const PageId id = ++page_count_;
+  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
+    return Status::IOError("seek failed during Allocate");
+  }
+  std::vector<char> zero(page_size_, 0);
+  if (std::fwrite(zero.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IOError("page allocation write failed");
+  }
+  ++physical_writes_;
+  return id;
+}
+
+Status PagedFile::Read(PageId page, char* data) const {
+  if (page == 0 || page > page_count_) {
+    return Status::OutOfRange("page id out of range");
+  }
+  if (std::fseek(file_, static_cast<long>(page * page_size_), SEEK_SET) != 0) {
+    return Status::IOError("seek failed during Read");
+  }
+  if (std::fread(data, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short page read");
+  }
+  ++physical_reads_;
+  return Status::OK();
+}
+
+Status PagedFile::Write(PageId page, const char* data) {
+  if (page == 0 || page > page_count_) {
+    return Status::OutOfRange("page id out of range");
+  }
+  if (std::fseek(file_, static_cast<long>(page * page_size_), SEEK_SET) != 0) {
+    return Status::IOError("seek failed during Write");
+  }
+  if (std::fwrite(data, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short page write");
+  }
+  ++physical_writes_;
+  return Status::OK();
+}
+
+Status PagedFile::Sync() {
+  VSIM_RETURN_NOT_OK(WriteHeader());
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+}  // namespace vsim

@@ -1,0 +1,114 @@
+#include "vsim/voxel/normalizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vsim {
+
+void SymmetricEigen3(const Mat3& a, Mat3* eigvecs, Vec3* eigvals) {
+  // Cyclic Jacobi: repeatedly zero the largest off-diagonal element.
+  Mat3 m = a;
+  Mat3 v = Mat3::Identity();
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    // Find the largest off-diagonal |m(p,q)|.
+    int p = 0, q = 1;
+    double off = std::fabs(m(0, 1));
+    if (std::fabs(m(0, 2)) > off) {
+      off = std::fabs(m(0, 2));
+      p = 0;
+      q = 2;
+    }
+    if (std::fabs(m(1, 2)) > off) {
+      off = std::fabs(m(1, 2));
+      p = 1;
+      q = 2;
+    }
+    if (off < 1e-14) break;
+    const double apq = m(p, q);
+    const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+    const double t = (theta >= 0 ? 1.0 : -1.0) /
+                     (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+    const double c = 1.0 / std::sqrt(t * t + 1.0);
+    const double s = t * c;
+    // Apply the Givens rotation G(p, q, theta): m = G^T m G, v = v G.
+    Mat3 g = Mat3::Identity();
+    g(p, p) = c;
+    g(q, q) = c;
+    g(p, q) = s;
+    g(q, p) = -s;
+    m = g.Transposed() * m * g;
+    v = v * g;
+  }
+  // Sort eigenvalues (diagonal of m) descending, permuting columns of v.
+  int order[3] = {0, 1, 2};
+  std::sort(order, order + 3,
+            [&](int i, int j) { return m(i, i) > m(j, j); });
+  Mat3 sorted_v;
+  Vec3 vals;
+  for (int c = 0; c < 3; ++c) {
+    vals.Set(c, m(order[c], order[c]));
+    for (int r = 0; r < 3; ++r) sorted_v(r, c) = v(r, order[c]);
+  }
+  *eigvecs = sorted_v;
+  *eigvals = vals;
+}
+
+Mat3 PrincipalAxisRotation(const TriangleMesh& mesh) {
+  // Area-weighted centroid.
+  double total_area = 0.0;
+  Vec3 centroid;
+  for (size_t t = 0; t < mesh.triangle_count(); ++t) {
+    const Triangle tri = mesh.triangle(t);
+    const double area = tri.Area();
+    centroid += tri.Centroid() * area;
+    total_area += area;
+  }
+  if (total_area <= 0.0) return Mat3::Identity();
+  centroid = centroid / total_area;
+
+  // Exact surface covariance: the edge-midpoint quadrature rule
+  // integrates quadratics exactly over each triangle.
+  Mat3 cov;
+  cov.m = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t t = 0; t < mesh.triangle_count(); ++t) {
+    const Triangle tri = mesh.triangle(t);
+    const double w = tri.Area() / 3.0;
+    const Vec3 midpoints[3] = {(tri.a + tri.b) * 0.5, (tri.b + tri.c) * 0.5,
+                               (tri.c + tri.a) * 0.5};
+    for (const Vec3& m : midpoints) {
+      const Vec3 d = m - centroid;
+      const double dv[3] = {d.x, d.y, d.z};
+      for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j) cov(i, j) += w * dv[i] * dv[j];
+    }
+  }
+
+  Mat3 eigvecs;
+  Vec3 eigvals;
+  SymmetricEigen3(cov, &eigvecs, &eigvals);
+  // Rows of the rotation are the eigenvectors: R * e_k = axis k, so the
+  // object's largest principal direction maps onto x.
+  Mat3 rot = eigvecs.Transposed();
+  // Enforce a proper rotation (flip the last row if det = -1).
+  if (rot.Determinant() < 0.0) {
+    for (int c = 0; c < 3; ++c) rot(2, c) = -rot(2, c);
+  }
+  return rot;
+}
+
+std::vector<VoxelGrid> AllOrientations(const VoxelGrid& grid,
+                                       bool with_reflections) {
+  const std::vector<Mat3>& group =
+      with_reflections ? CubeRotationsWithReflections() : CubeRotations();
+  std::vector<VoxelGrid> out;
+  out.reserve(group.size());
+  for (const Mat3& m : group) {
+    StatusOr<VoxelGrid> g = grid.Transformed(m);
+    assert(g.ok());
+    out.push_back(std::move(g).value());
+  }
+  return out;
+}
+
+}  // namespace vsim

@@ -1,0 +1,35 @@
+// Normalization of CAD objects (Section 3.2): translation and scaling
+// are handled by the voxelizer's grid fit; this module provides
+// (a) the principal-axis transform for full rotation invariance and
+// (b) the enumeration of all 24 (or 48, with reflections) octahedral
+// orientations of a voxel grid for 90-degree-rotation invariance.
+#ifndef VSIM_VOXEL_NORMALIZER_H_
+#define VSIM_VOXEL_NORMALIZER_H_
+
+#include <vector>
+
+#include "vsim/geometry/mesh.h"
+#include "vsim/geometry/transform.h"
+#include "vsim/voxel/voxel_grid.h"
+
+namespace vsim {
+
+// Eigen decomposition of a symmetric 3x3 matrix by cyclic Jacobi
+// rotations. Eigenvalues are returned in descending order with matching
+// eigenvector columns in `eigvecs`.
+void SymmetricEigen3(const Mat3& a, Mat3* eigvecs, Vec3* eigvals);
+
+// Rotation that aligns the object's principal axes (area-weighted
+// covariance of triangle centroids about the area centroid) with the
+// coordinate axes: largest spread along x, smallest along z. The
+// returned matrix is a proper rotation (det = +1).
+Mat3 PrincipalAxisRotation(const TriangleMesh& mesh);
+
+// All orientations of a cubic grid under the 24 proper 90-degree
+// rotations, or all 48 including reflections. Element 0 is the input.
+std::vector<VoxelGrid> AllOrientations(const VoxelGrid& grid,
+                                       bool with_reflections);
+
+}  // namespace vsim
+
+#endif  // VSIM_VOXEL_NORMALIZER_H_

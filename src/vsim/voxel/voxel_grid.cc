@@ -1,0 +1,166 @@
+#include "vsim/voxel/voxel_grid.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vsim {
+
+size_t VoxelGrid::Count() const {
+  size_t n = 0;
+  for (uint8_t v : data_) n += v;
+  return n;
+}
+
+std::vector<VoxelCoord> VoxelGrid::SetVoxels() const {
+  std::vector<VoxelCoord> out;
+  for (int z = 0; z < nz_; ++z) {
+    for (int y = 0; y < ny_; ++y) {
+      for (int x = 0; x < nx_; ++x) {
+        if (At(x, y, z)) out.push_back({x, y, z});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+constexpr int kNeighbors[6][3] = {{1, 0, 0},  {-1, 0, 0}, {0, 1, 0},
+                                  {0, -1, 0}, {0, 0, 1},  {0, 0, -1}};
+}  // namespace
+
+std::vector<VoxelCoord> VoxelGrid::SurfaceVoxels() const {
+  std::vector<VoxelCoord> out;
+  for (int z = 0; z < nz_; ++z) {
+    for (int y = 0; y < ny_; ++y) {
+      for (int x = 0; x < nx_; ++x) {
+        if (!At(x, y, z)) continue;
+        bool surface = false;
+        for (const auto& d : kNeighbors) {
+          const int xx = x + d[0], yy = y + d[1], zz = z + d[2];
+          if (!InBounds(xx, yy, zz) || !At(xx, yy, zz)) {
+            surface = true;
+            break;
+          }
+        }
+        if (surface) out.push_back({x, y, z});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<VoxelCoord> VoxelGrid::InteriorVoxels() const {
+  std::vector<VoxelCoord> out;
+  for (int z = 0; z < nz_; ++z) {
+    for (int y = 0; y < ny_; ++y) {
+      for (int x = 0; x < nx_; ++x) {
+        if (!At(x, y, z)) continue;
+        bool surface = false;
+        for (const auto& d : kNeighbors) {
+          const int xx = x + d[0], yy = y + d[1], zz = z + d[2];
+          if (!InBounds(xx, yy, zz) || !At(xx, yy, zz)) {
+            surface = true;
+            break;
+          }
+        }
+        if (!surface) out.push_back({x, y, z});
+      }
+    }
+  }
+  return out;
+}
+
+void VoxelGrid::UnionWith(const VoxelGrid& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] |= other.data_[i];
+}
+
+void VoxelGrid::IntersectWith(const VoxelGrid& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] &= other.data_[i];
+}
+
+void VoxelGrid::SubtractFrom(const VoxelGrid& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = data_[i] & static_cast<uint8_t>(other.data_[i] ^ 1);
+  }
+}
+
+size_t VoxelGrid::XorCount(const VoxelGrid& other) const {
+  assert(SameShape(other));
+  size_t n = 0;
+  for (size_t i = 0; i < data_.size(); ++i) n += data_[i] ^ other.data_[i];
+  return n;
+}
+
+StatusOr<VoxelGrid> VoxelGrid::Transformed(const Mat3& m) const {
+  if (!IsCubic()) {
+    return Status::FailedPrecondition(
+        "octahedral transforms require a cubic grid");
+  }
+  // Verify m is a signed permutation matrix.
+  for (int r = 0; r < 3; ++r) {
+    int nonzero = 0;
+    for (int c = 0; c < 3; ++c) {
+      const double v = std::fabs(m(r, c));
+      if (v > 1e-12) {
+        ++nonzero;
+        if (std::fabs(v - 1.0) > 1e-12) {
+          return Status::InvalidArgument("not a signed permutation matrix");
+        }
+      }
+    }
+    if (nonzero != 1) {
+      return Status::InvalidArgument("not a signed permutation matrix");
+    }
+  }
+  const int r = nx_;
+  VoxelGrid out(r);
+  // Voxel center coordinate relative to grid center: 2*c - (r-1), an
+  // integer in {-(r-1), ..., r-1} with the right parity; transforming and
+  // mapping back is exact.
+  for (int z = 0; z < r; ++z) {
+    for (int y = 0; y < r; ++y) {
+      for (int x = 0; x < r; ++x) {
+        if (!At(x, y, z)) continue;
+        const double cx = 2.0 * x - (r - 1);
+        const double cy = 2.0 * y - (r - 1);
+        const double cz = 2.0 * z - (r - 1);
+        const Vec3 t = m * Vec3{cx, cy, cz};
+        const int tx = static_cast<int>(std::lround((t.x + (r - 1)) / 2.0));
+        const int ty = static_cast<int>(std::lround((t.y + (r - 1)) / 2.0));
+        const int tz = static_cast<int>(std::lround((t.z + (r - 1)) / 2.0));
+        assert(out.InBounds(tx, ty, tz));
+        out.Set(tx, ty, tz);
+      }
+    }
+  }
+  return out;
+}
+
+bool VoxelGrid::TightBounds(VoxelCoord* lo, VoxelCoord* hi) const {
+  bool any = false;
+  VoxelCoord mn{nx_, ny_, nz_}, mx{-1, -1, -1};
+  for (int z = 0; z < nz_; ++z) {
+    for (int y = 0; y < ny_; ++y) {
+      for (int x = 0; x < nx_; ++x) {
+        if (!At(x, y, z)) continue;
+        any = true;
+        mn.x = std::min(mn.x, x);
+        mn.y = std::min(mn.y, y);
+        mn.z = std::min(mn.z, z);
+        mx.x = std::max(mx.x, x);
+        mx.y = std::max(mx.y, y);
+        mx.z = std::max(mx.z, z);
+      }
+    }
+  }
+  if (any) {
+    *lo = mn;
+    *hi = mx;
+  }
+  return any;
+}
+
+}  // namespace vsim

@@ -1,0 +1,106 @@
+// Dense 3-D occupancy grid: the voxel representation of a CAD object
+// (Section 3 of the paper). Grids are cubic (r x r x r) in the paper's
+// pipeline but the class supports general dimensions.
+#ifndef VSIM_VOXEL_VOXEL_GRID_H_
+#define VSIM_VOXEL_VOXEL_GRID_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "vsim/common/status.h"
+#include "vsim/geometry/transform.h"
+
+namespace vsim {
+
+struct VoxelCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  constexpr bool operator==(const VoxelCoord&) const = default;
+};
+
+class VoxelGrid {
+ public:
+  VoxelGrid() = default;
+  VoxelGrid(int nx, int ny, int nz)
+      : nx_(nx), ny_(ny), nz_(nz),
+        data_(static_cast<size_t>(nx) * ny * nz, 0) {}
+
+  // Cubic grid of resolution r (the paper's raster resolution).
+  explicit VoxelGrid(int r) : VoxelGrid(r, r, r) {}
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  bool IsCubic() const { return nx_ == ny_ && ny_ == nz_; }
+  size_t size() const { return data_.size(); }
+
+  bool InBounds(int x, int y, int z) const {
+    return x >= 0 && x < nx_ && y >= 0 && y < ny_ && z >= 0 && z < nz_;
+  }
+
+  size_t Index(int x, int y, int z) const {
+    assert(InBounds(x, y, z));
+    return (static_cast<size_t>(z) * ny_ + y) * nx_ + x;
+  }
+
+  bool At(int x, int y, int z) const { return data_[Index(x, y, z)] != 0; }
+  bool At(VoxelCoord c) const { return At(c.x, c.y, c.z); }
+
+  void Set(int x, int y, int z, bool value = true) {
+    data_[Index(x, y, z)] = value ? 1 : 0;
+  }
+  void Set(VoxelCoord c, bool value = true) { Set(c.x, c.y, c.z, value); }
+
+  // Number of set voxels.
+  size_t Count() const;
+
+  // True if no voxel is set.
+  bool Empty() const { return Count() == 0; }
+
+  // All set voxel coordinates.
+  std::vector<VoxelCoord> SetVoxels() const;
+
+  // Surface voxels: set voxels with at least one unset (or out-of-grid)
+  // 6-neighbor. The complement within the object is the interior
+  // (the paper's V-bar and V-dot, Section 3.3).
+  std::vector<VoxelCoord> SurfaceVoxels() const;
+  std::vector<VoxelCoord> InteriorVoxels() const;
+
+  // In-place set algebra with a same-shaped grid.
+  void UnionWith(const VoxelGrid& other);
+  void IntersectWith(const VoxelGrid& other);
+  void SubtractFrom(const VoxelGrid& other);  // this = this AND NOT other
+
+  // |this XOR other|: the symmetric volume difference used to score
+  // cover sequences (Section 3.3.3).
+  size_t XorCount(const VoxelGrid& other) const;
+
+  bool SameShape(const VoxelGrid& other) const {
+    return nx_ == other.nx_ && ny_ == other.ny_ && nz_ == other.nz_;
+  }
+
+  bool operator==(const VoxelGrid& other) const = default;
+
+  // Applies an octahedral-group element (signed permutation matrix, as
+  // produced by CubeRotations()/CubeRotationsWithReflections()) to a
+  // cubic grid: voxel centers are rotated/reflected about the grid
+  // center. Returns error for non-cubic grids or non-signed-permutation
+  // matrices.
+  StatusOr<VoxelGrid> Transformed(const Mat3& m) const;
+
+  // Axis-aligned bounding box of the set voxels, as inclusive coords.
+  // Returns false if the grid is empty.
+  bool TightBounds(VoxelCoord* lo, VoxelCoord* hi) const;
+
+  const std::vector<uint8_t>& raw() const { return data_; }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_VOXEL_VOXEL_GRID_H_

@@ -1,0 +1,308 @@
+#include "vsim/voxel/voxelizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "vsim/common/math_util.h"
+#include "vsim/geometry/aabb.h"
+
+namespace vsim {
+
+namespace {
+
+// --- Akenine-Moller triangle/box SAT test -------------------------------
+
+bool PlaneBoxOverlap(Vec3 normal, double d, Vec3 half) {
+  Vec3 vmin, vmax;
+  for (int i = 0; i < 3; ++i) {
+    if (normal[i] > 0.0) {
+      vmin.Set(i, -half[i]);
+      vmax.Set(i, half[i]);
+    } else {
+      vmin.Set(i, half[i]);
+      vmax.Set(i, -half[i]);
+    }
+  }
+  if (normal.Dot(vmin) + d > 0.0) return false;
+  return normal.Dot(vmax) + d >= 0.0;
+}
+
+}  // namespace
+
+bool TriangleBoxOverlap(const Triangle& tri, Vec3 center, Vec3 half) {
+  // Translate triangle into box-centered coordinates.
+  const Vec3 v0 = tri.a - center;
+  const Vec3 v1 = tri.b - center;
+  const Vec3 v2 = tri.c - center;
+
+  const Vec3 e0 = v1 - v0;
+  const Vec3 e1 = v2 - v1;
+  const Vec3 e2 = v0 - v2;
+
+  // 9 cross-product axes.
+  {
+    const double fex = std::fabs(e0.x), fey = std::fabs(e0.y),
+                 fez = std::fabs(e0.z);
+    // a_00 = (0, -e0.z, e0.y), tested against v0, v2
+    {
+      const double p0 = e0.z * v0.y - e0.y * v0.z;
+      const double p2 = e0.z * v2.y - e0.y * v2.z;
+      const double rad = fez * half.y + fey * half.z;
+      if (std::min(p0, p2) > rad || std::max(p0, p2) < -rad) return false;
+    }
+    {
+      const double p0 = -e0.z * v0.x + e0.x * v0.z;
+      const double p2 = -e0.z * v2.x + e0.x * v2.z;
+      const double rad = fez * half.x + fex * half.z;
+      if (std::min(p0, p2) > rad || std::max(p0, p2) < -rad) return false;
+    }
+    {
+      const double p1 = e0.y * v1.x - e0.x * v1.y;
+      const double p2 = e0.y * v2.x - e0.x * v2.y;
+      const double rad = fey * half.x + fex * half.y;
+      if (std::min(p1, p2) > rad || std::max(p1, p2) < -rad) return false;
+    }
+  }
+  {
+    const double fex = std::fabs(e1.x), fey = std::fabs(e1.y),
+                 fez = std::fabs(e1.z);
+    {
+      const double p0 = e1.z * v0.y - e1.y * v0.z;
+      const double p2 = e1.z * v2.y - e1.y * v2.z;
+      const double rad = fez * half.y + fey * half.z;
+      if (std::min(p0, p2) > rad || std::max(p0, p2) < -rad) return false;
+    }
+    {
+      const double p0 = -e1.z * v0.x + e1.x * v0.z;
+      const double p2 = -e1.z * v2.x + e1.x * v2.z;
+      const double rad = fez * half.x + fex * half.z;
+      if (std::min(p0, p2) > rad || std::max(p0, p2) < -rad) return false;
+    }
+    {
+      const double p0 = e1.y * v0.x - e1.x * v0.y;
+      const double p1 = e1.y * v1.x - e1.x * v1.y;
+      const double rad = fey * half.x + fex * half.y;
+      if (std::min(p0, p1) > rad || std::max(p0, p1) < -rad) return false;
+    }
+  }
+  {
+    const double fex = std::fabs(e2.x), fey = std::fabs(e2.y),
+                 fez = std::fabs(e2.z);
+    {
+      const double p0 = e2.z * v0.y - e2.y * v0.z;
+      const double p1 = e2.z * v1.y - e2.y * v1.z;
+      const double rad = fez * half.y + fey * half.z;
+      if (std::min(p0, p1) > rad || std::max(p0, p1) < -rad) return false;
+    }
+    {
+      const double p0 = -e2.z * v0.x + e2.x * v0.z;
+      const double p1 = -e2.z * v1.x + e2.x * v1.z;
+      const double rad = fez * half.x + fex * half.z;
+      if (std::min(p0, p1) > rad || std::max(p0, p1) < -rad) return false;
+    }
+    {
+      const double p1 = e2.y * v1.x - e2.x * v1.y;
+      const double p2 = e2.y * v2.x - e2.x * v2.y;
+      const double rad = fey * half.x + fex * half.y;
+      if (std::min(p1, p2) > rad || std::max(p1, p2) < -rad) return false;
+    }
+  }
+  // 3 box axes: triangle AABB vs box.
+  auto min3 = [](double a, double b, double c) {
+    return std::min(a, std::min(b, c));
+  };
+  auto max3 = [](double a, double b, double c) {
+    return std::max(a, std::max(b, c));
+  };
+  if (min3(v0.x, v1.x, v2.x) > half.x || max3(v0.x, v1.x, v2.x) < -half.x)
+    return false;
+  if (min3(v0.y, v1.y, v2.y) > half.y || max3(v0.y, v1.y, v2.y) < -half.y)
+    return false;
+  if (min3(v0.z, v1.z, v2.z) > half.z || max3(v0.z, v1.z, v2.z) < -half.z)
+    return false;
+
+  // Triangle plane vs box.
+  const Vec3 normal = e0.Cross(e1);
+  return PlaneBoxOverlap(normal, -normal.Dot(v0), half);
+}
+
+namespace {
+
+// World-to-grid mapping: grid coordinate g = (p - origin) * inv_cell,
+// so voxel (x,y,z) spans [x, x+1) in grid coordinates and its center is
+// (x + 0.5).
+struct GridFrame {
+  Vec3 origin;
+  Vec3 cell;      // world size of one voxel per axis
+  Vec3 inv_cell;  // 1 / cell
+};
+
+GridFrame ComputeFrame(const Aabb& bounds, const VoxelizerOptions& opt) {
+  const int r = opt.resolution;
+  Vec3 extent = bounds.Extent();
+  // Guard against flat objects: give degenerate axes a tiny extent.
+  const double max_e = std::max(extent.MaxComponent(), 1e-12);
+  extent.x = std::max(extent.x, 1e-6 * max_e);
+  extent.y = std::max(extent.y, 1e-6 * max_e);
+  extent.z = std::max(extent.z, 1e-6 * max_e);
+
+  Vec3 fitted;  // world extent that maps onto fill_fraction * r voxels
+  if (opt.anisotropic_fit) {
+    fitted = extent;
+  } else {
+    const double m = extent.MaxComponent();
+    fitted = {m, m, m};
+  }
+  const Vec3 center = bounds.Center();
+  GridFrame frame;
+  frame.cell = fitted / (opt.fill_fraction * r);
+  frame.inv_cell = {1.0 / frame.cell.x, 1.0 / frame.cell.y,
+                    1.0 / frame.cell.z};
+  frame.origin = center - frame.cell * (0.5 * r);
+  return frame;
+}
+
+void VoxelizeSurface(const TriangleMesh& mesh, const GridFrame& frame,
+                     VoxelGrid* grid) {
+  const int r = grid->nx();
+  const Vec3 half = frame.cell * 0.5;
+  for (size_t t = 0; t < mesh.triangle_count(); ++t) {
+    const Triangle tri = mesh.triangle(t);
+    const Aabb tb = tri.Bounds();
+    // Voxel index range overlapped by the triangle's AABB.
+    int lo[3], hi[3];
+    const Vec3 glo = (tb.min - frame.origin).Hadamard(frame.inv_cell);
+    const Vec3 ghi = (tb.max - frame.origin).Hadamard(frame.inv_cell);
+    lo[0] = Clamp(static_cast<int>(std::floor(glo.x)), 0, r - 1);
+    lo[1] = Clamp(static_cast<int>(std::floor(glo.y)), 0, r - 1);
+    lo[2] = Clamp(static_cast<int>(std::floor(glo.z)), 0, r - 1);
+    hi[0] = Clamp(static_cast<int>(std::floor(ghi.x)), 0, r - 1);
+    hi[1] = Clamp(static_cast<int>(std::floor(ghi.y)), 0, r - 1);
+    hi[2] = Clamp(static_cast<int>(std::floor(ghi.z)), 0, r - 1);
+    for (int z = lo[2]; z <= hi[2]; ++z) {
+      for (int y = lo[1]; y <= hi[1]; ++y) {
+        for (int x = lo[0]; x <= hi[0]; ++x) {
+          if (grid->At(x, y, z)) continue;
+          const Vec3 center =
+              frame.origin + Vec3{(x + 0.5) * frame.cell.x,
+                                  (y + 0.5) * frame.cell.y,
+                                  (z + 0.5) * frame.cell.z};
+          if (TriangleBoxOverlap(tri, center, half)) grid->Set(x, y, z);
+        }
+      }
+    }
+  }
+}
+
+// Ray/triangle intersection along +x from (x=-inf, y, z): returns true
+// and the intersection x if the ray crosses the triangle's projection.
+// Uses the 2-D point-in-triangle parity formulation with consistent
+// edge rules, which makes shared-edge double counting benign for
+// *generic* ray positions; callers jitter the ray inside the voxel row
+// to avoid degeneracies.
+bool RayXTriangle(const Triangle& tri, double y, double z, double* x_hit) {
+  const double ay = tri.a.y - y, az = tri.a.z - z;
+  const double by = tri.b.y - y, bz = tri.b.z - z;
+  const double cy = tri.c.y - y, cz = tri.c.z - z;
+  // Signed areas of the three sub-triangles in the (y, z) plane.
+  const double u = by * cz - bz * cy;
+  const double v = cy * az - cz * ay;
+  const double w = ay * bz - az * by;
+  const bool all_nonneg = u >= 0 && v >= 0 && w >= 0;
+  const bool all_nonpos = u <= 0 && v <= 0 && w <= 0;
+  if (!all_nonneg && !all_nonpos) return false;
+  const double det = u + v + w;
+  if (det == 0.0) return false;
+  *x_hit = (u * tri.a.x + v * tri.b.x + w * tri.c.x) / det;
+  return true;
+}
+
+void FillInterior(const std::vector<TriangleMesh>& parts,
+                  const GridFrame& frame, VoxelGrid* grid) {
+  const int r = grid->nx();
+  // Per part, per (y,z) row: parity fill through voxel centers. Using a
+  // slightly offset ray (center + irrational epsilon) avoids rays
+  // passing exactly through mesh vertices/edges on symmetric models.
+  const double ey = 0.5 + 1.2345e-4;
+  const double ez = 0.5 + 2.7182e-4;
+  std::vector<double> hits;
+  for (const TriangleMesh& mesh : parts) {
+    VoxelGrid filled(r);
+    for (int z = 0; z < r; ++z) {
+      const double wz = frame.origin.z + (z + ez) * frame.cell.z;
+      for (int y = 0; y < r; ++y) {
+        const double wy = frame.origin.y + (y + ey) * frame.cell.y;
+        hits.clear();
+        for (size_t t = 0; t < mesh.triangle_count(); ++t) {
+          double xh;
+          if (RayXTriangle(mesh.triangle(t), wy, wz, &xh)) {
+            hits.push_back(xh);
+          }
+        }
+        if (hits.size() < 2) continue;
+        std::sort(hits.begin(), hits.end());
+        // Walk inside intervals [hits[0],hits[1]], [hits[2],hits[3]], ...
+        for (size_t i = 0; i + 1 < hits.size(); i += 2) {
+          const double gx0 = (hits[i] - frame.origin.x) * frame.inv_cell.x;
+          const double gx1 = (hits[i + 1] - frame.origin.x) * frame.inv_cell.x;
+          // Voxel centers x + 0.5 inside (gx0, gx1).
+          int x0 = static_cast<int>(std::ceil(gx0 - 0.5));
+          int x1 = static_cast<int>(std::floor(gx1 - 0.5));
+          x0 = Clamp(x0, 0, r - 1);
+          x1 = Clamp(x1, -1, r - 1);
+          for (int x = x0; x <= x1; ++x) filled.Set(x, y, z);
+        }
+      }
+    }
+    grid->UnionWith(filled);
+  }
+}
+
+}  // namespace
+
+StatusOr<VoxelModel> VoxelizeParts(const std::vector<TriangleMesh>& parts,
+                                   const VoxelizerOptions& options) {
+  if (options.resolution < 2) {
+    return Status::InvalidArgument("resolution must be >= 2");
+  }
+  if (options.fill_fraction <= 0.0 || options.fill_fraction > 1.0) {
+    return Status::InvalidArgument("fill_fraction must be in (0, 1]");
+  }
+  if (parts.empty()) {
+    return Status::InvalidArgument("no mesh parts given");
+  }
+  Aabb bounds;
+  size_t total_triangles = 0;
+  for (const TriangleMesh& m : parts) {
+    VSIM_RETURN_NOT_OK(m.Validate());
+    bounds.Extend(m.Bounds());
+    total_triangles += m.triangle_count();
+  }
+  if (total_triangles == 0 || bounds.IsEmpty()) {
+    return Status::InvalidArgument("empty geometry");
+  }
+
+  const GridFrame frame = ComputeFrame(bounds, options);
+  VoxelModel model;
+  model.grid = VoxelGrid(options.resolution);
+  model.original_extent = bounds.Extent();
+
+  for (const TriangleMesh& m : parts) {
+    VoxelizeSurface(m, frame, &model.grid);
+  }
+  if (options.solid) {
+    FillInterior(parts, frame, &model.grid);
+  }
+  if (model.grid.Empty()) {
+    return Status::Internal("voxelization produced an empty grid");
+  }
+  return model;
+}
+
+StatusOr<VoxelModel> VoxelizeMesh(const TriangleMesh& mesh,
+                                  const VoxelizerOptions& options) {
+  return VoxelizeParts({mesh}, options);
+}
+
+}  // namespace vsim

@@ -1,0 +1,117 @@
+#include "vsim/common/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "vsim/common/rng.h"
+
+namespace vsim {
+namespace {
+
+TEST(BinaryIoTest, IntegerRoundTrips) {
+  std::stringstream ss;
+  PutU32(ss, 0);
+  PutU32(ss, 0xdeadbeef);
+  PutU64(ss, 0x0123456789abcdefull);
+  PutI32(ss, -42);
+  uint32_t a, b;
+  uint64_t c;
+  int32_t d;
+  EXPECT_TRUE(GetU32(ss, &a));
+  EXPECT_TRUE(GetU32(ss, &b));
+  EXPECT_TRUE(GetU64(ss, &c));
+  EXPECT_TRUE(GetI32(ss, &d));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 0xdeadbeefu);
+  EXPECT_EQ(c, 0x0123456789abcdefull);
+  EXPECT_EQ(d, -42);
+}
+
+TEST(BinaryIoTest, DoubleRoundTripsExactly) {
+  std::stringstream ss;
+  const double values[] = {0.0, -0.0, 1.5, -3.14159,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min(),
+                           1e300};
+  for (double v : values) PutDouble(ss, v);
+  for (double expected : values) {
+    double got;
+    ASSERT_TRUE(GetDouble(ss, &got));
+    EXPECT_EQ(std::memcmp(&got, &expected, 8), 0);  // bit-exact
+  }
+}
+
+TEST(BinaryIoTest, StringAndVectorRoundTrip) {
+  std::stringstream ss;
+  PutString(ss, "hello\0world");
+  PutString(ss, "");
+  PutDoubleVector(ss, {1.0, 2.0, 3.0});
+  PutDoubleVector(ss, {});
+  std::string s1, s2;
+  std::vector<double> v1, v2;
+  EXPECT_TRUE(GetString(ss, &s1));
+  EXPECT_TRUE(GetString(ss, &s2));
+  EXPECT_TRUE(GetDoubleVector(ss, &v1));
+  EXPECT_TRUE(GetDoubleVector(ss, &v2));
+  EXPECT_EQ(s1, "hello");  // C-string literal stops at NUL
+  EXPECT_TRUE(s2.empty());
+  EXPECT_EQ(v1, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_TRUE(v2.empty());
+}
+
+TEST(BinaryIoTest, ShortReadsFail) {
+  std::stringstream ss;
+  PutU32(ss, 7);
+  uint64_t v;
+  EXPECT_FALSE(GetU64(ss, &v));  // only 4 bytes available
+  std::stringstream empty;
+  uint32_t u;
+  double d;
+  std::string s;
+  std::vector<double> vec;
+  EXPECT_FALSE(GetU32(empty, &u));
+  EXPECT_FALSE(GetDouble(empty, &d));
+  EXPECT_FALSE(GetString(empty, &s));
+  EXPECT_FALSE(GetDoubleVector(empty, &vec));
+}
+
+TEST(BinaryIoTest, LengthCapsRejectHugeClaims) {
+  // A declared length beyond the cap must fail instead of allocating.
+  std::stringstream ss;
+  PutU32(ss, 0xffffffffu);
+  std::string s;
+  EXPECT_FALSE(GetString(ss, &s, 1024));
+  std::stringstream ss2;
+  PutU32(ss2, 0x7fffffffu);
+  std::vector<double> v;
+  EXPECT_FALSE(GetDoubleVector(ss2, &v, 1024));
+}
+
+TEST(BinaryIoTest, RandomizedRoundTrips) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::stringstream ss;
+    const uint64_t u = rng.NextU64();
+    const double d = rng.Uniform(-1e6, 1e6);
+    std::vector<double> vec(rng.NextBounded(20));
+    for (double& x : vec) x = rng.NextDouble();
+    PutU64(ss, u);
+    PutDouble(ss, d);
+    PutDoubleVector(ss, vec);
+    uint64_t u2;
+    double d2;
+    std::vector<double> vec2;
+    ASSERT_TRUE(GetU64(ss, &u2));
+    ASSERT_TRUE(GetDouble(ss, &d2));
+    ASSERT_TRUE(GetDoubleVector(ss, &vec2));
+    EXPECT_EQ(u2, u);
+    EXPECT_EQ(d2, d);
+    EXPECT_EQ(vec2, vec);
+  }
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,110 @@
+#include "vsim/distance/centroid_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/common/rng.h"
+#include "vsim/distance/lp.h"
+#include "vsim/distance/min_matching.h"
+
+namespace vsim {
+namespace {
+
+VectorSet RandomSet(Rng& rng, int count, int dim) {
+  VectorSet s;
+  for (int i = 0; i < count; ++i) {
+    FeatureVector v(dim);
+    for (double& x : v) x = rng.Uniform(-1, 1);
+    s.vectors.push_back(std::move(v));
+  }
+  return s;
+}
+
+TEST(ExtendedCentroidTest, FullSetIsPlainMean) {
+  VectorSet s;
+  s.vectors.push_back({2.0, 0.0});
+  s.vectors.push_back({0.0, 4.0});
+  const FeatureVector c = ExtendedCentroid(s, 2);
+  EXPECT_NEAR(c[0], 1.0, 1e-12);
+  EXPECT_NEAR(c[1], 2.0, 1e-12);
+}
+
+TEST(ExtendedCentroidTest, MissingElementsPulledTowardOrigin) {
+  VectorSet s;
+  s.vectors.push_back({4.0, 0.0});
+  // k = 4, one real vector, three virtual omega = 0 vectors.
+  const FeatureVector c = ExtendedCentroid(s, 4);
+  EXPECT_NEAR(c[0], 1.0, 1e-12);
+  EXPECT_NEAR(c[1], 0.0, 1e-12);
+}
+
+TEST(ExtendedCentroidTest, NonZeroOmega) {
+  VectorSet s;
+  s.vectors.push_back({4.0, 0.0});
+  const FeatureVector omega = {2.0, 2.0};
+  const FeatureVector c = ExtendedCentroid(s, 2, omega);
+  EXPECT_NEAR(c[0], 3.0, 1e-12);
+  EXPECT_NEAR(c[1], 1.0, 1e-12);
+}
+
+TEST(CentroidFilterTest, LowerBoundHoldsOnRandomSets) {
+  // Lemma 2: k * ||C(X) - C(Y)|| <= dist_mm(X, Y).
+  Rng rng(4242);
+  const int k = 7;
+  int nontrivial = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const VectorSet x = RandomSet(rng, 1 + rng.NextBounded(k), 6);
+    const VectorSet y = RandomSet(rng, 1 + rng.NextBounded(k), 6);
+    const FeatureVector cx = ExtendedCentroid(x, k);
+    const FeatureVector cy = ExtendedCentroid(y, k);
+    const double filter = CentroidFilterDistance(cx, cy, k);
+    const double exact = VectorSetDistance(x, y);
+    EXPECT_LE(filter, exact + 1e-9) << "trial " << trial;
+    if (filter > 1e-6) ++nontrivial;
+  }
+  // The bound must not be vacuous (zero) everywhere.
+  EXPECT_GT(nontrivial, 400);
+}
+
+TEST(CentroidFilterTest, TightForTranslatedSingletons) {
+  // For singleton sets at full cardinality the bound is exact.
+  VectorSet x, y;
+  x.vectors.push_back({1.0, 2.0});
+  y.vectors.push_back({4.0, 6.0});
+  const double filter =
+      CentroidFilterDistance(ExtendedCentroid(x, 1), ExtendedCentroid(y, 1), 1);
+  EXPECT_NEAR(filter, 5.0, 1e-12);
+  EXPECT_NEAR(filter, VectorSetDistance(x, y), 1e-12);
+}
+
+TEST(CentroidFilterTest, TightForUniformlyTranslatedSets) {
+  // X and X + t: matching pairs each element with its translate, and
+  // centroids shift by exactly t, so bound = k*||t||/k * k = exact.
+  Rng rng(7);
+  const int k = 5;
+  VectorSet x = RandomSet(rng, k, 3);
+  VectorSet y = x;
+  const FeatureVector t = {0.3, -0.2, 0.5};
+  for (auto& v : y.vectors) {
+    for (int d = 0; d < 3; ++d) v[d] += t[d];
+  }
+  const double filter =
+      CentroidFilterDistance(ExtendedCentroid(x, k), ExtendedCentroid(y, k), k);
+  const double exact = VectorSetDistance(x, y);
+  EXPECT_NEAR(filter, exact, 1e-9);
+  EXPECT_NEAR(exact, k * EuclideanNorm(t), 1e-9);
+}
+
+TEST(CentroidFilterTest, FilterSelectivityIsReasonable) {
+  // On clustered data the bound should prune: the filter distance
+  // between far clusters stays large.
+  Rng rng(11);
+  VectorSet base = RandomSet(rng, 5, 6);
+  VectorSet far = base;
+  for (auto& v : far.vectors) v[0] += 100.0;
+  const double filter = CentroidFilterDistance(ExtendedCentroid(base, 7),
+                                               ExtendedCentroid(far, 7), 7);
+  EXPECT_GT(filter, 50.0);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,94 @@
+#include "vsim/cluster/cluster_quality.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/common/rng.h"
+
+namespace vsim {
+namespace {
+
+TEST(ClusterQualityTest, PerfectClusteringScoresOne) {
+  const std::vector<int> truth = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+  const std::vector<int> pred = {2, 2, 2, 0, 0, 0, 1, 1, 1};  // renamed ids
+  const ClusterQuality q = EvaluateClustering(pred, truth);
+  EXPECT_DOUBLE_EQ(q.purity, 1.0);
+  EXPECT_NEAR(q.adjusted_rand, 1.0, 1e-12);
+  EXPECT_NEAR(q.nmi, 1.0, 1e-12);
+  EXPECT_NEAR(q.pairwise_f1, 1.0, 1e-12);
+  EXPECT_EQ(q.cluster_count, 3);
+  EXPECT_DOUBLE_EQ(q.noise_fraction, 0.0);
+}
+
+TEST(ClusterQualityTest, AllInOneClusterHasLowArі) {
+  const std::vector<int> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> pred = {0, 0, 0, 0, 0, 0};
+  const ClusterQuality q = EvaluateClustering(pred, truth);
+  EXPECT_NEAR(q.adjusted_rand, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(q.purity, 0.5);
+}
+
+TEST(ClusterQualityTest, NoiseExcludedButReported) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> pred = {0, 0, -1, -1};
+  const ClusterQuality q = EvaluateClustering(pred, truth);
+  EXPECT_DOUBLE_EQ(q.noise_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(q.purity, 1.0);
+  EXPECT_EQ(q.cluster_count, 1);
+}
+
+TEST(ClusterQualityTest, RandomLabelsScoreNearZeroAri) {
+  Rng rng(55);
+  std::vector<int> truth(400), pred(400);
+  for (auto& t : truth) t = static_cast<int>(rng.NextBounded(4));
+  for (auto& p : pred) p = static_cast<int>(rng.NextBounded(4));
+  const ClusterQuality q = EvaluateClustering(pred, truth);
+  EXPECT_NEAR(q.adjusted_rand, 0.0, 0.05);
+  EXPECT_LT(q.nmi, 0.1);
+}
+
+TEST(ClusterQualityTest, SplitClustersKeepPurityLoseF1) {
+  // Each true class split into two predicted clusters: purity perfect,
+  // recall (and F1) suffers.
+  const std::vector<int> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> pred = {0, 0, 1, 1, 2, 2, 3, 3};
+  const ClusterQuality q = EvaluateClustering(pred, truth);
+  EXPECT_DOUBLE_EQ(q.purity, 1.0);
+  EXPECT_LT(q.pairwise_f1, 0.7);
+}
+
+TEST(ClusterQualityTest, DegenerateInputs) {
+  EXPECT_EQ(EvaluateClustering({}, {}).cluster_count, 0);
+  // Singleton truth classes are unclusterable: declaring them noise is
+  // correct and does not count toward noise_fraction.
+  const ClusterQuality q = EvaluateClustering({-1, -1}, {0, 1});
+  EXPECT_DOUBLE_EQ(q.noise_fraction, 0.0);
+  // Members of real (size >= 2) classes left unclustered do count.
+  const ClusterQuality q2 = EvaluateClustering({-1, -1, 0, 0}, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(q2.noise_fraction, 0.5);
+}
+
+TEST(LabelsByObjectTest, MapsOrderingPositionsBack) {
+  OpticsResult r;
+  r.ordering = {{2, 0, 0}, {0, 0, 0}, {1, 0, 0}};
+  const std::vector<int> by_pos = {7, 8, 9};
+  const std::vector<int> by_obj = LabelsByObject(r, by_pos, 3);
+  EXPECT_EQ(by_obj, (std::vector<int>{8, 9, 7}));
+}
+
+TEST(BestCutQualityTest, FindsGoodCutOnSeparatedData) {
+  // Reachability plot with two obvious valleys (values constructed by
+  // hand): truth has two classes.
+  OpticsResult r;
+  const double inf = std::numeric_limits<double>::infinity();
+  const double reach[] = {inf, 0.1, 0.15, 0.1, 5.0, 0.12, 0.09, 0.11};
+  for (int i = 0; i < 8; ++i) {
+    r.ordering.push_back({i, reach[i], 0.1});
+  }
+  const std::vector<int> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  const ClusterQuality q = BestCutQuality(r, truth, 16, 2);
+  EXPECT_GT(q.adjusted_rand, 0.9);
+  EXPECT_EQ(q.cluster_count, 2);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "vsim/cluster/optics.h"
+#include "vsim/common/rng.h"
+#include "vsim/distance/lp.h"
+
+namespace vsim {
+namespace {
+
+OpticsResult FromReachabilities(std::vector<double> reach) {
+  OpticsResult r;
+  for (size_t i = 0; i < reach.size(); ++i) {
+    r.ordering.push_back({static_cast<int>(i), reach[i], 0.05});
+  }
+  return r;
+}
+
+void CheckNesting(const ClusterNode& node) {
+  for (const ClusterNode& child : node.children) {
+    EXPECT_GE(child.begin, node.begin);
+    EXPECT_LE(child.end, node.end);
+    EXPECT_LE(child.birth_level, node.birth_level);
+    CheckNesting(child);
+  }
+}
+
+TEST(ClusterTreeTest, NestedValleysFormHierarchy) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // One big valley (level < 5) containing two sub-valleys (level < 1)
+  // separated by a level-2 wall, plus a second separate big valley.
+  const OpticsResult r = FromReachabilities(
+      {inf, 0.5, 0.4, 0.5, 2.0, 0.5, 0.4, 0.5, 9.0, 3.0, 3.2, 3.0, 3.1});
+  const auto roots = ExtractClusterTree(r, 2);
+  // Everything is density-connected at a level above the 9.0 wall: one
+  // component root containing the two macro valleys.
+  ASSERT_EQ(roots.size(), 1u);
+  CheckNesting(roots[0]);
+  ASSERT_EQ(roots[0].children.size(), 2u);
+  // The first macro valley spans the first 8 positions and splits into
+  // two sub-valleys of 4 across the 2.0 wall.
+  const ClusterNode& g = roots[0].children[0];
+  EXPECT_EQ(g.begin, 0);
+  EXPECT_EQ(g.end, 8);
+  ASSERT_EQ(g.children.size(), 2u);
+  EXPECT_EQ(g.children[0].size(), 4);
+  EXPECT_EQ(g.children[1].size(), 4);
+  EXPECT_EQ(roots[0].children[1].size(), 5);
+}
+
+TEST(ClusterTreeTest, FlatPlotGivesSingleRoot) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const OpticsResult r =
+      FromReachabilities({inf, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5});
+  const auto roots = ExtractClusterTree(r, 2);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].size(), 7);
+  EXPECT_TRUE(roots[0].children.empty());
+}
+
+TEST(ClusterTreeTest, EmptyAndTinyInputs) {
+  OpticsResult empty;
+  EXPECT_TRUE(ExtractClusterTree(empty, 2).empty());
+  const OpticsResult single =
+      FromReachabilities({std::numeric_limits<double>::infinity()});
+  EXPECT_TRUE(ExtractClusterTree(single, 2).empty());
+}
+
+TEST(ClusterTreeTest, RealClusteredDataBuildsSaneTree) {
+  Rng rng(8);
+  std::vector<FeatureVector> pts;
+  // Two macro-clusters; the first splits into two micro-clusters.
+  auto blob = [&](double cx, double sd, int n) {
+    for (int i = 0; i < n; ++i) pts.push_back({cx + rng.Gaussian(0, sd)});
+  };
+  blob(0.0, 0.1, 25);
+  blob(1.0, 0.1, 25);
+  blob(20.0, 0.4, 30);
+  OpticsOptions opt;
+  opt.min_pts = 4;
+  StatusOr<OpticsResult> r = RunOptics(
+      static_cast<int>(pts.size()),
+      [&](int i, int j) { return EuclideanDistance(pts[i], pts[j]); }, opt);
+  ASSERT_TRUE(r.ok());
+  const auto roots = ExtractClusterTree(*r, 4);
+  // One density-connected component; below it the two macro clusters,
+  // one of which splits into the two micro blobs.
+  ASSERT_EQ(roots.size(), 1u);
+  CheckNesting(roots[0]);
+  std::function<bool(const ClusterNode&)> has_macro_split =
+      [&](const ClusterNode& node) {
+        if (node.size() >= 45 && node.size() <= 55 &&
+            node.children.size() >= 2) {
+          return true;
+        }
+        for (const ClusterNode& child : node.children) {
+          if (has_macro_split(child)) return true;
+        }
+        return false;
+      };
+  EXPECT_TRUE(has_macro_split(roots[0]));
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,206 @@
+#include "vsim/features/cover_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/common/rng.h"
+#include "vsim/geometry/primitives.h"
+#include "vsim/voxel/voxelizer.h"
+
+namespace vsim {
+namespace {
+
+VoxelGrid CuboidGrid(int r, VoxelCoord lo, VoxelCoord hi) {
+  VoxelGrid g(r);
+  for (int z = lo.z; z <= hi.z; ++z)
+    for (int y = lo.y; y <= hi.y; ++y)
+      for (int x = lo.x; x <= hi.x; ++x) g.Set(x, y, z);
+  return g;
+}
+
+TEST(CoverTest, VolumeAndContains) {
+  const Cover c{{1, 2, 3}, {3, 4, 5}, true};
+  EXPECT_EQ(c.Volume(), 27);
+  EXPECT_TRUE(c.Contains(2, 3, 4));
+  EXPECT_FALSE(c.Contains(0, 3, 4));
+}
+
+TEST(CoverToFeatureTest, CenteredPositionsAndExtents) {
+  // Full-grid cover of an r = 10 grid: position 0, extent 1 per axis.
+  const Cover full{{0, 0, 0}, {9, 9, 9}, true};
+  const auto f = CoverToFeature(full, 10);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(f[i], 0.0, 1e-12);
+  for (int i = 3; i < 6; ++i) EXPECT_NEAR(f[i], 1.0, 1e-12);
+  // Single voxel at the low corner.
+  const Cover corner{{0, 0, 0}, {0, 0, 0}, true};
+  const auto g = CoverToFeature(corner, 10);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(g[i], (0.5 - 5.0) / 10.0, 1e-12);
+  for (int i = 3; i < 6; ++i) EXPECT_NEAR(g[i], 0.1, 1e-12);
+}
+
+TEST(CoverSequenceTest, SingleCuboidRecoveredExactly) {
+  const VoxelGrid object = CuboidGrid(8, {1, 2, 3}, {5, 6, 7});
+  CoverSequenceOptions opt;
+  opt.max_covers = 3;
+  StatusOr<CoverSequence> seq = ComputeCoverSequence(object, opt);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_EQ(seq->covers.size(), 1u);
+  EXPECT_EQ(seq->covers[0].lo, (VoxelCoord{1, 2, 3}));
+  EXPECT_EQ(seq->covers[0].hi, (VoxelCoord{5, 6, 7}));
+  EXPECT_TRUE(seq->covers[0].positive);
+  EXPECT_EQ(seq->final_error(), 0u);
+  EXPECT_EQ(ReconstructApproximation(*seq), object);
+}
+
+TEST(CoverSequenceTest, BoxWithHoleUsesSubtraction) {
+  // A cuboid with a cuboid hole: cover 1 = '+' outer, cover 2 = '-' hole.
+  VoxelGrid object = CuboidGrid(10, {1, 1, 1}, {8, 8, 8});
+  for (int z = 3; z <= 6; ++z)
+    for (int y = 3; y <= 6; ++y)
+      for (int x = 3; x <= 6; ++x) object.Set(x, y, z, false);
+  CoverSequenceOptions opt;
+  opt.max_covers = 4;
+  StatusOr<CoverSequence> seq = ComputeCoverSequence(object, opt);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_GE(seq->covers.size(), 2u);
+  EXPECT_TRUE(seq->covers[0].positive);
+  EXPECT_FALSE(seq->covers[1].positive);
+  EXPECT_EQ(seq->final_error(), 0u);
+  EXPECT_EQ(ReconstructApproximation(*seq), object);
+}
+
+TEST(CoverSequenceTest, ErrorHistoryIsMonotoneNonIncreasing) {
+  Rng rng(99);
+  VoxelGrid object(10);
+  // Random blobby object: several random cuboids unioned.
+  for (int c = 0; c < 5; ++c) {
+    const int x0 = static_cast<int>(rng.NextBounded(8));
+    const int y0 = static_cast<int>(rng.NextBounded(8));
+    const int z0 = static_cast<int>(rng.NextBounded(8));
+    const int x1 = x0 + static_cast<int>(rng.NextBounded(3));
+    const int y1 = y0 + static_cast<int>(rng.NextBounded(3));
+    const int z1 = z0 + static_cast<int>(rng.NextBounded(3));
+    for (int z = z0; z <= z1; ++z)
+      for (int y = y0; y <= y1; ++y)
+        for (int x = x0; x <= x1; ++x) object.Set(x, y, z);
+  }
+  CoverSequenceOptions opt;
+  opt.max_covers = 7;
+  StatusOr<CoverSequence> seq = ComputeCoverSequence(object, opt);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_GE(seq->error_history.size(), 2u);
+  EXPECT_EQ(seq->error_history.front(), object.Count());
+  for (size_t i = 1; i < seq->error_history.size(); ++i) {
+    EXPECT_LT(seq->error_history[i], seq->error_history[i - 1]);
+  }
+  // Reconstruction error matches the recorded final error.
+  EXPECT_EQ(object.XorCount(ReconstructApproximation(*seq)),
+            seq->final_error());
+}
+
+TEST(CoverSequenceTest, ExhaustiveMatchesOrBeatsHillClimbPerStep) {
+  Rng rng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    VoxelGrid object(6);
+    for (int i = 0; i < 40; ++i) {
+      object.Set(static_cast<int>(rng.NextBounded(6)),
+                 static_cast<int>(rng.NextBounded(6)),
+                 static_cast<int>(rng.NextBounded(6)));
+    }
+    CoverSequenceOptions greedy, exact;
+    greedy.max_covers = exact.max_covers = 1;
+    exact.search = CoverSequenceOptions::Search::kExhaustive;
+    StatusOr<CoverSequence> g = ComputeCoverSequence(object, greedy);
+    StatusOr<CoverSequence> e = ComputeCoverSequence(object, exact);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(e.ok());
+    // The exhaustive first step reduces the error at least as much.
+    EXPECT_LE(e->final_error(), g->final_error());
+  }
+}
+
+TEST(CoverSequenceTest, HillClimbCloseToExhaustiveOnRealShape) {
+  VoxelizerOptions vox;
+  vox.resolution = 8;
+  StatusOr<VoxelModel> model = VoxelizeMesh(MakeTorus(1.0, 0.4, 24, 12), vox);
+  ASSERT_TRUE(model.ok());
+  CoverSequenceOptions greedy, exact;
+  greedy.max_covers = exact.max_covers = 5;
+  greedy.restarts = 32;
+  exact.search = CoverSequenceOptions::Search::kExhaustive;
+  StatusOr<CoverSequence> g = ComputeCoverSequence(model->grid, greedy);
+  StatusOr<CoverSequence> e = ComputeCoverSequence(model->grid, exact);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(e.ok());
+  // Hill climbing must achieve at least 70% of the exact greedy error
+  // reduction (in practice it is nearly identical).
+  const double g_red = static_cast<double>(model->grid.Count() - g->final_error());
+  const double e_red = static_cast<double>(model->grid.Count() - e->final_error());
+  EXPECT_GE(g_red, 0.7 * e_red);
+}
+
+TEST(CoverSequenceTest, StopsAtMaxCovers) {
+  Rng rng(77);
+  VoxelGrid object(12);
+  for (int i = 0; i < 400; ++i) {
+    object.Set(static_cast<int>(rng.NextBounded(12)),
+               static_cast<int>(rng.NextBounded(12)),
+               static_cast<int>(rng.NextBounded(12)));
+  }
+  CoverSequenceOptions opt;
+  opt.max_covers = 4;
+  StatusOr<CoverSequence> seq = ComputeCoverSequence(object, opt);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_LE(seq->covers.size(), 4u);
+}
+
+TEST(CoverSequenceTest, RejectsEmptyAndNonCubic) {
+  VoxelGrid empty(6);
+  CoverSequenceOptions opt;
+  EXPECT_FALSE(ComputeCoverSequence(empty, opt).ok());
+  VoxelGrid flat(4, 4, 5);
+  flat.Set(0, 0, 0);
+  EXPECT_FALSE(ComputeCoverSequence(flat, opt).ok());
+  VoxelGrid ok_grid(4);
+  ok_grid.Set(1, 1, 1);
+  opt.max_covers = 0;
+  EXPECT_FALSE(ComputeCoverSequence(ok_grid, opt).ok());
+}
+
+TEST(CoverSequenceTest, FeatureVectorPadsWithDummies) {
+  const VoxelGrid object = CuboidGrid(8, {2, 2, 2}, {5, 5, 5});
+  CoverSequenceOptions opt;
+  opt.max_covers = 3;
+  StatusOr<CoverSequence> seq = ComputeCoverSequence(object, opt);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_EQ(seq->covers.size(), 1u);
+  const FeatureVector f = ToFeatureVector(*seq, 3);
+  ASSERT_EQ(f.size(), 18u);
+  // Covers 2 and 3 are dummy zeros.
+  for (size_t i = 6; i < 18; ++i) EXPECT_DOUBLE_EQ(f[i], 0.0);
+  // The vector set stores only the real cover.
+  const VectorSet set = ToVectorSet(*seq, 3);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.dim(), 6u);
+}
+
+TEST(CoverSequenceTest, DeterministicForFixedSeed) {
+  VoxelizerOptions vox;
+  vox.resolution = 10;
+  StatusOr<VoxelModel> model =
+      VoxelizeMesh(MakeCylinder(1.0, 2.0, 16), vox);
+  ASSERT_TRUE(model.ok());
+  CoverSequenceOptions opt;
+  opt.max_covers = 5;
+  opt.seed = 42;
+  StatusOr<CoverSequence> a = ComputeCoverSequence(model->grid, opt);
+  StatusOr<CoverSequence> b = ComputeCoverSequence(model->grid, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->covers.size(), b->covers.size());
+  for (size_t i = 0; i < a->covers.size(); ++i) {
+    EXPECT_EQ(a->covers[i], b->covers[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,131 @@
+#include "vsim/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "vsim/voxel/voxelizer.h"
+
+namespace vsim {
+namespace {
+
+TEST(DatasetTest, CarDatasetHasRequestedSizeAndClasses) {
+  const Dataset ds = MakeCarDataset(200, 42);
+  EXPECT_EQ(ds.size(), 200u);
+  EXPECT_EQ(ds.num_classes(), 11);  // 10 part families + misc
+  std::set<int> labels;
+  for (const CadObject& o : ds.objects) {
+    ASSERT_GE(o.label, 0);
+    ASSERT_LT(o.label, ds.num_classes());
+    labels.insert(o.label);
+    EXPECT_FALSE(o.parts.empty());
+  }
+  EXPECT_EQ(labels.size(), 11u);  // every class represented
+}
+
+TEST(DatasetTest, EvaluationLabelsSingletonizeMisc) {
+  const Dataset ds = MakeCarDataset(100, 42);
+  ASSERT_GE(ds.noise_class, 0);
+  const std::vector<int> eval = ds.EvaluationLabels();
+  std::set<int> misc_labels;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (ds.objects[i].label == ds.noise_class) {
+      EXPECT_GE(eval[i], ds.num_classes());
+      misc_labels.insert(eval[i]);
+    } else {
+      EXPECT_EQ(eval[i], ds.objects[i].label);
+    }
+  }
+  // Every misc object got a distinct singleton label.
+  size_t misc_count = 0;
+  for (const CadObject& o : ds.objects) {
+    misc_count += o.label == ds.noise_class ? 1 : 0;
+  }
+  EXPECT_EQ(misc_labels.size(), misc_count);
+}
+
+TEST(DatasetTest, AircraftDatasetIsSkewed) {
+  const Dataset ds = MakeAircraftDataset(600, 7);
+  EXPECT_EQ(ds.size(), 600u);
+  std::map<int, int> counts;
+  for (const CadObject& o : ds.objects) ++counts[o.label];
+  // Fasteners (rivet = index 3) dominate large parts (wing = index 9).
+  EXPECT_GT(counts[3], 4 * std::max(1, counts[9]));
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  const Dataset a = MakeCarDataset(50, 99);
+  const Dataset b = MakeCarDataset(50, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.objects[i].label, b.objects[i].label);
+    ASSERT_EQ(a.objects[i].parts.size(), b.objects[i].parts.size());
+    EXPECT_EQ(a.objects[i].parts[0].vertex_count(),
+              b.objects[i].parts[0].vertex_count());
+  }
+  const Dataset c = MakeCarDataset(50, 100);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a.objects[i].label != c.objects[i].label;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetTest, LabelsAccessorMatchesObjects) {
+  const Dataset ds = MakeCarDataset(30, 1);
+  const std::vector<int> labels = ds.Labels();
+  ASSERT_EQ(labels.size(), ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(labels[i], ds.objects[i].label);
+  }
+}
+
+TEST(DatasetTest, ObjectOrderIsShuffled) {
+  const Dataset ds = MakeCarDataset(100, 42);
+  // Labels must not be sorted (generation is per class, then shuffled).
+  bool sorted = true;
+  for (size_t i = 1; i < ds.size(); ++i) {
+    sorted &= ds.objects[i - 1].label <= ds.objects[i].label;
+  }
+  EXPECT_FALSE(sorted);
+}
+
+TEST(DatasetTest, EveryCarObjectVoxelizes) {
+  const Dataset ds = MakeCarDataset(60, 4242);
+  VoxelizerOptions opt;
+  opt.resolution = 15;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    StatusOr<VoxelModel> m = VoxelizeParts(ds.objects[i].parts, opt);
+    ASSERT_TRUE(m.ok()) << "object " << i << " (" << ds.objects[i].class_name
+                        << "): " << m.status().ToString();
+    EXPECT_GT(m->grid.Count(), 8u) << ds.objects[i].class_name;
+  }
+}
+
+TEST(DatasetTest, EveryAircraftFamilyVoxelizes) {
+  const Dataset ds = MakeAircraftDataset(120, 4243);
+  VoxelizerOptions opt;
+  opt.resolution = 15;
+  std::set<int> checked;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (checked.count(ds.objects[i].label)) continue;
+    checked.insert(ds.objects[i].label);
+    StatusOr<VoxelModel> m = VoxelizeParts(ds.objects[i].parts, opt);
+    ASSERT_TRUE(m.ok()) << ds.objects[i].class_name;
+    EXPECT_GT(m->grid.Count(), 8u) << ds.objects[i].class_name;
+  }
+  EXPECT_EQ(checked.size(), 13u);  // 12 families + misc
+}
+
+TEST(DatasetTest, PartsAreValidMeshes) {
+  const Dataset ds = MakeAircraftDataset(60, 5);
+  for (const CadObject& o : ds.objects) {
+    for (const TriangleMesh& m : o.parts) {
+      EXPECT_TRUE(m.Validate().ok()) << o.class_name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsim

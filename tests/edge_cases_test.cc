@@ -1,0 +1,149 @@
+// Edge cases across modules: degenerate geometry, pathological grids,
+// and symmetric inputs where tie-breaking must still produce valid
+// (if arbitrary) answers.
+#include <gtest/gtest.h>
+
+#include "vsim/common/rng.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/features/cover_sequence.h"
+#include "vsim/features/solid_angle_model.h"
+#include "vsim/features/volume_model.h"
+#include "vsim/geometry/primitives.h"
+#include "vsim/voxel/normalizer.h"
+#include "vsim/voxel/voxelizer.h"
+
+namespace vsim {
+namespace {
+
+TEST(EdgeCaseTest, PcaOnSphereStaysProperRotation) {
+  // A sphere has three equal principal values; the eigenvectors are
+  // arbitrary but the result must still be a proper rotation.
+  const TriangleMesh sphere = MakeSphere(1.0, 24, 12);
+  const Mat3 rot = PrincipalAxisRotation(sphere);
+  EXPECT_NEAR(rot.Determinant(), 1.0, 1e-9);
+  const Mat3 should_be_id = rot * rot.Transposed();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(should_be_id(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(EdgeCaseTest, AsymmetricGridHas48DistinctOrientations) {
+  // Three non-collinear, non-symmetric voxels: every group element
+  // produces a different grid.
+  VoxelGrid g(5);
+  g.Set(0, 0, 0);
+  g.Set(1, 0, 0);
+  g.Set(0, 2, 1);
+  const auto all = AllOrientations(g, true);
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(EdgeCaseTest, SingleVoxelCoverSequence) {
+  VoxelGrid g(6);
+  g.Set(3, 2, 4);
+  CoverSequenceOptions opt;
+  opt.max_covers = 5;
+  StatusOr<CoverSequence> seq = ComputeCoverSequence(g, opt);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_EQ(seq->covers.size(), 1u);
+  EXPECT_EQ(seq->covers[0].lo, (VoxelCoord{3, 2, 4}));
+  EXPECT_EQ(seq->covers[0].hi, (VoxelCoord{3, 2, 4}));
+  EXPECT_EQ(seq->final_error(), 0u);
+}
+
+TEST(EdgeCaseTest, CheckerboardGridCoverSearchTerminates) {
+  // Worst case for rectangular covers: a 3-D checkerboard. The greedy
+  // search must terminate with positive-gain covers only.
+  VoxelGrid g(8);
+  for (int z = 0; z < 8; ++z)
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 8; ++x)
+        if ((x + y + z) % 2 == 0) g.Set(x, y, z);
+  CoverSequenceOptions opt;
+  opt.max_covers = 9;
+  StatusOr<CoverSequence> seq = ComputeCoverSequence(g, opt);
+  ASSERT_TRUE(seq.ok());
+  for (size_t i = 1; i < seq->error_history.size(); ++i) {
+    EXPECT_LT(seq->error_history[i], seq->error_history[i - 1]);
+  }
+  EXPECT_EQ(g.XorCount(ReconstructApproximation(*seq)), seq->final_error());
+}
+
+TEST(EdgeCaseTest, FullGridHistograms) {
+  // Completely solid grid: volume histogram all ones; solid-angle
+  // histogram: border cells carry surface means, the center cell is 1.
+  VoxelGrid g(6);
+  for (int z = 0; z < 6; ++z)
+    for (int y = 0; y < 6; ++y)
+      for (int x = 0; x < 6; ++x) g.Set(x, y, z);
+  VolumeModelOptions vol;
+  vol.cells_per_dim = 2;
+  StatusOr<FeatureVector> vf = ExtractVolumeFeatures(g, vol);
+  ASSERT_TRUE(vf.ok());
+  for (double v : *vf) EXPECT_DOUBLE_EQ(v, 1.0);
+  SolidAngleModelOptions sa;
+  sa.cells_per_dim = 2;
+  sa.kernel_radius = 2;
+  StatusOr<FeatureVector> sf = ExtractSolidAngleFeatures(g, sa);
+  ASSERT_TRUE(sf.ok());
+  for (double v : *sf) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(EdgeCaseTest, MatchingWithManyIdenticalVectors) {
+  // Multiset semantics: five identical vectors against five identical
+  // vectors at another point.
+  VectorSet a, b;
+  for (int i = 0; i < 5; ++i) {
+    a.vectors.push_back({0.0, 0.0});
+    b.vectors.push_back({3.0, 4.0});
+  }
+  EXPECT_NEAR(VectorSetDistance(a, b), 25.0, 1e-12);  // 5 pairs x 5
+  // Against a single copy: one pair (5) + four unmatched (0 each, the
+  // zero vector has zero norm weight).
+  VectorSet single;
+  single.vectors.push_back({3.0, 4.0});
+  EXPECT_NEAR(VectorSetDistance(a, single), 5.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, TinyMeshVoxelizesAtHighResolution) {
+  // A very small mesh far from the origin must still normalize and fill
+  // the grid (translation + scale invariance).
+  TriangleMesh tiny = MakeSphere(1e-4, 12, 6);
+  tiny.ApplyTransform(Transform::Translate({1e5, -2e5, 3e5}));
+  VoxelizerOptions opt;
+  opt.resolution = 16;
+  StatusOr<VoxelModel> model = VoxelizeMesh(tiny, opt);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const double fraction = static_cast<double>(model->grid.Count()) /
+                          static_cast<double>(model->grid.size());
+  EXPECT_GT(fraction, 0.3);  // sphere-ish fill, not empty or one voxel
+}
+
+TEST(EdgeCaseTest, HillClimbSeedCountExtremes) {
+  VoxelizerOptions vox;
+  vox.resolution = 10;
+  StatusOr<VoxelModel> model = VoxelizeMesh(MakeTorus(1.0, 0.4, 16, 8), vox);
+  ASSERT_TRUE(model.ok());
+  // restarts = 1 must still work (single-seed hill climbing).
+  CoverSequenceOptions opt;
+  opt.max_covers = 4;
+  opt.restarts = 1;
+  StatusOr<CoverSequence> seq = ComputeCoverSequence(model->grid, opt);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_GE(seq->covers.size(), 1u);
+  // Huge restart count is clamped by available seeds, not an error.
+  opt.restarts = 1000000;
+  EXPECT_TRUE(ComputeCoverSequence(model->grid, opt).ok());
+}
+
+}  // namespace
+}  // namespace vsim

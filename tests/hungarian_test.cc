@@ -1,0 +1,106 @@
+#include "vsim/distance/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "vsim/common/rng.h"
+
+namespace vsim {
+namespace {
+
+// Brute-force assignment oracle for small instances.
+double BruteForce(const std::vector<double>& cost, int rows, int cols) {
+  std::vector<int> columns(cols);
+  std::iota(columns.begin(), columns.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (int i = 0; i < rows; ++i) total += cost[i * cols + columns[i]];
+    best = std::min(best, total);
+  } while (std::next_permutation(columns.begin(), columns.end()));
+  return best;
+}
+
+TEST(HungarianTest, TrivialSingleCell) {
+  const AssignmentResult r = SolveAssignment({7.0}, 1, 1);
+  EXPECT_EQ(r.column_of[0], 0);
+  EXPECT_DOUBLE_EQ(r.total_cost, 7.0);
+}
+
+TEST(HungarianTest, KnownThreeByThree) {
+  // Classic example; optimal assignment cost is 5 (1+3+1? verify below
+  // against the brute force).
+  const std::vector<double> cost = {4, 1, 3,
+                                    2, 0, 5,
+                                    3, 2, 2};
+  const AssignmentResult r = SolveAssignment(cost, 3, 3);
+  EXPECT_DOUBLE_EQ(r.total_cost, BruteForce(cost, 3, 3));
+  std::set<int> used(r.column_of.begin(), r.column_of.end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(HungarianTest, IdentityIsOptimalForDiagonalZeros) {
+  std::vector<double> cost(16, 5.0);
+  for (int i = 0; i < 4; ++i) cost[i * 4 + i] = 0.0;
+  const AssignmentResult r = SolveAssignment(cost, 4, 4);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r.column_of[i], i);
+}
+
+TEST(HungarianTest, RectangularLeavesColumnsUnused) {
+  // 2 rows, 4 columns.
+  const std::vector<double> cost = {9, 1, 9, 9,
+                                    9, 9, 9, 2};
+  const AssignmentResult r = SolveAssignment(cost, 2, 4);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.0);
+  EXPECT_EQ(r.column_of[0], 1);
+  EXPECT_EQ(r.column_of[1], 3);
+}
+
+TEST(HungarianTest, HandlesNegativeCosts) {
+  const std::vector<double> cost = {-5, 2,
+                                    3, -7};
+  const AssignmentResult r = SolveAssignment(cost, 2, 2);
+  EXPECT_DOUBLE_EQ(r.total_cost, -12.0);
+}
+
+TEST(HungarianTest, RandomizedAgainstBruteForceSquare) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBounded(5));  // 2..6
+    std::vector<double> cost(n * n);
+    for (double& c : cost) c = rng.Uniform(-10, 10);
+    const AssignmentResult r = SolveAssignment(cost, n, n);
+    EXPECT_NEAR(r.total_cost, BruteForce(cost, n, n), 1e-9);
+    std::set<int> used(r.column_of.begin(), r.column_of.end());
+    EXPECT_EQ(static_cast<int>(used.size()), n);
+  }
+}
+
+TEST(HungarianTest, RandomizedAgainstBruteForceRectangular) {
+  Rng rng(4711);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int rows = 1 + static_cast<int>(rng.NextBounded(4));  // 1..4
+    const int cols = rows + static_cast<int>(rng.NextBounded(3));
+    std::vector<double> cost(rows * cols);
+    for (double& c : cost) c = rng.Uniform(0, 100);
+    const AssignmentResult r = SolveAssignment(cost, rows, cols);
+    EXPECT_NEAR(r.total_cost, BruteForce(cost, rows, cols), 1e-9);
+  }
+}
+
+TEST(HungarianTest, TiedCostsStillProduceValidAssignment) {
+  const std::vector<double> cost(9, 1.0);
+  const AssignmentResult r = SolveAssignment(cost, 3, 3);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.0);
+  std::set<int> used(r.column_of.begin(), r.column_of.end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+}  // namespace
+}  // namespace vsim

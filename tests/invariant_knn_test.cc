@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vsim/core/query_engine.h"
+#include "vsim/data/dataset.h"
+#include "vsim/distance/centroid_filter.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/features/orientation.h"
+
+namespace vsim {
+namespace {
+
+class InvariantKnnTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExtractionOptions opt;
+    opt.extract_histograms = false;
+    opt.cover_resolution = 12;
+    opt.num_covers = 5;
+    Dataset ds = MakeCarDataset(60, 29);
+    // Objects stored in arbitrary poses.
+    ApplyRandomOrientations(&ds, 777, true);
+    StatusOr<CadDatabase> db = CadDatabase::FromDataset(ds, opt);
+    ASSERT_TRUE(db.ok());
+    db_ = new CadDatabase(std::move(db).value());
+    engine_ = new QueryEngine(db_);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete db_;
+  }
+  static CadDatabase* db_;
+  static QueryEngine* engine_;
+};
+
+CadDatabase* InvariantKnnTest::db_ = nullptr;
+QueryEngine* InvariantKnnTest::engine_ = nullptr;
+
+TEST_F(InvariantKnnTest, MatchesBruteForceInvariantDistance) {
+  for (int query : {0, 13, 37}) {
+    const auto got = engine_->InvariantKnn(QueryStrategy::kVectorSetFilter,
+                                           db_->object(query), 5, true);
+    std::vector<double> expect;
+    for (int i = 0; i < static_cast<int>(db_->size()); ++i) {
+      expect.push_back(db_->InvariantDistance(ModelType::kVectorSet, i,
+                                              query, true));
+    }
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_NEAR(got[i].distance, expect[i], 1e-9) << "query " << query;
+    }
+  }
+}
+
+TEST_F(InvariantKnnTest, FindsRotatedTwinThatPlainKnnMisses) {
+  // Query with a rotated copy of a stored object: the invariant query
+  // puts the original at distance ~0.
+  const int target = 21;
+  ObjectRepr rotated;
+  rotated.vector_set = TransformVectorSet(db_->object(target).vector_set,
+                                          CubeRotations()[9]);
+  rotated.centroid = ExtendedCentroid(rotated.vector_set, 5);
+  const auto inv = engine_->InvariantKnn(QueryStrategy::kVectorSetFilter,
+                                         rotated, 5, false);
+  ASSERT_GE(inv.size(), 1u);
+  EXPECT_NEAR(inv[0].distance, 0.0, 1e-9);
+  // The original is among the zero-distance hits (other objects may tie
+  // when their quantized covers coincide).
+  bool found = false;
+  for (const Neighbor& n : inv) {
+    found |= n.id == target && n.distance < 1e-9;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InvariantKnnTest, StrategiesAgree) {
+  const auto filter = engine_->InvariantKnn(QueryStrategy::kVectorSetFilter,
+                                            db_->object(7), 5, true);
+  const auto scan = engine_->InvariantKnn(QueryStrategy::kVectorSetScan,
+                                          db_->object(7), 5, true);
+  ASSERT_EQ(filter.size(), scan.size());
+  for (size_t i = 0; i < filter.size(); ++i) {
+    EXPECT_NEAR(filter[i].distance, scan[i].distance, 1e-9);
+  }
+}
+
+TEST_F(InvariantKnnTest, ReflectionTogglesMatter) {
+  // Mirror a stored object's covers: with reflections the twin is at
+  // distance 0, without it generally is not.
+  const int target = 5;
+  ObjectRepr mirrored;
+  mirrored.vector_set = TransformVectorSet(db_->object(target).vector_set,
+                                           Mat3::Scale(-1, 1, 1));
+  mirrored.centroid = ExtendedCentroid(mirrored.vector_set, 5);
+  const auto with = engine_->InvariantKnn(QueryStrategy::kVectorSetFilter,
+                                          mirrored, 5, true);
+  ASSERT_GE(with.size(), 1u);
+  EXPECT_NEAR(with[0].distance, 0.0, 1e-9);
+  bool found = false;
+  for (const Neighbor& n : with) {
+    found |= n.id == target && n.distance < 1e-9;
+  }
+  EXPECT_TRUE(found);
+  const auto without = engine_->InvariantKnn(QueryStrategy::kVectorSetFilter,
+                                             mirrored, 1, false);
+  EXPECT_GE(without[0].distance, with[0].distance);
+}
+
+TEST_F(InvariantKnnTest, InvariantRangeMatchesBruteForce) {
+  const ObjectRepr& query = db_->object(11);
+  const double eps = 1.2;
+  auto got = engine_->InvariantRange(QueryStrategy::kVectorSetFilter, query,
+                                     eps, true);
+  std::vector<int> expect;
+  for (int i = 0; i < static_cast<int>(db_->size()); ++i) {
+    if (db_->InvariantDistance(ModelType::kVectorSet, i, 11, true) <= eps) {
+      expect.push_back(i);
+    }
+  }
+  EXPECT_EQ(got, expect);
+  EXPECT_FALSE(got.empty());  // the query object itself qualifies
+}
+
+}  // namespace
+}  // namespace vsim

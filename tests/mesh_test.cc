@@ -1,0 +1,103 @@
+#include "vsim/geometry/mesh.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/common/math_util.h"
+#include "vsim/geometry/primitives.h"
+
+namespace vsim {
+namespace {
+
+TriangleMesh UnitTetrahedron() {
+  TriangleMesh mesh;
+  const uint32_t a = mesh.AddVertex({0, 0, 0});
+  const uint32_t b = mesh.AddVertex({1, 0, 0});
+  const uint32_t c = mesh.AddVertex({0, 1, 0});
+  const uint32_t d = mesh.AddVertex({0, 0, 1});
+  // Outward-oriented faces.
+  mesh.AddTriangle(a, c, b);
+  mesh.AddTriangle(a, b, d);
+  mesh.AddTriangle(a, d, c);
+  mesh.AddTriangle(b, c, d);
+  return mesh;
+}
+
+TEST(TriangleTest, NormalAreaCentroid) {
+  const Triangle t{{0, 0, 0}, {2, 0, 0}, {0, 2, 0}};
+  EXPECT_EQ(t.Normal(), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ(t.Area(), 2.0);
+  EXPECT_NEAR(t.Centroid().x, 2.0 / 3, 1e-12);
+  const Aabb b = t.Bounds();
+  EXPECT_EQ(b.min, (Vec3{0, 0, 0}));
+  EXPECT_EQ(b.max, (Vec3{2, 2, 0}));
+}
+
+TEST(MeshTest, TetrahedronVolumeAndArea) {
+  const TriangleMesh tet = UnitTetrahedron();
+  EXPECT_EQ(tet.triangle_count(), 4u);
+  EXPECT_NEAR(tet.SignedVolume(), 1.0 / 6.0, 1e-12);
+  // Surface area: 3 right triangles of area 1/2 plus sqrt(3)/2.
+  EXPECT_NEAR(tet.SurfaceArea(), 1.5 + std::sqrt(3.0) / 2.0, 1e-12);
+}
+
+TEST(MeshTest, ValidatePassesOnGoodMesh) {
+  EXPECT_TRUE(UnitTetrahedron().Validate().ok());
+}
+
+TEST(MeshTest, ValidateRejectsEmptyMesh) {
+  TriangleMesh mesh;
+  EXPECT_FALSE(mesh.Validate().ok());
+}
+
+TEST(MeshTest, ValidateRejectsOutOfRangeIndex) {
+  TriangleMesh mesh;
+  mesh.AddVertex({0, 0, 0});
+  mesh.AddVertex({1, 0, 0});
+  mesh.AddVertex({0, 1, 0});
+  mesh.AddTriangle(0, 1, 7);
+  EXPECT_FALSE(mesh.Validate().ok());
+}
+
+TEST(MeshTest, ValidateRejectsDegenerateTriangle) {
+  TriangleMesh mesh;
+  mesh.AddTriangle(Vec3{0, 0, 0}, Vec3{1, 1, 1}, Vec3{2, 2, 2});
+  EXPECT_FALSE(mesh.Validate().ok());
+}
+
+TEST(MeshTest, AppendRebasesIndices) {
+  TriangleMesh a = UnitTetrahedron();
+  const size_t verts = a.vertex_count();
+  TriangleMesh b = UnitTetrahedron();
+  b.ApplyTransform(Transform::Translate({10, 0, 0}));
+  a.Append(b);
+  EXPECT_EQ(a.triangle_count(), 8u);
+  EXPECT_EQ(a.vertex_count(), 2 * verts);
+  EXPECT_TRUE(a.Validate().ok());
+  // Total signed volume doubles (disjoint solids).
+  EXPECT_NEAR(a.SignedVolume(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(MeshTest, ApplyTransformMovesBounds) {
+  TriangleMesh tet = UnitTetrahedron();
+  tet.ApplyTransform(Transform::Translate({5, 5, 5}));
+  const Aabb b = tet.Bounds();
+  EXPECT_EQ(b.min, (Vec3{5, 5, 5}));
+  EXPECT_EQ(b.max, (Vec3{6, 6, 6}));
+}
+
+TEST(MeshTest, RotationPreservesVolume) {
+  TriangleMesh tet = UnitTetrahedron();
+  tet.ApplyTransform(Transform::Linear(Mat3::AxisAngle({1, 2, 3}, 0.83)));
+  EXPECT_NEAR(tet.SignedVolume(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(MeshTest, VertexCentroid) {
+  const TriangleMesh tet = UnitTetrahedron();
+  const Vec3 c = tet.VertexCentroid();
+  EXPECT_NEAR(c.x, 0.25, 1e-12);
+  EXPECT_NEAR(c.y, 0.25, 1e-12);
+  EXPECT_NEAR(c.z, 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,154 @@
+#include "vsim/distance/min_matching.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vsim/common/rng.h"
+#include "vsim/distance/lp.h"
+
+namespace vsim {
+namespace {
+
+VectorSet RandomSet(Rng& rng, int count, int dim, double scale = 1.0) {
+  VectorSet s;
+  for (int i = 0; i < count; ++i) {
+    FeatureVector v(dim);
+    for (double& x : v) x = rng.Uniform(-scale, scale);
+    s.vectors.push_back(std::move(v));
+  }
+  return s;
+}
+
+TEST(MinMatchingTest, IdenticalSetsHaveZeroDistance) {
+  Rng rng(5);
+  const VectorSet s = RandomSet(rng, 5, 6);
+  EXPECT_NEAR(VectorSetDistance(s, s), 0.0, 1e-12);
+}
+
+TEST(MinMatchingTest, SymmetricInArguments) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VectorSet a = RandomSet(rng, 1 + rng.NextBounded(6), 4);
+    const VectorSet b = RandomSet(rng, 1 + rng.NextBounded(6), 4);
+    EXPECT_NEAR(VectorSetDistance(a, b), VectorSetDistance(b, a), 1e-10);
+  }
+}
+
+TEST(MinMatchingTest, TriangleInequalityHolds) {
+  // Lemma 1: with Euclidean ground distance and norm weights the
+  // minimal matching distance is a metric.
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const VectorSet a = RandomSet(rng, 1 + rng.NextBounded(5), 3);
+    const VectorSet b = RandomSet(rng, 1 + rng.NextBounded(5), 3);
+    const VectorSet c = RandomSet(rng, 1 + rng.NextBounded(5), 3);
+    const double ab = VectorSetDistance(a, b);
+    const double bc = VectorSetDistance(b, c);
+    const double ac = VectorSetDistance(a, c);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+TEST(MinMatchingTest, SingletonSetsReduceToGroundDistance) {
+  VectorSet a, b;
+  a.vectors.push_back({1.0, 2.0});
+  b.vectors.push_back({4.0, 6.0});
+  EXPECT_NEAR(VectorSetDistance(a, b), 5.0, 1e-12);
+}
+
+TEST(MinMatchingTest, UnmatchedElementsPayTheirNorm) {
+  VectorSet a, b;
+  a.vectors.push_back({3.0, 4.0});   // matches b's single vector
+  a.vectors.push_back({6.0, 8.0});   // unmatched: pays ||x|| = 10
+  b.vectors.push_back({3.0, 4.0});
+  EXPECT_NEAR(VectorSetDistance(a, b), 10.0, 1e-12);
+}
+
+TEST(MinMatchingTest, EmptySetCostsSumOfWeights) {
+  VectorSet a, empty;
+  a.vectors.push_back({3.0, 4.0});
+  a.vectors.push_back({0.0, 1.0});
+  EXPECT_NEAR(VectorSetDistance(a, empty), 6.0, 1e-12);
+  EXPECT_NEAR(VectorSetDistance(empty, a), 6.0, 1e-12);
+  EXPECT_NEAR(VectorSetDistance(empty, empty), 0.0, 1e-12);
+}
+
+TEST(MinMatchingTest, OptimalMatchingBeatsIdentityPairing) {
+  // Two swapped vectors: identity pairing is expensive, the optimal
+  // matching crosses.
+  VectorSet a, b;
+  a.vectors.push_back({0.0, 0.0});
+  a.vectors.push_back({10.0, 0.0});
+  b.vectors.push_back({10.0, 0.0});
+  b.vectors.push_back({0.0, 0.0});
+  const MatchingDistanceResult r =
+      MinimalMatchingDistanceDetailed(a, b, MinMatchingOptions{});
+  EXPECT_NEAR(r.distance, 0.0, 1e-12);
+  EXPECT_NEAR(r.identity_cost, 20.0, 1e-12);
+  EXPECT_TRUE(r.permutation_used);
+  EXPECT_EQ(r.assignment[0], 1);
+  EXPECT_EQ(r.assignment[1], 0);
+}
+
+TEST(MinMatchingTest, IdentityOptimalIsNotCountedAsPermutation) {
+  VectorSet a, b;
+  a.vectors.push_back({0.0, 0.0});
+  a.vectors.push_back({10.0, 0.0});
+  b.vectors.push_back({0.1, 0.0});
+  b.vectors.push_back({10.1, 0.0});
+  const MatchingDistanceResult r =
+      MinimalMatchingDistanceDetailed(a, b, MinMatchingOptions{});
+  EXPECT_FALSE(r.permutation_used);
+  EXPECT_NEAR(r.distance, 0.2, 1e-12);
+}
+
+TEST(MinMatchingTest, WeightOmegaShiftsUnmatchedCost) {
+  VectorSet a, b;
+  a.vectors.push_back({5.0, 0.0});
+  a.vectors.push_back({7.0, 0.0});
+  b.vectors.push_back({5.0, 0.0});
+  MinMatchingOptions opt;
+  opt.omega = {7.0, 0.0};  // unmatched (7,0) now costs 0
+  EXPECT_NEAR(MinimalMatchingDistance(a, b, opt), 0.0, 1e-12);
+}
+
+TEST(MinMatchingTest, ManhattanGroundDistance) {
+  VectorSet a, b;
+  a.vectors.push_back({0.0, 0.0});
+  b.vectors.push_back({1.0, 2.0});
+  MinMatchingOptions opt;
+  opt.ground = GroundDistance::kManhattan;
+  EXPECT_NEAR(MinimalMatchingDistance(a, b, opt), 3.0, 1e-12);
+}
+
+TEST(MinMatchingTest, DistanceNeverExceedsSumOfAllWeights) {
+  // Routing everything through omega upper-bounds the matching cost
+  // only when w satisfies the triangle property -- sanity check that
+  // the optimum is never absurd.
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const VectorSet a = RandomSet(rng, 1 + rng.NextBounded(6), 5);
+    const VectorSet b = RandomSet(rng, 1 + rng.NextBounded(6), 5);
+    double weight_sum = 0.0;
+    for (const auto& v : a.vectors) weight_sum += EuclideanNorm(v);
+    for (const auto& v : b.vectors) weight_sum += EuclideanNorm(v);
+    EXPECT_LE(VectorSetDistance(a, b), weight_sum + 1e-9);
+  }
+}
+
+TEST(MinMatchingTest, SquaredEuclideanWithSqrtObeysDefinition) {
+  VectorSet a, b;
+  a.vectors.push_back({0.0, 0.0});
+  a.vectors.push_back({2.0, 0.0});
+  b.vectors.push_back({0.0, 1.0});
+  b.vectors.push_back({2.0, 1.0});
+  MinMatchingOptions opt;
+  opt.ground = GroundDistance::kSquaredEuclidean;
+  opt.sqrt_of_total = true;
+  // Optimal pairing: both pairs at squared distance 1 -> sqrt(2).
+  EXPECT_NEAR(MinimalMatchingDistance(a, b, opt), std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace vsim

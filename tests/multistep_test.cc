@@ -1,0 +1,149 @@
+#include "vsim/index/multistep.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vsim/common/rng.h"
+#include "vsim/distance/centroid_filter.h"
+#include "vsim/distance/lp.h"
+#include "vsim/distance/min_matching.h"
+
+namespace vsim {
+namespace {
+
+// Test world: random vector sets with centroids indexed in an X-tree.
+struct World {
+  std::vector<VectorSet> sets;
+  std::vector<FeatureVector> centroids;
+  std::unique_ptr<XTree> index;
+  int k = 5;  // max cardinality
+
+  ExactDistanceFn ExactFor(const VectorSet& query) const {
+    return [this, &query](int id, IoStats* stats) {
+      if (stats != nullptr) stats->AddPageAccesses(1);
+      return VectorSetDistance(query, sets[id]);
+    };
+  }
+};
+
+World MakeWorld(int count, uint64_t seed) {
+  Rng rng(seed);
+  World w;
+  w.index = std::make_unique<XTree>(4);
+  for (int i = 0; i < count; ++i) {
+    VectorSet s;
+    const int n = 1 + static_cast<int>(rng.NextBounded(w.k));
+    for (int v = 0; v < n; ++v) {
+      FeatureVector f(4);
+      for (double& x : f) x = rng.Uniform(-1, 1);
+      s.vectors.push_back(std::move(f));
+    }
+    w.centroids.push_back(ExtendedCentroid(s, w.k));
+    w.sets.push_back(std::move(s));
+    EXPECT_TRUE(w.index->Insert(w.centroids.back(), i).ok());
+  }
+  return w;
+}
+
+TEST(MultiStepKnnTest, MatchesExactScan) {
+  World w = MakeWorld(400, 101);
+  Rng rng(5);
+  for (int q = 0; q < 15; ++q) {
+    const int qi = static_cast<int>(rng.NextBounded(w.sets.size()));
+    const int k = 1 + static_cast<int>(rng.NextBounded(10));
+    const auto got =
+        MultiStepKnn(*w.index, w.centroids[qi], w.k, k, w.ExactFor(w.sets[qi]));
+    // Reference: exact distances to everything.
+    std::vector<double> all;
+    for (const auto& s : w.sets) {
+      all.push_back(VectorSetDistance(w.sets[qi], s));
+    }
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(got.size(), static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(got[i].distance, all[i], 1e-9);
+    }
+  }
+}
+
+TEST(MultiStepKnnTest, RefinesFewerThanScan) {
+  World w = MakeWorld(600, 102);
+  MultiStepStats ms;
+  IoStats io;
+  const auto got = MultiStepKnn(*w.index, w.centroids[0], w.k, 10,
+                                w.ExactFor(w.sets[0]), &io, &ms);
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_LT(ms.candidates_refined, w.sets.size());
+  EXPECT_GE(ms.candidates_refined, 10u);
+}
+
+TEST(MultiStepKnnTest, OptimalityNeverRefinesBeyondBound) {
+  // Optimal multi-step property: every refined candidate had a filter
+  // distance strictly below the final k-th exact distance (up to ties).
+  World w = MakeWorld(500, 103);
+  const int k = 5;
+  MultiStepStats ms;
+  const auto got = MultiStepKnn(*w.index, w.centroids[7], w.k, k,
+                                w.ExactFor(w.sets[7]), nullptr, &ms);
+  const double kth = got.back().distance;
+  // Count objects whose filter bound is <= kth: the refined count can
+  // not exceed that.
+  size_t within_bound = 0;
+  for (size_t i = 0; i < w.sets.size(); ++i) {
+    const double bound =
+        CentroidFilterDistance(w.centroids[7], w.centroids[i], w.k);
+    if (bound <= kth + 1e-9) ++within_bound;
+  }
+  EXPECT_LE(ms.candidates_refined, within_bound);
+}
+
+TEST(MultiStepRangeTest, MatchesExactScan) {
+  World w = MakeWorld(400, 104);
+  Rng rng(6);
+  for (int q = 0; q < 15; ++q) {
+    const int qi = static_cast<int>(rng.NextBounded(w.sets.size()));
+    const double eps = rng.Uniform(0.3, 1.5);
+    auto got = MultiStepRange(*w.index, w.centroids[qi], w.k, eps,
+                              w.ExactFor(w.sets[qi]));
+    std::vector<int> expect;
+    for (size_t i = 0; i < w.sets.size(); ++i) {
+      if (VectorSetDistance(w.sets[qi], w.sets[i]) <= eps) {
+        expect.push_back(static_cast<int>(i));
+      }
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(ScanBaselineTest, KnnAndRangeMatchReference) {
+  World w = MakeWorld(300, 105);
+  const auto exact = w.ExactFor(w.sets[3]);
+  IoStats io;
+  const auto knn = ScanKnn(static_cast<int>(w.sets.size()), 7, 4096 * 10, 4096,
+                           exact, &io);
+  EXPECT_EQ(knn.size(), 7u);
+  EXPECT_EQ(io.page_accesses(), 10u);  // sequential pages charged once
+  for (size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_GE(knn[i].distance, knn[i - 1].distance);
+  }
+  EXPECT_EQ(knn[0].id, 3);  // self-distance zero
+
+  IoStats io2;
+  const auto range = ScanRange(static_cast<int>(w.sets.size()), 0.5,
+                               4096 * 10, 4096, exact, &io2);
+  for (int id : range) {
+    EXPECT_LE(VectorSetDistance(w.sets[3], w.sets[id]), 0.5 + 1e-12);
+  }
+}
+
+TEST(MultiStepKnnTest, KLargerThanDatabase) {
+  World w = MakeWorld(5, 106);
+  const auto got = MultiStepKnn(*w.index, w.centroids[0], w.k, 10,
+                                w.ExactFor(w.sets[0]));
+  EXPECT_EQ(got.size(), 5u);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,120 @@
+#include "vsim/voxel/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vsim/common/math_util.h"
+#include "vsim/geometry/primitives.h"
+#include "vsim/voxel/voxelizer.h"
+
+namespace vsim {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Mat3 a;
+  a.m = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  Mat3 vecs;
+  Vec3 vals;
+  SymmetricEigen3(a, &vecs, &vals);
+  EXPECT_NEAR(vals.x, 3.0, 1e-12);
+  EXPECT_NEAR(vals.y, 2.0, 1e-12);
+  EXPECT_NEAR(vals.z, 1.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, KnownSymmetricMatrix) {
+  // [[2,1,0],[1,2,0],[0,0,5]] has eigenvalues 5, 3, 1.
+  Mat3 a;
+  a.m = {2, 1, 0, 1, 2, 0, 0, 0, 5};
+  Mat3 vecs;
+  Vec3 vals;
+  SymmetricEigen3(a, &vecs, &vals);
+  EXPECT_NEAR(vals.x, 5.0, 1e-10);
+  EXPECT_NEAR(vals.y, 3.0, 1e-10);
+  EXPECT_NEAR(vals.z, 1.0, 1e-10);
+  // Eigenvector of eigenvalue 3 is (1,1,0)/sqrt(2) up to sign.
+  const Vec3 v{vecs(0, 1), vecs(1, 1), vecs(2, 1)};
+  EXPECT_NEAR(std::fabs(v.x), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::fabs(v.y), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(v.z, 0.0, 1e-8);
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  Mat3 a;
+  a.m = {4, 1, 0.5, 1, 3, -1, 0.5, -1, 2};
+  Mat3 vecs;
+  Vec3 vals;
+  SymmetricEigen3(a, &vecs, &vals);
+  // A = V diag(vals) V^T.
+  Mat3 diag = Mat3::Scale(vals.x, vals.y, vals.z);
+  Mat3 recon = vecs * diag * vecs.Transposed();
+  for (int i = 0; i < 9; ++i) EXPECT_NEAR(recon.m[i], a.m[i], 1e-9);
+}
+
+TEST(PrincipalAxisTest, AlignsElongatedBox) {
+  // A box elongated along a diagonal direction must come back aligned
+  // with x after the principal-axis rotation.
+  TriangleMesh box = MakeBox({4, 1, 0.5});
+  const Mat3 tilt = Mat3::AxisAngle({1, 1, 0}, 0.7);
+  box.ApplyTransform(Transform::Linear(tilt));
+  const Mat3 pca = PrincipalAxisRotation(box);
+  EXPECT_NEAR(pca.Determinant(), 1.0, 1e-9);
+  TriangleMesh aligned = box;
+  aligned.ApplyTransform(Transform::Linear(pca));
+  const Aabb bounds = aligned.Bounds();
+  const Vec3 extent = bounds.Extent();
+  // Longest extent along x, shortest along z.
+  EXPECT_GT(extent.x, extent.y);
+  EXPECT_GT(extent.y, extent.z);
+  EXPECT_NEAR(extent.x, 4.0, 0.1);
+  EXPECT_NEAR(extent.z, 0.5, 0.1);
+}
+
+TEST(PrincipalAxisTest, RotationInvarianceOfVoxelization) {
+  // PCA + voxelization yields (nearly) the same grid for arbitrary
+  // rotations of the same part: full rotation invariance (Section 3.2).
+  TriangleMesh a = MakeBox({4, 2, 1});
+  TriangleMesh b = a;
+  b.ApplyTransform(Transform::Linear(Mat3::AxisAngle({0.3, 1, 0.2}, 1.234)));
+  for (TriangleMesh* m : {&a, &b}) {
+    m->ApplyTransform(Transform::Linear(PrincipalAxisRotation(*m)));
+  }
+  VoxelizerOptions opt;
+  opt.resolution = 10;
+  StatusOr<VoxelModel> ma = VoxelizeMesh(a, opt);
+  StatusOr<VoxelModel> mb = VoxelizeMesh(b, opt);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  // Up to voxel discretization (and possible axis sign flips, which the
+  // 90-degree-rotation invariance absorbs downstream) the grids agree:
+  // compare against the best octahedral orientation.
+  size_t best_xor = ma->grid.size();
+  for (const VoxelGrid& g : AllOrientations(mb->grid, true)) {
+    best_xor = std::min(best_xor, ma->grid.XorCount(g));
+  }
+  EXPECT_LT(static_cast<double>(best_xor),
+            0.15 * static_cast<double>(ma->grid.Count()));
+}
+
+TEST(AllOrientationsTest, CountAndFirstElement) {
+  VoxelGrid g(4);
+  g.Set(0, 1, 2);
+  g.Set(3, 0, 0);
+  const auto rots = AllOrientations(g, false);
+  EXPECT_EQ(rots.size(), 24u);
+  EXPECT_EQ(rots.front(), g);
+  const auto all = AllOrientations(g, true);
+  EXPECT_EQ(all.size(), 48u);
+}
+
+TEST(AllOrientationsTest, SymmetricObjectHasFewDistinctOrientations) {
+  // A fully symmetric grid (single center voxel) is invariant.
+  VoxelGrid g(3);
+  g.Set(1, 1, 1);
+  for (const VoxelGrid& o : AllOrientations(g, true)) {
+    EXPECT_EQ(o, g);
+  }
+}
+
+}  // namespace
+}  // namespace vsim

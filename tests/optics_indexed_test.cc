@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vsim/cluster/optics.h"
+#include "vsim/common/rng.h"
+#include "vsim/core/query_engine.h"
+#include "vsim/data/dataset.h"
+#include "vsim/distance/lp.h"
+
+namespace vsim {
+namespace {
+
+TEST(OpticsIndexedTest, RejectsInfiniteEps) {
+  OpticsOptions opt;  // eps = inf by default
+  StatusOr<OpticsResult> r = RunOpticsIndexed(
+      3, [](int, double) { return std::vector<int>{}; },
+      [](int, int) { return 1.0; }, opt);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(OpticsIndexedTest, MatchesPlainOpticsWithBruteNeighborhoods) {
+  Rng rng(61);
+  std::vector<FeatureVector> pts;
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < 25; ++i) {
+      pts.push_back({b * 8.0 + rng.Gaussian(0, 0.5), rng.Gaussian(0, 0.5)});
+    }
+  }
+  const auto distance = [&](int i, int j) {
+    return EuclideanDistance(pts[i], pts[j]);
+  };
+  OpticsOptions opt;
+  opt.eps = 2.0;
+  opt.min_pts = 4;
+  StatusOr<OpticsResult> plain =
+      RunOptics(static_cast<int>(pts.size()), distance, opt);
+  StatusOr<OpticsResult> indexed = RunOpticsIndexed(
+      static_cast<int>(pts.size()),
+      [&](int id, double eps) {
+        std::vector<int> out;
+        for (int j = 0; j < static_cast<int>(pts.size()); ++j) {
+          if (j != id && distance(id, j) <= eps) out.push_back(j);
+        }
+        return out;
+      },
+      distance, opt);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_EQ(plain->ordering.size(), indexed->ordering.size());
+  for (size_t i = 0; i < plain->ordering.size(); ++i) {
+    EXPECT_EQ(plain->ordering[i].object, indexed->ordering[i].object) << i;
+    const double pr = plain->ordering[i].reachability;
+    const double ir = indexed->ordering[i].reachability;
+    if (std::isinf(pr)) {
+      EXPECT_TRUE(std::isinf(ir));
+    } else {
+      EXPECT_NEAR(pr, ir, 1e-12);
+    }
+  }
+}
+
+TEST(OpticsIndexedTest, WorksWithQueryEngineRangeQueries) {
+  // Full-stack integration: OPTICS neighborhoods served by the
+  // extended-centroid filter + refinement pipeline.
+  ExtractionOptions opt;
+  opt.extract_histograms = false;
+  opt.cover_resolution = 12;
+  opt.num_covers = 5;
+  const Dataset ds = MakeCarDataset(50, 17);
+  StatusOr<CadDatabase> db = CadDatabase::FromDataset(ds, opt);
+  ASSERT_TRUE(db.ok());
+  QueryEngine engine(&*db);
+
+  // Generating eps: the 10th percentile of pairwise distances (OPTICS
+  // generating distances are chosen small; a huge eps would make every
+  // neighborhood the whole database and no index could help).
+  std::vector<double> sample;
+  for (int i = 0; i < 30; ++i) {
+    for (int j = i + 1; j < 30; ++j) {
+      sample.push_back(db->Distance(ModelType::kVectorSet, i, j));
+    }
+  }
+  std::nth_element(sample.begin(), sample.begin() + sample.size() / 10,
+                   sample.end());
+  const double eps = sample[sample.size() / 10];
+
+  OpticsOptions optics;
+  optics.eps = eps;
+  optics.min_pts = 3;
+  const PairwiseDistanceFn dist = db->DistanceFunction(ModelType::kVectorSet);
+  size_t refined_total = 0;
+  StatusOr<OpticsResult> indexed = RunOpticsIndexed(
+      static_cast<int>(db->size()),
+      [&](int id, double radius) {
+        QueryCost cost;
+        auto hits = engine.Range(QueryStrategy::kVectorSetFilter,
+                                 db->object(id), radius, &cost);
+        refined_total += cost.candidates_refined;
+        return hits;
+      },
+      dist, optics);
+  ASSERT_TRUE(indexed.ok());
+  StatusOr<OpticsResult> plain =
+      RunOptics(static_cast<int>(db->size()), dist, optics);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(indexed->ordering.size(), plain->ordering.size());
+  for (size_t i = 0; i < plain->ordering.size(); ++i) {
+    EXPECT_EQ(plain->ordering[i].object, indexed->ordering[i].object);
+  }
+  // The filter did less exact-distance work than n^2.
+  const size_t n = db->size();
+  EXPECT_LT(refined_total + indexed->distance_evaluations, n * (n - 1));
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,182 @@
+#include "vsim/cluster/optics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "vsim/common/rng.h"
+#include "vsim/distance/lp.h"
+
+namespace vsim {
+namespace {
+
+// Three well-separated 2-D Gaussian blobs.
+std::vector<FeatureVector> MakeBlobs(int per_blob, Rng& rng) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {5, 9}};
+  std::vector<FeatureVector> pts;
+  for (const auto& c : centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      pts.push_back({c[0] + rng.Gaussian(0, 0.5), c[1] + rng.Gaussian(0, 0.5)});
+    }
+  }
+  return pts;
+}
+
+PairwiseDistanceFn DistanceOf(const std::vector<FeatureVector>& pts) {
+  return [&pts](int i, int j) { return EuclideanDistance(pts[i], pts[j]); };
+}
+
+TEST(OpticsTest, EmptyAndTinyInputs) {
+  OpticsOptions opt;
+  StatusOr<OpticsResult> r = RunOptics(0, [](int, int) { return 0.0; }, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->ordering.empty());
+
+  opt.min_pts = 1;
+  r = RunOptics(1, [](int, int) { return 0.0; }, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ordering.size(), 1u);
+  EXPECT_TRUE(std::isinf(r->ordering[0].reachability));
+}
+
+TEST(OpticsTest, RejectsBadOptions) {
+  OpticsOptions opt;
+  opt.min_pts = 0;
+  EXPECT_FALSE(RunOptics(3, [](int, int) { return 1.0; }, opt).ok());
+  opt.min_pts = 2;
+  EXPECT_FALSE(RunOptics(-1, [](int, int) { return 1.0; }, opt).ok());
+}
+
+TEST(OpticsTest, OrderingContainsEveryObjectOnce) {
+  Rng rng(31);
+  const auto pts = MakeBlobs(30, rng);
+  OpticsOptions opt;
+  opt.min_pts = 5;
+  StatusOr<OpticsResult> r = RunOptics(static_cast<int>(pts.size()),
+                                       DistanceOf(pts), opt);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->ordering.size(), pts.size());
+  std::set<int> seen;
+  for (const OpticsEntry& e : r->ordering) seen.insert(e.object);
+  EXPECT_EQ(seen.size(), pts.size());
+  EXPECT_TRUE(std::isinf(r->ordering.front().reachability));
+}
+
+TEST(OpticsTest, BlobsFormThreeValleys) {
+  Rng rng(32);
+  const auto pts = MakeBlobs(40, rng);
+  OpticsOptions opt;
+  opt.min_pts = 5;
+  StatusOr<OpticsResult> r = RunOptics(static_cast<int>(pts.size()),
+                                       DistanceOf(pts), opt);
+  ASSERT_TRUE(r.ok());
+  // Cut at a level separating intra-blob (<~1.5) from inter-blob (>~8).
+  const std::vector<int> labels = ExtractClusters(*r, 2.5, 5);
+  std::set<int> clusters;
+  for (int l : labels) {
+    if (l >= 0) clusters.insert(l);
+  }
+  EXPECT_EQ(clusters.size(), 3u);
+  // Nearly all objects are clustered at this cut.
+  size_t noise = 0;
+  for (int l : labels) noise += l < 0 ? 1 : 0;
+  EXPECT_LT(noise, 6u);
+}
+
+TEST(OpticsTest, ClustersArePureUnderTruth) {
+  Rng rng(33);
+  const int per_blob = 40;
+  const auto pts = MakeBlobs(per_blob, rng);
+  OpticsOptions opt;
+  opt.min_pts = 5;
+  StatusOr<OpticsResult> r = RunOptics(static_cast<int>(pts.size()),
+                                       DistanceOf(pts), opt);
+  ASSERT_TRUE(r.ok());
+  const std::vector<int> labels = ExtractClusters(*r, 2.5, 5);
+  // Check that no extracted cluster mixes blobs.
+  for (size_t pos = 0; pos < r->ordering.size(); ++pos) {
+    for (size_t pos2 = pos + 1; pos2 < r->ordering.size(); ++pos2) {
+      if (labels[pos] >= 0 && labels[pos] == labels[pos2]) {
+        const int blob1 = r->ordering[pos].object / per_blob;
+        const int blob2 = r->ordering[pos2].object / per_blob;
+        EXPECT_EQ(blob1, blob2);
+      }
+    }
+  }
+}
+
+TEST(OpticsTest, HierarchicalCutsSplitClusters) {
+  // A cluster with two sub-clusters: a coarse cut gives 1 cluster, a
+  // fine cut gives 2 (the paper's Figure 5 illustration).
+  Rng rng(34);
+  std::vector<FeatureVector> pts;
+  for (int i = 0; i < 30; ++i) pts.push_back({rng.Gaussian(0, 0.3), 0.0});
+  for (int i = 0; i < 30; ++i) pts.push_back({rng.Gaussian(3, 0.3), 0.0});
+  OpticsOptions opt;
+  opt.min_pts = 4;
+  StatusOr<OpticsResult> r = RunOptics(static_cast<int>(pts.size()),
+                                       DistanceOf(pts), opt);
+  ASSERT_TRUE(r.ok());
+  auto count_clusters = [&](double eps) {
+    std::set<int> c;
+    for (int l : ExtractClusters(*r, eps, 4)) {
+      if (l >= 0) c.insert(l);
+    }
+    return c.size();
+  };
+  EXPECT_EQ(count_clusters(2.9), 1u);  // coarse cut: one merged cluster
+  EXPECT_EQ(count_clusters(0.8), 2u);  // fine cut: two sub-clusters
+}
+
+TEST(OpticsTest, EpsTruncationIncreasesInfiniteReachabilities) {
+  Rng rng(35);
+  const auto pts = MakeBlobs(20, rng);
+  OpticsOptions unbounded, bounded;
+  unbounded.min_pts = bounded.min_pts = 4;
+  bounded.eps = 2.0;  // inter-blob jumps exceed eps
+  StatusOr<OpticsResult> ru = RunOptics(static_cast<int>(pts.size()),
+                                        DistanceOf(pts), unbounded);
+  StatusOr<OpticsResult> rb = RunOptics(static_cast<int>(pts.size()),
+                                        DistanceOf(pts), bounded);
+  ASSERT_TRUE(ru.ok());
+  ASSERT_TRUE(rb.ok());
+  auto infinities = [](const OpticsResult& r) {
+    size_t n = 0;
+    for (const auto& e : r.ordering) n += std::isinf(e.reachability) ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(infinities(*ru), 1u);   // single connected run
+  EXPECT_EQ(infinities(*rb), 3u);   // one per blob
+}
+
+TEST(OpticsTest, DistanceEvaluationsAreCounted) {
+  Rng rng(36);
+  const auto pts = MakeBlobs(10, rng);
+  OpticsOptions opt;
+  opt.min_pts = 3;
+  StatusOr<OpticsResult> r = RunOptics(static_cast<int>(pts.size()),
+                                       DistanceOf(pts), opt);
+  ASSERT_TRUE(r.ok());
+  const size_t n = pts.size();
+  EXPECT_EQ(r->distance_evaluations, n * (n - 1));
+}
+
+TEST(OpticsOutputTest, CsvAndAsciiRender) {
+  Rng rng(37);
+  const auto pts = MakeBlobs(10, rng);
+  OpticsOptions opt;
+  opt.min_pts = 3;
+  StatusOr<OpticsResult> r = RunOptics(static_cast<int>(pts.size()),
+                                       DistanceOf(pts), opt);
+  ASSERT_TRUE(r.ok());
+  const std::string csv = ReachabilityCsv(*r, 99.0);
+  EXPECT_NE(csv.find("position,object,reachability"), std::string::npos);
+  EXPECT_NE(csv.find("99"), std::string::npos);  // capped infinity
+  const std::string ascii = ReachabilityAscii(*r, 8, 60);
+  EXPECT_GT(ascii.size(), 60u);
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vsim

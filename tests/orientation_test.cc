@@ -1,0 +1,215 @@
+#include "vsim/features/orientation.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/common/rng.h"
+#include "vsim/core/similarity.h"
+#include "vsim/distance/lp.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/features/cover_sequence.h"
+#include "vsim/features/solid_angle_model.h"
+#include "vsim/features/volume_model.h"
+#include "vsim/geometry/primitives.h"
+#include "vsim/voxel/voxelizer.h"
+
+namespace vsim {
+namespace {
+
+TEST(BinPermutationTest, IdentityMapsEveryBinToItself) {
+  const std::vector<int> perm = HistogramBinPermutation(3, Mat3::Identity());
+  for (size_t b = 0; b < perm.size(); ++b) {
+    EXPECT_EQ(perm[b], static_cast<int>(b));
+  }
+}
+
+TEST(BinPermutationTest, IsBijective) {
+  for (const Mat3& m : CubeRotationsWithReflections()) {
+    const std::vector<int> perm = HistogramBinPermutation(4, m);
+    std::vector<char> seen(perm.size(), 0);
+    for (int t : perm) {
+      ASSERT_GE(t, 0);
+      ASSERT_LT(t, static_cast<int>(perm.size()));
+      ASSERT_FALSE(seen[t]);
+      seen[t] = 1;
+    }
+  }
+}
+
+TEST(BinPermutationTest, PermuteBinsRoundTripsThroughInverse) {
+  Rng rng(3);
+  FeatureVector f(27);
+  for (double& v : f) v = rng.NextDouble();
+  for (const Mat3& m : CubeRotations()) {
+    const FeatureVector once = PermuteBins(f, HistogramBinPermutation(3, m));
+    const FeatureVector back =
+        PermuteBins(once, HistogramBinPermutation(3, m.Transposed()));
+    EXPECT_EQ(back, f);
+  }
+}
+
+// The decisive exactness property: extracting histogram features from a
+// transformed voxel grid equals permuting the bins of the original
+// features (Section 3.2's "48 permutations of the query object").
+TEST(BinPermutationTest, VolumeFeaturesCommuteWithGridTransforms) {
+  VoxelizerOptions vox;
+  vox.resolution = 12;
+  StatusOr<VoxelModel> model =
+      VoxelizeParts({MakeBox({2, 1, 0.5}), MakeSphere(0.6, 12, 6)}, vox);
+  ASSERT_TRUE(model.ok());
+  VolumeModelOptions opt;
+  opt.cells_per_dim = 3;
+  StatusOr<FeatureVector> base = ExtractVolumeFeatures(model->grid, opt);
+  ASSERT_TRUE(base.ok());
+  for (const Mat3& m : CubeRotationsWithReflections()) {
+    StatusOr<VoxelGrid> rotated = model->grid.Transformed(m);
+    ASSERT_TRUE(rotated.ok());
+    StatusOr<FeatureVector> direct = ExtractVolumeFeatures(*rotated, opt);
+    ASSERT_TRUE(direct.ok());
+    const FeatureVector permuted =
+        PermuteBins(*base, HistogramBinPermutation(3, m));
+    ASSERT_EQ(direct->size(), permuted.size());
+    for (size_t b = 0; b < permuted.size(); ++b) {
+      EXPECT_NEAR((*direct)[b], permuted[b], 1e-12);
+    }
+  }
+}
+
+TEST(BinPermutationTest, SolidAngleFeaturesCommuteWithGridTransforms) {
+  VoxelizerOptions vox;
+  vox.resolution = 12;
+  StatusOr<VoxelModel> model = VoxelizeMesh(MakeTorus(1.0, 0.4, 20, 10), vox);
+  ASSERT_TRUE(model.ok());
+  SolidAngleModelOptions opt;
+  opt.cells_per_dim = 3;
+  opt.kernel_radius = 2;
+  StatusOr<FeatureVector> base = ExtractSolidAngleFeatures(model->grid, opt);
+  ASSERT_TRUE(base.ok());
+  // Spot-check a few non-trivial group elements (full sweep is covered
+  // by the volume variant above).
+  const auto& group = CubeRotationsWithReflections();
+  for (size_t g : {1u, 7u, 23u, 30u, 47u}) {
+    StatusOr<VoxelGrid> rotated = model->grid.Transformed(group[g]);
+    ASSERT_TRUE(rotated.ok());
+    StatusOr<FeatureVector> direct = ExtractSolidAngleFeatures(*rotated, opt);
+    ASSERT_TRUE(direct.ok());
+    const FeatureVector permuted =
+        PermuteBins(*base, HistogramBinPermutation(3, group[g]));
+    for (size_t b = 0; b < permuted.size(); ++b) {
+      EXPECT_NEAR((*direct)[b], permuted[b], 1e-12) << "element " << g;
+    }
+  }
+}
+
+TEST(CoverTransformTest, PositionRotatesExtentPermutes) {
+  // Cover at +x with extents (a, b, c); rotate x->y.
+  const std::array<double, 6> f = {0.3, 0.0, 0.0, 0.5, 0.2, 0.1};
+  Mat3 rot;  // z-rotation by 90 degrees: (x,y,z) -> (-y,x,z)
+  rot.m = {0, -1, 0, 1, 0, 0, 0, 0, 1};
+  const std::array<double, 6> t = TransformCoverFeature(f, rot);
+  EXPECT_NEAR(t[0], 0.0, 1e-12);
+  EXPECT_NEAR(t[1], 0.3, 1e-12);
+  EXPECT_NEAR(t[2], 0.0, 1e-12);
+  // x-extent and y-extent swap; z stays.
+  EXPECT_NEAR(t[3], 0.2, 1e-12);
+  EXPECT_NEAR(t[4], 0.5, 1e-12);
+  EXPECT_NEAR(t[5], 0.1, 1e-12);
+}
+
+TEST(CoverTransformTest, ReflectionFlipsPositionKeepsExtent) {
+  const std::array<double, 6> f = {0.3, -0.1, 0.2, 0.5, 0.2, 0.1};
+  const std::array<double, 6> t =
+      TransformCoverFeature(f, Mat3::Scale(-1, 1, 1));
+  EXPECT_NEAR(t[0], -0.3, 1e-12);
+  EXPECT_NEAR(t[1], -0.1, 1e-12);
+  EXPECT_NEAR(t[3], 0.5, 1e-12);
+}
+
+TEST(CoverTransformTest, MatchesGridLevelCoverTransform) {
+  // A cuboid cover inside a grid, transformed two ways: (a) transform
+  // the 6-d feature; (b) transform the grid, recompute the (single)
+  // cover, take its feature. Both must agree for every group element.
+  const int r = 8;
+  VoxelGrid grid(r);
+  const Cover cover{{1, 2, 3}, {4, 3, 6}, true};
+  for (int z = cover.lo.z; z <= cover.hi.z; ++z)
+    for (int y = cover.lo.y; y <= cover.hi.y; ++y)
+      for (int x = cover.lo.x; x <= cover.hi.x; ++x) grid.Set(x, y, z);
+  const std::array<double, 6> base = CoverToFeature(cover, r);
+  CoverSequenceOptions opt;
+  opt.max_covers = 1;
+  opt.search = CoverSequenceOptions::Search::kExhaustive;
+  for (const Mat3& m : CubeRotationsWithReflections()) {
+    StatusOr<VoxelGrid> rotated = grid.Transformed(m);
+    ASSERT_TRUE(rotated.ok());
+    StatusOr<CoverSequence> seq = ComputeCoverSequence(*rotated, opt);
+    ASSERT_TRUE(seq.ok());
+    ASSERT_EQ(seq->covers.size(), 1u);
+    ASSERT_EQ(seq->final_error(), 0u);
+    const std::array<double, 6> direct =
+        CoverToFeature(seq->covers[0], r);
+    const std::array<double, 6> transformed = TransformCoverFeature(base, m);
+    for (int c = 0; c < 6; ++c) {
+      EXPECT_NEAR(direct[c], transformed[c], 1e-12);
+    }
+  }
+}
+
+TEST(CoverTransformTest, VectorSetTransformIsIsometry) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    VectorSet a, b;
+    for (int i = 0; i < 4; ++i) {
+      FeatureVector va(6), vb(6);
+      for (double& x : va) x = rng.Uniform(-0.5, 0.5);
+      for (double& x : vb) x = rng.Uniform(-0.5, 0.5);
+      a.vectors.push_back(std::move(va));
+      b.vectors.push_back(std::move(vb));
+    }
+    const double base = VectorSetDistance(a, b);
+    for (size_t g : {3u, 11u, 29u, 41u}) {
+      const Mat3& m = CubeRotationsWithReflections()[g];
+      EXPECT_NEAR(VectorSetDistance(TransformVectorSet(a, m),
+                                    TransformVectorSet(b, m)),
+                  base, 1e-9);
+    }
+  }
+}
+
+TEST(InvariantDatabaseTest, InvariantNeverExceedsPlainDistance) {
+  ExtractionOptions opt;
+  opt.histogram_resolution = 12;
+  opt.cover_resolution = 12;
+  opt.num_covers = 5;
+  CadDatabase db(opt);
+  ASSERT_TRUE(db.AddObject({MakeBox({2, 1, 0.5})}, 0).ok());
+  ASSERT_TRUE(db.AddObject({MakeTorus(1.0, 0.4, 16, 8)}, 1).ok());
+  ASSERT_TRUE(db.AddObject({MakeCylinder(0.8, 2.0, 12)}, 2).ok());
+  for (ModelType model : {ModelType::kVolume, ModelType::kSolidAngle,
+                          ModelType::kCoverSequence, ModelType::kVectorSet}) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        const double inv = db.InvariantDistance(model, i, j, true);
+        EXPECT_LE(inv, db.Distance(model, i, j) + 1e-9) << ModelTypeName(model);
+        // Fewer transforms cannot give a smaller minimum.
+        EXPECT_LE(inv, db.InvariantDistance(model, i, j, false) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(InvariantDatabaseTest, InvariantDistanceIsSymmetric) {
+  ExtractionOptions opt;
+  opt.extract_histograms = false;
+  opt.cover_resolution = 10;
+  opt.num_covers = 4;
+  CadDatabase db(opt);
+  ASSERT_TRUE(db.AddObject({MakeBox({2, 1, 0.6})}, 0).ok());
+  ASSERT_TRUE(db.AddObject({MakeFrustum(1.0, 0.3, 1.5, 10)}, 1).ok());
+  // Min over a group closed under inversion, of an isometric action:
+  // symmetric in its arguments.
+  EXPECT_NEAR(db.InvariantDistance(ModelType::kVectorSet, 0, 1, true),
+              db.InvariantDistance(ModelType::kVectorSet, 1, 0, true), 1e-9);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,179 @@
+// End-to-end regression tests for the paper's headline claims on a
+// fixed-seed reduced workload. If a refactor silently breaks the
+// science (not just the plumbing), these tests catch it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "vsim/cluster/cluster_quality.h"
+#include "vsim/cluster/optics.h"
+#include "vsim/core/query_engine.h"
+#include "vsim/core/similarity.h"
+#include "vsim/data/dataset.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/features/cover_sequence.h"
+
+namespace vsim {
+namespace {
+
+class PaperClaimsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExtractionOptions opt;
+    opt.extract_histograms = false;
+    opt.num_covers = 9;  // prefix-stable: every k <= 9 by truncation
+    const Dataset ds = MakeAircraftDataset(220, 7);
+    StatusOr<CadDatabase> built = CadDatabase::FromDataset(ds, opt);
+    ASSERT_TRUE(built.ok());
+    db_ = new CadDatabase(std::move(built).value());
+    labels_ = new std::vector<int>(ds.EvaluationLabels());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete labels_;
+  }
+
+  static std::vector<VectorSet> SetsForK(int k) {
+    std::vector<VectorSet> sets;
+    for (size_t i = 0; i < db_->size(); ++i) {
+      sets.push_back(
+          ToVectorSet(db_->object(static_cast<int>(i)).cover_sequence, k));
+    }
+    return sets;
+  }
+
+  static double PermutationRate(const std::vector<VectorSet>& sets) {
+    size_t permutations = 0, computations = 0;
+    for (size_t i = 0; i < sets.size(); ++i) {
+      for (size_t j = i + 1; j < sets.size(); ++j) {
+        permutations += MinimalMatchingDistanceDetailed(sets[i], sets[j],
+                                                        MinMatchingOptions{})
+                                .permutation_used
+                            ? 1
+                            : 0;
+        ++computations;
+      }
+    }
+    return static_cast<double>(permutations) /
+           static_cast<double>(computations);
+  }
+
+  static CadDatabase* db_;
+  static std::vector<int>* labels_;
+};
+
+CadDatabase* PaperClaimsTest::db_ = nullptr;
+std::vector<int>* PaperClaimsTest::labels_ = nullptr;
+
+// Table 1: the permutation rate grows with k and is near-total by k=7.
+TEST_F(PaperClaimsTest, PermutationRateGrowsWithCoverCount) {
+  const double r3 = PermutationRate(SetsForK(3));
+  const double r5 = PermutationRate(SetsForK(5));
+  const double r7 = PermutationRate(SetsForK(7));
+  EXPECT_LT(r3, r5);
+  EXPECT_LE(r5, r7);
+  // The paper's Table 1 (Car set) reaches 99% at k=7; the aircraft set
+  // is dominated by simple fasteners whose sequences stop well below 7
+  // covers, so the rate saturates lower. The bench reproduces the Car
+  // numbers; here we pin the qualitative claim.
+  EXPECT_GT(r7, 0.75);
+  EXPECT_GT(r3, 0.2);
+}
+
+// Section 5.3: the vector set model beats the order-bound one-vector
+// model on cluster agreement with the part families.
+TEST_F(PaperClaimsTest, VectorSetBeatsCoverSequenceOnClusterQuality) {
+  OpticsOptions opt;
+  opt.min_pts = 4;
+  const int n = static_cast<int>(db_->size());
+  StatusOr<OpticsResult> vs = RunOptics(
+      n, db_->DistanceFunction(ModelType::kVectorSet), opt);
+  StatusOr<OpticsResult> cs = RunOptics(
+      n, db_->DistanceFunction(ModelType::kCoverSequence), opt);
+  ASSERT_TRUE(vs.ok());
+  ASSERT_TRUE(cs.ok());
+  const ClusterQuality q_vs = BestCutQuality(*vs, *labels_, 32, 3);
+  const ClusterQuality q_cs = BestCutQuality(*cs, *labels_, 32, 3);
+  EXPECT_GT(q_vs.Score(), q_cs.Score());
+}
+
+// Section 5.3: permutation distance == vector set model, near enough
+// that their pairwise orderings coincide (Spearman > 0.95).
+TEST_F(PaperClaimsTest, PermutationDistanceTracksMatchingDistance) {
+  const int n = std::min<int>(80, static_cast<int>(db_->size()));
+  std::vector<double> a, b;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      a.push_back(
+          db_->Distance(ModelType::kCoverSequencePermutation, i, j));
+      b.push_back(db_->Distance(ModelType::kVectorSet, i, j));
+    }
+  }
+  // Spearman via rank arrays.
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<size_t> order(v.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t x, size_t y) { return v[x] < v[y]; });
+    std::vector<double> rank(v.size());
+    for (size_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+    return rank;
+  };
+  const std::vector<double> ra = ranks(a), rb = ranks(b);
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= ra.size();
+  mb /= rb.size();
+  double cov = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  EXPECT_GT(cov / std::sqrt(va * vb), 0.95);
+}
+
+// Section 5.4 / Table 2: the centroid filter prunes most refinements
+// while returning exactly the scan's answers.
+TEST_F(PaperClaimsTest, FilterPrunesAtLeastHalfTheDatabase) {
+  QueryEngine engine(&*db_);
+  size_t refined = 0;
+  const int queries = 20;
+  for (int q = 0; q < queries; ++q) {
+    QueryCost cost;
+    const int id = (q * 11) % static_cast<int>(db_->size());
+    const auto filtered =
+        engine.Knn(QueryStrategy::kVectorSetFilter, id, 10, &cost);
+    refined += cost.candidates_refined;
+    const auto scanned = engine.Knn(QueryStrategy::kVectorSetScan, id, 10);
+    ASSERT_EQ(filtered.size(), scanned.size());
+    for (size_t i = 0; i < filtered.size(); ++i) {
+      EXPECT_NEAR(filtered[i].distance, scanned[i].distance, 1e-9);
+    }
+  }
+  EXPECT_LT(refined, queries * db_->size() / 2);
+}
+
+// Figure 9: more covers help (up to saturation) -- 1-NN accuracy with
+// 7 covers is at least that of 2 covers.
+TEST_F(PaperClaimsTest, MoreCoversDoNotHurtClassification) {
+  const int n = static_cast<int>(db_->size());
+  const auto sets2 = SetsForK(2);
+  const auto sets7 = SetsForK(7);
+  const double acc2 = LeaveOneOutKnnAccuracy(
+      n, [&](int a, int b) { return VectorSetDistance(sets2[a], sets2[b]); },
+      *labels_, 1);
+  const double acc7 = LeaveOneOutKnnAccuracy(
+      n, [&](int a, int b) { return VectorSetDistance(sets7[a], sets7[b]); },
+      *labels_, 1);
+  EXPECT_GE(acc7 + 1e-12, acc2);
+  EXPECT_GT(acc7, 0.9);
+}
+
+}  // namespace
+}  // namespace vsim

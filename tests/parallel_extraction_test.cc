@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "vsim/core/similarity.h"
+#include "vsim/data/dataset.h"
+
+namespace vsim {
+namespace {
+
+TEST(ParallelExtractionTest, ThreadCountDoesNotChangeResults) {
+  const Dataset ds = MakeAircraftDataset(40, 23);
+  ExtractionOptions opt;
+  opt.histogram_resolution = 12;
+  opt.cover_resolution = 12;
+  opt.num_covers = 5;
+  StatusOr<CadDatabase> serial = CadDatabase::FromDataset(ds, opt, 1);
+  StatusOr<CadDatabase> parallel = CadDatabase::FromDataset(ds, opt, 4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->size(), parallel->size());
+  EXPECT_EQ(serial->labels(), parallel->labels());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    const ObjectRepr& a = serial->object(static_cast<int>(i));
+    const ObjectRepr& b = parallel->object(static_cast<int>(i));
+    EXPECT_EQ(a.volume, b.volume) << i;
+    EXPECT_EQ(a.cover_vector, b.cover_vector) << i;
+    EXPECT_EQ(a.centroid, b.centroid) << i;
+  }
+}
+
+TEST(ParallelExtractionTest, DefaultThreadCountWorks) {
+  const Dataset ds = MakeCarDataset(12, 5);
+  ExtractionOptions opt;
+  opt.extract_histograms = false;
+  opt.cover_resolution = 10;
+  StatusOr<CadDatabase> db = CadDatabase::FromDataset(ds, opt);  // 0 = auto
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 12u);
+}
+
+}  // namespace
+}  // namespace vsim

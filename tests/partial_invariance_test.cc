@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "vsim/core/similarity.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/geometry/primitives.h"
+#include "vsim/voxel/normalizer.h"
+#include "vsim/voxel/voxelizer.h"
+
+namespace vsim {
+namespace {
+
+VectorSet Points(std::vector<std::vector<double>> pts) {
+  VectorSet s;
+  for (auto& p : pts) s.vectors.push_back(std::move(p));
+  return s;
+}
+
+TEST(PartialMatchingTest, SinglePairPicksCheapest) {
+  const VectorSet a = Points({{0, 0}, {10, 0}});
+  const VectorSet b = Points({{0, 1}, {50, 0}});
+  StatusOr<double> d = PartialMatchingDistance(a, b, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 1.0, 1e-12);
+}
+
+TEST(PartialMatchingTest, FullCardinalityEqualsMatchingWithoutPenalty) {
+  const VectorSet a = Points({{0, 0}, {4, 0}});
+  const VectorSet b = Points({{4, 3}, {0, 3}});
+  StatusOr<double> d = PartialMatchingDistance(a, b, 2);
+  ASSERT_TRUE(d.ok());
+  // Equal cardinalities: same as minimal matching (no unmatched).
+  EXPECT_NEAR(*d, VectorSetDistance(a, b), 1e-12);
+  EXPECT_NEAR(*d, 6.0, 1e-12);
+}
+
+TEST(PartialMatchingTest, MonotoneInPairCount) {
+  const VectorSet a = Points({{0, 0}, {5, 0}, {9, 9}});
+  const VectorSet b = Points({{0, 1}, {5, 2}, {0, 9}});
+  double prev = 0.0;
+  for (int pairs = 1; pairs <= 3; ++pairs) {
+    StatusOr<double> d = PartialMatchingDistance(a, b, pairs);
+    ASSERT_TRUE(d.ok());
+    EXPECT_GE(*d, prev - 1e-12);
+    prev = *d;
+  }
+}
+
+TEST(PartialMatchingTest, SubShapeMatchesDespiteExtraParts) {
+  // A part that "contains" another part: the shared covers match at
+  // near-zero cost while the full matching pays for the extras.
+  const VectorSet shared = Points({{0, 0, 0}, {1, 1, 1}});
+  VectorSet composite = shared;
+  composite.vectors.push_back({9, 9, 9});
+  composite.vectors.push_back({-9, 4, 2});
+  StatusOr<double> partial = PartialMatchingDistance(shared, composite, 2);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_NEAR(*partial, 0.0, 1e-12);
+  EXPECT_GT(VectorSetDistance(shared, composite), 10.0);
+}
+
+TEST(PartialMatchingTest, RejectsBadPairCounts) {
+  const VectorSet a = Points({{0, 0}});
+  const VectorSet b = Points({{1, 1}, {2, 2}});
+  EXPECT_FALSE(PartialMatchingDistance(a, b, 0).ok());
+  EXPECT_FALSE(PartialMatchingDistance(a, b, 2).ok());
+}
+
+TEST(InvariantDistanceTest, RotatedObjectHasNearZeroDistance) {
+  // The same part voxelized in a rotated pose: plain vector set distance
+  // is large, the Definition-2 invariant distance is ~0.
+  VoxelizerOptions vox;
+  vox.resolution = 12;
+  TriangleMesh mesh = MakeBox({3, 1.5, 0.7});
+  // Append a bump so the shape is not symmetric under the rotation.
+  TriangleMesh bump = MakeBox({0.5, 0.5, 0.7});
+  bump.ApplyTransform(Transform::Translate({1.2, 0.5, 0.4}));
+
+  StatusOr<VoxelModel> a = VoxelizeParts({mesh, bump}, vox);
+  ASSERT_TRUE(a.ok());
+  // Rotate the grid directly by a 90-degree element (exact).
+  const Mat3& rot = CubeRotations()[7];
+  StatusOr<VoxelGrid> rotated = a->grid.Transformed(rot);
+  ASSERT_TRUE(rotated.ok());
+
+  ExtractionOptions opt;
+  opt.cover_resolution = 12;
+  opt.num_covers = 5;
+  StatusOr<double> inv =
+      InvariantVectorSetDistance(a->grid, *rotated, opt, false);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_NEAR(*inv, 0.0, 1e-9);
+}
+
+TEST(InvariantDistanceTest, ReflectionRequiresFullGroup) {
+  VoxelizerOptions vox;
+  vox.resolution = 12;
+  // A chiral object: L-shaped bracket (not mirror-symmetric).
+  TriangleMesh leg1 = MakeBox({2.0, 0.4, 0.4});
+  TriangleMesh leg2 = MakeBox({0.4, 1.2, 0.4});
+  leg2.ApplyTransform(Transform::Translate({0.8, 0.6, 0.4}));
+  StatusOr<VoxelModel> a = VoxelizeParts({leg1, leg2}, vox);
+  ASSERT_TRUE(a.ok());
+  // Mirror the grid.
+  Mat3 mirror = Mat3::Scale(-1, 1, 1);
+  StatusOr<VoxelGrid> mirrored = a->grid.Transformed(mirror);
+  ASSERT_TRUE(mirrored.ok());
+
+  ExtractionOptions opt;
+  opt.cover_resolution = 12;
+  opt.num_covers = 5;
+  StatusOr<double> with_reflections =
+      InvariantVectorSetDistance(a->grid, *mirrored, opt, true);
+  ASSERT_TRUE(with_reflections.ok());
+  EXPECT_NEAR(*with_reflections, 0.0, 1e-9);
+  // Without reflections the mirrored part stays at some distance
+  // (design-similar but production-different, Section 3.2).
+  StatusOr<double> rotations_only =
+      InvariantVectorSetDistance(a->grid, *mirrored, opt, false);
+  ASSERT_TRUE(rotations_only.ok());
+  EXPECT_GE(*rotations_only, *with_reflections);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,104 @@
+#include "vsim/distance/permutation_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/common/rng.h"
+#include "vsim/distance/lp.h"
+
+namespace vsim {
+namespace {
+
+FeatureVector RandomVector(Rng& rng, int dim, double scale = 1.0) {
+  FeatureVector v(dim);
+  for (double& x : v) x = rng.Uniform(-scale, scale);
+  return v;
+}
+
+VectorSet SplitIntoBlocks(const FeatureVector& v, int d) {
+  VectorSet s;
+  for (size_t i = 0; i < v.size(); i += d) {
+    s.vectors.emplace_back(v.begin() + i, v.begin() + i + d);
+  }
+  return s;
+}
+
+TEST(BruteForceTest, IdentityPermutationWhenAligned) {
+  const FeatureVector a = {1, 2, 3, 4};
+  const FeatureVector b = {1, 2, 3, 4};
+  StatusOr<double> d = MinEuclideanUnderPermutationBruteForce(a, b, 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-12);
+}
+
+TEST(BruteForceTest, FindsCrossPermutation) {
+  // Blocks of b are swapped relative to a.
+  const FeatureVector a = {0, 0, 5, 5};
+  const FeatureVector b = {5, 5, 0, 0};
+  StatusOr<double> d = MinEuclideanUnderPermutationBruteForce(a, b, 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-12);
+  // Plain Euclidean distance without permutation is sqrt(4 * 25) = 10.
+  EXPECT_NEAR(EuclideanDistance(a, b), 10.0, 1e-12);
+}
+
+TEST(BruteForceTest, RejectsBadInput) {
+  EXPECT_FALSE(MinEuclideanUnderPermutationBruteForce({1, 2}, {1, 2, 3}, 1).ok());
+  EXPECT_FALSE(MinEuclideanUnderPermutationBruteForce({1, 2, 3}, {1, 2, 3}, 2).ok());
+  EXPECT_FALSE(MinEuclideanUnderPermutationBruteForce({1}, {1}, 0).ok());
+}
+
+TEST(PermutationReductionTest, MatchesBruteForceOnRandomInputs) {
+  // Section 4.2: the minimal matching distance with squared Euclidean
+  // ground distance + squared-norm weights, square-rooted, equals the
+  // minimum Euclidean distance under permutation.
+  Rng rng(31337);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int k = 2 + static_cast<int>(rng.NextBounded(4));  // 2..5 blocks
+    const int d = 1 + static_cast<int>(rng.NextBounded(3));  // 1..3 dims
+    const FeatureVector a = RandomVector(rng, k * d);
+    const FeatureVector b = RandomVector(rng, k * d);
+    StatusOr<double> brute = MinEuclideanUnderPermutationBruteForce(a, b, d);
+    ASSERT_TRUE(brute.ok());
+    const double reduced = MinEuclideanUnderPermutation(SplitIntoBlocks(a, d),
+                                                        SplitIntoBlocks(b, d));
+    EXPECT_NEAR(reduced, *brute, 1e-9)
+        << "k=" << k << " d=" << d << " trial=" << trial;
+  }
+}
+
+TEST(PermutationReductionTest, DummyPaddingEquivalence) {
+  // A set with fewer than k vectors behaves exactly like the one-vector
+  // representation padded with zero dummy covers.
+  Rng rng(99);
+  const int d = 3, k = 4;
+  for (int trial = 0; trial < 40; ++trial) {
+    const int real_vectors = 1 + static_cast<int>(rng.NextBounded(k));
+    FeatureVector padded_b(k * d, 0.0);
+    VectorSet set_b;
+    for (int i = 0; i < real_vectors; ++i) {
+      FeatureVector block = RandomVector(rng, d);
+      std::copy(block.begin(), block.end(), padded_b.begin() + i * d);
+      set_b.vectors.push_back(std::move(block));
+    }
+    const FeatureVector a = RandomVector(rng, k * d);
+    StatusOr<double> brute = MinEuclideanUnderPermutationBruteForce(a, padded_b, d);
+    ASSERT_TRUE(brute.ok());
+    const double reduced =
+        MinEuclideanUnderPermutation(SplitIntoBlocks(a, d), set_b);
+    EXPECT_NEAR(reduced, *brute, 1e-9);
+  }
+}
+
+TEST(PermutationReductionTest, LowerBoundsPlainEuclidean) {
+  Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const FeatureVector a = RandomVector(rng, 12);
+    const FeatureVector b = RandomVector(rng, 12);
+    const double permuted = MinEuclideanUnderPermutation(SplitIntoBlocks(a, 6),
+                                                         SplitIntoBlocks(b, 6));
+    EXPECT_LE(permuted, EuclideanDistance(a, b) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vsim

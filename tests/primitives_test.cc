@@ -1,0 +1,169 @@
+#include "vsim/geometry/primitives.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vsim/common/math_util.h"
+
+namespace vsim {
+namespace {
+
+// All primitives must be valid, closed and consistently outward
+// oriented; we verify via the divergence-theorem volume, which matches
+// the analytic solid volume only for watertight outward meshes.
+
+TEST(PrimitivesTest, BoxVolumeExact) {
+  const TriangleMesh box = MakeBox({2, 3, 4});
+  EXPECT_TRUE(box.Validate().ok());
+  EXPECT_NEAR(box.SignedVolume(), 24.0, 1e-12);
+  EXPECT_EQ(box.triangle_count(), 12u);
+}
+
+TEST(PrimitivesTest, SphereVolumeConvergesFromBelow) {
+  const double r = 1.5;
+  const TriangleMesh sphere = MakeSphere(r, 48, 24);
+  EXPECT_TRUE(sphere.Validate().ok());
+  const double analytic = 4.0 / 3.0 * kPi * r * r * r;
+  EXPECT_GT(sphere.SignedVolume(), 0.97 * analytic);
+  EXPECT_LT(sphere.SignedVolume(), analytic);
+}
+
+TEST(PrimitivesTest, CylinderVolume) {
+  const TriangleMesh cyl = MakeCylinder(1.0, 2.0, 64);
+  EXPECT_TRUE(cyl.Validate().ok());
+  const double analytic = kPi * 2.0;
+  EXPECT_NEAR(cyl.SignedVolume(), analytic, 0.01 * analytic);
+}
+
+TEST(PrimitivesTest, PrismVolume) {
+  // Hexagonal prism: area = 3*sqrt(3)/2 * R^2.
+  const TriangleMesh prism = MakePrism(6, 1.0, 1.0);
+  EXPECT_TRUE(prism.Validate().ok());
+  EXPECT_NEAR(prism.SignedVolume(), 3.0 * std::sqrt(3.0) / 2.0, 1e-9);
+}
+
+TEST(PrimitivesTest, ConeVolume) {
+  const TriangleMesh cone = MakeFrustum(1.0, 0.0, 3.0, 64);
+  EXPECT_TRUE(cone.Validate().ok());
+  const double analytic = kPi / 3.0 * 3.0;
+  EXPECT_NEAR(cone.SignedVolume(), analytic, 0.01 * analytic);
+}
+
+TEST(PrimitivesTest, InvertedConeVolume) {
+  const TriangleMesh cone = MakeFrustum(0.0, 1.0, 3.0, 64);
+  EXPECT_TRUE(cone.Validate().ok());
+  const double analytic = kPi / 3.0 * 3.0;
+  EXPECT_NEAR(cone.SignedVolume(), analytic, 0.01 * analytic);
+}
+
+TEST(PrimitivesTest, FrustumVolume) {
+  const double r1 = 2.0, r2 = 1.0, h = 3.0;
+  const TriangleMesh f = MakeFrustum(r1, r2, h, 96);
+  const double analytic = kPi * h / 3.0 * (r1 * r1 + r1 * r2 + r2 * r2);
+  EXPECT_NEAR(f.SignedVolume(), analytic, 0.01 * analytic);
+}
+
+TEST(PrimitivesTest, TorusVolume) {
+  const double R = 2.0, r = 0.5;
+  const TriangleMesh torus = MakeTorus(R, r, 64, 32);
+  EXPECT_TRUE(torus.Validate().ok());
+  const double analytic = 2.0 * kPi * kPi * R * r * r;
+  EXPECT_NEAR(torus.SignedVolume(), analytic, 0.02 * analytic);
+}
+
+TEST(PrimitivesTest, TubeVolume) {
+  const double ro = 2.0, ri = 1.0, h = 0.5;
+  const TriangleMesh tube = MakeTube(ro, ri, h, 96);
+  EXPECT_TRUE(tube.Validate().ok());
+  const double analytic = kPi * (ro * ro - ri * ri) * h;
+  EXPECT_NEAR(tube.SignedVolume(), analytic, 0.01 * analytic);
+}
+
+TEST(PrimitivesTest, LatheCylinderMatchesAnalytic) {
+  // A lathe of a rectangular profile is a cylinder.
+  const TriangleMesh lathe =
+      MakeLathe({{1.0, 0.0}, {1.0, 2.0}}, 64);
+  EXPECT_TRUE(lathe.Validate().ok());
+  EXPECT_NEAR(lathe.SignedVolume(), kPi * 2.0, 0.01 * kPi * 2.0);
+}
+
+TEST(PrimitivesTest, LatheWithPolesIsClosed) {
+  // Double cone via poles at both ends.
+  const TriangleMesh bicone =
+      MakeLathe({{0.0, -1.0}, {1.0, 0.0}, {0.0, 1.0}}, 64);
+  EXPECT_TRUE(bicone.Validate().ok());
+  const double analytic = 2.0 * kPi / 3.0;
+  EXPECT_NEAR(bicone.SignedVolume(), analytic, 0.01 * analytic);
+}
+
+TEST(PrimitivesTest, DeformedBlockIdentityIsUnitCube) {
+  const TriangleMesh block = MakeDeformedBlock(
+      [](double u, double v, double w) { return Vec3{u, v, w}; }, 3, 2, 4);
+  EXPECT_TRUE(block.Validate().ok());
+  EXPECT_NEAR(block.SignedVolume(), 1.0, 1e-12);
+  const Aabb b = block.Bounds();
+  EXPECT_EQ(b.min, (Vec3{0, 0, 0}));
+  EXPECT_EQ(b.max, (Vec3{1, 1, 1}));
+}
+
+TEST(PrimitivesTest, CurvedPanelFlatIsBox) {
+  const TriangleMesh panel = MakeCurvedPanel(2, 1, 0.1, 0.0);
+  EXPECT_NEAR(panel.SignedVolume(), 0.2, 1e-12);
+}
+
+TEST(PrimitivesTest, CurvedPanelPreservesVolumeApproximately) {
+  // Bending preserves volume of the neutral fiber to first order.
+  const TriangleMesh panel = MakeCurvedPanel(2, 1, 0.1, 0.8, 32);
+  EXPECT_TRUE(panel.Validate().ok());
+  EXPECT_NEAR(panel.SignedVolume(), 0.2, 0.01);
+}
+
+TEST(PrimitivesTest, WingIsClosedAndPositive) {
+  const TriangleMesh wing = MakeWing(1.5, 0.6, 3.0, 0.3, 0.5, 12);
+  EXPECT_TRUE(wing.Validate().ok());
+  EXPECT_GT(wing.SignedVolume(), 0.0);
+}
+
+// Parameterized watertightness sweep: Euler characteristic and edge
+// manifoldness for a representative zoo of primitives.
+class WatertightTest : public ::testing::TestWithParam<int> {};
+
+TriangleMesh MakePrimitive(int which) {
+  switch (which) {
+    case 0: return MakeBox({1, 2, 3});
+    case 1: return MakeSphere(1.0, 16, 8);
+    case 2: return MakeCylinder(1.0, 2.0, 12);
+    case 3: return MakePrism(6, 1.0, 0.5);
+    case 4: return MakeFrustum(1.0, 0.4, 1.0, 10);
+    case 5: return MakeTorus(2.0, 0.5, 16, 8);
+    case 6: return MakeTube(2.0, 1.0, 1.0, 12);
+    case 7: return MakeLathe({{0.0, 0.0}, {1.0, 0.3}, {0.8, 1.0}, {0.0, 1.4}}, 12);
+    case 8: return MakeCurvedPanel(2, 1, 0.2, 0.6, 8);
+    case 9: return MakeWing(1.0, 0.5, 2.0, 0.2, 0.3, 6);
+    default: return MakeFrustum(0.0, 1.0, 1.0, 12);
+  }
+}
+
+TEST_P(WatertightTest, EveryEdgeSharedByExactlyTwoTriangles) {
+  const TriangleMesh mesh = MakePrimitive(GetParam());
+  ASSERT_TRUE(mesh.Validate().ok());
+  std::map<std::pair<uint32_t, uint32_t>, int> edge_count;
+  for (const auto& t : mesh.triangle_indices()) {
+    for (int e = 0; e < 3; ++e) {
+      uint32_t a = t[e], b = t[(e + 1) % 3];
+      if (a > b) std::swap(a, b);
+      ++edge_count[{a, b}];
+    }
+  }
+  for (const auto& [edge, count] : edge_count) {
+    EXPECT_EQ(count, 2) << "edge (" << edge.first << "," << edge.second
+                        << ") shared by " << count << " triangles";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrimitives, WatertightTest,
+                         ::testing::Range(0, 11));
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,175 @@
+// Parameterized property sweeps across the library's central
+// invariants: voxelizer volume convergence, metric axioms of the
+// minimal matching distance, greedy cover-sequence guarantees, and the
+// Lemma-2 bound -- each over a grid of configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vsim/common/math_util.h"
+#include "vsim/common/rng.h"
+#include "vsim/distance/centroid_filter.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/features/cover_sequence.h"
+#include "vsim/geometry/primitives.h"
+#include "vsim/voxel/voxelizer.h"
+
+namespace vsim {
+namespace {
+
+// --- Voxelizer volume convergence ---------------------------------------
+
+struct Solid {
+  const char* name;
+  TriangleMesh (*make)();
+  double analytic_volume;
+};
+
+TriangleMesh MakeSolidBox() { return MakeBox({1.4, 0.9, 0.6}); }
+TriangleMesh MakeSolidSphere() { return MakeSphere(0.7, 48, 24); }
+TriangleMesh MakeSolidCylinder() { return MakeCylinder(0.5, 1.2, 64); }
+TriangleMesh MakeSolidTorus() { return MakeTorus(0.8, 0.3, 48, 24); }
+TriangleMesh MakeSolidCone() { return MakeFrustum(0.6, 0.0, 1.0, 64); }
+
+const Solid kSolids[] = {
+    {"box", MakeSolidBox, 1.4 * 0.9 * 0.6},
+    {"sphere", MakeSolidSphere, 4.0 / 3.0 * kPi * 0.7 * 0.7 * 0.7},
+    {"cylinder", MakeSolidCylinder, kPi * 0.25 * 1.2},
+    {"torus", MakeSolidTorus, 2.0 * kPi * kPi * 0.8 * 0.09},
+    {"cone", MakeSolidCone, kPi / 3.0 * 0.36},
+};
+
+class VoxelVolumeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(VoxelVolumeSweep, VoxelVolumeTracksAnalyticVolume) {
+  const auto [solid_index, resolution] = GetParam();
+  const Solid& solid = kSolids[solid_index];
+  const TriangleMesh mesh = solid.make();
+  VoxelizerOptions opt;
+  opt.resolution = resolution;
+  opt.anisotropic_fit = false;  // uniform: voxels have a world volume
+  StatusOr<VoxelModel> model = VoxelizeMesh(mesh, opt);
+  ASSERT_TRUE(model.ok()) << solid.name;
+  const double extent = mesh.Bounds().Extent().MaxComponent();
+  const double cell = extent / resolution;
+  const double voxel_volume =
+      static_cast<double>(model->grid.Count()) * cell * cell * cell;
+  // Conservative voxelization overestimates by <= a ~2-voxel surface
+  // shell; tolerance shrinks with resolution.
+  const double shell = mesh.SurfaceArea() * 2.0 * cell;
+  EXPECT_GE(voxel_volume, 0.90 * solid.analytic_volume) << solid.name;
+  EXPECT_LE(voxel_volume, solid.analytic_volume + shell) << solid.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SolidsAndResolutions, VoxelVolumeSweep,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(12, 20, 32)));
+
+// --- Minimal matching metric axioms ----------------------------------
+
+class MatchingMetricSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MatchingMetricSweep, MetricAxiomsHold) {
+  const auto [dim, max_cardinality] = GetParam();
+  Rng rng(1000 + dim * 13 + max_cardinality);
+  auto random_set = [&]() {
+    VectorSet s;
+    const int n = 1 + static_cast<int>(rng.NextBounded(max_cardinality));
+    for (int i = 0; i < n; ++i) {
+      FeatureVector v(dim);
+      for (double& x : v) x = rng.Uniform(-1, 1);
+      s.vectors.push_back(std::move(v));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 25; ++trial) {
+    const VectorSet a = random_set();
+    const VectorSet b = random_set();
+    const VectorSet c = random_set();
+    const double ab = VectorSetDistance(a, b);
+    const double ba = VectorSetDistance(b, a);
+    const double ac = VectorSetDistance(a, c);
+    const double bc = VectorSetDistance(b, c);
+    EXPECT_NEAR(ab, ba, 1e-10);                         // symmetry
+    EXPECT_GE(ab, 0.0);                                 // non-negativity
+    EXPECT_NEAR(VectorSetDistance(a, a), 0.0, 1e-10);   // identity
+    EXPECT_LE(ac, ab + bc + 1e-9);                      // triangle
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndCardinalities, MatchingMetricSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 6, 12),
+                                            ::testing::Values(1, 4, 9)));
+
+// --- Cover sequence guarantees across real shapes ------------------------
+
+class CoverSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CoverSweep, ErrorDecreasesAndReconstructionIsConsistent) {
+  const auto [solid_index, k] = GetParam();
+  VoxelizerOptions vox;
+  vox.resolution = 12;
+  StatusOr<VoxelModel> model = VoxelizeMesh(kSolids[solid_index].make(), vox);
+  ASSERT_TRUE(model.ok());
+  CoverSequenceOptions opt;
+  opt.max_covers = k;
+  StatusOr<CoverSequence> seq = ComputeCoverSequence(model->grid, opt);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_GE(seq->error_history.size(), 1u);
+  EXPECT_EQ(seq->error_history.front(), model->grid.Count());
+  for (size_t i = 1; i < seq->error_history.size(); ++i) {
+    EXPECT_LT(seq->error_history[i], seq->error_history[i - 1]);
+  }
+  EXPECT_EQ(model->grid.XorCount(ReconstructApproximation(*seq)),
+            seq->final_error());
+  // The feature vector and vector set agree block-wise.
+  const FeatureVector fv = ToFeatureVector(*seq, k);
+  const VectorSet vs = ToVectorSet(*seq, k);
+  for (size_t i = 0; i < vs.size(); ++i) {
+    for (int d = 0; d < 6; ++d) {
+      EXPECT_EQ(fv[i * 6 + d], vs.vectors[i][d]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SolidsAndK, CoverSweep,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(1, 3, 7)));
+
+// --- Lemma 2 across k and dim ------------------------------------------
+
+class CentroidBoundSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CentroidBoundSweep, LowerBoundNeverExceedsExactDistance) {
+  const auto [dim, k] = GetParam();
+  Rng rng(2000 + dim * 7 + k);
+  for (int trial = 0; trial < 80; ++trial) {
+    VectorSet x, y;
+    const int nx = 1 + static_cast<int>(rng.NextBounded(k));
+    const int ny = 1 + static_cast<int>(rng.NextBounded(k));
+    for (int i = 0; i < nx; ++i) {
+      FeatureVector v(dim);
+      for (double& c : v) c = rng.Uniform(-1, 1);
+      x.vectors.push_back(std::move(v));
+    }
+    for (int i = 0; i < ny; ++i) {
+      FeatureVector v(dim);
+      for (double& c : v) c = rng.Uniform(-1, 1);
+      y.vectors.push_back(std::move(v));
+    }
+    const double bound = CentroidFilterDistance(ExtendedCentroid(x, k),
+                                                ExtendedCentroid(y, k), k);
+    EXPECT_LE(bound, VectorSetDistance(x, y) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndK, CentroidBoundSweep,
+                         ::testing::Combine(::testing::Values(2, 6, 10),
+                                            ::testing::Values(1, 3, 7, 9)));
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,250 @@
+#include "vsim/distance/set_distances.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "vsim/common/rng.h"
+#include "vsim/distance/lp.h"
+#include "vsim/distance/min_matching.h"
+
+namespace vsim {
+namespace {
+
+VectorSet Points(std::vector<std::vector<double>> pts) {
+  VectorSet s;
+  for (auto& p : pts) s.vectors.push_back(std::move(p));
+  return s;
+}
+
+VectorSet RandomSet(Rng& rng, int count, int dim) {
+  VectorSet s;
+  for (int i = 0; i < count; ++i) {
+    FeatureVector v(dim);
+    for (double& x : v) x = rng.Uniform(-2, 2);
+    s.vectors.push_back(std::move(v));
+  }
+  return s;
+}
+
+// Brute-force surjection oracle: enumerate all mappings large -> small
+// and keep those covering every small element.
+double BruteForceSurjection(const VectorSet& large, const VectorSet& small,
+                            bool fair) {
+  const int m = static_cast<int>(large.size());
+  const int n = static_cast<int>(small.size());
+  std::vector<int> map(m, 0);
+  double best = std::numeric_limits<double>::infinity();
+  const int base = m / n;
+  for (;;) {
+    std::vector<int> hits(n, 0);
+    double cost = 0.0;
+    for (int i = 0; i < m; ++i) {
+      ++hits[map[i]];
+      cost += EuclideanDistance(large.vectors[i], small.vectors[map[i]]);
+    }
+    bool valid = *std::min_element(hits.begin(), hits.end()) >= 1;
+    if (fair && valid) {
+      for (int h : hits) valid &= h == base || h == base + 1;
+    }
+    if (valid) best = std::min(best, cost);
+    // Increment the odometer.
+    int pos = 0;
+    while (pos < m && ++map[pos] == n) map[pos++] = 0;
+    if (pos == m) break;
+  }
+  return best;
+}
+
+// Brute-force link (edge cover) oracle over all edge subsets.
+double BruteForceLink(const VectorSet& a, const VectorSet& b) {
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  const int edges = m * n;
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 1; mask < (1 << edges); ++mask) {
+    std::vector<int> ca(m, 0), cb(n, 0);
+    double cost = 0.0;
+    for (int e = 0; e < edges; ++e) {
+      if (!(mask >> e & 1)) continue;
+      const int i = e / n, j = e % n;
+      ++ca[i];
+      ++cb[j];
+      cost += EuclideanDistance(a.vectors[i], b.vectors[j]);
+    }
+    if (*std::min_element(ca.begin(), ca.end()) >= 1 &&
+        *std::min_element(cb.begin(), cb.end()) >= 1) {
+      best = std::min(best, cost);
+    }
+  }
+  return best;
+}
+
+TEST(HausdorffTest, KnownConfiguration) {
+  const VectorSet a = Points({{0, 0}, {1, 0}});
+  const VectorSet b = Points({{0, 0}, {5, 0}});
+  // Directed a->b: max(0, 1) = 1 (1 is closer to 0 than to 5... min(1,4)=1).
+  // Directed b->a: max(0, 4) = 4.
+  EXPECT_NEAR(HausdorffDistance(a, b), 4.0, 1e-12);
+}
+
+TEST(HausdorffTest, MetricProperties) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const VectorSet a = RandomSet(rng, 1 + rng.NextBounded(4), 3);
+    const VectorSet b = RandomSet(rng, 1 + rng.NextBounded(4), 3);
+    const VectorSet c = RandomSet(rng, 1 + rng.NextBounded(4), 3);
+    EXPECT_NEAR(HausdorffDistance(a, a), 0.0, 1e-12);
+    EXPECT_NEAR(HausdorffDistance(a, b), HausdorffDistance(b, a), 1e-12);
+    EXPECT_LE(HausdorffDistance(a, c),
+              HausdorffDistance(a, b) + HausdorffDistance(b, c) + 1e-9);
+  }
+}
+
+TEST(SumOfMinimumTest, KnownConfiguration) {
+  const VectorSet a = Points({{0, 0}, {1, 0}});
+  const VectorSet b = Points({{0, 0}});
+  // a->b: 0 + 1; b->a: 0.
+  EXPECT_NEAR(SumOfMinimumDistances(a, b), 1.0, 1e-12);
+}
+
+TEST(SumOfMinimumTest, ViolatesTriangleInequalitySometimes) {
+  // Eiter-Mannila: SMD is not a metric. Witness: duplicated elements in
+  // A and C are all served by one hub element each, so the detour via
+  // the hub is far cheaper than the direct distance.
+  const VectorSet a = Points({{0.0}, {0.0}, {0.0}});
+  const VectorSet c = Points({{10.0}, {10.0}, {10.0}});
+  const VectorSet hub = Points({{0.0}, {10.0}});
+  const double ab = SumOfMinimumDistances(a, hub);
+  const double bc = SumOfMinimumDistances(hub, c);
+  const double ac = SumOfMinimumDistances(a, c);
+  EXPECT_GT(ac, ab + bc);  // triangle inequality broken
+}
+
+TEST(SurjectionTest, EqualSizesReduceToPerfectMatching) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBounded(4));
+    const VectorSet a = RandomSet(rng, n, 2);
+    const VectorSet b = RandomSet(rng, n, 2);
+    StatusOr<double> surj = SurjectionDistance(a, b);
+    ASSERT_TRUE(surj.ok());
+    // With equal cardinalities the surjection is a bijection = the
+    // minimal matching with no unmatched elements.
+    const double matching = VectorSetDistance(a, b);
+    EXPECT_NEAR(*surj, matching, 1e-9);
+  }
+}
+
+TEST(SurjectionTest, MatchesBruteForce) {
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBounded(3));  // small
+    const int m = n + static_cast<int>(rng.NextBounded(3));
+    const VectorSet large = RandomSet(rng, m, 2);
+    const VectorSet small = RandomSet(rng, n, 2);
+    StatusOr<double> surj = SurjectionDistance(large, small);
+    ASSERT_TRUE(surj.ok());
+    EXPECT_NEAR(*surj, BruteForceSurjection(large, small, false), 1e-9)
+        << "m=" << m << " n=" << n;
+  }
+}
+
+TEST(FairSurjectionTest, MatchesBruteForce) {
+  Rng rng(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 1 + static_cast<int>(rng.NextBounded(3));
+    const int m = n + static_cast<int>(rng.NextBounded(4));
+    const VectorSet large = RandomSet(rng, m, 2);
+    const VectorSet small = RandomSet(rng, n, 2);
+    StatusOr<double> fair = FairSurjectionDistance(large, small);
+    ASSERT_TRUE(fair.ok());
+    EXPECT_NEAR(*fair, BruteForceSurjection(large, small, true), 1e-9)
+        << "m=" << m << " n=" << n;
+  }
+}
+
+TEST(FairSurjectionTest, AtLeastAsExpensiveAsSurjection) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VectorSet large = RandomSet(rng, 5, 3);
+    const VectorSet small = RandomSet(rng, 2, 3);
+    StatusOr<double> fair = FairSurjectionDistance(large, small);
+    StatusOr<double> surj = SurjectionDistance(large, small);
+    ASSERT_TRUE(fair.ok());
+    ASSERT_TRUE(surj.ok());
+    EXPECT_GE(*fair, *surj - 1e-9);
+  }
+}
+
+TEST(LinkTest, MatchesBruteForce) {
+  Rng rng(6);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int m = 1 + static_cast<int>(rng.NextBounded(3));
+    const int n = 1 + static_cast<int>(rng.NextBounded(3));
+    const VectorSet a = RandomSet(rng, m, 2);
+    const VectorSet b = RandomSet(rng, n, 2);
+    StatusOr<double> link = LinkDistance(a, b);
+    ASSERT_TRUE(link.ok());
+    EXPECT_NEAR(*link, BruteForceLink(a, b), 1e-9) << "m=" << m << " n=" << n;
+  }
+}
+
+TEST(LinkTest, NeverExceedsSurjection) {
+  // Every surjection is an edge cover, so link <= surjection.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VectorSet large = RandomSet(rng, 4, 2);
+    const VectorSet small = RandomSet(rng, 2, 2);
+    StatusOr<double> link = LinkDistance(large, small);
+    StatusOr<double> surj = SurjectionDistance(large, small);
+    ASSERT_TRUE(link.ok());
+    ASSERT_TRUE(surj.ok());
+    EXPECT_LE(*link, *surj + 1e-9);
+  }
+}
+
+TEST(NetflowTest, EqualsMatchingWhenWeightsDominate) {
+  // When w(x) + w(y) >= d(x, y) for all pairs (true for norm weights by
+  // the triangle inequality), the netflow optimum never routes through
+  // omega for matched pairs, so it equals the minimal matching distance.
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const VectorSet a = RandomSet(rng, 1 + rng.NextBounded(4), 3);
+    const VectorSet b = RandomSet(rng, 1 + rng.NextBounded(4), 3);
+    StatusOr<double> net = NetflowDistance(a, b);
+    ASSERT_TRUE(net.ok());
+    EXPECT_NEAR(*net, VectorSetDistance(a, b), 1e-9);
+  }
+}
+
+TEST(NetflowTest, EmptySets) {
+  const VectorSet empty;
+  const VectorSet a = Points({{3, 4}});
+  StatusOr<double> d = NetflowDistance(a, empty);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 5.0, 1e-12);
+  StatusOr<double> d2 = NetflowDistance(empty, a);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_NEAR(*d2, 5.0, 1e-12);
+  StatusOr<double> d3 = NetflowDistance(empty, empty);
+  ASSERT_TRUE(d3.ok());
+  EXPECT_NEAR(*d3, 0.0, 1e-12);
+}
+
+TEST(SetDistancesTest, EmptySetHandling) {
+  const VectorSet empty;
+  const VectorSet a = Points({{1, 1}});
+  EXPECT_FALSE(SurjectionDistance(a, empty).ok());
+  EXPECT_FALSE(FairSurjectionDistance(empty, a).ok());
+  EXPECT_FALSE(LinkDistance(a, empty).ok());
+  EXPECT_TRUE(std::isinf(HausdorffDistance(a, empty)));
+  EXPECT_NEAR(HausdorffDistance(empty, empty), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,167 @@
+#include "vsim/core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/data/dataset.h"
+#include "vsim/distance/lp.h"
+#include "vsim/geometry/primitives.h"
+
+namespace vsim {
+namespace {
+
+ExtractionOptions FastOptions() {
+  ExtractionOptions opt;
+  opt.histogram_resolution = 12;
+  opt.histogram_cells = 3;
+  opt.cover_resolution = 12;
+  opt.num_covers = 5;
+  return opt;
+}
+
+TEST(ExtractObjectTest, ProducesAllRepresentations) {
+  const ExtractionOptions opt = FastOptions();
+  StatusOr<ObjectRepr> repr = ExtractObject({MakeTorus(1.0, 0.4, 24, 12)}, opt);
+  ASSERT_TRUE(repr.ok()) << repr.status().ToString();
+  EXPECT_EQ(repr->volume.size(), 27u);
+  EXPECT_EQ(repr->solid_angle.size(), 27u);
+  EXPECT_EQ(repr->cover_vector.size(), 30u);  // 6 * 5
+  EXPECT_GE(repr->vector_set.size(), 1u);
+  EXPECT_LE(repr->vector_set.size(), 5u);
+  EXPECT_EQ(repr->centroid.size(), 6u);
+  EXPECT_GT(repr->voxel_count, 0u);
+  EXPECT_GT(repr->VectorSetBytes(), 0u);
+}
+
+TEST(ExtractObjectTest, HistogramsOnlyMode) {
+  ExtractionOptions opt = FastOptions();
+  opt.extract_covers = false;
+  StatusOr<ObjectRepr> repr = ExtractObject({MakeBox({1, 2, 3})}, opt);
+  ASSERT_TRUE(repr.ok());
+  EXPECT_FALSE(repr->volume.empty());
+  EXPECT_TRUE(repr->cover_vector.empty());
+  EXPECT_TRUE(repr->vector_set.empty());
+}
+
+TEST(ExtractObjectTest, CoversOnlyMode) {
+  ExtractionOptions opt = FastOptions();
+  opt.extract_histograms = false;
+  StatusOr<ObjectRepr> repr = ExtractObject({MakeBox({1, 2, 3})}, opt);
+  ASSERT_TRUE(repr.ok());
+  EXPECT_TRUE(repr->volume.empty());
+  EXPECT_FALSE(repr->cover_vector.empty());
+}
+
+TEST(ExtractObjectTest, CentroidIsExtendedCentroidOfSet) {
+  const ExtractionOptions opt = FastOptions();
+  StatusOr<ObjectRepr> repr =
+      ExtractObject({MakeCylinder(1.0, 2.0, 16)}, opt);
+  ASSERT_TRUE(repr.ok());
+  FeatureVector manual(6, 0.0);
+  for (const FeatureVector& v : repr->vector_set.vectors) {
+    for (int d = 0; d < 6; ++d) manual[d] += v[d];
+  }
+  for (int d = 0; d < 6; ++d) manual[d] /= opt.num_covers;
+  for (int d = 0; d < 6; ++d) {
+    EXPECT_NEAR(repr->centroid[d], manual[d], 1e-12);
+  }
+}
+
+TEST(ModelTypeTest, NamesAreStable) {
+  EXPECT_STREQ(ModelTypeName(ModelType::kVolume), "volume");
+  EXPECT_STREQ(ModelTypeName(ModelType::kVectorSet), "vector-set");
+  EXPECT_STREQ(ModelTypeName(ModelType::kCoverSequencePermutation),
+               "cover-sequence-permutation");
+}
+
+class CadDatabaseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Dataset ds = MakeCarDataset(24, 7);
+    StatusOr<CadDatabase> db = CadDatabase::FromDataset(ds, FastOptions());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = new CadDatabase(std::move(db).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static CadDatabase* db_;
+};
+
+CadDatabase* CadDatabaseTest::db_ = nullptr;
+
+TEST_F(CadDatabaseTest, SizeAndLabels) {
+  EXPECT_EQ(db_->size(), 24u);
+  EXPECT_EQ(db_->labels().size(), 24u);
+}
+
+TEST_F(CadDatabaseTest, SelfDistanceIsZeroForAllModels) {
+  for (ModelType m : {ModelType::kVolume, ModelType::kSolidAngle,
+                      ModelType::kCoverSequence,
+                      ModelType::kCoverSequencePermutation,
+                      ModelType::kVectorSet}) {
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_NEAR(db_->Distance(m, i, i), 0.0, 1e-9) << ModelTypeName(m);
+    }
+  }
+}
+
+TEST_F(CadDatabaseTest, DistancesAreSymmetric) {
+  for (ModelType m : {ModelType::kVolume, ModelType::kSolidAngle,
+                      ModelType::kCoverSequence,
+                      ModelType::kCoverSequencePermutation,
+                      ModelType::kVectorSet}) {
+    for (int i = 0; i < 6; ++i) {
+      for (int j = i + 1; j < 6; ++j) {
+        EXPECT_NEAR(db_->Distance(m, i, j), db_->Distance(m, j, i), 1e-9)
+            << ModelTypeName(m);
+      }
+    }
+  }
+}
+
+TEST_F(CadDatabaseTest, VectorSetNeverExceedsCoverSequenceDistance) {
+  // The minimal matching (with free permutations) can only lower the
+  // cost relative to the order-bound pairing -- but note the two use
+  // different ground semantics (Euclid-of-blocks vs sum-of-Euclids), so
+  // compare against the *permutation* variant which shares semantics
+  // with the one-vector model.
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_LE(db_->Distance(ModelType::kCoverSequencePermutation, i, j),
+                db_->Distance(ModelType::kCoverSequence, i, j) + 1e-9);
+    }
+  }
+}
+
+TEST_F(CadDatabaseTest, DistanceFunctionClosureAgrees) {
+  const PairwiseDistanceFn fn = db_->DistanceFunction(ModelType::kVectorSet);
+  EXPECT_NEAR(fn(1, 3), db_->Distance(ModelType::kVectorSet, 1, 3), 1e-12);
+}
+
+TEST_F(CadDatabaseTest, VectorSetTriangleInequalityOnRealObjects) {
+  for (int a = 0; a < 6; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      for (int c = 0; c < 6; ++c) {
+        EXPECT_LE(db_->Distance(ModelType::kVectorSet, a, c),
+                  db_->Distance(ModelType::kVectorSet, a, b) +
+                      db_->Distance(ModelType::kVectorSet, b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CadDatabaseIncrementalTest, AddObjectAssignsSequentialIds) {
+  CadDatabase db(FastOptions());
+  StatusOr<int> id0 = db.AddObject({MakeBox({1, 1, 1})}, 5);
+  StatusOr<int> id1 = db.AddObject({MakeSphere(1.0, 16, 8)}, 6);
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id0, 0);
+  EXPECT_EQ(*id1, 1);
+  EXPECT_EQ(db.labels()[1], 6);
+  EXPECT_GT(db.Distance(ModelType::kVectorSet, 0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace vsim

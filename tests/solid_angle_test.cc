@@ -1,0 +1,139 @@
+#include "vsim/features/solid_angle_model.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/geometry/primitives.h"
+#include "vsim/voxel/voxelizer.h"
+
+namespace vsim {
+namespace {
+
+TEST(SphereKernelTest, SizesGrowWithRadius) {
+  EXPECT_EQ(SphereKernelOffsets(1).size(), 7u);   // center + 6 neighbors
+  const auto k2 = SphereKernelOffsets(2);
+  EXPECT_GT(k2.size(), 7u);
+  for (const VoxelCoord& c : k2) {
+    EXPECT_LE(c.x * c.x + c.y * c.y + c.z * c.z, 4);
+  }
+}
+
+TEST(SolidAngleValueTest, FlatHalfSpaceIsOneHalf) {
+  // Fill the half-space z <= 7 of a 15^3 grid; a surface voxel in the
+  // middle of the plane sees ~half of its kernel inside the object.
+  VoxelGrid g(15);
+  for (int z = 0; z <= 7; ++z)
+    for (int y = 0; y < 15; ++y)
+      for (int x = 0; x < 15; ++x) g.Set(x, y, z);
+  const auto kernel = SphereKernelOffsets(3);
+  const double sa = SolidAngleValue(g, {7, 7, 7}, kernel);
+  // The kernel layer dz = 0 lies inside the solid, so the flat-surface
+  // value is ((|K| + N0) / 2) / |K| where N0 = |{dz = 0 offsets}|,
+  // slightly above 1/2.
+  size_t n0 = 0;
+  for (const VoxelCoord& c : kernel) n0 += c.z == 0 ? 1 : 0;
+  const double expected =
+      (static_cast<double>(kernel.size()) + n0) / 2.0 / kernel.size();
+  EXPECT_NEAR(sa, expected, 1e-12);
+  EXPECT_GT(sa, 0.5);
+  EXPECT_LT(sa, 0.7);
+}
+
+TEST(SolidAngleValueTest, ConvexCornerBelowConcaveNotchAbove) {
+  VoxelGrid g(15);
+  for (int z = 0; z <= 7; ++z)
+    for (int y = 0; y < 15; ++y)
+      for (int x = 0; x < 15; ++x) g.Set(x, y, z);
+  const auto kernel = SphereKernelOffsets(3);
+  const double flat = SolidAngleValue(g, {7, 7, 7}, kernel);
+  // Convex spike on top of the plane: kernel sees mostly empty space.
+  VoxelGrid spike = g;
+  spike.Set(7, 7, 8);
+  spike.Set(7, 7, 9);
+  const double convex = SolidAngleValue(spike, {7, 7, 9}, kernel);
+  EXPECT_LT(convex, flat);
+  // Concave pit: remove a column from the solid; the voxel at the pit
+  // bottom sees mostly solid.
+  VoxelGrid pit = g;
+  pit.Set(7, 7, 7, false);
+  pit.Set(7, 7, 6, false);
+  const double concave = SolidAngleValue(pit, {7, 7, 5}, kernel);
+  EXPECT_GT(concave, flat);
+}
+
+TEST(SolidAngleModelTest, CellTypesProduceExpectedBins) {
+  // 6^3 grid, p = 2: fill one octant fully and leave the rest empty.
+  VoxelGrid g(6);
+  for (int z = 0; z < 3; ++z)
+    for (int y = 0; y < 3; ++y)
+      for (int x = 0; x < 3; ++x) g.Set(x, y, z);
+  SolidAngleModelOptions opt;
+  opt.cells_per_dim = 2;
+  opt.kernel_radius = 2;
+  StatusOr<FeatureVector> f = ExtractSolidAngleFeatures(g, opt);
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->size(), 8u);
+  // Cell 0 contains surface voxels: value in (0, 1).
+  EXPECT_GT((*f)[0], 0.0);
+  EXPECT_LT((*f)[0], 1.0);
+  // All other cells are empty -> 0.
+  for (size_t i = 1; i < 8; ++i) EXPECT_DOUBLE_EQ((*f)[i], 0.0);
+}
+
+TEST(SolidAngleModelTest, InteriorOnlyCellGetsOne) {
+  // Fill everything: with p = 3 on a 9^3 grid the center cell contains
+  // only interior voxels.
+  VoxelGrid g(9);
+  for (int z = 0; z < 9; ++z)
+    for (int y = 0; y < 9; ++y)
+      for (int x = 0; x < 9; ++x) g.Set(x, y, z);
+  SolidAngleModelOptions opt;
+  opt.cells_per_dim = 3;
+  opt.kernel_radius = 2;
+  StatusOr<FeatureVector> f = ExtractSolidAngleFeatures(g, opt);
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->size(), 27u);
+  // Center cell index: (z=1*3 + y=1)*3 + x=1 = 13.
+  EXPECT_DOUBLE_EQ((*f)[13], 1.0);
+}
+
+TEST(SolidAngleModelTest, RejectsBadParameters) {
+  VoxelGrid g(10);
+  SolidAngleModelOptions opt;
+  opt.cells_per_dim = 3;
+  EXPECT_FALSE(ExtractSolidAngleFeatures(g, opt).ok());
+  opt.cells_per_dim = 2;
+  opt.kernel_radius = 0;
+  EXPECT_FALSE(ExtractSolidAngleFeatures(g, opt).ok());
+  VoxelGrid bad(4, 5, 6);
+  opt.kernel_radius = 2;
+  EXPECT_FALSE(ExtractSolidAngleFeatures(bad, opt).ok());
+}
+
+TEST(SolidAngleModelTest, DistinguishesSphereFromBox) {
+  // A box is flat/convex at the surface; a concave part (tube interior)
+  // carries larger solid-angle values. The histograms must differ more
+  // than two jittered spheres do.
+  VoxelizerOptions vox;
+  vox.resolution = 30;
+  SolidAngleModelOptions opt;
+  opt.cells_per_dim = 3;
+  auto features = [&](const TriangleMesh& m) {
+    StatusOr<VoxelModel> model = VoxelizeMesh(m, vox);
+    EXPECT_TRUE(model.ok());
+    StatusOr<FeatureVector> f = ExtractSolidAngleFeatures(model->grid, opt);
+    EXPECT_TRUE(f.ok());
+    return *f;
+  };
+  const FeatureVector sphere1 = features(MakeSphere(1.0, 32, 16));
+  const FeatureVector sphere2 = features(MakeSphere(1.1, 28, 14));
+  const FeatureVector tube = features(MakeTube(1.0, 0.55, 0.8, 24));
+  auto dist = [](const FeatureVector& a, const FeatureVector& b) {
+    double s = 0;
+    for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+    return s;
+  };
+  EXPECT_LT(dist(sphere1, sphere2), dist(sphere1, tube));
+}
+
+}  // namespace
+}  // namespace vsim

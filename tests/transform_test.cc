@@ -1,0 +1,140 @@
+#include "vsim/geometry/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "vsim/common/math_util.h"
+
+namespace vsim {
+namespace {
+
+TEST(Mat3Test, IdentityLeavesVectorsUnchanged) {
+  const Mat3 id = Mat3::Identity();
+  const Vec3 v{1.5, -2.5, 3.5};
+  EXPECT_EQ(id * v, v);
+  EXPECT_DOUBLE_EQ(id.Determinant(), 1.0);
+}
+
+TEST(Mat3Test, RotationZQuarterTurn) {
+  const Mat3 r = Mat3::RotationZ(kPi / 2);
+  const Vec3 v = r * Vec3{1, 0, 0};
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+  EXPECT_NEAR(v.z, 0.0, 1e-12);
+}
+
+TEST(Mat3Test, RotationsPreserveNorm) {
+  const Vec3 v{1, 2, 3};
+  for (const Mat3& m : {Mat3::RotationX(0.7), Mat3::RotationY(1.3),
+                        Mat3::RotationZ(-2.1),
+                        Mat3::AxisAngle({1, 1, 1}, 0.9)}) {
+    EXPECT_NEAR((m * v).Norm(), v.Norm(), 1e-12);
+    EXPECT_NEAR(m.Determinant(), 1.0, 1e-12);
+  }
+}
+
+TEST(Mat3Test, AxisAngleMatchesAxisRotations) {
+  const Mat3 a = Mat3::AxisAngle({0, 0, 1}, 0.8);
+  const Mat3 b = Mat3::RotationZ(0.8);
+  for (int i = 0; i < 9; ++i) EXPECT_NEAR(a.m[i], b.m[i], 1e-12);
+}
+
+TEST(Mat3Test, MultiplicationComposes) {
+  const Mat3 a = Mat3::RotationX(0.5);
+  const Mat3 b = Mat3::RotationY(0.25);
+  const Vec3 v{1, 2, 3};
+  const Vec3 lhs = (a * b) * v;
+  const Vec3 rhs = a * (b * v);
+  EXPECT_NEAR(lhs.x, rhs.x, 1e-12);
+  EXPECT_NEAR(lhs.y, rhs.y, 1e-12);
+  EXPECT_NEAR(lhs.z, rhs.z, 1e-12);
+}
+
+TEST(Mat3Test, TransposeOfRotationIsInverse) {
+  const Mat3 r = Mat3::AxisAngle({1, -2, 0.5}, 1.1);
+  const Mat3 should_be_id = r * r.Transposed();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(should_be_id(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(TransformTest, ApplyAndCompose) {
+  const Transform t1{Mat3::RotationZ(kPi / 2), {1, 0, 0}};
+  const Transform t2{Mat3::Identity(), {0, 5, 0}};
+  const Vec3 p{1, 0, 0};
+  // t1: rotate then translate.
+  const Vec3 q = t1.Apply(p);
+  EXPECT_NEAR(q.x, 1.0, 1e-12);
+  EXPECT_NEAR(q.y, 1.0, 1e-12);
+  // Composition: t2 after t1.
+  const Vec3 r = t1.Then(t2).Apply(p);
+  const Vec3 expect = t2.Apply(t1.Apply(p));
+  EXPECT_NEAR(r.x, expect.x, 1e-12);
+  EXPECT_NEAR(r.y, expect.y, 1e-12);
+  EXPECT_NEAR(r.z, expect.z, 1e-12);
+}
+
+TEST(CubeGroupTest, RotationCountIs24) {
+  EXPECT_EQ(CubeRotations().size(), 24u);
+}
+
+TEST(CubeGroupTest, FullGroupCountIs48) {
+  EXPECT_EQ(CubeRotationsWithReflections().size(), 48u);
+}
+
+TEST(CubeGroupTest, FirstElementIsIdentity) {
+  const Mat3& first = CubeRotations().front();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(first(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(CubeGroupTest, RotationsHaveDeterminantPlusOne) {
+  for (const Mat3& m : CubeRotations()) {
+    EXPECT_NEAR(m.Determinant(), 1.0, 1e-12);
+  }
+}
+
+TEST(CubeGroupTest, FullGroupHas24Reflections) {
+  int reflections = 0;
+  for (const Mat3& m : CubeRotationsWithReflections()) {
+    if (m.Determinant() < 0) ++reflections;
+  }
+  EXPECT_EQ(reflections, 24);
+}
+
+TEST(CubeGroupTest, ElementsAreDistinct) {
+  std::set<std::array<int, 9>> seen;
+  for (const Mat3& m : CubeRotationsWithReflections()) {
+    std::array<int, 9> key;
+    for (int i = 0; i < 9; ++i) key[i] = static_cast<int>(std::lround(m.m[i]));
+    seen.insert(key);
+  }
+  EXPECT_EQ(seen.size(), 48u);
+}
+
+TEST(CubeGroupTest, GroupIsClosedUnderComposition) {
+  const auto& group = CubeRotationsWithReflections();
+  auto key_of = [](const Mat3& m) {
+    std::array<int, 9> key;
+    for (int i = 0; i < 9; ++i) key[i] = static_cast<int>(std::lround(m.m[i]));
+    return key;
+  };
+  std::set<std::array<int, 9>> members;
+  for (const Mat3& m : group) members.insert(key_of(m));
+  // Spot-check closure on a sample of products.
+  for (size_t i = 0; i < group.size(); i += 7) {
+    for (size_t j = 0; j < group.size(); j += 5) {
+      EXPECT_TRUE(members.count(key_of(group[i] * group[j])));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vsim

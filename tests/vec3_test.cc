@@ -1,0 +1,96 @@
+#include "vsim/geometry/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/geometry/aabb.h"
+
+namespace vsim {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+}
+
+TEST(Vec3Test, DotAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(x.Dot(y), 0.0);
+  EXPECT_EQ(x.Cross(y), z);
+  EXPECT_EQ(y.Cross(z), x);
+  EXPECT_EQ(z.Cross(x), y);
+  EXPECT_DOUBLE_EQ((Vec3{1, 2, 3}).Dot(Vec3{4, 5, 6}), 32.0);
+}
+
+TEST(Vec3Test, NormAndNormalize) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  const Vec3 n = v.Normalized();
+  EXPECT_NEAR(n.Norm(), 1.0, 1e-12);
+  EXPECT_EQ((Vec3{}).Normalized(), (Vec3{}));
+}
+
+TEST(Vec3Test, IndexingAndSet) {
+  Vec3 v{7, 8, 9};
+  EXPECT_DOUBLE_EQ(v[0], 7);
+  EXPECT_DOUBLE_EQ(v[1], 8);
+  EXPECT_DOUBLE_EQ(v[2], 9);
+  v.Set(1, -2);
+  EXPECT_DOUBLE_EQ(v.y, -2);
+}
+
+TEST(Vec3Test, MinMaxComponents) {
+  const Vec3 a{1, 5, 3}, b{2, 0, 4};
+  EXPECT_EQ(a.Min(b), (Vec3{1, 0, 3}));
+  EXPECT_EQ(a.Max(b), (Vec3{2, 5, 4}));
+  EXPECT_DOUBLE_EQ(a.MaxComponent(), 5);
+  EXPECT_DOUBLE_EQ(a.MinComponent(), 1);
+}
+
+TEST(Vec3Test, DistanceHelpers) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0, 0}, {3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1, 1}, {2, 2, 2}), 3.0);
+}
+
+TEST(AabbTest, EmptyByDefault) {
+  Aabb box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+}
+
+TEST(AabbTest, ExtendByPoints) {
+  Aabb box;
+  box.Extend({1, 2, 3});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+  box.Extend({-1, 0, 5});
+  EXPECT_EQ(box.min, (Vec3{-1, 0, 3}));
+  EXPECT_EQ(box.max, (Vec3{1, 2, 5}));
+  EXPECT_DOUBLE_EQ(box.Volume(), 2 * 2 * 2);
+  EXPECT_EQ(box.Center(), (Vec3{0, 1, 4}));
+}
+
+TEST(AabbTest, ContainsAndIntersects) {
+  const Aabb a({0, 0, 0}, {2, 2, 2});
+  const Aabb b({1, 1, 1}, {3, 3, 3});
+  const Aabb c({5, 5, 5}, {6, 6, 6});
+  EXPECT_TRUE(a.Contains({1, 1, 1}));
+  EXPECT_FALSE(a.Contains({3, 1, 1}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(AabbTest, ExtendByBox) {
+  Aabb a({0, 0, 0}, {1, 1, 1});
+  a.Extend(Aabb({2, -1, 0}, {3, 0, 4}));
+  EXPECT_EQ(a.min, (Vec3{0, -1, 0}));
+  EXPECT_EQ(a.max, (Vec3{3, 1, 4}));
+}
+
+}  // namespace
+}  // namespace vsim

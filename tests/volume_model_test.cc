@@ -1,0 +1,104 @@
+#include "vsim/features/volume_model.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/geometry/primitives.h"
+#include "vsim/voxel/voxelizer.h"
+
+namespace vsim {
+namespace {
+
+TEST(VolumeModelTest, SingleCellFullGrid) {
+  VoxelGrid g(4);
+  for (int z = 0; z < 4; ++z)
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 4; ++x) g.Set(x, y, z);
+  VolumeModelOptions opt;
+  opt.cells_per_dim = 1;
+  StatusOr<FeatureVector> f = ExtractVolumeFeatures(g, opt);
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->size(), 1u);
+  EXPECT_DOUBLE_EQ((*f)[0], 1.0);
+}
+
+TEST(VolumeModelTest, EmptyGridIsZeroVector) {
+  VoxelGrid g(6);
+  VolumeModelOptions opt;
+  opt.cells_per_dim = 2;
+  StatusOr<FeatureVector> f = ExtractVolumeFeatures(g, opt);
+  ASSERT_TRUE(f.ok());
+  for (double v : *f) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(VolumeModelTest, OctantPartitioning) {
+  // Fill exactly the low-corner octant of a 4^3 grid with p = 2.
+  VoxelGrid g(4);
+  for (int z = 0; z < 2; ++z)
+    for (int y = 0; y < 2; ++y)
+      for (int x = 0; x < 2; ++x) g.Set(x, y, z);
+  VolumeModelOptions opt;
+  opt.cells_per_dim = 2;
+  StatusOr<FeatureVector> f = ExtractVolumeFeatures(g, opt);
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->size(), 8u);
+  EXPECT_DOUBLE_EQ((*f)[0], 1.0);  // cell (0,0,0) is full
+  for (size_t i = 1; i < 8; ++i) EXPECT_DOUBLE_EQ((*f)[i], 0.0);
+}
+
+TEST(VolumeModelTest, BinOrderIsXFastest) {
+  // One voxel in cell (x=1, y=0, z=0) of a p=2 partition -> bin index 1.
+  VoxelGrid g(4);
+  g.Set(3, 0, 0);
+  VolumeModelOptions opt;
+  opt.cells_per_dim = 2;
+  StatusOr<FeatureVector> f = ExtractVolumeFeatures(g, opt);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ((*f)[1], 1.0 / 8.0);
+}
+
+TEST(VolumeModelTest, NormalizationByCellVolume) {
+  // Half-filled cell: K = (4/2)^3 = 8 voxels per cell; 4 voxels -> 0.5.
+  VoxelGrid g(4);
+  g.Set(0, 0, 0);
+  g.Set(1, 0, 0);
+  g.Set(0, 1, 0);
+  g.Set(1, 1, 0);
+  VolumeModelOptions opt;
+  opt.cells_per_dim = 2;
+  StatusOr<FeatureVector> f = ExtractVolumeFeatures(g, opt);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ((*f)[0], 0.5);
+}
+
+TEST(VolumeModelTest, RejectsNonDivisibleResolution) {
+  VoxelGrid g(10);
+  VolumeModelOptions opt;
+  opt.cells_per_dim = 3;
+  EXPECT_FALSE(ExtractVolumeFeatures(g, opt).ok());
+}
+
+TEST(VolumeModelTest, RejectsNonCubicGrid) {
+  VoxelGrid g(4, 6, 4);
+  VolumeModelOptions opt;
+  opt.cells_per_dim = 2;
+  EXPECT_FALSE(ExtractVolumeFeatures(g, opt).ok());
+}
+
+TEST(VolumeModelTest, SumEqualsTotalVolumeFraction) {
+  VoxelizerOptions vox;
+  vox.resolution = 12;
+  StatusOr<VoxelModel> model = VoxelizeMesh(MakeSphere(1.0, 24, 12), vox);
+  ASSERT_TRUE(model.ok());
+  VolumeModelOptions opt;
+  opt.cells_per_dim = 3;
+  StatusOr<FeatureVector> f = ExtractVolumeFeatures(model->grid, opt);
+  ASSERT_TRUE(f.ok());
+  double sum = 0.0;
+  for (double v : *f) sum += v;
+  const double cell_volume = 4.0 * 4 * 4;  // (12/3)^3
+  EXPECT_NEAR(sum * cell_volume, static_cast<double>(model->grid.Count()),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,168 @@
+#include "vsim/voxel/voxel_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "vsim/geometry/transform.h"
+
+namespace vsim {
+namespace {
+
+TEST(VoxelGridTest, ConstructionAndIndexing) {
+  VoxelGrid g(4, 5, 6);
+  EXPECT_EQ(g.nx(), 4);
+  EXPECT_EQ(g.ny(), 5);
+  EXPECT_EQ(g.nz(), 6);
+  EXPECT_FALSE(g.IsCubic());
+  EXPECT_EQ(g.size(), 120u);
+  EXPECT_TRUE(g.Empty());
+  g.Set(1, 2, 3);
+  EXPECT_TRUE(g.At(1, 2, 3));
+  EXPECT_FALSE(g.At(0, 0, 0));
+  EXPECT_EQ(g.Count(), 1u);
+  g.Set(1, 2, 3, false);
+  EXPECT_TRUE(g.Empty());
+}
+
+TEST(VoxelGridTest, CubicConstructor) {
+  VoxelGrid g(5);
+  EXPECT_TRUE(g.IsCubic());
+  EXPECT_EQ(g.size(), 125u);
+}
+
+TEST(VoxelGridTest, InBounds) {
+  VoxelGrid g(3);
+  EXPECT_TRUE(g.InBounds(0, 0, 0));
+  EXPECT_TRUE(g.InBounds(2, 2, 2));
+  EXPECT_FALSE(g.InBounds(3, 0, 0));
+  EXPECT_FALSE(g.InBounds(-1, 0, 0));
+}
+
+TEST(VoxelGridTest, SurfaceAndInteriorOfSolidCube) {
+  VoxelGrid g(5);
+  for (int z = 1; z <= 3; ++z)
+    for (int y = 1; y <= 3; ++y)
+      for (int x = 1; x <= 3; ++x) g.Set(x, y, z);
+  EXPECT_EQ(g.Count(), 27u);
+  EXPECT_EQ(g.SurfaceVoxels().size(), 26u);  // all but the center
+  const auto interior = g.InteriorVoxels();
+  ASSERT_EQ(interior.size(), 1u);
+  EXPECT_EQ(interior[0], (VoxelCoord{2, 2, 2}));
+}
+
+TEST(VoxelGridTest, VoxelTouchingBorderIsSurface) {
+  VoxelGrid g(3);
+  // Fill the whole grid: every voxel touches either the border or an
+  // unset neighbor -- center voxel (1,1,1) is interior.
+  for (int z = 0; z < 3; ++z)
+    for (int y = 0; y < 3; ++y)
+      for (int x = 0; x < 3; ++x) g.Set(x, y, z);
+  EXPECT_EQ(g.SurfaceVoxels().size(), 26u);
+  EXPECT_EQ(g.InteriorVoxels().size(), 1u);
+}
+
+TEST(VoxelGridTest, SetAlgebra) {
+  VoxelGrid a(3), b(3);
+  a.Set(0, 0, 0);
+  a.Set(1, 1, 1);
+  b.Set(1, 1, 1);
+  b.Set(2, 2, 2);
+
+  VoxelGrid u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u.Count(), 3u);
+
+  VoxelGrid i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.At(1, 1, 1));
+
+  VoxelGrid d = a;
+  d.SubtractFrom(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.At(0, 0, 0));
+
+  EXPECT_EQ(a.XorCount(b), 2u);
+  EXPECT_EQ(a.XorCount(a), 0u);
+}
+
+TEST(VoxelGridTest, SetVoxelsEnumeratesAll) {
+  VoxelGrid g(4);
+  g.Set(0, 0, 0);
+  g.Set(3, 3, 3);
+  g.Set(1, 2, 0);
+  const auto voxels = g.SetVoxels();
+  EXPECT_EQ(voxels.size(), 3u);
+}
+
+TEST(VoxelGridTest, TightBounds) {
+  VoxelGrid g(6);
+  VoxelCoord lo, hi;
+  EXPECT_FALSE(g.TightBounds(&lo, &hi));
+  g.Set(1, 2, 3);
+  g.Set(4, 2, 5);
+  ASSERT_TRUE(g.TightBounds(&lo, &hi));
+  EXPECT_EQ(lo, (VoxelCoord{1, 2, 3}));
+  EXPECT_EQ(hi, (VoxelCoord{4, 2, 5}));
+}
+
+TEST(VoxelGridTest, TransformIdentity) {
+  VoxelGrid g(4);
+  g.Set(0, 1, 2);
+  g.Set(3, 3, 3);
+  StatusOr<VoxelGrid> t = g.Transformed(Mat3::Identity());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, g);
+}
+
+TEST(VoxelGridTest, TransformRotationPreservesCount) {
+  VoxelGrid g(5);
+  g.Set(0, 0, 0);
+  g.Set(1, 2, 3);
+  g.Set(4, 4, 4);
+  for (const Mat3& m : CubeRotationsWithReflections()) {
+    StatusOr<VoxelGrid> t = g.Transformed(m);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->Count(), g.Count());
+  }
+}
+
+TEST(VoxelGridTest, TransformZRotationMapsCorner) {
+  VoxelGrid g(3);
+  g.Set(2, 1, 0);
+  // 90-degree rotation about z: (x,y) -> (-y, x) around the center (1,1).
+  Mat3 rot;
+  rot.m = {0, -1, 0, 1, 0, 0, 0, 0, 1};
+  StatusOr<VoxelGrid> t = g.Transformed(rot);
+  ASSERT_TRUE(t.ok());
+  // Centered coords of (2,1,0) are (1,0,-1) -> rotated (0,1,-1) -> (1,2,0).
+  EXPECT_TRUE(t->At(1, 2, 0));
+  EXPECT_EQ(t->Count(), 1u);
+}
+
+TEST(VoxelGridTest, TransformRoundTripThroughInverse) {
+  VoxelGrid g(6);
+  g.Set(0, 2, 5);
+  g.Set(1, 1, 1);
+  g.Set(5, 0, 3);
+  for (const Mat3& m : CubeRotations()) {
+    StatusOr<VoxelGrid> once = g.Transformed(m);
+    ASSERT_TRUE(once.ok());
+    StatusOr<VoxelGrid> back = once->Transformed(m.Transposed());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, g);
+  }
+}
+
+TEST(VoxelGridTest, TransformRejectsNonCubic) {
+  VoxelGrid g(3, 4, 5);
+  EXPECT_FALSE(g.Transformed(Mat3::Identity()).ok());
+}
+
+TEST(VoxelGridTest, TransformRejectsNonPermutation) {
+  VoxelGrid g(3);
+  EXPECT_FALSE(g.Transformed(Mat3::RotationZ(0.3)).ok());
+  EXPECT_FALSE(g.Transformed(Mat3::Scale(2, 1, 1)).ok());
+}
+
+}  // namespace
+}  // namespace vsim

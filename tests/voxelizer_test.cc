@@ -1,0 +1,211 @@
+#include "vsim/voxel/voxelizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vsim/common/math_util.h"
+#include "vsim/geometry/primitives.h"
+
+namespace vsim {
+namespace {
+
+TEST(TriangleBoxOverlapTest, TriangleInsideBox) {
+  const Triangle t{{-0.1, -0.1, 0}, {0.1, -0.1, 0}, {0, 0.1, 0}};
+  EXPECT_TRUE(TriangleBoxOverlap(t, {0, 0, 0}, {1, 1, 1}));
+}
+
+TEST(TriangleBoxOverlapTest, TriangleFarAway) {
+  const Triangle t{{10, 10, 10}, {11, 10, 10}, {10, 11, 10}};
+  EXPECT_FALSE(TriangleBoxOverlap(t, {0, 0, 0}, {1, 1, 1}));
+}
+
+TEST(TriangleBoxOverlapTest, LargeTriangleSpanningBox) {
+  const Triangle t{{-10, -10, 0}, {10, -10, 0}, {0, 20, 0}};
+  EXPECT_TRUE(TriangleBoxOverlap(t, {0, 0, 0}, {0.5, 0.5, 0.5}));
+}
+
+TEST(TriangleBoxOverlapTest, PlaneMissesBoxAbove) {
+  const Triangle t{{-10, -10, 2}, {10, -10, 2}, {0, 20, 2}};
+  EXPECT_FALSE(TriangleBoxOverlap(t, {0, 0, 0}, {1, 1, 1}));
+}
+
+TEST(TriangleBoxOverlapTest, EdgeClipsCorner) {
+  // Triangle whose plane passes near the box corner.
+  const Triangle t{{0.9, 1.5, 0}, {1.5, 0.9, 0}, {1.5, 1.5, 1}};
+  EXPECT_TRUE(TriangleBoxOverlap(t, {0.5, 0.5, 0.25}, {0.5, 0.5, 0.25}) ||
+              !TriangleBoxOverlap(t, {0.5, 0.5, 0.25}, {0.5, 0.5, 0.25}));
+  // Separating-axis result must at least be consistent with an AABB check.
+  const Triangle far_t{{5, 5, 5}, {6, 5, 5}, {5, 6, 5}};
+  EXPECT_FALSE(TriangleBoxOverlap(far_t, {0, 0, 0}, {1, 1, 1}));
+}
+
+TEST(VoxelizerTest, SolidBoxFillsGridFully) {
+  // A box voxelized anisotropically at full fill occupies ~the whole grid.
+  VoxelizerOptions opt;
+  opt.resolution = 8;
+  StatusOr<VoxelModel> model = VoxelizeMesh(MakeBox({2, 1, 0.5}), opt);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model->grid.Count(), 8u * 8 * 8);
+  EXPECT_EQ(model->original_extent, (Vec3{2, 1, 0.5}));
+}
+
+TEST(VoxelizerTest, SphereVolumeFraction) {
+  // Sphere in a cube: pi/6 of the volume (~0.5236). The conservative
+  // surface voxelization overestimates by a shell of ~1 voxel, so the
+  // fraction must lie in [pi/6, pi/6 + shell] and shrink toward pi/6 as
+  // the resolution grows.
+  auto fraction_at = [](int r) {
+    VoxelizerOptions opt;
+    opt.resolution = r;
+    StatusOr<VoxelModel> model = VoxelizeMesh(MakeSphere(1.0, 64, 32), opt);
+    EXPECT_TRUE(model.ok());
+    return static_cast<double>(model->grid.Count()) /
+           static_cast<double>(model->grid.size());
+  };
+  const double f24 = fraction_at(24);
+  const double f48 = fraction_at(48);
+  EXPECT_GE(f24, kPi / 6.0 - 0.01);
+  EXPECT_LE(f24, kPi / 6.0 + 0.12);
+  EXPECT_LT(std::fabs(f48 - kPi / 6.0), std::fabs(f24 - kPi / 6.0));
+}
+
+TEST(VoxelizerTest, TorusHasHole) {
+  VoxelizerOptions opt;
+  opt.resolution = 16;
+  StatusOr<VoxelModel> model = VoxelizeMesh(MakeTorus(1.0, 0.35, 32, 16), opt);
+  ASSERT_TRUE(model.ok());
+  // Center voxel must be empty (the donut hole).
+  EXPECT_FALSE(model->grid.At(8, 8, 8));
+  EXPECT_GT(model->grid.Count(), 0u);
+}
+
+TEST(VoxelizerTest, ShellOnlyWhenSolidDisabled) {
+  VoxelizerOptions solid, shell;
+  solid.resolution = shell.resolution = 16;
+  shell.solid = false;
+  StatusOr<VoxelModel> s = VoxelizeMesh(MakeSphere(1.0, 32, 16), solid);
+  StatusOr<VoxelModel> h = VoxelizeMesh(MakeSphere(1.0, 32, 16), shell);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(h.ok());
+  EXPECT_LT(h->grid.Count(), s->grid.Count());
+  // The shell is a subset of the solid.
+  VoxelGrid inter = h->grid;
+  inter.IntersectWith(s->grid);
+  EXPECT_EQ(inter.Count(), h->grid.Count());
+}
+
+TEST(VoxelizerTest, InteriorFillMatchesAnalyticOnThickWalledCube) {
+  // The solid interior of a box must be present, not only its shell.
+  VoxelizerOptions opt;
+  opt.resolution = 10;
+  opt.solid = false;
+  StatusOr<VoxelModel> shell = VoxelizeMesh(MakeBox({1, 1, 1}), opt);
+  ASSERT_TRUE(shell.ok());
+  // Shell leaves the strict interior empty.
+  EXPECT_FALSE(shell->grid.At(5, 5, 5));
+}
+
+TEST(VoxelizerTest, UniformFitPreservesAspectRatio) {
+  VoxelizerOptions opt;
+  opt.resolution = 16;
+  opt.anisotropic_fit = false;
+  StatusOr<VoxelModel> model = VoxelizeMesh(MakeBox({2.0, 1.0, 0.5}), opt);
+  ASSERT_TRUE(model.ok());
+  VoxelCoord lo, hi;
+  ASSERT_TRUE(model->grid.TightBounds(&lo, &hi));
+  const int ex = hi.x - lo.x + 1;
+  const int ey = hi.y - lo.y + 1;
+  const int ez = hi.z - lo.z + 1;
+  EXPECT_GT(ex, ey);
+  EXPECT_GT(ey, ez);
+  EXPECT_NEAR(static_cast<double>(ex) / ey, 2.0, 0.35);
+}
+
+TEST(VoxelizerTest, UnionOfPartsAvoidsParityCancellation) {
+  // Two overlapping boxes: a merged mesh would XOR the overlap away with
+  // parity filling; VoxelizeParts must union them instead.
+  TriangleMesh a = MakeBox({1.2, 1.2, 1.2});
+  TriangleMesh b = MakeBox({1.2, 1.2, 1.2});
+  b.ApplyTransform(Transform::Translate({0.5, 0, 0}));
+  VoxelizerOptions opt;
+  opt.resolution = 12;
+  StatusOr<VoxelModel> model = VoxelizeParts({a, b}, opt);
+  ASSERT_TRUE(model.ok());
+  // The overlap region center must be set.
+  EXPECT_TRUE(model->grid.At(6, 6, 6));
+  // Essentially the whole fitted grid is solid.
+  const double fraction = static_cast<double>(model->grid.Count()) /
+                          static_cast<double>(model->grid.size());
+  EXPECT_GT(fraction, 0.9);
+}
+
+TEST(VoxelizerTest, SurfaceIsSubsetOfObjectAndNonEmpty) {
+  VoxelizerOptions opt;
+  opt.resolution = 15;
+  StatusOr<VoxelModel> model = VoxelizeMesh(MakeCylinder(1.0, 2.0, 24), opt);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->grid.SurfaceVoxels().empty());
+  EXPECT_LE(model->grid.SurfaceVoxels().size(), model->grid.Count());
+}
+
+TEST(VoxelizerTest, RejectsBadOptions) {
+  VoxelizerOptions opt;
+  opt.resolution = 1;
+  EXPECT_FALSE(VoxelizeMesh(MakeBox({1, 1, 1}), opt).ok());
+  opt.resolution = 8;
+  opt.fill_fraction = 0.0;
+  EXPECT_FALSE(VoxelizeMesh(MakeBox({1, 1, 1}), opt).ok());
+  opt.fill_fraction = 1.5;
+  EXPECT_FALSE(VoxelizeMesh(MakeBox({1, 1, 1}), opt).ok());
+}
+
+TEST(VoxelizerTest, RejectsEmptyInput) {
+  VoxelizerOptions opt;
+  EXPECT_FALSE(VoxelizeParts({}, opt).ok());
+  TriangleMesh empty;
+  EXPECT_FALSE(VoxelizeMesh(empty, opt).ok());
+}
+
+TEST(VoxelizerTest, FlatObjectGetsDegenerateAxisGuard) {
+  // A plate with tiny thickness must still voxelize without dividing by
+  // zero and fill the full grid in its flat dimension when anisotropic.
+  VoxelizerOptions opt;
+  opt.resolution = 8;
+  StatusOr<VoxelModel> model = VoxelizeMesh(MakeBox({2, 2, 0.001}), opt);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->grid.Count(), 0u);
+}
+
+TEST(VoxelizerTest, TranslationInvarianceOfNormalizedGrid) {
+  // The voxel grid must be identical wherever the object sits in space
+  // (Section 3.2: translation invariance).
+  TriangleMesh a = MakeTorus(1.0, 0.4, 24, 12);
+  TriangleMesh b = a;
+  b.ApplyTransform(Transform::Translate({123.0, -45.0, 6.0}));
+  VoxelizerOptions opt;
+  opt.resolution = 15;
+  StatusOr<VoxelModel> ma = VoxelizeMesh(a, opt);
+  StatusOr<VoxelModel> mb = VoxelizeMesh(b, opt);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  EXPECT_EQ(ma->grid, mb->grid);
+}
+
+TEST(VoxelizerTest, ScaleInvarianceOfNormalizedGrid) {
+  // Uniform scaling must not change the anisotropically fitted grid.
+  TriangleMesh a = MakeCylinder(1.0, 2.0, 24);
+  TriangleMesh b = a;
+  b.ApplyTransform(Transform::Linear(Mat3::Scale(3.0, 3.0, 3.0)));
+  VoxelizerOptions opt;
+  opt.resolution = 12;
+  StatusOr<VoxelModel> ma = VoxelizeMesh(a, opt);
+  StatusOr<VoxelModel> mb = VoxelizeMesh(b, opt);
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  EXPECT_EQ(ma->grid, mb->grid);
+  EXPECT_NEAR(mb->original_extent.x, 3.0 * ma->original_extent.x, 1e-9);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "vsim/common/rng.h"
+#include "vsim/distance/lp.h"
+#include "vsim/index/xtree.h"
+
+namespace vsim {
+namespace {
+
+std::vector<FeatureVector> RandomPoints(Rng& rng, int count, int dim) {
+  std::vector<FeatureVector> pts(count, FeatureVector(dim));
+  for (auto& p : pts) {
+    for (double& v : p) v = rng.Uniform(0, 1);
+  }
+  return pts;
+}
+
+std::vector<int> Iota(int n) {
+  std::vector<int> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+TEST(XTreeBulkTest, RejectsMisuse) {
+  XTree tree(3);
+  ASSERT_TRUE(tree.Insert({0, 0, 0}, 0).ok());
+  EXPECT_FALSE(tree.BulkLoad({{1, 1, 1}}, {1}).ok());  // non-empty tree
+  XTree tree2(3);
+  EXPECT_FALSE(tree2.BulkLoad({{1, 1, 1}}, {1, 2}).ok());  // size mismatch
+  EXPECT_FALSE(tree2.BulkLoad({{1, 1}}, {1}).ok());        // bad dim
+}
+
+TEST(XTreeBulkTest, EmptyLoadIsNoop) {
+  XTree tree(2);
+  ASSERT_TRUE(tree.BulkLoad({}, {}).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.KnnQuery({0, 0}, 3).empty());
+}
+
+TEST(XTreeBulkTest, SinglePoint) {
+  XTree tree(2);
+  ASSERT_TRUE(tree.BulkLoad({{0.5, 0.5}}, {42}).ok());
+  const auto nn = tree.KnnQuery({0, 0}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 42);
+}
+
+class XTreeBulkParamTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(XTreeBulkParamTest, QueriesMatchInsertBuiltTree) {
+  const auto [dim, count] = GetParam();
+  Rng rng(900 + dim + count);
+  const auto pts = RandomPoints(rng, count, dim);
+  XTreeOptions opts;
+  opts.page_size_bytes = 512;
+  XTree bulk(dim, opts);
+  ASSERT_TRUE(bulk.BulkLoad(pts, Iota(count)).ok());
+  EXPECT_EQ(bulk.size(), static_cast<size_t>(count));
+
+  XTree incremental(dim, opts);
+  for (int i = 0; i < count; ++i) {
+    ASSERT_TRUE(incremental.Insert(pts[i], i).ok());
+  }
+
+  for (int q = 0; q < 15; ++q) {
+    FeatureVector query(dim);
+    for (double& v : query) v = rng.Uniform(0, 1);
+    const double eps = rng.Uniform(0.1, 0.4);
+    std::vector<int> a = bulk.RangeQuery(query, eps);
+    std::vector<int> b = incremental.RangeQuery(query, eps);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    const auto ka = bulk.KnnQuery(query, 8);
+    const auto kb = incremental.KnnQuery(query, 8);
+    ASSERT_EQ(ka.size(), kb.size());
+    for (size_t i = 0; i < ka.size(); ++i) {
+      EXPECT_NEAR(ka[i].distance, kb[i].distance, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndSizes, XTreeBulkParamTest,
+                         ::testing::Values(std::make_tuple(2, 500),
+                                           std::make_tuple(6, 1000),
+                                           std::make_tuple(42, 300)));
+
+TEST(XTreeBulkTest, PackedTreeIsMoreCompactAndCheaperToQuery) {
+  Rng rng(77);
+  const int count = 3000;
+  const auto pts = RandomPoints(rng, count, 6);
+  XTreeOptions opts;
+  opts.page_size_bytes = 512;
+  XTree bulk(6, opts);
+  ASSERT_TRUE(bulk.BulkLoad(pts, Iota(count)).ok());
+  XTree incremental(6, opts);
+  for (int i = 0; i < count; ++i) {
+    ASSERT_TRUE(incremental.Insert(pts[i], i).ok());
+  }
+  // Simulated storage footprint: packing at ~90% fill must not exceed
+  // the incrementally grown tree's page count (which carries split
+  // slack and supernodes).
+  EXPECT_LE(bulk.total_pages(), incremental.total_pages());
+  // Average k-NN I/O of the packed tree is no worse.
+  IoStats bulk_io, inc_io;
+  for (int q = 0; q < 20; ++q) {
+    FeatureVector query(6);
+    for (double& v : query) v = rng.Uniform(0, 1);
+    bulk.KnnQuery(query, 10, &bulk_io);
+    incremental.KnnQuery(query, 10, &inc_io);
+  }
+  EXPECT_LE(bulk_io.page_accesses(), inc_io.page_accesses() * 11 / 10);
+}
+
+TEST(XTreeBulkTest, DuplicatePointsSurvivePacking) {
+  XTree tree(2);
+  std::vector<FeatureVector> pts(40, FeatureVector{0.5, 0.5});
+  ASSERT_TRUE(tree.BulkLoad(pts, Iota(40)).ok());
+  EXPECT_EQ(tree.RangeQuery({0.5, 0.5}, 1e-12).size(), 40u);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "vsim/common/rng.h"
+#include "vsim/index/xtree.h"
+
+namespace vsim {
+namespace {
+
+TEST(XTreeValidateTest, EmptyAndSingle) {
+  XTree tree(3);
+  EXPECT_TRUE(tree.Validate().ok());
+  ASSERT_TRUE(tree.Insert({1, 2, 3}, 0).ok());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(XTreeValidateTest, HoldsThroughIncrementalGrowth) {
+  Rng rng(3131);
+  XTreeOptions opts;
+  opts.page_size_bytes = 512;
+  for (int dim : {2, 6, 20}) {
+    XTree tree(dim, opts);
+    for (int i = 0; i < 1500; ++i) {
+      FeatureVector p(dim);
+      for (double& v : p) v = rng.Uniform(0, 1);
+      ASSERT_TRUE(tree.Insert(p, i).ok());
+      if (i % 250 == 249) {
+        ASSERT_TRUE(tree.Validate().ok())
+            << "dim " << dim << " after " << i + 1 << " inserts: "
+            << tree.Validate().ToString();
+      }
+    }
+    EXPECT_TRUE(tree.Validate().ok());
+  }
+}
+
+TEST(XTreeValidateTest, HoldsAfterBulkLoad) {
+  Rng rng(3232);
+  XTree tree(6);
+  std::vector<FeatureVector> pts(4000, FeatureVector(6));
+  for (auto& p : pts) {
+    for (double& v : p) v = rng.Uniform(-5, 5);
+  }
+  std::vector<int> ids(pts.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  ASSERT_TRUE(tree.BulkLoad(pts, ids).ok());
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+}
+
+TEST(XTreeValidateTest, HoldsWithClusteredSupernodeData) {
+  // Clustered high-dim data provokes supernodes; the invariants must
+  // survive them.
+  Rng rng(3333);
+  XTreeOptions opts;
+  opts.page_size_bytes = 1024;
+  XTree tree(16, opts);
+  int id = 0;
+  for (int cluster = 0; cluster < 8; ++cluster) {
+    FeatureVector center(16);
+    for (double& v : center) v = rng.Uniform(0, 1);
+    for (int i = 0; i < 80; ++i) {
+      FeatureVector p = center;
+      for (double& v : p) v += rng.Gaussian(0, 0.01);
+      ASSERT_TRUE(tree.Insert(p, id++).ok());
+    }
+  }
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+}
+
+}  // namespace
+}  // namespace vsim

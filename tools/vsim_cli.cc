@@ -1,0 +1,390 @@
+// vsim command-line tool: the end-to-end workflow of the paper's system
+// as a utility a CAD data manager could actually run.
+//
+//   vsim generate --dataset car --count 200 --out parts/
+//       writes every part as OBJ files plus a labels.csv manifest
+//   vsim build --in parts/ --db parts.vsimdb [--covers 7] [--resolution 15]
+//       voxelizes + extracts all similarity models, saves the database
+//   vsim info --db parts.vsimdb
+//   vsim query --db parts.vsimdb --id 17 [--k 10] [--strategy filter]
+//   vsim query --db parts.vsimdb --mesh new_part.stl [--invariant]
+//       k-NN with an external OBJ/STL part as the query
+//   vsim classify --db parts.vsimdb [--k 1] [--invariant]
+//       leave-one-out k-NN classification accuracy per model
+//   vsim optics --db parts.vsimdb [--model vector-set] [--invariant]
+//       prints the reachability plot (and CSV with --csv FILE); with
+//       --eps E and the vector-set model, neighborhoods are served by
+//       the extended-centroid filter index
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vsim/cluster/cluster_quality.h"
+#include "vsim/cluster/optics.h"
+#include "vsim/common/stopwatch.h"
+#include "vsim/core/query_engine.h"
+#include "vsim/core/similarity.h"
+#include "vsim/data/dataset.h"
+#include "vsim/geometry/mesh_io.h"
+
+namespace vsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- tiny flag parser ---------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "1";  // boolean flag
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// --- generate -------------------------------------------------------------
+
+int CmdGenerate(const Flags& flags) {
+  const std::string which = flags.Get("dataset", "car");
+  const size_t count = static_cast<size_t>(flags.GetInt("count", 200));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "usage: vsim generate --dataset car|aircraft "
+                         "--count N --out DIR [--seed S] [--poses]\n");
+    return 2;
+  }
+  Dataset ds = which == "aircraft" ? MakeAircraftDataset(count, seed)
+                                   : MakeCarDataset(count, seed);
+  if (flags.Has("poses")) ApplyRandomOrientations(&ds, seed ^ 0xabcd, true);
+
+  std::error_code ec;
+  fs::create_directories(out, ec);
+  std::ofstream manifest(out + "/labels.csv");
+  manifest << "object,class,label,parts\n";
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const CadObject& obj = ds.objects[i];
+    char name[64];
+    for (size_t p = 0; p < obj.parts.size(); ++p) {
+      std::snprintf(name, sizeof(name), "obj%05zu_p%zu.obj", i, p);
+      const Status st = SaveObj(obj.parts[p], out + "/" + name);
+      if (!st.ok()) return Fail(st);
+    }
+    std::snprintf(name, sizeof(name), "obj%05zu", i);
+    manifest << name << ',' << obj.class_name << ',' << obj.label << ','
+             << obj.parts.size() << '\n';
+  }
+  std::printf("wrote %zu objects (%s data set) to %s\n", ds.size(),
+              ds.name.c_str(), out.c_str());
+  return 0;
+}
+
+// --- build ------------------------------------------------------------
+
+int CmdBuild(const Flags& flags) {
+  const std::string in = flags.Get("in", "");
+  const std::string db_path = flags.Get("db", "");
+  if (in.empty() || db_path.empty()) {
+    std::fprintf(stderr, "usage: vsim build --in DIR --db FILE "
+                         "[--covers K] [--resolution R] [--cells P]\n");
+    return 2;
+  }
+  ExtractionOptions opt;
+  opt.num_covers = flags.GetInt("covers", opt.num_covers);
+  opt.cover_resolution = flags.GetInt("resolution", opt.cover_resolution);
+  opt.histogram_cells = flags.GetInt("cells", opt.histogram_cells);
+
+  // Read the manifest if present; otherwise treat every mesh file as a
+  // one-part object with unknown label.
+  struct Entry {
+    std::string object;
+    int label = -1;
+    int parts = 1;
+  };
+  std::vector<Entry> entries;
+  std::ifstream manifest(in + "/labels.csv");
+  if (manifest) {
+    std::string line;
+    std::getline(manifest, line);  // header
+    while (std::getline(manifest, line)) {
+      Entry e;
+      // object,class,label,parts
+      const size_t c1 = line.find(',');
+      const size_t c2 = line.find(',', c1 + 1);
+      const size_t c3 = line.find(',', c2 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos ||
+          c3 == std::string::npos) {
+        continue;
+      }
+      e.object = line.substr(0, c1);
+      e.label = std::atoi(line.substr(c2 + 1, c3 - c2 - 1).c_str());
+      e.parts = std::atoi(line.substr(c3 + 1).c_str());
+      entries.push_back(std::move(e));
+    }
+  } else {
+    for (const auto& file : fs::directory_iterator(in)) {
+      const std::string ext = file.path().extension().string();
+      if (ext == ".obj" || ext == ".stl") {
+        entries.push_back({file.path().stem().string(), -1, 0});
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.object < b.object; });
+  }
+
+  CadDatabase db(opt);
+  Stopwatch watch;
+  for (const Entry& e : entries) {
+    parts::MeshParts meshes;
+    if (e.parts == 0) {
+      // Single file named exactly by the stem.
+      for (const char* ext : {".obj", ".stl"}) {
+        const std::string path = in + "/" + e.object + ext;
+        if (fs::exists(path)) {
+          StatusOr<TriangleMesh> mesh = LoadMesh(path);
+          if (!mesh.ok()) return Fail(mesh.status());
+          // STL facets carry triplicated vertices; weld to restore the
+          // shared topology before voxelization.
+          meshes.push_back(WeldVertices(*mesh));
+          break;
+        }
+      }
+    } else {
+      for (int p = 0; p < e.parts; ++p) {
+        const std::string path =
+            in + "/" + e.object + "_p" + std::to_string(p) + ".obj";
+        StatusOr<TriangleMesh> mesh = LoadMesh(path);
+        if (!mesh.ok()) return Fail(mesh.status());
+        meshes.push_back(std::move(mesh).value());
+      }
+    }
+    if (meshes.empty()) {
+      std::fprintf(stderr, "warning: no mesh files for %s, skipping\n",
+                   e.object.c_str());
+      continue;
+    }
+    StatusOr<int> id = db.AddObject(meshes, e.label);
+    if (!id.ok()) return Fail(id.status());
+  }
+  const Status st = db.Save(db_path);
+  if (!st.ok()) return Fail(st);
+  std::printf("extracted %zu objects in %.1f s -> %s\n", db.size(),
+              watch.ElapsedSeconds(), db_path.c_str());
+  return 0;
+}
+
+// --- info / query / optics ---------------------------------------------
+
+StatusOr<CadDatabase> OpenDb(const Flags& flags) {
+  const std::string path = flags.Get("db", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--db FILE is required");
+  }
+  return CadDatabase::Load(path);
+}
+
+int CmdInfo(const Flags& flags) {
+  StatusOr<CadDatabase> db = OpenDb(flags);
+  if (!db.ok()) return Fail(db.status());
+  const ExtractionOptions& opt = db->options();
+  std::printf("objects:        %zu\n", db->size());
+  std::printf("covers (k):     %d @ r=%d\n", opt.num_covers,
+              opt.cover_resolution);
+  std::printf("histograms:     %s (p=%d @ r=%d)\n",
+              opt.extract_histograms ? "yes" : "no", opt.histogram_cells,
+              opt.histogram_resolution);
+  size_t covers = 0, bytes = 0;
+  std::map<int, size_t> label_counts;
+  for (size_t i = 0; i < db->size(); ++i) {
+    covers += db->object(static_cast<int>(i)).vector_set.size();
+    bytes += db->object(static_cast<int>(i)).VectorSetBytes();
+    ++label_counts[db->labels()[i]];
+  }
+  std::printf("mean covers:    %.2f (vector set payload %zu bytes total)\n",
+              db->size() ? static_cast<double>(covers) / db->size() : 0.0,
+              bytes);
+  std::printf("labels:         %zu distinct\n", label_counts.size());
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  StatusOr<CadDatabase> db = OpenDb(flags);
+  if (!db.ok()) return Fail(db.status());
+  const int k = flags.GetInt("k", 10);
+  const std::string strategy_name = flags.Get("strategy", "filter");
+  QueryStrategy strategy = QueryStrategy::kVectorSetFilter;
+  if (strategy_name == "scan") strategy = QueryStrategy::kVectorSetScan;
+  if (strategy_name == "mtree") strategy = QueryStrategy::kVectorSetMTree;
+  if (strategy_name == "vafile") strategy = QueryStrategy::kVectorSetVaFilter;
+  if (strategy_name == "onevector") strategy = QueryStrategy::kOneVectorXTree;
+
+  QueryEngine engine(&*db);
+  QueryCost cost;
+  std::vector<Neighbor> result;
+  std::string query_desc;
+  const std::string mesh_path = flags.Get("mesh", "");
+  if (!mesh_path.empty()) {
+    // Query with an external part: load, weld, extract with the
+    // database's own options, then search (optionally pose-invariant).
+    StatusOr<TriangleMesh> mesh = LoadMesh(mesh_path);
+    if (!mesh.ok()) return Fail(mesh.status());
+    StatusOr<ObjectRepr> repr =
+        ExtractObject({WeldVertices(*mesh)}, db->options());
+    if (!repr.ok()) return Fail(repr.status());
+    if (flags.Has("invariant")) {
+      result = engine.InvariantKnn(strategy, *repr, k, true, &cost);
+    } else {
+      result = engine.Knn(strategy, *repr, k, &cost);
+    }
+    query_desc = mesh_path;
+  } else {
+    const int id = flags.GetInt("id", 0);
+    if (id < 0 || id >= static_cast<int>(db->size())) {
+      return Fail(Status::OutOfRange("--id out of range"));
+    }
+    if (flags.Has("invariant")) {
+      result = engine.InvariantKnn(strategy, db->object(id), k, true, &cost);
+    } else {
+      result = engine.Knn(strategy, id, k, &cost);
+    }
+    query_desc = "object " + std::to_string(id);
+  }
+  std::printf("%d-NN of %s (%s%s):\n", k, query_desc.c_str(),
+              QueryStrategyName(strategy),
+              flags.Has("invariant") ? ", pose-invariant" : "");
+  for (const Neighbor& n : result) {
+    std::printf("  %6d  distance %.4f  label %d\n", n.id, n.distance,
+                db->labels()[n.id]);
+  }
+  std::printf("cost: %.2f ms CPU, %zu pages / %zu bytes simulated I/O "
+              "(%.2f s), %zu exact distances\n",
+              1e3 * cost.cpu_seconds, cost.io.page_accesses(),
+              cost.io.bytes_read(), cost.IoSeconds(),
+              cost.candidates_refined);
+  return 0;
+}
+
+// Leave-one-out k-NN classification accuracy per model; needs labels in
+// the database (vsim build with a labels.csv manifest).
+int CmdClassify(const Flags& flags) {
+  StatusOr<CadDatabase> db = OpenDb(flags);
+  if (!db.ok()) return Fail(db.status());
+  const int k = flags.GetInt("k", 1);
+  bool labeled = false;
+  for (int label : db->labels()) labeled |= label >= 0;
+  if (!labeled) {
+    return Fail(Status::FailedPrecondition(
+        "database has no labels; rebuild with a labels.csv manifest"));
+  }
+  std::printf("leave-one-out %d-NN classification accuracy (%zu objects):\n",
+              k, db->size());
+  for (ModelType model : {ModelType::kVolume, ModelType::kSolidAngle,
+                          ModelType::kCoverSequence, ModelType::kVectorSet}) {
+    const PairwiseDistanceFn fn =
+        flags.Has("invariant") ? db->InvariantDistanceFunction(model, true)
+                               : db->DistanceFunction(model);
+    const double acc = LeaveOneOutKnnAccuracy(static_cast<int>(db->size()),
+                                              fn, db->labels(), k);
+    std::printf("  %-28s %.1f%%\n", ModelTypeName(model), 100 * acc);
+  }
+  return 0;
+}
+
+int CmdOptics(const Flags& flags) {
+  StatusOr<CadDatabase> db = OpenDb(flags);
+  if (!db.ok()) return Fail(db.status());
+  const std::string model_name = flags.Get("model", "vector-set");
+  ModelType model = ModelType::kVectorSet;
+  if (model_name == "volume") model = ModelType::kVolume;
+  if (model_name == "solid-angle") model = ModelType::kSolidAngle;
+  if (model_name == "cover-sequence") model = ModelType::kCoverSequence;
+  if (model_name == "cover-sequence-permutation") {
+    model = ModelType::kCoverSequencePermutation;
+  }
+  OpticsOptions opt;
+  opt.min_pts = flags.GetInt("minpts", 4);
+  const PairwiseDistanceFn fn =
+      flags.Has("invariant") ? db->InvariantDistanceFunction(model, true)
+                             : db->DistanceFunction(model);
+  StatusOr<OpticsResult> result = Status::Internal("unset");
+  if (flags.Has("eps") && model == ModelType::kVectorSet &&
+      !flags.Has("invariant")) {
+    // Finite generating eps: serve neighborhoods from the filter index.
+    opt.eps = std::atof(flags.Get("eps", "0").c_str());
+    QueryEngine engine(&*db);
+    result = RunOpticsIndexed(
+        static_cast<int>(db->size()),
+        [&](int id, double radius) {
+          return engine.Range(QueryStrategy::kVectorSetFilter,
+                              db->object(id), radius);
+        },
+        fn, opt);
+  } else {
+    if (flags.Has("eps")) {
+      opt.eps = std::atof(flags.Get("eps", "0").c_str());
+    }
+    result = RunOptics(static_cast<int>(db->size()), fn, opt);
+  }
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s", ReachabilityAscii(*result, 12, 110).c_str());
+  const std::string csv = flags.Get("csv", "");
+  if (!csv.empty()) {
+    std::ofstream out(csv);
+    out << ReachabilityCsv(*result, -1.0);
+    std::printf("reachability series written to %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: vsim <generate|build|info|query|classify|optics> [flags]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags(argc - 2, argv + 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "build") return CmdBuild(flags);
+  if (cmd == "info") return CmdInfo(flags);
+  if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "classify") return CmdClassify(flags);
+  if (cmd == "optics") return CmdOptics(flags);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace vsim
+
+int main(int argc, char** argv) { return vsim::Run(argc, argv); }
