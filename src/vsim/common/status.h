@@ -20,6 +20,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kUnavailable,        // transient overload (e.g. admission queue full)
+  kDeadlineExceeded,   // request deadline passed before completion
 };
 
 // Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -54,6 +56,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,11 +1,11 @@
 #include "vsim/core/similarity.h"
 
 #include <algorithm>
-#include <atomic>
 #include <limits>
 #include <thread>
 
 #include "vsim/common/math_util.h"
+#include "vsim/service/thread_pool.h"
 #include "vsim/distance/centroid_filter.h"
 #include "vsim/distance/lp.h"
 #include "vsim/distance/min_matching.h"
@@ -120,7 +120,6 @@ StatusOr<CadDatabase> CadDatabase::FromDataset(
   }
   num_threads = Clamp<int>(num_threads, 1, 64);
 
-  std::vector<Status> failures(n);
   if (num_threads == 1 || n < 2) {
     for (size_t i = 0; i < n; ++i) {
       StatusOr<ObjectRepr> repr = ExtractObject(dataset.objects[i].parts, options);
@@ -130,24 +129,20 @@ StatusOr<CadDatabase> CadDatabase::FromDataset(
     return db;
   }
 
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      StatusOr<ObjectRepr> repr =
-          ExtractObject(dataset.objects[i].parts, options);
-      if (repr.ok()) {
-        db.objects_[i] = std::move(repr).value();
-      } else {
-        failures[i] = repr.status();
-      }
+  // Extraction is embarrassingly parallel: each index writes only its
+  // own slot, so the shared pool's index-claiming loop preserves the
+  // serial results exactly.
+  std::vector<Status> failures(n);
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(n, [&](size_t i) {
+    StatusOr<ObjectRepr> repr =
+        ExtractObject(dataset.objects[i].parts, options);
+    if (repr.ok()) {
+      db.objects_[i] = std::move(repr).value();
+    } else {
+      failures[i] = repr.status();
     }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-  for (std::thread& t : threads) t.join();
+  });
   for (size_t i = 0; i < n; ++i) {
     if (!failures[i].ok()) return failures[i];
   }

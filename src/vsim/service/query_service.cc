@@ -1,0 +1,196 @@
+#include "vsim/service/query_service.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace vsim {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kKnn:
+      return "knn";
+    case QueryKind::kRange:
+      return "range";
+    case QueryKind::kInvariantKnn:
+      return "invariant-knn";
+    case QueryKind::kInvariantRange:
+      return "invariant-range";
+  }
+  return "unknown";
+}
+
+QueryService::QueryService(const CadDatabase* db, const QueryEngine* engine,
+                           QueryServiceOptions options)
+    : db_(db),
+      engine_(engine),
+      options_(options),
+      cache_(options.cache_bytes, options.cache_shards),
+      pool_(options.num_threads) {}
+
+QueryService::~QueryService() = default;
+
+void QueryService::Pause() { pool_.Pause(); }
+void QueryService::Resume() { pool_.Resume(); }
+
+Status QueryService::Validate(const ServiceRequest& request) const {
+  const bool knn_kind = request.kind == QueryKind::kKnn ||
+                        request.kind == QueryKind::kInvariantKnn;
+  const bool invariant_kind = request.kind == QueryKind::kInvariantKnn ||
+                              request.kind == QueryKind::kInvariantRange;
+  if (knn_kind && request.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (!knn_kind && request.eps < 0.0) {
+    return Status::InvalidArgument("eps must be non-negative");
+  }
+  if (invariant_kind && request.strategy == QueryStrategy::kOneVectorXTree) {
+    return Status::InvalidArgument(
+        "invariant queries are not defined for the one-vector strategy");
+  }
+  if (request.object_id >= 0) {
+    if (request.object_id >= static_cast<int>(db_->size())) {
+      return Status::OutOfRange("object_id " +
+                                std::to_string(request.object_id) +
+                                " out of range");
+    }
+    return Status::OK();
+  }
+  // External query: the strategy determines which representation the
+  // engine reads.
+  if (request.strategy == QueryStrategy::kOneVectorXTree) {
+    if (request.query.cover_vector.empty()) {
+      return Status::InvalidArgument(
+          "external one-vector query needs a cover_vector");
+    }
+    return Status::OK();
+  }
+  if (request.query.vector_set.empty()) {
+    return Status::InvalidArgument("external query needs a vector_set");
+  }
+  if ((request.strategy == QueryStrategy::kVectorSetFilter ||
+       request.strategy == QueryStrategy::kVectorSetVaFilter) &&
+      request.query.centroid.empty()) {
+    return Status::InvalidArgument(
+        "external filtered query needs an extended centroid");
+  }
+  return Status::OK();
+}
+
+ResultCacheKey QueryService::MakeKey(const ServiceRequest& request,
+                                     const ObjectRepr& query) const {
+  const bool knn_kind = request.kind == QueryKind::kKnn ||
+                        request.kind == QueryKind::kInvariantKnn;
+  const bool invariant_kind = request.kind == QueryKind::kInvariantKnn ||
+                              request.kind == QueryKind::kInvariantRange;
+  ResultCacheKey key;
+  key.digest = DigestQueryObject(query);
+  key.kind = static_cast<uint8_t>(request.kind);
+  key.strategy = static_cast<uint8_t>(request.strategy);
+  key.invariance =
+      invariant_kind ? (request.with_reflections ? 2 : 1) : 0;
+  key.k = knn_kind ? request.k : 0;
+  key.eps = knn_kind ? 0.0 : request.eps;
+  return key;
+}
+
+StatusOr<ServiceResponse> QueryService::RunRequest(
+    const ServiceRequest& request) {
+  VSIM_RETURN_NOT_OK(Validate(request));
+  const ObjectRepr& query =
+      request.object_id >= 0 ? db_->object(request.object_id) : request.query;
+
+  ServiceResponse response;
+  ResultCacheKey key;
+  if (cache_.enabled()) {
+    key = MakeKey(request, query);
+    CachedResult hit;
+    if (cache_.Lookup(key, &hit)) {
+      response.neighbors = std::move(hit.neighbors);
+      response.ids = std::move(hit.ids);
+      response.cache_hit = true;
+      return response;
+    }
+  }
+
+  switch (request.kind) {
+    case QueryKind::kKnn:
+      response.neighbors =
+          engine_->Knn(request.strategy, query, request.k, &response.cost);
+      break;
+    case QueryKind::kRange:
+      response.ids =
+          engine_->Range(request.strategy, query, request.eps, &response.cost);
+      break;
+    case QueryKind::kInvariantKnn:
+      response.neighbors =
+          engine_->InvariantKnn(request.strategy, query, request.k,
+                                request.with_reflections, &response.cost);
+      break;
+    case QueryKind::kInvariantRange:
+      response.ids =
+          engine_->InvariantRange(request.strategy, query, request.eps,
+                                  request.with_reflections, &response.cost);
+      break;
+  }
+
+  if (cache_.enabled()) {
+    cache_.Insert(key, CachedResult{response.neighbors, response.ids});
+  }
+  if (options_.simulate_io_wait) {
+    const double io_seconds = response.cost.IoSeconds(options_.io_params);
+    if (io_seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(io_seconds));
+    }
+  }
+  return response;
+}
+
+StatusOr<std::future<StatusOr<ServiceResponse>>> QueryService::Submit(
+    ServiceRequest request) {
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (queued_.fetch_add(1, std::memory_order_acq_rel) >= options_.max_queue) {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "admission queue full (bound " + std::to_string(options_.max_queue) +
+        "); retry with backoff");
+  }
+  const Clock::time_point submitted = Clock::now();
+  const Clock::time_point deadline =
+      request.timeout_seconds > 0.0
+          ? submitted + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                request.timeout_seconds))
+          : Clock::time_point::max();
+  return pool_.Submit([this, request = std::move(request), submitted,
+                       deadline]() -> StatusOr<ServiceResponse> {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    if (Clock::now() > deadline) {
+      stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      return Status::DeadlineExceeded(
+          "request deadline passed before a worker picked it up");
+    }
+    StatusOr<ServiceResponse> response = RunRequest(request);
+    if (response.ok()) {
+      const double latency =
+          std::chrono::duration<double>(Clock::now() - submitted).count();
+      response.value().latency_seconds = latency;
+      stats_.completed.fetch_add(1, std::memory_order_relaxed);
+      stats_.latency.Record(latency);
+    } else {
+      stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    return response;
+  });
+}
+
+StatusOr<ServiceResponse> QueryService::Execute(ServiceRequest request) {
+  StatusOr<std::future<StatusOr<ServiceResponse>>> submitted =
+      Submit(std::move(request));
+  VSIM_RETURN_NOT_OK(submitted.status());
+  return submitted.value().get();
+}
+
+}  // namespace vsim

@@ -1,0 +1,144 @@
+// Thread-safe concurrent query service over a CadDatabase/QueryEngine
+// pair: the serving layer between the paper's single-query engine and a
+// front-end handling many simultaneous users.
+//
+//   - Requests are executed on a fixed-size ThreadPool; reads run truly
+//     concurrently because database + indexes are immutable after
+//     construction (the engine's query methods are const and touch no
+//     mutable state -- see DESIGN.md "Serving layer").
+//   - Admission control: at most `max_queue` requests may be waiting
+//     for a worker. Submissions past the bound are rejected immediately
+//     with kUnavailable instead of queueing unboundedly (backpressure
+//     the caller can act on).
+//   - Deadlines: a request whose deadline passes while still queued
+//     fails fast with kDeadlineExceeded without occupying a worker for
+//     the query itself.
+//   - Results of refined queries are memoized in a sharded LRU
+//     ResultCache, so repeated queries skip the Hungarian refinement.
+//
+// The engine must NOT have a disk-backed store attached
+// (QueryEngine::AttachStore): buffer-pool fetches mutate shared LRU
+// state and are not thread-safe. The service checks this invariant only
+// by contract (the store pointer is private); callers own it.
+#ifndef VSIM_SERVICE_QUERY_SERVICE_H_
+#define VSIM_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <future>
+#include <memory>
+
+#include "vsim/common/status.h"
+#include "vsim/core/query_engine.h"
+#include "vsim/core/similarity.h"
+#include "vsim/service/result_cache.h"
+#include "vsim/service/service_stats.h"
+#include "vsim/service/thread_pool.h"
+
+namespace vsim {
+
+enum class QueryKind {
+  kKnn,
+  kRange,
+  kInvariantKnn,    // Definition-2 pose-invariant k-NN
+  kInvariantRange,
+};
+
+const char* QueryKindName(QueryKind kind);
+
+struct ServiceRequest {
+  QueryKind kind = QueryKind::kKnn;
+  QueryStrategy strategy = QueryStrategy::kVectorSetFilter;
+
+  // Query object: a stored id (>= 0), or an external representation in
+  // `query` when object_id < 0.
+  int object_id = -1;
+  ObjectRepr query;
+
+  int k = 10;                     // k-NN kinds
+  double eps = 0.0;               // range kinds
+  bool with_reflections = false;  // invariant kinds: 48- vs 24-group
+
+  // 0 = no deadline. The deadline is checked when a worker picks the
+  // request up; execution itself is not interrupted.
+  double timeout_seconds = 0.0;
+};
+
+struct ServiceResponse {
+  std::vector<Neighbor> neighbors;  // k-NN kinds
+  std::vector<int> ids;             // range kinds
+  QueryCost cost;                   // zero for cache hits
+  bool cache_hit = false;
+  double latency_seconds = 0.0;  // submission -> completion
+};
+
+struct QueryServiceOptions {
+  int num_threads = 0;        // 0 = hardware concurrency
+  size_t max_queue = 1024;    // admission bound (queued, not running)
+  size_t cache_bytes = 32ull << 20;  // 0 disables the result cache
+  int cache_shards = 16;
+
+  // Deployment emulation: after executing a request, the worker sleeps
+  // the request's simulated I/O time (cost.IoSeconds(io_params)). This
+  // turns the paper's *charged* cost model into real wall-clock
+  // latency, so concurrent queries overlap their I/O waits exactly the
+  // way a disk-backed server would; cache hits skip the sleep along
+  // with the computation. Off by default (pure CPU execution).
+  bool simulate_io_wait = false;
+  IoCostParams io_params;  // conversion constants for the emulated wait
+};
+
+class QueryService {
+ public:
+  // `db` and `engine` must outlive the service and are never mutated.
+  QueryService(const CadDatabase* db, const QueryEngine* engine,
+               QueryServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Asynchronous submission. Returns kUnavailable immediately when the
+  // admission queue is full; otherwise a future that resolves to the
+  // response or a per-request error (kDeadlineExceeded, validation).
+  StatusOr<std::future<StatusOr<ServiceResponse>>> Submit(
+      ServiceRequest request);
+
+  // Synchronous convenience: submit + wait.
+  StatusOr<ServiceResponse> Execute(ServiceRequest request);
+
+  // Quiesce the workers (in-flight tasks finish, queued ones wait).
+  // Queued requests can still time out while paused.
+  void Pause();
+  void Resume();
+
+  int num_threads() const { return pool_.num_threads(); }
+  ServiceStatsSnapshot Stats() const {
+    return stats_.Snapshot(cache_.stats());
+  }
+  const ResultCache& cache() const { return cache_; }
+  void PrintStats(std::FILE* out = stdout) const {
+    PrintServiceStats(Stats(), out);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  StatusOr<ServiceResponse> RunRequest(const ServiceRequest& request);
+  Status Validate(const ServiceRequest& request) const;
+  ResultCacheKey MakeKey(const ServiceRequest& request,
+                         const ObjectRepr& query) const;
+
+  const CadDatabase* db_;
+  const QueryEngine* engine_;
+  QueryServiceOptions options_;
+  ResultCache cache_;
+  ServiceStats stats_;
+  std::atomic<size_t> queued_{0};
+  // Declared last: destroyed first, so queued tasks drain while every
+  // member they touch is still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_SERVICE_QUERY_SERVICE_H_

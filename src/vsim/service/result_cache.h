@@ -1,0 +1,135 @@
+// Sharded LRU cache for refined query results. Refinement cost is
+// dominated by the O(k^3) Hungarian matching per candidate, so repeated
+// and near-duplicate queries (the common case in interactive CAD
+// sessions: the same part re-queried with the same k) are served from
+// the cache without touching the engine at all.
+//
+// Keys combine a 64-bit digest of the query's feature payload with the
+// full query shape (kind, strategy, k / eps, invariance flags); two
+// requests collide only if every field including the digest matches.
+// Shards are independent mutex + LRU-list + hash-map triples, so
+// concurrent lookups on different shards never contend.
+#ifndef VSIM_SERVICE_RESULT_CACHE_H_
+#define VSIM_SERVICE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "vsim/core/similarity.h"
+#include "vsim/index/xtree.h"
+
+namespace vsim {
+
+// FNV-1a over an arbitrary byte range.
+uint64_t Fnv1aHash(const void* data, size_t bytes, uint64_t seed = 0xcbf29ce484222325ull);
+
+// Digest of everything about a query object that the engine's distance
+// computations can observe (vector set, centroid, cover vector).
+uint64_t DigestQueryObject(const ObjectRepr& query);
+
+struct ResultCacheKey {
+  uint64_t digest = 0;
+  uint8_t kind = 0;        // QueryKind underlying value
+  uint8_t strategy = 0;    // QueryStrategy underlying value
+  uint8_t invariance = 0;  // 0 none, 1 rotations, 2 rotations+reflections
+  int32_t k = 0;           // k-NN parameter, 0 for range queries
+  double eps = 0.0;        // range parameter, 0 for k-NN
+
+  bool operator==(const ResultCacheKey&) const = default;
+};
+
+struct ResultCacheKeyHash {
+  size_t operator()(const ResultCacheKey& key) const {
+    uint64_t h = key.digest;
+    const uint32_t shape = (static_cast<uint32_t>(key.kind) << 16) |
+                           (static_cast<uint32_t>(key.strategy) << 8) |
+                           key.invariance;
+    h = Fnv1aHash(&shape, sizeof(shape), h);
+    h = Fnv1aHash(&key.k, sizeof(key.k), h);
+    h = Fnv1aHash(&key.eps, sizeof(key.eps), h);
+    return static_cast<size_t>(h);
+  }
+};
+
+// Cached payload: neighbors for k-NN kinds, ids for range kinds.
+struct CachedResult {
+  std::vector<Neighbor> neighbors;
+  std::vector<int> ids;
+
+  size_t ApproxBytes() const {
+    return sizeof(CachedResult) + neighbors.capacity() * sizeof(Neighbor) +
+           ids.capacity() * sizeof(int);
+  }
+};
+
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class ResultCache {
+ public:
+  // capacity_bytes = 0 disables the cache (Lookup always misses,
+  // Insert is a no-op). num_shards is rounded up to a power of two.
+  explicit ResultCache(size_t capacity_bytes, int num_shards = 16);
+
+  bool enabled() const { return capacity_bytes_ > 0; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Copies the cached value into *out and returns true on a hit.
+  bool Lookup(const ResultCacheKey& key, CachedResult* out);
+
+  // Inserts (or refreshes) an entry, evicting least-recently-used
+  // entries of the target shard until it fits its byte budget. Values
+  // larger than a whole shard are not cached.
+  void Insert(const ResultCacheKey& key, CachedResult value);
+
+  void Clear();
+
+  size_t ApproxBytes() const;
+  size_t entries() const;
+  ResultCacheStats stats() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Most-recently-used at the front.
+    std::list<std::pair<ResultCacheKey, CachedResult>> lru;
+    std::unordered_map<ResultCacheKey, decltype(lru)::iterator,
+                       ResultCacheKeyHash>
+        map;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const ResultCacheKey& key) {
+    const size_t h = ResultCacheKeyHash()(key);
+    // The low bits feed the hash map's bucket choice; use high bits
+    // for the shard so the two are decorrelated.
+    return *shards_[(h >> 48) & (shards_.size() - 1)];
+  }
+
+  size_t capacity_bytes_ = 0;
+  size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,144 @@
+// Lock-free serving metrics: atomic request counters plus a fixed
+// geometric-bucket latency histogram (no allocation, no locks on the
+// record path), printable as a TablePrinter table.
+#ifndef VSIM_SERVICE_SERVICE_STATS_H_
+#define VSIM_SERVICE_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include "vsim/common/table_printer.h"
+#include "vsim/service/result_cache.h"
+
+namespace vsim {
+
+// Buckets cover [2^i, 2^(i+1)) microseconds; bucket 0 additionally
+// absorbs sub-microsecond samples and the last bucket absorbs
+// everything past ~2^38 us (~3 days). Percentiles report a bucket's
+// upper bound, so they over- rather than under-state latency by at
+// most 2x -- plenty for a serving dashboard.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Record(double seconds) {
+    const double us = seconds * 1e6;
+    int bucket = 0;
+    if (us >= 1.0) {
+      bucket = static_cast<int>(std::log2(us)) + 1;
+      if (bucket >= kBuckets) bucket = kBuckets - 1;
+    }
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    // Stash the running sum in nanoseconds for a cheap mean.
+    total_ns_.fetch_add(static_cast<uint64_t>(us * 1e3),
+                        std::memory_order_relaxed);
+  }
+
+  uint64_t TotalCount() const {
+    uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  double MeanSeconds() const {
+    const uint64_t n = TotalCount();
+    if (n == 0) return 0.0;
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+           static_cast<double>(n) * 1e-9;
+  }
+
+  // Upper bound (seconds) of the bucket holding the p-th percentile
+  // sample, p in [0, 1].
+  double PercentileSeconds(double p) const {
+    const uint64_t n = TotalCount();
+    if (n == 0) return 0.0;
+    const uint64_t rank =
+        static_cast<uint64_t>(std::ceil(p * static_cast<double>(n)));
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts_[b].load(std::memory_order_relaxed);
+      if (seen >= rank && seen > 0) {
+        return std::ldexp(1.0, b) * 1e-6;  // 2^b us upper bound
+      }
+    }
+    return std::ldexp(1.0, kBuckets - 1) * 1e-6;
+  }
+
+  void Reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  std::atomic<uint64_t> total_ns_{0};
+};
+
+struct ServiceStatsSnapshot {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;   // admission-queue backpressure
+  uint64_t timed_out = 0;  // deadline passed before execution
+  uint64_t failed = 0;     // invalid requests etc.
+  double latency_mean_s = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  ResultCacheStats cache;
+};
+
+class ServiceStats {
+ public:
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> timed_out{0};
+  std::atomic<uint64_t> failed{0};
+  LatencyHistogram latency;
+
+  ServiceStatsSnapshot Snapshot(const ResultCacheStats& cache) const {
+    ServiceStatsSnapshot s;
+    s.submitted = submitted.load(std::memory_order_relaxed);
+    s.completed = completed.load(std::memory_order_relaxed);
+    s.rejected = rejected.load(std::memory_order_relaxed);
+    s.timed_out = timed_out.load(std::memory_order_relaxed);
+    s.failed = failed.load(std::memory_order_relaxed);
+    s.latency_mean_s = latency.MeanSeconds();
+    s.latency_p50_s = latency.PercentileSeconds(0.50);
+    s.latency_p95_s = latency.PercentileSeconds(0.95);
+    s.latency_p99_s = latency.PercentileSeconds(0.99);
+    s.cache = cache;
+    return s;
+  }
+};
+
+inline void PrintServiceStats(const ServiceStatsSnapshot& s,
+                              std::FILE* out = stdout) {
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"requests submitted", std::to_string(s.submitted)});
+  table.AddRow({"requests completed", std::to_string(s.completed)});
+  table.AddRow({"rejected (queue full)", std::to_string(s.rejected)});
+  table.AddRow({"timed out (deadline)", std::to_string(s.timed_out)});
+  table.AddRow({"failed", std::to_string(s.failed)});
+  table.AddRow({"cache hits", std::to_string(s.cache.hits)});
+  table.AddRow({"cache misses", std::to_string(s.cache.misses)});
+  table.AddRow({"cache evictions", std::to_string(s.cache.evictions)});
+  table.AddRow(
+      {"cache hit rate", TablePrinter::Num(100.0 * s.cache.HitRate()) + "%"});
+  table.AddRow({"latency mean",
+                TablePrinter::Num(s.latency_mean_s * 1e3, 3) + " ms"});
+  table.AddRow({"latency p50 <=",
+                TablePrinter::Num(s.latency_p50_s * 1e3, 3) + " ms"});
+  table.AddRow({"latency p95 <=",
+                TablePrinter::Num(s.latency_p95_s * 1e3, 3) + " ms"});
+  table.AddRow({"latency p99 <=",
+                TablePrinter::Num(s.latency_p99_s * 1e3, 3) + " ms"});
+  table.Print(out);
+}
+
+}  // namespace vsim
+
+#endif  // VSIM_SERVICE_SERVICE_STATS_H_

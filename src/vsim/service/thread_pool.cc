@@ -1,0 +1,92 @@
+#include "vsim/service/thread_pool.h"
+
+#include <atomic>
+
+#include "vsim/common/math_util.h"
+
+namespace vsim {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads == 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads = Clamp<int>(num_threads, 1, 64);
+  workers_.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    paused_ = false;  // a paused pool still drains on destruction
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::QueuedTasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void ThreadPool::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() {
+        return (!paused_ && !tasks_.empty()) || stop_;
+      });
+      // On shutdown, drain whatever is still queued before exiting so
+      // every Submit()ed future is fulfilled.
+      if (tasks_.empty()) return;  // only reachable when stop_ is set
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  const size_t spawn = std::min(n, workers_.size());
+  std::vector<std::future<void>> done;
+  done.reserve(spawn);
+  for (size_t t = 0; t < spawn; ++t) {
+    done.push_back(Submit([next, n, &fn]() {
+      for (;;) {
+        const size_t i = next->fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    }));
+  }
+  for (std::future<void>& f : done) f.get();
+}
+
+}  // namespace vsim

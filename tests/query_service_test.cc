@@ -1,0 +1,266 @@
+#include "vsim/service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "vsim/data/dataset.h"
+
+namespace vsim {
+namespace {
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const Dataset ds = MakeCarDataset(30, 99);
+    ExtractionOptions opt;
+    opt.extract_histograms = false;
+    opt.cover_resolution = 10;
+    opt.num_covers = 5;
+    StatusOr<CadDatabase> db = CadDatabase::FromDataset(ds, opt, 0);
+    ASSERT_TRUE(db.ok());
+    db_ = new CadDatabase(std::move(db).value());
+    engine_ = new QueryEngine(db_);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static CadDatabase* db_;
+  static QueryEngine* engine_;
+};
+
+CadDatabase* QueryServiceTest::db_ = nullptr;
+QueryEngine* QueryServiceTest::engine_ = nullptr;
+
+// The tentpole correctness claim: many threads hammering the service
+// produce exactly the single-threaded engine's answers, with the cache
+// on (hits must replay identical payloads) and off.
+TEST_F(QueryServiceTest, StressMatchesSerialEngine) {
+  const int n = static_cast<int>(db_->size());
+  const int k = 5;
+  // Serial ground truth per query id, plus a range result per id.
+  std::vector<std::vector<Neighbor>> expected_knn(n);
+  std::vector<std::vector<int>> expected_range(n);
+  const double eps =
+      engine_->Knn(QueryStrategy::kVectorSetScan, 0, k).back().distance;
+  for (int id = 0; id < n; ++id) {
+    expected_knn[id] = engine_->Knn(QueryStrategy::kVectorSetFilter, id, k);
+    expected_range[id] =
+        engine_->Range(QueryStrategy::kVectorSetFilter, db_->object(id), eps);
+  }
+
+  for (const size_t cache_bytes : {size_t{0}, size_t{4} << 20}) {
+    QueryServiceOptions options;
+    options.num_threads = 4;
+    options.cache_bytes = cache_bytes;
+    QueryService service(db_, engine_, options);
+
+    constexpr int kClients = 8;
+    constexpr int kPerClient = 60;
+    std::vector<std::thread> clients;
+    std::atomic<int> mismatches{0};
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c]() {
+        for (int q = 0; q < kPerClient; ++q) {
+          const int id = (c * 31 + q * 7) % n;
+          ServiceRequest request;
+          request.object_id = id;
+          if (q % 3 == 0) {
+            request.kind = QueryKind::kRange;
+            request.eps = eps;
+          } else {
+            request.kind = QueryKind::kKnn;
+            request.k = k;
+          }
+          StatusOr<ServiceResponse> response = service.Execute(request);
+          if (!response.ok()) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+          const bool match = q % 3 == 0
+                                 ? response->ids == expected_range[id]
+                                 : response->neighbors == expected_knn[id];
+          if (!match) mismatches.fetch_add(1);
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    EXPECT_EQ(mismatches.load(), 0)
+        << "cache_bytes=" << cache_bytes;
+    const ServiceStatsSnapshot stats = service.Stats();
+    EXPECT_EQ(stats.completed,
+              static_cast<uint64_t>(kClients) * kPerClient);
+    EXPECT_EQ(stats.rejected, 0u);
+    if (cache_bytes > 0) {
+      // 480 requests over <= 60 distinct (id, kind) pairs: mostly hits.
+      EXPECT_GT(stats.cache.hits, 0u);
+    }
+  }
+}
+
+TEST_F(QueryServiceTest, CacheHitReplaysResultWithoutCost) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(db_, engine_, options);
+  ServiceRequest request;
+  request.object_id = 3;
+  request.k = 4;
+  StatusOr<ServiceResponse> first = service.Execute(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  EXPECT_GT(first->cost.candidates_refined, 0u);
+  StatusOr<ServiceResponse> second = service.Execute(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->cost.candidates_refined, 0u);
+  EXPECT_EQ(second->neighbors, first->neighbors);
+  EXPECT_EQ(service.Stats().cache.hits, 1u);
+}
+
+TEST_F(QueryServiceTest, BackpressureRejectsBeyondBound) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.max_queue = 2;
+  QueryService service(db_, engine_, options);
+  service.Pause();  // nothing dequeues: submissions stay in the queue
+
+  ServiceRequest request;
+  request.object_id = 0;
+  request.k = 3;
+  auto first = service.Submit(request);
+  auto second = service.Submit(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  auto third = service.Submit(request);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.Stats().rejected, 1u);
+
+  service.Resume();
+  EXPECT_TRUE(first.value().get().ok());
+  EXPECT_TRUE(second.value().get().ok());
+  // With the queue drained, admission opens up again.
+  auto fourth = service.Submit(request);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_TRUE(fourth.value().get().ok());
+}
+
+TEST_F(QueryServiceTest, ExpiredDeadlineFailsFast) {
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(db_, engine_, options);
+  service.Pause();
+  ServiceRequest request;
+  request.object_id = 0;
+  request.k = 3;
+  request.timeout_seconds = 1e-3;
+  auto submitted = service.Submit(request);
+  ASSERT_TRUE(submitted.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.Resume();
+  const StatusOr<ServiceResponse> response = submitted.value().get();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.Stats().timed_out, 1u);
+  EXPECT_EQ(service.Stats().completed, 0u);
+}
+
+TEST_F(QueryServiceTest, GenerousDeadlineSucceeds) {
+  QueryService service(db_, engine_, {});
+  ServiceRequest request;
+  request.object_id = 1;
+  request.k = 3;
+  request.timeout_seconds = 30.0;
+  const StatusOr<ServiceResponse> response = service.Execute(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->neighbors.size(), 3u);
+  EXPECT_GT(response->latency_seconds, 0.0);
+}
+
+TEST_F(QueryServiceTest, InvariantKnnMatchesEngine) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(db_, engine_, options);
+  const std::vector<Neighbor> expected = engine_->InvariantKnn(
+      QueryStrategy::kVectorSetFilter, db_->object(2), 3, false);
+  ServiceRequest request;
+  request.kind = QueryKind::kInvariantKnn;
+  request.object_id = 2;
+  request.k = 3;
+  const StatusOr<ServiceResponse> response = service.Execute(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->neighbors, expected);
+}
+
+TEST_F(QueryServiceTest, ExternalQueryMatchesStoredObject) {
+  QueryService service(db_, engine_, {});
+  ServiceRequest by_id;
+  by_id.object_id = 5;
+  by_id.k = 4;
+  ServiceRequest external;
+  external.query = db_->object(5);
+  external.k = 4;
+  const StatusOr<ServiceResponse> a = service.Execute(by_id);
+  const StatusOr<ServiceResponse> b = service.Execute(external);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->neighbors, b->neighbors);
+  // The digest unifies the two spellings of the same query: the second
+  // execution hits the entry the first one inserted.
+  EXPECT_TRUE(b->cache_hit);
+}
+
+TEST_F(QueryServiceTest, ValidationErrors) {
+  QueryService service(db_, engine_, {});
+  ServiceRequest bad_k;
+  bad_k.object_id = 0;
+  bad_k.k = 0;
+  EXPECT_EQ(service.Execute(bad_k).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceRequest bad_id;
+  bad_id.object_id = 1000000;
+  EXPECT_EQ(service.Execute(bad_id).status().code(), StatusCode::kOutOfRange);
+
+  ServiceRequest empty_external;  // object_id < 0, empty query
+  EXPECT_EQ(service.Execute(empty_external).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ServiceRequest bad_invariant;
+  bad_invariant.kind = QueryKind::kInvariantKnn;
+  bad_invariant.strategy = QueryStrategy::kOneVectorXTree;
+  bad_invariant.object_id = 0;
+  EXPECT_EQ(service.Execute(bad_invariant).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(service.Stats().failed, 4u);
+}
+
+TEST_F(QueryServiceTest, StatsSnapshotAndPrint) {
+  QueryService service(db_, engine_, {});
+  ServiceRequest request;
+  request.object_id = 0;
+  request.k = 2;
+  ASSERT_TRUE(service.Execute(request).ok());
+  ASSERT_TRUE(service.Execute(request).ok());
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_GT(stats.latency_p50_s, 0.0);
+  EXPECT_GE(stats.latency_p99_s, stats.latency_p50_s);
+  // Smoke: the table renders without touching the service.
+  std::FILE* sink = fopen("/dev/null", "w");
+  ASSERT_NE(sink, nullptr);
+  service.PrintStats(sink);
+  fclose(sink);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,152 @@
+#include "vsim/service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace vsim {
+namespace {
+
+ResultCacheKey Key(uint64_t digest, int k = 10) {
+  ResultCacheKey key;
+  key.digest = digest;
+  key.k = k;
+  return key;
+}
+
+CachedResult Value(int id) {
+  CachedResult value;
+  value.neighbors.push_back({id, static_cast<double>(id)});
+  return value;
+}
+
+TEST(ResultCacheTest, LookupMissThenHit) {
+  ResultCache cache(1 << 20, 4);
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup(Key(1), &out));
+  cache.Insert(Key(1), Value(7));
+  ASSERT_TRUE(cache.Lookup(Key(1), &out));
+  ASSERT_EQ(out.neighbors.size(), 1u);
+  EXPECT_EQ(out.neighbors[0].id, 7);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ResultCacheTest, KeyFieldsDisambiguate) {
+  ResultCache cache(1 << 20, 1);
+  cache.Insert(Key(1, 10), Value(1));
+  CachedResult out;
+  // Same digest, different k: distinct entry.
+  EXPECT_FALSE(cache.Lookup(Key(1, 20), &out));
+  ResultCacheKey range_key = Key(1, 0);
+  range_key.eps = 0.5;
+  EXPECT_FALSE(cache.Lookup(range_key, &out));
+  ResultCacheKey strat_key = Key(1, 10);
+  strat_key.strategy = 2;
+  EXPECT_FALSE(cache.Lookup(strat_key, &out));
+  EXPECT_TRUE(cache.Lookup(Key(1, 10), &out));
+}
+
+TEST(ResultCacheTest, DeterministicLruEviction) {
+  // Single shard so the LRU order is global and exact. Each entry is
+  // ~sizeof(CachedResult) + 1 Neighbor; budget for about 4 of them.
+  const size_t entry_bytes = Value(0).ApproxBytes();
+  ResultCache cache(4 * entry_bytes, 1);
+  for (int i = 0; i < 4; ++i) cache.Insert(Key(i), Value(i));
+  EXPECT_EQ(cache.entries(), 4u);
+
+  // Touch 0 so 1 becomes the LRU victim.
+  CachedResult out;
+  ASSERT_TRUE(cache.Lookup(Key(0), &out));
+  cache.Insert(Key(4), Value(4));
+  EXPECT_FALSE(cache.Lookup(Key(1), &out));  // evicted
+  EXPECT_TRUE(cache.Lookup(Key(0), &out));   // kept (recently used)
+  EXPECT_TRUE(cache.Lookup(Key(4), &out));   // newest
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesValueWithoutDuplicates) {
+  ResultCache cache(1 << 20, 1);
+  cache.Insert(Key(1), Value(1));
+  cache.Insert(Key(1), Value(2));
+  EXPECT_EQ(cache.entries(), 1u);
+  CachedResult out;
+  ASSERT_TRUE(cache.Lookup(Key(1), &out));
+  EXPECT_EQ(out.neighbors[0].id, 2);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(Key(1), Value(1));
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup(Key(1), &out));
+  EXPECT_EQ(cache.entries(), 0u);
+  // A disabled cache records no traffic either.
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(ResultCacheTest, OversizedValueIsNotCached) {
+  ResultCache cache(256, 1);
+  CachedResult big;
+  big.neighbors.resize(10000);
+  cache.Insert(Key(1), big);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ResultCacheTest, ClearEmptiesAllShards) {
+  ResultCache cache(1 << 20, 8);
+  for (int i = 0; i < 100; ++i) cache.Insert(Key(i), Value(i));
+  EXPECT_GT(cache.entries(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.ApproxBytes(), 0u);
+}
+
+TEST(ResultCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  ResultCache cache(1 << 20, 5);
+  EXPECT_EQ(cache.num_shards(), 8);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedTraffic) {
+  ResultCache cache(1 << 18, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t]() {
+      for (int i = 0; i < 2000; ++i) {
+        const uint64_t digest = static_cast<uint64_t>((t * 37 + i) % 256);
+        CachedResult out;
+        if (!cache.Lookup(Key(digest), &out)) {
+          cache.Insert(Key(digest), Value(static_cast<int>(digest)));
+        } else {
+          ASSERT_EQ(out.neighbors[0].id, static_cast<int>(digest));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 2000u);
+}
+
+TEST(DigestTest, DistinguishesQueryObjects) {
+  ObjectRepr a;
+  a.vector_set.vectors = {{1.0, 2.0}, {3.0, 4.0}};
+  a.centroid = {2.0, 3.0};
+  ObjectRepr b = a;
+  EXPECT_EQ(DigestQueryObject(a), DigestQueryObject(b));
+  b.vector_set.vectors[1][1] = 4.0000001;
+  EXPECT_NE(DigestQueryObject(a), DigestQueryObject(b));
+  // Moving a value across the vector boundary must change the digest
+  // (lengths are folded in, not just the flat payload).
+  ObjectRepr c;
+  c.vector_set.vectors = {{1.0, 2.0, 3.0}, {4.0}};
+  c.centroid = {2.0, 3.0};
+  EXPECT_NE(DigestQueryObject(a), DigestQueryObject(c));
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,95 @@
+#include "vsim/service/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+namespace vsim {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitVoidTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&counter]() { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> touched(n);
+  pool.ParallelFor(n, [&](size_t i) { touched[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&ran]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+  }  // destructor joins after running everything queued
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, PauseHoldsTasksUntilResume) {
+  ThreadPool pool(2);
+  pool.Pause();
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(pool.Submit([&ran]() { ran.fetch_add(1); }));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(pool.QueuedTasks(), 5u);
+  pool.Resume();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  EXPECT_LE(pool.num_threads(), 64);
+}
+
+}  // namespace
+}  // namespace vsim

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the tree with ThreadSanitizer (VSIM_SANITIZE=thread) and runs
+# the concurrency-sensitive suites: the query-service stress test, the
+# thread pool, the sharded result cache, and the parallel extraction
+# path. Any data race aborts with a non-zero exit.
+#
+# Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DVSIM_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target vsim_tests
+
+TSAN_OPTIONS="halt_on_error=1" \
+    "$BUILD_DIR/tests/vsim_tests" \
+    --gtest_filter='QueryService*:ThreadPool*:ResultCache*:ParallelExtraction*'
+
+echo "TSan: service stress + concurrency suites clean"

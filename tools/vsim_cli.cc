@@ -15,21 +15,28 @@
 //       prints the reachability plot (and CSV with --csv FILE); with
 //       --eps E and the vector-set model, neighborhoods are served by
 //       the extended-centroid filter index
+//   vsim batch --db parts.vsimdb --queries 500 --threads 8 --cache-mb 32
+//       drives the concurrent QueryService with a mixed k-NN/range
+//       workload (--repeat-frac F re-issues earlier queries to hit the
+//       result cache) and prints the serving stats table
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "vsim/cluster/cluster_quality.h"
 #include "vsim/cluster/optics.h"
+#include "vsim/common/rng.h"
 #include "vsim/common/stopwatch.h"
 #include "vsim/core/query_engine.h"
 #include "vsim/core/similarity.h"
 #include "vsim/data/dataset.h"
 #include "vsim/geometry/mesh_io.h"
+#include "vsim/service/query_service.h"
 
 namespace vsim {
 namespace {
@@ -61,7 +68,32 @@ class Flags {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
   }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  // Rejects flags the subcommand does not understand, listing the valid
+  // ones (typo'd flags silently falling back to defaults is the classic
+  // way to benchmark the wrong configuration).
+  Status CheckKnown(const std::string& command,
+                    std::initializer_list<const char*> allowed) const {
+    for (const auto& [key, value] : values_) {
+      bool known = false;
+      for (const char* a : allowed) known |= key == a;
+      if (!known) {
+        std::string valid;
+        for (const char* a : allowed) {
+          valid += valid.empty() ? "--" : " --";
+          valid += a;
+        }
+        return Status::InvalidArgument("unknown flag --" + key + " for '" +
+                                       command + "' (valid: " + valid + ")");
+      }
+    }
+    return Status::OK();
+  }
 
  private:
   std::map<std::string, std::string> values_;
@@ -72,9 +104,22 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// Usage errors (unknown flags) exit 2, like missing required flags.
+#define VSIM_CLI_CHECK_FLAGS(flags, command, ...)                   \
+  do {                                                              \
+    const ::vsim::Status _flag_st =                                 \
+        (flags).CheckKnown((command), __VA_ARGS__);                 \
+    if (!_flag_st.ok()) {                                           \
+      std::fprintf(stderr, "error: %s\n", _flag_st.ToString().c_str()); \
+      return 2;                                                     \
+    }                                                               \
+  } while (false)
+
 // --- generate -------------------------------------------------------------
 
 int CmdGenerate(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "generate",
+                       {"dataset", "count", "out", "seed", "poses"});
   const std::string which = flags.Get("dataset", "car");
   const size_t count = static_cast<size_t>(flags.GetInt("count", 200));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
@@ -112,11 +157,15 @@ int CmdGenerate(const Flags& flags) {
 // --- build ------------------------------------------------------------
 
 int CmdBuild(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "build",
+                       {"in", "db", "covers", "resolution", "cells",
+                        "threads"});
   const std::string in = flags.Get("in", "");
   const std::string db_path = flags.Get("db", "");
   if (in.empty() || db_path.empty()) {
     std::fprintf(stderr, "usage: vsim build --in DIR --db FILE "
-                         "[--covers K] [--resolution R] [--cells P]\n");
+                         "[--covers K] [--resolution R] [--cells P] "
+                         "[--threads T]\n");
     return 2;
   }
   ExtractionOptions opt;
@@ -162,8 +211,11 @@ int CmdBuild(const Flags& flags) {
               [](const Entry& a, const Entry& b) { return a.object < b.object; });
   }
 
-  CadDatabase db(opt);
+  // Load all meshes up front, then hand the whole set to the parallel
+  // extraction pipeline (--threads T; 0 = hardware concurrency).
   Stopwatch watch;
+  Dataset ds;
+  ds.name = in;
   for (const Entry& e : entries) {
     parts::MeshParts meshes;
     if (e.parts == 0) {
@@ -193,12 +245,17 @@ int CmdBuild(const Flags& flags) {
                    e.object.c_str());
       continue;
     }
-    StatusOr<int> id = db.AddObject(meshes, e.label);
-    if (!id.ok()) return Fail(id.status());
+    CadObject obj;
+    obj.label = e.label;
+    obj.parts = std::move(meshes);
+    ds.objects.push_back(std::move(obj));
   }
-  const Status st = db.Save(db_path);
+  StatusOr<CadDatabase> db =
+      CadDatabase::FromDataset(ds, opt, flags.GetInt("threads", 0));
+  if (!db.ok()) return Fail(db.status());
+  const Status st = db->Save(db_path);
   if (!st.ok()) return Fail(st);
-  std::printf("extracted %zu objects in %.1f s -> %s\n", db.size(),
+  std::printf("extracted %zu objects in %.1f s -> %s\n", db->size(),
               watch.ElapsedSeconds(), db_path.c_str());
   return 0;
 }
@@ -214,6 +271,7 @@ StatusOr<CadDatabase> OpenDb(const Flags& flags) {
 }
 
 int CmdInfo(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "info", {"db"});
   StatusOr<CadDatabase> db = OpenDb(flags);
   if (!db.ok()) return Fail(db.status());
   const ExtractionOptions& opt = db->options();
@@ -238,6 +296,8 @@ int CmdInfo(const Flags& flags) {
 }
 
 int CmdQuery(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "query",
+                       {"db", "id", "mesh", "k", "strategy", "invariant"});
   StatusOr<CadDatabase> db = OpenDb(flags);
   if (!db.ok()) return Fail(db.status());
   const int k = flags.GetInt("k", 10);
@@ -297,6 +357,7 @@ int CmdQuery(const Flags& flags) {
 // Leave-one-out k-NN classification accuracy per model; needs labels in
 // the database (vsim build with a labels.csv manifest).
 int CmdClassify(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "classify", {"db", "k", "invariant"});
   StatusOr<CadDatabase> db = OpenDb(flags);
   if (!db.ok()) return Fail(db.status());
   const int k = flags.GetInt("k", 1);
@@ -321,6 +382,8 @@ int CmdClassify(const Flags& flags) {
 }
 
 int CmdOptics(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "optics",
+                       {"db", "model", "invariant", "minpts", "eps", "csv"});
   StatusOr<CadDatabase> db = OpenDb(flags);
   if (!db.ok()) return Fail(db.status());
   const std::string model_name = flags.Get("model", "vector-set");
@@ -366,10 +429,140 @@ int CmdOptics(const Flags& flags) {
   return 0;
 }
 
+// --- batch ------------------------------------------------------------
+
+// Drives the concurrent QueryService with a deterministic mixed
+// workload (k-NN / range / pose-invariant k-NN; a --repeat-frac
+// fraction re-issues earlier queries to exercise the result cache) and
+// prints the service's stats table plus throughput.
+int CmdBatch(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "batch",
+                       {"db", "dataset", "count", "queries", "threads",
+                        "cache-mb", "repeat-frac", "k", "strategy", "seed",
+                        "timeout-ms", "max-queue", "simulate-io",
+                        "io-page-us"});
+  const int queries = flags.GetInt("queries", 500);
+  const int threads = flags.GetInt("threads", 0);
+  const int cache_mb = flags.GetInt("cache-mb", 32);
+  const double repeat_frac = flags.GetDouble("repeat-frac", 0.5);
+  const int k = flags.GetInt("k", 10);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  if (repeat_frac < 0.0 || repeat_frac > 1.0) {
+    return Fail(Status::InvalidArgument("--repeat-frac must be in [0, 1]"));
+  }
+
+  QueryStrategy strategy = QueryStrategy::kVectorSetFilter;
+  const std::string strategy_name = flags.Get("strategy", "filter");
+  if (strategy_name == "scan") {
+    strategy = QueryStrategy::kVectorSetScan;
+  } else if (strategy_name == "mtree") {
+    strategy = QueryStrategy::kVectorSetMTree;
+  } else if (strategy_name == "vafile") {
+    strategy = QueryStrategy::kVectorSetVaFilter;
+  } else if (strategy_name != "filter") {
+    return Fail(Status::InvalidArgument(
+        "unknown --strategy '" + strategy_name +
+        "' (valid: filter scan mtree vafile)"));
+  }
+
+  // Database: --db FILE, or a synthetic data set built in memory
+  // (--dataset car|aircraft --count N).
+  StatusOr<CadDatabase> db = Status::Internal("unset");
+  if (flags.Has("db")) {
+    db = CadDatabase::Load(flags.Get("db", ""));
+  } else {
+    const std::string dataset = flags.Get("dataset", "car");
+    if (dataset != "car" && dataset != "aircraft") {
+      return Fail(Status::InvalidArgument(
+          "unknown --dataset '" + dataset + "' (valid: car aircraft)"));
+    }
+    const size_t count = static_cast<size_t>(flags.GetInt("count", 200));
+    ExtractionOptions opt;
+    opt.extract_histograms = false;
+    Dataset ds = dataset == "aircraft" ? MakeAircraftDataset(count, seed)
+                                       : MakeCarDataset(count, seed);
+    std::printf("extracting %zu synthetic objects...\n", ds.size());
+    db = CadDatabase::FromDataset(ds, opt, threads);
+  }
+  if (!db.ok()) return Fail(db.status());
+  if (db->size() == 0) return Fail(Status::FailedPrecondition("empty database"));
+
+  QueryEngine engine(&*db);
+  QueryServiceOptions sopts;
+  sopts.num_threads = threads;
+  sopts.cache_bytes = static_cast<size_t>(cache_mb) << 20;
+  sopts.max_queue = static_cast<size_t>(flags.GetInt("max-queue", 4096));
+  // --simulate-io: workers sleep each query's simulated I/O charge
+  // (--io-page-us per page, default NVMe-ish 100 us), so latency and
+  // concurrency behave like a disk-backed deployment.
+  sopts.simulate_io_wait = flags.Has("simulate-io");
+  sopts.io_params.seconds_per_page_access =
+      flags.GetDouble("io-page-us", 100.0) * 1e-6;
+  sopts.io_params.seconds_per_byte = 0.0;
+  QueryService service(&*db, &engine, sopts);
+
+  // eps for the range slice of the mix: the 10-NN radius of object 0,
+  // so ranges return a sensible handful of parts.
+  double base_eps = 1.0;
+  {
+    const std::vector<Neighbor> nn =
+        engine.Knn(QueryStrategy::kVectorSetScan, 0, 10);
+    if (!nn.empty()) base_eps = std::max(nn.back().distance, 1e-6);
+  }
+
+  Rng rng(seed ^ 0xba7c4ULL);
+  std::vector<ServiceRequest> history;
+  std::vector<std::future<StatusOr<ServiceResponse>>> pending;
+  pending.reserve(queries);
+  const double timeout_s = flags.GetDouble("timeout-ms", 0.0) * 1e-3;
+
+  Stopwatch watch;
+  for (int q = 0; q < queries; ++q) {
+    ServiceRequest req;
+    if (!history.empty() && rng.NextDouble() < repeat_frac) {
+      req = history[rng.NextBounded(history.size())];
+    } else {
+      req.object_id = static_cast<int>(rng.NextBounded(db->size()));
+      req.strategy = strategy;
+      req.k = k;
+      const double roll = rng.NextDouble();
+      if (roll < 0.80) {
+        req.kind = QueryKind::kKnn;
+      } else if (roll < 0.95) {
+        req.kind = QueryKind::kRange;
+        req.eps = base_eps * (0.5 + rng.NextDouble());
+      } else {
+        req.kind = QueryKind::kInvariantKnn;
+      }
+      history.push_back(req);
+    }
+    req.timeout_seconds = timeout_s;
+    StatusOr<std::future<StatusOr<ServiceResponse>>> submitted =
+        service.Submit(std::move(req));
+    if (submitted.ok()) pending.push_back(std::move(submitted).value());
+    // Rejections are counted by the service's stats.
+  }
+  size_t ok = 0, errors = 0;
+  for (auto& f : pending) {
+    const StatusOr<ServiceResponse> response = f.get();
+    response.ok() ? ++ok : ++errors;
+  }
+  const double elapsed = watch.ElapsedSeconds();
+
+  std::printf("batch: %d requests (%zu completed, %zu errored) on %d "
+              "worker threads in %.2f s -> %.0f queries/s\n",
+              queries, ok, errors, service.num_threads(), elapsed,
+              elapsed > 0 ? static_cast<double>(ok) / elapsed : 0.0);
+  service.PrintStats();
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: vsim <generate|build|info|query|classify|optics> [flags]\n");
+                 "usage: vsim <generate|build|info|query|classify|optics|"
+                 "batch> [flags]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -380,6 +573,7 @@ int Run(int argc, char** argv) {
   if (cmd == "query") return CmdQuery(flags);
   if (cmd == "classify") return CmdClassify(flags);
   if (cmd == "optics") return CmdOptics(flags);
+  if (cmd == "batch") return CmdBatch(flags);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;
 }
