@@ -14,6 +14,15 @@
 //
 // All strategies charge simulated I/O (8 ms/page, 200 ns/byte) and
 // measure CPU wall time, reproducing the paper's cost model.
+//
+// Thread-safety: the engine and its indexes are immutable after
+// construction; every query method is const and touches no mutable
+// state, so any number of threads may query one engine concurrently
+// (this is what the service layer's lock-free read path relies on --
+// see docs/ARCHITECTURE.md). The single exception is AttachStore():
+// a disk-backed store routes refinement reads through a buffer pool
+// whose LRU state mutates on every fetch, so an engine with a store
+// attached must be confined to one thread at a time.
 #ifndef VSIM_CORE_QUERY_ENGINE_H_
 #define VSIM_CORE_QUERY_ENGINE_H_
 

@@ -1,6 +1,19 @@
 // End-to-end similarity pipeline: mesh parts -> voxel grid -> the four
 // similarity models of the paper (volume, solid-angle, cover-sequence
 // one-vector, vector set) with their distance functions.
+//
+// Thread-safety: CadDatabase is mutable while being built (AddObject /
+// FromDataset) and must not be queried concurrently with mutation.
+// Once construction finishes it is effectively immutable -- Distance()
+// and the accessors are const reads over stored representations -- so
+// concurrent readers need no synchronization. The serving layer
+// freezes a fully built database inside an immutable DbSnapshot and
+// rebuilds off-thread rather than mutating in place (see
+// docs/ARCHITECTURE.md). The one mutable member -- the lazily built
+// histogram-bin permutation table -- is touched only by invariant
+// distances on the histogram models, which the service paths never
+// call; callers that use those directly from several threads must
+// first warm it with a single invariant histogram distance.
 #ifndef VSIM_CORE_SIMILARITY_H_
 #define VSIM_CORE_SIMILARITY_H_
 

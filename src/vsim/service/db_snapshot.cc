@@ -1,0 +1,30 @@
+#include "vsim/service/db_snapshot.h"
+
+namespace vsim {
+
+std::shared_ptr<const DbSnapshot> DbSnapshot::Create(CadDatabase db,
+                                                     uint64_t generation,
+                                                     IoCostParams params) {
+  auto snapshot = std::shared_ptr<DbSnapshot>(new DbSnapshot());
+  auto owned_db = std::make_unique<const CadDatabase>(std::move(db));
+  snapshot->db_ = owned_db.get();
+  snapshot->owned_db_ = std::move(owned_db);
+  auto owned_engine =
+      std::make_unique<const QueryEngine>(snapshot->db_, params);
+  snapshot->engine_ = owned_engine.get();
+  snapshot->owned_engine_ = std::move(owned_engine);
+  snapshot->generation_ = generation;
+  return snapshot;
+}
+
+std::shared_ptr<const DbSnapshot> DbSnapshot::Wrap(const CadDatabase* db,
+                                                   const QueryEngine* engine,
+                                                   uint64_t generation) {
+  auto snapshot = std::shared_ptr<DbSnapshot>(new DbSnapshot());
+  snapshot->db_ = db;
+  snapshot->engine_ = engine;
+  snapshot->generation_ = generation;
+  return snapshot;
+}
+
+}  // namespace vsim

@@ -1,0 +1,76 @@
+// DbSnapshot: an immutable (database, index) pair tagged with a
+// monotonically increasing generation number -- the unit of publication
+// for online reindexing.
+//
+// The serving layer never mutates a database or an index in place.
+// Instead, a rebuild (new objects, different r/k, different cover
+// strategy) constructs a *fresh* CadDatabase + QueryEngine off-thread,
+// wraps them in a DbSnapshot with the next generation number, and
+// atomically swaps the service's current-snapshot pointer
+// (QueryService::SwapSnapshot). This is the classic RCU-via-shared_ptr
+// scheme:
+//
+//   - Readers (worker threads) acquire the current snapshot once per
+//     request and hold a shared_ptr reference for the request's whole
+//     execution, so a request observes exactly one generation
+//     end-to-end even if a swap lands mid-query.
+//   - The writer (one Rebuilder thread, or any external coordinator)
+//     publishes a new snapshot; the old one is destroyed when the last
+//     in-flight request drops its reference. No reader is ever blocked
+//     and nothing is freed under a reader.
+//
+// Thread-safety: a DbSnapshot is immutable after construction and safe
+// to share across any number of threads without synchronization (the
+// same snapshot-immutable contract the engine's const query methods
+// rely on; see docs/ARCHITECTURE.md "Snapshot lifecycle").
+#ifndef VSIM_SERVICE_DB_SNAPSHOT_H_
+#define VSIM_SERVICE_DB_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "vsim/core/query_engine.h"
+#include "vsim/core/similarity.h"
+
+namespace vsim {
+
+class DbSnapshot {
+ public:
+  // Owning constructor: moves the database in and builds the engine's
+  // index structures over it (the expensive step a Rebuilder runs
+  // off-thread). The returned snapshot is self-contained.
+  static std::shared_ptr<const DbSnapshot> Create(CadDatabase db,
+                                                  uint64_t generation,
+                                                  IoCostParams params = {});
+
+  // Non-owning wrapper for callers that manage db/engine lifetime
+  // themselves (the legacy QueryService constructor). `db` and `engine`
+  // must outlive every reference to the snapshot.
+  static std::shared_ptr<const DbSnapshot> Wrap(const CadDatabase* db,
+                                                const QueryEngine* engine,
+                                                uint64_t generation = 0);
+
+  const CadDatabase& db() const { return *db_; }
+  const QueryEngine& engine() const { return *engine_; }
+  uint64_t generation() const { return generation_; }
+
+  DbSnapshot(const DbSnapshot&) = delete;
+  DbSnapshot& operator=(const DbSnapshot&) = delete;
+
+ private:
+  DbSnapshot() = default;
+
+  // Owned storage (null for wrapped snapshots). The database lives in a
+  // unique_ptr so its address is stable for the engine that indexes it.
+  std::unique_ptr<const CadDatabase> owned_db_;
+  std::unique_ptr<const QueryEngine> owned_engine_;
+
+  const CadDatabase* db_ = nullptr;
+  const QueryEngine* engine_ = nullptr;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_SERVICE_DB_SNAPSHOT_H_

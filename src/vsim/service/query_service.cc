@@ -21,20 +21,45 @@ const char* QueryKindName(QueryKind kind) {
   return "unknown";
 }
 
-QueryService::QueryService(const CadDatabase* db, const QueryEngine* engine,
+QueryService::QueryService(std::shared_ptr<const DbSnapshot> snapshot,
                            QueryServiceOptions options)
-    : db_(db),
-      engine_(engine),
+    : snapshot_(std::move(snapshot)),
       options_(options),
       cache_(options.cache_bytes, options.cache_shards),
       pool_(options.num_threads) {}
+
+QueryService::QueryService(const CadDatabase* db, const QueryEngine* engine,
+                           QueryServiceOptions options)
+    : QueryService(DbSnapshot::Wrap(db, engine, 0), options) {}
 
 QueryService::~QueryService() = default;
 
 void QueryService::Pause() { pool_.Pause(); }
 void QueryService::Resume() { pool_.Resume(); }
 
-Status QueryService::Validate(const ServiceRequest& request) const {
+std::shared_ptr<const DbSnapshot> QueryService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+Status QueryService::SwapSnapshot(std::shared_ptr<const DbSnapshot> next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("cannot swap in a null snapshot");
+  }
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (next->generation() <= snapshot_->generation()) {
+    return Status::FailedPrecondition(
+        "snapshot generation " + std::to_string(next->generation()) +
+        " is not newer than current generation " +
+        std::to_string(snapshot_->generation()));
+  }
+  snapshot_ = std::move(next);
+  stats_.snapshot_swaps.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status QueryService::Validate(const ServiceRequest& request,
+                              const CadDatabase& db) const {
   const bool knn_kind = request.kind == QueryKind::kKnn ||
                         request.kind == QueryKind::kInvariantKnn;
   const bool invariant_kind = request.kind == QueryKind::kInvariantKnn ||
@@ -50,7 +75,7 @@ Status QueryService::Validate(const ServiceRequest& request) const {
         "invariant queries are not defined for the one-vector strategy");
   }
   if (request.object_id >= 0) {
-    if (request.object_id >= static_cast<int>(db_->size())) {
+    if (request.object_id >= static_cast<int>(db.size())) {
       return Status::OutOfRange("object_id " +
                                 std::to_string(request.object_id) +
                                 " out of range");
@@ -79,13 +104,15 @@ Status QueryService::Validate(const ServiceRequest& request) const {
 }
 
 ResultCacheKey QueryService::MakeKey(const ServiceRequest& request,
-                                     const ObjectRepr& query) const {
+                                     const ObjectRepr& query,
+                                     uint64_t generation) const {
   const bool knn_kind = request.kind == QueryKind::kKnn ||
                         request.kind == QueryKind::kInvariantKnn;
   const bool invariant_kind = request.kind == QueryKind::kInvariantKnn ||
                               request.kind == QueryKind::kInvariantRange;
   ResultCacheKey key;
   key.digest = DigestQueryObject(query);
+  key.generation = generation;
   key.kind = static_cast<uint8_t>(request.kind);
   key.strategy = static_cast<uint8_t>(request.strategy);
   key.invariance =
@@ -97,14 +124,22 @@ ResultCacheKey QueryService::MakeKey(const ServiceRequest& request,
 
 StatusOr<ServiceResponse> QueryService::RunRequest(
     const ServiceRequest& request) {
-  VSIM_RETURN_NOT_OK(Validate(request));
+  // One acquisition per request: everything below -- validation, cache
+  // key, query execution -- sees this snapshot and only this snapshot,
+  // even if SwapSnapshot publishes a newer one mid-query.
+  const std::shared_ptr<const DbSnapshot> snap = snapshot();
+  const CadDatabase& db = snap->db();
+  const QueryEngine& engine = snap->engine();
+
+  VSIM_RETURN_NOT_OK(Validate(request, db));
   const ObjectRepr& query =
-      request.object_id >= 0 ? db_->object(request.object_id) : request.query;
+      request.object_id >= 0 ? db.object(request.object_id) : request.query;
 
   ServiceResponse response;
+  response.generation = snap->generation();
   ResultCacheKey key;
   if (cache_.enabled()) {
-    key = MakeKey(request, query);
+    key = MakeKey(request, query, snap->generation());
     CachedResult hit;
     if (cache_.Lookup(key, &hit)) {
       response.neighbors = std::move(hit.neighbors);
@@ -117,21 +152,21 @@ StatusOr<ServiceResponse> QueryService::RunRequest(
   switch (request.kind) {
     case QueryKind::kKnn:
       response.neighbors =
-          engine_->Knn(request.strategy, query, request.k, &response.cost);
+          engine.Knn(request.strategy, query, request.k, &response.cost);
       break;
     case QueryKind::kRange:
       response.ids =
-          engine_->Range(request.strategy, query, request.eps, &response.cost);
+          engine.Range(request.strategy, query, request.eps, &response.cost);
       break;
     case QueryKind::kInvariantKnn:
       response.neighbors =
-          engine_->InvariantKnn(request.strategy, query, request.k,
-                                request.with_reflections, &response.cost);
+          engine.InvariantKnn(request.strategy, query, request.k,
+                              request.with_reflections, &response.cost);
       break;
     case QueryKind::kInvariantRange:
       response.ids =
-          engine_->InvariantRange(request.strategy, query, request.eps,
-                                  request.with_reflections, &response.cost);
+          engine.InvariantRange(request.strategy, query, request.eps,
+                                request.with_reflections, &response.cost);
       break;
   }
 

@@ -1,11 +1,20 @@
-// Thread-safe concurrent query service over a CadDatabase/QueryEngine
-// pair: the serving layer between the paper's single-query engine and a
-// front-end handling many simultaneous users.
+// Thread-safe concurrent query service over an atomically swappable
+// DbSnapshot (database + indexes + generation): the serving layer
+// between the paper's single-query engine and a front-end handling many
+// simultaneous users, kept online while the data set or the extraction
+// parameters (r, k, cover strategy) change underneath it.
 //
 //   - Requests are executed on a fixed-size ThreadPool; reads run truly
-//     concurrently because database + indexes are immutable after
-//     construction (the engine's query methods are const and touch no
-//     mutable state -- see DESIGN.md "Serving layer").
+//     concurrently because each snapshot's database + indexes are
+//     immutable after construction (the engine's query methods are
+//     const and touch no mutable state -- see docs/ARCHITECTURE.md).
+//   - Snapshot-swap reindex: the service holds a shared_ptr<const
+//     DbSnapshot> published under a mutex (RCU-style). A worker
+//     acquires the current snapshot once per request and keeps its
+//     reference for the request's whole execution, so every request
+//     observes exactly one generation end-to-end; SwapSnapshot()
+//     installs a rebuilt snapshot without draining in-flight queries
+//     (see Rebuilder for the off-thread construction half).
 //   - Admission control: at most `max_queue` requests may be waiting
 //     for a worker. Submissions past the bound are rejected immediately
 //     with kUnavailable instead of queueing unboundedly (backpressure
@@ -14,22 +23,28 @@
 //     fails fast with kDeadlineExceeded without occupying a worker for
 //     the query itself.
 //   - Results of refined queries are memoized in a sharded LRU
-//     ResultCache, so repeated queries skip the Hungarian refinement.
+//     ResultCache. Keys carry the snapshot's generation, so a swap
+//     logically invalidates every older entry without a stop-the-world
+//     flush: stale entries simply stop matching and age out via LRU.
 //
-// The engine must NOT have a disk-backed store attached
-// (QueryEngine::AttachStore): buffer-pool fetches mutate shared LRU
-// state and are not thread-safe. The service checks this invariant only
-// by contract (the store pointer is private); callers own it.
+// Thread-safety: all public methods are safe to call concurrently from
+// any thread. The engine behind a snapshot must NOT have a disk-backed
+// store attached (QueryEngine::AttachStore): buffer-pool fetches mutate
+// shared LRU state and are not thread-safe. The service checks this
+// invariant only by contract (the store pointer is private); callers
+// own it.
 #ifndef VSIM_SERVICE_QUERY_SERVICE_H_
 #define VSIM_SERVICE_QUERY_SERVICE_H_
 
 #include <chrono>
 #include <future>
 #include <memory>
+#include <mutex>
 
 #include "vsim/common/status.h"
 #include "vsim/core/query_engine.h"
 #include "vsim/core/similarity.h"
+#include "vsim/service/db_snapshot.h"
 #include "vsim/service/result_cache.h"
 #include "vsim/service/service_stats.h"
 #include "vsim/service/thread_pool.h"
@@ -45,12 +60,16 @@ enum class QueryKind {
 
 const char* QueryKindName(QueryKind kind);
 
+// A request is a plain value: safe to copy between threads, no
+// references into service state.
 struct ServiceRequest {
   QueryKind kind = QueryKind::kKnn;
   QueryStrategy strategy = QueryStrategy::kVectorSetFilter;
 
   // Query object: a stored id (>= 0), or an external representation in
-  // `query` when object_id < 0.
+  // `query` when object_id < 0. Stored ids are validated against the
+  // snapshot the request executes on -- after a swap that shrank the
+  // database, a previously valid id can fail with kOutOfRange.
   int object_id = -1;
   ObjectRepr query;
 
@@ -69,6 +88,10 @@ struct ServiceResponse {
   QueryCost cost;                   // zero for cache hits
   bool cache_hit = false;
   double latency_seconds = 0.0;  // submission -> completion
+  // Generation of the snapshot that produced (or cached) this result.
+  // Always a generation that was current at some point between the
+  // request's admission and its completion.
+  uint64_t generation = 0;
 };
 
 struct QueryServiceOptions {
@@ -89,9 +112,20 @@ struct QueryServiceOptions {
 
 class QueryService {
  public:
-  // `db` and `engine` must outlive the service and are never mutated.
+  // Serves `snapshot` (which the service holds a reference to until the
+  // first swap; an owning snapshot from DbSnapshot::Create keeps its
+  // database and engine alive for exactly as long as needed).
+  explicit QueryService(std::shared_ptr<const DbSnapshot> snapshot,
+                        QueryServiceOptions options = {});
+
+  // Legacy convenience: wraps `db` and `engine` in a non-owning
+  // generation-0 snapshot. They must outlive the service (and any
+  // in-flight request) and are never mutated.
   QueryService(const CadDatabase* db, const QueryEngine* engine,
                QueryServiceOptions options = {});
+
+  // Blocks until every queued and in-flight request has completed (the
+  // pool drains; all futures returned by Submit resolve first).
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -105,6 +139,21 @@ class QueryService {
 
   // Synchronous convenience: submit + wait.
   StatusOr<ServiceResponse> Execute(ServiceRequest request);
+
+  // Publishes a rebuilt snapshot. Returns kFailedPrecondition unless
+  // `next->generation()` is strictly greater than the current
+  // generation (monotonicity is what lets cache keys double as
+  // invalidation tags). In-flight requests keep the snapshot they
+  // already acquired; new requests see `next`. The displaced snapshot
+  // is destroyed when its last in-flight request finishes. Safe to call
+  // concurrently with Submit/Execute; concurrent swappers serialize on
+  // the snapshot mutex.
+  Status SwapSnapshot(std::shared_ptr<const DbSnapshot> next);
+
+  // The snapshot new requests would execute on right now (the reference
+  // keeps it alive even across a subsequent swap).
+  std::shared_ptr<const DbSnapshot> snapshot() const;
+  uint64_t generation() const { return snapshot()->generation(); }
 
   // Quiesce the workers (in-flight tasks finish, queued ones wait).
   // Queued requests can still time out while paused.
@@ -124,12 +173,18 @@ class QueryService {
   using Clock = std::chrono::steady_clock;
 
   StatusOr<ServiceResponse> RunRequest(const ServiceRequest& request);
-  Status Validate(const ServiceRequest& request) const;
+  Status Validate(const ServiceRequest& request,
+                  const CadDatabase& db) const;
   ResultCacheKey MakeKey(const ServiceRequest& request,
-                         const ObjectRepr& query) const;
+                         const ObjectRepr& query,
+                         uint64_t generation) const;
 
-  const CadDatabase* db_;
-  const QueryEngine* engine_;
+  // RCU publication point: workers copy the shared_ptr under the mutex
+  // (cheap refcount bump), swappers replace it. The mutex is held only
+  // for the pointer copy, never during query execution.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const DbSnapshot> snapshot_;
+
   QueryServiceOptions options_;
   ResultCache cache_;
   ServiceStats stats_;

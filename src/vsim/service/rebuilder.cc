@@ -1,0 +1,96 @@
+#include "vsim/service/rebuilder.h"
+
+#include <utility>
+
+#include "vsim/common/stopwatch.h"
+
+namespace vsim {
+
+Rebuilder::Rebuilder(QueryService* service, DatabaseFactory factory,
+                     IoCostParams params)
+    : service_(service),
+      factory_(std::move(factory)),
+      params_(params),
+      worker_([this]() { WorkerLoop(); }) {}
+
+Rebuilder::~Rebuilder() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  // Triggers that never ran still need their futures resolved.
+  for (std::promise<Status>& promise : pending_) {
+    promise.set_value(
+        Status::Unavailable("rebuilder destroyed before rebuild ran"));
+  }
+}
+
+std::future<Status> Rebuilder::Trigger() {
+  std::future<Status> result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      std::promise<Status> rejected;
+      rejected.set_value(Status::Unavailable("rebuilder is shutting down"));
+      return rejected.get_future();
+    }
+    pending_.emplace_back();
+    result = pending_.back().get_future();
+    ++stats_.triggered;
+  }
+  cv_.notify_one();
+  return result;
+}
+
+void Rebuilder::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this]() { return pending_.empty() && !busy_; });
+}
+
+Rebuilder::Stats Rebuilder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status Rebuilder::RebuildOnce() {
+  Stopwatch watch;
+  StatusOr<CadDatabase> db = factory_();
+  if (!db.ok()) return db.status();
+  // Generation assignment: only this thread publishes, so current + 1
+  // is free of races and keeps the sequence strictly monotonic.
+  const uint64_t next_generation = service_->generation() + 1;
+  std::shared_ptr<const DbSnapshot> snapshot =
+      DbSnapshot::Create(std::move(db).value(), next_generation, params_);
+  const Status published = service_->SwapSnapshot(std::move(snapshot));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.last_build_seconds = watch.ElapsedSeconds();
+  }
+  return published;
+}
+
+void Rebuilder::WorkerLoop() {
+  for (;;) {
+    std::promise<Status> promise;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return !pending_.empty() || stop_; });
+      if (stop_) return;  // unrun promises resolve in the destructor
+      promise = std::move(pending_.front());
+      pending_.pop_front();
+      busy_ = true;
+    }
+    const Status status = RebuildOnce();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+      status.ok() ? ++stats_.published : ++stats_.failed;
+    }
+    promise.set_value(status);
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace vsim

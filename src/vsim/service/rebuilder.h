@@ -1,0 +1,91 @@
+// Rebuilder: the writer half of the snapshot-swap reindex scheme. A
+// single background thread constructs fresh DbSnapshots (database +
+// index build, the expensive part) completely off the serving path and
+// publishes each one into a QueryService via SwapSnapshot, with a
+// monotonically increasing generation number.
+//
+// The caller supplies a DatabaseFactory -- "how to produce the next
+// database" (re-extract a data set with new r/k, load new objects from
+// disk, or just copy the current one to rebuild indexes). The factory
+// runs on the rebuilder thread only; it must not touch the service.
+//
+// Usage:
+//   Rebuilder rebuilder(&service, [&] { return BuildNewDatabase(); });
+//   std::future<Status> done = rebuilder.Trigger();  // async
+//   ... keep serving; the swap lands when the build finishes ...
+//   done.get();  // OK once published (or the factory's error)
+//
+// Thread-safety: Trigger() and stats() are safe from any thread.
+// Triggers queue FIFO; each performs one full build + publish. The
+// destructor stops after the in-progress rebuild (queued, not-yet-run
+// triggers resolve with kUnavailable).
+#ifndef VSIM_SERVICE_REBUILDER_H_
+#define VSIM_SERVICE_REBUILDER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "vsim/common/status.h"
+#include "vsim/service/db_snapshot.h"
+#include "vsim/service/query_service.h"
+
+namespace vsim {
+
+class Rebuilder {
+ public:
+  using DatabaseFactory = std::function<StatusOr<CadDatabase>()>;
+
+  // `service` must outlive the rebuilder. `params` configures the I/O
+  // cost model of each rebuilt snapshot's engine.
+  Rebuilder(QueryService* service, DatabaseFactory factory,
+            IoCostParams params = {});
+  ~Rebuilder();
+
+  Rebuilder(const Rebuilder&) = delete;
+  Rebuilder& operator=(const Rebuilder&) = delete;
+
+  // Enqueues one rebuild. The future resolves OK after the new snapshot
+  // has been published to the service, or with the factory's / swap's
+  // error. Triggers are never coalesced: N triggers = N rebuilds.
+  std::future<Status> Trigger();
+
+  // Blocks until every rebuild triggered so far has finished.
+  void Drain();
+
+  struct Stats {
+    uint64_t triggered = 0;
+    uint64_t published = 0;
+    uint64_t failed = 0;
+    double last_build_seconds = 0.0;  // factory + index construction
+  };
+  Stats stats() const;
+
+ private:
+  void WorkerLoop();
+  // Runs one rebuild; returns the publish status.
+  Status RebuildOnce();
+
+  QueryService* service_;
+  DatabaseFactory factory_;
+  IoCostParams params_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::promise<Status>> pending_;
+  bool busy_ = false;
+  bool stop_ = false;
+  Stats stats_;
+
+  std::thread worker_;  // last: started after all state exists
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_SERVICE_REBUILDER_H_

@@ -5,10 +5,20 @@
 // the cache without touching the engine at all.
 //
 // Keys combine a 64-bit digest of the query's feature payload with the
-// full query shape (kind, strategy, k / eps, invariance flags); two
-// requests collide only if every field including the digest matches.
+// full query shape (kind, strategy, k / eps, invariance flags) AND the
+// database snapshot's generation; two requests collide only if every
+// field including the digest matches. Tagging keys with the generation
+// is what makes snapshot swaps safe without a stop-the-world flush: a
+// result computed against generation g can only ever be replayed to a
+// request that also executed on generation g, so entries from a
+// displaced snapshot simply stop matching and age out via LRU. (Before
+// generation tagging, rebuilding the database behind the service
+// silently served stale hits -- see SnapshotSwapTest.)
+//
+// Thread-safety: all public methods are safe to call concurrently.
 // Shards are independent mutex + LRU-list + hash-map triples, so
-// concurrent lookups on different shards never contend.
+// concurrent lookups on different shards never contend; statistics
+// counters are relaxed atomics.
 #ifndef VSIM_SERVICE_RESULT_CACHE_H_
 #define VSIM_SERVICE_RESULT_CACHE_H_
 
@@ -34,6 +44,7 @@ uint64_t DigestQueryObject(const ObjectRepr& query);
 
 struct ResultCacheKey {
   uint64_t digest = 0;
+  uint64_t generation = 0;  // DbSnapshot generation the result came from
   uint8_t kind = 0;        // QueryKind underlying value
   uint8_t strategy = 0;    // QueryStrategy underlying value
   uint8_t invariance = 0;  // 0 none, 1 rotations, 2 rotations+reflections
@@ -46,6 +57,7 @@ struct ResultCacheKey {
 struct ResultCacheKeyHash {
   size_t operator()(const ResultCacheKey& key) const {
     uint64_t h = key.digest;
+    h = Fnv1aHash(&key.generation, sizeof(key.generation), h);
     const uint32_t shape = (static_cast<uint32_t>(key.kind) << 16) |
                            (static_cast<uint32_t>(key.strategy) << 8) |
                            key.invariance;

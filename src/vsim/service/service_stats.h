@@ -83,6 +83,7 @@ struct ServiceStatsSnapshot {
   uint64_t rejected = 0;   // admission-queue backpressure
   uint64_t timed_out = 0;  // deadline passed before execution
   uint64_t failed = 0;     // invalid requests etc.
+  uint64_t snapshot_swaps = 0;  // reindex publications (SwapSnapshot)
   double latency_mean_s = 0.0;
   double latency_p50_s = 0.0;
   double latency_p95_s = 0.0;
@@ -90,6 +91,8 @@ struct ServiceStatsSnapshot {
   ResultCacheStats cache;
 };
 
+// Thread-safety: every member is a relaxed atomic (or the lock-free
+// histogram above); any thread may record, any thread may snapshot.
 class ServiceStats {
  public:
   std::atomic<uint64_t> submitted{0};
@@ -97,6 +100,7 @@ class ServiceStats {
   std::atomic<uint64_t> rejected{0};
   std::atomic<uint64_t> timed_out{0};
   std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> snapshot_swaps{0};
   LatencyHistogram latency;
 
   ServiceStatsSnapshot Snapshot(const ResultCacheStats& cache) const {
@@ -106,6 +110,7 @@ class ServiceStats {
     s.rejected = rejected.load(std::memory_order_relaxed);
     s.timed_out = timed_out.load(std::memory_order_relaxed);
     s.failed = failed.load(std::memory_order_relaxed);
+    s.snapshot_swaps = snapshot_swaps.load(std::memory_order_relaxed);
     s.latency_mean_s = latency.MeanSeconds();
     s.latency_p50_s = latency.PercentileSeconds(0.50);
     s.latency_p95_s = latency.PercentileSeconds(0.95);
@@ -123,6 +128,7 @@ inline void PrintServiceStats(const ServiceStatsSnapshot& s,
   table.AddRow({"rejected (queue full)", std::to_string(s.rejected)});
   table.AddRow({"timed out (deadline)", std::to_string(s.timed_out)});
   table.AddRow({"failed", std::to_string(s.failed)});
+  table.AddRow({"snapshot swaps", std::to_string(s.snapshot_swaps)});
   table.AddRow({"cache hits", std::to_string(s.cache.hits)});
   table.AddRow({"cache misses", std::to_string(s.cache.misses)});
   table.AddRow({"cache evictions", std::to_string(s.cache.evictions)});

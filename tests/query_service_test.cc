@@ -243,6 +243,99 @@ TEST_F(QueryServiceTest, ValidationErrors) {
   EXPECT_EQ(service.Stats().failed, 4u);
 }
 
+// Destruction drains: every future returned by Submit resolves, even
+// when the service dies with requests still queued behind in-flight
+// ones. (ThreadPool is the last member, so it drains first while the
+// cache/stats the tasks touch are still alive.)
+TEST_F(QueryServiceTest, DestructionDrainsQueuedAndInFlightRequests) {
+  std::vector<std::future<StatusOr<ServiceResponse>>> futures;
+  {
+    QueryServiceOptions options;
+    options.num_threads = 2;
+    options.cache_bytes = 0;  // every request does real work
+    QueryService service(db_, engine_, options);
+    for (int q = 0; q < 24; ++q) {
+      ServiceRequest request;
+      request.object_id = q % static_cast<int>(db_->size());
+      request.k = 3;
+      auto submitted = service.Submit(request);
+      ASSERT_TRUE(submitted.ok());
+      futures.push_back(std::move(submitted).value());
+    }
+    // Destructor runs here with most requests still queued.
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_TRUE(f.get().ok());
+  }
+}
+
+// Same, but with the pool paused: nothing is in flight, everything is
+// queued. The pool un-pauses on destruction and still drains.
+TEST_F(QueryServiceTest, DestructionDrainsWhilePaused) {
+  std::vector<std::future<StatusOr<ServiceResponse>>> futures;
+  {
+    QueryServiceOptions options;
+    options.num_threads = 1;
+    QueryService service(db_, engine_, options);
+    service.Pause();
+    for (int q = 0; q < 8; ++q) {
+      ServiceRequest request;
+      request.object_id = q;
+      request.k = 2;
+      auto submitted = service.Submit(request);
+      ASSERT_TRUE(submitted.ok());
+      futures.push_back(std::move(submitted).value());
+    }
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_TRUE(f.get().ok());
+  }
+}
+
+// Deadline expiry racing completion: with timeouts of the same order as
+// execution latency, every request must resolve to exactly one of
+// {completed, deadline-exceeded} -- no hangs, no double counting, and
+// the stats ledger adds up.
+TEST_F(QueryServiceTest, DeadlineExpiryRacesCompletionCleanly) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.cache_bytes = 0;
+  QueryService service(db_, engine_, options);
+  constexpr int kRequests = 120;
+  std::vector<std::future<StatusOr<ServiceResponse>>> futures;
+  futures.reserve(kRequests);
+  for (int q = 0; q < kRequests; ++q) {
+    ServiceRequest request;
+    request.object_id = q % static_cast<int>(db_->size());
+    request.k = 3;
+    // Sweep timeouts through the actual latency scale (tens of us to
+    // ~ms) so some expire in the queue and some complete first.
+    request.timeout_seconds = 1e-5 * (1 + q % 200);
+    auto submitted = service.Submit(request);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  uint64_t completed = 0, timed_out = 0;
+  for (auto& f : futures) {
+    const StatusOr<ServiceResponse> response = f.get();
+    if (response.ok()) {
+      ++completed;
+      EXPECT_GT(response->latency_seconds, 0.0);
+    } else {
+      ASSERT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+      ++timed_out;
+    }
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(completed + timed_out, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(stats.completed, completed);
+  EXPECT_EQ(stats.timed_out, timed_out);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kRequests));
+}
+
 TEST_F(QueryServiceTest, StatsSnapshotAndPrint) {
   QueryService service(db_, engine_, {});
   ServiceRequest request;

@@ -50,6 +50,26 @@ TEST(ResultCacheTest, KeyFieldsDisambiguate) {
   EXPECT_TRUE(cache.Lookup(Key(1, 10), &out));
 }
 
+// Generation is part of the key: an entry inserted against snapshot
+// generation g must never satisfy a lookup from generation g' != g.
+// This is the mechanism that makes a snapshot swap a logical cache
+// flush (see SnapshotSwapTest for the end-to-end regression).
+TEST(ResultCacheTest, GenerationDisambiguates) {
+  ResultCache cache(1 << 20, 1);
+  ResultCacheKey gen0 = Key(1);
+  gen0.generation = 0;
+  cache.Insert(gen0, Value(7));
+  ResultCacheKey gen1 = gen0;
+  gen1.generation = 1;
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup(gen1, &out));
+  cache.Insert(gen1, Value(8));
+  ASSERT_TRUE(cache.Lookup(gen0, &out));
+  EXPECT_EQ(out.neighbors[0].id, 7);
+  ASSERT_TRUE(cache.Lookup(gen1, &out));
+  EXPECT_EQ(out.neighbors[0].id, 8);
+}
+
 TEST(ResultCacheTest, DeterministicLruEviction) {
   // Single shard so the LRU order is global and exact. Each entry is
   // ~sizeof(CachedResult) + 1 Neighbor; budget for about 4 of them.

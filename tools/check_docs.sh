@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Documentation lint, run as a CTest (see tools/CMakeLists.txt):
+#
+#   1. Every relative markdown link target in the repo's *.md files must
+#      exist on disk (anchors stripped; http(s)/mailto/# links skipped).
+#   2. README.md and DESIGN.md must each mention every src/vsim/*
+#      subdirectory, so the architecture inventory can't silently rot
+#      when a module is added.
+#
+# Exits nonzero with one line per problem.
+set -u
+
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. dead relative links ------------------------------------------
+# Markdown files under version-controlled directories (skip build trees
+# and third-party/related checkouts).
+md_files=$(find . -name '*.md' \
+    -not -path './build*' -not -path './.git/*' | sort)
+
+for file in $md_files; do
+  dir=$(dirname "$file")
+  # Pull out (target) of every [text](target); tolerate several links
+  # per line. grep -o keeps it dependency-free.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*|'') continue ;;
+    esac
+    path="${target%%#*}"            # strip in-page anchor
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "DEAD LINK: $file -> $target"
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$file" 2>/dev/null \
+           | sed 's/^\[[^]]*\](//; s/)$//')
+done
+
+# --- 2. module coverage in README.md and DESIGN.md -------------------
+for doc in README.md DESIGN.md; do
+  for module in src/vsim/*/; do
+    name=$(basename "$module")
+    if ! grep -q "$name" "$doc"; then
+      echo "MISSING MODULE: $doc does not mention src/vsim/$name"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: all relative links resolve; README.md and DESIGN.md cover every src/vsim module"

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Builds the tree with ThreadSanitizer (VSIM_SANITIZE=thread) and runs
 # the concurrency-sensitive suites: the query-service stress test, the
-# thread pool, the sharded result cache, and the parallel extraction
-# path. Any data race aborts with a non-zero exit.
+# snapshot-swap-under-load stress suite (online reindex: 8 clients vs
+# concurrent SwapSnapshot/Rebuilder publications), the thread pool, the
+# sharded result cache, and the parallel extraction path. Any data race
+# aborts with a non-zero exit.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -16,6 +18,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target vsim_tests
 
 TSAN_OPTIONS="halt_on_error=1" \
     "$BUILD_DIR/tests/vsim_tests" \
-    --gtest_filter='QueryService*:ThreadPool*:ResultCache*:ParallelExtraction*'
+    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*'
 
-echo "TSan: service stress + concurrency suites clean"
+echo "TSan: service stress + snapshot-swap + concurrency suites clean"

@@ -18,14 +18,27 @@
 //   vsim batch --db parts.vsimdb --queries 500 --threads 8 --cache-mb 32
 //       drives the concurrent QueryService with a mixed k-NN/range
 //       workload (--repeat-frac F re-issues earlier queries to hit the
-//       result cache) and prints the serving stats table
+//       result cache) and prints the serving stats table;
+//       --watch-rebuild N additionally performs N online snapshot swaps
+//       (background index rebuilds) spread across the workload
+//   vsim reindex --dataset car --count 200 --queries 800 --swaps 3
+//                [--covers K2] [--resolution R2] [--out new.vsimdb]
+//       online reindex demonstration: serves a concurrent workload
+//       while a background Rebuilder re-extracts the data set with the
+//       new parameters (or rebuilds the indexes when none are given)
+//       and atomically swaps each snapshot in; verifies no response
+//       crossed generations and prints per-generation counts
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "vsim/cluster/cluster_quality.h"
@@ -37,6 +50,7 @@
 #include "vsim/data/dataset.h"
 #include "vsim/geometry/mesh_io.h"
 #include "vsim/service/query_service.h"
+#include "vsim/service/rebuilder.h"
 
 namespace vsim {
 namespace {
@@ -440,7 +454,7 @@ int CmdBatch(const Flags& flags) {
                        {"db", "dataset", "count", "queries", "threads",
                         "cache-mb", "repeat-frac", "k", "strategy", "seed",
                         "timeout-ms", "max-queue", "simulate-io",
-                        "io-page-us"});
+                        "io-page-us", "watch-rebuild"});
   const int queries = flags.GetInt("queries", 500);
   const int threads = flags.GetInt("threads", 0);
   const int cache_mb = flags.GetInt("cache-mb", 32);
@@ -488,7 +502,7 @@ int CmdBatch(const Flags& flags) {
   if (!db.ok()) return Fail(db.status());
   if (db->size() == 0) return Fail(Status::FailedPrecondition("empty database"));
 
-  QueryEngine engine(&*db);
+  const size_t db_size = db->size();
   QueryServiceOptions sopts;
   sopts.num_threads = threads;
   sopts.cache_bytes = static_cast<size_t>(cache_mb) << 20;
@@ -500,16 +514,29 @@ int CmdBatch(const Flags& flags) {
   sopts.io_params.seconds_per_page_access =
       flags.GetDouble("io-page-us", 100.0) * 1e-6;
   sopts.io_params.seconds_per_byte = 0.0;
-  QueryService service(&*db, &engine, sopts);
+  // The snapshot owns the database + engine so --watch-rebuild can swap
+  // in rebuilt ones mid-workload.
+  QueryService service(DbSnapshot::Create(std::move(db).value(), 0), sopts);
 
   // eps for the range slice of the mix: the 10-NN radius of object 0,
   // so ranges return a sensible handful of parts.
   double base_eps = 1.0;
   {
     const std::vector<Neighbor> nn =
-        engine.Knn(QueryStrategy::kVectorSetScan, 0, 10);
+        service.snapshot()->engine().Knn(QueryStrategy::kVectorSetScan, 0, 10);
     if (!nn.empty()) base_eps = std::max(nn.back().distance, 1e-6);
   }
+
+  // --watch-rebuild N: a background Rebuilder copies the current
+  // database and rebuilds its indexes N times during the workload, each
+  // publish an atomic snapshot swap observed by the admission path.
+  const int rebuilds = flags.GetInt("watch-rebuild", 0);
+  Rebuilder rebuilder(&service, [&service]() -> StatusOr<CadDatabase> {
+    return CadDatabase(service.snapshot()->db());
+  });
+  std::vector<std::future<Status>> rebuild_done;
+  const int rebuild_every =
+      rebuilds > 0 ? std::max(1, queries / (rebuilds + 1)) : 0;
 
   Rng rng(seed ^ 0xba7c4ULL);
   std::vector<ServiceRequest> history;
@@ -519,11 +546,15 @@ int CmdBatch(const Flags& flags) {
 
   Stopwatch watch;
   for (int q = 0; q < queries; ++q) {
+    if (rebuild_every > 0 && q > 0 && q % rebuild_every == 0 &&
+        static_cast<int>(rebuild_done.size()) < rebuilds) {
+      rebuild_done.push_back(rebuilder.Trigger());
+    }
     ServiceRequest req;
     if (!history.empty() && rng.NextDouble() < repeat_frac) {
       req = history[rng.NextBounded(history.size())];
     } else {
-      req.object_id = static_cast<int>(rng.NextBounded(db->size()));
+      req.object_id = static_cast<int>(rng.NextBounded(db_size));
       req.strategy = strategy;
       req.k = k;
       const double roll = rng.NextDouble();
@@ -550,19 +581,194 @@ int CmdBatch(const Flags& flags) {
   }
   const double elapsed = watch.ElapsedSeconds();
 
+  for (auto& f : rebuild_done) {
+    const Status st = f.get();
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: rebuild failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+
   std::printf("batch: %d requests (%zu completed, %zu errored) on %d "
               "worker threads in %.2f s -> %.0f queries/s\n",
               queries, ok, errors, service.num_threads(), elapsed,
               elapsed > 0 ? static_cast<double>(ok) / elapsed : 0.0);
+  if (rebuilds > 0) {
+    const Rebuilder::Stats rstats = rebuilder.stats();
+    std::printf("rebuilds: %llu published, %llu failed, last build "
+                "%.2f s; final generation %llu\n",
+                static_cast<unsigned long long>(rstats.published),
+                static_cast<unsigned long long>(rstats.failed),
+                rstats.last_build_seconds,
+                static_cast<unsigned long long>(service.generation()));
+  }
   service.PrintStats();
   return 0;
+}
+
+// --- reindex ----------------------------------------------------------
+
+// Online reindex demonstration: serves a concurrent k-NN workload while
+// a background Rebuilder constructs --swaps fresh snapshots (with the
+// new --covers/--resolution when given, otherwise an index-only
+// rebuild) and atomically publishes each one. Every response is checked
+// against the snapshot-consistency contract: its generation must lie in
+// the window [generation at admission, generation at completion].
+int CmdReindex(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "reindex",
+                       {"db", "dataset", "count", "queries", "threads",
+                        "cache-mb", "k", "seed", "swaps", "covers",
+                        "resolution", "out"});
+  const int queries = flags.GetInt("queries", 800);
+  const int threads = flags.GetInt("threads", 0);
+  const int k = flags.GetInt("k", 10);
+  const int swaps = flags.GetInt("swaps", 3);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (swaps < 1) return Fail(Status::InvalidArgument("--swaps must be >= 1"));
+
+  // Initial database: --db FILE, or a synthetic data set. The synthetic
+  // path retains the Dataset so rebuilds can re-extract with different
+  // parameters; the --db path is restricted to index-only rebuilds
+  // (saved databases carry representations, not meshes).
+  StatusOr<CadDatabase> db = Status::Internal("unset");
+  Dataset ds;
+  bool have_dataset = false;
+  if (flags.Has("db")) {
+    db = CadDatabase::Load(flags.Get("db", ""));
+  } else {
+    const std::string dataset = flags.Get("dataset", "car");
+    if (dataset != "car" && dataset != "aircraft") {
+      return Fail(Status::InvalidArgument(
+          "unknown --dataset '" + dataset + "' (valid: car aircraft)"));
+    }
+    const size_t count = static_cast<size_t>(flags.GetInt("count", 200));
+    ds = dataset == "aircraft" ? MakeAircraftDataset(count, seed)
+                               : MakeCarDataset(count, seed);
+    ExtractionOptions opt;
+    opt.extract_histograms = false;
+    std::printf("extracting %zu synthetic objects...\n", ds.size());
+    db = CadDatabase::FromDataset(ds, opt, threads);
+    have_dataset = true;
+  }
+  if (!db.ok()) return Fail(db.status());
+  if (db->size() == 0) {
+    return Fail(Status::FailedPrecondition("empty database"));
+  }
+  const size_t db_size = db->size();
+
+  ExtractionOptions rebuild_opt = db->options();
+  const bool reextract =
+      flags.Has("covers") || flags.Has("resolution");
+  rebuild_opt.num_covers = flags.GetInt("covers", rebuild_opt.num_covers);
+  rebuild_opt.cover_resolution =
+      flags.GetInt("resolution", rebuild_opt.cover_resolution);
+  if (reextract && !have_dataset) {
+    return Fail(Status::FailedPrecondition(
+        "--covers/--resolution need the original meshes; use --dataset "
+        "(a saved --db carries extracted representations only)"));
+  }
+
+  QueryServiceOptions sopts;
+  sopts.num_threads = threads;
+  sopts.cache_bytes = static_cast<size_t>(flags.GetInt("cache-mb", 32)) << 20;
+  QueryService service(DbSnapshot::Create(std::move(db).value(), 0), sopts);
+  Rebuilder rebuilder(
+      &service, [&]() -> StatusOr<CadDatabase> {
+        if (reextract) {
+          return CadDatabase::FromDataset(ds, rebuild_opt, threads);
+        }
+        return CadDatabase(service.snapshot()->db());
+      });
+
+  // Client fan-out: 8 closed-loop clients issue k-NN queries and check
+  // the generation window invariant on every response. They keep
+  // serving until every swap has been published AND at least --queries
+  // requests went through, so each swap demonstrably lands mid-load.
+  constexpr int kClients = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<int> issued{0};
+  std::atomic<size_t> wrong_generation{0};
+  std::atomic<size_t> failed{0};
+  std::vector<uint64_t> responses_per_generation(
+      static_cast<size_t>(swaps) + 1, 0);
+  std::mutex gen_mu;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  Stopwatch watch;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      Rng rng(seed ^ (0x9e3779b9ULL * (c + 1)));
+      while (!stop.load(std::memory_order_relaxed)) {
+        issued.fetch_add(1);
+        ServiceRequest req;
+        req.object_id = static_cast<int>(rng.NextBounded(db_size));
+        req.k = k;
+        const uint64_t admission_gen = service.generation();
+        StatusOr<ServiceResponse> response = service.Execute(req);
+        const uint64_t completion_gen = service.generation();
+        if (!response.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        if (response->generation < admission_gen ||
+            response->generation > completion_gen) {
+          wrong_generation.fetch_add(1);
+        }
+        std::lock_guard<std::mutex> lock(gen_mu);
+        if (response->generation < responses_per_generation.size()) {
+          ++responses_per_generation[response->generation];
+        }
+      }
+    });
+  }
+
+  // Publish the swaps spread across the workload: wait for a slice of
+  // the queries, then trigger and wait for the publication (clients
+  // keep hammering the service throughout).
+  for (int s = 1; s <= swaps; ++s) {
+    const int threshold = queries * s / (swaps + 1);
+    while (issued.load() < threshold) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const Status st = rebuilder.Trigger().get();
+    if (!st.ok()) std::fprintf(stderr, "rebuild: %s\n", st.ToString().c_str());
+  }
+  while (issued.load() < queries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& client : clients) client.join();
+  const double elapsed = watch.ElapsedSeconds();
+
+  const Rebuilder::Stats rstats = rebuilder.stats();
+  std::printf("reindex: %d queries from %d clients in %.2f s with %llu "
+              "snapshot swaps (%s rebuilds, last %.2f s)\n",
+              issued.load(), kClients, elapsed,
+              static_cast<unsigned long long>(rstats.published),
+              reextract ? "re-extraction" : "index-only",
+              rstats.last_build_seconds);
+  for (size_t g = 0; g < responses_per_generation.size(); ++g) {
+    if (responses_per_generation[g] == 0) continue;
+    std::printf("  generation %zu served %llu responses\n", g,
+                static_cast<unsigned long long>(responses_per_generation[g]));
+  }
+  std::printf("generation-window violations: %zu, failed: %zu\n",
+              wrong_generation.load(), failed.load());
+  service.PrintStats();
+  if (flags.Has("out")) {
+    const Status st = service.snapshot()->db().Save(flags.Get("out", ""));
+    if (!st.ok()) return Fail(st);
+    std::printf("final-generation database saved to %s\n",
+                flags.Get("out", "").c_str());
+  }
+  return wrong_generation.load() == 0 ? 0 : 1;
 }
 
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: vsim <generate|build|info|query|classify|optics|"
-                 "batch> [flags]\n");
+                 "batch|reindex> [flags]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -574,6 +780,7 @@ int Run(int argc, char** argv) {
   if (cmd == "classify") return CmdClassify(flags);
   if (cmd == "optics") return CmdOptics(flags);
   if (cmd == "batch") return CmdBatch(flags);
+  if (cmd == "reindex") return CmdReindex(flags);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;
 }
