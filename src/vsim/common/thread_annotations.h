@@ -1,0 +1,212 @@
+// Clang thread-safety annotations plus annotated mutex/condvar wrappers
+// over the std primitives: the compile-time half of the repo's
+// concurrency story. Under Clang with -Wthread-safety (the
+// VSIM_STATIC_ANALYSIS=ON build mode, enforced by
+// tools/check_static.sh), every GUARDED_BY member access outside its
+// mutex and every REQUIRES violation is a hard compile error; under
+// other compilers the macros expand to nothing and the wrappers are
+// zero-cost shims over std::mutex / std::condition_variable.
+//
+// Conventions for new code (see docs/ARCHITECTURE.md "Static analysis
+// & lock discipline"):
+//   - Protect shared members with a vsim::Mutex and tag each one
+//     GUARDED_BY(mu_). Members that are immutable after construction
+//     (or confined to one thread) get a comment saying so instead.
+//   - Lock with vsim::MutexLock (scoped) in function bodies; annotate
+//     private helpers that expect the lock held with REQUIRES(mu_).
+//   - Public methods that take a lock internally are annotated
+//     EXCLUDES(mu_) so callers cannot deadlock by re-entering.
+//   - Condition waits use CondVar::Wait(&mu_) inside an explicit
+//     `while (!predicate)` loop -- the analysis can then see that the
+//     predicate reads happen under the lock (lambda predicates passed
+//     into std::condition_variable::wait cannot be annotated).
+#ifndef VSIM_COMMON_THREAD_ANNOTATIONS_H_
+#define VSIM_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+// -- Attribute macros -------------------------------------------------
+// Names and semantics follow the Clang thread-safety-analysis docs
+// (and the de-facto abseil spelling). Each expands to the underlying
+// __attribute__ only when the compiler supports it.
+#if defined(__clang__)
+#define VSIM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define VSIM_THREAD_ANNOTATION__(x)
+#endif
+
+// On a data member: may only be read or written while holding `x`.
+#define GUARDED_BY(x) VSIM_THREAD_ANNOTATION__(guarded_by(x))
+// On a pointer member: the *pointee* is protected by `x`.
+#define PT_GUARDED_BY(x) VSIM_THREAD_ANNOTATION__(pt_guarded_by(x))
+// On a function: the caller must hold the listed capabilities.
+#define REQUIRES(...) \
+  VSIM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  VSIM_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+// On a function: the caller must NOT hold the listed capabilities
+// (the function acquires them itself; prevents self-deadlock).
+#define EXCLUDES(...) VSIM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+// On a function: acquires / releases the listed capabilities.
+#define ACQUIRE(...) \
+  VSIM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  VSIM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  VSIM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+// On a class: instances are a capability (a lock).
+#define CAPABILITY(x) VSIM_THREAD_ANNOTATION__(capability(x))
+// On a class: RAII object that holds a capability for its lifetime.
+#define SCOPED_CAPABILITY VSIM_THREAD_ANNOTATION__(scoped_lockable)
+// On a function: returns a reference to the capability guarding it.
+#define RETURN_CAPABILITY(x) VSIM_THREAD_ANNOTATION__(lock_returned(x))
+// Escape hatch; every use needs a comment justifying it.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  VSIM_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace vsim {
+
+// Annotated std::mutex. Lock discipline on members tagged
+// GUARDED_BY(mu_) is compiler-checked under VSIM_STATIC_ANALYSIS=ON.
+// Also satisfies Lockable (lowercase aliases), so std::scoped_lock and
+// friends still work where a scoped MutexLock does not fit.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Lockable aliases.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Scoped lock over a vsim::Mutex. The analysis treats the guarded
+// members as accessible exactly while a MutexLock on their mutex is in
+// scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable bound to vsim::Mutex. Wait() requires the mutex
+// held (checked under Clang); it releases the mutex while blocked and
+// reacquires it before returning, like std::condition_variable -- the
+// adopt/release dance below keeps the fast std::mutex implementation
+// instead of paying condition_variable_any's extra internal lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases *mu and blocks until notified (spurious wakeups
+  // possible: always call inside a `while (!predicate)` loop). The
+  // mutex is held again when Wait returns.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // caller's MutexLock keeps ownership
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// -- Single-thread contracts ------------------------------------------
+// Thread-safety analysis proves lock discipline but cannot express "this
+// class is used by at most one thread at a time" (BufferPool, PagedFile:
+// excluded from the service's concurrency by contract). This checker
+// makes that contract crash loudly in debug builds (the default build
+// keeps assertions armed): concurrent entry from two threads aborts with
+// both thread ids. Sequential hand-off between threads stays legal --
+// the owner is released when the last nested section exits.
+//
+// Compiled out under NDEBUG.
+class ThreadContractChecker {
+ public:
+  ThreadContractChecker() = default;
+  ThreadContractChecker(const ThreadContractChecker&) = delete;
+  ThreadContractChecker& operator=(const ThreadContractChecker&) = delete;
+
+#ifndef NDEBUG
+  void Enter() const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // "no owner"
+    if (!owner_.compare_exchange_strong(expected, self,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire) &&
+        expected != self) {
+      std::fprintf(stderr,
+                   "ThreadContractChecker: concurrent use of a "
+                   "single-thread object from a second thread "
+                   "(single-thread-at-a-time contract violated; see "
+                   "docs/ARCHITECTURE.md \"Static analysis & lock "
+                   "discipline\")\n");
+      std::abort();
+    }
+    // Only the owning thread reaches here, so plain int is race-free.
+    ++depth_;
+  }
+
+  void Exit() const {
+    if (--depth_ == 0) {
+      owner_.store(std::thread::id{}, std::memory_order_release);
+    }
+  }
+#else
+  void Enter() const {}
+  void Exit() const {}
+#endif
+
+ private:
+#ifndef NDEBUG
+  mutable std::atomic<std::thread::id> owner_{};
+  mutable int depth_ = 0;
+#endif
+};
+
+// RAII section of single-thread use; place at the top of every public
+// entry point of the contracted class.
+class ScopedThreadContract {
+ public:
+  explicit ScopedThreadContract(const ThreadContractChecker& checker)
+      : checker_(checker) {
+    checker_.Enter();
+  }
+  ~ScopedThreadContract() { checker_.Exit(); }
+
+  ScopedThreadContract(const ScopedThreadContract&) = delete;
+  ScopedThreadContract& operator=(const ScopedThreadContract&) = delete;
+
+ private:
+  const ThreadContractChecker& checker_;
+};
+
+}  // namespace vsim
+
+#endif  // VSIM_COMMON_THREAD_ANNOTATIONS_H_

@@ -145,8 +145,13 @@ StatusOr<CadDatabase> CadDatabase::Load(const std::string& path) {
   if (!GetU64(in, &count) || count > (1ull << 32)) {
     return Status::IOError("corrupt object count: " + path);
   }
-  db.objects_.reserve(count);
-  db.labels_.reserve(count);
+  // The count is untrusted until the records actually parse: cap the
+  // up-front reservation so a corrupt header cannot force a huge
+  // allocation (the vectors still grow geometrically past the cap for
+  // honest files).
+  const uint64_t reserve_count = count < 4096 ? count : 4096;
+  db.objects_.reserve(reserve_count);
+  db.labels_.reserve(reserve_count);
   for (uint64_t i = 0; i < count; ++i) {
     ObjectRepr repr;
     int32_t label;

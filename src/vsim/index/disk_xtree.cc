@@ -182,9 +182,14 @@ StatusOr<DiskXTree> DiskXTree::Open(const std::string& path,
   Reader reader(header.data() + 8, header.size() - 8);
   uint32_t dim = 0, root = 0;
   uint64_t count = 0, nodes = 0;
+  // The node count sizes the directory allocation, so bound it by what
+  // the file could actually hold (16 directory bytes per node) before
+  // resizing -- a corrupt count must not turn into a huge resize.
+  const uint64_t file_bytes =
+      (1 + tree.file_->page_count()) * static_cast<uint64_t>(page_size);
   if (!reader.U32(&dim) || !reader.U32(&root) || !reader.U64(&count) ||
       !reader.U64(&nodes) || dim == 0 || dim > 4096 ||
-      nodes > (1ull << 32)) {
+      nodes > (file_bytes - 32) / 16) {
     return Status::InvalidArgument("corrupt disk X-tree header: " + path);
   }
   tree.dim_ = static_cast<int>(dim);
@@ -196,6 +201,15 @@ StatusOr<DiskXTree> DiskXTree::Open(const std::string& path,
     uint32_t pages = 0, bytes = 0;
     if (!reader.U64(&first) || !reader.U32(&pages) || !reader.U32(&bytes)) {
       return Status::IOError("truncated disk X-tree directory: " + path);
+    }
+    // Every node's pages must lie inside the file and be consistent
+    // with its byte length (FetchNode's chunk arithmetic relies on
+    // bytes <= pages * page_size).
+    if (first == 0 || pages == 0 || pages > tree.file_->page_count() ||
+        first > tree.file_->page_count() - pages + 1 ||
+        static_cast<uint64_t>(bytes) > static_cast<uint64_t>(pages) *
+                                           page_size) {
+      return Status::InvalidArgument("corrupt disk X-tree directory: " + path);
     }
     ref.first_page = first;
     ref.pages = pages;
@@ -210,6 +224,11 @@ StatusOr<DiskXTree> DiskXTree::Open(const std::string& path,
 
 StatusOr<DiskXTree::DiskNode> DiskXTree::FetchNode(uint32_t node_index,
                                                    IoStats* stats) const {
+  // Child pointers come off disk, so they are untrusted until checked:
+  // a corrupt inner node must not index past the directory.
+  if (node_index >= directory_.size()) {
+    return Status::Internal("corrupt child pointer");
+  }
   const NodeRef& ref = directory_[node_index];
   const size_t page_size = file_->page_size();
   std::string blob;
@@ -271,9 +290,14 @@ std::vector<int> DiskXTree::RangeQuery(const FeatureVector& query, double eps,
   std::vector<int> out;
   if (count_ == 0) return out;
   std::vector<uint32_t> stack{root_};
+  // A healthy tree visits each node at most once per query; a corrupt
+  // file whose child pointers form a cycle would otherwise traverse
+  // forever (and grow the stack without bound).
+  size_t fetch_budget = directory_.size();
   while (!stack.empty()) {
     const uint32_t index = stack.back();
     stack.pop_back();
+    if (fetch_budget-- == 0) return out;  // cyclic corrupt file
     StatusOr<DiskNode> node = FetchNode(index, stats);
     if (!node.ok()) return out;  // corrupt file: return what we have
     for (const DiskEntry& e : node->entries) {
@@ -300,6 +324,9 @@ std::vector<Neighbor> DiskXTree::KnnQuery(const FeatureVector& query, int k,
   };
   std::priority_queue<Item> heap;
   heap.push({0.0, static_cast<int32_t>(root_), -1});
+  // Same cycle guard as RangeQuery: each node legitimately expands at
+  // most once per query.
+  size_t fetch_budget = directory_.size();
   while (!heap.empty() && static_cast<int>(result.size()) < k) {
     const Item item = heap.top();
     heap.pop();
@@ -307,6 +334,7 @@ std::vector<Neighbor> DiskXTree::KnnQuery(const FeatureVector& query, int k,
       result.push_back({item.id, item.distance});
       continue;
     }
+    if (fetch_budget-- == 0) break;  // cyclic corrupt file
     StatusOr<DiskNode> node = FetchNode(static_cast<uint32_t>(item.node),
                                         stats);
     if (!node.ok()) break;

@@ -23,6 +23,13 @@
 // to share across any number of threads without synchronization (the
 // same snapshot-immutable contract the engine's const query methods
 // rely on; see docs/ARCHITECTURE.md "Snapshot lifecycle").
+// Documented GUARDED_BY exclusion: every member is written exactly once
+// inside Create/Wrap before the shared_ptr is published and never
+// again; cross-thread visibility and lifetime are carried by the
+// shared_ptr control block (acquire/release on the refcount), so no
+// mutex exists for the analysis to check. The publication pointer
+// itself lives in QueryService and *is* annotated
+// (QueryService::snapshot_, GUARDED_BY(snapshot_mu_)).
 #ifndef VSIM_SERVICE_DB_SNAPSHOT_H_
 #define VSIM_SERVICE_DB_SNAPSHOT_H_
 

@@ -38,7 +38,7 @@ void QueryService::Pause() { pool_.Pause(); }
 void QueryService::Resume() { pool_.Resume(); }
 
 std::shared_ptr<const DbSnapshot> QueryService::snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(&snapshot_mu_);
   return snapshot_;
 }
 
@@ -46,7 +46,7 @@ Status QueryService::SwapSnapshot(std::shared_ptr<const DbSnapshot> next) {
   if (next == nullptr) {
     return Status::InvalidArgument("cannot swap in a null snapshot");
   }
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(&snapshot_mu_);
   if (next->generation() <= snapshot_->generation()) {
     return Status::FailedPrecondition(
         "snapshot generation " + std::to_string(next->generation()) +

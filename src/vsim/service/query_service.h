@@ -39,9 +39,9 @@
 #include <chrono>
 #include <future>
 #include <memory>
-#include <mutex>
 
 #include "vsim/common/status.h"
+#include "vsim/common/thread_annotations.h"
 #include "vsim/core/query_engine.h"
 #include "vsim/core/similarity.h"
 #include "vsim/service/db_snapshot.h"
@@ -148,11 +148,12 @@ class QueryService {
   // is destroyed when its last in-flight request finishes. Safe to call
   // concurrently with Submit/Execute; concurrent swappers serialize on
   // the snapshot mutex.
-  Status SwapSnapshot(std::shared_ptr<const DbSnapshot> next);
+  Status SwapSnapshot(std::shared_ptr<const DbSnapshot> next)
+      EXCLUDES(snapshot_mu_);
 
   // The snapshot new requests would execute on right now (the reference
   // keeps it alive even across a subsequent swap).
-  std::shared_ptr<const DbSnapshot> snapshot() const;
+  std::shared_ptr<const DbSnapshot> snapshot() const EXCLUDES(snapshot_mu_);
   uint64_t generation() const { return snapshot()->generation(); }
 
   // Quiesce the workers (in-flight tasks finish, queued ones wait).
@@ -182,9 +183,11 @@ class QueryService {
   // RCU publication point: workers copy the shared_ptr under the mutex
   // (cheap refcount bump), swappers replace it. The mutex is held only
   // for the pointer copy, never during query execution.
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const DbSnapshot> snapshot_;
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const DbSnapshot> snapshot_ GUARDED_BY(snapshot_mu_);
 
+  // Immutable after construction (options_) or internally synchronized
+  // (cache_, stats_, queued_, pool_); no mutex needed.
   QueryServiceOptions options_;
   ResultCache cache_;
   ServiceStats stats_;

@@ -15,13 +15,22 @@ Rebuilder::Rebuilder(QueryService* service, DatabaseFactory factory,
 
 Rebuilder::~Rebuilder() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   worker_.join();
-  // Triggers that never ran still need their futures resolved.
-  for (std::promise<Status>& promise : pending_) {
+  // Triggers that never ran still need their futures resolved. Take
+  // them out under the lock: the worker is gone, but a stray Trigger()
+  // racing destruction would otherwise read pending_ concurrently with
+  // this drain. (Lock-discipline finding surfaced by the thread-safety
+  // annotations: this loop used to touch pending_ with no lock held.)
+  std::deque<std::promise<Status>> orphaned;
+  {
+    MutexLock lock(&mu_);
+    orphaned.swap(pending_);
+  }
+  for (std::promise<Status>& promise : orphaned) {
     promise.set_value(
         Status::Unavailable("rebuilder destroyed before rebuild ran"));
   }
@@ -30,7 +39,7 @@ Rebuilder::~Rebuilder() {
 std::future<Status> Rebuilder::Trigger() {
   std::future<Status> result;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) {
       std::promise<Status> rejected;
       rejected.set_value(Status::Unavailable("rebuilder is shutting down"));
@@ -40,17 +49,17 @@ std::future<Status> Rebuilder::Trigger() {
     result = pending_.back().get_future();
     ++stats_.triggered;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return result;
 }
 
 void Rebuilder::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this]() { return pending_.empty() && !busy_; });
+  MutexLock lock(&mu_);
+  while (!(pending_.empty() && !busy_)) idle_cv_.Wait(&mu_);
 }
 
 Rebuilder::Stats Rebuilder::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -65,7 +74,7 @@ Status Rebuilder::RebuildOnce() {
       DbSnapshot::Create(std::move(db).value(), next_generation, params_);
   const Status published = service_->SwapSnapshot(std::move(snapshot));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_.last_build_seconds = watch.ElapsedSeconds();
   }
   return published;
@@ -75,8 +84,8 @@ void Rebuilder::WorkerLoop() {
   for (;;) {
     std::promise<Status> promise;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return !pending_.empty() || stop_; });
+      MutexLock lock(&mu_);
+      while (!(!pending_.empty() || stop_)) cv_.Wait(&mu_);
       if (stop_) return;  // unrun promises resolve in the destructor
       promise = std::move(pending_.front());
       pending_.pop_front();
@@ -84,12 +93,12 @@ void Rebuilder::WorkerLoop() {
     }
     const Status status = RebuildOnce();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       busy_ = false;
       status.ok() ? ++stats_.published : ++stats_.failed;
     }
     promise.set_value(status);
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 

@@ -22,16 +22,15 @@
 #ifndef VSIM_SERVICE_REBUILDER_H_
 #define VSIM_SERVICE_REBUILDER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "vsim/common/status.h"
+#include "vsim/common/thread_annotations.h"
 #include "vsim/service/db_snapshot.h"
 #include "vsim/service/query_service.h"
 
@@ -53,10 +52,10 @@ class Rebuilder {
   // Enqueues one rebuild. The future resolves OK after the new snapshot
   // has been published to the service, or with the factory's / swap's
   // error. Triggers are never coalesced: N triggers = N rebuilds.
-  std::future<Status> Trigger();
+  std::future<Status> Trigger() EXCLUDES(mu_);
 
   // Blocks until every rebuild triggered so far has finished.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   struct Stats {
     uint64_t triggered = 0;
@@ -64,24 +63,25 @@ class Rebuilder {
     uint64_t failed = 0;
     double last_build_seconds = 0.0;  // factory + index construction
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   // Runs one rebuild; returns the publish status.
-  Status RebuildOnce();
+  Status RebuildOnce() EXCLUDES(mu_);
 
+  // Immutable after construction; read by the worker thread only.
   QueryService* service_;
   DatabaseFactory factory_;
   IoCostParams params_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::promise<Status>> pending_;
-  bool busy_ = false;
-  bool stop_ = false;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::promise<Status>> pending_ GUARDED_BY(mu_);
+  bool busy_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+  Stats stats_ GUARDED_BY(mu_);
 
   std::thread worker_;  // last: started after all state exists
 };

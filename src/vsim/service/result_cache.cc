@@ -51,7 +51,7 @@ ResultCache::ResultCache(size_t capacity_bytes, int num_shards)
 bool ResultCache::Lookup(const ResultCacheKey& key, CachedResult* out) {
   if (!enabled()) return false;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -68,7 +68,7 @@ void ResultCache::Insert(const ResultCacheKey& key, CachedResult value) {
   const size_t value_bytes = value.ApproxBytes();
   if (value_bytes > shard_capacity_) return;  // would evict a whole shard
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     shard.bytes -= it->second->second.ApproxBytes();
@@ -92,7 +92,7 @@ void ResultCache::Insert(const ResultCacheKey& key, CachedResult value) {
 
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->lru.clear();
     shard->map.clear();
     shard->bytes = 0;
@@ -102,7 +102,7 @@ void ResultCache::Clear() {
 size_t ResultCache::ApproxBytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->bytes;
   }
   return total;
@@ -111,7 +111,7 @@ size_t ResultCache::ApproxBytes() const {
 size_t ResultCache::entries() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->lru.size();
   }
   return total;

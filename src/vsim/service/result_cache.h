@@ -26,10 +26,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "vsim/common/thread_annotations.h"
 #include "vsim/core/similarity.h"
 #include "vsim/index/xtree.h"
 
@@ -101,6 +101,7 @@ class ResultCache {
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   // Copies the cached value into *out and returns true on a hit.
+  // Takes (only) the target shard's mutex.
   bool Lookup(const ResultCacheKey& key, CachedResult* out);
 
   // Inserts (or refreshes) an entry, evicting least-recently-used
@@ -116,13 +117,13 @@ class ResultCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     // Most-recently-used at the front.
-    std::list<std::pair<ResultCacheKey, CachedResult>> lru;
+    std::list<std::pair<ResultCacheKey, CachedResult>> lru GUARDED_BY(mu);
     std::unordered_map<ResultCacheKey, decltype(lru)::iterator,
                        ResultCacheKeyHash>
-        map;
-    size_t bytes = 0;
+        map GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const ResultCacheKey& key) {
@@ -132,6 +133,11 @@ class ResultCache {
     return *shards_[(h >> 48) & (shards_.size() - 1)];
   }
 
+  // capacity_bytes_/shard_capacity_/shards_ (the vector itself, not the
+  // shard contents) are immutable after construction; the statistics
+  // counters are relaxed atomics deliberately outside the shard locks
+  // -- they are monotone telemetry, and stats() may observe a count a
+  // step ahead of the shard state it races with.
   size_t capacity_bytes_ = 0;
   size_t shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;

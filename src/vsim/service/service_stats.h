@@ -93,6 +93,10 @@ struct ServiceStatsSnapshot {
 
 // Thread-safety: every member is a relaxed atomic (or the lock-free
 // histogram above); any thread may record, any thread may snapshot.
+// Documented GUARDED_BY exclusion: there is no mutex here by design --
+// the record path must stay allocation- and lock-free -- so the
+// thread-safety analysis has nothing to check; std::atomic provides
+// the synchronization.
 class ServiceStats {
  public:
   std::atomic<uint64_t> submitted{0};

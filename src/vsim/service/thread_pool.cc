@@ -19,48 +19,48 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
     paused_ = false;  // a paused pool still drains on destruction
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 size_t ThreadPool::QueuedTasks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tasks_.size();
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   paused_ = true;
 }
 
 void ThreadPool::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     paused_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() {
-        return (!paused_ && !tasks_.empty()) || stop_;
-      });
+      MutexLock lock(&mu_);
+      // Explicit predicate loop so the analysis sees the guarded reads
+      // under the lock (see thread_annotations.h conventions).
+      while (!((!paused_ && !tasks_.empty()) || stop_)) cv_.Wait(&mu_);
       // On shutdown, drain whatever is still queued before exiting so
       // every Submit()ed future is fulfilled.
       if (tasks_.empty()) return;  // only reachable when stop_ is set

@@ -5,16 +5,16 @@
 #ifndef VSIM_SERVICE_THREAD_POOL_H_
 #define VSIM_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "vsim/common/thread_annotations.h"
 
 namespace vsim {
 
@@ -34,7 +34,7 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   // Tasks queued but not yet picked up by a worker.
-  size_t QueuedTasks() const;
+  size_t QueuedTasks() const EXCLUDES(mu_);
 
   // Schedules `fn` for execution and returns a future for its result.
   template <typename F>
@@ -58,18 +58,20 @@ class ThreadPool {
   // Resume(). Submissions while paused queue up normally. Used to drain
   // the service for admin operations and to make queue-full behavior
   // deterministic in tests.
-  void Pause();
-  void Resume();
+  void Pause() EXCLUDES(mu_);
+  void Resume() EXCLUDES(mu_);
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) EXCLUDES(mu_);
+  void WorkerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
-  bool paused_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool paused_ GUARDED_BY(mu_) = false;
+  // Written only by the constructor, joined only by the destructor;
+  // between those points it is read-only (num_threads, ParallelFor).
   std::vector<std::thread> workers_;
 };
 

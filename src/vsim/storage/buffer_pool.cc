@@ -53,6 +53,7 @@ void BufferPool::TouchLru(size_t frame) {
 }
 
 void BufferPool::Unpin(size_t frame) {
+  ScopedThreadContract contract(thread_contract_);
   assert(frames_[frame].pin_count > 0);
   --frames_[frame].pin_count;
 }
@@ -82,6 +83,7 @@ StatusOr<size_t> BufferPool::GrabFrame() {
 }
 
 StatusOr<PageHandle> BufferPool::Fetch(PageId page) {
+  ScopedThreadContract contract(thread_contract_);
   auto it = frame_of_.find(page);
   if (it != frame_of_.end()) {
     ++hits_;
@@ -103,6 +105,7 @@ StatusOr<PageHandle> BufferPool::Fetch(PageId page) {
 }
 
 StatusOr<PageHandle> BufferPool::Allocate() {
+  ScopedThreadContract contract(thread_contract_);
   VSIM_ASSIGN_OR_RETURN(PageId page, file_->Allocate());
   VSIM_ASSIGN_OR_RETURN(size_t slot, GrabFrame());
   Frame& frame = frames_[slot];
@@ -116,6 +119,7 @@ StatusOr<PageHandle> BufferPool::Allocate() {
 }
 
 Status BufferPool::FlushAll() {
+  ScopedThreadContract contract(thread_contract_);
   for (Frame& frame : frames_) {
     if (frame.page != 0 && frame.dirty) {
       VSIM_RETURN_NOT_OK(file_->Write(frame.page, frame.data.data()));

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "vsim/common/status.h"
+#include "vsim/common/thread_annotations.h"
 #include "vsim/storage/paged_file.h"
 
 namespace vsim {
@@ -47,6 +48,17 @@ class PageHandle {
   PageId page_ = 0;
 };
 
+// Thread-safety: NOT thread-safe -- single thread at a time, by
+// explicit contract. Fetch/Allocate mutate the shared LRU state and
+// the frame table with no locking, which is why engines inside service
+// snapshots must not have a store attached (see
+// QueryEngine::AttachStore and docs/ARCHITECTURE.md "Static analysis &
+// lock discipline"). The contract is enforced at runtime in debug
+// builds (assertions stay armed in the default build): a
+// ThreadContractChecker at every public entry point aborts loudly on
+// concurrent use from a second thread. Sequential hand-off between
+// threads -- build on a rebuilder thread, then query from one worker
+// -- remains legal.
 class BufferPool {
  public:
   // `file` must outlive the pool. `capacity` frames are allocated up
@@ -95,6 +107,9 @@ class BufferPool {
   std::list<size_t> lru_;  // front = least recently used
   std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
   size_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  // Debug-mode single-thread contract (see class comment). Checked in
+  // Fetch/Allocate/FlushAll and PageHandle's Unpin path.
+  ThreadContractChecker thread_contract_;
 };
 
 }  // namespace vsim

@@ -75,10 +75,31 @@ StatusOr<PagedFile> PagedFile::Open(const std::string& path) {
     file.page_size_ |= static_cast<size_t>(meta[i]) << (8 * i);
     file.page_count_ |= static_cast<uint64_t>(meta[8 + i]) << (8 * i);
   }
-  if (file.page_size_ < 256) {
+  // Bound the header fields against corruption before trusting them: a
+  // flipped byte in page_size must not turn into a multi-gigabyte
+  // buffer-pool frame allocation, and a lying page_count must fail here
+  // rather than on the first phantom-page read (CorruptFileTest).
+  constexpr size_t kMaxPageSize = 1u << 26;  // 64 MiB
+  if (file.page_size_ < 256 || file.page_size_ > kMaxPageSize) {
     std::fclose(f);
     file.file_ = nullptr;
     return Status::InvalidArgument("corrupt page size in " + path);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    file.file_ = nullptr;
+    return Status::IOError("cannot size " + path);
+  }
+  const long file_bytes = std::ftell(f);
+  const uint64_t whole_pages =
+      file_bytes < 0 ? 0 : static_cast<uint64_t>(file_bytes) / file.page_size_;
+  // whole_pages includes the header page; avoid page_count_ + 1
+  // arithmetic, which overflows when the field is all-ones.
+  if (whole_pages == 0 || file.page_count_ > whole_pages - 1) {
+    std::fclose(f);
+    file.file_ = nullptr;
+    return Status::InvalidArgument("header page count exceeds file size in " +
+                                   path);
   }
   return file;
 }

@@ -17,6 +17,13 @@ namespace vsim {
 
 using PageId = uint64_t;
 
+// Thread-safety: NOT thread-safe -- single thread at a time, by the
+// same explicit contract as BufferPool (which owns all access to it on
+// the disk-backed path and carries the debug-mode contract checker;
+// see docs/ARCHITECTURE.md "Static analysis & lock discipline"). The
+// stdio stream position is shared mutable state: concurrent
+// Read/Write/Allocate interleave their fseek/fread pairs. The
+// physical-I/O counters are plain size_t for the same reason.
 class PagedFile {
  public:
   // Creates a new file (truncating any existing one) with the given

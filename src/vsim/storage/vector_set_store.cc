@@ -79,14 +79,21 @@ StatusOr<VectorSetStore> VectorSetStore::Open(const std::string& path,
     const uint16_t records = ReadU16(data);
     size_t offset = kPageHeader;
     for (uint16_t r = 0; r < records; ++r) {
+      // Bounds-check the record header *before* reading it: a corrupt
+      // record count or payload length must produce a Status, not an
+      // out-of-bounds read of the page buffer (UBSan/ASan regression,
+      // see CorruptFileTest).
+      if (offset + kRecordHeader > store.file_->page_size()) {
+        return Status::Internal("corrupt page " + std::to_string(page));
+      }
       const uint16_t bytes = ReadU16(data + offset);
       offset += kRecordHeader;
+      if (offset + bytes > store.file_->page_size()) {
+        return Status::Internal("corrupt page " + std::to_string(page));
+      }
       store.directory_.push_back(
           {page, static_cast<uint32_t>(offset), bytes});
       offset += bytes;
-      if (offset > store.file_->page_size()) {
-        return Status::Internal("corrupt page " + std::to_string(page));
-      }
     }
     store.tail_page_ = page;
     store.tail_used_ = offset;

@@ -18,6 +18,9 @@
 
 namespace vsim {
 
+// Thread-safety: NOT thread-safe -- inherits the single-thread
+// contract of the BufferPool/PagedFile underneath (debug builds abort
+// on concurrent use; see thread_annotations.h ThreadContractChecker).
 class VectorSetStore {
  public:
   // Creates a new store file. `pool_pages` is the buffer pool capacity.

@@ -45,7 +45,14 @@ class DiskXTreeParamTest
 TEST_P(DiskXTreeParamTest, QueriesMatchInMemoryTree) {
   const auto [dim, bulk] = GetParam();
   const World w = BuildWorld(dim, 800, 99 + dim, bulk);
-  const std::string path = TempPath("disk_tree.vsdx");
+  // One file per param instance: ctest runs the instances as separate
+  // processes in parallel, so a shared path would race one instance's
+  // Write against another's reads (this showed up as a rare flake, and
+  // once as a corrupt read that sent the loader into a giant
+  // allocation -- see the bounds checks in DiskXTree::Open).
+  const std::string path =
+      TempPath("disk_tree_" + std::to_string(dim) +
+               (bulk ? "_bulk" : "_ins") + ".vsdx");
   ASSERT_TRUE(DiskXTree::Write(w.memory, path, 1024).ok());
   StatusOr<DiskXTree> disk = DiskXTree::Open(path, 32);
   ASSERT_TRUE(disk.ok()) << disk.status().ToString();

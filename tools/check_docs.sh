@@ -15,9 +15,12 @@ fail=0
 
 # --- 1. dead relative links ------------------------------------------
 # Markdown files under version-controlled directories (skip build trees
-# and third-party/related checkouts).
+# -- including relocated ones under the shared $VSIM_BUILD_ROOT
+# convention used by tools/ci.sh -- and third-party checkouts).
+BUILD_ROOT="${VSIM_BUILD_ROOT:-.}"
 md_files=$(find . -name '*.md' \
-    -not -path './build*' -not -path './.git/*' | sort)
+    -not -path './build*' -not -path './.git/*' \
+    -not -path "$BUILD_ROOT/build*" | sort)
 
 for file in $md_files; do
   dir=$(dirname "$file")

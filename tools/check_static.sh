@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# The unified static-analysis gate: one command that proves the tree's
+# concurrency and UB hygiene four ways (see docs/OPERATIONS.md "Static
+# analysis gate"):
+#
+#   1. thread-safety  Clang build with VSIM_STATIC_ANALYSIS=ON
+#                     (-Werror=thread-safety over the GUARDED_BY /
+#                     REQUIRES annotations). Lock-discipline violations
+#                     are compile errors.
+#   2. clang-tidy     Curated .clang-tidy profile (bugprone-*,
+#                     concurrency-*, performance-*, narrow
+#                     cppcoreguidelines set) over src/vsim.
+#   3. ubsan          Full test suite under -fsanitize=undefined with
+#                     -fno-sanitize-recover (any UB aborts the test).
+#   4. tsan           The existing dynamic-race suite
+#                     (tools/check_tsan.sh), so one gate covers both
+#                     compile-time and runtime race detection.
+#
+# Stages 1-2 need a Clang toolchain; when clang++/clang-tidy are not
+# installed they are reported as SKIP (exit stays 0) so the gate is
+# usable on GCC-only machines while still enforcing everything the
+# local toolchain can check. Stages never silently disappear: the
+# summary prints one line per stage.
+#
+# Usage: tools/check_static.sh [--no-tsan] [--no-ubsan]
+#   --no-tsan / --no-ubsan   skip that stage (tools/ci.sh runs TSan as
+#                            its own pipeline stage and passes --no-tsan
+#                            here to avoid running the suite twice)
+#
+# Build directories follow the shared convention: everything goes under
+# $VSIM_BUILD_ROOT (default: repo root), one directory per
+# configuration (build-static, build-ubsan, build-tsan), so repeated
+# runs -- and CI stages sharing the root -- reuse incremental builds.
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_ROOT="${VSIM_BUILD_ROOT:-.}"
+
+RUN_TSAN=1
+RUN_UBSAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan)  RUN_TSAN=0 ;;
+    --no-ubsan) RUN_UBSAN=0 ;;
+    *) echo "usage: $0 [--no-tsan] [--no-ubsan]" >&2; exit 2 ;;
+  esac
+done
+
+declare -a STAGE_NAMES=() STAGE_RESULTS=()
+fail=0
+
+record() {  # record <name> <PASS|FAIL|SKIP (reason)>
+  STAGE_NAMES+=("$1")
+  STAGE_RESULTS+=("$2")
+  case "$2" in FAIL*) fail=1 ;; esac
+}
+
+# --- 1. thread-safety build (Clang) ----------------------------------
+if command -v clang++ >/dev/null 2>&1; then
+  echo "=== [1/4] thread-safety: Clang build with -Werror=thread-safety ==="
+  if cmake -B "$BUILD_ROOT/build-static" -S . \
+        -DCMAKE_CXX_COMPILER=clang++ -DVSIM_STATIC_ANALYSIS=ON \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+     cmake --build "$BUILD_ROOT/build-static" -j "$(nproc)"; then
+    record thread-safety PASS
+  else
+    record thread-safety FAIL
+  fi
+else
+  echo "=== [1/4] thread-safety: SKIP (clang++ not installed) ==="
+  record thread-safety "SKIP (no clang++)"
+fi
+
+# --- 2. clang-tidy ---------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== [2/4] clang-tidy: curated profile over src/vsim ==="
+  # Reuse the static build's compile commands when stage 1 produced
+  # them; otherwise export them from the default build directory.
+  TIDY_BUILD="$BUILD_ROOT/build-static"
+  if [ ! -f "$TIDY_BUILD/compile_commands.json" ]; then
+    TIDY_BUILD="$BUILD_ROOT/build-tidy"
+    cmake -B "$TIDY_BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      || record clang-tidy FAIL
+  fi
+  if [ -f "$TIDY_BUILD/compile_commands.json" ]; then
+    # Checks, exclusions and WarningsAsErrors come from .clang-tidy.
+    if find src/vsim -name '*.cc' -print0 |
+         xargs -0 clang-tidy -p "$TIDY_BUILD" --quiet; then
+      record clang-tidy PASS
+    else
+      record clang-tidy FAIL
+    fi
+  fi
+else
+  echo "=== [2/4] clang-tidy: SKIP (clang-tidy not installed) ==="
+  record clang-tidy "SKIP (no clang-tidy)"
+fi
+
+# --- 3. UBSan test suite ---------------------------------------------
+if [ "$RUN_UBSAN" -eq 1 ]; then
+  echo "=== [3/4] ubsan: test suite with -fsanitize=undefined ==="
+  if cmake -B "$BUILD_ROOT/build-ubsan" -S . -DVSIM_SANITIZE=undefined \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+     cmake --build "$BUILD_ROOT/build-ubsan" -j "$(nproc)" \
+        --target vsim_tests &&
+     UBSAN_OPTIONS="print_stacktrace=1" \
+        "$BUILD_ROOT/build-ubsan/tests/vsim_tests" --gtest_brief=1; then
+    record ubsan PASS
+  else
+    record ubsan FAIL
+  fi
+else
+  record ubsan "SKIP (--no-ubsan)"
+fi
+
+# --- 4. TSan suite ---------------------------------------------------
+if [ "$RUN_TSAN" -eq 1 ]; then
+  echo "=== [4/4] tsan: dynamic race suite (tools/check_tsan.sh) ==="
+  if tools/check_tsan.sh "$BUILD_ROOT/build-tsan"; then
+    record tsan PASS
+  else
+    record tsan FAIL
+  fi
+else
+  record tsan "SKIP (--no-tsan)"
+fi
+
+# --- summary ---------------------------------------------------------
+echo
+echo "check_static summary:"
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %-14s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+done
+if [ "$fail" -ne 0 ]; then
+  echo "check_static: FAILED"
+  exit 1
+fi
+echo "check_static: OK"

@@ -6,11 +6,14 @@
 # sharded result cache, and the parallel extraction path. Any data race
 # aborts with a non-zero exit.
 #
-# Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
+# Usage: tools/check_tsan.sh [build-dir]
+#   default: $VSIM_BUILD_ROOT/build-tsan (shared build-dir convention
+#   with tools/ci.sh and tools/check_static.sh, so pipeline runs reuse
+#   this incremental build instead of reconfiguring from scratch)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
+BUILD_DIR="${1:-${VSIM_BUILD_ROOT:-.}/build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DVSIM_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# One-shot CI pipeline: every gate this repo has, in dependency order,
+# with a per-stage summary table and a nonzero exit if any stage fails.
+#
+#   configure     cmake -B $ROOT/build
+#   build         full tree (library, tests, benches, tools, examples)
+#   ctest         tier-1 suite (507+ tests)
+#   check_docs    markdown link + module-coverage lint
+#   check_static  thread-safety build + clang-tidy + UBSan suite
+#                 (tools/check_static.sh --no-tsan; TSan runs below as
+#                 its own stage so failures are attributed precisely)
+#   check_tsan    dynamic race suite under ThreadSanitizer
+#
+# All build directories live under $VSIM_BUILD_ROOT (default: repo
+# root): build/, build-static/, build-ubsan/, build-tsan/. Re-running
+# the pipeline -- locally or on a CI runner with a cached workspace --
+# reuses every stage's incremental build instead of configuring from
+# scratch.
+#
+# Usage: tools/ci.sh            (VSIM_BUILD_ROOT=/path to relocate builds)
+set -u
+
+cd "$(dirname "$0")/.."
+export VSIM_BUILD_ROOT="${VSIM_BUILD_ROOT:-.}"
+BUILD_DIR="$VSIM_BUILD_ROOT/build"
+
+declare -a NAMES=() RESULTS=() TIMES=()
+fail=0
+
+run_stage() {  # run_stage <name> <cmd...>
+  local name="$1"; shift
+  echo
+  echo "=== ci stage: $name ==="
+  local start end
+  start=$(date +%s)
+  if "$@"; then
+    RESULTS+=("PASS")
+  else
+    RESULTS+=("FAIL")
+    fail=1
+  fi
+  end=$(date +%s)
+  NAMES+=("$name")
+  TIMES+=("$((end - start))s")
+}
+
+run_stage configure cmake -B "$BUILD_DIR" -S .
+run_stage build cmake --build "$BUILD_DIR" -j "$(nproc)"
+run_stage ctest ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+run_stage check_docs tools/check_docs.sh
+run_stage check_static tools/check_static.sh --no-tsan
+run_stage check_tsan tools/check_tsan.sh "$VSIM_BUILD_ROOT/build-tsan"
+
+echo
+echo "ci summary:"
+printf '  %-14s %-6s %s\n' stage result time
+for i in "${!NAMES[@]}"; do
+  printf '  %-14s %-6s %s\n' "${NAMES[$i]}" "${RESULTS[$i]}" "${TIMES[$i]}"
+done
+if [ "$fail" -ne 0 ]; then
+  echo "ci: FAILED"
+  exit 1
+fi
+echo "ci: OK"
