@@ -1,0 +1,206 @@
+// Remote serving bench: closed-loop k-NN queries through the TCP
+// front-end (vsim serve's net::Server) on a loopback socket, at
+// 1/2/4/8 concurrent client connections, against the in-process
+// QueryService baseline. Each client owns one connection and issues
+// one request at a time (no pipelining), so single-connection
+// throughput is 1/latency and the scaling column shows how much of the
+// emulated I/O wait the thread-per-connection server hides by serving
+// connections concurrently.
+//
+// Reported per connection count: queries/s, p50 and p99 round-trip
+// latency (sorted merged per-request latencies), and speedup vs one
+// connection. Emits the usual single "JSON: " line for scraping.
+//
+// The service runs in the same emulated-I/O mode as
+// bench_service_throughput (100 us per page, NVMe-era constants), so
+// the two benches are directly comparable: the delta between the
+// in-process row and the 1-connection row is the wire + socket cost.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "vsim/common/rng.h"
+#include "vsim/common/stopwatch.h"
+#include "vsim/core/query_engine.h"
+#include "vsim/net/client.h"
+#include "vsim/net/server.h"
+#include "vsim/service/query_service.h"
+
+using namespace vsim;
+
+namespace {
+
+struct RunResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double PercentileMs(std::vector<double>& latencies, double p) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const size_t idx = std::min(
+      latencies.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(latencies.size())));
+  return latencies[idx] * 1e3;
+}
+
+// `clients` closed-loop threads, each with its own connection, each
+// issuing queries_per_client k-NN requests back to back.
+RunResult RunRemote(int port, int clients, int queries_per_client,
+                    size_t db_size, int k) {
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<int> failures(clients, 0);
+  Stopwatch watch;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c]() {
+      StatusOr<net::Client> client = net::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        failures[c] = queries_per_client;
+        return;
+      }
+      Rng rng(1000 + c);
+      latencies[c].reserve(queries_per_client);
+      for (int q = 0; q < queries_per_client; ++q) {
+        ServiceRequest request;
+        request.object_id = static_cast<int>(rng.NextBounded(db_size));
+        request.k = k;
+        Stopwatch one;
+        StatusOr<ServiceResponse> response = client->Execute(request);
+        if (!response.ok()) {
+          ++failures[c];
+          continue;
+        }
+        latencies[c].push_back(one.ElapsedSeconds());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = watch.ElapsedSeconds();
+
+  std::vector<double> merged;
+  for (const std::vector<double>& part : latencies) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  int failed = 0;
+  for (int f : failures) failed += f;
+  if (failed > 0) {
+    std::fprintf(stderr, "remote workload dropped %d queries\n", failed);
+    std::exit(1);
+  }
+  RunResult result;
+  result.qps = static_cast<double>(merged.size()) / elapsed;
+  result.p50_ms = PercentileMs(merged, 0.50);
+  result.p99_ms = PercentileMs(merged, 0.99);
+  return result;
+}
+
+// In-process closed-loop baseline: same workload, no socket.
+RunResult RunInProcess(QueryService& service, int queries, size_t db_size,
+                      int k) {
+  Rng rng(1000);
+  std::vector<double> latencies;
+  latencies.reserve(queries);
+  Stopwatch watch;
+  for (int q = 0; q < queries; ++q) {
+    ServiceRequest request;
+    request.object_id = static_cast<int>(rng.NextBounded(db_size));
+    request.k = k;
+    Stopwatch one;
+    StatusOr<ServiceResponse> response = service.Execute(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "baseline query failed: %s\n",
+                   response.status().ToString().c_str());
+      std::exit(1);
+    }
+    latencies.push_back(one.ElapsedSeconds());
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  RunResult result;
+  result.qps = static_cast<double>(latencies.size()) / elapsed;
+  result.p50_ms = PercentileMs(latencies, 0.50);
+  result.p99_ms = PercentileMs(latencies, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig cfg = bench::Config();
+  const size_t objects = bench::FullRun() ? cfg.aircraft_objects : 400;
+  ExtractionOptions opt;
+  opt.extract_histograms = false;
+  const Dataset ds = MakeAircraftDataset(objects, 7);
+  const CadDatabase db = bench::BuildDatabase(ds, opt);
+  const QueryEngine engine(&db);
+
+  IoCostParams io_params;
+  io_params.seconds_per_page_access = 100e-6;
+  io_params.seconds_per_byte = 0.0;
+
+  QueryServiceOptions options;
+  options.num_threads = 8;  // enough workers for the widest client count
+  options.max_queue = 64;
+  options.cache_bytes = 0;  // pure scaling, no memoization
+  options.simulate_io_wait = true;
+  options.io_params = io_params;
+  QueryService service(&db, &engine, options);
+
+  net::Server server(&service);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  const int k = 10;
+  const int total_queries = bench::FullRun() ? 1600 : 320;
+  std::printf("remote throughput: %zu objects, %d 10-NN queries per run,\n"
+              "closed-loop clients over loopback TCP, emulated I/O waits "
+              "at %.0f us/page\n\n",
+              db.size(), total_queries,
+              io_params.seconds_per_page_access * 1e6);
+
+  TablePrinter table({"clients", "queries/s", "p50 ms", "p99 ms",
+                      "speedup vs 1 conn"});
+  const RunResult base =
+      RunInProcess(service, total_queries, db.size(), k);
+  table.AddRow({"in-process", TablePrinter::Num(base.qps, 0),
+                TablePrinter::Num(base.p50_ms, 2),
+                TablePrinter::Num(base.p99_ms, 2), ""});
+
+  std::string json = "{\"bench\":\"remote_throughput\",\"objects\":" +
+                     std::to_string(db.size()) +
+                     ",\"queries\":" + std::to_string(total_queries) +
+                     ",\"inprocess_qps\":" + TablePrinter::Num(base.qps, 1) +
+                     ",\"connections\":{";
+  double qps1 = 0.0;
+  double qps4 = 0.0;
+  for (const int clients : {1, 2, 4, 8}) {
+    const RunResult run = RunRemote(server.port(), clients,
+                                    total_queries / clients, db.size(), k);
+    if (clients == 1) qps1 = run.qps;
+    if (clients == 4) qps4 = run.qps;
+    table.AddRow({std::to_string(clients), TablePrinter::Num(run.qps, 0),
+                  TablePrinter::Num(run.p50_ms, 2),
+                  TablePrinter::Num(run.p99_ms, 2),
+                  TablePrinter::Num(run.qps / qps1) + "x"});
+    json += (clients == 1 ? "\"" : ",\"") + std::to_string(clients) +
+            "\":" + TablePrinter::Num(run.qps, 1);
+  }
+  table.Print();
+  server.Stop();
+
+  const double scaling = qps4 / qps1;
+  std::printf("\n4-connection scaling: %.2fx over 1 connection "
+              "(wire overhead vs in-process at 1 conn: %.1f%%)\n",
+              scaling, 100.0 * (1.0 - qps1 / base.qps));
+  json += "},\"speedup_4c\":" + TablePrinter::Num(scaling, 3) + "}";
+  std::printf("\nJSON: %s\n", json.c_str());
+  return 0;
+}

@@ -28,6 +28,23 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+bool StatusCodeFromName(const std::string& name, StatusCode* code) {
+  for (int value = 0; value <= kMaxStatusCode; ++value) {
+    const StatusCode candidate = static_cast<StatusCode>(value);
+    if (name == StatusCodeName(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StatusCodeFromInt(int value, StatusCode* code) {
+  if (value < 0 || value > kMaxStatusCode) return false;
+  *code = static_cast<StatusCode>(value);
+  return true;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string result = StatusCodeName(code_);

@@ -22,10 +22,29 @@ enum class StatusCode {
   kInternal,
   kUnavailable,        // transient overload (e.g. admission queue full)
   kDeadlineExceeded,   // request deadline passed before completion
+  // Keep in sync with kMaxStatusCode and StatusCodeName/FromName below:
+  // codes cross process boundaries (the net/ wire protocol), so the
+  // numeric values are a stable contract -- append only, never reorder.
 };
+
+// Largest valid StatusCode value (inclusive). Used by wire decoders to
+// bounds-check codes received from untrusted peers.
+inline constexpr int kMaxStatusCode =
+    static_cast<int>(StatusCode::kDeadlineExceeded);
 
 // Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
 const char* StatusCodeName(StatusCode code);
+
+// Inverse of StatusCodeName: every code round-trips code -> name ->
+// code exactly (see status_test.cc's exhaustive sweep), so errors can
+// cross a wire or a log file without string matching. Returns false for
+// unrecognized names ("Unknown" included -- it is not a real code).
+bool StatusCodeFromName(const std::string& name, StatusCode* code);
+
+// Validates + converts an integer received from an untrusted source
+// (wire frame, saved file). Returns false when `value` is not the
+// numeric value of any StatusCode.
+bool StatusCodeFromInt(int value, StatusCode* code);
 
 // A lightweight success-or-error result. Cheap to copy in the OK case
 // (no allocation); error states carry a message.

@@ -1,0 +1,145 @@
+#include "vsim/net/client.h"
+
+#include <utility>
+
+namespace vsim::net {
+
+StatusOr<Client> Client::Connect(const std::string& host, int port) {
+  StatusOr<ScopedFd> fd = ConnectTcp(host, port);
+  VSIM_RETURN_NOT_OK(fd.status());
+  Client client;
+  client.fd_ = std::move(fd).value();
+  return client;
+}
+
+Status Client::Send(const ServiceRequest& request, uint64_t* request_id) {
+  if (!ok()) return Status::FailedPrecondition("client is not connected");
+  *request_id = next_request_id_++;
+  std::string frame;
+  AppendRequestFrame(*request_id, request, &frame);
+  Status written = WriteAll(fd_.get(), frame.data(), frame.size());
+  if (!written.ok()) poisoned_ = true;
+  return written;
+}
+
+StatusOr<ServiceResponse> Client::Receive(uint64_t* request_id) {
+  if (!ok()) return Status::FailedPrecondition("client is not connected");
+  ResponseAssembler assembler;
+  bool streaming = false;
+  while (true) {
+    FrameHeader header;
+    std::string payload;
+    bool clean_eof = false;
+    Status read_status =
+        ReadFrame(fd_.get(), &header, &payload, &clean_eof);
+    if (read_status.ok() && clean_eof) {
+      read_status =
+          Status::IOError("server closed the connection mid-completion");
+    }
+    if (!read_status.ok()) {
+      poisoned_ = true;
+      return read_status;
+    }
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+    switch (header.type) {
+      case FrameType::kStatus: {
+        Status remote;
+        Status decoded = DecodeStatusPayload(data, payload.size(), &remote);
+        if (!decoded.ok()) {
+          poisoned_ = true;
+          return decoded;
+        }
+        if (streaming || header.request_id == 0) {
+          // Mid-stream errors and connection-level errors (id 0: the
+          // connection-limit rejection, a fatal framing complaint) mean
+          // subsequent completions can no longer be trusted.
+          poisoned_ = true;
+        }
+        if (request_id != nullptr) *request_id = header.request_id;
+        return remote;
+      }
+      case FrameType::kResponse: {
+        if (!streaming) {
+          streaming = true;
+        }
+        Status added = assembler.Add(data, payload.size(),
+                                     (header.flags & kFlagFinal) != 0);
+        if (!added.ok()) {
+          poisoned_ = true;
+          return added;
+        }
+        if (assembler.complete()) {
+          if (request_id != nullptr) *request_id = header.request_id;
+          return assembler.Take();
+        }
+        break;  // more chunks of this response follow
+      }
+      default: {
+        poisoned_ = true;
+        return Status::InvalidArgument(
+            "unexpected server frame type " +
+            std::to_string(static_cast<int>(header.type)) +
+            " while waiting for a query completion");
+      }
+    }
+  }
+}
+
+StatusOr<ServiceResponse> Client::Execute(const ServiceRequest& request) {
+  uint64_t id = 0;
+  VSIM_RETURN_NOT_OK(Send(request, &id));
+  uint64_t got = 0;
+  StatusOr<ServiceResponse> response = Receive(&got);
+  if (response.ok() && got != id) {
+    poisoned_ = true;
+    return Status::Internal("response id " + std::to_string(got) +
+                            " does not match request id " +
+                            std::to_string(id));
+  }
+  return response;
+}
+
+StatusOr<ServerInfo> Client::Info() {
+  if (!ok()) return Status::FailedPrecondition("client is not connected");
+  const uint64_t id = next_request_id_++;
+  std::string frame;
+  AppendInfoRequestFrame(id, &frame);
+  Status written = WriteAll(fd_.get(), frame.data(), frame.size());
+  if (!written.ok()) {
+    poisoned_ = true;
+    return written;
+  }
+  FrameHeader header;
+  std::string payload;
+  bool clean_eof = false;
+  Status read_status = ReadFrame(fd_.get(), &header, &payload, &clean_eof);
+  if (read_status.ok() && clean_eof) {
+    read_status = Status::IOError("server closed the connection");
+  }
+  if (!read_status.ok()) {
+    poisoned_ = true;
+    return read_status;
+  }
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+  if (header.type == FrameType::kStatus) {
+    Status remote;
+    VSIM_RETURN_NOT_OK(DecodeStatusPayload(data, payload.size(), &remote));
+    poisoned_ = true;  // info requests only fail at connection level
+    return remote;
+  }
+  if (header.type != FrameType::kInfoResponse || header.request_id != id) {
+    poisoned_ = true;
+    return Status::InvalidArgument(
+        "expected an info response, got frame type " +
+        std::to_string(static_cast<int>(header.type)));
+  }
+  ServerInfo info;
+  Status decoded = DecodeInfoResponsePayload(data, payload.size(), &info);
+  if (!decoded.ok()) {
+    poisoned_ = true;
+    return decoded;
+  }
+  return info;
+}
+
+}  // namespace vsim::net

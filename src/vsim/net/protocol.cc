@@ -1,0 +1,512 @@
+#include "vsim/net/protocol.h"
+
+#include <cstring>
+#include <utility>
+
+namespace vsim::net {
+
+namespace {
+
+// Enumerator counts of the wire-visible enums. The wire encodes the
+// underlying values, so these move in lockstep with the enum
+// definitions (a new enumerator extends the valid range; reordering
+// would be a protocol break, as documented at each enum).
+constexpr uint8_t kNumQueryKinds = 4;
+constexpr uint8_t kNumQueryStrategies = 5;
+
+// --- little-endian append helpers ------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  for (int i = 0; i < 2; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+void PutDoubles(std::string* out, const std::vector<double>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (double d : v) PutF64(out, d);
+}
+
+// --- strict bounds-checked cursor ------------------------------------
+
+class WireCursor {
+ public:
+  WireCursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v) {
+    if (size_ - pos_ < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    if (size_ - pos_ < 2) return false;
+    *v = 0;
+    for (int i = 0; i < 2; ++i) {
+      *v |= static_cast<uint16_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (size_ - pos_ < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (size_ - pos_ < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool I32(int32_t* v) {
+    uint32_t u;
+    if (!U32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, 8);
+    return true;
+  }
+  bool Bytes(char* dst, size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated ") + what +
+                                 " payload");
+}
+
+Status Oversized(const char* what, uint64_t count, uint64_t cap) {
+  return Status::InvalidArgument(std::string(what) + " count " +
+                                 std::to_string(count) + " exceeds wire cap " +
+                                 std::to_string(cap));
+}
+
+// Reads a u32-length-prefixed double vector, capped *before* resize.
+Status GetDoubles(WireCursor* c, std::vector<double>* v, uint32_t cap,
+                  const char* what) {
+  uint32_t len;
+  if (!c->U32(&len)) return Truncated(what);
+  if (len > cap) return Oversized(what, len, cap);
+  // A claimed length must be backed by actual bytes before allocating.
+  if (c->remaining() < static_cast<size_t>(len) * 8) return Truncated(what);
+  v->resize(len);
+  for (double& d : *v) {
+    if (!c->F64(&d)) return Truncated(what);
+  }
+  return Status::OK();
+}
+
+void AppendObjectRepr(std::string* out, const ObjectRepr& query) {
+  PutU32(out, static_cast<uint32_t>(query.vector_set.size()));
+  for (const FeatureVector& v : query.vector_set.vectors) {
+    PutDoubles(out, v);
+  }
+  PutDoubles(out, query.centroid);
+  PutDoubles(out, query.cover_vector);
+}
+
+Status DecodeObjectRepr(WireCursor* c, ObjectRepr* query) {
+  uint32_t sets;
+  if (!c->U32(&sets)) return Truncated("query object");
+  if (sets > kMaxWireVectors) {
+    return Oversized("vector set", sets, kMaxWireVectors);
+  }
+  query->vector_set.vectors.clear();
+  query->vector_set.vectors.reserve(sets);
+  for (uint32_t i = 0; i < sets; ++i) {
+    FeatureVector v;
+    VSIM_RETURN_NOT_OK(GetDoubles(c, &v, kMaxWireDim, "vector"));
+    query->vector_set.vectors.push_back(std::move(v));
+  }
+  VSIM_RETURN_NOT_OK(GetDoubles(c, &query->centroid, kMaxWireDim, "centroid"));
+  VSIM_RETURN_NOT_OK(
+      GetDoubles(c, &query->cover_vector, kMaxWireDim, "cover vector"));
+  return Status::OK();
+}
+
+// Chunk body shared by every kResponse frame: a slice of the neighbor
+// list followed by a slice of the id list.
+void AppendChunkBody(std::string* out, const ServiceResponse& response,
+                     size_t neighbor_begin, size_t neighbor_end,
+                     size_t id_begin, size_t id_end) {
+  PutU32(out, static_cast<uint32_t>(neighbor_end - neighbor_begin));
+  for (size_t i = neighbor_begin; i < neighbor_end; ++i) {
+    PutI32(out, response.neighbors[i].id);
+    PutF64(out, response.neighbors[i].distance);
+  }
+  PutU32(out, static_cast<uint32_t>(id_end - id_begin));
+  for (size_t i = id_begin; i < id_end; ++i) {
+    PutI32(out, response.ids[i]);
+  }
+}
+
+}  // namespace
+
+// --- encoding --------------------------------------------------------
+
+void AppendFrame(FrameType type, uint8_t flags, uint64_t request_id,
+                 const std::string& payload, std::string* out) {
+  out->reserve(out->size() + kFrameHeaderBytes + payload.size());
+  PutU32(out, kWireMagic);
+  PutU16(out, kWireVersion);
+  PutU8(out, static_cast<uint8_t>(type));
+  PutU8(out, flags);
+  PutU64(out, request_id);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+void AppendRequestFrame(uint64_t request_id, const ServiceRequest& request,
+                        std::string* out) {
+  std::string payload;
+  const bool has_query = request.object_id < 0;
+  PutU8(&payload, static_cast<uint8_t>(request.kind));
+  PutU8(&payload, static_cast<uint8_t>(request.strategy));
+  PutU8(&payload, request.with_reflections ? 1 : 0);
+  PutU8(&payload, has_query ? 1 : 0);
+  PutI32(&payload, request.object_id);
+  PutI32(&payload, request.k);
+  PutF64(&payload, request.eps);
+  PutF64(&payload, request.timeout_seconds);
+  if (has_query) AppendObjectRepr(&payload, request.query);
+  AppendFrame(FrameType::kRequest, kFlagFinal, request_id, payload, out);
+}
+
+void AppendStatusFrame(uint64_t request_id, const Status& status,
+                       std::string* out) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(status.code()));
+  std::string message = status.message();
+  if (message.size() > kMaxWireMessageBytes) {
+    message.resize(kMaxWireMessageBytes);
+  }
+  PutU32(&payload, static_cast<uint32_t>(message.size()));
+  payload.append(message);
+  AppendFrame(FrameType::kStatus, kFlagFinal, request_id, payload, out);
+}
+
+void AppendInfoRequestFrame(uint64_t request_id, std::string* out) {
+  AppendFrame(FrameType::kInfoRequest, kFlagFinal, request_id, {}, out);
+}
+
+void AppendInfoResponseFrame(uint64_t request_id, const ServerInfo& info,
+                             std::string* out) {
+  std::string payload;
+  PutU64(&payload, info.generation);
+  PutU64(&payload, info.object_count);
+  PutI32(&payload, info.num_covers);
+  PutI32(&payload, info.cover_resolution);
+  PutI32(&payload, info.histogram_cells);
+  PutI32(&payload, info.histogram_resolution);
+  PutU8(&payload, info.extract_histograms ? 1 : 0);
+  PutU8(&payload, info.anisotropic_fit ? 1 : 0);
+  PutU8(&payload, static_cast<uint8_t>(info.cover_search));
+  AppendFrame(FrameType::kInfoResponse, kFlagFinal, request_id, payload, out);
+}
+
+void AppendResponseFrames(uint64_t request_id,
+                          const ServiceResponse& response, std::string* out,
+                          uint32_t results_per_frame) {
+  if (results_per_frame == 0) results_per_frame = 1;
+  const size_t total_neighbors = response.neighbors.size();
+  const size_t total_ids = response.ids.size();
+  const size_t longest = std::max(total_neighbors, total_ids);
+  const size_t chunks =
+      std::max<size_t>(1, (longest + results_per_frame - 1) / results_per_frame);
+  for (size_t chunk = 0; chunk < chunks; ++chunk) {
+    std::string payload;
+    if (chunk == 0) {
+      PutU8(&payload, response.cache_hit ? 1 : 0);
+      PutU64(&payload, response.generation);
+      PutF64(&payload, response.latency_seconds);
+      PutF64(&payload, response.cost.cpu_seconds);
+      PutU64(&payload, response.cost.io.page_accesses());
+      PutU64(&payload, response.cost.io.bytes_read());
+      PutU64(&payload, response.cost.candidates_refined);
+      PutU32(&payload, static_cast<uint32_t>(total_neighbors));
+      PutU32(&payload, static_cast<uint32_t>(total_ids));
+    }
+    const size_t nb = std::min(total_neighbors, chunk * results_per_frame);
+    const size_t ne =
+        std::min(total_neighbors, (chunk + 1) * results_per_frame);
+    const size_t ib = std::min(total_ids, chunk * results_per_frame);
+    const size_t ie = std::min(total_ids, (chunk + 1) * results_per_frame);
+    AppendChunkBody(&payload, response, nb, ne, ib, ie);
+    const bool final_chunk = chunk + 1 == chunks;
+    AppendFrame(FrameType::kResponse, final_chunk ? kFlagFinal : 0,
+                request_id, payload, out);
+  }
+}
+
+// --- decoding --------------------------------------------------------
+
+Status DecodeFrameHeader(const uint8_t* data, size_t size,
+                         FrameHeader* header) {
+  if (size < kFrameHeaderBytes) {
+    return Status::InvalidArgument("short frame header");
+  }
+  WireCursor c(data, kFrameHeaderBytes);
+  uint32_t magic;
+  uint8_t type;
+  c.U32(&magic);
+  c.U16(&header->version);
+  c.U8(&type);
+  c.U8(&header->flags);
+  c.U64(&header->request_id);
+  c.U32(&header->payload_bytes);
+  if (magic != kWireMagic) {
+    return Status::InvalidArgument("bad frame magic (not a vsim peer)");
+  }
+  if (header->version != kWireVersion) {
+    return Status::Unimplemented(
+        "wire protocol version " + std::to_string(header->version) +
+        " not supported (this build speaks version " +
+        std::to_string(kWireVersion) + ")");
+  }
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kInfoResponse)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  header->type = static_cast<FrameType>(type);
+  if ((header->flags & ~kFlagFinal) != 0) {
+    return Status::InvalidArgument("unknown frame flags");
+  }
+  if (header->payload_bytes > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(header->payload_bytes) +
+        " bytes exceeds cap " + std::to_string(kMaxFramePayloadBytes));
+  }
+  return Status::OK();
+}
+
+Status DecodeRequestPayload(const uint8_t* data, size_t size,
+                            ServiceRequest* request) {
+  WireCursor c(data, size);
+  uint8_t kind, strategy, with_reflections, has_query;
+  if (!c.U8(&kind) || !c.U8(&strategy) || !c.U8(&with_reflections) ||
+      !c.U8(&has_query)) {
+    return Truncated("request");
+  }
+  if (kind >= kNumQueryKinds) {
+    return Status::InvalidArgument("unknown query kind " +
+                                   std::to_string(kind));
+  }
+  if (strategy >= kNumQueryStrategies) {
+    return Status::InvalidArgument("unknown query strategy " +
+                                   std::to_string(strategy));
+  }
+  if (with_reflections > 1 || has_query > 1) {
+    return Status::InvalidArgument("request flag bytes must be 0 or 1");
+  }
+  request->kind = static_cast<QueryKind>(kind);
+  request->strategy = static_cast<QueryStrategy>(strategy);
+  request->with_reflections = with_reflections == 1;
+  if (!c.I32(&request->object_id) || !c.I32(&request->k) ||
+      !c.F64(&request->eps) || !c.F64(&request->timeout_seconds)) {
+    return Truncated("request");
+  }
+  request->query = ObjectRepr{};
+  if (has_query == 1) {
+    if (request->object_id >= 0) {
+      return Status::InvalidArgument(
+          "request carries both a stored object id and an external query");
+    }
+    VSIM_RETURN_NOT_OK(DecodeObjectRepr(&c, &request->query));
+  }
+  if (!c.Done()) {
+    return Status::InvalidArgument("trailing bytes after request payload");
+  }
+  return Status::OK();
+}
+
+Status DecodeStatusPayload(const uint8_t* data, size_t size, Status* status) {
+  WireCursor c(data, size);
+  uint8_t code_byte;
+  uint32_t message_len;
+  if (!c.U8(&code_byte) || !c.U32(&message_len)) return Truncated("status");
+  StatusCode code;
+  if (!StatusCodeFromInt(code_byte, &code)) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(code_byte));
+  }
+  if (code == StatusCode::kOk) {
+    return Status::InvalidArgument(
+        "status frame carries OK (successful completions are response "
+        "frames)");
+  }
+  if (message_len > kMaxWireMessageBytes) {
+    return Oversized("status message", message_len, kMaxWireMessageBytes);
+  }
+  std::string message(message_len, '\0');
+  if (!c.Bytes(message.data(), message_len)) return Truncated("status");
+  if (!c.Done()) {
+    return Status::InvalidArgument("trailing bytes after status payload");
+  }
+  *status = Status(code, std::move(message));
+  return Status::OK();
+}
+
+Status DecodeInfoResponsePayload(const uint8_t* data, size_t size,
+                                 ServerInfo* info) {
+  WireCursor c(data, size);
+  uint8_t extract_histograms, anisotropic_fit, cover_search;
+  if (!c.U64(&info->generation) || !c.U64(&info->object_count) ||
+      !c.I32(&info->num_covers) || !c.I32(&info->cover_resolution) ||
+      !c.I32(&info->histogram_cells) || !c.I32(&info->histogram_resolution) ||
+      !c.U8(&extract_histograms) || !c.U8(&anisotropic_fit) ||
+      !c.U8(&cover_search)) {
+    return Truncated("info");
+  }
+  if (extract_histograms > 1 || anisotropic_fit > 1) {
+    return Status::InvalidArgument("info flag bytes must be 0 or 1");
+  }
+  if (cover_search >
+      static_cast<uint8_t>(CoverSequenceOptions::Search::kBeam)) {
+    return Status::InvalidArgument("unknown cover-search mode " +
+                                   std::to_string(cover_search));
+  }
+  info->extract_histograms = extract_histograms == 1;
+  info->anisotropic_fit = anisotropic_fit == 1;
+  info->cover_search =
+      static_cast<CoverSequenceOptions::Search>(cover_search);
+  if (!c.Done()) {
+    return Status::InvalidArgument("trailing bytes after info payload");
+  }
+  return Status::OK();
+}
+
+Status ResponseAssembler::Add(const uint8_t* data, size_t size,
+                              bool final_chunk) {
+  if (complete_) {
+    return Status::InvalidArgument("response chunk after the final chunk");
+  }
+  WireCursor c(data, size);
+  if (!started_) {
+    started_ = true;
+    uint8_t cache_hit;
+    double cpu_seconds;
+    uint64_t pages, bytes, refined;
+    uint32_t total_neighbors, total_ids;
+    if (!c.U8(&cache_hit) || !c.U64(&response_.generation) ||
+        !c.F64(&response_.latency_seconds) || !c.F64(&cpu_seconds) ||
+        !c.U64(&pages) || !c.U64(&bytes) || !c.U64(&refined) ||
+        !c.U32(&total_neighbors) || !c.U32(&total_ids)) {
+      return Truncated("response header");
+    }
+    if (cache_hit > 1) {
+      return Status::InvalidArgument("cache_hit byte must be 0 or 1");
+    }
+    if (total_neighbors > kMaxWireResults || total_ids > kMaxWireResults) {
+      return Oversized("response result",
+                       std::max<uint64_t>(total_neighbors, total_ids),
+                       kMaxWireResults);
+    }
+    response_.cache_hit = cache_hit == 1;
+    response_.cost.cpu_seconds = cpu_seconds;
+    response_.cost.io.AddPageAccesses(pages);
+    response_.cost.io.AddBytesRead(bytes);
+    response_.cost.candidates_refined = refined;
+    expected_neighbors_ = total_neighbors;
+    expected_ids_ = total_ids;
+    response_.neighbors.reserve(total_neighbors);
+    response_.ids.reserve(total_ids);
+  }
+  uint32_t n_neighbors;
+  if (!c.U32(&n_neighbors)) return Truncated("response chunk");
+  if (n_neighbors > expected_neighbors_ - response_.neighbors.size()) {
+    return Status::InvalidArgument(
+        "response chunk exceeds the announced neighbor total");
+  }
+  if (c.remaining() < static_cast<size_t>(n_neighbors) * 12) {
+    return Truncated("response chunk");
+  }
+  for (uint32_t i = 0; i < n_neighbors; ++i) {
+    Neighbor n;
+    if (!c.I32(&n.id) || !c.F64(&n.distance)) {
+      return Truncated("response chunk");
+    }
+    response_.neighbors.push_back(n);
+  }
+  uint32_t n_ids;
+  if (!c.U32(&n_ids)) return Truncated("response chunk");
+  if (n_ids > expected_ids_ - response_.ids.size()) {
+    return Status::InvalidArgument(
+        "response chunk exceeds the announced id total");
+  }
+  if (c.remaining() < static_cast<size_t>(n_ids) * 4) {
+    return Truncated("response chunk");
+  }
+  for (uint32_t i = 0; i < n_ids; ++i) {
+    int32_t id;
+    if (!c.I32(&id)) return Truncated("response chunk");
+    response_.ids.push_back(id);
+  }
+  if (!c.Done()) {
+    return Status::InvalidArgument("trailing bytes after response chunk");
+  }
+  if (final_chunk) {
+    if (response_.neighbors.size() != expected_neighbors_ ||
+        response_.ids.size() != expected_ids_) {
+      return Status::InvalidArgument(
+          "final response chunk leaves the announced totals unmet");
+    }
+    complete_ = true;
+  }
+  return Status::OK();
+}
+
+ServiceResponse ResponseAssembler::Take() {
+  ServiceResponse out = std::move(response_);
+  started_ = false;
+  complete_ = false;
+  expected_neighbors_ = 0;
+  expected_ids_ = 0;
+  response_ = ServiceResponse{};
+  return out;
+}
+
+}  // namespace vsim::net

@@ -1,0 +1,307 @@
+#include "vsim/net/server.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <string>
+#include <utility>
+
+namespace vsim::net {
+
+namespace {
+
+// Builds the metadata a remote client needs to extract wire-compatible
+// query objects (kInfoRequest handler).
+ServerInfo MakeServerInfo(const DbSnapshot& snapshot) {
+  const ExtractionOptions& opts = snapshot.db().options();
+  ServerInfo info;
+  info.generation = snapshot.generation();
+  info.object_count = snapshot.db().size();
+  info.num_covers = opts.num_covers;
+  info.cover_resolution = opts.cover_resolution;
+  info.histogram_cells = opts.histogram_cells;
+  info.histogram_resolution = opts.histogram_resolution;
+  info.extract_histograms = opts.extract_histograms;
+  info.anisotropic_fit = opts.anisotropic_fit;
+  info.cover_search = opts.cover_search;
+  return info;
+}
+
+}  // namespace
+
+Server::Server(QueryService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  {
+    MutexLock lock(&mu_);
+    if (started_) {
+      return Status::FailedPrecondition("server already started");
+    }
+    started_ = true;
+  }
+  StatusOr<ScopedFd> listen = ListenTcp(options_.host, options_.port);
+  VSIM_RETURN_NOT_OK(listen.status());
+  listen_fd_ = std::move(listen).value();
+  StatusOr<int> port = LocalPort(listen_fd_.get());
+  VSIM_RETURN_NOT_OK(port.status());
+  port_.store(port.value(), std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  {
+    MutexLock lock(&mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  // Unblock accept(2); the acceptor sees the error + stopping_ and
+  // exits without touching the connection list again.
+  listen_fd_.ShutdownBoth();
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // Graceful drain: stop *reading* from every connection (readers
+  // unblock and mark themselves done) while leaving the write side open
+  // so writers can flush every in-flight response.
+  MutexLock lock(&mu_);
+  for (auto& conn : connections_) conn->fd.ShutdownRead();
+  for (auto& conn : connections_) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+  connections_.clear();
+  listen_fd_.Reset();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  s.requests_received = requests_received_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t Server::ReapConnectionsLocked() {
+  size_t live = 0;
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    Connection* conn = it->get();
+    if (conn->finished.load(std::memory_order_acquire)) {
+      if (conn->reader.joinable()) conn->reader.join();
+      if (conn->writer.joinable()) conn->writer.join();
+      it = connections_.erase(it);
+    } else {
+      ++live;
+      ++it;
+    }
+  }
+  return live;
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      // Transient accept failures (e.g. the peer resetting before the
+      // handshake completes) must not kill the serving loop.
+      continue;
+    }
+    ScopedFd client(fd);
+    if (stopping_.load(std::memory_order_acquire)) break;
+
+    MutexLock lock(&mu_);
+    const size_t live = ReapConnectionsLocked();
+    if (live >= static_cast<size_t>(options_.max_connections)) {
+      // Over the limit: tell the peer why before closing, mirroring the
+      // service's own admission-control contract.
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      std::string frame;
+      AppendStatusFrame(
+          0,
+          Status::Unavailable(
+              "connection limit reached (" +
+              std::to_string(options_.max_connections) + " active)"),
+          &frame);
+      (void)WriteAll(client.get(), frame.data(), frame.size());
+      continue;  // ScopedFd closes the socket
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.read_timeout_seconds > 0) {
+      (void)SetReadTimeout(client.get(), options_.read_timeout_seconds);
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = std::move(client);
+    Connection* raw = conn.get();
+    connections_.push_back(std::move(conn));
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
+  }
+}
+
+void Server::EnqueueLocked(Connection* conn, Connection::Pending pending) {
+  MutexLock lock(&conn->mu);
+  // Backpressure: the reader (sole producer) waits for window space; the
+  // writer pops and signals. A stopping server drains via the writer, so
+  // this wait always makes progress.
+  while (conn->queue.size() >= options_.max_pipeline) {
+    conn->cv.Wait(&conn->mu);
+  }
+  conn->queue.push_back(std::move(pending));
+  conn->cv.NotifyAll();
+}
+
+void Server::ReaderLoop(Connection* conn) {
+  while (true) {
+    FrameHeader header;
+    std::string payload;
+    bool clean_eof = false;
+    Status read_status =
+        ReadFrame(conn->fd.get(), &header, &payload, &clean_eof);
+    if (read_status.ok() && clean_eof) break;  // peer finished cleanly
+    if (!read_status.ok()) {
+      // Read errors during shutdown (or after the writer shut the
+      // socket down on a write failure) are expected teardown, not
+      // peer misbehavior.
+      if (!stopping_.load(std::memory_order_acquire) &&
+          read_status.code() != StatusCode::kIOError) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        Connection::Pending fatal;
+        fatal.request_id = 0;
+        fatal.ready = read_status;
+        fatal.close_after = true;
+        EnqueueLocked(conn, std::move(fatal));
+      }
+      break;
+    }
+
+    Connection::Pending pending;
+    pending.request_id = header.request_id;
+    switch (header.type) {
+      case FrameType::kInfoRequest: {
+        pending.has_info = true;
+        pending.info = MakeServerInfo(*service_->snapshot());
+        break;
+      }
+      case FrameType::kRequest: {
+        requests_received_.fetch_add(1, std::memory_order_relaxed);
+        ServiceRequest request;
+        Status decoded = DecodeRequestPayload(
+            reinterpret_cast<const uint8_t*>(payload.data()),
+            payload.size(), &request);
+        if (!decoded.ok()) {
+          // Framing is intact, so this poisons only the one request:
+          // answer it with the decode error and keep the connection.
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          pending.ready = decoded;
+          break;
+        }
+        StatusOr<std::future<StatusOr<ServiceResponse>>> submitted =
+            service_->Submit(std::move(request));
+        if (submitted.ok()) {
+          pending.future = std::move(submitted).value();
+        } else {
+          pending.ready = submitted.status();  // admission rejection
+        }
+        break;
+      }
+      default: {
+        // kResponse/kStatus/kInfoResponse are server->client only; a
+        // peer sending one no longer speaks the protocol we expect.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        pending.ready = Status::InvalidArgument(
+            "unexpected client frame type " +
+            std::to_string(static_cast<int>(header.type)));
+        pending.close_after = true;
+        break;
+      }
+    }
+    const bool fatal = pending.close_after;
+    EnqueueLocked(conn, std::move(pending));
+    if (fatal) break;
+  }
+
+  {
+    MutexLock lock(&conn->mu);
+    conn->reader_done = true;
+    conn->cv.NotifyAll();
+  }
+  conn->reader_exited.store(true, std::memory_order_release);
+  if (conn->writer_exited.load(std::memory_order_acquire)) {
+    conn->finished.store(true, std::memory_order_release);
+  }
+}
+
+void Server::WriterLoop(Connection* conn) {
+  bool close = false;
+  while (!close) {
+    Connection::Pending pending;
+    {
+      MutexLock lock(&conn->mu);
+      while (conn->queue.empty() && !conn->reader_done) {
+        conn->cv.Wait(&conn->mu);
+      }
+      if (conn->queue.empty()) break;  // reader done + drained
+      pending = std::move(conn->queue.front());
+      conn->queue.pop_front();
+      conn->cv.NotifyAll();  // window space for the reader
+    }
+
+    std::string frames;
+    if (pending.has_info) {
+      AppendInfoResponseFrame(pending.request_id, pending.info, &frames);
+    } else if (pending.future.valid()) {
+      // Blocks until the service completes the request -- this is what
+      // makes Stop() a *drain*: the writer refuses to exit before every
+      // submitted request has its answer on the wire (or the socket is
+      // dead). Service errors (kDeadlineExceeded, validation,
+      // kOutOfRange after a shrinking swap) become kStatus frames.
+      StatusOr<ServiceResponse> result = pending.future.get();
+      if (result.ok()) {
+        AppendResponseFrames(pending.request_id, result.value(), &frames,
+                             options_.results_per_frame);
+      } else {
+        AppendStatusFrame(pending.request_id, result.status(), &frames);
+      }
+    } else {
+      AppendStatusFrame(pending.request_id, pending.ready, &frames);
+    }
+    close = pending.close_after;
+    if (!WriteAll(conn->fd.get(), frames.data(), frames.size()).ok()) {
+      close = true;  // peer gone; remaining completions have no reader
+    } else {
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Wake the reader out of recv (it may still be mid-read on a
+  // connection the writer decided to close) and out of the backpressure
+  // wait, then drop any undeliverable completions. Destroying a pending
+  // future does not cancel execution -- the service still runs the
+  // request to completion; only the result delivery is abandoned.
+  conn->fd.ShutdownBoth();
+  {
+    MutexLock lock(&conn->mu);
+    while (!conn->reader_done) {
+      conn->queue.clear();
+      conn->cv.NotifyAll();
+      conn->cv.Wait(&conn->mu);
+    }
+    conn->queue.clear();
+  }
+  conn->writer_exited.store(true, std::memory_order_release);
+  if (conn->reader_exited.load(std::memory_order_acquire)) {
+    conn->finished.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace vsim::net

@@ -1,0 +1,171 @@
+// TCP serving front-end over QueryService: accepts remote connections
+// speaking the versioned wire protocol (protocol.h, docs/PROTOCOL.md)
+// and dispatches every request into QueryService::Submit, so remote
+// clients get the full serving stack -- admission control
+// (kUnavailable), deadlines (kDeadlineExceeded), the result cache and
+// online snapshot swaps -- with errors propagated as wire status
+// frames instead of string matching.
+//
+// Concurrency model (deliberately poll/epoll-free): one blocking
+// acceptor thread plus two threads per connection.
+//
+//   - The *reader* thread parses frames off the socket and submits each
+//     request to the service immediately, then appends the returned
+//     future to the connection's bounded completion queue. A client may
+//     therefore pipeline any number of requests on one connection; they
+//     execute concurrently on the service's worker pool.
+//   - The *writer* thread pops completions FIFO, waits for each future,
+//     and streams the response frames back. Responses are delivered in
+//     request order (HTTP/1.1-style pipelining); the queue bound is the
+//     per-connection in-flight window, and a reader that fills it
+//     blocks -- natural backpressure on top of the service's own
+//     admission bound.
+//
+// Error containment: a malformed *payload* (bounds-checked decode
+// failure) fails that one request with a wire status -- framing is
+// still intact, so the connection survives. A malformed frame *header*
+// (bad magic/version/type/length) means the byte stream can no longer
+// be trusted; the server sends a connection-level status frame
+// (request id 0) and closes. Either way the peer can never crash or
+// hang the server (tests/net_server_test.cc feeds both corpora).
+//
+// Graceful shutdown: Stop() closes the listener, shuts down the read
+// side of every connection, then joins readers and writers -- the
+// writers drain every in-flight request to completion before the
+// sockets close, so no accepted request is ever silently dropped.
+//
+// Thread-safety: Start/Stop/port/stats are safe from any thread;
+// internal shared state is annotated and mutex-guarded
+// (VSIM_STATIC_ANALYSIS covers this header and server.cc).
+#ifndef VSIM_NET_SERVER_H_
+#define VSIM_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vsim/common/status.h"
+#include "vsim/common/thread_annotations.h"
+#include "vsim/net/protocol.h"
+#include "vsim/net/socket_util.h"
+#include "vsim/service/query_service.h"
+
+namespace vsim::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;             // 0 = ephemeral; see Server::port()
+  int max_connections = 64;  // beyond this, accepts get kUnavailable
+  size_t max_pipeline = 128;  // per-connection in-flight window
+
+  // 0 disables. A nonzero value bounds how long a stalled peer can pin
+  // a reader thread (SO_RCVTIMEO); on expiry the connection closes.
+  double read_timeout_seconds = 0.0;
+
+  // Response streaming granularity (smaller = more frames; tests use
+  // tiny values to force multi-frame responses).
+  uint32_t results_per_frame = kDefaultResultsPerFrame;
+};
+
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;  // over the connection limit
+  uint64_t requests_received = 0;
+  uint64_t responses_sent = 0;  // completions written (incl. status frames)
+  uint64_t protocol_errors = 0;  // malformed frames/payloads from peers
+};
+
+class Server {
+ public:
+  // `service` must outlive the server and is shared with any in-process
+  // callers (the snapshot-swap machinery keeps working under remote
+  // load -- see NetServerTest.SwapUnderRemoteLoad).
+  explicit Server(QueryService* service, ServerOptions options = {});
+
+  // Stops and drains (Stop()) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and starts the acceptor. Fails with kIOError if the
+  // address is taken. Call at most once.
+  Status Start() EXCLUDES(mu_);
+
+  // Graceful stop: no new connections, no new requests read, every
+  // already-submitted request completes and its response is written
+  // before the sockets close. Idempotent.
+  void Stop() EXCLUDES(mu_);
+
+  // The bound port (resolves an ephemeral request). 0 before Start.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+
+ private:
+  // Per-connection state machine; owned by the server's connection
+  // list, torn down by Stop() or by the reaper pass in the acceptor.
+  struct Connection {
+    // One completion slot: exactly one of `future` (a submitted query),
+    // `ready` (an immediate error: admission rejection or a malformed
+    // payload) or `info` is set.
+    struct Pending {
+      uint64_t request_id = 0;
+      std::future<StatusOr<ServiceResponse>> future;
+      Status ready;
+      bool has_info = false;
+      ServerInfo info;
+      bool close_after = false;  // connection-fatal: write, then close
+    };
+
+    ScopedFd fd;
+    Mutex mu;
+    CondVar cv;
+    std::deque<Pending> queue GUARDED_BY(mu);
+    bool reader_done GUARDED_BY(mu) = false;
+    std::thread reader;
+    std::thread writer;
+    // Both loops exited; the connection no longer counts against the
+    // limit and may be reaped (joined + destroyed).
+    std::atomic<bool> finished{false};
+    std::atomic<bool> reader_exited{false};
+    std::atomic<bool> writer_exited{false};
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void WriterLoop(Connection* conn);
+  void EnqueueLocked(Connection* conn, Connection::Pending pending)
+      EXCLUDES(conn->mu);
+  // Joins and erases finished connections; returns the live count.
+  size_t ReapConnectionsLocked() REQUIRES(mu_);
+
+  QueryService* const service_;  // not owned
+  const ServerOptions options_;
+
+  Mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_ GUARDED_BY(mu_);
+  bool started_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
+
+  ScopedFd listen_fd_;  // written in Start before the acceptor exists,
+                        // then only read (acceptor) / shutdown (Stop)
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> port_{0};
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_received_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace vsim::net
+
+#endif  // VSIM_NET_SERVER_H_

@@ -1,0 +1,430 @@
+// Wire-protocol codec tests: exact round trips for every frame kind,
+// streamed-response reassembly, and a malformed-frame corpus in the
+// spirit of tests/corrupt_file_test.cc -- valid frames truncated at
+// every length and bit-flipped throughout must always produce clean
+// Status errors, never crashes, hangs or runaway allocations (the
+// server feeds attacker-controlled bytes straight into these decoders).
+#include "vsim/net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vsim/common/rng.h"
+
+namespace vsim::net {
+namespace {
+
+const uint8_t* Bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+// A representative external-query request touching every field.
+ServiceRequest MakeExternalRequest() {
+  ServiceRequest req;
+  req.kind = QueryKind::kInvariantKnn;
+  req.strategy = QueryStrategy::kVectorSetMTree;
+  req.object_id = -1;
+  req.k = 7;
+  req.eps = 1.25;
+  req.with_reflections = true;
+  req.timeout_seconds = 0.75;
+  Rng rng(7);
+  for (int v = 0; v < 3; ++v) {
+    FeatureVector vec(6);
+    for (double& d : vec) d = rng.NextDouble();
+    req.query.vector_set.vectors.push_back(std::move(vec));
+  }
+  req.query.centroid = FeatureVector(7);
+  for (double& d : req.query.centroid) d = rng.NextDouble();
+  req.query.cover_vector = FeatureVector(42);
+  for (double& d : req.query.cover_vector) d = rng.NextDouble();
+  return req;
+}
+
+ServiceResponse MakeResponse(int neighbors, int ids) {
+  ServiceResponse resp;
+  Rng rng(11);
+  for (int i = 0; i < neighbors; ++i) {
+    resp.neighbors.push_back({i * 3, rng.NextDouble()});
+  }
+  for (int i = 0; i < ids; ++i) resp.ids.push_back(i * 5 + 1);
+  resp.cache_hit = true;
+  resp.generation = 42;
+  resp.latency_seconds = 0.002;
+  resp.cost.cpu_seconds = 0.001;
+  resp.cost.io.AddPageAccesses(17);
+  resp.cost.io.AddBytesRead(1234);
+  resp.cost.candidates_refined = 9;
+  return resp;
+}
+
+// Splits a concatenation of frames into (header, payload) pairs,
+// asserting each header decodes.
+struct RawFrame {
+  FrameHeader header;
+  std::string payload;
+};
+
+std::vector<RawFrame> SplitFrames(const std::string& buffer) {
+  std::vector<RawFrame> frames;
+  size_t pos = 0;
+  while (pos < buffer.size()) {
+    RawFrame f;
+    EXPECT_TRUE(DecodeFrameHeader(Bytes(buffer) + pos,
+                                  kFrameHeaderBytes, &f.header)
+                    .ok());
+    pos += kFrameHeaderBytes;
+    f.payload = buffer.substr(pos, f.header.payload_bytes);
+    pos += f.header.payload_bytes;
+    frames.push_back(std::move(f));
+  }
+  EXPECT_EQ(pos, buffer.size());
+  return frames;
+}
+
+// --- round trips -----------------------------------------------------
+
+TEST(ProtocolTest, RequestWithExternalQueryRoundTrips) {
+  const ServiceRequest req = MakeExternalRequest();
+  std::string buffer;
+  AppendRequestFrame(99, req, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, FrameType::kRequest);
+  EXPECT_EQ(frames[0].header.request_id, 99u);
+
+  ServiceRequest out;
+  ASSERT_TRUE(DecodeRequestPayload(Bytes(frames[0].payload),
+                                   frames[0].payload.size(), &out)
+                  .ok());
+  EXPECT_EQ(out.kind, req.kind);
+  EXPECT_EQ(out.strategy, req.strategy);
+  EXPECT_EQ(out.object_id, req.object_id);
+  EXPECT_EQ(out.k, req.k);
+  EXPECT_EQ(out.eps, req.eps);
+  EXPECT_EQ(out.with_reflections, req.with_reflections);
+  EXPECT_EQ(out.timeout_seconds, req.timeout_seconds);
+  ASSERT_EQ(out.query.vector_set.size(), req.query.vector_set.size());
+  for (size_t v = 0; v < req.query.vector_set.vectors.size(); ++v) {
+    EXPECT_EQ(out.query.vector_set.vectors[v],
+              req.query.vector_set.vectors[v]);
+  }
+  EXPECT_EQ(out.query.centroid, req.query.centroid);
+  EXPECT_EQ(out.query.cover_vector, req.query.cover_vector);
+}
+
+TEST(ProtocolTest, StoredIdRequestCarriesNoQueryPayload) {
+  ServiceRequest req;
+  req.object_id = 17;
+  std::string by_id;
+  AppendRequestFrame(1, req, &by_id);
+  std::string external;
+  AppendRequestFrame(1, MakeExternalRequest(), &external);
+  EXPECT_LT(by_id.size(), external.size());
+
+  const std::vector<RawFrame> frames = SplitFrames(by_id);
+  ASSERT_EQ(frames.size(), 1u);
+  ServiceRequest out;
+  ASSERT_TRUE(DecodeRequestPayload(Bytes(frames[0].payload),
+                                   frames[0].payload.size(), &out)
+                  .ok());
+  EXPECT_EQ(out.object_id, 17);
+  EXPECT_EQ(out.query.vector_set.size(), 0u);
+}
+
+TEST(ProtocolTest, StatusFrameRoundTripsCodeAndMessage) {
+  std::string buffer;
+  AppendStatusFrame(7, Status::Unavailable("queue full"), &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, FrameType::kStatus);
+  Status remote;
+  ASSERT_TRUE(DecodeStatusPayload(Bytes(frames[0].payload),
+                                  frames[0].payload.size(), &remote)
+                  .ok());
+  EXPECT_EQ(remote.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(remote.message(), "queue full");
+}
+
+TEST(ProtocolTest, InfoRoundTrips) {
+  ServerInfo info;
+  info.generation = 3;
+  info.object_count = 250;
+  info.num_covers = 9;
+  info.cover_resolution = 12;
+  info.histogram_cells = 4;
+  info.histogram_resolution = 20;
+  info.extract_histograms = true;
+  info.anisotropic_fit = false;
+  info.cover_search = CoverSequenceOptions::Search::kBeam;
+  std::string buffer;
+  AppendInfoResponseFrame(5, info, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  ServerInfo out;
+  ASSERT_TRUE(DecodeInfoResponsePayload(Bytes(frames[0].payload),
+                                        frames[0].payload.size(), &out)
+                  .ok());
+  EXPECT_EQ(out.generation, info.generation);
+  EXPECT_EQ(out.object_count, info.object_count);
+  EXPECT_EQ(out.num_covers, info.num_covers);
+  EXPECT_EQ(out.cover_resolution, info.cover_resolution);
+  EXPECT_EQ(out.histogram_cells, info.histogram_cells);
+  EXPECT_EQ(out.histogram_resolution, info.histogram_resolution);
+  EXPECT_EQ(out.extract_histograms, info.extract_histograms);
+  EXPECT_EQ(out.anisotropic_fit, info.anisotropic_fit);
+  EXPECT_EQ(out.cover_search, info.cover_search);
+}
+
+void ExpectResponsesEqual(const ServiceResponse& a,
+                          const ServiceResponse& b) {
+  ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+  for (size_t i = 0; i < a.neighbors.size(); ++i) {
+    EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id);
+    EXPECT_EQ(a.neighbors[i].distance, b.neighbors[i].distance);
+  }
+  EXPECT_EQ(a.ids, b.ids);
+  EXPECT_EQ(a.cache_hit, b.cache_hit);
+  EXPECT_EQ(a.generation, b.generation);
+  EXPECT_EQ(a.latency_seconds, b.latency_seconds);
+  EXPECT_EQ(a.cost.cpu_seconds, b.cost.cpu_seconds);
+  EXPECT_EQ(a.cost.io.page_accesses(), b.cost.io.page_accesses());
+  EXPECT_EQ(a.cost.io.bytes_read(), b.cost.io.bytes_read());
+  EXPECT_EQ(a.cost.candidates_refined, b.cost.candidates_refined);
+}
+
+TEST(ProtocolTest, SingleFrameResponseRoundTrips) {
+  const ServiceResponse resp = MakeResponse(5, 3);
+  std::string buffer;
+  AppendResponseFrames(4, resp, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.flags & kFlagFinal, kFlagFinal);
+  ResponseAssembler assembler;
+  ASSERT_TRUE(assembler
+                  .Add(Bytes(frames[0].payload), frames[0].payload.size(),
+                       true)
+                  .ok());
+  ASSERT_TRUE(assembler.complete());
+  ExpectResponsesEqual(assembler.Take(), resp);
+}
+
+TEST(ProtocolTest, ChunkedResponseStreamsAndReassembles) {
+  // 23 neighbors + 11 ids at 4 results per frame: 6 chunks, uneven tail.
+  const ServiceResponse resp = MakeResponse(23, 11);
+  std::string buffer;
+  AppendResponseFrames(4, resp, &buffer, 4);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 6u);
+  ResponseAssembler assembler;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_FALSE(assembler.complete());
+    const bool final_chunk = (frames[i].header.flags & kFlagFinal) != 0;
+    EXPECT_EQ(final_chunk, i + 1 == frames.size());
+    ASSERT_TRUE(assembler
+                    .Add(Bytes(frames[i].payload),
+                         frames[i].payload.size(), final_chunk)
+                    .ok());
+  }
+  ASSERT_TRUE(assembler.complete());
+  ExpectResponsesEqual(assembler.Take(), resp);
+}
+
+TEST(ProtocolTest, EmptyResponseStillProducesAFinalFrame) {
+  std::string buffer;
+  AppendResponseFrames(1, ServiceResponse{}, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  ResponseAssembler assembler;
+  ASSERT_TRUE(assembler
+                  .Add(Bytes(frames[0].payload), frames[0].payload.size(),
+                       true)
+                  .ok());
+  EXPECT_TRUE(assembler.complete());
+}
+
+// --- structural violations -------------------------------------------
+
+TEST(ProtocolTest, AssemblerRejectsChunkAfterFinal) {
+  const ServiceResponse resp = MakeResponse(2, 0);
+  std::string buffer;
+  AppendResponseFrames(4, resp, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ResponseAssembler assembler;
+  ASSERT_TRUE(assembler
+                  .Add(Bytes(frames[0].payload), frames[0].payload.size(),
+                       true)
+                  .ok());
+  EXPECT_FALSE(assembler
+                   .Add(Bytes(frames[0].payload),
+                        frames[0].payload.size(), true)
+                   .ok());
+}
+
+TEST(ProtocolTest, AssemblerRejectsShortTotalsOnFinalChunk) {
+  // Announce 23 neighbors but mark the first 4-entry chunk final.
+  const ServiceResponse resp = MakeResponse(23, 0);
+  std::string buffer;
+  AppendResponseFrames(4, resp, &buffer, 4);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_GT(frames.size(), 1u);
+  ResponseAssembler assembler;
+  const Status premature = assembler.Add(
+      Bytes(frames[0].payload), frames[0].payload.size(), true);
+  EXPECT_FALSE(premature.ok());
+  EXPECT_FALSE(assembler.complete());
+}
+
+TEST(ProtocolTest, VersionMismatchNamesBothVersions) {
+  std::string buffer;
+  AppendStatusFrame(1, Status::Internal("x"), &buffer);
+  buffer[4] = 9;  // version field low byte
+  FrameHeader header;
+  const Status st =
+      DecodeFrameHeader(Bytes(buffer), kFrameHeaderBytes, &header);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnimplemented);
+  EXPECT_NE(st.message().find("version 9"), std::string::npos);
+  EXPECT_NE(st.message().find("version " + std::to_string(kWireVersion)),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, HeaderRejectsBadMagicTypeAndFlags) {
+  std::string valid;
+  AppendInfoRequestFrame(1, &valid);
+  FrameHeader header;
+
+  std::string bad = valid;
+  bad[0] = 'X';
+  EXPECT_FALSE(DecodeFrameHeader(Bytes(bad), kFrameHeaderBytes, &header).ok());
+
+  bad = valid;
+  bad[6] = 0;  // frame type below the valid range
+  EXPECT_FALSE(DecodeFrameHeader(Bytes(bad), kFrameHeaderBytes, &header).ok());
+  bad[6] = 6;  // above it
+  EXPECT_FALSE(DecodeFrameHeader(Bytes(bad), kFrameHeaderBytes, &header).ok());
+
+  bad = valid;
+  bad[7] = static_cast<char>(0x80);  // unknown flag bit
+  EXPECT_FALSE(DecodeFrameHeader(Bytes(bad), kFrameHeaderBytes, &header).ok());
+}
+
+TEST(ProtocolTest, OversizedCountsAreRejectedBeforeAllocation) {
+  // A request announcing kMaxWireVectors+1 vectors in a tiny payload
+  // must be rejected by the cap check, not by attempting the resize.
+  std::string payload;
+  payload.push_back(0);  // kind
+  payload.push_back(0);  // strategy
+  payload.push_back(0);  // with_reflections
+  payload.push_back(1);  // has_query
+  for (int i = 0; i < 4; ++i) payload.push_back('\xff');  // object_id = -1
+  for (int i = 0; i < 4; ++i) payload.push_back(0);       // k
+  for (int i = 0; i < 16; ++i) payload.push_back(0);      // eps + timeout
+  const uint32_t huge = kMaxWireVectors + 1;
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<char>(huge >> (8 * i)));
+  }
+  ServiceRequest out;
+  const Status st =
+      DecodeRequestPayload(Bytes(payload), payload.size(), &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cap"), std::string::npos);
+}
+
+// --- malformed-frame corpus ------------------------------------------
+
+// Decodes one complete frame buffer the way the server does: header
+// first, then the matching payload decoder. Any Status is fine; crashes
+// and hangs are not.
+void ExerciseFrameBytes(const uint8_t* data, size_t size) {
+  FrameHeader header;
+  if (size < kFrameHeaderBytes) {
+    (void)DecodeFrameHeader(data, size, &header);
+    return;
+  }
+  if (!DecodeFrameHeader(data, kFrameHeaderBytes, &header).ok()) return;
+  const uint8_t* payload = data + kFrameHeaderBytes;
+  const size_t payload_size =
+      std::min<size_t>(header.payload_bytes, size - kFrameHeaderBytes);
+  switch (header.type) {
+    case FrameType::kRequest: {
+      ServiceRequest req;
+      (void)DecodeRequestPayload(payload, payload_size, &req);
+      break;
+    }
+    case FrameType::kStatus: {
+      Status st;
+      (void)DecodeStatusPayload(payload, payload_size, &st);
+      break;
+    }
+    case FrameType::kInfoResponse: {
+      ServerInfo info;
+      (void)DecodeInfoResponsePayload(payload, payload_size, &info);
+      break;
+    }
+    case FrameType::kResponse: {
+      ResponseAssembler assembler;
+      (void)assembler.Add(payload, payload_size,
+                          (header.flags & kFlagFinal) != 0);
+      break;
+    }
+    case FrameType::kInfoRequest:
+      break;  // no payload to decode
+  }
+}
+
+std::vector<std::string> CorpusFrames() {
+  std::vector<std::string> frames;
+  frames.emplace_back();
+  AppendRequestFrame(3, MakeExternalRequest(), &frames.back());
+  frames.emplace_back();
+  {
+    ServiceRequest by_id;
+    by_id.object_id = 5;
+    AppendRequestFrame(4, by_id, &frames.back());
+  }
+  frames.emplace_back();
+  AppendStatusFrame(5, Status::DeadlineExceeded("too slow"), &frames.back());
+  frames.emplace_back();
+  AppendInfoResponseFrame(6, ServerInfo{}, &frames.back());
+  frames.emplace_back();
+  AppendResponseFrames(7, MakeResponse(9, 4), &frames.back(), 3);
+  return frames;
+}
+
+TEST(ProtocolCorpusTest, TruncationsAtEveryLengthFailCleanly) {
+  for (const std::string& valid : CorpusFrames()) {
+    for (size_t len = 0; len <= valid.size(); ++len) {
+      ExerciseFrameBytes(Bytes(valid), len);
+    }
+  }
+}
+
+TEST(ProtocolCorpusTest, BitFlipsEverywhereFailCleanly) {
+  for (const std::string& valid : CorpusFrames()) {
+    for (size_t pos = 0; pos < valid.size(); ++pos) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mutated = valid;
+        mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << bit));
+        ExerciseFrameBytes(Bytes(mutated), mutated.size());
+      }
+    }
+  }
+}
+
+TEST(ProtocolCorpusTest, RandomGarbageFailsCleanly) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(rng.NextBounded(256), '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(rng.NextBounded(256));
+    }
+    ExerciseFrameBytes(Bytes(garbage), garbage.size());
+  }
+}
+
+}  // namespace
+}  // namespace vsim::net

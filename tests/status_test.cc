@@ -44,6 +44,41 @@ TEST(StatusTest, CodeNamesAreStable) {
                "DeadlineExceeded");
 }
 
+// Every code must survive code -> name -> code and code -> int -> code:
+// status codes cross process boundaries (the wire protocol sends them
+// as integers; logs and scripts match on the names), so the mapping is
+// part of the public contract, exhaustively.
+TEST(StatusTest, EveryCodeRoundTripsThroughItsName) {
+  for (int i = 0; i <= kMaxStatusCode; ++i) {
+    const StatusCode code = static_cast<StatusCode>(i);
+    const char* name = StatusCodeName(code);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "Unknown") << "code " << i << " has no name";
+    StatusCode back = StatusCode::kInternal;
+    ASSERT_TRUE(StatusCodeFromName(name, &back))
+        << "name '" << name << "' does not parse back";
+    EXPECT_EQ(back, code);
+  }
+}
+
+TEST(StatusTest, EveryCodeRoundTripsThroughItsInteger) {
+  for (int i = 0; i <= kMaxStatusCode; ++i) {
+    StatusCode code = StatusCode::kInternal;
+    ASSERT_TRUE(StatusCodeFromInt(i, &code)) << "int " << i;
+    EXPECT_EQ(static_cast<int>(code), i);
+  }
+}
+
+TEST(StatusTest, UnknownNamesAndIntsAreRejected) {
+  StatusCode code = StatusCode::kOk;
+  EXPECT_FALSE(StatusCodeFromName("NoSuchCode", &code));
+  EXPECT_FALSE(StatusCodeFromName("", &code));
+  EXPECT_FALSE(StatusCodeFromName("ok", &code));  // names are exact
+  EXPECT_FALSE(StatusCodeFromInt(-1, &code));
+  EXPECT_FALSE(StatusCodeFromInt(kMaxStatusCode + 1, &code));
+  EXPECT_EQ(code, StatusCode::kOk);  // rejected lookups leave *code alone
+}
+
 TEST(StatusOrTest, HoldsValue) {
   StatusOr<int> v = 42;
   ASSERT_TRUE(v.ok());

@@ -3,8 +3,9 @@
 # the concurrency-sensitive suites: the query-service stress test, the
 # snapshot-swap-under-load stress suite (online reindex: 8 clients vs
 # concurrent SwapSnapshot/Rebuilder publications), the thread pool, the
-# sharded result cache, and the parallel extraction path. Any data race
-# aborts with a non-zero exit.
+# sharded result cache, the parallel extraction path, and the TCP
+# serving front-end (loopback server smoke + snapshot swaps under live
+# remote load). Any data race aborts with a non-zero exit.
 #
 # Usage: tools/check_tsan.sh [build-dir]
 #   default: $VSIM_BUILD_ROOT/build-tsan (shared build-dir convention
@@ -21,6 +22,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target vsim_tests
 
 TSAN_OPTIONS="halt_on_error=1" \
     "$BUILD_DIR/tests/vsim_tests" \
-    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*'
+    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:NetServerTest*:RemoteSwapTest*'
 
-echo "TSan: service stress + snapshot-swap + concurrency suites clean"
+echo "TSan: service stress + snapshot-swap + net server + concurrency suites clean"

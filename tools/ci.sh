@@ -5,6 +5,7 @@
 #   configure     cmake -B $ROOT/build
 #   build         full tree (library, tests, benches, tools, examples)
 #   ctest         tier-1 suite (507+ tests)
+#   serve_smoke   vsim serve loopback round-trip + exit-code contract
 #   check_docs    markdown link + module-coverage lint
 #   check_static  thread-safety build + clang-tidy + UBSan suite
 #                 (tools/check_static.sh --no-tsan; TSan runs below as
@@ -47,6 +48,7 @@ run_stage() {  # run_stage <name> <cmd...>
 run_stage configure cmake -B "$BUILD_DIR" -S .
 run_stage build cmake --build "$BUILD_DIR" -j "$(nproc)"
 run_stage ctest ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+run_stage serve_smoke tools/serve_smoke.sh "$BUILD_DIR"
 run_stage check_docs tools/check_docs.sh
 run_stage check_static tools/check_static.sh --no-tsan
 run_stage check_tsan tools/check_tsan.sh "$VSIM_BUILD_ROOT/build-tsan"

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the remote serving front-end, run as a CI
+# stage (tools/ci.sh): starts `vsim serve` on a loopback socket with an
+# OS-assigned port, round-trips k-NN / range / invariant queries through
+# `vsim remote-query`, exercises the usage-error exit-code contract
+# (tools/README.md: 0 success, 1 runtime failure, 2 usage error), and
+# checks the server drains and exits cleanly on SIGTERM.
+#
+# Usage: tools/serve_smoke.sh [build-dir]   (default: $VSIM_BUILD_ROOT/build)
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-${VSIM_BUILD_ROOT:-.}/build}"
+VSIM="$BUILD_DIR/tools/vsim"
+if [ ! -x "$VSIM" ]; then
+  echo "serve_smoke: $VSIM not built"
+  exit 1
+fi
+
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail=0
+check() {  # check <description> <expected-exit> <cmd...>
+  local desc="$1" expected="$2"; shift 2
+  "$@" > "$TMP/out" 2>&1
+  local got=$?
+  if [ "$got" -ne "$expected" ]; then
+    echo "FAIL: $desc (exit $got, want $expected)"
+    sed 's/^/  | /' "$TMP/out" | head -5
+    fail=1
+  else
+    echo "ok: $desc"
+  fi
+}
+
+# --- start the server (synthetic car data set, ephemeral port) --------
+"$VSIM" serve --dataset car --count 24 --port 0 --port-file "$TMP/port" \
+    --duration-s 60 --threads 2 > "$TMP/serve.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$TMP/port" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve_smoke: server exited before publishing its port"
+    cat "$TMP/serve.log"
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(cat "$TMP/port")
+if [ -z "$PORT" ]; then
+  echo "serve_smoke: no port published"
+  exit 1
+fi
+echo "server up on port $PORT (pid $SERVER_PID)"
+
+# --- remote queries over the wire -------------------------------------
+check "k-NN by stored id" 0 \
+    "$VSIM" remote-query --port "$PORT" --id 3 --k 5
+check "range query" 0 \
+    "$VSIM" remote-query --port "$PORT" --id 0 --kind range --eps 100
+check "invariant k-NN" 0 \
+    "$VSIM" remote-query --port "$PORT" --id 1 --k 3 --kind invariant-knn
+check "scan strategy agrees on exit" 0 \
+    "$VSIM" remote-query --port "$PORT" --id 3 --k 5 --strategy scan
+
+# --- runtime failures exit 1 ------------------------------------------
+check "out-of-range stored id is a runtime failure" 1 \
+    "$VSIM" remote-query --port "$PORT" --id 99999
+check "connection refused is a runtime failure" 1 \
+    "$VSIM" remote-query --port 1 --id 0
+
+# --- usage errors exit 2 ----------------------------------------------
+check "missing --port is a usage error" 2 \
+    "$VSIM" remote-query --id 0
+check "bad --kind is a usage error" 2 \
+    "$VSIM" remote-query --port "$PORT" --id 0 --kind nearest
+check "bad --strategy is a usage error" 2 \
+    "$VSIM" remote-query --port "$PORT" --id 0 --strategy xtree
+check "serve without a data source is a usage error" 2 \
+    "$VSIM" serve
+
+# --- graceful shutdown: SIGTERM drains and exits 0 --------------------
+kill -TERM "$SERVER_PID"
+SERVER_EXIT=1
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    wait "$SERVER_PID"
+    SERVER_EXIT=$?
+    break
+  fi
+  sleep 0.1
+done
+if [ "$SERVER_EXIT" -ne 0 ]; then
+  echo "FAIL: server did not exit cleanly on SIGTERM (exit $SERVER_EXIT)"
+  cat "$TMP/serve.log"
+  fail=1
+else
+  echo "ok: SIGTERM drains and exits 0"
+fi
+SERVER_PID=""
+
+if [ "$fail" -ne 0 ]; then
+  echo "serve_smoke: FAILED"
+  exit 1
+fi
+echo "serve_smoke: loopback round-trip, exit-code contract and graceful shutdown OK"

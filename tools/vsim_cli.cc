@@ -28,8 +28,22 @@
 //       new parameters (or rebuilds the indexes when none are given)
 //       and atomically swaps each snapshot in; verifies no response
 //       crossed generations and prints per-generation counts
+//   vsim serve --db parts.vsimdb --port 4780
+//       TCP server speaking the versioned wire protocol
+//       (docs/PROTOCOL.md) over the same QueryService the batch
+//       command drives in-process; stops on SIGINT/SIGTERM (graceful
+//       drain) or after --duration-s
+//   vsim remote-query --port 4780 --id 17 [--k 10] [--kind knn]
+//   vsim remote-query --port 4780 --mesh new_part.stl [--invariant]
+//       remote twin of `vsim query`: external meshes are extracted
+//       locally with the server's own extraction options (fetched via
+//       the info RPC) so results match a server-side query exactly
+//
+// Exit codes (tools/README.md): 0 success, 1 runtime failure,
+// 2 usage error (unknown command/flag, malformed flag values).
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -49,8 +63,11 @@
 #include "vsim/core/similarity.h"
 #include "vsim/data/dataset.h"
 #include "vsim/geometry/mesh_io.h"
+#include "vsim/net/client.h"
+#include "vsim/net/server.h"
 #include "vsim/service/query_service.h"
 #include "vsim/service/rebuilder.h"
+#include "vsim/service/request_parse.h"
 
 namespace vsim {
 namespace {
@@ -113,9 +130,18 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+// Runtime failure (I/O, bad data, server-side errors): exit 1.
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Usage error (malformed or out-of-domain flag values): exit 2, the
+// same code unknown flags and missing required flags use, so scripts
+// can tell "you invoked it wrong" from "it ran and failed".
+int UsageFail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
 }
 
 // Usage errors (unknown flags) exit 2, like missing required flags.
@@ -173,12 +199,13 @@ int CmdGenerate(const Flags& flags) {
 int CmdBuild(const Flags& flags) {
   VSIM_CLI_CHECK_FLAGS(flags, "build",
                        {"in", "db", "covers", "resolution", "cells",
-                        "threads"});
+                        "cover-search", "threads"});
   const std::string in = flags.Get("in", "");
   const std::string db_path = flags.Get("db", "");
   if (in.empty() || db_path.empty()) {
     std::fprintf(stderr, "usage: vsim build --in DIR --db FILE "
                          "[--covers K] [--resolution R] [--cells P] "
+                         "[--cover-search hillclimb|exhaustive|beam] "
                          "[--threads T]\n");
     return 2;
   }
@@ -186,6 +213,12 @@ int CmdBuild(const Flags& flags) {
   opt.num_covers = flags.GetInt("covers", opt.num_covers);
   opt.cover_resolution = flags.GetInt("resolution", opt.cover_resolution);
   opt.histogram_cells = flags.GetInt("cells", opt.histogram_cells);
+  if (flags.Has("cover-search")) {
+    StatusOr<CoverSequenceOptions::Search> search =
+        ParseCoverSearch(flags.Get("cover-search", ""));
+    if (!search.ok()) return UsageFail(search.status());
+    opt.cover_search = search.value();
+  }
 
   // Read the manifest if present; otherwise treat every mesh file as a
   // one-part object with unknown label.
@@ -315,12 +348,10 @@ int CmdQuery(const Flags& flags) {
   StatusOr<CadDatabase> db = OpenDb(flags);
   if (!db.ok()) return Fail(db.status());
   const int k = flags.GetInt("k", 10);
-  const std::string strategy_name = flags.Get("strategy", "filter");
-  QueryStrategy strategy = QueryStrategy::kVectorSetFilter;
-  if (strategy_name == "scan") strategy = QueryStrategy::kVectorSetScan;
-  if (strategy_name == "mtree") strategy = QueryStrategy::kVectorSetMTree;
-  if (strategy_name == "vafile") strategy = QueryStrategy::kVectorSetVaFilter;
-  if (strategy_name == "onevector") strategy = QueryStrategy::kOneVectorXTree;
+  StatusOr<QueryStrategy> strategy_or =
+      ParseQueryStrategy(flags.Get("strategy", "filter"));
+  if (!strategy_or.ok()) return UsageFail(strategy_or.status());
+  const QueryStrategy strategy = strategy_or.value();
 
   QueryEngine engine(&*db);
   QueryCost cost;
@@ -400,14 +431,10 @@ int CmdOptics(const Flags& flags) {
                        {"db", "model", "invariant", "minpts", "eps", "csv"});
   StatusOr<CadDatabase> db = OpenDb(flags);
   if (!db.ok()) return Fail(db.status());
-  const std::string model_name = flags.Get("model", "vector-set");
-  ModelType model = ModelType::kVectorSet;
-  if (model_name == "volume") model = ModelType::kVolume;
-  if (model_name == "solid-angle") model = ModelType::kSolidAngle;
-  if (model_name == "cover-sequence") model = ModelType::kCoverSequence;
-  if (model_name == "cover-sequence-permutation") {
-    model = ModelType::kCoverSequencePermutation;
-  }
+  StatusOr<ModelType> model_or =
+      ParseModelType(flags.Get("model", "vector-set"));
+  if (!model_or.ok()) return UsageFail(model_or.status());
+  const ModelType model = model_or.value();
   OpticsOptions opt;
   opt.min_pts = flags.GetInt("minpts", 4);
   const PairwiseDistanceFn fn =
@@ -463,22 +490,14 @@ int CmdBatch(const Flags& flags) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
   if (repeat_frac < 0.0 || repeat_frac > 1.0) {
-    return Fail(Status::InvalidArgument("--repeat-frac must be in [0, 1]"));
+    return UsageFail(
+        Status::InvalidArgument("--repeat-frac must be in [0, 1]"));
   }
 
-  QueryStrategy strategy = QueryStrategy::kVectorSetFilter;
-  const std::string strategy_name = flags.Get("strategy", "filter");
-  if (strategy_name == "scan") {
-    strategy = QueryStrategy::kVectorSetScan;
-  } else if (strategy_name == "mtree") {
-    strategy = QueryStrategy::kVectorSetMTree;
-  } else if (strategy_name == "vafile") {
-    strategy = QueryStrategy::kVectorSetVaFilter;
-  } else if (strategy_name != "filter") {
-    return Fail(Status::InvalidArgument(
-        "unknown --strategy '" + strategy_name +
-        "' (valid: filter scan mtree vafile)"));
-  }
+  StatusOr<QueryStrategy> strategy_or =
+      ParseQueryStrategy(flags.Get("strategy", "filter"));
+  if (!strategy_or.ok()) return UsageFail(strategy_or.status());
+  const QueryStrategy strategy = strategy_or.value();
 
   // Database: --db FILE, or a synthetic data set built in memory
   // (--dataset car|aircraft --count N).
@@ -488,7 +507,7 @@ int CmdBatch(const Flags& flags) {
   } else {
     const std::string dataset = flags.Get("dataset", "car");
     if (dataset != "car" && dataset != "aircraft") {
-      return Fail(Status::InvalidArgument(
+      return UsageFail(Status::InvalidArgument(
           "unknown --dataset '" + dataset + "' (valid: car aircraft)"));
     }
     const size_t count = static_cast<size_t>(flags.GetInt("count", 200));
@@ -624,7 +643,9 @@ int CmdReindex(const Flags& flags) {
   const int k = flags.GetInt("k", 10);
   const int swaps = flags.GetInt("swaps", 3);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  if (swaps < 1) return Fail(Status::InvalidArgument("--swaps must be >= 1"));
+  if (swaps < 1) {
+    return UsageFail(Status::InvalidArgument("--swaps must be >= 1"));
+  }
 
   // Initial database: --db FILE, or a synthetic data set. The synthetic
   // path retains the Dataset so rebuilds can re-extract with different
@@ -638,7 +659,7 @@ int CmdReindex(const Flags& flags) {
   } else {
     const std::string dataset = flags.Get("dataset", "car");
     if (dataset != "car" && dataset != "aircraft") {
-      return Fail(Status::InvalidArgument(
+      return UsageFail(Status::InvalidArgument(
           "unknown --dataset '" + dataset + "' (valid: car aircraft)"));
     }
     const size_t count = static_cast<size_t>(flags.GetInt("count", 200));
@@ -663,7 +684,7 @@ int CmdReindex(const Flags& flags) {
   rebuild_opt.cover_resolution =
       flags.GetInt("resolution", rebuild_opt.cover_resolution);
   if (reextract && !have_dataset) {
-    return Fail(Status::FailedPrecondition(
+    return UsageFail(Status::FailedPrecondition(
         "--covers/--resolution need the original meshes; use --dataset "
         "(a saved --db carries extracted representations only)"));
   }
@@ -764,11 +785,219 @@ int CmdReindex(const Flags& flags) {
   return wrong_generation.load() == 0 ? 0 : 1;
 }
 
+// --- serve ------------------------------------------------------------
+
+// SIGINT/SIGTERM request a graceful stop: the flag is polled by the
+// serve loop, which then drains in-flight requests via Server::Stop.
+std::atomic<bool> g_serve_stop{false};
+
+void HandleStopSignal(int) { g_serve_stop.store(true); }
+
+// Runs the TCP serving front-end (net::Server) over a QueryService on
+// the given database. Every remote request goes through the same
+// admission control, deadlines, result cache and snapshot machinery as
+// the in-process batch command.
+int CmdServe(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "serve",
+                       {"db", "dataset", "count", "host", "port",
+                        "port-file", "duration-s", "threads", "cache-mb",
+                        "max-queue", "max-connections", "simulate-io",
+                        "io-page-us", "seed"});
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  StatusOr<CadDatabase> db = Status::Internal("unset");
+  if (flags.Has("db")) {
+    db = CadDatabase::Load(flags.Get("db", ""));
+  } else if (flags.Has("dataset")) {
+    const std::string dataset = flags.Get("dataset", "car");
+    if (dataset != "car" && dataset != "aircraft") {
+      return UsageFail(Status::InvalidArgument(
+          "unknown --dataset '" + dataset + "' (valid: car aircraft)"));
+    }
+    const size_t count = static_cast<size_t>(flags.GetInt("count", 200));
+    ExtractionOptions opt;
+    opt.extract_histograms = false;
+    Dataset ds = dataset == "aircraft" ? MakeAircraftDataset(count, seed)
+                                       : MakeCarDataset(count, seed);
+    std::printf("extracting %zu synthetic objects...\n", ds.size());
+    db = CadDatabase::FromDataset(ds, opt, flags.GetInt("threads", 0));
+  } else {
+    std::fprintf(stderr,
+                 "usage: vsim serve --db FILE | --dataset car|aircraft "
+                 "[--count N] [--host H] [--port P] [--port-file FILE] "
+                 "[--duration-s S] [--threads T] [--cache-mb MB] "
+                 "[--max-queue N] [--max-connections N] [--simulate-io] "
+                 "[--io-page-us U]\n");
+    return 2;
+  }
+  if (!db.ok()) return Fail(db.status());
+  if (db->size() == 0) {
+    return Fail(Status::FailedPrecondition("empty database"));
+  }
+
+  QueryServiceOptions sopts;
+  sopts.num_threads = flags.GetInt("threads", 0);
+  sopts.cache_bytes =
+      static_cast<size_t>(flags.GetInt("cache-mb", 32)) << 20;
+  sopts.max_queue = static_cast<size_t>(flags.GetInt("max-queue", 4096));
+  sopts.simulate_io_wait = flags.Has("simulate-io");
+  sopts.io_params.seconds_per_page_access =
+      flags.GetDouble("io-page-us", 100.0) * 1e-6;
+  sopts.io_params.seconds_per_byte = 0.0;
+  QueryService service(DbSnapshot::Create(std::move(db).value(), 0), sopts);
+
+  net::ServerOptions nopts;
+  nopts.host = flags.Get("host", "127.0.0.1");
+  nopts.port = flags.GetInt("port", 0);
+  nopts.max_connections = flags.GetInt("max-connections", 64);
+  net::Server server(&service, nopts);
+  const Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("serving %llu objects on %s:%d (%d worker threads)\n",
+              static_cast<unsigned long long>(
+                  service.snapshot()->db().size()),
+              nopts.host.c_str(), server.port(), service.num_threads());
+  std::fflush(stdout);
+
+  // --port-file: publish the bound port for scripts that start the
+  // server with --port 0 (tools/serve_smoke.sh, tools/ci.sh).
+  const std::string port_file = flags.Get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << '\n';
+    if (!out) {
+      server.Stop();
+      return Fail(Status::IOError("cannot write --port-file " + port_file));
+    }
+  }
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  const double duration_s = flags.GetDouble("duration-s", 0.0);
+  Stopwatch watch;
+  while (!g_serve_stop.load()) {
+    if (duration_s > 0 && watch.ElapsedSeconds() >= duration_s) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("draining...\n");
+  server.Stop();
+  const net::ServerStats nstats = server.stats();
+  std::printf("served %llu requests (%llu responses) over %llu "
+              "connections; %llu rejected, %llu protocol errors\n",
+              static_cast<unsigned long long>(nstats.requests_received),
+              static_cast<unsigned long long>(nstats.responses_sent),
+              static_cast<unsigned long long>(nstats.connections_accepted),
+              static_cast<unsigned long long>(nstats.connections_rejected),
+              static_cast<unsigned long long>(nstats.protocol_errors));
+  service.PrintStats();
+  return 0;
+}
+
+// --- remote-query -----------------------------------------------------
+
+// Remote twin of `vsim query`, speaking the wire protocol to a `vsim
+// serve` endpoint. External meshes (--mesh) are extracted locally using
+// the extraction options fetched from the server's info RPC, so the
+// query representation matches what a server-side extraction would
+// produce.
+int CmdRemoteQuery(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "remote-query",
+                       {"host", "port", "id", "mesh", "k", "kind",
+                        "strategy", "eps", "invariant", "reflections",
+                        "timeout-ms"});
+  const int port = flags.GetInt("port", 0);
+  if (port <= 0) {
+    std::fprintf(stderr,
+                 "usage: vsim remote-query --port P [--host H] "
+                 "(--id N | --mesh FILE) [--k K] "
+                 "[--kind knn|range|invariant-knn|invariant-range] "
+                 "[--strategy filter|scan|mtree|vafile|onevector] "
+                 "[--eps E] [--invariant] [--reflections] "
+                 "[--timeout-ms MS]\n");
+    return 2;
+  }
+
+  ServiceRequest req;
+  StatusOr<QueryKind> kind = ParseQueryKind(flags.Get("kind", "knn"));
+  if (!kind.ok()) return UsageFail(kind.status());
+  req.kind = kind.value();
+  if (flags.Has("invariant")) {
+    // Shorthand: lift the plain kind to its pose-invariant twin.
+    if (req.kind == QueryKind::kKnn) req.kind = QueryKind::kInvariantKnn;
+    if (req.kind == QueryKind::kRange) {
+      req.kind = QueryKind::kInvariantRange;
+    }
+  }
+  StatusOr<QueryStrategy> strategy =
+      ParseQueryStrategy(flags.Get("strategy", "filter"));
+  if (!strategy.ok()) return UsageFail(strategy.status());
+  req.strategy = strategy.value();
+  req.k = flags.GetInt("k", 10);
+  req.eps = flags.GetDouble("eps", 0.0);
+  req.with_reflections = flags.Has("reflections");
+  req.timeout_seconds = flags.GetDouble("timeout-ms", 0.0) * 1e-3;
+
+  const std::string host = flags.Get("host", "127.0.0.1");
+  StatusOr<net::Client> client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  std::string query_desc;
+  const std::string mesh_path = flags.Get("mesh", "");
+  if (!mesh_path.empty()) {
+    StatusOr<net::ServerInfo> info = client->Info();
+    if (!info.ok()) return Fail(info.status());
+    ExtractionOptions opt;
+    opt.num_covers = info->num_covers;
+    opt.cover_resolution = info->cover_resolution;
+    opt.histogram_cells = info->histogram_cells;
+    opt.histogram_resolution = info->histogram_resolution;
+    opt.extract_histograms = info->extract_histograms;
+    opt.anisotropic_fit = info->anisotropic_fit;
+    opt.cover_search = info->cover_search;
+    StatusOr<TriangleMesh> mesh = LoadMesh(mesh_path);
+    if (!mesh.ok()) return Fail(mesh.status());
+    StatusOr<ObjectRepr> repr =
+        ExtractObject({WeldVertices(*mesh)}, opt);
+    if (!repr.ok()) return Fail(repr.status());
+    req.object_id = -1;
+    req.query = std::move(repr).value();
+    query_desc = mesh_path;
+  } else {
+    req.object_id = flags.GetInt("id", 0);
+    query_desc = "object " + std::to_string(req.object_id);
+  }
+
+  StatusOr<ServiceResponse> response = client->Execute(req);
+  if (!response.ok()) return Fail(response.status());
+  std::printf("%s of %s @ %s:%d (%s%s):\n", QueryKindName(req.kind),
+              query_desc.c_str(), host.c_str(), port,
+              QueryStrategyName(req.strategy),
+              response->cache_hit ? ", cache hit" : "");
+  for (const Neighbor& n : response->neighbors) {
+    std::printf("  %6d  distance %.4f\n", n.id, n.distance);
+  }
+  if (!response->ids.empty()) {
+    std::printf("  %zu objects within eps %.4f:", response->ids.size(),
+                req.eps);
+    for (int id : response->ids) std::printf(" %d", id);
+    std::printf("\n");
+  }
+  std::printf("generation %llu; %.2f ms server latency, %.2f ms CPU, "
+              "%zu pages / %zu bytes simulated I/O, %zu exact distances\n",
+              static_cast<unsigned long long>(response->generation),
+              1e3 * response->latency_seconds,
+              1e3 * response->cost.cpu_seconds,
+              response->cost.io.page_accesses(),
+              response->cost.io.bytes_read(),
+              response->cost.candidates_refined);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: vsim <generate|build|info|query|classify|optics|"
-                 "batch|reindex> [flags]\n");
+                 "batch|reindex|serve|remote-query> [flags]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -781,6 +1010,8 @@ int Run(int argc, char** argv) {
   if (cmd == "optics") return CmdOptics(flags);
   if (cmd == "batch") return CmdBatch(flags);
   if (cmd == "reindex") return CmdReindex(flags);
+  if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "remote-query") return CmdRemoteQuery(flags);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;
 }
