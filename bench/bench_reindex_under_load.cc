@@ -131,7 +131,7 @@ PhaseResult RunPhase(QueryService& service, Rebuilder* rebuilder,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const size_t objects = bench::FullRun() ? 1500 : 300;
   const int queries = bench::FullRun() ? 4000 : 1500;
   const int k = 10;
@@ -209,6 +209,6 @@ int main() {
       ",\"reindex_p99_ms\":" +
       TablePrinter::Num(reindex.Percentile(0.99) * 1e3, 3) +
       ",\"wrong_generation\":" + std::to_string(violations) + "}";
-  std::printf("\nJSON: %s\n", json.c_str());
-  return ok ? 0 : 1;
+  const int json_rc = bench::EmitJson(json, bench::JsonOutPath(argc, argv));
+  return ok ? json_rc : 1;
 }

@@ -129,7 +129,7 @@ RunResult RunInProcess(QueryService& service, int queries, size_t db_size,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bench::BenchConfig cfg = bench::Config();
   const size_t objects = bench::FullRun() ? cfg.aircraft_objects : 400;
   ExtractionOptions opt;
@@ -201,6 +201,5 @@ int main() {
               "(wire overhead vs in-process at 1 conn: %.1f%%)\n",
               scaling, 100.0 * (1.0 - qps1 / base.qps));
   json += "},\"speedup_4c\":" + TablePrinter::Num(scaling, 3) + "}";
-  std::printf("\nJSON: %s\n", json.c_str());
-  return 0;
+  return bench::EmitJson(json, bench::JsonOutPath(argc, argv));
 }

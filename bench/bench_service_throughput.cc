@@ -56,7 +56,7 @@ double RunWorkload(QueryService& service, const std::vector<int>& ids,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bench::BenchConfig cfg = bench::Config();
   const size_t objects = bench::FullRun() ? cfg.aircraft_objects : 500;
   ExtractionOptions opt;
@@ -156,6 +156,5 @@ int main() {
           ",\"cache_warm_qps\":" + TablePrinter::Num(qps_cache_warm, 1) +
           ",\"cache_speedup\":" +
           TablePrinter::Num(qps_cache_warm / qps_cache_off, 3) + "}";
-  std::printf("\nJSON: %s\n", json.c_str());
-  return 0;
+  return bench::EmitJson(json, bench::JsonOutPath(argc, argv));
 }

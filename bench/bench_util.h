@@ -34,6 +34,31 @@ inline bool CsvOutput() {
   return env != nullptr && env[0] == '1';
 }
 
+// --json FILE: the serving benches take an optional output path and
+// write their single JSON result line there in addition to printing it
+// (BENCH_serving.json is checked in from such a run).
+inline std::string JsonOutPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+// Prints the "JSON: " line and, if `path` is nonempty, writes the raw
+// JSON there. Returns 0, or 1 if the file cannot be written.
+inline int EmitJson(const std::string& json, const std::string& path) {
+  std::printf("\nJSON: %s\n", json.c_str());
+  if (path.empty()) return 0;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr || std::fprintf(f, "%s\n", json.c_str()) < 0) {
+    std::fprintf(stderr, "cannot write --json %s\n", path.c_str());
+    if (f != nullptr) std::fclose(f);
+    return 1;
+  }
+  std::fclose(f);
+  return 0;
+}
+
 struct BenchConfig {
   size_t car_objects;
   size_t aircraft_objects;

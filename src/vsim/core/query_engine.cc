@@ -12,6 +12,35 @@
 
 namespace vsim {
 
+namespace {
+
+// Splits a query's elapsed CPU time into filter and refine stages.
+// The X-tree filter strategy measures refinement inside MultiStep*
+// (time in exact_distance calls), so filter = elapsed - refine. The
+// strategies without a measured split charge the whole execution to
+// the stage that dominates them by construction: scan, M-tree and
+// VA-file spend their CPU in exact distance evaluations (refine); the
+// one-vector model has no refinement at all (filter).
+void FinishStageAttribution(QueryStrategy strategy, double elapsed,
+                            QueryCost* cost) {
+  cost->cpu_seconds = elapsed;
+  switch (strategy) {
+    case QueryStrategy::kVectorSetFilter:
+      cost->filter_seconds = std::max(0.0, elapsed - cost->refine_seconds);
+      break;
+    case QueryStrategy::kOneVectorXTree:
+      cost->filter_seconds = elapsed;
+      break;
+    case QueryStrategy::kVectorSetScan:
+    case QueryStrategy::kVectorSetMTree:
+    case QueryStrategy::kVectorSetVaFilter:
+      cost->refine_seconds = elapsed;
+      break;
+  }
+}
+
+}  // namespace
+
 const char* QueryStrategyName(QueryStrategy strategy) {
   switch (strategy) {
     case QueryStrategy::kOneVectorXTree:
@@ -120,6 +149,9 @@ std::vector<Neighbor> QueryEngine::Knn(QueryStrategy strategy,
                             static_cast<double>(num_covers_), k,
                             MakeExactDistance(query), &local.io, &ms);
       local.candidates_refined = ms.candidates_refined;
+      local.filter_hits = ms.filter_hits;
+      local.hungarian_invocations = ms.candidates_refined;
+      local.refine_seconds = ms.refine_seconds;
       break;
     }
     case QueryStrategy::kVectorSetScan: {
@@ -127,12 +159,16 @@ std::vector<Neighbor> QueryEngine::Knn(QueryStrategy strategy,
                        params_.page_size_bytes, MakeExactDistance(query),
                        &local.io);
       local.candidates_refined = db_->size();
+      local.filter_hits = db_->size();  // no filter: everything qualifies
+      local.hungarian_invocations = db_->size();
       break;
     }
     case QueryStrategy::kVectorSetMTree: {
       size_t evals = 0;
       result = mtree_->KnnQuery(query.vector_set, k, &local.io, &evals);
       local.candidates_refined = evals;
+      local.filter_hits = evals;
+      local.hungarian_invocations = evals;
       break;
     }
     case QueryStrategy::kVectorSetVaFilter: {
@@ -141,10 +177,12 @@ std::vector<Neighbor> QueryEngine::Knn(QueryStrategy strategy,
           query.centroid, static_cast<double>(num_covers_), k,
           MakeExactDistance(query), &local.io, &refined);
       local.candidates_refined = refined;
+      local.filter_hits = refined;
+      local.hungarian_invocations = refined;
       break;
     }
   }
-  local.cpu_seconds = watch.ElapsedSeconds();
+  FinishStageAttribution(strategy, watch.ElapsedSeconds(), &local);
   if (cost != nullptr) *cost = local;
   return result;
 }
@@ -240,6 +278,9 @@ std::vector<int> QueryEngine::Range(QueryStrategy strategy,
                               static_cast<double>(num_covers_), eps,
                               MakeExactDistance(query), &local.io, &ms);
       local.candidates_refined = ms.candidates_refined;
+      local.filter_hits = ms.filter_hits;
+      local.hungarian_invocations = ms.candidates_refined;
+      local.refine_seconds = ms.refine_seconds;
       break;
     }
     case QueryStrategy::kVectorSetScan: {
@@ -247,12 +288,16 @@ std::vector<int> QueryEngine::Range(QueryStrategy strategy,
                          params_.page_size_bytes, MakeExactDistance(query),
                          &local.io);
       local.candidates_refined = db_->size();
+      local.filter_hits = db_->size();  // no filter: everything qualifies
+      local.hungarian_invocations = db_->size();
       break;
     }
     case QueryStrategy::kVectorSetMTree: {
       size_t evals = 0;
       result = mtree_->RangeQuery(query.vector_set, eps, &local.io, &evals);
       local.candidates_refined = evals;
+      local.filter_hits = evals;
+      local.hungarian_invocations = evals;
       break;
     }
     case QueryStrategy::kOneVectorXTree: {
@@ -266,10 +311,12 @@ std::vector<int> QueryEngine::Range(QueryStrategy strategy,
           query.centroid, static_cast<double>(num_covers_), eps,
           MakeExactDistance(query), &local.io, &refined);
       local.candidates_refined = refined;
+      local.filter_hits = refined;
+      local.hungarian_invocations = refined;
       break;
     }
   }
-  local.cpu_seconds = watch.ElapsedSeconds();
+  FinishStageAttribution(strategy, watch.ElapsedSeconds(), &local);
   if (cost != nullptr) *cost = local;
   return result;
 }

@@ -55,6 +55,20 @@ struct QueryCost {
   IoStats io;
   size_t candidates_refined = 0;  // exact distance computations
 
+  // Per-stage attribution (docs/OBSERVABILITY.md). filter_hits counts
+  // candidates the filter step produced (Lemma 2: always >= the number
+  // refined under the optimal multi-step algorithm); for scans every
+  // stored object is a "hit". hungarian_invocations counts
+  // Kuhn-Munkres minimal-matching runs -- one per refinement for
+  // vector-set strategies, zero for the one-vector model.
+  // filter/refine_seconds split cpu_seconds for filter-and-refine
+  // strategies; strategies without a split report the whole execution
+  // as one stage (scan/M-tree: refine; one-vector: filter).
+  size_t filter_hits = 0;
+  size_t hungarian_invocations = 0;
+  double filter_seconds = 0.0;
+  double refine_seconds = 0.0;
+
   double IoSeconds(const IoCostParams& params = {}) const {
     return io.SimulatedSeconds(params);
   }
@@ -65,6 +79,10 @@ struct QueryCost {
     cpu_seconds += o.cpu_seconds;
     io += o.io;
     candidates_refined += o.candidates_refined;
+    filter_hits += o.filter_hits;
+    hungarian_invocations += o.hungarian_invocations;
+    filter_seconds += o.filter_seconds;
+    refine_seconds += o.refine_seconds;
     return *this;
   }
 };

@@ -2,9 +2,17 @@
 // keeps data and indexes in main memory and *charges* 8 ms per page
 // access and 200 ns per byte read; we reproduce exactly that cost model
 // so the CPU-vs-I/O trade-off of the filter step is comparable.
+//
+// Thread-safety: counters are relaxed atomics, so concurrent refinement
+// paths under the query service may charge I/O to a shared IoStats
+// without racing (totals converge; no ordering is implied). Copying --
+// QueryCost carries an IoStats by value -- takes a relaxed snapshot of
+// each counter; copy a stats object only when no writer is mid-query on
+// it if you need the two counters mutually consistent.
 #ifndef VSIM_INDEX_IO_STATS_H_
 #define VSIM_INDEX_IO_STATS_H_
 
+#include <atomic>
 #include <cstddef>
 
 namespace vsim {
@@ -17,31 +25,49 @@ struct IoCostParams {
 
 class IoStats {
  public:
-  void AddPageAccesses(size_t n) { page_accesses_ += n; }
-  void AddBytesRead(size_t n) { bytes_read_ += n; }
+  IoStats() = default;
+  IoStats(const IoStats& o)
+      : page_accesses_(o.page_accesses()), bytes_read_(o.bytes_read()) {}
+  IoStats& operator=(const IoStats& o) {
+    page_accesses_.store(o.page_accesses(), std::memory_order_relaxed);
+    bytes_read_.store(o.bytes_read(), std::memory_order_relaxed);
+    return *this;
+  }
 
-  size_t page_accesses() const { return page_accesses_; }
-  size_t bytes_read() const { return bytes_read_; }
+  void AddPageAccesses(size_t n) {
+    page_accesses_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddBytesRead(size_t n) {
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  size_t page_accesses() const {
+    return page_accesses_.load(std::memory_order_relaxed);
+  }
+  size_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
 
   double SimulatedSeconds(const IoCostParams& params = {}) const {
-    return static_cast<double>(page_accesses_) * params.seconds_per_page_access +
-           static_cast<double>(bytes_read_) * params.seconds_per_byte;
+    return static_cast<double>(page_accesses()) *
+               params.seconds_per_page_access +
+           static_cast<double>(bytes_read()) * params.seconds_per_byte;
   }
 
   void Reset() {
-    page_accesses_ = 0;
-    bytes_read_ = 0;
+    page_accesses_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
   }
 
   IoStats& operator+=(const IoStats& o) {
-    page_accesses_ += o.page_accesses_;
-    bytes_read_ += o.bytes_read_;
+    AddPageAccesses(o.page_accesses());
+    AddBytesRead(o.bytes_read());
     return *this;
   }
 
  private:
-  size_t page_accesses_ = 0;
-  size_t bytes_read_ = 0;
+  std::atomic<size_t> page_accesses_{0};
+  std::atomic<size_t> bytes_read_{0};
 };
 
 }  // namespace vsim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "vsim/common/stopwatch.h"
+
 namespace vsim {
 
 std::vector<Neighbor> MultiStepKnn(const XTree& filter_index,
@@ -25,7 +27,9 @@ std::vector<Neighbor> MultiStepKnn(const XTree& filter_index,
     }
     const Neighbor candidate = cursor.Next();
     ++local.filter_hits;
+    Stopwatch refine_watch;
     const double exact = exact_distance(candidate.id, stats);
+    local.refine_seconds += refine_watch.ElapsedSeconds();
     ++local.candidates_refined;
     if (static_cast<int>(best.size()) < k) {
       best.push_back({candidate.id, exact});
@@ -52,7 +56,9 @@ std::vector<int> MultiStepRange(const XTree& filter_index,
   local.filter_hits = candidates.size();
   std::vector<int> result;
   for (int id : candidates) {
+    Stopwatch refine_watch;
     const double exact = exact_distance(id, stats);
+    local.refine_seconds += refine_watch.ElapsedSeconds();
     ++local.candidates_refined;
     if (exact <= eps) result.push_back(id);
   }

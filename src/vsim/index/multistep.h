@@ -29,6 +29,9 @@ using ExactDistanceFn = std::function<double(int id, IoStats* stats)>;
 struct MultiStepStats {
   size_t candidates_refined = 0;  // exact distance evaluations
   size_t filter_hits = 0;         // candidates produced by the filter
+  // Wall time spent inside exact_distance calls (the refinement stage);
+  // the caller's total elapsed time minus this is the filter stage.
+  double refine_seconds = 0.0;
 };
 
 // Optimal multi-step k-NN. `filter_index` must index a filter vector

@@ -1,5 +1,6 @@
 #include "vsim/net/client.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace vsim::net {
@@ -140,6 +141,55 @@ StatusOr<ServerInfo> Client::Info() {
     return decoded;
   }
   return info;
+}
+
+StatusOr<StatsResponse> Client::Stats(uint32_t max_traces, bool slow_only) {
+  if (!ok()) return Status::FailedPrecondition("client is not connected");
+  const uint64_t id = next_request_id_++;
+  StatsRequest request;
+  request.max_traces = std::min(max_traces, kMaxWireTraces);
+  request.slow_only = slow_only;
+  std::string frame;
+  AppendStatsRequestFrame(id, request, &frame);
+  Status written = WriteAll(fd_.get(), frame.data(), frame.size());
+  if (!written.ok()) {
+    poisoned_ = true;
+    return written;
+  }
+  FrameHeader header;
+  std::string payload;
+  bool clean_eof = false;
+  Status read_status = ReadFrame(fd_.get(), &header, &payload, &clean_eof);
+  if (read_status.ok() && clean_eof) {
+    read_status = Status::IOError("server closed the connection");
+  }
+  if (!read_status.ok()) {
+    poisoned_ = true;
+    return read_status;
+  }
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+  if (header.type == FrameType::kStatus) {
+    // A pre-stats server answers the unknown frame type with a fatal
+    // status; surface it (and poison -- the server closes on it).
+    Status remote;
+    VSIM_RETURN_NOT_OK(DecodeStatusPayload(data, payload.size(), &remote));
+    poisoned_ = true;
+    return remote;
+  }
+  if (header.type != FrameType::kStatsResponse || header.request_id != id) {
+    poisoned_ = true;
+    return Status::InvalidArgument(
+        "expected a stats response, got frame type " +
+        std::to_string(static_cast<int>(header.type)));
+  }
+  StatsResponse response;
+  Status decoded =
+      DecodeStatsResponsePayload(data, payload.size(), &response);
+  if (!decoded.ok()) {
+    poisoned_ = true;
+    return decoded;
+  }
+  return response;
 }
 
 }  // namespace vsim::net

@@ -67,6 +67,13 @@ class Client {
   // like every completion).
   StatusOr<ServerInfo> Info();
 
+  // Pulls the server's metrics exposition and flight-recorder traces
+  // (kStatsRequest/kStatsResponse; servers advertise support via
+  // kFeatureStats in Info().feature_flags). Requires no other requests
+  // outstanding.
+  StatusOr<StatsResponse> Stats(uint32_t max_traces = 64,
+                                bool slow_only = false);
+
   void Close() { fd_.Reset(); }
 
  private:

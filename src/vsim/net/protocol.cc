@@ -1,5 +1,6 @@
 #include "vsim/net/protocol.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -244,7 +245,56 @@ void AppendInfoResponseFrame(uint64_t request_id, const ServerInfo& info,
   PutU8(&payload, info.extract_histograms ? 1 : 0);
   PutU8(&payload, info.anisotropic_fit ? 1 : 0);
   PutU8(&payload, static_cast<uint8_t>(info.cover_search));
+  // Trailing optional field (kFeatureStats et al.): decoders that
+  // predate it stop at the byte above and read flags = 0.
+  PutU32(&payload, info.feature_flags);
   AppendFrame(FrameType::kInfoResponse, kFlagFinal, request_id, payload, out);
+}
+
+void AppendStatsRequestFrame(uint64_t request_id, const StatsRequest& request,
+                             std::string* out) {
+  std::string payload;
+  PutU32(&payload, request.max_traces);
+  PutU8(&payload, request.slow_only ? 1 : 0);
+  AppendFrame(FrameType::kStatsRequest, kFlagFinal, request_id, payload, out);
+}
+
+void AppendStatsResponseFrame(uint64_t request_id,
+                              const StatsResponse& response,
+                              std::string* out) {
+  std::string payload;
+  std::string text = response.metrics_text;
+  if (text.size() > kMaxWireStatsTextBytes) {
+    text.resize(kMaxWireStatsTextBytes);
+  }
+  PutU32(&payload, static_cast<uint32_t>(text.size()));
+  payload.append(text);
+  const size_t traces =
+      std::min<size_t>(response.traces.size(), kMaxWireTraces);
+  PutU32(&payload, static_cast<uint32_t>(traces));
+  for (size_t i = 0; i < traces; ++i) {
+    const obs::QueryTrace& t = response.traces[i];
+    PutU64(&payload, t.trace_id);
+    PutU64(&payload, t.generation);
+    PutU8(&payload, t.kind);
+    PutU8(&payload, t.strategy);
+    PutU8(&payload, t.cache_hit);
+    PutU8(&payload, t.status_code);
+    PutI32(&payload, t.k);
+    PutF64(&payload, t.eps);
+    PutF64(&payload, t.queue_seconds);
+    PutF64(&payload, t.total_seconds);
+    PutF64(&payload, t.cpu_seconds);
+    PutF64(&payload, t.filter_seconds);
+    PutF64(&payload, t.refine_seconds);
+    PutU64(&payload, t.filter_hits);
+    PutU64(&payload, t.candidates_refined);
+    PutU64(&payload, t.hungarian_invocations);
+    PutU64(&payload, t.page_accesses);
+    PutU64(&payload, t.bytes_read);
+  }
+  AppendFrame(FrameType::kStatsResponse, kFlagFinal, request_id, payload,
+              out);
 }
 
 void AppendResponseFrames(uint64_t request_id,
@@ -307,7 +357,7 @@ Status DecodeFrameHeader(const uint8_t* data, size_t size,
         std::to_string(kWireVersion) + ")");
   }
   if (type < static_cast<uint8_t>(FrameType::kRequest) ||
-      type > static_cast<uint8_t>(FrameType::kInfoResponse)) {
+      type > static_cast<uint8_t>(FrameType::kStatsResponse)) {
     return Status::InvalidArgument("unknown frame type " +
                                    std::to_string(type));
   }
@@ -413,8 +463,98 @@ Status DecodeInfoResponsePayload(const uint8_t* data, size_t size,
   info->anisotropic_fit = anisotropic_fit == 1;
   info->cover_search =
       static_cast<CoverSequenceOptions::Search>(cover_search);
+  // Optional trailing feature flags: absent from peers that predate
+  // the field (they report no optional features). Unknown bits are
+  // deliberately NOT rejected -- that is what makes the field a
+  // version-break-free extension point.
+  info->feature_flags = 0;
+  if (!c.Done() && !c.U32(&info->feature_flags)) {
+    return Truncated("info");
+  }
   if (!c.Done()) {
     return Status::InvalidArgument("trailing bytes after info payload");
+  }
+  return Status::OK();
+}
+
+Status DecodeStatsRequestPayload(const uint8_t* data, size_t size,
+                                 StatsRequest* request) {
+  WireCursor c(data, size);
+  uint8_t slow_only;
+  if (!c.U32(&request->max_traces) || !c.U8(&slow_only)) {
+    return Truncated("stats request");
+  }
+  if (slow_only > 1) {
+    return Status::InvalidArgument("stats request flag byte must be 0 or 1");
+  }
+  request->slow_only = slow_only == 1;
+  if (request->max_traces > kMaxWireTraces) {
+    return Oversized("stats trace", request->max_traces, kMaxWireTraces);
+  }
+  if (!c.Done()) {
+    return Status::InvalidArgument("trailing bytes after stats request");
+  }
+  return Status::OK();
+}
+
+Status DecodeStatsResponsePayload(const uint8_t* data, size_t size,
+                                  StatsResponse* response) {
+  WireCursor c(data, size);
+  uint32_t text_len;
+  if (!c.U32(&text_len)) return Truncated("stats response");
+  if (text_len > kMaxWireStatsTextBytes) {
+    return Oversized("stats text", text_len, kMaxWireStatsTextBytes);
+  }
+  if (c.remaining() < text_len) return Truncated("stats response");
+  response->metrics_text.assign(text_len, '\0');
+  if (!c.Bytes(response->metrics_text.data(), text_len)) {
+    return Truncated("stats response");
+  }
+  uint32_t n_traces;
+  if (!c.U32(&n_traces)) return Truncated("stats response");
+  if (n_traces > kMaxWireTraces) {
+    return Oversized("stats trace", n_traces, kMaxWireTraces);
+  }
+  // Fixed 112-byte trace records; the full count must be present
+  // before any allocation.
+  constexpr size_t kTraceRecordBytes = 112;
+  if (c.remaining() < static_cast<size_t>(n_traces) * kTraceRecordBytes) {
+    return Truncated("stats response");
+  }
+  response->traces.clear();
+  response->traces.reserve(n_traces);
+  for (uint32_t i = 0; i < n_traces; ++i) {
+    obs::QueryTrace t;
+    if (!c.U64(&t.trace_id) || !c.U64(&t.generation) || !c.U8(&t.kind) ||
+        !c.U8(&t.strategy) || !c.U8(&t.cache_hit) || !c.U8(&t.status_code) ||
+        !c.I32(&t.k) || !c.F64(&t.eps) || !c.F64(&t.queue_seconds) ||
+        !c.F64(&t.total_seconds) || !c.F64(&t.cpu_seconds) ||
+        !c.F64(&t.filter_seconds) || !c.F64(&t.refine_seconds) ||
+        !c.U64(&t.filter_hits) || !c.U64(&t.candidates_refined) ||
+        !c.U64(&t.hungarian_invocations) || !c.U64(&t.page_accesses) ||
+        !c.U64(&t.bytes_read)) {
+      return Truncated("stats trace");
+    }
+    if (t.kind >= kNumQueryKinds) {
+      return Status::InvalidArgument("unknown trace query kind " +
+                                     std::to_string(t.kind));
+    }
+    if (t.strategy >= kNumQueryStrategies) {
+      return Status::InvalidArgument("unknown trace query strategy " +
+                                     std::to_string(t.strategy));
+    }
+    if (t.cache_hit > 1) {
+      return Status::InvalidArgument("trace cache_hit byte must be 0 or 1");
+    }
+    StatusCode code;
+    if (!StatusCodeFromInt(t.status_code, &code)) {
+      return Status::InvalidArgument("unknown trace status code " +
+                                     std::to_string(t.status_code));
+    }
+    response->traces.push_back(t);
+  }
+  if (!c.Done()) {
+    return Status::InvalidArgument("trailing bytes after stats response");
   }
   return Status::OK();
 }

@@ -48,6 +48,7 @@
 
 #include "vsim/common/status.h"
 #include "vsim/features/cover_sequence.h"
+#include "vsim/obs/query_trace.h"
 #include "vsim/service/query_service.h"
 
 namespace vsim::net {
@@ -63,18 +64,22 @@ inline constexpr uint32_t kMaxWireVectors = 4096;   // vectors per set
 inline constexpr uint32_t kMaxWireDim = 4096;       // doubles per vector
 inline constexpr uint32_t kMaxWireMessageBytes = 1u << 16;
 inline constexpr uint32_t kMaxWireResults = 1u << 20;  // per response
+inline constexpr uint32_t kMaxWireStatsTextBytes = 1u << 20;  // exposition
+inline constexpr uint32_t kMaxWireTraces = 1024;  // flight-recorder pull
 
 // Results per kResponse frame. Small responses (the common case) fit in
 // one final frame; large range results stream across several.
 inline constexpr uint32_t kDefaultResultsPerFrame = 4096;
 
 enum class FrameType : uint8_t {
-  kRequest = 1,       // client -> server: one ServiceRequest
-  kResponse = 2,      // server -> client: response chunk(s)
-  kStatus = 3,        // server -> client: error completion of a request
-                      // (request id 0 = connection-level error)
-  kInfoRequest = 4,   // client -> server: snapshot/extraction metadata
-  kInfoResponse = 5,  // server -> client: ServerInfo
+  kRequest = 1,        // client -> server: one ServiceRequest
+  kResponse = 2,       // server -> client: response chunk(s)
+  kStatus = 3,         // server -> client: error completion of a request
+                       // (request id 0 = connection-level error)
+  kInfoRequest = 4,    // client -> server: snapshot/extraction metadata
+  kInfoResponse = 5,   // server -> client: ServerInfo
+  kStatsRequest = 6,   // client -> server: metrics + flight-recorder pull
+  kStatsResponse = 7,  // server -> client: StatsResponse
 };
 
 inline constexpr uint8_t kFlagFinal = 0x01;
@@ -90,6 +95,14 @@ struct FrameHeader {
 // Snapshot + extraction metadata a remote client needs to issue
 // compatible external ObjectRepr queries (vsim remote-query --mesh
 // extracts with the server database's own options).
+// Optional-capability bits carried in ServerInfo.feature_flags. Minor
+// features extend the protocol without a version break: an older
+// decoder that stops before the flags field simply reports 0 (no
+// optional features), and unknown bits are ignored rather than
+// rejected -- only a *structural* change to existing frames bumps
+// kWireVersion.
+inline constexpr uint32_t kFeatureStats = 1u << 0;  // stats frame pair
+
 struct ServerInfo {
   uint64_t generation = 0;
   uint64_t object_count = 0;
@@ -101,6 +114,23 @@ struct ServerInfo {
   bool anisotropic_fit = false;
   CoverSequenceOptions::Search cover_search =
       CoverSequenceOptions::Search::kHillClimb;
+  // Optional trailing field (see kFeatureStats above); decodes as 0
+  // from a peer that predates it.
+  uint32_t feature_flags = 0;
+};
+
+// kStatsRequest payload: how much of the flight recorder to pull
+// alongside the metrics exposition.
+struct StatsRequest {
+  uint32_t max_traces = 64;  // capped server-side at kMaxWireTraces
+  bool slow_only = false;    // pull the slow ring instead of the recent
+};
+
+// kStatsResponse payload: the full Prometheus text exposition plus the
+// requested flight-recorder traces (most recent first).
+struct StatsResponse {
+  std::string metrics_text;
+  std::vector<obs::QueryTrace> traces;
 };
 
 // --- Encoding (appends complete frames to *out) ----------------------
@@ -116,6 +146,13 @@ void AppendStatusFrame(uint64_t request_id, const Status& status,
 void AppendInfoRequestFrame(uint64_t request_id, std::string* out);
 void AppendInfoResponseFrame(uint64_t request_id, const ServerInfo& info,
                              std::string* out);
+void AppendStatsRequestFrame(uint64_t request_id, const StatsRequest& request,
+                             std::string* out);
+// Truncates metrics_text to kMaxWireStatsTextBytes and the trace list
+// to kMaxWireTraces before framing.
+void AppendStatsResponseFrame(uint64_t request_id,
+                              const StatsResponse& response,
+                              std::string* out);
 // Splits the response's neighbor/id lists into chunks of at most
 // `results_per_frame` entries; the last frame carries kFlagFinal.
 void AppendResponseFrames(uint64_t request_id,
@@ -138,6 +175,10 @@ Status DecodeRequestPayload(const uint8_t* data, size_t size,
 Status DecodeStatusPayload(const uint8_t* data, size_t size, Status* status);
 Status DecodeInfoResponsePayload(const uint8_t* data, size_t size,
                                  ServerInfo* info);
+Status DecodeStatsRequestPayload(const uint8_t* data, size_t size,
+                                 StatsRequest* request);
+Status DecodeStatsResponsePayload(const uint8_t* data, size_t size,
+                                  StatsResponse* response);
 
 // Reassembles a streamed response from kResponse payloads in arrival
 // order. Add() returns an error on any structural violation (chunk

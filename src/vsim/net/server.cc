@@ -24,15 +24,45 @@ ServerInfo MakeServerInfo(const DbSnapshot& snapshot) {
   info.extract_histograms = opts.extract_histograms;
   info.anisotropic_fit = opts.anisotropic_fit;
   info.cover_search = opts.cover_search;
+  info.feature_flags = kFeatureStats;
   return info;
 }
 
 }  // namespace
 
 Server::Server(QueryService* service, ServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : service_(service), options_(std::move(options)) {
+  stats_collector_id_ = service_->metrics().RegisterCollector(
+      [this](std::vector<obs::MetricSample>* out) {
+        auto add = [out](const char* name, const char* help,
+                         const std::atomic<uint64_t>& value) {
+          obs::MetricSample s;
+          s.name = name;
+          s.help = help;
+          s.value =
+              static_cast<double>(value.load(std::memory_order_relaxed));
+          out->push_back(std::move(s));
+        };
+        add("vsim_net_connections_accepted_total",
+            "TCP connections accepted", connections_accepted_);
+        add("vsim_net_connections_rejected_total",
+            "TCP connections rejected over the connection limit",
+            connections_rejected_);
+        add("vsim_net_requests_received_total",
+            "Query request frames read off the wire", requests_received_);
+        add("vsim_net_responses_sent_total",
+            "Completions written to the wire (incl. status frames)",
+            responses_sent_);
+        add("vsim_net_protocol_errors_total",
+            "Malformed frames or payloads received from peers",
+            protocol_errors_);
+      });
+}
 
-Server::~Server() { Stop(); }
+Server::~Server() {
+  Stop();
+  service_->metrics().UnregisterCollector(stats_collector_id_);
+}
 
 Status Server::Start() {
   {
@@ -192,6 +222,25 @@ void Server::ReaderLoop(Connection* conn) {
         pending.info = MakeServerInfo(*service_->snapshot());
         break;
       }
+      case FrameType::kStatsRequest: {
+        StatsRequest stats_request;
+        Status decoded = DecodeStatsRequestPayload(
+            reinterpret_cast<const uint8_t*>(payload.data()),
+            payload.size(), &stats_request);
+        if (!decoded.ok()) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          pending.ready = decoded;
+          break;
+        }
+        // Exposition and trace snapshot run on the reader thread --
+        // they allocate, the recording hot path does not.
+        pending.has_stats = true;
+        pending.stats.metrics_text =
+            service_->metrics().TextExposition();
+        pending.stats.traces = service_->flight_recorder().Snapshot(
+            stats_request.max_traces, stats_request.slow_only);
+        break;
+      }
       case FrameType::kRequest: {
         requests_received_.fetch_add(1, std::memory_order_relaxed);
         ServiceRequest request;
@@ -259,6 +308,8 @@ void Server::WriterLoop(Connection* conn) {
     std::string frames;
     if (pending.has_info) {
       AppendInfoResponseFrame(pending.request_id, pending.info, &frames);
+    } else if (pending.has_stats) {
+      AppendStatsResponseFrame(pending.request_id, pending.stats, &frames);
     } else if (pending.future.valid()) {
       // Blocks until the service completes the request -- this is what
       // makes Stop() a *drain*: the writer refuses to exit before every

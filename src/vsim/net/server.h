@@ -120,6 +120,8 @@ class Server {
       Status ready;
       bool has_info = false;
       ServerInfo info;
+      bool has_stats = false;
+      StatsResponse stats;
       bool close_after = false;  // connection-fatal: write, then close
     };
 
@@ -164,6 +166,11 @@ class Server {
   std::atomic<uint64_t> requests_received_{0};
   std::atomic<uint64_t> responses_sent_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+
+  // The server folds its connection counters into the service's metric
+  // registry (vsim_net_*) so one stats scrape covers the whole stack;
+  // unregistered in the destructor, before the counters above die.
+  int stats_collector_id_ = 0;
 };
 
 }  // namespace vsim::net

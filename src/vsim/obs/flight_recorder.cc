@@ -1,0 +1,84 @@
+#include "vsim/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vsim::obs {
+
+FlightRecorder::FlightRecorder(size_t capacity, double slow_threshold_seconds,
+                               size_t slow_capacity)
+    : slow_threshold_(slow_threshold_seconds),
+      ring_(std::max<size_t>(1, capacity)),
+      slow_ring_(std::max<size_t>(1, slow_capacity)) {}
+
+bool FlightRecorder::WriteSlot(Slot* slot, const QueryTrace& trace) {
+  uint64_t seq = slot->seq.load(std::memory_order_relaxed);
+  if (seq & 1) return false;  // another writer mid-flight
+  if (!slot->seq.compare_exchange_strong(seq, seq + 1,
+                                         std::memory_order_acq_rel)) {
+    return false;
+  }
+  uint64_t words[kTraceWords];
+  std::memcpy(words, &trace, sizeof(trace));
+  for (size_t i = 0; i < kTraceWords; ++i) {
+    slot->words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot->seq.store(seq + 2, std::memory_order_release);
+  return true;
+}
+
+bool FlightRecorder::ReadSlot(const Slot& slot, QueryTrace* trace) {
+  const uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+  if (seq1 == 0 || (seq1 & 1) != 0) return false;  // empty or mid-write
+  uint64_t words[kTraceWords];
+  for (size_t i = 0; i < kTraceWords; ++i) {
+    words[i] = slot.words[i].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != seq1) return false;
+  std::memcpy(trace, words, sizeof(*trace));
+  return true;
+}
+
+void FlightRecorder::RecordInto(Ring* ring, const QueryTrace& trace,
+                                std::atomic<uint64_t>* dropped) {
+  const uint64_t ticket =
+      ring->tickets.fetch_add(1, std::memory_order_relaxed);
+  Slot* slot = &ring->slots[ticket % ring->slots.size()];
+  if (!WriteSlot(slot, trace)) {
+    dropped->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FlightRecorder::Record(const QueryTrace& trace) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  RecordInto(&ring_, trace, &dropped_);
+  if (trace.total_seconds >= slow_threshold_) {
+    RecordInto(&slow_ring_, trace, &dropped_);
+  }
+}
+
+std::vector<QueryTrace> FlightRecorder::SnapshotRing(const Ring& ring,
+                                                     size_t max_traces) {
+  std::vector<QueryTrace> out;
+  const uint64_t tickets = ring.tickets.load(std::memory_order_acquire);
+  const size_t capacity = ring.slots.size();
+  const uint64_t scan = std::min<uint64_t>(tickets, capacity);
+  out.reserve(std::min<uint64_t>(scan, max_traces));
+  // Newest first: walk backwards from the most recently claimed slot.
+  for (uint64_t i = 0; i < scan && out.size() < max_traces; ++i) {
+    const uint64_t ticket = tickets - 1 - i;
+    QueryTrace trace;
+    if (ReadSlot(ring.slots[ticket % capacity], &trace)) {
+      out.push_back(trace);
+    }
+  }
+  return out;
+}
+
+std::vector<QueryTrace> FlightRecorder::Snapshot(size_t max_traces,
+                                                 bool slow_only) const {
+  return SnapshotRing(slow_only ? slow_ring_ : ring_, max_traces);
+}
+
+}  // namespace vsim::obs

@@ -1,0 +1,99 @@
+// Flight recorder: a fixed-size lock-free ring of recent QueryTrace
+// summaries, plus a second ring that retains only traces at or above a
+// slow-query threshold (so a burst of fast queries cannot evict the
+// slow one you are hunting). `vsim stats` pulls both over the wire;
+// docs/OBSERVABILITY.md covers the operational model.
+//
+// Concurrency design. Record() must be callable from every service
+// worker on the query hot path, so it is allocation- and lock-free:
+//
+//   - A global ticket counter (fetch_add) assigns each record a slot
+//     round-robin.
+//   - Each slot is a per-slot *seqlock*: an atomic sequence number that
+//     is odd while a write is in progress, plus the trace payload
+//     stored as relaxed atomic 64-bit words (a plain struct would be a
+//     data race under concurrent snapshot reads). Writers claim a slot
+//     by CAS-ing the sequence from even to odd; if another writer got
+//     there first (possible only when >= capacity records race at
+//     once), the trace is dropped -- the recorder is lossy by design,
+//     never blocking.
+//   - Snapshot() reads a slot's words between two sequence loads and
+//     discards the slot if the sequence changed or was odd (torn read).
+//
+// Thread-safety: Record and Snapshot are safe from any thread, any
+// number of threads, with no locks anywhere.
+#ifndef VSIM_OBS_FLIGHT_RECORDER_H_
+#define VSIM_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "vsim/obs/query_trace.h"
+
+namespace vsim::obs {
+
+class FlightRecorder {
+ public:
+  // `capacity` slots in the recent ring; `slow_capacity` in the slow
+  // ring; traces with total_seconds >= slow_threshold_seconds are
+  // recorded in both. Capacities are clamped to >= 1.
+  explicit FlightRecorder(size_t capacity = 256,
+                          double slow_threshold_seconds = 0.100,
+                          size_t slow_capacity = 64);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Lock-free, allocation-free; drops the trace only when >= capacity
+  // concurrent writers collide on one slot.
+  void Record(const QueryTrace& trace);
+
+  // Most-recent-first traces, at most `max_traces`; slow_only reads the
+  // slow ring. Reads race benignly with concurrent Records: a slot
+  // being overwritten mid-read is skipped, not torn.
+  std::vector<QueryTrace> Snapshot(size_t max_traces,
+                                   bool slow_only = false) const;
+
+  double slow_threshold_seconds() const { return slow_threshold_; }
+  size_t capacity() const { return ring_.slots.size(); }
+  size_t slow_capacity() const { return slow_ring_.slots.size(); }
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr size_t kTraceWords = sizeof(QueryTrace) / 8;
+
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // odd while a write is in progress
+    std::array<std::atomic<uint64_t>, kTraceWords> words{};
+  };
+
+  struct Ring {
+    explicit Ring(size_t capacity) : slots(capacity) {}
+    std::atomic<uint64_t> tickets{0};  // total records attempted
+    std::vector<Slot> slots;
+  };
+
+  // Returns false when the slot was contended and the trace dropped.
+  static bool WriteSlot(Slot* slot, const QueryTrace& trace);
+  static bool ReadSlot(const Slot& slot, QueryTrace* trace);
+  static void RecordInto(Ring* ring, const QueryTrace& trace,
+                         std::atomic<uint64_t>* dropped);
+  static std::vector<QueryTrace> SnapshotRing(const Ring& ring,
+                                              size_t max_traces);
+
+  const double slow_threshold_;
+  Ring ring_;
+  Ring slow_ring_;
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace vsim::obs
+
+#endif  // VSIM_OBS_FLIGHT_RECORDER_H_

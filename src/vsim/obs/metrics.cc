@@ -1,0 +1,163 @@
+#include "vsim/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace vsim::obs {
+
+namespace {
+
+// %.17g round-trips doubles; trims to a short form for integral values.
+std::string FormatValue(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendFamilyHeader(std::string* out, std::set<std::string>* emitted,
+                        const std::string& name, const std::string& help,
+                        const char* type) {
+  if (!emitted->insert(name).second) return;  // one header per family
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+void AppendSampleLine(std::string* out, const std::string& name,
+                      const std::string& labels, const std::string& value) {
+  out->append(name);
+  if (!labels.empty()) out->append("{").append(labels).append("}");
+  out->append(" ").append(value).append("\n");
+}
+
+// `le` label value for a bucket upper bound in seconds.
+std::string FormatLe(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", seconds);
+  return buf;
+}
+
+template <typename Entry>
+auto Find(const std::vector<Entry>& entries, const std::string& name,
+          const std::string& labels) {
+  using Ptr = decltype(entries.front().instrument);
+  for (const Entry& e : entries) {
+    if (e.name == name && e.labels == labels) return e.instrument;
+  }
+  return static_cast<Ptr>(nullptr);
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help,
+                                          const std::string& labels) {
+  MutexLock lock(&mu_);
+  if (Counter* existing = Find(counter_entries_, name, labels)) {
+    return existing;
+  }
+  counters_.emplace_back();
+  counter_entries_.push_back({name, help, labels, &counters_.back()});
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help,
+                                      const std::string& labels) {
+  MutexLock lock(&mu_);
+  if (Gauge* existing = Find(gauge_entries_, name, labels)) {
+    return existing;
+  }
+  gauges_.emplace_back();
+  gauge_entries_.push_back({name, help, labels, &gauges_.back()});
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& help,
+                                              const std::string& labels) {
+  MutexLock lock(&mu_);
+  if (Histogram* existing = Find(histogram_entries_, name, labels)) {
+    return existing;
+  }
+  histograms_.emplace_back();
+  histogram_entries_.push_back({name, help, labels, &histograms_.back()});
+  return &histograms_.back();
+}
+
+int MetricsRegistry::RegisterCollector(CollectorFn fn) {
+  MutexLock lock(&mu_);
+  const int id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::UnregisterCollector(int id) {
+  MutexLock lock(&mu_);
+  for (auto it = collectors_.begin(); it != collectors_.end(); ++it) {
+    if (it->first == id) {
+      collectors_.erase(it);
+      return;
+    }
+  }
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  MutexLock lock(&mu_);
+  std::string out;
+  std::set<std::string> emitted;
+
+  for (const auto& e : counter_entries_) {
+    AppendFamilyHeader(&out, &emitted, e.name, e.help, "counter");
+    AppendSampleLine(&out, e.name, e.labels,
+                     FormatValue(static_cast<double>(e.instrument->Value())));
+  }
+  for (const auto& e : gauge_entries_) {
+    AppendFamilyHeader(&out, &emitted, e.name, e.help, "gauge");
+    AppendSampleLine(&out, e.name, e.labels, FormatValue(e.instrument->Value()));
+  }
+  for (const auto& e : histogram_entries_) {
+    AppendFamilyHeader(&out, &emitted, e.name, e.help, "histogram");
+    uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      cumulative += e.instrument->BucketCount(b);
+      std::string le_labels = e.labels;
+      if (!le_labels.empty()) le_labels.append(",");
+      le_labels.append("le=\"")
+          .append(FormatLe(Histogram::BucketUpperBoundSeconds(b)))
+          .append("\"");
+      AppendSampleLine(&out, e.name + "_bucket", le_labels,
+                       FormatValue(static_cast<double>(cumulative)));
+    }
+    std::string inf_labels = e.labels;
+    if (!inf_labels.empty()) inf_labels.append(",");
+    inf_labels.append("le=\"+Inf\"");
+    AppendSampleLine(&out, e.name + "_bucket", inf_labels,
+                     FormatValue(static_cast<double>(cumulative)));
+    AppendSampleLine(&out, e.name + "_sum", e.labels,
+                     FormatValue(e.instrument->SumSeconds()));
+    AppendSampleLine(&out, e.name + "_count", e.labels,
+                     FormatValue(static_cast<double>(cumulative)));
+  }
+
+  std::vector<MetricSample> samples;
+  for (const auto& [id, fn] : collectors_) {
+    (void)id;
+    fn(&samples);
+  }
+  for (const MetricSample& s : samples) {
+    AppendFamilyHeader(&out, &emitted, s.name, s.help,
+                       s.type == MetricSample::Type::kCounter ? "counter"
+                                                              : "gauge");
+    AppendSampleLine(&out, s.name, s.labels, FormatValue(s.value));
+  }
+  return out;
+}
+
+}  // namespace vsim::obs

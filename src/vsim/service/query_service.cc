@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "vsim/service/request_parse.h"
+
 namespace vsim {
 
 const char* QueryKindName(QueryKind kind) {
@@ -26,7 +28,114 @@ QueryService::QueryService(std::shared_ptr<const DbSnapshot> snapshot,
     : snapshot_(std::move(snapshot)),
       options_(options),
       cache_(options.cache_bytes, options.cache_shards),
-      pool_(options.num_threads) {}
+      recorder_(options.flight_recorder_capacity, options.slow_trace_seconds,
+                options.slow_ring_capacity),
+      pool_(options.num_threads) {
+  RegisterMetrics();
+}
+
+void QueryService::RegisterMetrics() {
+  latency_hist_ = metrics_.RegisterHistogram(
+      "vsim_request_latency_seconds",
+      "End-to-end request latency, admission to completion");
+  queue_wait_hist_ = metrics_.RegisterHistogram(
+      "vsim_queue_wait_seconds",
+      "Time a request waited in the admission queue for a worker");
+  filter_stage_hist_ = metrics_.RegisterHistogram(
+      "vsim_filter_stage_seconds",
+      "CPU time in the filter stage (Lemma-2 centroid bound lookup)");
+  refine_stage_hist_ = metrics_.RegisterHistogram(
+      "vsim_refine_stage_seconds",
+      "CPU time in the refinement stage (exact minimal matching)");
+  filter_hits_total_ = metrics_.RegisterCounter(
+      "vsim_filter_hits_total",
+      "Candidates produced by the filter step across all queries");
+  candidates_refined_total_ = metrics_.RegisterCounter(
+      "vsim_candidates_refined_total",
+      "Candidates that reached the exact distance refinement");
+  hungarian_total_ = metrics_.RegisterCounter(
+      "vsim_hungarian_invocations_total",
+      "Kuhn-Munkres minimal-matching runs");
+  io_pages_total_ = metrics_.RegisterCounter(
+      "vsim_io_page_accesses_total",
+      "Charged page accesses of the paper cost model (8 ms/page)");
+  io_bytes_total_ = metrics_.RegisterCounter(
+      "vsim_io_bytes_read_total",
+      "Charged bytes read of the paper cost model (200 ns/byte)");
+  generation_gauge_ = metrics_.RegisterGauge(
+      "vsim_snapshot_generation",
+      "Generation of the snapshot new requests execute on");
+  for (int s = 0; s < static_cast<int>(queries_by_strategy_.size()); ++s) {
+    queries_by_strategy_[s] = metrics_.RegisterCounter(
+        "vsim_queries_total", "Completed queries by execution strategy",
+        std::string("strategy=\"") +
+            QueryStrategyFlagName(static_cast<QueryStrategy>(s)) + "\"");
+  }
+  {
+    MutexLock lock(&snapshot_mu_);
+    generation_gauge_->Set(static_cast<double>(snapshot_->generation()));
+  }
+  // The pre-existing ad-hoc stat blocks (ServiceStats, ResultCacheStats)
+  // keep their relaxed atomics; a collector folds them into the same
+  // exposition instead of double-counting them into owned instruments.
+  metrics_.RegisterCollector([this](std::vector<obs::MetricSample>* out) {
+    auto add = [out](const char* name, const char* help, double value,
+                     obs::MetricSample::Type type =
+                         obs::MetricSample::Type::kCounter) {
+      obs::MetricSample s;
+      s.name = name;
+      s.help = help;
+      s.type = type;
+      s.value = value;
+      out->push_back(std::move(s));
+    };
+    add("vsim_requests_submitted_total", "Requests offered to admission",
+        static_cast<double>(stats_.submitted.load(std::memory_order_relaxed)));
+    add("vsim_requests_completed_total", "Requests completed successfully",
+        static_cast<double>(stats_.completed.load(std::memory_order_relaxed)));
+    add("vsim_requests_rejected_total",
+        "Requests rejected by admission backpressure",
+        static_cast<double>(stats_.rejected.load(std::memory_order_relaxed)));
+    add("vsim_requests_timed_out_total",
+        "Requests whose deadline passed while queued",
+        static_cast<double>(stats_.timed_out.load(std::memory_order_relaxed)));
+    add("vsim_requests_failed_total", "Requests failed (validation etc.)",
+        static_cast<double>(stats_.failed.load(std::memory_order_relaxed)));
+    add("vsim_snapshot_swaps_total", "Reindex snapshot publications",
+        static_cast<double>(
+            stats_.snapshot_swaps.load(std::memory_order_relaxed)));
+    const ResultCacheStats cache = cache_.stats();
+    add("vsim_cache_hits_total", "Result cache hits",
+        static_cast<double>(cache.hits));
+    add("vsim_cache_misses_total", "Result cache misses",
+        static_cast<double>(cache.misses));
+    add("vsim_cache_insertions_total", "Result cache insertions",
+        static_cast<double>(cache.insertions));
+    add("vsim_cache_evictions_total", "Result cache evictions",
+        static_cast<double>(cache.evictions));
+    add("vsim_flight_recorder_recorded_total", "Traces recorded",
+        static_cast<double>(recorder_.recorded()));
+    add("vsim_flight_recorder_dropped_total",
+        "Traces dropped on slot contention",
+        static_cast<double>(recorder_.dropped()));
+  });
+}
+
+void QueryService::RecordTrace(const obs::QueryTrace& trace) {
+  recorder_.Record(trace);
+  queue_wait_hist_->Record(trace.queue_seconds);
+  latency_hist_->Record(trace.total_seconds);
+  if (trace.status_code != 0) return;  // failures carry no stage data
+  queries_by_strategy_[trace.strategy]->Increment();
+  if (trace.cache_hit != 0) return;  // hits skipped the pipeline
+  filter_stage_hist_->Record(trace.filter_seconds);
+  refine_stage_hist_->Record(trace.refine_seconds);
+  filter_hits_total_->Increment(trace.filter_hits);
+  candidates_refined_total_->Increment(trace.candidates_refined);
+  hungarian_total_->Increment(trace.hungarian_invocations);
+  io_pages_total_->Increment(trace.page_accesses);
+  io_bytes_total_->Increment(trace.bytes_read);
+}
 
 QueryService::QueryService(const CadDatabase* db, const QueryEngine* engine,
                            QueryServiceOptions options)
@@ -55,6 +164,7 @@ Status QueryService::SwapSnapshot(std::shared_ptr<const DbSnapshot> next) {
   }
   snapshot_ = std::move(next);
   stats_.snapshot_swaps.fetch_add(1, std::memory_order_relaxed);
+  generation_gauge_->Set(static_cast<double>(snapshot_->generation()));
   return Status::OK();
 }
 
@@ -202,21 +312,50 @@ StatusOr<std::future<StatusOr<ServiceResponse>>> QueryService::Submit(
   return pool_.Submit([this, request = std::move(request), submitted,
                        deadline]() -> StatusOr<ServiceResponse> {
     queued_.fetch_sub(1, std::memory_order_acq_rel);
+    // Every picked-up request leaves a trace, successful or not: the
+    // flight recorder is most valuable precisely when requests fail.
+    obs::QueryTrace trace;
+    trace.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    trace.kind = static_cast<uint8_t>(request.kind);
+    trace.strategy = static_cast<uint8_t>(request.strategy);
+    trace.k = request.k;
+    trace.eps = request.eps;
+    trace.queue_seconds =
+        std::chrono::duration<double>(Clock::now() - submitted).count();
     if (Clock::now() > deadline) {
       stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
-      return Status::DeadlineExceeded(
+      Status expired = Status::DeadlineExceeded(
           "request deadline passed before a worker picked it up");
+      trace.status_code = static_cast<uint8_t>(expired.code());
+      trace.total_seconds =
+          std::chrono::duration<double>(Clock::now() - submitted).count();
+      RecordTrace(trace);
+      return expired;
     }
     StatusOr<ServiceResponse> response = RunRequest(request);
+    const double latency =
+        std::chrono::duration<double>(Clock::now() - submitted).count();
+    trace.total_seconds = latency;
     if (response.ok()) {
-      const double latency =
-          std::chrono::duration<double>(Clock::now() - submitted).count();
+      const ServiceResponse& r = response.value();
       response.value().latency_seconds = latency;
       stats_.completed.fetch_add(1, std::memory_order_relaxed);
       stats_.latency.Record(latency);
+      trace.generation = r.generation;
+      trace.cache_hit = r.cache_hit ? 1 : 0;
+      trace.cpu_seconds = r.cost.cpu_seconds;
+      trace.filter_seconds = r.cost.filter_seconds;
+      trace.refine_seconds = r.cost.refine_seconds;
+      trace.filter_hits = r.cost.filter_hits;
+      trace.candidates_refined = r.cost.candidates_refined;
+      trace.hungarian_invocations = r.cost.hungarian_invocations;
+      trace.page_accesses = r.cost.io.page_accesses();
+      trace.bytes_read = r.cost.io.bytes_read();
     } else {
       stats_.failed.fetch_add(1, std::memory_order_relaxed);
+      trace.status_code = static_cast<uint8_t>(response.status().code());
     }
+    RecordTrace(trace);
     return response;
   });
 }

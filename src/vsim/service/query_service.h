@@ -36,6 +36,8 @@
 #ifndef VSIM_SERVICE_QUERY_SERVICE_H_
 #define VSIM_SERVICE_QUERY_SERVICE_H_
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -44,6 +46,9 @@
 #include "vsim/common/thread_annotations.h"
 #include "vsim/core/query_engine.h"
 #include "vsim/core/similarity.h"
+#include "vsim/obs/flight_recorder.h"
+#include "vsim/obs/metrics.h"
+#include "vsim/obs/query_trace.h"
 #include "vsim/service/db_snapshot.h"
 #include "vsim/service/result_cache.h"
 #include "vsim/service/service_stats.h"
@@ -108,6 +113,13 @@ struct QueryServiceOptions {
   // with the computation. Off by default (pure CPU execution).
   bool simulate_io_wait = false;
   IoCostParams io_params;  // conversion constants for the emulated wait
+
+  // Observability (docs/OBSERVABILITY.md): every request leaves a
+  // QueryTrace in the flight recorder; traces at or above the slow
+  // threshold are additionally retained in a separate slow ring.
+  size_t flight_recorder_capacity = 256;
+  size_t slow_ring_capacity = 64;
+  double slow_trace_seconds = 0.100;
 };
 
 class QueryService {
@@ -170,8 +182,23 @@ class QueryService {
     PrintServiceStats(Stats(), out);
   }
 
+  // The unified metric namespace (Prometheus text exposition via
+  // metrics().TextExposition()). The registry is also the attachment
+  // point for front-end collectors: net::Server registers its own
+  // connection counters here so one scrape covers the whole stack.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Recent / slow query traces (docs/OBSERVABILITY.md trace schema).
+  const obs::FlightRecorder& flight_recorder() const { return recorder_; }
+
  private:
   using Clock = std::chrono::steady_clock;
+
+  void RegisterMetrics();
+  // Records the trace into the flight recorder and rolls its counters
+  // and stage timings into the registry instruments.
+  void RecordTrace(const obs::QueryTrace& trace);
 
   StatusOr<ServiceResponse> RunRequest(const ServiceRequest& request);
   Status Validate(const ServiceRequest& request,
@@ -187,11 +214,31 @@ class QueryService {
   std::shared_ptr<const DbSnapshot> snapshot_ GUARDED_BY(snapshot_mu_);
 
   // Immutable after construction (options_) or internally synchronized
-  // (cache_, stats_, queued_, pool_); no mutex needed.
+  // (cache_, stats_, metrics_, recorder_, queued_, pool_); no mutex
+  // needed.
   QueryServiceOptions options_;
   ResultCache cache_;
   ServiceStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::FlightRecorder recorder_;
+
+  // Registry-owned instruments recorded on the request path (the
+  // pointers are stable for the registry's lifetime; recording through
+  // them is lock- and allocation-free). Set once in RegisterMetrics().
+  obs::Histogram* latency_hist_ = nullptr;
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* filter_stage_hist_ = nullptr;
+  obs::Histogram* refine_stage_hist_ = nullptr;
+  obs::Counter* filter_hits_total_ = nullptr;
+  obs::Counter* candidates_refined_total_ = nullptr;
+  obs::Counter* hungarian_total_ = nullptr;
+  obs::Counter* io_pages_total_ = nullptr;
+  obs::Counter* io_bytes_total_ = nullptr;
+  obs::Gauge* generation_gauge_ = nullptr;
+  std::array<obs::Counter*, 5> queries_by_strategy_{};
+
   std::atomic<size_t> queued_{0};
+  std::atomic<uint64_t> next_trace_id_{0};
   // Declared last: destroyed first, so queued tasks drain while every
   // member they touch is still alive.
   ThreadPool pool_;

@@ -4,78 +4,20 @@
 #ifndef VSIM_SERVICE_SERVICE_STATS_H_
 #define VSIM_SERVICE_SERVICE_STATS_H_
 
-#include <array>
 #include <atomic>
-#include <cmath>
 #include <cstdint>
 #include <cstdio>
 
 #include "vsim/common/table_printer.h"
+#include "vsim/obs/metrics.h"
 #include "vsim/service/result_cache.h"
 
 namespace vsim {
 
-// Buckets cover [2^i, 2^(i+1)) microseconds; bucket 0 additionally
-// absorbs sub-microsecond samples and the last bucket absorbs
-// everything past ~2^38 us (~3 days). Percentiles report a bucket's
-// upper bound, so they over- rather than under-state latency by at
-// most 2x -- plenty for a serving dashboard.
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 40;
-
-  void Record(double seconds) {
-    const double us = seconds * 1e6;
-    int bucket = 0;
-    if (us >= 1.0) {
-      bucket = static_cast<int>(std::log2(us)) + 1;
-      if (bucket >= kBuckets) bucket = kBuckets - 1;
-    }
-    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
-    // Stash the running sum in nanoseconds for a cheap mean.
-    total_ns_.fetch_add(static_cast<uint64_t>(us * 1e3),
-                        std::memory_order_relaxed);
-  }
-
-  uint64_t TotalCount() const {
-    uint64_t total = 0;
-    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
-    return total;
-  }
-
-  double MeanSeconds() const {
-    const uint64_t n = TotalCount();
-    if (n == 0) return 0.0;
-    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
-           static_cast<double>(n) * 1e-9;
-  }
-
-  // Upper bound (seconds) of the bucket holding the p-th percentile
-  // sample, p in [0, 1].
-  double PercentileSeconds(double p) const {
-    const uint64_t n = TotalCount();
-    if (n == 0) return 0.0;
-    const uint64_t rank =
-        static_cast<uint64_t>(std::ceil(p * static_cast<double>(n)));
-    uint64_t seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      seen += counts_[b].load(std::memory_order_relaxed);
-      if (seen >= rank && seen > 0) {
-        return std::ldexp(1.0, b) * 1e-6;  // 2^b us upper bound
-      }
-    }
-    return std::ldexp(1.0, kBuckets - 1) * 1e-6;
-  }
-
-  void Reset() {
-    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
-    total_ns_.store(0, std::memory_order_relaxed);
-  }
-
- private:
-  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
-  std::atomic<uint64_t> total_ns_{0};
-};
+// The latency histogram is the generalized obs::Histogram (geometric
+// buckets over seconds, lock-free record path); the alias keeps the
+// service-layer name that predates the observability module.
+using LatencyHistogram = obs::Histogram;
 
 struct ServiceStatsSnapshot {
   uint64_t submitted = 0;

@@ -445,5 +445,80 @@ TEST_F(RemoteSwapTest, SwapUnderRemoteLoad) {
   EXPECT_EQ(response->generation, static_cast<uint64_t>(kSwaps));
 }
 
+// The observability acceptance claim: after one remote 10-NN query, a
+// `vsim stats`-style scrape over the same wire fully attributes it --
+// the metrics text shows the request and its paper counters, and the
+// flight recorder returns the request's trace.
+TEST_F(NetServerTest, StatsScrapeAttributesRemoteQuery) {
+  QueryServiceOptions sopts;
+  sopts.cache_bytes = 0;
+  Loopback loop(MakeService(sopts));
+  Client client = loop.Connect();
+
+  // The server advertises the stats frames as a feature flag.
+  StatusOr<ServerInfo> info = client.Info();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_NE(info->feature_flags & kFeatureStats, 0u);
+
+  const int k = 10;
+  ServiceRequest req;
+  req.object_id = 4;
+  req.k = k;
+  StatusOr<ServiceResponse> response = client.Execute(req);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->neighbors.size(), static_cast<size_t>(k));
+
+  StatusOr<StatsResponse> stats = client.Stats(/*max_traces=*/8);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  // Metrics: the whole stack is visible in one scrape -- service
+  // counters, the per-strategy breakdown, and the server's own
+  // vsim_net_* connection counters (collector-fed).
+  const std::string& text = stats->metrics_text;
+  EXPECT_NE(text.find("vsim_requests_completed_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsim_queries_total{strategy=\"filter\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE vsim_request_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsim_net_requests_received_total"),
+            std::string::npos);
+
+  // Trace: the query's span came back over the wire with the paper's
+  // pipeline ordering intact.
+  ASSERT_FALSE(stats->traces.empty());
+  const obs::QueryTrace& t = stats->traces.front();
+  EXPECT_EQ(t.kind, static_cast<uint8_t>(QueryKind::kKnn));
+  EXPECT_EQ(t.k, k);
+  EXPECT_EQ(t.status_code, 0);
+  EXPECT_EQ(t.generation, response->generation);
+  EXPECT_GE(t.filter_hits, t.candidates_refined);
+  EXPECT_GE(t.candidates_refined, static_cast<uint64_t>(k));
+  EXPECT_GT(t.total_seconds, 0.0);
+
+  // The connection survives a stats exchange: a follow-up query works.
+  StatusOr<ServiceResponse> again = client.Execute(req);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(client.ok());
+}
+
+// An empty recorder and the slow_only filter behave over the wire.
+TEST_F(NetServerTest, StatsSlowOnlyFiltersFastQueries) {
+  QueryServiceOptions sopts;
+  sopts.cache_bytes = 0;
+  sopts.slow_trace_seconds = 3600.0;  // nothing qualifies as slow
+  Loopback loop(MakeService(sopts));
+  Client client = loop.Connect();
+  ServiceRequest req;
+  req.object_id = 0;
+  ASSERT_TRUE(client.Execute(req).ok());
+  StatusOr<StatsResponse> slow = client.Stats(8, /*slow_only=*/true);
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_TRUE(slow->traces.empty());
+  StatusOr<StatsResponse> all = client.Stats(8, /*slow_only=*/false);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->traces.size(), 1u);
+}
+
 }  // namespace
 }  // namespace vsim::net

@@ -179,6 +179,131 @@ TEST(ProtocolTest, InfoRoundTrips) {
   EXPECT_EQ(out.cover_search, info.cover_search);
 }
 
+// A trace with every field distinct, for exact round-trip checks.
+obs::QueryTrace MakeTrace(uint64_t id) {
+  obs::QueryTrace t{};
+  t.trace_id = id;
+  t.generation = 3;
+  t.kind = static_cast<uint8_t>(QueryKind::kInvariantKnn);
+  t.strategy = static_cast<uint8_t>(QueryStrategy::kVectorSetMTree);
+  t.cache_hit = 1;
+  t.status_code = static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
+  t.k = 10;
+  t.eps = 0.5;
+  t.queue_seconds = 0.001;
+  t.total_seconds = 0.025;
+  t.cpu_seconds = 0.02;
+  t.filter_seconds = 0.004;
+  t.refine_seconds = 0.016;
+  t.filter_hits = 37;
+  t.candidates_refined = 12;
+  t.hungarian_invocations = 12;
+  t.page_accesses = 88;
+  t.bytes_read = 4096;
+  return t;
+}
+
+TEST(ProtocolTest, StatsRequestRoundTrips) {
+  StatsRequest req;
+  req.max_traces = 17;
+  req.slow_only = true;
+  std::string buffer;
+  AppendStatsRequestFrame(9, req, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, FrameType::kStatsRequest);
+  StatsRequest out;
+  ASSERT_TRUE(DecodeStatsRequestPayload(Bytes(frames[0].payload),
+                                        frames[0].payload.size(), &out)
+                  .ok());
+  EXPECT_EQ(out.max_traces, 17u);
+  EXPECT_TRUE(out.slow_only);
+}
+
+TEST(ProtocolTest, StatsResponseRoundTripsTextAndTraces) {
+  StatsResponse resp;
+  resp.metrics_text = "# HELP vsim_requests_completed_total x\n"
+                      "vsim_requests_completed_total 7\n";
+  resp.traces.push_back(MakeTrace(101));
+  resp.traces.push_back(MakeTrace(102));
+  resp.traces[1].cache_hit = 0;
+  resp.traces[1].status_code = 0;
+  std::string buffer;
+  AppendStatsResponseFrame(12, resp, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, FrameType::kStatsResponse);
+  StatsResponse out;
+  ASSERT_TRUE(DecodeStatsResponsePayload(Bytes(frames[0].payload),
+                                         frames[0].payload.size(), &out)
+                  .ok());
+  EXPECT_EQ(out.metrics_text, resp.metrics_text);
+  ASSERT_EQ(out.traces.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    const obs::QueryTrace& a = resp.traces[i];
+    const obs::QueryTrace& b = out.traces[i];
+    EXPECT_EQ(b.trace_id, a.trace_id);
+    EXPECT_EQ(b.generation, a.generation);
+    EXPECT_EQ(b.kind, a.kind);
+    EXPECT_EQ(b.strategy, a.strategy);
+    EXPECT_EQ(b.cache_hit, a.cache_hit);
+    EXPECT_EQ(b.status_code, a.status_code);
+    EXPECT_EQ(b.k, a.k);
+    EXPECT_EQ(b.eps, a.eps);
+    EXPECT_EQ(b.queue_seconds, a.queue_seconds);
+    EXPECT_EQ(b.total_seconds, a.total_seconds);
+    EXPECT_EQ(b.cpu_seconds, a.cpu_seconds);
+    EXPECT_EQ(b.filter_seconds, a.filter_seconds);
+    EXPECT_EQ(b.refine_seconds, a.refine_seconds);
+    EXPECT_EQ(b.filter_hits, a.filter_hits);
+    EXPECT_EQ(b.candidates_refined, a.candidates_refined);
+    EXPECT_EQ(b.hungarian_invocations, a.hungarian_invocations);
+    EXPECT_EQ(b.page_accesses, a.page_accesses);
+    EXPECT_EQ(b.bytes_read, a.bytes_read);
+  }
+}
+
+TEST(ProtocolTest, InfoFeatureFlagsRoundTripAndLegacyDecode) {
+  ServerInfo info;
+  info.feature_flags = kFeatureStats;
+  std::string buffer;
+  AppendInfoResponseFrame(2, info, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  ServerInfo out;
+  ASSERT_TRUE(DecodeInfoResponsePayload(Bytes(frames[0].payload),
+                                        frames[0].payload.size(), &out)
+                  .ok());
+  EXPECT_EQ(out.feature_flags, kFeatureStats);
+
+  // A pre-stats server's payload stops before the trailing flags word;
+  // the tolerant decode must yield 0, not an error (minor-feature
+  // evolution without a wire version break).
+  const std::string legacy = frames[0].payload.substr(
+      0, frames[0].payload.size() - sizeof(uint32_t));
+  ServerInfo legacy_out;
+  ASSERT_TRUE(
+      DecodeInfoResponsePayload(Bytes(legacy), legacy.size(), &legacy_out)
+          .ok());
+  EXPECT_EQ(legacy_out.feature_flags, 0u);
+}
+
+TEST(ProtocolTest, StatsResponseRejectsOversizedTraceCount) {
+  // A header announcing kMaxWireTraces+1 traces in a short payload must
+  // hit the cap check, not attempt the reserve.
+  std::string payload;
+  for (int i = 0; i < 4; ++i) payload.push_back(0);  // empty text
+  const uint32_t huge = kMaxWireTraces + 1;
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<char>(huge >> (8 * i)));
+  }
+  StatsResponse out;
+  const Status st =
+      DecodeStatsResponsePayload(Bytes(payload), payload.size(), &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cap"), std::string::npos);
+}
+
 void ExpectResponsesEqual(const ServiceResponse& a,
                           const ServiceResponse& b) {
   ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
@@ -304,7 +429,7 @@ TEST(ProtocolTest, HeaderRejectsBadMagicTypeAndFlags) {
   bad = valid;
   bad[6] = 0;  // frame type below the valid range
   EXPECT_FALSE(DecodeFrameHeader(Bytes(bad), kFrameHeaderBytes, &header).ok());
-  bad[6] = 6;  // above it
+  bad[6] = 8;  // above it
   EXPECT_FALSE(DecodeFrameHeader(Bytes(bad), kFrameHeaderBytes, &header).ok());
 
   bad = valid;
@@ -371,6 +496,16 @@ void ExerciseFrameBytes(const uint8_t* data, size_t size) {
                           (header.flags & kFlagFinal) != 0);
       break;
     }
+    case FrameType::kStatsRequest: {
+      StatsRequest req;
+      (void)DecodeStatsRequestPayload(payload, payload_size, &req);
+      break;
+    }
+    case FrameType::kStatsResponse: {
+      StatsResponse resp;
+      (void)DecodeStatsResponsePayload(payload, payload_size, &resp);
+      break;
+    }
     case FrameType::kInfoRequest:
       break;  // no payload to decode
   }
@@ -392,6 +527,19 @@ std::vector<std::string> CorpusFrames() {
   AppendInfoResponseFrame(6, ServerInfo{}, &frames.back());
   frames.emplace_back();
   AppendResponseFrames(7, MakeResponse(9, 4), &frames.back(), 3);
+  frames.emplace_back();
+  {
+    StatsRequest stats_req;
+    stats_req.max_traces = 8;
+    AppendStatsRequestFrame(8, stats_req, &frames.back());
+  }
+  frames.emplace_back();
+  {
+    StatsResponse stats_resp;
+    stats_resp.metrics_text = "vsim_requests_completed_total 3\n";
+    stats_resp.traces.push_back(MakeTrace(55));
+    AppendStatsResponseFrame(9, stats_resp, &frames.back());
+  }
   return frames;
 }
 

@@ -355,5 +355,98 @@ TEST_F(QueryServiceTest, StatsSnapshotAndPrint) {
   fclose(sink);
 }
 
+TEST_F(QueryServiceTest, TraceRecordsPaperCountersWithLemma2Ordering) {
+  // Every completed request leaves a QueryTrace in the flight recorder.
+  // For the filter strategy the paper's pipeline shape must hold in the
+  // counters themselves: the Lemma-2 lower bound admits filter_hits
+  // candidates, the optimal multi-step loop refines a subset of them,
+  // and at least k refinements are needed to certify a k-NN result.
+  QueryServiceOptions options;
+  options.cache_bytes = 0;
+  QueryService service(db_, engine_, options);
+  const int k = 5;
+  ServiceRequest request;
+  request.object_id = 2;
+  request.k = k;
+  request.strategy = QueryStrategy::kVectorSetFilter;
+  StatusOr<ServiceResponse> response = service.Execute(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->neighbors.size(), static_cast<size_t>(k));
+
+  const std::vector<obs::QueryTrace> traces =
+      service.flight_recorder().Snapshot(1);
+  ASSERT_EQ(traces.size(), 1u);
+  const obs::QueryTrace& t = traces[0];
+  EXPECT_EQ(t.kind, static_cast<uint8_t>(QueryKind::kKnn));
+  EXPECT_EQ(t.strategy,
+            static_cast<uint8_t>(QueryStrategy::kVectorSetFilter));
+  EXPECT_EQ(t.k, k);
+  EXPECT_EQ(t.status_code, 0);
+  EXPECT_EQ(t.cache_hit, 0);
+  EXPECT_EQ(t.generation, response->generation);
+  EXPECT_GE(t.filter_hits, t.candidates_refined);
+  EXPECT_GE(t.candidates_refined, static_cast<uint64_t>(k));
+  EXPECT_EQ(t.hungarian_invocations, t.candidates_refined);
+  EXPECT_EQ(t.candidates_refined, response->cost.candidates_refined);
+  EXPECT_GT(t.total_seconds, 0.0);
+  EXPECT_GE(t.total_seconds, t.queue_seconds + t.cpu_seconds - 1e-9);
+  EXPECT_GE(t.cpu_seconds, t.refine_seconds);
+  EXPECT_GT(t.refine_seconds, 0.0);
+
+  // The same request's counters land on the registry instruments.
+  const std::string text = service.metrics().TextExposition();
+  EXPECT_NE(text.find("vsim_queries_total{strategy=\"filter\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsim_filter_hits_total " +
+                      std::to_string(t.filter_hits) + "\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsim_hungarian_invocations_total " +
+                      std::to_string(t.hungarian_invocations) + "\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsim_requests_completed_total 1\n"),
+            std::string::npos);
+}
+
+TEST_F(QueryServiceTest, CacheHitTraceSkipsStageCounters) {
+  QueryServiceOptions options;
+  options.cache_bytes = 4 << 20;
+  QueryService service(db_, engine_, options);
+  ServiceRequest request;
+  request.object_id = 1;
+  request.k = 3;
+  ASSERT_TRUE(service.Execute(request).ok());
+  StatusOr<ServiceResponse> hit = service.Execute(request);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(hit->cache_hit);
+  const std::vector<obs::QueryTrace> traces =
+      service.flight_recorder().Snapshot(2);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].cache_hit, 1);  // newest first: the replay
+  EXPECT_EQ(traces[1].cache_hit, 0);
+  // Both queries count toward the strategy total, but the replay
+  // charges no pipeline work: the Hungarian total reflects only the
+  // first execution.
+  const std::string text = service.metrics().TextExposition();
+  EXPECT_NE(text.find("vsim_queries_total{strategy=\"filter\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsim_cache_hits_total 1\n"), std::string::npos);
+  const uint64_t hungarian = traces[1].hungarian_invocations;
+  EXPECT_NE(text.find("vsim_hungarian_invocations_total " +
+                      std::to_string(hungarian) + "\n"),
+            std::string::npos);
+}
+
+TEST_F(QueryServiceTest, SnapshotGenerationGaugeTracksSwaps) {
+  QueryService service(DbSnapshot::Create(CadDatabase(*db_), 0), {});
+  EXPECT_NE(service.metrics().TextExposition().find(
+                "vsim_snapshot_generation 0\n"),
+            std::string::npos);
+  ASSERT_TRUE(
+      service.SwapSnapshot(DbSnapshot::Create(CadDatabase(*db_), 7)).ok());
+  EXPECT_NE(service.metrics().TextExposition().find(
+                "vsim_snapshot_generation 7\n"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace vsim

@@ -6,6 +6,9 @@
 #   2. README.md and DESIGN.md must each mention every src/vsim/*
 #      subdirectory, so the architecture inventory can't silently rot
 #      when a module is added.
+#   3. Every metric-name literal ("vsim_...") in src/vsim must appear
+#      in docs/OBSERVABILITY.md, so the metric reference stays the
+#      complete dashboard inventory.
 #
 # Exits nonzero with one line per problem.
 set -u
@@ -51,8 +54,20 @@ for doc in README.md DESIGN.md; do
   done
 done
 
+# --- 3. metric-name coverage in docs/OBSERVABILITY.md ----------------
+# Registered instruments and collector samples use quoted string
+# literals for their names; any such literal missing from the metric
+# reference means an undocumented series on the dashboard.
+metric_names=$(grep -rhoE '"vsim_[a-z0-9_]+"' src/vsim | tr -d '"' | sort -u)
+for name in $metric_names; do
+  if ! grep -q "$name" docs/OBSERVABILITY.md; then
+    echo "UNDOCUMENTED METRIC: $name missing from docs/OBSERVABILITY.md"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"
   exit 1
 fi
-echo "check_docs: all relative links resolve; README.md and DESIGN.md cover every src/vsim module"
+echo "check_docs: all relative links resolve; README.md and DESIGN.md cover every src/vsim module; every vsim_* metric is documented"

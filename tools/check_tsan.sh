@@ -5,7 +5,9 @@
 # concurrent SwapSnapshot/Rebuilder publications), the thread pool, the
 # sharded result cache, the parallel extraction path, and the TCP
 # serving front-end (loopback server smoke + snapshot swaps under live
-# remote load). Any data race aborts with a non-zero exit.
+# remote load), plus the observability layer's lock-free record paths
+# (metrics registry under concurrent scrapes, flight-recorder seqlock
+# rings, IoStats counters). Any data race aborts with a non-zero exit.
 #
 # Usage: tools/check_tsan.sh [build-dir]
 #   default: $VSIM_BUILD_ROOT/build-tsan (shared build-dir convention
@@ -22,6 +24,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target vsim_tests
 
 TSAN_OPTIONS="halt_on_error=1" \
     "$BUILD_DIR/tests/vsim_tests" \
-    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:NetServerTest*:RemoteSwapTest*'
+    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:NetServerTest*:RemoteSwapTest*:Obs*:FlightRecorder*:IoStatsConcurrency*'
 
-echo "TSan: service stress + snapshot-swap + net server + concurrency suites clean"
+echo "TSan: service stress + snapshot-swap + net server + observability + concurrency suites clean"

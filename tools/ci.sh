@@ -4,9 +4,10 @@
 #
 #   configure     cmake -B $ROOT/build
 #   build         full tree (library, tests, benches, tools, examples)
-#   ctest         tier-1 suite (507+ tests)
-#   serve_smoke   vsim serve loopback round-trip + exit-code contract
-#   check_docs    markdown link + module-coverage lint
+#   ctest         tier-1 suite (580+ tests)
+#   serve_smoke   vsim serve loopback round-trip + stats scrape +
+#                 exit-code contract
+#   check_docs    markdown link + module-coverage + metric-name lint
 #   check_static  thread-safety build + clang-tidy + UBSan suite
 #                 (tools/check_static.sh --no-tsan; TSan runs below as
 #                 its own stage so failures are attributed precisely)

@@ -2,9 +2,11 @@
 # End-to-end smoke test for the remote serving front-end, run as a CI
 # stage (tools/ci.sh): starts `vsim serve` on a loopback socket with an
 # OS-assigned port, round-trips k-NN / range / invariant queries through
-# `vsim remote-query`, exercises the usage-error exit-code contract
-# (tools/README.md: 0 success, 1 runtime failure, 2 usage error), and
-# checks the server drains and exits cleanly on SIGTERM.
+# `vsim remote-query`, scrapes the observability surface with `vsim
+# stats` (the metrics must attribute the queries just served), exercises
+# the usage-error exit-code contract (tools/README.md: 0 success, 1
+# runtime failure, 2 usage error), and checks the server drains and
+# exits cleanly on SIGTERM.
 #
 # Usage: tools/serve_smoke.sh [build-dir]   (default: $VSIM_BUILD_ROOT/build)
 set -u
@@ -72,6 +74,26 @@ check "invariant k-NN" 0 \
 check "scan strategy agrees on exit" 0 \
     "$VSIM" remote-query --port "$PORT" --id 3 --k 5 --strategy scan
 
+# --- stats scrape -----------------------------------------------------
+check "stats scrape succeeds" 0 \
+    "$VSIM" stats --port "$PORT" --traces 8
+# The scrape must attribute the queries above: a non-zero completed
+# counter and at least one flight-recorder trace.
+"$VSIM" stats --port "$PORT" --traces 8 > "$TMP/stats.out" 2>&1
+if grep -Eq '^vsim_requests_completed_total [1-9]' "$TMP/stats.out"; then
+  echo "ok: scrape shows non-zero vsim_requests_completed_total"
+else
+  echo "FAIL: no non-zero vsim_requests_completed_total in the scrape"
+  sed 's/^/  | /' "$TMP/stats.out" | head -10
+  fail=1
+fi
+if grep -q 'trace(s), newest first' "$TMP/stats.out"; then
+  echo "ok: scrape returned flight-recorder traces"
+else
+  echo "FAIL: no traces in the scrape output"
+  fail=1
+fi
+
 # --- runtime failures exit 1 ------------------------------------------
 check "out-of-range stored id is a runtime failure" 1 \
     "$VSIM" remote-query --port "$PORT" --id 99999
@@ -87,6 +109,8 @@ check "bad --strategy is a usage error" 2 \
     "$VSIM" remote-query --port "$PORT" --id 0 --strategy xtree
 check "serve without a data source is a usage error" 2 \
     "$VSIM" serve
+check "stats without --port is a usage error" 2 \
+    "$VSIM" stats
 
 # --- graceful shutdown: SIGTERM drains and exits 0 --------------------
 kill -TERM "$SERVER_PID"

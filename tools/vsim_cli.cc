@@ -802,7 +802,7 @@ int CmdServe(const Flags& flags) {
                        {"db", "dataset", "count", "host", "port",
                         "port-file", "duration-s", "threads", "cache-mb",
                         "max-queue", "max-connections", "simulate-io",
-                        "io-page-us", "seed"});
+                        "io-page-us", "seed", "stats-interval-s"});
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   StatusOr<CadDatabase> db = Status::Internal("unset");
   if (flags.Has("db")) {
@@ -826,7 +826,7 @@ int CmdServe(const Flags& flags) {
                  "[--count N] [--host H] [--port P] [--port-file FILE] "
                  "[--duration-s S] [--threads T] [--cache-mb MB] "
                  "[--max-queue N] [--max-connections N] [--simulate-io] "
-                 "[--io-page-us U]\n");
+                 "[--io-page-us U] [--stats-interval-s S]\n");
     return 2;
   }
   if (!db.ok()) return Fail(db.status());
@@ -874,9 +874,21 @@ int CmdServe(const Flags& flags) {
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
   const double duration_s = flags.GetDouble("duration-s", 0.0);
+  // --stats-interval-s: periodically dump the full metrics exposition to
+  // stdout while serving (0 disables). Lets an operator watch the same
+  // vsim_* series a `vsim stats` scrape would return, without a client.
+  const double stats_interval_s = flags.GetDouble("stats-interval-s", 0.0);
   Stopwatch watch;
+  double next_stats_s =
+      stats_interval_s > 0 ? stats_interval_s : -1.0;
   while (!g_serve_stop.load()) {
     if (duration_s > 0 && watch.ElapsedSeconds() >= duration_s) break;
+    if (next_stats_s > 0 && watch.ElapsedSeconds() >= next_stats_s) {
+      std::printf("--- metrics @ %.1fs ---\n%s", watch.ElapsedSeconds(),
+                  service.metrics().TextExposition().c_str());
+      std::fflush(stdout);
+      next_stats_s += stats_interval_s;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   std::printf("draining...\n");
@@ -993,11 +1005,71 @@ int CmdRemoteQuery(const Flags& flags) {
   return 0;
 }
 
+// --- stats ------------------------------------------------------------
+
+// Scrapes a running `vsim serve` endpoint: prints the server's metrics
+// exposition (the same text a --stats-interval-s dump shows) followed
+// by the most recent flight-recorder traces, newest first. With --slow,
+// only traces over the server's slow-query threshold are returned.
+int CmdStats(const Flags& flags) {
+  VSIM_CLI_CHECK_FLAGS(flags, "stats",
+                       {"host", "port", "traces", "slow", "no-metrics"});
+  const int port = flags.GetInt("port", 0);
+  if (port <= 0) {
+    std::fprintf(stderr,
+                 "usage: vsim stats --port P [--host H] [--traces N] "
+                 "[--slow] [--no-metrics]\n");
+    return 2;
+  }
+  const std::string host = flags.Get("host", "127.0.0.1");
+  StatusOr<net::Client> client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  const uint32_t max_traces =
+      static_cast<uint32_t>(flags.GetInt("traces", 64));
+  StatusOr<net::StatsResponse> stats =
+      client->Stats(max_traces, flags.Has("slow"));
+  if (!stats.ok()) return Fail(stats.status());
+
+  if (!flags.Has("no-metrics")) {
+    std::printf("%s", stats->metrics_text.c_str());
+  }
+  if (stats->traces.empty()) {
+    std::printf("\n(no %straces recorded)\n",
+                flags.Has("slow") ? "slow " : "");
+    return 0;
+  }
+  std::printf("\n%zu %strace(s), newest first:\n", stats->traces.size(),
+              flags.Has("slow") ? "slow " : "");
+  for (const obs::QueryTrace& t : stats->traces) {
+    std::printf(
+        "  #%llu %s/%s gen %llu%s: total %.3f ms (queue %.3f, "
+        "filter %.3f, refine %.3f); %llu filter hits -> %llu refined, "
+        "%llu hungarian, %llu pages / %llu bytes I/O%s\n",
+        static_cast<unsigned long long>(t.trace_id),
+        QueryKindName(static_cast<QueryKind>(t.kind)),
+        QueryStrategyName(static_cast<QueryStrategy>(t.strategy)),
+        static_cast<unsigned long long>(t.generation),
+        t.cache_hit ? " (cache hit)" : "",
+        1e3 * t.total_seconds, 1e3 * t.queue_seconds,
+        1e3 * t.filter_seconds, 1e3 * t.refine_seconds,
+        static_cast<unsigned long long>(t.filter_hits),
+        static_cast<unsigned long long>(t.candidates_refined),
+        static_cast<unsigned long long>(t.hungarian_invocations),
+        static_cast<unsigned long long>(t.page_accesses),
+        static_cast<unsigned long long>(t.bytes_read),
+        t.status_code == 0
+            ? ""
+            : (" [status " + std::to_string(t.status_code) + "]").c_str());
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: vsim <generate|build|info|query|classify|optics|"
-                 "batch|reindex|serve|remote-query> [flags]\n");
+                 "batch|reindex|serve|remote-query|stats> [flags]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -1012,6 +1084,7 @@ int Run(int argc, char** argv) {
   if (cmd == "reindex") return CmdReindex(flags);
   if (cmd == "serve") return CmdServe(flags);
   if (cmd == "remote-query") return CmdRemoteQuery(flags);
+  if (cmd == "stats") return CmdStats(flags);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 2;
 }
