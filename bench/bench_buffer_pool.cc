@@ -1,0 +1,170 @@
+// Sharded-buffer-pool bench: fetch throughput vs. latch-partition
+// (shard) count under multi-threaded churn, and hit ratio vs. pool
+// capacity on a skewed workload. Emits one "JSON: " line like the
+// other serving benches (--json FILE additionally writes the raw line;
+// BENCH_cache.json is checked in from such a run).
+//
+// The scaling experiment is the tentpole claim made measurable: with
+// every thread hammering one latch (shards=1) the miss path's
+// exclusive lock serializes eviction + page I/O, while at 8 shards the
+// same workload spreads across independent partitions. Hits take only
+// the shard's shared lock, so the single-shard configuration is hurt
+// exactly where a single-mutex pool would be -- on eviction churn.
+//
+// Workload: 80% of fetches go to a hot 10% of the pages (the skew that
+// makes tiering and caching worth having), 20% sweep the cold rest.
+// The pool is sized well below the page count, so the cold tail churns
+// frames constantly.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "vsim/cache/page_cache.h"
+#include "vsim/common/rng.h"
+#include "vsim/common/stopwatch.h"
+#include "vsim/common/table_printer.h"
+#include "vsim/storage/paged_file.h"
+
+using namespace vsim;
+
+namespace {
+
+constexpr size_t kPageSize = 4096;
+
+std::string TempStorePath() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") +
+         "/bench_buffer_pool.vspg";
+}
+
+// One thread's share of the skewed fetch workload; returns fetches
+// completed (all fetches must succeed -- a failure aborts the bench).
+void RunThread(cache::ShardedBufferPool* pool,
+               const std::vector<PageId>* pages, uint64_t seed, int fetches) {
+  Rng rng(seed);
+  const uint64_t n = pages->size();
+  const uint64_t hot = n / 10 == 0 ? 1 : n / 10;
+  for (int i = 0; i < fetches; ++i) {
+    const uint64_t idx = rng.NextBounded(100) < 80
+                             ? rng.NextBounded(hot)
+                             : hot + rng.NextBounded(n - hot);
+    StatusOr<cache::PageHandle> h = (*pool).Fetch((*pages)[idx]);
+    if (!h.ok()) {
+      std::fprintf(stderr, "fetch failed: %s\n",
+                   h.status().ToString().c_str());
+      std::exit(1);
+    }
+    // Touch the payload so the fetch is not optimized into a no-op
+    // ('x' fill means this never fires).
+    if (h->data()[0] == 127) std::fputc('.', stderr);
+  }
+}
+
+double RunWorkload(cache::ShardedBufferPool* pool,
+                   const std::vector<PageId>* pages, int threads,
+                   int fetches_per_thread) {
+  Stopwatch watch;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(RunThread, pool, pages,
+                         static_cast<uint64_t>(9000 + t),
+                         fetches_per_thread);
+  }
+  for (auto& w : workers) w.join();
+  return static_cast<double>(threads) * fetches_per_thread /
+         watch.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t pages_n = bench::FullRun() ? 4096 : 1024;
+  const int threads = 8;
+  const int fetches = bench::FullRun() ? 200000 : 50000;
+
+  const std::string path = TempStorePath();
+  StatusOr<PagedFile> file = PagedFile::Create(path, kPageSize);
+  if (!file.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 file.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<PageId> pages;
+  pages.reserve(pages_n);
+  std::vector<char> buf(kPageSize, 'x');
+  for (size_t i = 0; i < pages_n; ++i) {
+    StatusOr<PageId> p = file->Allocate();
+    if (!p.ok() || !file->Write(*p, buf.data()).ok()) {
+      std::fprintf(stderr, "page setup failed\n");
+      return 1;
+    }
+    pages.push_back(*p);
+  }
+
+  std::printf("buffer pool bench: %zu pages of %zu B, %d threads, "
+              "%d fetches/thread, 80/20 skew\n\n",
+              pages_n, kPageSize, threads, fetches);
+
+  // --- throughput vs. shard count (capacity fixed well below the
+  // working set, so the miss/eviction path stays busy) ----------------
+  const size_t capacity = pages_n / 8;
+  TablePrinter shard_table(
+      {"shards", "fetches/s", "hit %", "speedup vs 1 shard"});
+  std::string json = "{\"bench\":\"buffer_pool\",\"pages\":" +
+                     std::to_string(pages_n) +
+                     ",\"threads\":" + std::to_string(threads) +
+                     ",\"capacity\":" + std::to_string(capacity) +
+                     ",\"shards\":{";
+  double base_qps = 0.0;
+  double qps8 = 0.0;
+  for (const size_t shards : {1, 2, 4, 8}) {
+    cache::ShardedBufferPool pool(&*file, cache::PoolOptions{capacity,
+                                                             shards});
+    RunWorkload(&pool, &pages, threads, fetches / 5);  // warm-up
+    pool.ResetStats();
+    const double qps = RunWorkload(&pool, &pages, threads, fetches);
+    const cache::PoolStatsSnapshot s = pool.Stats();
+    const double hit_pct =
+        100.0 * s.hits() / static_cast<double>(s.hits() + s.misses);
+    if (shards == 1) base_qps = qps;
+    if (shards == 8) qps8 = qps;
+    shard_table.AddRow({std::to_string(shards), TablePrinter::Num(qps, 0),
+                        TablePrinter::Num(hit_pct, 1),
+                        TablePrinter::Num(qps / base_qps) + "x"});
+    json += (shards == 1 ? "\"" : ",\"") + std::to_string(shards) +
+            "\":" + TablePrinter::Num(qps, 1);
+  }
+  json += "},\"speedup_8shard\":" + TablePrinter::Num(qps8 / base_qps, 3);
+  shard_table.Print();
+
+  // --- hit ratio vs. capacity (shards fixed at 8) ---------------------
+  std::printf("\n");
+  TablePrinter cap_table({"capacity", "hit %", "evictions", "promotions"});
+  json += ",\"hit_ratio\":{";
+  bool first = true;
+  for (const size_t cap :
+       {pages_n / 32, pages_n / 8, pages_n / 2, pages_n}) {
+    cache::ShardedBufferPool pool(&*file, cache::PoolOptions{cap, 8});
+    RunWorkload(&pool, &pages, threads, fetches / 5);  // warm-up
+    pool.ResetStats();
+    RunWorkload(&pool, &pages, threads, fetches);
+    const cache::PoolStatsSnapshot s = pool.Stats();
+    const double ratio =
+        static_cast<double>(s.hits()) /
+        static_cast<double>(s.hits() + s.misses);
+    cap_table.AddRow({std::to_string(cap), TablePrinter::Num(100 * ratio, 1),
+                      std::to_string(s.evictions()),
+                      std::to_string(s.promotions)});
+    json += std::string(first ? "\"" : ",\"") + std::to_string(cap) +
+            "\":" + TablePrinter::Num(ratio, 4);
+    first = false;
+  }
+  json += "}}";
+  cap_table.Print();
+
+  std::remove(path.c_str());
+  return bench::EmitJson(json, bench::JsonOutPath(argc, argv));
+}

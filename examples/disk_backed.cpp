@@ -1,7 +1,8 @@
 // Fully disk-backed similarity search: the extracted database lives in
 // real paged files (a DiskXTree over the extended centroids and a
-// VectorSetStore for the exact representations), queried through LRU
-// buffer pools. Page accesses are charged only on actual cache misses,
+// VectorSetStore for the exact representations), queried through the
+// concurrent sharded buffer pool (inner X-tree pages retained in its
+// hot tier). Page accesses are charged only on actual cache misses,
 // which quantifies how far the paper's flat I/O simulation (one page
 // per candidate, every time) is from a system with a working buffer
 // manager.

@@ -1,0 +1,55 @@
+#include "vsim/cache/metrics_adapter.h"
+
+namespace vsim::cache {
+
+void AppendPoolSamples(const ShardedBufferPool& pool,
+                       std::vector<obs::MetricSample>* out) {
+  const PoolStatsSnapshot s = pool.Stats();
+  using Type = obs::MetricSample::Type;
+  auto counter = [out](const char* name, const char* help, const char* labels,
+                       uint64_t v) {
+    out->push_back({name, help, labels, Type::kCounter,
+                    static_cast<double>(v)});
+  };
+  auto gauge = [out](const char* name, const char* help, const char* labels,
+                     uint64_t v) {
+    out->push_back(
+        {name, help, labels, Type::kGauge, static_cast<double>(v)});
+  };
+
+  counter("vsim_cache_pool_hits_total",
+          "Buffer-pool page-table hits by frame tier.", "tier=\"hot\"",
+          s.hot_hits);
+  counter("vsim_cache_pool_hits_total", "", "tier=\"cold\"", s.cold_hits);
+  counter("vsim_cache_pool_misses_total",
+          "Buffer-pool fetches that read the paged file.", "", s.misses);
+  counter("vsim_cache_pool_evictions_total",
+          "Buffer-pool frames reclaimed by the clock sweep, by the "
+          "evicted frame's tier.",
+          "tier=\"hot\"", s.hot_evictions);
+  counter("vsim_cache_pool_evictions_total", "", "tier=\"cold\"",
+          s.cold_evictions);
+  counter("vsim_cache_pool_promotions_total",
+          "Cold pages promoted to the hot tier by a repeat hit while "
+          "resident.",
+          "", s.promotions);
+  counter("vsim_cache_pool_writebacks_total",
+          "Dirty pages written back on eviction or flush.", "",
+          s.writebacks);
+  gauge("vsim_cache_pool_resident_pages",
+        "Resident buffer-pool frames by tier at scrape time.",
+        "tier=\"hot\"", s.resident_hot);
+  gauge("vsim_cache_pool_resident_pages", "", "tier=\"cold\"",
+        s.resident_cold);
+  gauge("vsim_cache_pool_pinned_frames",
+        "Frames pinned by live PageHandles at scrape time.", "",
+        s.pinned_frames);
+  gauge("vsim_cache_pool_capacity_frames",
+        "Total frames across all shards (fixed at pool construction).", "",
+        s.capacity_frames);
+  gauge("vsim_cache_pool_shards",
+        "Latch partitions in the pool (fixed at pool construction).", "",
+        s.shard_count);
+}
+
+}  // namespace vsim::cache

@@ -1,0 +1,26 @@
+// Bridges a ShardedBufferPool's counters into MetricsRegistry scrapes.
+// The pool keeps its own relaxed atomics (no double bookkeeping on the
+// fetch hot path); a QueryService collector calls AppendPoolSamples at
+// scrape time to emit the vsim_cache_pool_* series documented in
+// docs/OBSERVABILITY.md. Tiered counters carry a tier="hot"/"cold"
+// label so dashboards can plot the split without separate families.
+#ifndef VSIM_CACHE_METRICS_ADAPTER_H_
+#define VSIM_CACHE_METRICS_ADAPTER_H_
+
+#include <vector>
+
+#include "vsim/cache/page_cache.h"
+#include "vsim/obs/metrics.h"
+
+namespace vsim::cache {
+
+// Appends one sample per vsim_cache_pool_* series from a stats
+// snapshot. Safe wherever `pool` is alive: Stats() is internally
+// synchronized. Callable from a registry collector (it only appends to
+// `out`, never re-enters the registry).
+void AppendPoolSamples(const ShardedBufferPool& pool,
+                       std::vector<obs::MetricSample>* out);
+
+}  // namespace vsim::cache
+
+#endif  // VSIM_CACHE_METRICS_ADAPTER_H_

@@ -23,12 +23,9 @@
 #ifndef VSIM_COMMON_THREAD_ANNOTATIONS_H_
 #define VSIM_COMMON_THREAD_ANNOTATIONS_H_
 
-#include <atomic>
 #include <condition_variable>
-#include <cstdio>
-#include <cstdlib>
 #include <mutex>
-#include <thread>
+#include <shared_mutex>
 
 // -- Attribute macros -------------------------------------------------
 // Names and semantics follow the Clang thread-safety-analysis docs
@@ -59,6 +56,13 @@
   VSIM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
 #define TRY_ACQUIRE(...) \
   VSIM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+// Shared (reader) forms: many readers may hold the capability at once;
+// writers need the exclusive forms above. Guarded members may be READ
+// under a shared hold but only WRITTEN under an exclusive one.
+#define ACQUIRE_SHARED(...) \
+  VSIM_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  VSIM_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
 // On a class: instances are a capability (a lock).
 #define CAPABILITY(x) VSIM_THREAD_ANNOTATION__(capability(x))
 // On a class: RAII object that holds a capability for its lifetime.
@@ -110,6 +114,58 @@ class SCOPED_CAPABILITY MutexLock {
   Mutex* const mu_;
 };
 
+// Annotated std::shared_mutex: many concurrent readers or one writer.
+// The buffer-pool shards use this for their latch-per-partition scheme
+// (page-table hits take the shared side, misses and evictions the
+// exclusive side -- see src/vsim/cache/page_cache.h). Guarded members
+// may be read under ReaderMutexLock and mutated only under
+// WriterMutexLock; Clang checks both directions under
+// VSIM_STATIC_ANALYSIS=ON.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// Scoped exclusive (writer) lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// Scoped shared (reader) lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
 // Condition variable bound to vsim::Mutex. Wait() requires the mutex
 // held (checked under Clang); it releases the mutex while blocked and
 // reacquires it before returning, like std::condition_variable -- the
@@ -135,76 +191,6 @@ class CondVar {
 
  private:
   std::condition_variable cv_;
-};
-
-// -- Single-thread contracts ------------------------------------------
-// Thread-safety analysis proves lock discipline but cannot express "this
-// class is used by at most one thread at a time" (BufferPool, PagedFile:
-// excluded from the service's concurrency by contract). This checker
-// makes that contract crash loudly in debug builds (the default build
-// keeps assertions armed): concurrent entry from two threads aborts with
-// both thread ids. Sequential hand-off between threads stays legal --
-// the owner is released when the last nested section exits.
-//
-// Compiled out under NDEBUG.
-class ThreadContractChecker {
- public:
-  ThreadContractChecker() = default;
-  ThreadContractChecker(const ThreadContractChecker&) = delete;
-  ThreadContractChecker& operator=(const ThreadContractChecker&) = delete;
-
-#ifndef NDEBUG
-  void Enter() const {
-    const std::thread::id self = std::this_thread::get_id();
-    std::thread::id expected{};  // "no owner"
-    if (!owner_.compare_exchange_strong(expected, self,
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_acquire) &&
-        expected != self) {
-      std::fprintf(stderr,
-                   "ThreadContractChecker: concurrent use of a "
-                   "single-thread object from a second thread "
-                   "(single-thread-at-a-time contract violated; see "
-                   "docs/ARCHITECTURE.md \"Static analysis & lock "
-                   "discipline\")\n");
-      std::abort();
-    }
-    // Only the owning thread reaches here, so plain int is race-free.
-    ++depth_;
-  }
-
-  void Exit() const {
-    if (--depth_ == 0) {
-      owner_.store(std::thread::id{}, std::memory_order_release);
-    }
-  }
-#else
-  void Enter() const {}
-  void Exit() const {}
-#endif
-
- private:
-#ifndef NDEBUG
-  mutable std::atomic<std::thread::id> owner_{};
-  mutable int depth_ = 0;
-#endif
-};
-
-// RAII section of single-thread use; place at the top of every public
-// entry point of the contracted class.
-class ScopedThreadContract {
- public:
-  explicit ScopedThreadContract(const ThreadContractChecker& checker)
-      : checker_(checker) {
-    checker_.Enter();
-  }
-  ~ScopedThreadContract() { checker_.Exit(); }
-
-  ScopedThreadContract(const ScopedThreadContract&) = delete;
-  ScopedThreadContract& operator=(const ScopedThreadContract&) = delete;
-
- private:
-  const ThreadContractChecker& checker_;
 };
 
 }  // namespace vsim

@@ -19,10 +19,12 @@
 // construction; every query method is const and touches no mutable
 // state, so any number of threads may query one engine concurrently
 // (this is what the service layer's lock-free read path relies on --
-// see docs/ARCHITECTURE.md). The single exception is AttachStore():
-// a disk-backed store routes refinement reads through a buffer pool
-// whose LRU state mutates on every fetch, so an engine with a store
-// attached must be confined to one thread at a time.
+// see docs/ARCHITECTURE.md). That includes AttachStore(): a disk-backed
+// store routes refinement reads through the sharded buffer pool
+// (src/vsim/cache/page_cache.h), whose fetch path is safe from any
+// number of threads, so a store-attached engine serves concurrently
+// exactly like a RAM-resident one. AttachStore() itself is setup-time
+// plumbing: call it before the engine is shared, not during serving.
 #ifndef VSIM_CORE_QUERY_ENGINE_H_
 #define VSIM_CORE_QUERY_ENGINE_H_
 

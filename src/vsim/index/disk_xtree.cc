@@ -218,7 +218,8 @@ StatusOr<DiskXTree> DiskXTree::Open(const std::string& path,
   if (root >= nodes && count > 0) {
     return Status::InvalidArgument("corrupt root pointer: " + path);
   }
-  tree.pool_ = std::make_unique<BufferPool>(tree.file_.get(), pool_pages);
+  tree.pool_ = std::make_unique<cache::ShardedBufferPool>(tree.file_.get(),
+                                                          pool_pages);
   return tree;
 }
 
@@ -233,15 +234,24 @@ StatusOr<DiskXTree::DiskNode> DiskXTree::FetchNode(uint32_t node_index,
   const size_t page_size = file_->page_size();
   std::string blob;
   blob.reserve(ref.bytes);
-  const size_t misses_before = pool_->misses();
+  // One pin at a time, released as soon as the chunk is copied: a
+  // multi-page supernode must not demand `pages` frames of one shard at
+  // once (tiny pools would spuriously exhaust). Misses are charged per
+  // call (a pool-wide counter delta would misattribute concurrent
+  // queries' misses).
+  size_t misses = 0;
   for (uint32_t p = 0; p < ref.pages; ++p) {
-    VSIM_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(ref.first_page + p));
+    bool missed = false;
+    VSIM_ASSIGN_OR_RETURN(
+        cache::PageHandle handle,
+        pool_->Fetch(ref.first_page + p, cache::PageTier::kCold, &missed));
     const size_t chunk =
         std::min(page_size, static_cast<size_t>(ref.bytes) - p * page_size);
     blob.append(handle.data(), chunk);
+    misses += missed ? 1 : 0;
   }
   if (stats != nullptr) {
-    stats->AddPageAccesses(pool_->misses() - misses_before);
+    stats->AddPageAccesses(misses);
     stats->AddBytesRead(ref.bytes);
   }
 
@@ -252,6 +262,15 @@ StatusOr<DiskXTree::DiskNode> DiskXTree::FetchNode(uint32_t node_index,
     return Status::Internal("corrupt node blob");
   }
   node.leaf = leaf != 0;
+  if (!node.leaf) {
+    // Promote the inner node's pages to the hot tier (pin-free retier;
+    // a page already evicted between the copy and here is simply left
+    // to re-enter cold on its next fetch). The filter step's working
+    // set stays resident while leaf pages churn in the cold tier.
+    for (uint32_t p = 0; p < ref.pages; ++p) {
+      pool_->Retier(ref.first_page + p, cache::PageTier::kHot);
+    }
+  }
   node.entries.resize(entries);
   for (DiskEntry& e : node.entries) {
     uint32_t id_or_child = 0;

@@ -1,12 +1,16 @@
 // Disk-resident X-tree: the nodes of an in-memory XTree written into
-// consecutive pages of a PagedFile and queried through the LRU buffer
-// pool. Together with VectorSetStore this makes the whole
+// consecutive pages of a PagedFile and queried through the sharded
+// buffer pool. Inner-node pages are promoted to the pool's hot tier on
+// first parse (the filter step's working set stays resident while leaf
+// pages churn in the cold tier). Together with VectorSetStore this makes the whole
 // filter-and-refine pipeline operate on real pages: an index node visit
 // costs a page access only when the pool actually misses, unlike the
 // flat per-visit charge of the in-memory tree.
 //
 // The disk tree is read-only: build (or bulk-load) in memory, write
-// once, query many times.
+// once, query many times. Queries are safe from any number of threads
+// concurrently (the node directory is immutable after Open; the pool
+// and file underneath are fully concurrent).
 #ifndef VSIM_INDEX_DISK_XTREE_H_
 #define VSIM_INDEX_DISK_XTREE_H_
 
@@ -18,7 +22,7 @@
 #include "vsim/features/feature_vector.h"
 #include "vsim/index/io_stats.h"
 #include "vsim/index/xtree.h"
-#include "vsim/storage/buffer_pool.h"
+#include "vsim/cache/page_cache.h"
 #include "vsim/storage/paged_file.h"
 
 namespace vsim {
@@ -49,8 +53,8 @@ class DiskXTree {
 
   size_t size() const { return count_; }
   int dim() const { return dim_; }
-  const BufferPool& pool() const { return *pool_; }
-  BufferPool& pool() { return *pool_; }
+  const cache::ShardedBufferPool& pool() const { return *pool_; }
+  cache::ShardedBufferPool& pool() { return *pool_; }
 
  private:
   DiskXTree() = default;
@@ -80,7 +84,7 @@ class DiskXTree {
   size_t count_ = 0;
   std::vector<NodeRef> directory_;
   std::unique_ptr<PagedFile> file_;
-  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<cache::ShardedBufferPool> pool_;
 };
 
 }  // namespace vsim

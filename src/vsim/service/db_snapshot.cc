@@ -17,6 +17,37 @@ std::shared_ptr<const DbSnapshot> DbSnapshot::Create(CadDatabase db,
   return snapshot;
 }
 
+StatusOr<std::shared_ptr<const DbSnapshot>> DbSnapshot::CreateDiskBacked(
+    CadDatabase db, const std::string& store_path, uint64_t generation,
+    IoCostParams params, size_t pool_pages) {
+  auto snapshot = std::shared_ptr<DbSnapshot>(new DbSnapshot());
+  auto owned_db = std::make_unique<const CadDatabase>(std::move(db));
+  snapshot->db_ = owned_db.get();
+  snapshot->owned_db_ = std::move(owned_db);
+
+  // Materialize the store file: same objects in the same order as the
+  // database, so stored ids line up with engine ids.
+  VSIM_ASSIGN_OR_RETURN(VectorSetStore store,
+                        VectorSetStore::Create(store_path, 4096, pool_pages));
+  for (size_t i = 0; i < snapshot->db_->size(); ++i) {
+    VSIM_ASSIGN_OR_RETURN(
+        int id,
+        store.Append(snapshot->db_->object(static_cast<int>(i)).vector_set));
+    if (id != static_cast<int>(i)) {
+      return Status::Internal("store id drifted from database id");
+    }
+  }
+  VSIM_RETURN_NOT_OK(store.Flush());
+  snapshot->owned_store_ = std::make_unique<VectorSetStore>(std::move(store));
+
+  auto owned_engine = std::make_unique<QueryEngine>(snapshot->db_, params);
+  owned_engine->AttachStore(snapshot->owned_store_.get());
+  snapshot->engine_ = owned_engine.get();
+  snapshot->owned_engine_ = std::move(owned_engine);
+  snapshot->generation_ = generation;
+  return std::shared_ptr<const DbSnapshot>(snapshot);
+}
+
 std::shared_ptr<const DbSnapshot> DbSnapshot::Wrap(const CadDatabase* db,
                                                    const QueryEngine* engine,
                                                    uint64_t generation) {

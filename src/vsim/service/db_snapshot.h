@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "vsim/core/query_engine.h"
@@ -51,6 +52,17 @@ class DbSnapshot {
                                                   uint64_t generation,
                                                   IoCostParams params = {});
 
+  // Owning constructor for disk-backed serving: like Create, but also
+  // writes every object's vector set into a fresh VectorSetStore file
+  // at `store_path` (`pool_pages` frames of sharded buffer pool) and
+  // attaches it to the engine, so refinement fetches candidates through
+  // real page I/O instead of the flat per-candidate simulation. The
+  // snapshot owns the store; it is serveable concurrently exactly like
+  // a RAM-resident snapshot (the pool's fetch path is thread-safe).
+  static StatusOr<std::shared_ptr<const DbSnapshot>> CreateDiskBacked(
+      CadDatabase db, const std::string& store_path, uint64_t generation,
+      IoCostParams params = {}, size_t pool_pages = 64);
+
   // Non-owning wrapper for callers that manage db/engine lifetime
   // themselves (the legacy QueryService constructor). `db` and `engine`
   // must outlive every reference to the snapshot.
@@ -61,6 +73,10 @@ class DbSnapshot {
   const CadDatabase& db() const { return *db_; }
   const QueryEngine& engine() const { return *engine_; }
   uint64_t generation() const { return generation_; }
+  // The attached disk store, or nullptr for RAM-resident snapshots.
+  // Exposed so the service's metrics collector can scrape the buffer
+  // pool's counters (vsim_cache_pool_*).
+  const VectorSetStore* store() const { return owned_store_.get(); }
 
   DbSnapshot(const DbSnapshot&) = delete;
   DbSnapshot& operator=(const DbSnapshot&) = delete;
@@ -69,8 +85,10 @@ class DbSnapshot {
   DbSnapshot() = default;
 
   // Owned storage (null for wrapped snapshots). The database lives in a
-  // unique_ptr so its address is stable for the engine that indexes it.
+  // unique_ptr so its address is stable for the engine that indexes it;
+  // same for the store the engine's refinement path reads through.
   std::unique_ptr<const CadDatabase> owned_db_;
+  std::unique_ptr<VectorSetStore> owned_store_;
   std::unique_ptr<const QueryEngine> owned_engine_;
 
   const CadDatabase* db_ = nullptr;

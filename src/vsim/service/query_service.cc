@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "vsim/cache/metrics_adapter.h"
 #include "vsim/service/request_parse.h"
 
 namespace vsim {
@@ -118,6 +119,14 @@ void QueryService::RegisterMetrics() {
     add("vsim_flight_recorder_dropped_total",
         "Traces dropped on slot contention",
         static_cast<double>(recorder_.dropped()));
+    // Disk-backed snapshots expose their buffer pool's hot/cold tier
+    // counters (vsim_cache_pool_*; distinct from the result-cache
+    // vsim_cache_* series above). Lock order here is registry mutex ->
+    // snapshot_mu_; nothing takes them in the other order.
+    std::shared_ptr<const DbSnapshot> snap = snapshot();
+    if (snap != nullptr && snap->store() != nullptr) {
+      cache::AppendPoolSamples(snap->store()->pool(), out);
+    }
   });
 }
 

@@ -28,11 +28,12 @@
 //     flush: stale entries simply stop matching and age out via LRU.
 //
 // Thread-safety: all public methods are safe to call concurrently from
-// any thread. The engine behind a snapshot must NOT have a disk-backed
-// store attached (QueryEngine::AttachStore): buffer-pool fetches mutate
-// shared LRU state and are not thread-safe. The service checks this
-// invariant only by contract (the store pointer is private); callers
-// own it.
+// any thread. Disk-backed snapshots (QueryEngine::AttachStore /
+// DbSnapshot::CreateDiskBacked) serve concurrently like RAM-resident
+// ones: refinement fetches go through the sharded buffer pool
+// (src/vsim/cache/page_cache.h), whose fetch path is fully concurrent.
+// A disk-backed snapshot's pool counters surface in the registry as the
+// vsim_cache_pool_* series (docs/OBSERVABILITY.md).
 #ifndef VSIM_SERVICE_QUERY_SERVICE_H_
 #define VSIM_SERVICE_QUERY_SERVICE_H_
 

@@ -1,35 +1,82 @@
 #include "vsim/storage/paged_file.h"
 
-#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
-#include "vsim/common/binary_io.h"
+#include <cerrno>
+#include <cstring>
+#include <vector>
 
 namespace vsim {
 
 namespace {
+
 constexpr char kMagic[8] = {'V', 'S', 'P', 'G', 'F', 'L', '0', '1'};
 constexpr size_t kHeaderBytes = 8 + 8 + 8;  // magic, page size, page count
+
+// Full-buffer positioned read/write: retries short transfers and EINTR
+// (pread/pwrite on regular files may legally return less than asked).
+bool PReadFull(int fd, char* buf, size_t len, uint64_t off) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pread(fd, buf + done, len - done,
+                        static_cast<off_t>(off + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF short of a full page
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool PWriteFull(int fd, const char* buf, size_t len, uint64_t off) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pwrite(fd, buf + done, len - done,
+                         static_cast<off_t>(off + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
 PagedFile::PagedFile(PagedFile&& other) noexcept { *this = std::move(other); }
 
+// Moves happen only during single-threaded setup (StatusOr plumbing of
+// Create/Open); the mutex is not transferred, each object keeps its own.
 PagedFile& PagedFile::operator=(PagedFile&& other) noexcept {
   if (this != &other) {
-    if (file_ != nullptr) std::fclose(file_);
-    file_ = other.file_;
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
     page_size_ = other.page_size_;
-    page_count_ = other.page_count_;
-    physical_reads_ = other.physical_reads_;
-    physical_writes_ = other.physical_writes_;
-    other.file_ = nullptr;
+    page_count_.store(other.page_count_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    physical_reads_.store(
+        other.physical_reads_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    physical_writes_.store(
+        other.physical_writes_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.fd_ = -1;
   }
   return *this;
 }
 
 PagedFile::~PagedFile() {
-  if (file_ != nullptr) {
-    WriteHeader();  // best effort
-    std::fclose(file_);
+  if (fd_ >= 0) {
+    {
+      MutexLock lock(&meta_mu_);
+      WriteHeader();  // best effort
+    }
+    ::close(fd_);
   }
 }
 
@@ -38,132 +85,130 @@ StatusOr<PagedFile> PagedFile::Create(const std::string& path,
   if (page_size < 256) {
     return Status::InvalidArgument("page_size must be >= 256");
   }
-  std::FILE* f = std::fopen(path.c_str(), "wb+");
-  if (f == nullptr) return Status::IOError("cannot create " + path);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("cannot create " + path);
   PagedFile file;
-  file.file_ = f;
+  file.fd_ = fd;
   file.page_size_ = page_size;
-  file.page_count_ = 0;
-  VSIM_RETURN_NOT_OK(file.WriteHeader());
-  // Pad the header page to a full page so data pages are aligned.
-  std::vector<char> pad(page_size - kHeaderBytes, 0);
-  if (std::fwrite(pad.data(), 1, pad.size(), f) != pad.size()) {
-    return Status::IOError("cannot pad header page of " + path);
+  // Write the full zeroed header page (magic + fields + padding) so
+  // data pages are page-aligned.
+  std::vector<char> header_page(page_size, 0);
+  std::memcpy(header_page.data(), kMagic, 8);
+  for (int i = 0; i < 8; ++i) {
+    header_page[8 + i] = static_cast<char>(page_size >> (8 * i));
+    header_page[16 + i] = 0;  // page count
+  }
+  if (!PWriteFull(fd, header_page.data(), page_size, 0)) {
+    return Status::IOError("cannot write header page of " + path);
   }
   return file;
 }
 
 StatusOr<PagedFile> PagedFile::Open(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb+");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  char magic[8];
-  if (std::fread(magic, 1, 8, f) != 8 ||
-      std::memcmp(magic, kMagic, 8) != 0) {
-    std::fclose(f);
-    return Status::InvalidArgument(path + " is not a vsim paged file");
-  }
-  unsigned char meta[16];
-  if (std::fread(meta, 1, 16, f) != 16) {
-    std::fclose(f);
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  char raw[kHeaderBytes];
+  if (!PReadFull(fd, raw, kHeaderBytes, 0)) {
+    ::close(fd);
     return Status::IOError("truncated header in " + path);
   }
-  PagedFile file;
-  file.file_ = f;
-  file.page_size_ = 0;
-  file.page_count_ = 0;
+  if (std::memcmp(raw, kMagic, 8) != 0) {
+    ::close(fd);
+    return Status::InvalidArgument(path + " is not a vsim paged file");
+  }
+  size_t page_size = 0;
+  uint64_t page_count = 0;
   for (int i = 0; i < 8; ++i) {
-    file.page_size_ |= static_cast<size_t>(meta[i]) << (8 * i);
-    file.page_count_ |= static_cast<uint64_t>(meta[8 + i]) << (8 * i);
+    page_size |= static_cast<size_t>(
+                     static_cast<unsigned char>(raw[8 + i]))
+                 << (8 * i);
+    page_count |= static_cast<uint64_t>(
+                      static_cast<unsigned char>(raw[16 + i]))
+                  << (8 * i);
   }
   // Bound the header fields against corruption before trusting them: a
   // flipped byte in page_size must not turn into a multi-gigabyte
   // buffer-pool frame allocation, and a lying page_count must fail here
   // rather than on the first phantom-page read (CorruptFileTest).
   constexpr size_t kMaxPageSize = 1u << 26;  // 64 MiB
-  if (file.page_size_ < 256 || file.page_size_ > kMaxPageSize) {
-    std::fclose(f);
-    file.file_ = nullptr;
+  if (page_size < 256 || page_size > kMaxPageSize) {
+    ::close(fd);
     return Status::InvalidArgument("corrupt page size in " + path);
   }
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
-    file.file_ = nullptr;
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
     return Status::IOError("cannot size " + path);
   }
-  const long file_bytes = std::ftell(f);
-  const uint64_t whole_pages =
-      file_bytes < 0 ? 0 : static_cast<uint64_t>(file_bytes) / file.page_size_;
-  // whole_pages includes the header page; avoid page_count_ + 1
+  const uint64_t whole_pages = static_cast<uint64_t>(st.st_size) / page_size;
+  // whole_pages includes the header page; avoid page_count + 1
   // arithmetic, which overflows when the field is all-ones.
-  if (whole_pages == 0 || file.page_count_ > whole_pages - 1) {
-    std::fclose(f);
-    file.file_ = nullptr;
+  if (whole_pages == 0 || page_count > whole_pages - 1) {
+    ::close(fd);
     return Status::InvalidArgument("header page count exceeds file size in " +
                                    path);
   }
+  PagedFile file;
+  file.fd_ = fd;
+  file.page_size_ = page_size;
+  file.page_count_.store(page_count, std::memory_order_relaxed);
   return file;
 }
 
 Status PagedFile::WriteHeader() {
-  if (std::fseek(file_, 0, SEEK_SET) != 0) {
-    return Status::IOError("seek to header failed");
-  }
   char header[kHeaderBytes];
   std::memcpy(header, kMagic, 8);
+  const uint64_t count = page_count_.load(std::memory_order_relaxed);
   for (int i = 0; i < 8; ++i) {
     header[8 + i] = static_cast<char>(page_size_ >> (8 * i));
-    header[16 + i] = static_cast<char>(page_count_ >> (8 * i));
+    header[16 + i] = static_cast<char>(count >> (8 * i));
   }
-  if (std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes) {
+  if (!PWriteFull(fd_, header, kHeaderBytes, 0)) {
     return Status::IOError("header write failed");
   }
   return Status::OK();
 }
 
 StatusOr<PageId> PagedFile::Allocate() {
-  const PageId id = ++page_count_;
-  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
-    return Status::IOError("seek failed during Allocate");
-  }
+  MutexLock lock(&meta_mu_);
+  const PageId id = page_count_.load(std::memory_order_relaxed) + 1;
   std::vector<char> zero(page_size_, 0);
-  if (std::fwrite(zero.data(), 1, page_size_, file_) != page_size_) {
+  if (!PWriteFull(fd_, zero.data(), page_size_, id * page_size_)) {
     return Status::IOError("page allocation write failed");
   }
-  ++physical_writes_;
+  physical_writes_.fetch_add(1, std::memory_order_relaxed);
+  // Release-publish only after the zero-fill landed: a reader that
+  // bounds-checks against the new count finds real bytes on disk.
+  page_count_.store(id, std::memory_order_release);
   return id;
 }
 
 Status PagedFile::Read(PageId page, char* data) const {
-  if (page == 0 || page > page_count_) {
+  if (page == 0 || page > page_count_.load(std::memory_order_acquire)) {
     return Status::OutOfRange("page id out of range");
   }
-  if (std::fseek(file_, static_cast<long>(page * page_size_), SEEK_SET) != 0) {
-    return Status::IOError("seek failed during Read");
-  }
-  if (std::fread(data, 1, page_size_, file_) != page_size_) {
+  if (!PReadFull(fd_, data, page_size_, page * page_size_)) {
     return Status::IOError("short page read");
   }
-  ++physical_reads_;
+  physical_reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status PagedFile::Write(PageId page, const char* data) {
-  if (page == 0 || page > page_count_) {
+  if (page == 0 || page > page_count_.load(std::memory_order_acquire)) {
     return Status::OutOfRange("page id out of range");
   }
-  if (std::fseek(file_, static_cast<long>(page * page_size_), SEEK_SET) != 0) {
-    return Status::IOError("seek failed during Write");
-  }
-  if (std::fwrite(data, 1, page_size_, file_) != page_size_) {
+  if (!PWriteFull(fd_, data, page_size_, page * page_size_)) {
     return Status::IOError("short page write");
   }
-  ++physical_writes_;
+  physical_writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status PagedFile::Sync() {
+  MutexLock lock(&meta_mu_);
   VSIM_RETURN_NOT_OK(WriteHeader());
-  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  if (::fsync(fd_) != 0) return Status::IOError("fsync failed");
   return Status::OK();
 }
 

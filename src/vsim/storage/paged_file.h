@@ -1,29 +1,31 @@
 // A real page-oriented file: fixed-size pages in a file on disk, with a
 // header page carrying magic, page size and page count. This is the
-// bottom layer of the disk-backed object store; the buffer pool sits on
-// top of it. (The benchmark harness still *charges* the paper's
-// simulated I/O costs, but with this layer the charged page accesses
-// correspond to actual file reads that miss the cache.)
+// bottom layer of the disk-backed object store; the sharded buffer pool
+// (src/vsim/cache/page_cache.h) sits on top of it. (The benchmark
+// harness still *charges* the paper's simulated I/O costs, but with
+// this layer the charged page accesses correspond to actual file reads
+// that miss the cache.)
 #ifndef VSIM_STORAGE_PAGED_FILE_H_
 #define VSIM_STORAGE_PAGED_FILE_H_
 
-#include <cstdio>
+#include <atomic>
+#include <cstdint>
 #include <string>
-#include <vector>
 
 #include "vsim/common/status.h"
+#include "vsim/common/thread_annotations.h"
 
 namespace vsim {
 
 using PageId = uint64_t;
 
-// Thread-safety: NOT thread-safe -- single thread at a time, by the
-// same explicit contract as BufferPool (which owns all access to it on
-// the disk-backed path and carries the debug-mode contract checker;
-// see docs/ARCHITECTURE.md "Static analysis & lock discipline"). The
-// stdio stream position is shared mutable state: concurrent
-// Read/Write/Allocate interleave their fseek/fread pairs. The
-// physical-I/O counters are plain size_t for the same reason.
+// Thread-safety: safe for concurrent use from any thread, as the
+// sharded buffer pool's parallel miss paths require. Read and Write use
+// positioned I/O (pread/pwrite) -- there is no shared stream cursor to
+// interleave -- and the physical-I/O counters are atomics. Allocate and
+// Sync serialize on an internal mutex (file extension and the header
+// are genuinely shared state). The only exclusions are object lifetime:
+// moves and destruction must not race other calls, like any C++ object.
 class PagedFile {
  public:
   // Creates a new file (truncating any existing one) with the given
@@ -42,32 +44,46 @@ class PagedFile {
 
   // Appends a zeroed page and returns its id (1-based; page 0 is the
   // header and not directly accessible).
-  StatusOr<PageId> Allocate();
+  StatusOr<PageId> Allocate() EXCLUDES(meta_mu_);
 
   // Reads/writes a whole page. `data` must hold page_size() bytes.
+  // Concurrent calls on distinct or identical pages are safe (for
+  // racing Write/Read on the SAME page, byte-level atomicity is the
+  // caller's problem -- the buffer pool never issues that pattern).
   Status Read(PageId page, char* data) const;
   Status Write(PageId page, const char* data);
 
-  // Persists the header and flushes stdio buffers.
-  Status Sync();
+  // Persists the header and fsyncs the file.
+  Status Sync() EXCLUDES(meta_mu_);
 
   size_t page_size() const { return page_size_; }
   // Number of data pages (excluding the header).
-  uint64_t page_count() const { return page_count_; }
+  uint64_t page_count() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
 
   // Physical I/O counters (reads/writes that reached the file).
-  size_t physical_reads() const { return physical_reads_; }
-  size_t physical_writes() const { return physical_writes_; }
+  size_t physical_reads() const {
+    return physical_reads_.load(std::memory_order_relaxed);
+  }
+  size_t physical_writes() const {
+    return physical_writes_.load(std::memory_order_relaxed);
+  }
 
  private:
   PagedFile() = default;
-  Status WriteHeader();
+  Status WriteHeader() REQUIRES(meta_mu_);
 
-  std::FILE* file_ = nullptr;
-  size_t page_size_ = 0;
-  uint64_t page_count_ = 0;
-  mutable size_t physical_reads_ = 0;
-  size_t physical_writes_ = 0;
+  int fd_ = -1;
+  size_t page_size_ = 0;  // immutable after Create/Open
+  // Grows under meta_mu_; bounds-checked by Read/Write with an acquire
+  // load (an allocation's zero-fill write happens-before the release
+  // store publishing the new count).
+  std::atomic<uint64_t> page_count_{0};
+  mutable std::atomic<size_t> physical_reads_{0};
+  std::atomic<size_t> physical_writes_{0};
+  // Serializes file extension and header writes.
+  Mutex meta_mu_;
 };
 
 }  // namespace vsim

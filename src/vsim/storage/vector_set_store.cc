@@ -62,7 +62,8 @@ StatusOr<VectorSetStore> VectorSetStore::Create(const std::string& path,
   VectorSetStore store;
   VSIM_ASSIGN_OR_RETURN(PagedFile file, PagedFile::Create(path, page_size));
   store.file_ = std::make_unique<PagedFile>(std::move(file));
-  store.pool_ = std::make_unique<BufferPool>(store.file_.get(), pool_pages);
+  store.pool_ = std::make_unique<cache::ShardedBufferPool>(store.file_.get(),
+                                                           pool_pages);
   return store;
 }
 
@@ -71,10 +72,12 @@ StatusOr<VectorSetStore> VectorSetStore::Open(const std::string& path,
   VectorSetStore store;
   VSIM_ASSIGN_OR_RETURN(PagedFile file, PagedFile::Open(path));
   store.file_ = std::make_unique<PagedFile>(std::move(file));
-  store.pool_ = std::make_unique<BufferPool>(store.file_.get(), pool_pages);
+  store.pool_ = std::make_unique<cache::ShardedBufferPool>(store.file_.get(),
+                                                           pool_pages);
   // Rebuild the directory with one sequential pass.
   for (PageId page = 1; page <= store.file_->page_count(); ++page) {
-    VSIM_ASSIGN_OR_RETURN(PageHandle handle, store.pool_->Fetch(page));
+    VSIM_ASSIGN_OR_RETURN(cache::PageHandle handle,
+                          store.pool_->Fetch(page));
     const char* data = handle.data();
     const uint16_t records = ReadU16(data);
     size_t offset = kPageHeader;
@@ -109,13 +112,14 @@ StatusOr<VectorSetStore::RecordRef> VectorSetStore::AppendRecord(
     return Status::InvalidArgument("record larger than page payload");
   }
   if (tail_page_ == 0 || tail_used_ + needed > capacity) {
-    VSIM_ASSIGN_OR_RETURN(PageHandle fresh, pool_->Allocate());
+    VSIM_ASSIGN_OR_RETURN(cache::PageHandle fresh, pool_->Allocate());
     fresh.MarkDirty();
     PutU16(fresh.data(), 0);
     tail_page_ = fresh.page();
     tail_used_ = kPageHeader;
   }
-  VSIM_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(tail_page_));
+  VSIM_ASSIGN_OR_RETURN(cache::PageHandle handle,
+                        pool_->Fetch(tail_page_));
   char* page = handle.data();
   PutU16(page + tail_used_, static_cast<uint16_t>(bytes));
   std::memcpy(page + tail_used_ + kRecordHeader, data, bytes);
@@ -137,15 +141,19 @@ StatusOr<int> VectorSetStore::Append(const VectorSet& set) {
   return static_cast<int>(directory_.size()) - 1;
 }
 
-StatusOr<VectorSet> VectorSetStore::Get(int id, IoStats* stats) {
+StatusOr<VectorSet> VectorSetStore::Get(int id, IoStats* stats) const {
   if (id < 0 || static_cast<size_t>(id) >= directory_.size()) {
     return Status::OutOfRange("object id out of range");
   }
   const RecordRef& ref = directory_[id];
-  const size_t misses_before = pool_->misses();
-  VSIM_ASSIGN_OR_RETURN(PageHandle handle, pool_->Fetch(ref.page));
+  // Charge the paper's page cost for THIS call's miss only: a global
+  // miss-counter delta would misattribute concurrent callers' misses.
+  bool missed = false;
+  VSIM_ASSIGN_OR_RETURN(
+      cache::PageHandle handle,
+      pool_->Fetch(ref.page, cache::PageTier::kCold, &missed));
   if (stats != nullptr) {
-    stats->AddPageAccesses(pool_->misses() - misses_before);
+    if (missed) stats->AddPageAccesses(1);
     stats->AddBytesRead(ref.bytes);
   }
   return Deserialize(handle.data() + ref.offset, ref.bytes);

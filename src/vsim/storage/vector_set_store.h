@@ -1,8 +1,8 @@
 // Disk-backed store of vector sets: records packed into self-describing
-// slotted pages of a PagedFile, accessed through the LRU buffer pool.
-// This replaces the purely *simulated* object fetches of the query
-// engine with real page I/O: a Get() charges the paper's 8 ms page cost
-// only when the buffer pool actually misses.
+// slotted pages of a PagedFile, accessed through the sharded buffer
+// pool. This replaces the purely *simulated* object fetches of the
+// query engine with real page I/O: a Get() charges the paper's 8 ms
+// page cost only when the buffer pool actually misses.
 #ifndef VSIM_STORAGE_VECTOR_SET_STORE_H_
 #define VSIM_STORAGE_VECTOR_SET_STORE_H_
 
@@ -10,17 +10,19 @@
 #include <string>
 #include <vector>
 
+#include "vsim/cache/page_cache.h"
 #include "vsim/common/status.h"
 #include "vsim/features/feature_vector.h"
 #include "vsim/index/io_stats.h"
-#include "vsim/storage/buffer_pool.h"
 #include "vsim/storage/paged_file.h"
 
 namespace vsim {
 
-// Thread-safety: NOT thread-safe -- inherits the single-thread
-// contract of the BufferPool/PagedFile underneath (debug builds abort
-// on concurrent use; see thread_annotations.h ThreadContractChecker).
+// Thread-safety: Get() is safe from any number of threads concurrently
+// (the sharded pool and PagedFile underneath are fully concurrent; the
+// record directory is immutable once built). The build phase --
+// Append() and Flush() -- is single-writer and must not overlap reads,
+// matching the build-once/serve-many lifecycle of the disk pipeline.
 class VectorSetStore {
  public:
   // Creates a new store file. `pool_pages` is the buffer pool capacity.
@@ -41,15 +43,15 @@ class VectorSetStore {
   StatusOr<int> Append(const VectorSet& set);
 
   // Loads a stored vector set. If `stats` is given, one page access is
-  // charged per buffer-pool *miss* (plus the record's bytes) -- cache
-  // hits are free, unlike the paper's flat simulation.
-  StatusOr<VectorSet> Get(int id, IoStats* stats = nullptr);
+  // charged when THIS call missed the buffer pool (plus the record's
+  // bytes) -- cache hits are free, unlike the paper's flat simulation.
+  StatusOr<VectorSet> Get(int id, IoStats* stats = nullptr) const;
 
   Status Flush();
 
   size_t size() const { return directory_.size(); }
-  const BufferPool& pool() const { return *pool_; }
-  BufferPool& pool() { return *pool_; }
+  const cache::ShardedBufferPool& pool() const { return *pool_; }
+  cache::ShardedBufferPool& pool() { return *pool_; }
 
  private:
   VectorSetStore() = default;
@@ -63,7 +65,7 @@ class VectorSetStore {
   StatusOr<RecordRef> AppendRecord(const char* data, size_t bytes);
 
   std::unique_ptr<PagedFile> file_;
-  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<cache::ShardedBufferPool> pool_;
   std::vector<RecordRef> directory_;
   PageId tail_page_ = 0;
   size_t tail_used_ = 0;

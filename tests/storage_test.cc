@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <thread>
+#include <vector>
 
+#include "vsim/cache/page_cache.h"
 #include "vsim/common/rng.h"
-#include "vsim/storage/buffer_pool.h"
 #include "vsim/storage/paged_file.h"
 #include "vsim/storage/vector_set_store.h"
 
@@ -81,7 +86,62 @@ TEST(PagedFileTest, RejectsBadInput) {
   std::remove(TempPath("pf4.vspg").c_str());
 }
 
-// --- BufferPool ---------------------------------------------------------
+// --- PagedFile concurrency ----------------------------------------------
+
+TEST(PagedFileTest, ConcurrentPositionedIo) {
+  const std::string path = TempPath("pf5.vspg");
+  StatusOr<PagedFile> file = PagedFile::Create(path, 512);
+  ASSERT_TRUE(file.ok());
+  constexpr int kPages = 16;
+  std::vector<PageId> pages;
+  for (int i = 0; i < kPages; ++i) {
+    StatusOr<PageId> p = file->Allocate();
+    ASSERT_TRUE(p.ok());
+    std::vector<char> data(512, static_cast<char>('a' + i));
+    ASSERT_TRUE(file->Write(*p, data.data()).ok());
+    pages.push_back(*p);
+  }
+  // pread/pwrite have no shared stream cursor: concurrent readers on
+  // distinct pages must each see their own page's fill byte, and
+  // concurrent Allocate calls must hand out distinct ids.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<char> buf(512);
+      for (int round = 0; round < 200; ++round) {
+        const int i = (t * 7 + round) % kPages;
+        if (!file->Read(pages[i], buf.data()).ok() ||
+            buf[0] != static_cast<char>('a' + i) ||
+            buf[511] != static_cast<char>('a' + i)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> allocators;
+  std::array<PageId, 4> allocated{};
+  for (int t = 0; t < 4; ++t) {
+    allocators.emplace_back([&, t] {
+      StatusOr<PageId> p = file->Allocate();
+      allocated[t] = p.ok() ? *p : 0;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (auto& th : allocators) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::sort(allocated.begin(), allocated.end());
+  for (size_t i = 0; i < allocated.size(); ++i) {
+    EXPECT_EQ(allocated[i], static_cast<PageId>(kPages + 1 + i));
+  }
+  EXPECT_EQ(file->page_count(), static_cast<uint64_t>(kPages + 4));
+  std::remove(path.c_str());
+}
+
+// --- ShardedBufferPool ---------------------------------------------------
+// Single-shard, deterministic behavior; the concurrent stress suites
+// live in cache_pool_test.cc. PoolOptions{N, 1} forces one shard so the
+// clock sweep order is predictable.
 
 TEST(BufferPoolTest, HitsAndMisses) {
   const std::string path = TempPath("bp1.vspg");
@@ -93,22 +153,23 @@ TEST(BufferPoolTest, HitsAndMisses) {
     ASSERT_TRUE(p.ok());
     pages.push_back(*p);
   }
-  BufferPool pool(&*file, 2);
+  cache::ShardedBufferPool pool(&*file, cache::PoolOptions{2, 1});
   {
-    StatusOr<PageHandle> h = pool.Fetch(pages[0]);
+    StatusOr<cache::PageHandle> h = pool.Fetch(pages[0]);
     ASSERT_TRUE(h.ok());
   }
   EXPECT_EQ(pool.misses(), 1u);
   {
-    StatusOr<PageHandle> h = pool.Fetch(pages[0]);  // cached
+    StatusOr<cache::PageHandle> h = pool.Fetch(pages[0]);  // cached
     ASSERT_TRUE(h.ok());
   }
   EXPECT_EQ(pool.hits(), 1u);
-  // Fill beyond capacity: page 0 gets evicted.
+  // Fill beyond capacity: the clock evicts page 1 (page 0's repeat hit
+  // set its reference bit, buying it a second chance).
   { auto h = pool.Fetch(pages[1]); ASSERT_TRUE(h.ok()); }
   { auto h = pool.Fetch(pages[2]); ASSERT_TRUE(h.ok()); }
   EXPECT_EQ(pool.evictions(), 1u);
-  { auto h = pool.Fetch(pages[0]); ASSERT_TRUE(h.ok()); }  // miss again
+  { auto h = pool.Fetch(pages[1]); ASSERT_TRUE(h.ok()); }  // miss again
   EXPECT_EQ(pool.misses(), 4u);
   std::remove(path.c_str());
 }
@@ -121,9 +182,9 @@ TEST(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
   StatusOr<PageId> p2 = file->Allocate();
   ASSERT_TRUE(p1.ok());
   ASSERT_TRUE(p2.ok());
-  BufferPool pool(&*file, 1);
+  cache::ShardedBufferPool pool(&*file, cache::PoolOptions{1, 1});
   {
-    StatusOr<PageHandle> h = pool.Fetch(*p1);
+    StatusOr<cache::PageHandle> h = pool.Fetch(*p1);
     ASSERT_TRUE(h.ok());
     h->data()[0] = 'Z';
     h->MarkDirty();
@@ -141,26 +202,26 @@ TEST(BufferPoolTest, AllFramesPinnedFails) {
   ASSERT_TRUE(file.ok());
   StatusOr<PageId> p1 = file->Allocate();
   StatusOr<PageId> p2 = file->Allocate();
-  BufferPool pool(&*file, 1);
-  StatusOr<PageHandle> pinned = pool.Fetch(*p1);
+  cache::ShardedBufferPool pool(&*file, cache::PoolOptions{1, 1});
+  StatusOr<cache::PageHandle> pinned = pool.Fetch(*p1);
   ASSERT_TRUE(pinned.ok());
-  StatusOr<PageHandle> second = pool.Fetch(*p2);
+  StatusOr<cache::PageHandle> second = pool.Fetch(*p2);
   EXPECT_FALSE(second.ok());
   EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
   std::remove(path.c_str());
 }
 
-TEST(BufferPoolTest, LruEvictsColdestPage) {
+TEST(BufferPoolTest, ClockEvictsUnreferencedPage) {
   const std::string path = TempPath("bp4.vspg");
   StatusOr<PagedFile> file = PagedFile::Create(path, 512);
   ASSERT_TRUE(file.ok());
   std::vector<PageId> pages;
   for (int i = 0; i < 3; ++i) pages.push_back(*file->Allocate());
-  BufferPool pool(&*file, 2);
+  cache::ShardedBufferPool pool(&*file, cache::PoolOptions{2, 1});
   { auto h = pool.Fetch(pages[0]); }
   { auto h = pool.Fetch(pages[1]); }
-  { auto h = pool.Fetch(pages[0]); }  // page 0 is now hot
-  { auto h = pool.Fetch(pages[2]); }  // should evict page 1
+  { auto h = pool.Fetch(pages[0]); }  // page 0's reference bit is set
+  { auto h = pool.Fetch(pages[2]); }  // sweep skips page 0, evicts page 1
   pool.ResetStats();
   { auto h = pool.Fetch(pages[0]); }
   EXPECT_EQ(pool.hits(), 1u);  // page 0 survived

@@ -5,9 +5,12 @@
 # concurrent SwapSnapshot/Rebuilder publications), the thread pool, the
 # sharded result cache, the parallel extraction path, and the TCP
 # serving front-end (loopback server smoke + snapshot swaps under live
-# remote load), plus the observability layer's lock-free record paths
+# remote load), the observability layer's lock-free record paths
 # (metrics registry under concurrent scrapes, flight-recorder seqlock
-# rings, IoStats counters). Any data race aborts with a non-zero exit.
+# rings, IoStats counters), and the concurrent storage stack (sharded
+# buffer pool stress/tiering, SharedMutex, PagedFile positioned I/O,
+# disk-backed serving end-to-end). Any data race aborts with a non-zero
+# exit.
 #
 # Usage: tools/check_tsan.sh [build-dir]
 #   default: $VSIM_BUILD_ROOT/build-tsan (shared build-dir convention
@@ -24,6 +27,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target vsim_tests
 
 TSAN_OPTIONS="halt_on_error=1" \
     "$BUILD_DIR/tests/vsim_tests" \
-    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:NetServerTest*:RemoteSwapTest*:Obs*:FlightRecorder*:IoStatsConcurrency*'
+    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:NetServerTest*:RemoteSwapTest*:Obs*:FlightRecorder*:IoStatsConcurrency*:CachePool*:DiskServing*:SharedMutex*:PagedFile*'
 
-echo "TSan: service stress + snapshot-swap + net server + observability + concurrency suites clean"
+echo "TSan: service stress + snapshot-swap + net server + observability + storage stack suites clean"

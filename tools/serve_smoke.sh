@@ -6,7 +6,9 @@
 # stats` (the metrics must attribute the queries just served), exercises
 # the usage-error exit-code contract (tools/README.md: 0 success, 1
 # runtime failure, 2 usage error), and checks the server drains and
-# exits cleanly on SIGTERM.
+# exits cleanly on SIGTERM. A second, disk-backed pass (`--store`)
+# serves refinement through the sharded buffer pool and asserts the
+# scrape carries non-zero hot- and cold-tier vsim_cache_pool_* hits.
 #
 # Usage: tools/serve_smoke.sh [build-dir]   (default: $VSIM_BUILD_ROOT/build)
 set -u
@@ -132,8 +134,65 @@ else
 fi
 SERVER_PID=""
 
+# --- disk-backed serve: the buffer pool behind the wire ---------------
+# Start a second server with --store: refinement now fetches candidates
+# through the sharded buffer pool, and the stats scrape must carry the
+# vsim_cache_pool_* series with non-zero hot- and cold-tier hits (cold
+# pages earn hotness on repeat hits, so a few queries populate both).
+"$VSIM" serve --dataset car --count 24 --port 0 --port-file "$TMP/port2" \
+    --duration-s 60 --threads 2 --cache-mb 0 \
+    --store "$TMP/smoke.vsstore" --pool-pages 8 \
+    > "$TMP/serve_disk.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$TMP/port2" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve_smoke: disk-backed server exited before publishing its port"
+    cat "$TMP/serve_disk.log"
+    exit 1
+  fi
+  sleep 0.1
+done
+PORT=$(cat "$TMP/port2")
+echo "disk-backed server up on port $PORT (pid $SERVER_PID)"
+
+for id in 0 1 2 3 0 1 2 3; do
+  check "disk-backed k-NN (id $id)" 0 \
+      "$VSIM" remote-query --port "$PORT" --id "$id" --k 5
+done
+"$VSIM" stats --port "$PORT" > "$TMP/stats_disk.out" 2>&1
+if grep -Eq 'vsim_cache_pool_hits_total\{tier="hot"\} [1-9]' \
+     "$TMP/stats_disk.out" &&
+   grep -Eq 'vsim_cache_pool_hits_total\{tier="cold"\} [1-9]' \
+     "$TMP/stats_disk.out"; then
+  echo "ok: scrape shows non-zero hot- and cold-tier pool hits"
+else
+  echo "FAIL: no non-zero vsim_cache_pool_hits_total per tier in the scrape"
+  grep 'vsim_cache_pool' "$TMP/stats_disk.out" | sed 's/^/  | /' | head -12
+  fail=1
+fi
+
+kill -TERM "$SERVER_PID"
+SERVER_EXIT=1
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    wait "$SERVER_PID"
+    SERVER_EXIT=$?
+    break
+  fi
+  sleep 0.1
+done
+if [ "$SERVER_EXIT" -ne 0 ]; then
+  echo "FAIL: disk-backed server did not exit cleanly (exit $SERVER_EXIT)"
+  cat "$TMP/serve_disk.log"
+  fail=1
+else
+  echo "ok: disk-backed server drains and exits 0"
+fi
+SERVER_PID=""
+
 if [ "$fail" -ne 0 ]; then
   echo "serve_smoke: FAILED"
   exit 1
 fi
-echo "serve_smoke: loopback round-trip, exit-code contract and graceful shutdown OK"
+echo "serve_smoke: loopback round-trip, disk-backed pool scrape, exit-code contract and graceful shutdown OK"

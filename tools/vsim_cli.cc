@@ -802,7 +802,8 @@ int CmdServe(const Flags& flags) {
                        {"db", "dataset", "count", "host", "port",
                         "port-file", "duration-s", "threads", "cache-mb",
                         "max-queue", "max-connections", "simulate-io",
-                        "io-page-us", "seed", "stats-interval-s"});
+                        "io-page-us", "seed", "stats-interval-s", "store",
+                        "pool-pages"});
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   StatusOr<CadDatabase> db = Status::Internal("unset");
   if (flags.Has("db")) {
@@ -826,7 +827,8 @@ int CmdServe(const Flags& flags) {
                  "[--count N] [--host H] [--port P] [--port-file FILE] "
                  "[--duration-s S] [--threads T] [--cache-mb MB] "
                  "[--max-queue N] [--max-connections N] [--simulate-io] "
-                 "[--io-page-us U] [--stats-interval-s S]\n");
+                 "[--io-page-us U] [--stats-interval-s S] "
+                 "[--store FILE [--pool-pages N]]\n");
     return 2;
   }
   if (!db.ok()) return Fail(db.status());
@@ -843,7 +845,29 @@ int CmdServe(const Flags& flags) {
   sopts.io_params.seconds_per_page_access =
       flags.GetDouble("io-page-us", 100.0) * 1e-6;
   sopts.io_params.seconds_per_byte = 0.0;
-  QueryService service(DbSnapshot::Create(std::move(db).value(), 0), sopts);
+
+  // --store: serve disk-backed. The database's vector sets are written
+  // into a VectorSetStore file and every refinement fetch goes through
+  // the sharded buffer pool (vsim_cache_pool_* series appear in the
+  // stats exposition). Concurrency-safe: the pool serves all worker
+  // threads at once.
+  std::shared_ptr<const DbSnapshot> snapshot;
+  const std::string store_path = flags.Get("store", "");
+  if (!store_path.empty()) {
+    const size_t pool_pages =
+        static_cast<size_t>(flags.GetInt("pool-pages", 64));
+    StatusOr<std::shared_ptr<const DbSnapshot>> disk_snap =
+        DbSnapshot::CreateDiskBacked(std::move(db).value(), store_path, 0,
+                                     sopts.io_params, pool_pages);
+    if (!disk_snap.ok()) return Fail(disk_snap.status());
+    snapshot = std::move(disk_snap).value();
+    std::printf("disk-backed store at %s (%zu-frame pool, %zu shards)\n",
+                store_path.c_str(), snapshot->store()->pool().capacity(),
+                snapshot->store()->pool().shard_count());
+  } else {
+    snapshot = DbSnapshot::Create(std::move(db).value(), 0);
+  }
+  QueryService service(std::move(snapshot), sopts);
 
   net::ServerOptions nopts;
   nopts.host = flags.Get("host", "127.0.0.1");
