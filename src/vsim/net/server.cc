@@ -6,12 +6,10 @@
 #include <string>
 #include <utility>
 
+#include "vsim/net/reactor.h"
+
 namespace vsim::net {
 
-namespace {
-
-// Builds the metadata a remote client needs to extract wire-compatible
-// query objects (kInfoRequest handler).
 ServerInfo MakeServerInfo(const DbSnapshot& snapshot) {
   const ExtractionOptions& opts = snapshot.db().options();
   ServerInfo info;
@@ -28,34 +26,71 @@ ServerInfo MakeServerInfo(const DbSnapshot& snapshot) {
   return info;
 }
 
-}  // namespace
+const char* TransportName(Transport transport) {
+  switch (transport) {
+    case Transport::kThreads:
+      return "threads";
+    case Transport::kEpoll:
+      return "epoll";
+  }
+  return "unknown";
+}
+
+StatusOr<Transport> ParseTransport(const std::string& name) {
+  if (name == "threads") return Transport::kThreads;
+  if (name == "epoll") return Transport::kEpoll;
+  return Status::InvalidArgument("unknown transport '" + name +
+                                 "' (expected 'threads' or 'epoll')");
+}
 
 Server::Server(QueryService* service, ServerOptions options)
     : service_(service), options_(std::move(options)) {
   stats_collector_id_ = service_->metrics().RegisterCollector(
       [this](std::vector<obs::MetricSample>* out) {
-        auto add = [out](const char* name, const char* help,
-                         const std::atomic<uint64_t>& value) {
+        auto add = [out](const char* name, const char* help, double value) {
           obs::MetricSample s;
           s.name = name;
           s.help = help;
-          s.value =
-              static_cast<double>(value.load(std::memory_order_relaxed));
+          s.value = value;
           out->push_back(std::move(s));
         };
+        auto count = [](const std::atomic<uint64_t>& value) {
+          return static_cast<double>(
+              value.load(std::memory_order_relaxed));
+        };
         add("vsim_net_connections_accepted_total",
-            "TCP connections accepted", connections_accepted_);
+            "TCP connections accepted", count(counters_.connections_accepted));
         add("vsim_net_connections_rejected_total",
             "TCP connections rejected over the connection limit",
-            connections_rejected_);
+            count(counters_.connections_rejected));
         add("vsim_net_requests_received_total",
-            "Query request frames read off the wire", requests_received_);
+            "Query request frames read off the wire",
+            count(counters_.requests_received));
         add("vsim_net_responses_sent_total",
             "Completions written to the wire (incl. status frames)",
-            responses_sent_);
+            count(counters_.responses_sent));
         add("vsim_net_protocol_errors_total",
             "Malformed frames or payloads received from peers",
-            protocol_errors_);
+            count(counters_.protocol_errors));
+        {
+          obs::MetricSample s;
+          s.name = "vsim_net_open_connections";
+          s.help = "Connections currently accepted and not yet closed";
+          s.type = obs::MetricSample::Type::kGauge;
+          s.value = count(counters_.open_connections);
+          out->push_back(std::move(s));
+        }
+        add("vsim_net_reactor_loop_iterations_total",
+            "epoll_wait returns across all reactor event loops",
+            count(counters_.reactor_loop_iterations));
+        add("vsim_net_coalesced_writes_total",
+            "Reactor write flushes that merged two or more completed "
+            "responses into one send",
+            count(counters_.coalesced_writes));
+        add("vsim_net_read_stall_seconds_total",
+            "Cumulative time reactor connections spent with reads paused "
+            "by pipeline backpressure",
+            count(counters_.read_stall_micros) * 1e-6);
       });
 }
 
@@ -78,6 +113,13 @@ Status Server::Start() {
   StatusOr<int> port = LocalPort(listen_fd_.get());
   VSIM_RETURN_NOT_OK(port.status());
   port_.store(port.value(), std::memory_order_release);
+  if (options_.transport == Transport::kEpoll) {
+    reactor_ =
+        std::make_unique<EpollReactor>(service_, options_, &counters_);
+    Status started = reactor_->Start(std::move(listen_fd_));
+    if (!started.ok()) reactor_.reset();
+    return started;
+  }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -89,6 +131,10 @@ void Server::Stop() {
     stopped_ = true;
   }
   stopping_.store(true, std::memory_order_release);
+  if (reactor_ != nullptr) {
+    reactor_->Stop();
+    return;
+  }
   // Unblock accept(2); the acceptor sees the error + stopping_ and
   // exits without touching the connection list again.
   listen_fd_.ShutdownBoth();
@@ -110,12 +156,25 @@ void Server::Stop() {
 ServerStats Server::stats() const {
   ServerStats s;
   s.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
+      counters_.connections_accepted.load(std::memory_order_relaxed);
   s.connections_rejected =
-      connections_rejected_.load(std::memory_order_relaxed);
-  s.requests_received = requests_received_.load(std::memory_order_relaxed);
-  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
-  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+      counters_.connections_rejected.load(std::memory_order_relaxed);
+  s.requests_received =
+      counters_.requests_received.load(std::memory_order_relaxed);
+  s.responses_sent =
+      counters_.responses_sent.load(std::memory_order_relaxed);
+  s.protocol_errors =
+      counters_.protocol_errors.load(std::memory_order_relaxed);
+  s.open_connections =
+      counters_.open_connections.load(std::memory_order_relaxed);
+  s.reactor_loop_iterations =
+      counters_.reactor_loop_iterations.load(std::memory_order_relaxed);
+  s.coalesced_writes =
+      counters_.coalesced_writes.load(std::memory_order_relaxed);
+  s.read_stall_seconds =
+      static_cast<double>(
+          counters_.read_stall_micros.load(std::memory_order_relaxed)) *
+      1e-6;
   return s;
 }
 
@@ -154,7 +213,7 @@ void Server::AcceptLoop() {
     if (live >= static_cast<size_t>(options_.max_connections)) {
       // Over the limit: tell the peer why before closing, mirroring the
       // service's own admission-control contract.
-      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      counters_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
       std::string frame;
       AppendStatusFrame(
           0,
@@ -165,7 +224,8 @@ void Server::AcceptLoop() {
       (void)WriteAll(client.get(), frame.data(), frame.size());
       continue;  // ScopedFd closes the socket
     }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.open_connections.fetch_add(1, std::memory_order_relaxed);
     if (options_.read_timeout_seconds > 0) {
       (void)SetReadTimeout(client.get(), options_.read_timeout_seconds);
     }
@@ -190,6 +250,18 @@ void Server::EnqueueLocked(Connection* conn, Connection::Pending pending) {
   conn->cv.NotifyAll();
 }
 
+void Server::MarkLoopExited(Connection* conn, std::atomic<bool>* mine,
+                            const std::atomic<bool>* other) {
+  mine->store(true, std::memory_order_release);
+  if (other->load(std::memory_order_acquire)) {
+    // Both reader and writer can observe the other exited; the exchange
+    // makes exactly one of them retire the connection from the gauge.
+    if (!conn->finished.exchange(true, std::memory_order_acq_rel)) {
+      counters_.open_connections.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 void Server::ReaderLoop(Connection* conn) {
   while (true) {
     FrameHeader header;
@@ -204,7 +276,7 @@ void Server::ReaderLoop(Connection* conn) {
       // peer misbehavior.
       if (!stopping_.load(std::memory_order_acquire) &&
           read_status.code() != StatusCode::kIOError) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
         Connection::Pending fatal;
         fatal.request_id = 0;
         fatal.ready = read_status;
@@ -228,7 +300,7 @@ void Server::ReaderLoop(Connection* conn) {
             reinterpret_cast<const uint8_t*>(payload.data()),
             payload.size(), &stats_request);
         if (!decoded.ok()) {
-          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
           pending.ready = decoded;
           break;
         }
@@ -242,7 +314,7 @@ void Server::ReaderLoop(Connection* conn) {
         break;
       }
       case FrameType::kRequest: {
-        requests_received_.fetch_add(1, std::memory_order_relaxed);
+        counters_.requests_received.fetch_add(1, std::memory_order_relaxed);
         ServiceRequest request;
         Status decoded = DecodeRequestPayload(
             reinterpret_cast<const uint8_t*>(payload.data()),
@@ -250,7 +322,7 @@ void Server::ReaderLoop(Connection* conn) {
         if (!decoded.ok()) {
           // Framing is intact, so this poisons only the one request:
           // answer it with the decode error and keep the connection.
-          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
           pending.ready = decoded;
           break;
         }
@@ -266,7 +338,7 @@ void Server::ReaderLoop(Connection* conn) {
       default: {
         // kResponse/kStatus/kInfoResponse are server->client only; a
         // peer sending one no longer speaks the protocol we expect.
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
         pending.ready = Status::InvalidArgument(
             "unexpected client frame type " +
             std::to_string(static_cast<int>(header.type)));
@@ -284,10 +356,7 @@ void Server::ReaderLoop(Connection* conn) {
     conn->reader_done = true;
     conn->cv.NotifyAll();
   }
-  conn->reader_exited.store(true, std::memory_order_release);
-  if (conn->writer_exited.load(std::memory_order_acquire)) {
-    conn->finished.store(true, std::memory_order_release);
-  }
+  MarkLoopExited(conn, &conn->reader_exited, &conn->writer_exited);
 }
 
 void Server::WriterLoop(Connection* conn) {
@@ -330,7 +399,7 @@ void Server::WriterLoop(Connection* conn) {
     if (!WriteAll(conn->fd.get(), frames.data(), frames.size()).ok()) {
       close = true;  // peer gone; remaining completions have no reader
     } else {
-      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -349,10 +418,7 @@ void Server::WriterLoop(Connection* conn) {
     }
     conn->queue.clear();
   }
-  conn->writer_exited.store(true, std::memory_order_release);
-  if (conn->reader_exited.load(std::memory_order_acquire)) {
-    conn->finished.store(true, std::memory_order_release);
-  }
+  MarkLoopExited(conn, &conn->writer_exited, &conn->reader_exited);
 }
 
 }  // namespace vsim::net

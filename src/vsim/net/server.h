@@ -1,38 +1,50 @@
 // TCP serving front-end over QueryService: accepts remote connections
 // speaking the versioned wire protocol (protocol.h, docs/PROTOCOL.md)
-// and dispatches every request into QueryService::Submit, so remote
-// clients get the full serving stack -- admission control
-// (kUnavailable), deadlines (kDeadlineExceeded), the result cache and
-// online snapshot swaps -- with errors propagated as wire status
-// frames instead of string matching.
+// and dispatches every request into the service, so remote clients get
+// the full serving stack -- admission control (kUnavailable), deadlines
+// (kDeadlineExceeded), the result cache and online snapshot swaps --
+// with errors propagated as wire status frames instead of string
+// matching.
 //
-// Concurrency model (deliberately poll/epoll-free): one blocking
-// acceptor thread plus two threads per connection.
+// Two transports implement the same documented contract
+// (docs/PROTOCOL.md §11); ServerOptions::transport selects one:
 //
-//   - The *reader* thread parses frames off the socket and submits each
-//     request to the service immediately, then appends the returned
-//     future to the connection's bounded completion queue. A client may
-//     therefore pipeline any number of requests on one connection; they
-//     execute concurrently on the service's worker pool.
-//   - The *writer* thread pops completions FIFO, waits for each future,
-//     and streams the response frames back. Responses are delivered in
-//     request order (HTTP/1.1-style pipelining); the queue bound is the
-//     per-connection in-flight window, and a reader that fills it
-//     blocks -- natural backpressure on top of the service's own
-//     admission bound.
+//   Transport::kThreads -- one blocking acceptor thread plus two
+//   threads per connection. The *reader* thread parses frames off the
+//   socket and submits each request to the service immediately, then
+//   appends the returned future to the connection's bounded completion
+//   queue; the *writer* thread pops completions FIFO, waits for each
+//   future, and streams the response frames back in request order
+//   (HTTP/1.1-style pipelining). The queue bound is the per-connection
+//   in-flight window; a reader that fills it blocks -- natural
+//   backpressure on top of the service's admission bound. Simple and
+//   linear, but two OS threads per connection caps it at hundreds of
+//   clients.
 //
-// Error containment: a malformed *payload* (bounds-checked decode
-// failure) fails that one request with a wire status -- framing is
-// still intact, so the connection survives. A malformed frame *header*
-// (bad magic/version/type/length) means the byte stream can no longer
-// be trusted; the server sends a connection-level status frame
-// (request id 0) and closes. Either way the peer can never crash or
-// hang the server (tests/net_server_test.cc feeds both corpora).
+//   Transport::kEpoll -- a non-blocking reactor (reactor.h) on a small
+//   fixed thread count (ServerOptions::reactor_threads), scaling to
+//   thousands of connections. Each connection is a state machine
+//   (reading header -> reading body -> dispatched -> writing response);
+//   completed requests come back through QueryService::
+//   SubmitWithCallback on worker threads, which hand encoded frames to
+//   the owning event loop via an eventfd wakeup. Responses for one
+//   connection are still delivered in request order; the same
+//   max_pipeline window applies, enforced by pausing reads (EPOLLIN
+//   disarmed) instead of blocking a thread.
 //
-// Graceful shutdown: Stop() closes the listener, shuts down the read
-// side of every connection, then joins readers and writers -- the
-// writers drain every in-flight request to completion before the
-// sockets close, so no accepted request is ever silently dropped.
+// Error containment (both transports): a malformed *payload*
+// (bounds-checked decode failure) fails that one request with a wire
+// status -- framing is still intact, so the connection survives. A
+// malformed frame *header* (bad magic/version/type/length) means the
+// byte stream can no longer be trusted; the server sends a
+// connection-level status frame (request id 0) and closes. Either way
+// the peer can never crash or hang the server (tests/net_server_test.cc
+// and tests/net_hostile_test.cc feed both corpora to both transports).
+//
+// Graceful shutdown: Stop() closes the listener, stops reading from
+// every connection, and drains -- every already-submitted request
+// completes and its response is written before the sockets close, so no
+// accepted request is ever silently dropped.
 //
 // Thread-safety: Start/Stop/port/stats are safe from any thread;
 // internal shared state is annotated and mutex-guarded
@@ -57,14 +69,41 @@
 
 namespace vsim::net {
 
+class EpollReactor;
+
+// Connection-handling strategy; both speak the identical wire contract.
+enum class Transport {
+  kThreads,  // blocking I/O, two dedicated threads per connection
+  kEpoll,    // non-blocking event loops on a fixed thread count
+};
+
+// "threads" / "epoll" (stable CLI spellings for --transport).
+const char* TransportName(Transport transport);
+StatusOr<Transport> ParseTransport(const std::string& name);
+
+// Builds the metadata a remote client needs to extract wire-compatible
+// query objects (the kInfoRequest handler, shared by both transports).
+ServerInfo MakeServerInfo(const DbSnapshot& snapshot);
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;             // 0 = ephemeral; see Server::port()
   int max_connections = 64;  // beyond this, accepts get kUnavailable
   size_t max_pipeline = 128;  // per-connection in-flight window
 
+  Transport transport = Transport::kThreads;
+  // Event-loop thread count for Transport::kEpoll (ignored by
+  // kThreads). Loop 0 also owns the listening socket; accepted
+  // connections are spread round-robin and stay pinned to one loop for
+  // life. 2 is enough to saturate the worker pool on loopback; values
+  // < 1 are clamped to 1.
+  int reactor_threads = 2;
+
   // 0 disables. A nonzero value bounds how long a stalled peer can pin
-  // a reader thread (SO_RCVTIMEO); on expiry the connection closes.
+  // a connection: kThreads sets SO_RCVTIMEO on the reader; kEpoll
+  // sweeps connections with no forward progress for this long
+  // (connections paused by the server's own pipeline backpressure are
+  // exempt). On expiry the connection closes.
   double read_timeout_seconds = 0.0;
 
   // Response streaming granularity (smaller = more frames; tests use
@@ -78,6 +117,27 @@ struct ServerStats {
   uint64_t requests_received = 0;
   uint64_t responses_sent = 0;  // completions written (incl. status frames)
   uint64_t protocol_errors = 0;  // malformed frames/payloads from peers
+  uint64_t open_connections = 0;  // currently accepted and not closed
+  // Reactor-only (zero under Transport::kThreads):
+  uint64_t reactor_loop_iterations = 0;  // epoll_wait returns
+  uint64_t coalesced_writes = 0;  // flushes merging >= 2 responses
+  double read_stall_seconds = 0.0;  // time reads were backpressure-paused
+};
+
+// Counters shared by the two transports and the metrics collector: one
+// struct so both paths account identically and one scrape covers
+// either. All relaxed; monotone except open_connections (a gauge).
+struct NetCounters {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_rejected{0};
+  std::atomic<uint64_t> requests_received{0};
+  std::atomic<uint64_t> responses_sent{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> open_connections{0};
+  std::atomic<uint64_t> reactor_loop_iterations{0};
+  std::atomic<uint64_t> coalesced_writes{0};
+  // Microseconds internally (atomic-friendly); exposed as seconds.
+  std::atomic<uint64_t> read_stall_micros{0};
 };
 
 class Server {
@@ -93,8 +153,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds, listens and starts the acceptor. Fails with kIOError if the
-  // address is taken. Call at most once.
+  // Binds, listens and starts the selected transport. Fails with
+  // kIOError if the address is taken. Call at most once.
   Status Start() EXCLUDES(mu_);
 
   // Graceful stop: no new connections, no new requests read, every
@@ -108,8 +168,9 @@ class Server {
   ServerStats stats() const;
 
  private:
-  // Per-connection state machine; owned by the server's connection
-  // list, torn down by Stop() or by the reaper pass in the acceptor.
+  // Per-connection state machine of the kThreads transport; owned by
+  // the server's connection list, torn down by Stop() or by the reaper
+  // pass in the acceptor.
   struct Connection {
     // One completion slot: exactly one of `future` (a submitted query),
     // `ready` (an immediate error: admission rejection or a malformed
@@ -144,6 +205,10 @@ class Server {
   void WriterLoop(Connection* conn);
   void EnqueueLocked(Connection* conn, Connection::Pending pending)
       EXCLUDES(conn->mu);
+  // Marks the connection's loop exited; the second of the two loops to
+  // get here retires the connection from the open-connections gauge.
+  void MarkLoopExited(Connection* conn, std::atomic<bool>* mine,
+                      const std::atomic<bool>* other);
   // Joins and erases finished connections; returns the live count.
   size_t ReapConnectionsLocked() REQUIRES(mu_);
 
@@ -161,11 +226,12 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<int> port_{0};
 
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_rejected_{0};
-  std::atomic<uint64_t> requests_received_{0};
-  std::atomic<uint64_t> responses_sent_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
+  NetCounters counters_;
+
+  // Present only under Transport::kEpoll (owns the listen fd and the
+  // event-loop threads once started). Declared after counters_, which
+  // it references.
+  std::unique_ptr<EpollReactor> reactor_;
 
   // The server folds its connection counters into the service's metric
   // registry (vsim_net_*) so one stats scrape covers the whole stack;

@@ -1,6 +1,7 @@
 #include "vsim/net/socket_util.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -149,6 +150,15 @@ StatusOr<int> LocalPort(int fd) {
     return Errno("getsockname");
   }
   return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
 }
 
 Status SetReadTimeout(int fd, double seconds) {

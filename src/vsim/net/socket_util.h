@@ -4,10 +4,11 @@
 // the one shared frame-read loop both sides use (header validation via
 // protocol.h, payload bounded before allocation).
 //
-// Deliberately poll/epoll-free: the server's concurrency model is
-// blocking I/O on dedicated threads (one reader + one writer per
-// connection), which keeps the state machine linear and lets graceful
-// shutdown ride on shutdown(2) unblocking the blocked reads.
+// These helpers serve both transports: the thread-per-connection path
+// uses blocking I/O on dedicated threads (graceful shutdown rides on
+// shutdown(2) unblocking the blocked reads), while the epoll reactor
+// (src/vsim/net/reactor.h) flips fds non-blocking via SetNonBlocking
+// and does its own readiness-driven recv/send loops.
 //
 // Thread-safety: free functions are stateless. A ScopedFd may be used
 // from several threads only the way the server does: concurrent
@@ -93,6 +94,11 @@ StatusOr<int> LocalPort(int fd);
 // Sets SO_RCVTIMEO; a blocked read then fails after `seconds` instead
 // of pinning its thread forever on a stalled peer. 0 clears the limit.
 Status SetReadTimeout(int fd, double seconds);
+
+// Puts the fd into O_NONBLOCK mode (the reactor transport's accept,
+// recv and send paths all require it; blocking transports never call
+// this).
+Status SetNonBlocking(int fd);
 
 }  // namespace vsim::net
 

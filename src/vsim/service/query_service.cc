@@ -301,8 +301,7 @@ StatusOr<ServiceResponse> QueryService::RunRequest(
   return response;
 }
 
-StatusOr<std::future<StatusOr<ServiceResponse>>> QueryService::Submit(
-    ServiceRequest request) {
+Status QueryService::Admit() {
   stats_.submitted.fetch_add(1, std::memory_order_relaxed);
   if (queued_.fetch_add(1, std::memory_order_acq_rel) >= options_.max_queue) {
     queued_.fetch_sub(1, std::memory_order_acq_rel);
@@ -311,62 +310,105 @@ StatusOr<std::future<StatusOr<ServiceResponse>>> QueryService::Submit(
         "admission queue full (bound " + std::to_string(options_.max_queue) +
         "); retry with backoff");
   }
+  return Status::OK();
+}
+
+StatusOr<ServiceResponse> QueryService::RunAdmitted(
+    const ServiceRequest& request, Clock::time_point submitted,
+    Clock::time_point deadline) {
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  // Every picked-up request leaves a trace, successful or not: the
+  // flight recorder is most valuable precisely when requests fail.
+  obs::QueryTrace trace;
+  trace.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  trace.kind = static_cast<uint8_t>(request.kind);
+  trace.strategy = static_cast<uint8_t>(request.strategy);
+  trace.k = request.k;
+  trace.eps = request.eps;
+  trace.queue_seconds =
+      std::chrono::duration<double>(Clock::now() - submitted).count();
+  if (Clock::now() > deadline) {
+    stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
+    Status expired = Status::DeadlineExceeded(
+        "request deadline passed before a worker picked it up");
+    trace.status_code = static_cast<uint8_t>(expired.code());
+    trace.total_seconds =
+        std::chrono::duration<double>(Clock::now() - submitted).count();
+    RecordTrace(trace);
+    return expired;
+  }
+  StatusOr<ServiceResponse> response = RunRequest(request);
+  const double latency =
+      std::chrono::duration<double>(Clock::now() - submitted).count();
+  trace.total_seconds = latency;
+  if (response.ok()) {
+    const ServiceResponse& r = response.value();
+    response.value().latency_seconds = latency;
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    stats_.latency.Record(latency);
+    trace.generation = r.generation;
+    trace.cache_hit = r.cache_hit ? 1 : 0;
+    trace.cpu_seconds = r.cost.cpu_seconds;
+    trace.filter_seconds = r.cost.filter_seconds;
+    trace.refine_seconds = r.cost.refine_seconds;
+    trace.filter_hits = r.cost.filter_hits;
+    trace.candidates_refined = r.cost.candidates_refined;
+    trace.hungarian_invocations = r.cost.hungarian_invocations;
+    trace.page_accesses = r.cost.io.page_accesses();
+    trace.bytes_read = r.cost.io.bytes_read();
+  } else {
+    stats_.failed.fetch_add(1, std::memory_order_relaxed);
+    trace.status_code = static_cast<uint8_t>(response.status().code());
+  }
+  RecordTrace(trace);
+  return response;
+}
+
+namespace {
+
+// Deadline resolution shared by both submission forms: 0 means "no
+// deadline", represented as time_point::max().
+std::chrono::steady_clock::time_point DeadlineFor(
+    double timeout_seconds,
+    std::chrono::steady_clock::time_point submitted) {
+  using SteadyClock = std::chrono::steady_clock;
+  return timeout_seconds > 0.0
+             ? submitted + std::chrono::duration_cast<SteadyClock::duration>(
+                               std::chrono::duration<double>(timeout_seconds))
+             : SteadyClock::time_point::max();
+}
+
+}  // namespace
+
+StatusOr<std::future<StatusOr<ServiceResponse>>> QueryService::Submit(
+    ServiceRequest request) {
+  VSIM_RETURN_NOT_OK(Admit());
   const Clock::time_point submitted = Clock::now();
   const Clock::time_point deadline =
-      request.timeout_seconds > 0.0
-          ? submitted + std::chrono::duration_cast<Clock::duration>(
-                            std::chrono::duration<double>(
-                                request.timeout_seconds))
-          : Clock::time_point::max();
+      DeadlineFor(request.timeout_seconds, submitted);
   return pool_.Submit([this, request = std::move(request), submitted,
                        deadline]() -> StatusOr<ServiceResponse> {
-    queued_.fetch_sub(1, std::memory_order_acq_rel);
-    // Every picked-up request leaves a trace, successful or not: the
-    // flight recorder is most valuable precisely when requests fail.
-    obs::QueryTrace trace;
-    trace.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
-    trace.kind = static_cast<uint8_t>(request.kind);
-    trace.strategy = static_cast<uint8_t>(request.strategy);
-    trace.k = request.k;
-    trace.eps = request.eps;
-    trace.queue_seconds =
-        std::chrono::duration<double>(Clock::now() - submitted).count();
-    if (Clock::now() > deadline) {
-      stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
-      Status expired = Status::DeadlineExceeded(
-          "request deadline passed before a worker picked it up");
-      trace.status_code = static_cast<uint8_t>(expired.code());
-      trace.total_seconds =
-          std::chrono::duration<double>(Clock::now() - submitted).count();
-      RecordTrace(trace);
-      return expired;
-    }
-    StatusOr<ServiceResponse> response = RunRequest(request);
-    const double latency =
-        std::chrono::duration<double>(Clock::now() - submitted).count();
-    trace.total_seconds = latency;
-    if (response.ok()) {
-      const ServiceResponse& r = response.value();
-      response.value().latency_seconds = latency;
-      stats_.completed.fetch_add(1, std::memory_order_relaxed);
-      stats_.latency.Record(latency);
-      trace.generation = r.generation;
-      trace.cache_hit = r.cache_hit ? 1 : 0;
-      trace.cpu_seconds = r.cost.cpu_seconds;
-      trace.filter_seconds = r.cost.filter_seconds;
-      trace.refine_seconds = r.cost.refine_seconds;
-      trace.filter_hits = r.cost.filter_hits;
-      trace.candidates_refined = r.cost.candidates_refined;
-      trace.hungarian_invocations = r.cost.hungarian_invocations;
-      trace.page_accesses = r.cost.io.page_accesses();
-      trace.bytes_read = r.cost.io.bytes_read();
-    } else {
-      stats_.failed.fetch_add(1, std::memory_order_relaxed);
-      trace.status_code = static_cast<uint8_t>(response.status().code());
-    }
-    RecordTrace(trace);
-    return response;
+    return RunAdmitted(request, submitted, deadline);
   });
+}
+
+Status QueryService::SubmitWithCallback(
+    ServiceRequest request, std::function<void(StatusOr<ServiceResponse>)> done) {
+  if (done == nullptr) {
+    return Status::InvalidArgument("SubmitWithCallback needs a callback");
+  }
+  VSIM_RETURN_NOT_OK(Admit());
+  const Clock::time_point submitted = Clock::now();
+  const Clock::time_point deadline =
+      DeadlineFor(request.timeout_seconds, submitted);
+  // The future from pool_.Submit is discarded deliberately: the result
+  // is delivered through `done` on the worker thread, and a discarded
+  // future neither blocks nor cancels the task.
+  pool_.Submit([this, request = std::move(request), done = std::move(done),
+                submitted, deadline]() {
+    done(RunAdmitted(request, submitted, deadline));
+  });
+  return Status::OK();
 }
 
 StatusOr<ServiceResponse> QueryService::Execute(ServiceRequest request) {

@@ -40,6 +40,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 
@@ -150,6 +151,20 @@ class QueryService {
   StatusOr<std::future<StatusOr<ServiceResponse>>> Submit(
       ServiceRequest request);
 
+  // Callback form of Submit for event-driven front-ends (the epoll
+  // reactor transport in src/vsim/net/): instead of returning a future
+  // someone must block on, invokes `done` exactly once, on the worker
+  // thread that executed the request, with the same result Submit's
+  // future would have carried. The admission contract is identical --
+  // a full queue rejects synchronously with kUnavailable and `done` is
+  // never invoked, so the caller can turn the rejection into a
+  // backpressure signal (a kUnavailable wire frame) without waiting.
+  // `done` must not block for long and must not call back into Submit
+  // (it runs on a pool worker; a slow callback occupies a query slot).
+  Status SubmitWithCallback(
+      ServiceRequest request,
+      std::function<void(StatusOr<ServiceResponse>)> done);
+
   // Synchronous convenience: submit + wait.
   StatusOr<ServiceResponse> Execute(ServiceRequest request);
 
@@ -201,6 +216,16 @@ class QueryService {
   // and stage timings into the registry instruments.
   void RecordTrace(const obs::QueryTrace& trace);
 
+  // Admission-control check shared by Submit and SubmitWithCallback:
+  // accounts the submission and either reserves a queue slot (OK) or
+  // rejects with kUnavailable.
+  Status Admit();
+  // The worker-side body shared by both submission forms: deadline
+  // check, execution, stats and trace recording. Runs on a pool thread
+  // with the queue slot from Admit() held.
+  StatusOr<ServiceResponse> RunAdmitted(const ServiceRequest& request,
+                                        Clock::time_point submitted,
+                                        Clock::time_point deadline);
   StatusOr<ServiceResponse> RunRequest(const ServiceRequest& request);
   Status Validate(const ServiceRequest& request,
                   const CadDatabase& db) const;

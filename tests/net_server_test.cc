@@ -4,6 +4,11 @@
 // crash or hang, mirroring the protocol corpus), graceful
 // shutdown-with-drain, and snapshot swaps under live remote load
 // (RemoteSwapTest runs under TSan via tools/check_tsan.sh).
+//
+// Every test is parameterized over both transports (threads / epoll):
+// they implement one documented contract (docs/PROTOCOL.md §11), so
+// every behavioral claim here must hold for either. The reactor's
+// transport-specific hostile-client suite is tests/net_hostile_test.cc.
 #include "vsim/net/server.h"
 
 #include <gtest/gtest.h>
@@ -23,7 +28,7 @@
 namespace vsim::net {
 namespace {
 
-class NetServerTest : public ::testing::Test {
+class NetServerTest : public ::testing::TestWithParam<Transport> {
  protected:
   static void SetUpTestSuite() {
     const Dataset ds = MakeCarDataset(30, 99);
@@ -46,6 +51,12 @@ class NetServerTest : public ::testing::Test {
       QueryServiceOptions options = {}) {
     return std::make_unique<QueryService>(
         DbSnapshot::Create(CadDatabase(*db_), 0), options);
+  }
+
+  // Server options with the transport under test applied.
+  ServerOptions Opts(ServerOptions options = {}) const {
+    options.transport = GetParam();
+    return options;
   }
 
   static CadDatabase* db_;
@@ -76,12 +87,12 @@ struct Loopback {
 // The tentpole acceptance claim: every query kind answered over the
 // loopback socket is byte-identical to the in-process Execute on the
 // same snapshot -- results, cost accounting, and generation.
-TEST_F(NetServerTest, LoopbackParityForAllQueryKinds) {
+TEST_P(NetServerTest, LoopbackParityForAllQueryKinds) {
   // Cache off: a warm cache returns zero-cost hits, which would hide a
   // wire codec that drops the cost fields.
   QueryServiceOptions sopts;
   sopts.cache_bytes = 0;
-  Loopback loop(MakeService(sopts));
+  Loopback loop(MakeService(sopts), Opts());
   Client client = loop.Connect();
 
   const double eps =
@@ -130,8 +141,8 @@ TEST_F(NetServerTest, LoopbackParityForAllQueryKinds) {
   }
 }
 
-TEST_F(NetServerTest, PipelinedRequestsCompleteInOrder) {
-  Loopback loop(MakeService());
+TEST_P(NetServerTest, PipelinedRequestsCompleteInOrder) {
+  Loopback loop(MakeService(), Opts());
   Client client = loop.Connect();
 
   constexpr int kWindow = 24;
@@ -153,12 +164,12 @@ TEST_F(NetServerTest, PipelinedRequestsCompleteInOrder) {
   }
 }
 
-TEST_F(NetServerTest, ChunkedResponsesReassembleAcrossTinyFrames) {
+TEST_P(NetServerTest, ChunkedResponsesReassembleAcrossTinyFrames) {
   // Force multi-frame streaming: 2 results per frame, a range query
   // wide enough to return many ids.
   ServerOptions options;
   options.results_per_frame = 2;
-  Loopback loop(MakeService(), options);
+  Loopback loop(MakeService(), Opts(options));
   Client client = loop.Connect();
 
   ServiceRequest req;
@@ -173,8 +184,8 @@ TEST_F(NetServerTest, ChunkedResponsesReassembleAcrossTinyFrames) {
   EXPECT_EQ(remote->ids, local->ids);
 }
 
-TEST_F(NetServerTest, ServiceErrorsPropagateAsWireStatuses) {
-  Loopback loop(MakeService());
+TEST_P(NetServerTest, ServiceErrorsPropagateAsWireStatuses) {
+  Loopback loop(MakeService(), Opts());
   Client client = loop.Connect();
 
   // Validation error: stored id out of range for the snapshot.
@@ -202,10 +213,10 @@ TEST_F(NetServerTest, ServiceErrorsPropagateAsWireStatuses) {
   EXPECT_TRUE(saw_deadline);
 }
 
-TEST_F(NetServerTest, ConnectionLimitRejectsWithUnavailable) {
+TEST_P(NetServerTest, ConnectionLimitRejectsWithUnavailable) {
   ServerOptions options;
   options.max_connections = 1;
-  Loopback loop(MakeService(), options);
+  Loopback loop(MakeService(), Opts(options));
   Client first = loop.Connect();
   ServiceRequest req;
   req.object_id = 0;
@@ -232,8 +243,8 @@ TEST_F(NetServerTest, ConnectionLimitRejectsWithUnavailable) {
   EXPECT_GE(loop.server->stats().connections_rejected, 1u);
 }
 
-TEST_F(NetServerTest, InfoReportsSnapshotAndExtractionOptions) {
-  Loopback loop(MakeService());
+TEST_P(NetServerTest, InfoReportsSnapshotAndExtractionOptions) {
+  Loopback loop(MakeService(), Opts());
   Client client = loop.Connect();
   StatusOr<ServerInfo> info = client.Info();
   ASSERT_TRUE(info.ok()) << info.status().ToString();
@@ -247,8 +258,8 @@ TEST_F(NetServerTest, InfoReportsSnapshotAndExtractionOptions) {
 // Hostile peers: truncated frames, bit-flipped frames, raw garbage and
 // protocol misuse must never crash or wedge the server. After the whole
 // corpus, a well-behaved client still gets correct answers.
-TEST_F(NetServerTest, MalformedFramesNeverCrashOrHangTheServer) {
-  Loopback loop(MakeService());
+TEST_P(NetServerTest, MalformedFramesNeverCrashOrHangTheServer) {
+  Loopback loop(MakeService(), Opts());
 
   ServiceRequest valid_req;
   valid_req.object_id = 2;
@@ -334,7 +345,7 @@ TEST_F(NetServerTest, MalformedFramesNeverCrashOrHangTheServer) {
   EXPECT_GT(loop.server->stats().protocol_errors, 0u);
 }
 
-TEST_F(NetServerTest, GracefulStopDrainsInFlightRequests) {
+TEST_P(NetServerTest, GracefulStopDrainsInFlightRequests) {
   // Slow the service down (simulated I/O wait) so requests are still in
   // flight when Stop() lands.
   QueryServiceOptions sopts;
@@ -342,7 +353,7 @@ TEST_F(NetServerTest, GracefulStopDrainsInFlightRequests) {
   sopts.cache_bytes = 0;
   sopts.simulate_io_wait = true;
   sopts.io_params.seconds_per_page_access = 2e-4;
-  Loopback loop(MakeService(sopts));
+  Loopback loop(MakeService(sopts), Opts());
   Client client = loop.Connect();
 
   constexpr int kInFlight = 12;
@@ -378,8 +389,8 @@ TEST_F(NetServerTest, GracefulStopDrainsInFlightRequests) {
 // generation. Named RemoteSwapTest so tools/check_tsan.sh picks it up.
 class RemoteSwapTest : public NetServerTest {};
 
-TEST_F(RemoteSwapTest, SwapUnderRemoteLoad) {
-  Loopback loop(MakeService());
+TEST_P(RemoteSwapTest, SwapUnderRemoteLoad) {
+  Loopback loop(MakeService(), Opts());
   constexpr int kClients = 4;
   constexpr int kSwaps = 3;
   std::atomic<bool> stop{false};
@@ -449,10 +460,10 @@ TEST_F(RemoteSwapTest, SwapUnderRemoteLoad) {
 // `vsim stats`-style scrape over the same wire fully attributes it --
 // the metrics text shows the request and its paper counters, and the
 // flight recorder returns the request's trace.
-TEST_F(NetServerTest, StatsScrapeAttributesRemoteQuery) {
+TEST_P(NetServerTest, StatsScrapeAttributesRemoteQuery) {
   QueryServiceOptions sopts;
   sopts.cache_bytes = 0;
-  Loopback loop(MakeService(sopts));
+  Loopback loop(MakeService(sopts), Opts());
   Client client = loop.Connect();
 
   // The server advertises the stats frames as a feature flag.
@@ -503,11 +514,11 @@ TEST_F(NetServerTest, StatsScrapeAttributesRemoteQuery) {
 }
 
 // An empty recorder and the slow_only filter behave over the wire.
-TEST_F(NetServerTest, StatsSlowOnlyFiltersFastQueries) {
+TEST_P(NetServerTest, StatsSlowOnlyFiltersFastQueries) {
   QueryServiceOptions sopts;
   sopts.cache_bytes = 0;
   sopts.slow_trace_seconds = 3600.0;  // nothing qualifies as slow
-  Loopback loop(MakeService(sopts));
+  Loopback loop(MakeService(sopts), Opts());
   Client client = loop.Connect();
   ServiceRequest req;
   req.object_id = 0;
@@ -519,6 +530,19 @@ TEST_F(NetServerTest, StatsSlowOnlyFiltersFastQueries) {
   ASSERT_TRUE(all.ok());
   EXPECT_EQ(all->traces.size(), 1u);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, NetServerTest,
+    ::testing::Values(Transport::kThreads, Transport::kEpoll),
+    [](const ::testing::TestParamInfo<Transport>& info) {
+      return std::string(TransportName(info.param));
+    });
+INSTANTIATE_TEST_SUITE_P(
+    Transports, RemoteSwapTest,
+    ::testing::Values(Transport::kThreads, Transport::kEpoll),
+    [](const ::testing::TestParamInfo<Transport>& info) {
+      return std::string(TransportName(info.param));
+    });
 
 }  // namespace
 }  // namespace vsim::net

@@ -8,7 +8,11 @@
 #      when a module is added.
 #   3. Every metric-name literal ("vsim_...") in src/vsim must appear
 #      in docs/OBSERVABILITY.md, so the metric reference stays the
-#      complete dashboard inventory.
+#      complete dashboard inventory -- a new series (e.g. a reactor
+#      vsim_net_* gauge) that ships undocumented fails CI here.
+#   4. The reverse: every vsim_* name docs/OBSERVABILITY.md mentions
+#      must still exist as a literal in src/vsim, so the reference
+#      can't keep advertising series a refactor renamed or removed.
 #
 # Exits nonzero with one line per problem.
 set -u
@@ -62,6 +66,21 @@ metric_names=$(grep -rhoE '"vsim_[a-z0-9_]+"' src/vsim | tr -d '"' | sort -u)
 for name in $metric_names; do
   if ! grep -q "$name" docs/OBSERVABILITY.md; then
     echo "UNDOCUMENTED METRIC: $name missing from docs/OBSERVABILITY.md"
+    fail=1
+  fi
+done
+
+# --- 4. no phantom metrics in docs/OBSERVABILITY.md ------------------
+# Every vsim_* token the reference mentions must correspond to a
+# registered name in the code: exactly, via a histogram's exported
+# _bucket/_sum/_count suffix, or as a family prefix ("the
+# vsim_cache_pool_* series") of at least one real literal.
+doc_names=$(grep -ohE 'vsim_[a-z0-9_]+' docs/OBSERVABILITY.md | sort -u)
+for name in $doc_names; do
+  base="${name%_bucket}"; base="${base%_sum}"; base="${base%_count}"
+  if ! printf '%s\n' "$metric_names" | grep -qx -e "$name" -e "$base" &&
+     ! printf '%s\n' "$metric_names" | grep -q "^$name"; then
+    echo "PHANTOM METRIC: docs/OBSERVABILITY.md mentions $name but no such literal exists in src/vsim"
     fail=1
   fi
 done

@@ -4,8 +4,11 @@
 # snapshot-swap-under-load stress suite (online reindex: 8 clients vs
 # concurrent SwapSnapshot/Rebuilder publications), the thread pool, the
 # sharded result cache, the parallel extraction path, and the TCP
-# serving front-end (loopback server smoke + snapshot swaps under live
-# remote load), the observability layer's lock-free record paths
+# serving front-end (loopback server smoke + hostile-client suite +
+# snapshot swaps under live remote load, each parameterized over both
+# the thread-per-connection and epoll-reactor transports -- the
+# reactor's worker-callback/event-loop handoff is the newest
+# race-sensitive surface), the observability layer's lock-free record paths
 # (metrics registry under concurrent scrapes, flight-recorder seqlock
 # rings, IoStats counters), and the concurrent storage stack (sharded
 # buffer pool stress/tiering, SharedMutex, PagedFile positioned I/O,
@@ -27,6 +30,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target vsim_tests
 
 TSAN_OPTIONS="halt_on_error=1" \
     "$BUILD_DIR/tests/vsim_tests" \
-    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:NetServerTest*:RemoteSwapTest*:Obs*:FlightRecorder*:IoStatsConcurrency*:CachePool*:DiskServing*:SharedMutex*:PagedFile*'
+    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:*NetServerTest*:*NetHostileTest*:*RemoteSwapTest*:Obs*:FlightRecorder*:IoStatsConcurrency*:CachePool*:DiskServing*:SharedMutex*:PagedFile*'
 
 echo "TSan: service stress + snapshot-swap + net server + observability + storage stack suites clean"

@@ -6,7 +6,11 @@
 # stats` (the metrics must attribute the queries just served), exercises
 # the usage-error exit-code contract (tools/README.md: 0 success, 1
 # runtime failure, 2 usage error), and checks the server drains and
-# exits cleanly on SIGTERM. A second, disk-backed pass (`--store`)
+# exits cleanly on SIGTERM. The whole pass runs once per transport
+# (--transport threads, then --transport epoll): both serve the same
+# wire contract (docs/PROTOCOL.md §11) and both must pass identically,
+# with the epoll pass additionally asserting the reactor's vsim_net_*
+# series appear in the scrape. A final disk-backed pass (`--store`)
 # serves refinement through the sharded buffer pool and asserts the
 # scrape carries non-zero hot- and cold-tier vsim_cache_pool_* hits.
 #
@@ -45,94 +49,117 @@ check() {  # check <description> <expected-exit> <cmd...>
   fi
 }
 
-# --- start the server (synthetic car data set, ephemeral port) --------
-"$VSIM" serve --dataset car --count 24 --port 0 --port-file "$TMP/port" \
-    --duration-s 60 --threads 2 > "$TMP/serve.log" 2>&1 &
-SERVER_PID=$!
+# --- main pass, once per transport ------------------------------------
+for TRANSPORT in threads epoll; do
+  echo "=== transport: $TRANSPORT ==="
+  rm -f "$TMP/port"
+  "$VSIM" serve --dataset car --count 24 --port 0 --port-file "$TMP/port" \
+      --duration-s 60 --threads 2 \
+      --transport "$TRANSPORT" --reactor-threads 2 \
+      > "$TMP/serve.$TRANSPORT.log" 2>&1 &
+  SERVER_PID=$!
 
-for _ in $(seq 1 100); do
-  [ -s "$TMP/port" ] && break
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "serve_smoke: server exited before publishing its port"
-    cat "$TMP/serve.log"
+  for _ in $(seq 1 100); do
+    [ -s "$TMP/port" ] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "serve_smoke: $TRANSPORT server exited before publishing its port"
+      cat "$TMP/serve.$TRANSPORT.log"
+      exit 1
+    fi
+    sleep 0.1
+  done
+  PORT=$(cat "$TMP/port")
+  if [ -z "$PORT" ]; then
+    echo "serve_smoke: no port published ($TRANSPORT)"
     exit 1
   fi
-  sleep 0.1
+  echo "server up on port $PORT (pid $SERVER_PID, $TRANSPORT transport)"
+
+  # --- remote queries over the wire ----------------------------------
+  check "k-NN by stored id ($TRANSPORT)" 0 \
+      "$VSIM" remote-query --port "$PORT" --id 3 --k 5
+  check "range query ($TRANSPORT)" 0 \
+      "$VSIM" remote-query --port "$PORT" --id 0 --kind range --eps 100
+  check "invariant k-NN ($TRANSPORT)" 0 \
+      "$VSIM" remote-query --port "$PORT" --id 1 --k 3 --kind invariant-knn
+  check "scan strategy agrees on exit ($TRANSPORT)" 0 \
+      "$VSIM" remote-query --port "$PORT" --id 3 --k 5 --strategy scan
+
+  # --- stats scrape ---------------------------------------------------
+  check "stats scrape succeeds ($TRANSPORT)" 0 \
+      "$VSIM" stats --port "$PORT" --traces 8
+  # The scrape must attribute the queries above: a non-zero completed
+  # counter and at least one flight-recorder trace.
+  "$VSIM" stats --port "$PORT" --traces 8 > "$TMP/stats.out" 2>&1
+  if grep -Eq '^vsim_requests_completed_total [1-9]' "$TMP/stats.out"; then
+    echo "ok: scrape shows non-zero vsim_requests_completed_total ($TRANSPORT)"
+  else
+    echo "FAIL: no non-zero vsim_requests_completed_total ($TRANSPORT)"
+    sed 's/^/  | /' "$TMP/stats.out" | head -10
+    fail=1
+  fi
+  if grep -q 'trace(s), newest first' "$TMP/stats.out"; then
+    echo "ok: scrape returned flight-recorder traces ($TRANSPORT)"
+  else
+    echo "FAIL: no traces in the scrape output ($TRANSPORT)"
+    fail=1
+  fi
+  if [ "$TRANSPORT" = epoll ]; then
+    # The reactor's own series must flow through the shared collector.
+    if grep -Eq '^vsim_net_reactor_loop_iterations_total [1-9]' \
+         "$TMP/stats.out" &&
+       grep -q '^vsim_net_open_connections ' "$TMP/stats.out"; then
+      echo "ok: scrape shows reactor vsim_net_* series"
+    else
+      echo "FAIL: reactor vsim_net_* series missing from the scrape"
+      grep 'vsim_net' "$TMP/stats.out" | sed 's/^/  | /' | head -10
+      fail=1
+    fi
+  fi
+
+  # --- runtime failures exit 1 ----------------------------------------
+  check "out-of-range stored id is a runtime failure ($TRANSPORT)" 1 \
+      "$VSIM" remote-query --port "$PORT" --id 99999
+
+  # --- graceful shutdown: SIGTERM drains and exits 0 ------------------
+  kill -TERM "$SERVER_PID"
+  SERVER_EXIT=1
+  for _ in $(seq 1 100); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      wait "$SERVER_PID"
+      SERVER_EXIT=$?
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$SERVER_EXIT" -ne 0 ]; then
+    echo "FAIL: $TRANSPORT server did not exit cleanly on SIGTERM" \
+         "(exit $SERVER_EXIT)"
+    cat "$TMP/serve.$TRANSPORT.log"
+    fail=1
+  else
+    echo "ok: SIGTERM drains and exits 0 ($TRANSPORT)"
+  fi
+  SERVER_PID=""
 done
-PORT=$(cat "$TMP/port")
-if [ -z "$PORT" ]; then
-  echo "serve_smoke: no port published"
-  exit 1
-fi
-echo "server up on port $PORT (pid $SERVER_PID)"
 
-# --- remote queries over the wire -------------------------------------
-check "k-NN by stored id" 0 \
-    "$VSIM" remote-query --port "$PORT" --id 3 --k 5
-check "range query" 0 \
-    "$VSIM" remote-query --port "$PORT" --id 0 --kind range --eps 100
-check "invariant k-NN" 0 \
-    "$VSIM" remote-query --port "$PORT" --id 1 --k 3 --kind invariant-knn
-check "scan strategy agrees on exit" 0 \
-    "$VSIM" remote-query --port "$PORT" --id 3 --k 5 --strategy scan
-
-# --- stats scrape -----------------------------------------------------
-check "stats scrape succeeds" 0 \
-    "$VSIM" stats --port "$PORT" --traces 8
-# The scrape must attribute the queries above: a non-zero completed
-# counter and at least one flight-recorder trace.
-"$VSIM" stats --port "$PORT" --traces 8 > "$TMP/stats.out" 2>&1
-if grep -Eq '^vsim_requests_completed_total [1-9]' "$TMP/stats.out"; then
-  echo "ok: scrape shows non-zero vsim_requests_completed_total"
-else
-  echo "FAIL: no non-zero vsim_requests_completed_total in the scrape"
-  sed 's/^/  | /' "$TMP/stats.out" | head -10
-  fail=1
-fi
-if grep -q 'trace(s), newest first' "$TMP/stats.out"; then
-  echo "ok: scrape returned flight-recorder traces"
-else
-  echo "FAIL: no traces in the scrape output"
-  fail=1
-fi
-
-# --- runtime failures exit 1 ------------------------------------------
-check "out-of-range stored id is a runtime failure" 1 \
-    "$VSIM" remote-query --port "$PORT" --id 99999
+# --- transport-independent client/usage errors ------------------------
 check "connection refused is a runtime failure" 1 \
     "$VSIM" remote-query --port 1 --id 0
-
-# --- usage errors exit 2 ----------------------------------------------
 check "missing --port is a usage error" 2 \
     "$VSIM" remote-query --id 0
 check "bad --kind is a usage error" 2 \
-    "$VSIM" remote-query --port "$PORT" --id 0 --kind nearest
+    "$VSIM" remote-query --port 1 --id 0 --kind nearest
 check "bad --strategy is a usage error" 2 \
-    "$VSIM" remote-query --port "$PORT" --id 0 --strategy xtree
+    "$VSIM" remote-query --port 1 --id 0 --strategy xtree
 check "serve without a data source is a usage error" 2 \
     "$VSIM" serve
+check "bad --transport is a usage error" 2 \
+    "$VSIM" serve --dataset car --count 4 --transport poll
+check "bad --reactor-threads is a usage error" 2 \
+    "$VSIM" serve --dataset car --count 4 --transport epoll --reactor-threads 0
 check "stats without --port is a usage error" 2 \
     "$VSIM" stats
-
-# --- graceful shutdown: SIGTERM drains and exits 0 --------------------
-kill -TERM "$SERVER_PID"
-SERVER_EXIT=1
-for _ in $(seq 1 100); do
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    wait "$SERVER_PID"
-    SERVER_EXIT=$?
-    break
-  fi
-  sleep 0.1
-done
-if [ "$SERVER_EXIT" -ne 0 ]; then
-  echo "FAIL: server did not exit cleanly on SIGTERM (exit $SERVER_EXIT)"
-  cat "$TMP/serve.log"
-  fail=1
-else
-  echo "ok: SIGTERM drains and exits 0"
-fi
-SERVER_PID=""
 
 # --- disk-backed serve: the buffer pool behind the wire ---------------
 # Start a second server with --store: refinement now fetches candidates
@@ -195,4 +222,4 @@ if [ "$fail" -ne 0 ]; then
   echo "serve_smoke: FAILED"
   exit 1
 fi
-echo "serve_smoke: loopback round-trip, disk-backed pool scrape, exit-code contract and graceful shutdown OK"
+echo "serve_smoke: both transports round-trip, disk-backed pool scrape, exit-code contract and graceful shutdown OK"

@@ -803,7 +803,8 @@ int CmdServe(const Flags& flags) {
                         "port-file", "duration-s", "threads", "cache-mb",
                         "max-queue", "max-connections", "simulate-io",
                         "io-page-us", "seed", "stats-interval-s", "store",
-                        "pool-pages"});
+                        "pool-pages", "transport", "reactor-threads",
+                        "read-timeout-s"});
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   StatusOr<CadDatabase> db = Status::Internal("unset");
   if (flags.Has("db")) {
@@ -828,7 +829,9 @@ int CmdServe(const Flags& flags) {
                  "[--duration-s S] [--threads T] [--cache-mb MB] "
                  "[--max-queue N] [--max-connections N] [--simulate-io] "
                  "[--io-page-us U] [--stats-interval-s S] "
-                 "[--store FILE [--pool-pages N]]\n");
+                 "[--store FILE [--pool-pages N]] "
+                 "[--transport threads|epoll [--reactor-threads N]] "
+                 "[--read-timeout-s S]\n");
     return 2;
   }
   if (!db.ok()) return Fail(db.status());
@@ -873,13 +876,34 @@ int CmdServe(const Flags& flags) {
   nopts.host = flags.Get("host", "127.0.0.1");
   nopts.port = flags.GetInt("port", 0);
   nopts.max_connections = flags.GetInt("max-connections", 64);
+  // --transport: connection-handling strategy (docs/OPERATIONS.md
+  // "Capacity planning"). threads = two threads per connection; epoll =
+  // a fixed event-loop pool sized by --reactor-threads.
+  StatusOr<net::Transport> transport =
+      net::ParseTransport(flags.Get("transport", "threads"));
+  if (!transport.ok()) return UsageFail(transport.status());
+  nopts.transport = transport.value();
+  nopts.reactor_threads = flags.GetInt("reactor-threads", 2);
+  if (nopts.reactor_threads < 1) {
+    return UsageFail(
+        Status::InvalidArgument("--reactor-threads must be >= 1"));
+  }
+  // --read-timeout-s: reap peers stalled mid-frame (0 = never). Both
+  // transports honor it; see docs/PROTOCOL.md section 11.1.
+  nopts.read_timeout_seconds = flags.GetDouble("read-timeout-s", 0.0);
+  if (nopts.read_timeout_seconds < 0.0) {
+    return UsageFail(
+        Status::InvalidArgument("--read-timeout-s must be >= 0"));
+  }
   net::Server server(&service, nopts);
   const Status started = server.Start();
   if (!started.ok()) return Fail(started);
-  std::printf("serving %llu objects on %s:%d (%d worker threads)\n",
+  std::printf("serving %llu objects on %s:%d (%d worker threads, "
+              "%s transport)\n",
               static_cast<unsigned long long>(
                   service.snapshot()->db().size()),
-              nopts.host.c_str(), server.port(), service.num_threads());
+              nopts.host.c_str(), server.port(), service.num_threads(),
+              net::TransportName(nopts.transport));
   std::fflush(stdout);
 
   // --port-file: publish the bound port for scripts that start the
