@@ -23,13 +23,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "vsim/common/rng.h"
+#include "vsim/common/thread_annotations.h"
 #include "vsim/common/stopwatch.h"
 #include "vsim/service/query_service.h"
 #include "vsim/service/rebuilder.h"
@@ -65,7 +65,7 @@ struct PhaseResult {
 PhaseResult RunPhase(QueryService& service, Rebuilder* rebuilder,
                      int queries, size_t db_size, int k) {
   PhaseResult result;
-  std::mutex latency_mu;
+  Mutex latency_mu("bench.reindex.latencies");
   std::atomic<bool> stop{false};
   std::atomic<int> issued{0};
   std::atomic<size_t> wrong_generation{0};
@@ -80,7 +80,7 @@ PhaseResult RunPhase(QueryService& service, Rebuilder* rebuilder,
       Rng rng(0x5eedULL * (c + 1));
       std::vector<double> local;
       while (!stop.load(std::memory_order_relaxed)) {
-        issued.fetch_add(1);
+        issued.fetch_add(1, std::memory_order_relaxed);
         ServiceRequest request;
         request.object_id = static_cast<int>(rng.NextBounded(db_size));
         request.k = k;
@@ -88,16 +88,16 @@ PhaseResult RunPhase(QueryService& service, Rebuilder* rebuilder,
         StatusOr<ServiceResponse> response = service.Execute(request);
         const uint64_t completion_gen = service.generation();
         if (!response.ok()) {
-          failed.fetch_add(1);
+          failed.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
         if (response->generation < admission_gen ||
             response->generation > completion_gen) {
-          wrong_generation.fetch_add(1);
+          wrong_generation.fetch_add(1, std::memory_order_relaxed);
         }
         local.push_back(response->latency_seconds);
       }
-      std::lock_guard<std::mutex> lock(latency_mu);
+      MutexLock lock(&latency_mu);
       result.latencies.insert(result.latencies.end(), local.begin(),
                               local.end());
     });
@@ -106,7 +106,7 @@ PhaseResult RunPhase(QueryService& service, Rebuilder* rebuilder,
   if (rebuilder != nullptr) {
     for (int s = 1; s <= kSwaps; ++s) {
       const int threshold = queries * s / (kSwaps + 1);
-      while (issued.load() < threshold) {
+      while (issued.load(std::memory_order_relaxed) < threshold) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
       const Status st = rebuilder->Trigger().get();
@@ -116,15 +116,15 @@ PhaseResult RunPhase(QueryService& service, Rebuilder* rebuilder,
       }
     }
   }
-  while (issued.load() < queries) {
+  while (issued.load(std::memory_order_relaxed) < queries) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& client : clients) client.join();
 
   result.elapsed_seconds = watch.ElapsedSeconds();
-  result.wrong_generation = wrong_generation.load();
-  result.failed = failed.load();
+  result.wrong_generation = wrong_generation.load(std::memory_order_relaxed);
+  result.failed = failed.load(std::memory_order_relaxed);
   result.swaps = service.Stats().snapshot_swaps - swaps_before;
   return result;
 }

@@ -171,12 +171,12 @@ RunResult RunOpenLoop(int port, int connections, int window, int rounds,
           std::fprintf(stderr, "connect failed: %s\n",
                        client.status().ToString().c_str());
           ++failures[d];
-          ready.fetch_add(1);
+          ready.fetch_add(1, std::memory_order_release);
           return;
         }
         clients.push_back(std::move(client).value());
       }
-      ready.fetch_add(1);
+      ready.fetch_add(1, std::memory_order_release);
       while (!go.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }

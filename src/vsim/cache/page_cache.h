@@ -214,7 +214,7 @@ class ShardedBufferPool {
   using Frame = internal::Frame;
 
   struct Shard {
-    mutable SharedMutex mu;
+    mutable SharedMutex mu{"cache.shard"};
     // PageId -> index into `frames`. Reads under at least a shared
     // hold; inserts/erases under the exclusive hold.
     std::unordered_map<PageId, size_t> table GUARDED_BY(mu);

@@ -1,0 +1,293 @@
+#include "vsim/common/deadlock_detector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define VSIM_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace vsim::deadlock {
+
+std::atomic<bool> g_enabled{[] {
+  const char* e = std::getenv("VSIM_DEADLOCK_DETECT");
+  return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+}()};
+
+namespace {
+
+constexpr int kMaxStackFrames = 24;
+
+// Where a lock-order edge was first observed: enough to point a human
+// at the second of the two disagreeing call sites.
+struct EdgeSite {
+#if defined(VSIM_HAVE_BACKTRACE)
+  void* frames[kMaxStackFrames];
+  int depth = 0;
+#endif
+};
+
+struct PairHash {
+  size_t operator()(const std::pair<LockNodeId, LockNodeId>& p) const {
+    return std::hash<LockNodeId>()(p.first) * 1000003u ^
+           std::hash<LockNodeId>()(p.second);
+  }
+};
+
+// All global detector state behind one raw std::mutex. Deliberately
+// NOT a vsim::Mutex: the detector cannot instrument itself, and
+// common/ is the one directory where tools/vsim_lint.py permits the
+// raw primitive.
+struct GlobalState {
+  std::mutex mu;
+  LockOrderGraph graph;
+  // Interned class names. Ids are dense indices into `names`.
+  std::unordered_map<std::string, LockNodeId> ids_by_name;
+  std::vector<std::string> names;
+  std::unordered_map<std::pair<LockNodeId, LockNodeId>, EdgeSite, PairHash>
+      edge_sites;
+};
+
+GlobalState& State() {
+  static GlobalState* s = new GlobalState;  // leaked: outlives all threads
+  return *s;
+}
+
+// One entry per lock the current thread holds, in acquisition order.
+struct Held {
+  const void* mu;
+  LockNodeId node;
+  bool named;
+};
+
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+// Anonymous locks participate as per-object nodes: address tagged into
+// a disjoint id space from the dense interned ids.
+constexpr LockNodeId kAnonTag = LockNodeId{1} << 63;
+
+LockNodeId InternLocked(const void* mu, const char* lock_class,
+                        GlobalState& s) {
+  if (lock_class == nullptr) {
+    return kAnonTag | reinterpret_cast<std::uintptr_t>(mu);
+  }
+  auto it = s.ids_by_name.find(lock_class);
+  if (it != s.ids_by_name.end()) return it->second;
+  LockNodeId id = s.names.size();
+  s.names.emplace_back(lock_class);
+  s.ids_by_name.emplace(lock_class, id);
+  return id;
+}
+
+std::string NodeNameLocked(LockNodeId id, const GlobalState& s) {
+  if (id & kAnonTag) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "unnamed mutex @0x%llx",
+                  static_cast<unsigned long long>(id & ~kAnonTag));
+    return buf;
+  }
+  if (id < s.names.size()) return "'" + s.names[id] + "'";
+  return "<unknown lock class>";
+}
+
+void PrintCurrentStack() {
+#if defined(VSIM_HAVE_BACKTRACE)
+  void* frames[kMaxStackFrames];
+  int depth = backtrace(frames, kMaxStackFrames);
+  backtrace_symbols_fd(frames, depth, /*fd=*/2);
+#else
+  std::fprintf(stderr, "  (backtrace unavailable on this platform)\n");
+#endif
+}
+
+void PrintEdgeSite(const EdgeSite& site) {
+#if defined(VSIM_HAVE_BACKTRACE)
+  if (site.depth > 0) {
+    backtrace_symbols_fd(const_cast<void* const*>(site.frames), site.depth,
+                         /*fd=*/2);
+    return;
+  }
+#else
+  (void)site;
+#endif
+  std::fprintf(stderr, "  (no stack recorded)\n");
+}
+
+void CaptureEdgeSite(EdgeSite* site) {
+#if defined(VSIM_HAVE_BACKTRACE)
+  site->depth = backtrace(site->frames, kMaxStackFrames);
+#else
+  (void)site;
+#endif
+}
+
+[[noreturn]] void AbortWithReport(const char* what, const std::string& detail,
+                                  const EdgeSite* prior_site) {
+  std::fprintf(stderr,
+               "\nVSIM DEADLOCK DETECTOR: %s\n%s\n"
+               "current acquisition stack:\n",
+               what, detail.c_str());
+  PrintCurrentStack();
+  if (prior_site != nullptr) {
+    std::fprintf(stderr, "conflicting prior acquisition stack:\n");
+    PrintEdgeSite(*prior_site);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+std::optional<std::vector<LockNodeId>> LockOrderGraph::AddEdge(
+    LockNodeId from, LockNodeId to) {
+  if (from == to) return std::vector<LockNodeId>{from};
+  auto& out = adj_[from];
+  if (!out.insert(to).second) return std::nullopt;  // edge already known
+  // New edge. It closes a cycle iff `from` was already reachable from
+  // `to`; reconstruct that pre-existing path for the report.
+  std::unordered_map<LockNodeId, LockNodeId> parent;
+  std::vector<LockNodeId> dfs{to};
+  parent.emplace(to, to);
+  while (!dfs.empty()) {
+    LockNodeId node = dfs.back();
+    dfs.pop_back();
+    auto it = adj_.find(node);
+    if (it == adj_.end()) continue;
+    for (LockNodeId next : it->second) {
+      if (!parent.emplace(next, node).second) continue;
+      if (next == from) {
+        std::vector<LockNodeId> path{from};
+        for (LockNodeId n = node; n != to; n = parent[n]) path.push_back(n);
+        path.push_back(to);
+        // Built back-to-front: reverse into to -> ... -> from.
+        std::vector<LockNodeId> fwd(path.rbegin(), path.rend());
+        return fwd;
+      }
+      dfs.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+bool LockOrderGraph::HasEdge(LockNodeId from, LockNodeId to) const {
+  auto it = adj_.find(from);
+  return it != adj_.end() && it->second.count(to) > 0;
+}
+
+void OnAcquire(const void* mu, const char* lock_class) {
+  auto& held = HeldStack();
+  GlobalState& s = State();
+  std::unique_lock<std::mutex> lock(s.mu);
+  const LockNodeId id = InternLocked(mu, lock_class, s);
+  const bool named = lock_class != nullptr;
+
+  for (const Held& h : held) {
+    if (h.mu == mu) {
+      AbortWithReport(
+          "recursive acquisition",
+          "thread re-acquires " + NodeNameLocked(id, s) +
+              " it already holds (guaranteed self-deadlock on a "
+              "non-recursive mutex)",
+          nullptr);
+    }
+    if (named && h.named && h.node == id) {
+      AbortWithReport(
+          "same-class nesting",
+          "thread acquires a second lock of class " + NodeNameLocked(id, s) +
+              " while holding one; within-class order is undefined, so "
+              "two threads doing this on different objects can deadlock",
+          nullptr);
+    }
+  }
+
+  // Edges from every held lock, not just the top: an intermediate hold
+  // acquired via TryLock has no incoming edge, so relying on
+  // transitivity through the top alone could miss a cycle.
+  for (const Held& h : held) {
+    auto cycle = s.graph.AddEdge(h.node, id);
+    if (!cycle) {
+      auto [it, fresh] = s.edge_sites.try_emplace({h.node, id});
+      if (fresh) CaptureEdgeSite(&it->second);
+      continue;
+    }
+    // The new edge h.node -> id contradicts the recorded path
+    // id -> ... -> h.node; the first hop of that path is the edge
+    // whose recorded site disagrees with this call site.
+    std::string detail = "acquiring " + NodeNameLocked(id, s) +
+                         " while holding " + NodeNameLocked(h.node, s) +
+                         " contradicts the established order:";
+    for (size_t i = 0; i < cycle->size(); ++i) {
+      detail += (i == 0 ? " " : " -> ") + NodeNameLocked((*cycle)[i], s);
+    }
+    const EdgeSite* prior = nullptr;
+    if (cycle->size() >= 2) {
+      auto it = s.edge_sites.find({(*cycle)[0], (*cycle)[1]});
+      if (it != s.edge_sites.end()) prior = &it->second;
+    }
+    AbortWithReport("lock-order cycle (potential deadlock)", detail, prior);
+  }
+
+  held.push_back(Held{mu, id, named});
+}
+
+void OnTryAcquire(const void* mu, const char* lock_class) {
+  // A successful try-lock is a real hold (future edges start from it)
+  // but adds no edge itself: it cannot block, so it cannot be the
+  // acquisition that completes a deadlock. Recursive try-lock on a
+  // held object is UB on std::mutex; flag it too.
+  auto& held = HeldStack();
+  GlobalState& s = State();
+  std::unique_lock<std::mutex> lock(s.mu);
+  const LockNodeId id = InternLocked(mu, lock_class, s);
+  for (const Held& h : held) {
+    if (h.mu == mu) {
+      AbortWithReport("recursive try-acquisition",
+                      "thread try-locks " + NodeNameLocked(id, s) +
+                          " it already holds (undefined behavior on "
+                          "std::mutex)",
+                      nullptr);
+    }
+  }
+  held.push_back(Held{mu, id, lock_class != nullptr});
+}
+
+void OnRelease(const void* mu) {
+  auto& held = HeldStack();
+  // Pop the most recent matching hold; out-of-LIFO-order release is
+  // legal (e.g. hand-over-hand), so search from the top.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mu == mu) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Releasing a lock we never saw acquired: the detector was enabled
+  // mid-hold (ScopedDetectorForTesting) -- ignore.
+}
+
+void ResetForTesting() {
+  GlobalState& s = State();
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.graph.Clear();
+  s.ids_by_name.clear();
+  s.names.clear();
+  s.edge_sites.clear();
+}
+
+std::string NodeNameForTesting(LockNodeId id) {
+  GlobalState& s = State();
+  std::unique_lock<std::mutex> lock(s.mu);
+  return NodeNameLocked(id, s);
+}
+
+}  // namespace vsim::deadlock

@@ -1,0 +1,138 @@
+// Runtime lock-order cycle detection for the annotated mutex wrappers
+// (thread_annotations.h): the dynamic half of the deadlock story, next
+// to Clang's order-blind static lock-discipline analysis.
+//
+// Design (the absl::Mutex deadlock-detector shape, adapted to our
+// wrappers): each thread keeps a thread-local stack of the locks it
+// currently holds; every *blocking* acquisition feeds a global
+// directed graph of lock-order edges `held -> acquiring`. Edges are
+// keyed by LOCK CLASS, not object: all instances constructed with the
+// same class name (e.g. every `cache.shard` latch) collapse onto one
+// node, so an ordering proven on one shard pair indicts every shard
+// pair. On the FIRST observation of a new edge the detector runs a DFS
+// cycle check; a cycle means two sites disagree about lock order -- a
+// potential deadlock even if this particular run interleaved safely --
+// and the process aborts with a report naming both sites: the
+// acquisition stack that closed the cycle and the recorded stack of
+// the first acquisition that established the reverse ordering.
+//
+// Additional invariants enforced while enabled:
+//   - re-acquiring a mutex object the thread already holds aborts
+//     (guaranteed self-deadlock on our non-recursive primitives);
+//   - holding two locks of the same named class at once aborts (the
+//     repo's sharded structures -- buffer-pool shards, result-cache
+//     shards, per-connection state -- are designed never to nest
+//     within a class; nesting would make the class order-ambiguous).
+//
+// Cost model: OFF (the default) is one relaxed atomic load per
+// Lock/Unlock. ON serializes every acquisition through one internal
+// mutex -- strictly a debug mode, enabled by the VSIM_DEADLOCK_DETECT
+// environment variable (any value but "" or "0"; see
+// docs/OPERATIONS.md "Build & debug knobs"). TryLock acquisitions are
+// pushed on the held stack (they are real holds, and the held side of
+// future edges) but never add edges themselves: a try-lock cannot
+// block, so it cannot close a deadlock cycle.
+//
+// This header is deliberately tiny: thread_annotations.h inlines the
+// Note* fast paths into every Lock/Unlock, so the OFF path must not
+// drag in the graph machinery.
+#ifndef VSIM_COMMON_DEADLOCK_DETECTOR_H_
+#define VSIM_COMMON_DEADLOCK_DETECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace vsim::deadlock {
+
+// Process-wide switch. Initialized from VSIM_DEADLOCK_DETECT at static
+// init; tests flip it with ScopedDetectorForTesting. Relaxed is enough:
+// the flag gates pure instrumentation, not data visibility.
+extern std::atomic<bool> g_enabled;
+
+inline bool IsOn() { return g_enabled.load(std::memory_order_relaxed); }
+
+// Node key in the order graph. Named lock classes intern to small ids;
+// unnamed mutexes get a per-object id (their address, tagged), so
+// anonymous locks still participate in ordering without aliasing each
+// other.
+using LockNodeId = std::uint64_t;
+
+// The pure order graph, separated from the thread-local bookkeeping so
+// tests can drive it directly. AddEdge(from, to) records the edge and
+// returns, on the first observation that closes a cycle, the pre-
+// existing path `to -> ... -> from` whose reversal the new edge
+// contradicts. Self-edges (from == to) report a one-node path.
+class LockOrderGraph {
+ public:
+  // Returns std::nullopt if the edge is consistent with every order
+  // recorded so far (or was already present).
+  std::optional<std::vector<LockNodeId>> AddEdge(LockNodeId from,
+                                                 LockNodeId to);
+
+  bool HasEdge(LockNodeId from, LockNodeId to) const;
+  void Clear() { adj_.clear(); }
+
+ private:
+  std::unordered_map<LockNodeId, std::unordered_set<LockNodeId>> adj_;
+};
+
+// -- Hooks called by the Mutex/SharedMutex wrappers -------------------
+// `mu` is the lock object's address (identity); `lock_class` is the
+// class name given at construction, or nullptr for an unnamed lock.
+// OnAcquire runs the edge/cycle check and aborts the process with a
+// two-stack report on a violation. Shared (reader) acquisitions use the
+// same hooks: reader/writer order inversions deadlock just as hard.
+void OnAcquire(const void* mu, const char* lock_class);
+void OnTryAcquire(const void* mu, const char* lock_class);  // held, no edges
+void OnRelease(const void* mu);
+
+// Inline fast paths: one relaxed load when the detector is off.
+inline void NoteAcquire(const void* mu, const char* lock_class) {
+  if (IsOn()) OnAcquire(mu, lock_class);
+}
+inline void NoteTryAcquire(const void* mu, const char* lock_class) {
+  if (IsOn()) OnTryAcquire(mu, lock_class);
+}
+inline void NoteRelease(const void* mu) {
+  if (IsOn()) OnRelease(mu);
+}
+
+// -- Test support -----------------------------------------------------
+// Clears the global graph and class-name registry. Only meaningful
+// while no instrumented locks are held anywhere; tests call it from
+// quiescent fixtures.
+void ResetForTesting();
+
+// Human-readable name for a node id ("class 'cache.shard'" or
+// "unnamed mutex @0x...").
+std::string NodeNameForTesting(LockNodeId id);
+
+// RAII enable/disable for tests (restores the previous value; resets
+// detector state on both edges so one test's orderings cannot leak
+// into another's).
+class ScopedDetectorForTesting {
+ public:
+  explicit ScopedDetectorForTesting(bool enable)
+      : prev_(g_enabled.exchange(enable, std::memory_order_relaxed)) {
+    ResetForTesting();
+  }
+  ~ScopedDetectorForTesting() {
+    g_enabled.store(prev_, std::memory_order_relaxed);
+    ResetForTesting();
+  }
+  ScopedDetectorForTesting(const ScopedDetectorForTesting&) = delete;
+  ScopedDetectorForTesting& operator=(const ScopedDetectorForTesting&) =
+      delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace vsim::deadlock
+
+#endif  // VSIM_COMMON_DEADLOCK_DETECTOR_H_

@@ -27,6 +27,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "vsim/common/deadlock_detector.h"
+
 // -- Attribute macros -------------------------------------------------
 // Names and semantics follow the Clang thread-safety-analysis docs
 // (and the de-facto abseil spelling). Each expands to the underlying
@@ -79,24 +81,44 @@ namespace vsim {
 // GUARDED_BY(mu_) is compiler-checked under VSIM_STATIC_ANALYSIS=ON.
 // Also satisfies Lockable (lowercase aliases), so std::scoped_lock and
 // friends still work where a scoped MutexLock does not fit.
+//
+// The optional `lock_class` names the mutex's node in the runtime
+// lock-order graph (deadlock_detector.h, VSIM_DEADLOCK_DETECT=1): all
+// instances sharing a class collapse onto one node, so an ordering
+// observed between two classes binds every instance pair. Convention:
+// "<module>.<role>", e.g. "cache.shard", "net.conn". The string must
+// outlive the mutex (use literals). Unnamed mutexes still participate,
+// keyed per object.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(const char* lock_class) : class_(lock_class) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    deadlock::NoteAcquire(this, class_);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    deadlock::NoteRelease(this);
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+    if (ok) deadlock::NoteTryAcquire(this, class_);
+    return ok;
+  }
 
   // Lockable aliases.
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() ACQUIRE() { Lock(); }
+  void unlock() RELEASE() { Unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return TryLock(); }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  const char* class_ = nullptr;
 };
 
 // Scoped lock over a vsim::Mutex. The analysis treats the guarded
@@ -124,16 +146,34 @@ class SCOPED_CAPABILITY MutexLock {
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(const char* lock_class) : class_(lock_class) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  // Shared and exclusive acquisitions feed the same lock-order node:
+  // reader/writer order inversions deadlock just like writer/writer
+  // ones (a writer blocks behind the reader that is waiting on the
+  // lock the writer holds).
+  void Lock() ACQUIRE() {
+    deadlock::NoteAcquire(this, class_);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+    deadlock::NoteRelease(this);
+  }
+  void LockShared() ACQUIRE_SHARED() {
+    deadlock::NoteAcquire(this, class_);
+    mu_.lock_shared();
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+    deadlock::NoteRelease(this);
+  }
 
  private:
   std::shared_mutex mu_;
+  const char* class_ = nullptr;
 };
 
 // Scoped exclusive (writer) lock over a SharedMutex.
@@ -182,7 +222,11 @@ class CondVar {
   // mutex is held again when Wait returns.
   void Wait(Mutex* mu) REQUIRES(mu) {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    // The mutex is genuinely released while blocked: keep the
+    // deadlock detector's held-lock stack truthful across the wait.
+    deadlock::NoteRelease(mu);
     cv_.wait(lock);
+    deadlock::NoteAcquire(mu, mu->class_);
     lock.release();  // caller's MutexLock keeps ownership
   }
 

@@ -39,6 +39,7 @@ void PutI32(std::string* out, int32_t v) {
 
 void PutF64(std::string* out, double v) {
   uint64_t bits;
+  // vsim-lint: allow(wire-memcpy) bit-cast of a local double, no wire buffer
   std::memcpy(&bits, &v, 8);
   PutU64(out, bits);
 }
@@ -95,11 +96,13 @@ class WireCursor {
   bool F64(double* v) {
     uint64_t bits;
     if (!U64(&bits)) return false;
+    // vsim-lint: allow(wire-memcpy) bit-cast from an already bounds-checked u64
     std::memcpy(v, &bits, 8);
     return true;
   }
   bool Bytes(char* dst, size_t n) {
     if (size_ - pos_ < n) return false;
+    // vsim-lint: allow(wire-memcpy) the PayloadReader primitive; length is range-checked above
     std::memcpy(dst, data_ + pos_, n);
     pos_ += n;
     return true;

@@ -126,7 +126,7 @@ class EpollReactor {
     ClockT::time_point pause_started;  // read_paused onset
 
     // -- Shared with worker callbacks. -------------------------------
-    Mutex mu;
+    Mutex mu{"net.reactor.conn"};
     // Completion FIFO. A slot's sequence number is base_seq + its
     // index; callbacks locate their slot by sequence number, so a
     // flushed (popped) or discarded slot makes the lookup miss
@@ -146,11 +146,11 @@ class EpollReactor {
     // shared mutex lets Stop() close the eventfd only once no callback
     // can still be writing it (writers take the shared side, the close
     // takes the exclusive side after the thread join).
-    SharedMutex wake_mu;
+    SharedMutex wake_mu{"net.reactor.wake"};
     ScopedFd wake_fd GUARDED_BY(wake_mu);
     bool wake_closed GUARDED_BY(wake_mu) = false;
 
-    Mutex mu;
+    Mutex mu{"net.reactor.loop"};
     // Connections accepted by loop 0, awaiting adoption here.
     std::vector<std::shared_ptr<Conn>> incoming GUARDED_BY(mu);
     // Connections with freshly completed slots, awaiting a flush.

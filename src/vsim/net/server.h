@@ -187,7 +187,7 @@ class Server {
     };
 
     ScopedFd fd;
-    Mutex mu;
+    Mutex mu{"net.server.conn"};
     CondVar cv;
     std::deque<Pending> queue GUARDED_BY(mu);
     bool reader_done GUARDED_BY(mu) = false;
@@ -215,7 +215,7 @@ class Server {
   QueryService* const service_;  // not owned
   const ServerOptions options_;
 
-  Mutex mu_;
+  Mutex mu_{"net.server"};
   std::vector<std::unique_ptr<Connection>> connections_ GUARDED_BY(mu_);
   bool started_ GUARDED_BY(mu_) = false;
   bool stopped_ GUARDED_BY(mu_) = false;

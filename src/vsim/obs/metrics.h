@@ -209,7 +209,7 @@ class MetricsRegistry {
     T* instrument = nullptr;
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.registry"};
   // Deques: grow without moving, so instrument pointers stay stable.
   std::deque<Counter> counters_ GUARDED_BY(mu_);
   std::deque<Gauge> gauges_ GUARDED_BY(mu_);

@@ -236,7 +236,7 @@ class QueryService {
   // RCU publication point: workers copy the shared_ptr under the mutex
   // (cheap refcount bump), swappers replace it. The mutex is held only
   // for the pointer copy, never during query execution.
-  mutable Mutex snapshot_mu_;
+  mutable Mutex snapshot_mu_{"service.snapshot"};
   std::shared_ptr<const DbSnapshot> snapshot_ GUARDED_BY(snapshot_mu_);
 
   // Immutable after construction (options_) or internally synchronized

@@ -75,7 +75,7 @@ class Rebuilder {
   DatabaseFactory factory_;
   IoCostParams params_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"service.rebuilder"};
   CondVar cv_;
   CondVar idle_cv_;
   std::deque<std::promise<Status>> pending_ GUARDED_BY(mu_);

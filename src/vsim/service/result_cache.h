@@ -117,7 +117,7 @@ class ResultCache {
 
  private:
   struct Shard {
-    Mutex mu;
+    Mutex mu{"service.result_cache.shard"};
     // Most-recently-used at the front.
     std::list<std::pair<ResultCacheKey, CachedResult>> lru GUARDED_BY(mu);
     std::unordered_map<ResultCacheKey, decltype(lru)::iterator,

@@ -80,7 +80,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   for (size_t t = 0; t < spawn; ++t) {
     done.push_back(Submit([next, n, &fn]() {
       for (;;) {
-        const size_t i = next->fetch_add(1);
+        const size_t i = next->fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
         fn(i);
       }

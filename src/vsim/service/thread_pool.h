@@ -65,7 +65,7 @@ class ThreadPool {
   void Enqueue(std::function<void()> task) EXCLUDES(mu_);
   void WorkerLoop() EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"service.thread_pool"};
   CondVar cv_;
   std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;

@@ -83,7 +83,7 @@ class PagedFile {
   mutable std::atomic<size_t> physical_reads_{0};
   std::atomic<size_t> physical_writes_{0};
   // Serializes file extension and header writes.
-  Mutex meta_mu_;
+  Mutex meta_mu_{"storage.paged_file.meta"};
 };
 
 }  // namespace vsim

@@ -75,21 +75,21 @@ TEST(CachePoolStressTest, ConcurrentFetchWithForcedEvictionChurn) {
           // With 8 threads and 6 frames a shard can transiently have
           // every frame pinned -- that is the documented contract, not
           // corruption. Count it; it must stay rare.
-          fetch_errors.fetch_add(1);
+          fetch_errors.fetch_add(1, std::memory_order_seq_cst);
           continue;
         }
         if (!PageBytesMatch(*h, idx, file->page_size())) {
-          wrong_bytes.fetch_add(1);
+          wrong_bytes.fetch_add(1, std::memory_order_seq_cst);
         }
       }
     });
   }
   for (auto& th : threads) th.join();
 
-  EXPECT_EQ(wrong_bytes.load(), 0);
+  EXPECT_EQ(wrong_bytes.load(std::memory_order_seq_cst), 0);
   const cache::PoolStatsSnapshot stats = pool.Stats();
   const uint64_t served = kThreads * static_cast<uint64_t>(kItersPerThread) -
-                          static_cast<uint64_t>(fetch_errors.load());
+                          static_cast<uint64_t>(fetch_errors.load(std::memory_order_seq_cst));
   EXPECT_EQ(stats.hits() + stats.misses, served);
   EXPECT_GT(stats.evictions(), 0u);  // the churn actually churned
   EXPECT_EQ(stats.pinned_frames, 0u);
@@ -279,19 +279,19 @@ TEST(CachePoolConcurrentStoreTest, StoreGetIsConcurrentlySafe) {
         const int id = static_cast<int>(trng.NextBounded(120));
         StatusOr<VectorSet> got = store->Get(id, &stats);
         if (!got.ok() || got->size() != originals[id].size()) {
-          mismatches.fetch_add(1);
+          mismatches.fetch_add(1, std::memory_order_seq_cst);
           continue;
         }
         for (size_t v = 0; v < got->size(); ++v) {
           if (got->vectors[v] != originals[id].vectors[v]) {
-            mismatches.fetch_add(1);
+            mismatches.fetch_add(1, std::memory_order_seq_cst);
           }
         }
       }
     });
   }
   for (auto& th : threads) th.join();
-  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(mismatches.load(std::memory_order_seq_cst), 0);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,284 @@
+// Tests for the runtime lock-order cycle detector
+// (src/vsim/common/deadlock_detector.h): the pure order graph, the
+// abort paths (AB/BA inversion, recursive acquisition, same-class
+// nesting), the try-lock exemption, and -- the negative contract --
+// that the real sharded buffer pool's shard -> file-meta acquisition
+// hierarchy is clean under the detector.
+#include "vsim/common/deadlock_detector.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "vsim/cache/page_cache.h"
+#include "vsim/common/thread_annotations.h"
+#include "vsim/storage/paged_file.h"
+
+namespace vsim {
+namespace {
+
+using deadlock::LockNodeId;
+using deadlock::LockOrderGraph;
+using deadlock::ScopedDetectorForTesting;
+
+// --- The pure order graph -------------------------------------------
+
+TEST(LockOrderGraphTest, ConsistentEdgesReportNoCycle) {
+  LockOrderGraph graph;
+  EXPECT_FALSE(graph.AddEdge(1, 2).has_value());
+  EXPECT_FALSE(graph.AddEdge(2, 3).has_value());
+  EXPECT_FALSE(graph.AddEdge(1, 3).has_value());
+  EXPECT_TRUE(graph.HasEdge(1, 2));
+  EXPECT_FALSE(graph.HasEdge(2, 1));
+}
+
+TEST(LockOrderGraphTest, DuplicateEdgeIsIdempotent) {
+  LockOrderGraph graph;
+  EXPECT_FALSE(graph.AddEdge(1, 2).has_value());
+  EXPECT_FALSE(graph.AddEdge(1, 2).has_value());
+}
+
+TEST(LockOrderGraphTest, DirectInversionReturnsEstablishedPath) {
+  LockOrderGraph graph;
+  ASSERT_FALSE(graph.AddEdge(1, 2).has_value());
+  auto cycle = graph.AddEdge(2, 1);
+  ASSERT_TRUE(cycle.has_value());
+  // The pre-existing path 1 -> 2 that the new edge 2 -> 1 contradicts.
+  EXPECT_EQ(*cycle, (std::vector<LockNodeId>{1, 2}));
+}
+
+TEST(LockOrderGraphTest, TransitiveCycleIsDetected) {
+  LockOrderGraph graph;
+  ASSERT_FALSE(graph.AddEdge(1, 2).has_value());
+  ASSERT_FALSE(graph.AddEdge(2, 3).has_value());
+  auto cycle = graph.AddEdge(3, 1);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(*cycle, (std::vector<LockNodeId>{1, 2, 3}));
+}
+
+TEST(LockOrderGraphTest, SelfEdgeIsACycle) {
+  LockOrderGraph graph;
+  auto cycle = graph.AddEdge(7, 7);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(*cycle, (std::vector<LockNodeId>{7}));
+}
+
+// --- Abort paths (death tests) --------------------------------------
+
+TEST(DeadlockDetectorDeathTest, AbBaInversionAbortsNamingBothClasses) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto provoke = [] {
+    ScopedDetectorForTesting on(true);
+    Mutex a("test.lock_a");
+    Mutex b("test.lock_b");
+    {
+      MutexLock la(&a);
+      MutexLock lb(&b);  // establishes test.lock_a -> test.lock_b
+    }
+    {
+      MutexLock lb(&b);
+      MutexLock la(&a);  // inversion: must abort before deadlocking
+    }
+  };
+  // The report must name the cycle AND both sites: the class acquired
+  // and the class held (the two disagreeing acquisition orders).
+  EXPECT_DEATH(provoke(),
+               "lock-order cycle.*"
+               "acquiring 'test\\.lock_a' while holding 'test\\.lock_b'.*"
+               "'test\\.lock_a' -> 'test\\.lock_b'");
+}
+
+TEST(DeadlockDetectorDeathTest, ClassKeyingIndictsDistinctObjectPairs) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The inversion happens on DIFFERENT objects of the same two
+  // classes: class-keyed edges must still catch it.
+  auto provoke = [] {
+    ScopedDetectorForTesting on(true);
+    Mutex a1("test.class_a"), a2("test.class_a");
+    Mutex b1("test.class_b"), b2("test.class_b");
+    {
+      MutexLock la(&a1);
+      MutexLock lb(&b1);
+    }
+    {
+      MutexLock lb(&b2);
+      MutexLock la(&a2);  // same class pair, opposite order
+    }
+  };
+  EXPECT_DEATH(provoke(), "lock-order cycle.*test\\.class_a.*test\\.class_b");
+}
+
+TEST(DeadlockDetectorDeathTest, UnnamedMutexesParticipatePerObject) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto provoke = [] {
+    ScopedDetectorForTesting on(true);
+    Mutex a;  // unnamed: keyed by object address
+    Mutex b;
+    {
+      MutexLock la(&a);
+      MutexLock lb(&b);
+    }
+    {
+      MutexLock lb(&b);
+      MutexLock la(&a);
+    }
+  };
+  EXPECT_DEATH(provoke(), "lock-order cycle.*unnamed mutex");
+}
+
+TEST(DeadlockDetectorDeathTest, RecursiveAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto provoke = [] {
+    ScopedDetectorForTesting on(true);
+    Mutex mu("test.recursive");
+    MutexLock outer(&mu);
+    mu.Lock();  // self-deadlock: must abort, not hang
+  };
+  EXPECT_DEATH(provoke(), "recursive acquisition.*test\\.recursive");
+}
+
+TEST(DeadlockDetectorDeathTest, SameClassNestingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto provoke = [] {
+    ScopedDetectorForTesting on(true);
+    Mutex s1("test.shard");
+    Mutex s2("test.shard");
+    MutexLock l1(&s1);
+    MutexLock l2(&s2);  // two holds of one class: order-ambiguous
+  };
+  EXPECT_DEATH(provoke(), "same-class nesting.*test\\.shard");
+}
+
+TEST(DeadlockDetectorDeathTest, SharedMutexOrderInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto provoke = [] {
+    ScopedDetectorForTesting on(true);
+    SharedMutex a("test.rw_a");
+    Mutex b("test.rw_b");
+    {
+      ReaderMutexLock la(&a);  // shared holds feed the same order node
+      MutexLock lb(&b);
+    }
+    {
+      MutexLock lb(&b);
+      WriterMutexLock la(&a);
+    }
+  };
+  EXPECT_DEATH(provoke(), "lock-order cycle.*test\\.rw_a.*test\\.rw_b");
+}
+
+// --- Non-aborting behavior ------------------------------------------
+
+TEST(DeadlockDetectorTest, ConsistentHierarchyStaysClean) {
+  ScopedDetectorForTesting on(true);
+  Mutex top("test.hier_top");
+  Mutex bottom("test.hier_bottom");
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        MutexLock lt(&top);
+        MutexLock lb(&bottom);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  SUCCEED();
+}
+
+TEST(DeadlockDetectorTest, TryLockDoesNotEstablishOrder) {
+  ScopedDetectorForTesting on(true);
+  Mutex a("test.try_a");
+  Mutex b("test.try_b");
+  {
+    MutexLock la(&a);
+    ASSERT_TRUE(b.TryLock());  // a held, b try-acquired: no edge a -> b
+    b.Unlock();
+  }
+  {
+    MutexLock lb(&b);
+    MutexLock la(&a);  // would be an inversion if try-lock added edges
+  }
+  SUCCEED();
+}
+
+TEST(DeadlockDetectorTest, CondVarWaitReleasesHold) {
+  // While blocked in CondVar::Wait the mutex is genuinely released;
+  // the held-lock stack must reflect that, or the lock taken by the
+  // waker's path would manufacture phantom edges. Regression shape: a
+  // worker waits on (cv, mu); the main thread takes mu and notifies.
+  ScopedDetectorForTesting on(true);
+  Mutex mu("test.cv_mu");
+  CondVar cv;
+  bool go = false;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!go) cv.Wait(&mu);
+  });
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  waiter.join();
+  SUCCEED();
+}
+
+// --- The production hierarchy: pool shard -> file meta ---------------
+
+// The sharded buffer pool's acquisition order is
+// cache.shard -> storage.paged_file.meta (a miss holds the shard latch
+// across the page read; Allocate extends the file under the shard
+// latch). Drive real Fetch/Allocate traffic from several threads with
+// the detector armed: any inversion or same-class shard nesting would
+// abort the process.
+TEST(DeadlockDetectorTest, BufferPoolShardHierarchyStaysClean) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      "vsim_deadlock_pool_test.pages";
+  std::filesystem::remove(path);
+  {
+    StatusOr<PagedFile> file =
+        PagedFile::Create(path.string(), 512);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+
+    ScopedDetectorForTesting on(true);
+    cache::ShardedBufferPool pool(&file.value(),
+                                  cache::PoolOptions{/*capacity=*/16,
+                                                     /*shards=*/4});
+    // Seed pages to fetch (more than capacity: forces eviction sweeps,
+    // which run under the exclusive shard latch).
+    std::vector<PageId> pages;
+    for (int i = 0; i < 32; ++i) {
+      StatusOr<cache::PageHandle> handle = pool.Allocate();
+      ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+      pages.push_back(handle->page());
+    }
+    ASSERT_TRUE(pool.FlushAll().ok());
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 200; ++i) {
+          const PageId page =
+              pages[static_cast<size_t>(i * 7 + t) % pages.size()];
+          StatusOr<cache::PageHandle> handle = pool.Fetch(page);
+          if (!handle.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(failures.load(std::memory_order_seq_cst), 0);
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vsim

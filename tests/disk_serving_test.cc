@@ -102,13 +102,13 @@ TEST(DiskServingTest, ConcurrentClientsOverDiskBackedSnapshot) {
         request.k = k;
         StatusOr<ServiceResponse> response = service.Execute(request);
         if (!response.ok() || response->neighbors != expected[id]) {
-          mismatches.fetch_add(1);
+          mismatches.fetch_add(1, std::memory_order_seq_cst);
         }
       }
     });
   }
   for (auto& client : clients) client.join();
-  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(mismatches.load(std::memory_order_seq_cst), 0);
 
   // The service's metrics scrape must now carry the pool's series with
   // real traffic in them: hits in at least one tier, and misses (the

@@ -404,7 +404,7 @@ TEST_P(RemoteSwapTest, SwapUnderRemoteLoad) {
       StatusOr<Client> client =
           Client::Connect("127.0.0.1", loop.server->port());
       if (!client.ok()) {
-        failures.fetch_add(1);
+        failures.fetch_add(1, std::memory_order_seq_cst);
         return;
       }
       uint64_t last_generation = 0;
@@ -415,14 +415,14 @@ TEST_P(RemoteSwapTest, SwapUnderRemoteLoad) {
         req.k = 3;
         StatusOr<ServiceResponse> response = client->Execute(req);
         if (!response.ok()) {
-          failures.fetch_add(1);
+          failures.fetch_add(1, std::memory_order_seq_cst);
           continue;
         }
-        served.fetch_add(1);
+        served.fetch_add(1, std::memory_order_seq_cst);
         // In-order pipelining on one connection: generations observed
         // by a single client can only move forward.
         if (response->generation < last_generation) {
-          regressions.fetch_add(1);
+          regressions.fetch_add(1, std::memory_order_seq_cst);
         }
         last_generation = response->generation;
       }
@@ -430,21 +430,21 @@ TEST_P(RemoteSwapTest, SwapUnderRemoteLoad) {
   }
 
   for (uint64_t gen = 1; gen <= kSwaps; ++gen) {
-    while (served.load() < gen * 20) {
+    while (served.load(std::memory_order_seq_cst) < gen * 20) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     const Status swapped = loop.service->SwapSnapshot(
         DbSnapshot::Create(CadDatabase(*db_), gen));
     ASSERT_TRUE(swapped.ok()) << swapped.ToString();
   }
-  while (served.load() < (kSwaps + 1) * 20) {
+  while (served.load(std::memory_order_seq_cst) < (kSwaps + 1) * 20) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  stop.store(true);
+  stop.store(true, std::memory_order_seq_cst);
   for (std::thread& t : threads) t.join();
 
-  EXPECT_EQ(failures.load(), 0u);
-  EXPECT_EQ(regressions.load(), 0u);
+  EXPECT_EQ(failures.load(std::memory_order_seq_cst), 0u);
+  EXPECT_EQ(regressions.load(std::memory_order_seq_cst), 0u);
   EXPECT_EQ(loop.service->generation(), static_cast<uint64_t>(kSwaps));
 
   // A fresh request observes the final generation.

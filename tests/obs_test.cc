@@ -198,12 +198,12 @@ TEST(ObsRegistryTest, CollectorSamplesAppearUntilUnregistered) {
         MetricSample s;
         s.name = "external_total";
         s.help = "Externally owned.";
-        s.value = static_cast<double>(external.load());
+        s.value = static_cast<double>(external.load(std::memory_order_seq_cst));
         out->push_back(std::move(s));
       });
   EXPECT_NE(registry.TextExposition().find("external_total 9\n"),
             std::string::npos);
-  external.store(11);
+  external.store(11, std::memory_order_seq_cst);
   EXPECT_NE(registry.TextExposition().find("external_total 11\n"),
             std::string::npos);
   registry.UnregisterCollector(id);
@@ -220,7 +220,7 @@ TEST(ObsRegistryTest, ConcurrentRecordingDuringExposition) {
   Histogram* h = registry.RegisterHistogram("race_seconds", "x");
   std::atomic<bool> stop{false};
   std::thread scraper([&]() {
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_seq_cst)) {
       const std::string text = registry.TextExposition();
       EXPECT_NE(text.find("race_total"), std::string::npos);
     }
@@ -237,7 +237,7 @@ TEST(ObsRegistryTest, ConcurrentRecordingDuringExposition) {
     });
   }
   for (auto& w : writers) w.join();
-  stop.store(true);
+  stop.store(true, std::memory_order_seq_cst);
   scraper.join();
   EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(h->TotalCount(), static_cast<uint64_t>(kThreads) * kPerThread);
@@ -329,10 +329,10 @@ TEST(FlightRecorderTest, ConcurrentRecordAndSnapshotNeverTear) {
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> observed{0};
   std::thread reader([&]() {
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_seq_cst)) {
       for (const QueryTrace& t : recorder.Snapshot(64)) {
         ExpectDerived(t);  // any mix of two writes would fail here
-        observed.fetch_add(1);
+        observed.fetch_add(1, std::memory_order_seq_cst);
       }
     }
   });
@@ -348,8 +348,8 @@ TEST(FlightRecorderTest, ConcurrentRecordAndSnapshotNeverTear) {
   // Writers can finish before the reader thread is even scheduled;
   // keep the reader alive until it has seen at least one coherent
   // trace (the ring is full now, so one more pass suffices).
-  while (observed.load() == 0) std::this_thread::yield();
-  stop.store(true);
+  while (observed.load(std::memory_order_seq_cst) == 0) std::this_thread::yield();
+  stop.store(true, std::memory_order_seq_cst);
   reader.join();
   EXPECT_EQ(recorder.recorded(), kThreads * kPerThread);
   // The ring is lossy by design: a writer whose claimed slot is still
@@ -358,7 +358,7 @@ TEST(FlightRecorderTest, ConcurrentRecordAndSnapshotNeverTear) {
   // drops are rare -- but nonzero is legal under scheduling jitter
   // (TSan routinely deschedules a writer long enough).
   EXPECT_LT(recorder.dropped(), kThreads * kPerThread / 10);
-  EXPECT_GT(observed.load(), 0u);
+  EXPECT_GT(observed.load(std::memory_order_seq_cst), 0u);
   const std::vector<QueryTrace> final_traces = recorder.Snapshot(64);
   EXPECT_EQ(final_traces.size(), 64u);
   for (const QueryTrace& t : final_traces) ExpectDerived(t);
@@ -376,7 +376,7 @@ TEST(IoStatsConcurrencyTest, ConcurrentChargesAndReadsAreExact) {
   constexpr int kPerThread = 25000;
   std::atomic<bool> stop{false};
   std::thread reader([&]() {
-    while (!stop.load()) {
+    while (!stop.load(std::memory_order_seq_cst)) {
       const IoStats snapshot = stats;  // copy takes a relaxed snapshot
       EXPECT_LE(snapshot.page_accesses(),
                 static_cast<size_t>(kThreads) * kPerThread);
@@ -392,7 +392,7 @@ TEST(IoStatsConcurrencyTest, ConcurrentChargesAndReadsAreExact) {
     });
   }
   for (auto& w : writers) w.join();
-  stop.store(true);
+  stop.store(true, std::memory_order_seq_cst);
   reader.join();
   EXPECT_EQ(stats.page_accesses(),
             static_cast<size_t>(kThreads) * kPerThread);

@@ -81,18 +81,18 @@ TEST_F(QueryServiceTest, StressMatchesSerialEngine) {
           }
           StatusOr<ServiceResponse> response = service.Execute(request);
           if (!response.ok()) {
-            mismatches.fetch_add(1);
+            mismatches.fetch_add(1, std::memory_order_seq_cst);
             continue;
           }
           const bool match = q % 3 == 0
                                  ? response->ids == expected_range[id]
                                  : response->neighbors == expected_knn[id];
-          if (!match) mismatches.fetch_add(1);
+          if (!match) mismatches.fetch_add(1, std::memory_order_seq_cst);
         }
       });
     }
     for (auto& client : clients) client.join();
-    EXPECT_EQ(mismatches.load(), 0)
+    EXPECT_EQ(mismatches.load(std::memory_order_seq_cst), 0)
         << "cache_bytes=" << cache_bytes;
     const ServiceStatsSnapshot stats = service.Stats();
     EXPECT_EQ(stats.completed,

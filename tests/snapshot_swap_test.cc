@@ -166,7 +166,7 @@ TEST_F(SnapshotSwapTest, EightClientStressSurvivesSwapsUnderLoad) {
       while (!stop.load(std::memory_order_relaxed)) {
         const int id = static_cast<int>((c * 31 + q * 7) % n);
         ++q;
-        issued.fetch_add(1);
+        issued.fetch_add(1, std::memory_order_seq_cst);
         ServiceRequest request;
         request.object_id = id;
         request.k = kK;
@@ -174,16 +174,16 @@ TEST_F(SnapshotSwapTest, EightClientStressSurvivesSwapsUnderLoad) {
         StatusOr<ServiceResponse> response = service.Execute(request);
         const uint64_t completion_gen = service.generation();
         if (!response.ok()) {
-          failures.fetch_add(1);
+          failures.fetch_add(1, std::memory_order_seq_cst);
           continue;
         }
         if (response->generation < admission_gen ||
             response->generation > completion_gen) {
-          wrong_window.fetch_add(1);
+          wrong_window.fetch_add(1, std::memory_order_seq_cst);
         }
         const int variant = static_cast<int>(response->generation) % kVariants;
         if (response->neighbors != (*expected_)[variant][id]) {
-          wrong_payload.fetch_add(1);
+          wrong_payload.fetch_add(1, std::memory_order_seq_cst);
         }
       }
     });
@@ -192,24 +192,24 @@ TEST_F(SnapshotSwapTest, EightClientStressSurvivesSwapsUnderLoad) {
   // Publish kSwaps generations, each while traffic is demonstrably in
   // flight (wait for fresh admissions between swaps).
   for (int g = 1; g <= kSwaps; ++g) {
-    const int before = issued.load();
-    while (issued.load() < before + 50) {
+    const int before = issued.load(std::memory_order_seq_cst);
+    while (issued.load(std::memory_order_seq_cst) < before + 50) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     ASSERT_TRUE(service.SwapSnapshot(
                     Snapshot(g % kVariants, static_cast<uint64_t>(g)))
                     .ok());
   }
-  const int after_last_swap = issued.load();
-  while (issued.load() < after_last_swap + 50) {
+  const int after_last_swap = issued.load(std::memory_order_seq_cst);
+  while (issued.load(std::memory_order_seq_cst) < after_last_swap + 50) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& client : clients) client.join();
 
-  EXPECT_EQ(wrong_window.load(), 0);
-  EXPECT_EQ(wrong_payload.load(), 0);
-  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(wrong_window.load(std::memory_order_seq_cst), 0);
+  EXPECT_EQ(wrong_payload.load(std::memory_order_seq_cst), 0);
+  EXPECT_EQ(failures.load(std::memory_order_seq_cst), 0);
   EXPECT_EQ(service.Stats().snapshot_swaps, static_cast<uint64_t>(kSwaps));
   EXPECT_EQ(service.generation(), static_cast<uint64_t>(kSwaps));
 }
@@ -270,12 +270,12 @@ TEST_F(SnapshotSwapTest, DestroyedRebuilderResolvesPendingTriggers) {
   std::atomic<bool> first_build_started{false};
   {
     Rebuilder rebuilder(&service, [&]() -> StatusOr<CadDatabase> {
-      first_build_started.store(true);
+      first_build_started.store(true, std::memory_order_seq_cst);
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
       return CadDatabase((*databases_)[1]);
     });
     for (int i = 0; i < 4; ++i) futures.push_back(rebuilder.Trigger());
-    while (!first_build_started.load()) {
+    while (!first_build_started.load(std::memory_order_seq_cst)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }

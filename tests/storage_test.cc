@@ -114,7 +114,7 @@ TEST(PagedFileTest, ConcurrentPositionedIo) {
         if (!file->Read(pages[i], buf.data()).ok() ||
             buf[0] != static_cast<char>('a' + i) ||
             buf[511] != static_cast<char>('a' + i)) {
-          failures.fetch_add(1);
+          failures.fetch_add(1, std::memory_order_seq_cst);
         }
       }
     });
@@ -129,7 +129,7 @@ TEST(PagedFileTest, ConcurrentPositionedIo) {
   }
   for (auto& th : threads) th.join();
   for (auto& th : allocators) th.join();
-  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(failures.load(std::memory_order_seq_cst), 0);
   std::sort(allocated.begin(), allocated.end());
   for (size_t i = 0; i < allocated.size(); ++i) {
     EXPECT_EQ(allocated[i], static_cast<PageId>(kPages + 1 + i));

@@ -110,15 +110,15 @@ TEST(SharedMutexTest, ReadersShareWritersExclude) {
   std::atomic<bool> writer_acquired{false};
   std::thread writer([&] {
     WriterMutexLock lock(&mu);
-    writer_acquired.store(true);
+    writer_acquired.store(true, std::memory_order_seq_cst);
   });
   // Writers cannot sneak past a live reader. (A sleep-based check can
   // only catch the bug, not prove the absence; TSan covers the rest.)
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  EXPECT_FALSE(writer_acquired.load());
+  EXPECT_FALSE(writer_acquired.load(std::memory_order_seq_cst));
   mu.UnlockShared();
   writer.join();
-  EXPECT_TRUE(writer_acquired.load());
+  EXPECT_TRUE(writer_acquired.load(std::memory_order_seq_cst));
 }
 
 TEST(SharedMutexTest, WriterMutexLockProvidesMutualExclusion) {
@@ -151,7 +151,7 @@ TEST(SharedMutexTest, MixedReadersAndWritersStayConsistent) {
     readers.emplace_back([&] {
       while (!stop.load(std::memory_order_acquire)) {
         ReaderMutexLock lock(&mu);
-        if (a != b) torn.fetch_add(1);
+        if (a != b) torn.fetch_add(1, std::memory_order_seq_cst);
       }
     });
   }
@@ -162,7 +162,7 @@ TEST(SharedMutexTest, MixedReadersAndWritersStayConsistent) {
   }
   stop.store(true, std::memory_order_release);
   for (std::thread& t : readers) t.join();
-  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(torn.load(std::memory_order_seq_cst), 0);
   EXPECT_EQ(a, 20000);
   EXPECT_EQ(b, 20000);
 }

@@ -27,19 +27,19 @@ TEST(ThreadPoolTest, SubmitVoidTask) {
   std::atomic<int> counter{0};
   std::vector<std::future<void>> futures;
   for (int i = 0; i < 50; ++i) {
-    futures.push_back(pool.Submit([&counter]() { counter.fetch_add(1); }));
+    futures.push_back(pool.Submit([&counter]() { counter.fetch_add(1, std::memory_order_seq_cst); }));
   }
   for (auto& f : futures) f.get();
-  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(counter.load(std::memory_order_seq_cst), 50);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
   ThreadPool pool(8);
   const size_t n = 10000;
   std::vector<std::atomic<int>> touched(n);
-  pool.ParallelFor(n, [&](size_t i) { touched[i].fetch_add(1); });
+  pool.ParallelFor(n, [&](size_t i) { touched[i].fetch_add(1, std::memory_order_seq_cst); });
   for (size_t i = 0; i < n; ++i) {
-    EXPECT_EQ(touched[i].load(), 1) << i;
+    EXPECT_EQ(touched[i].load(std::memory_order_seq_cst), 1) << i;
   }
 }
 
@@ -62,11 +62,11 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
     for (int i = 0; i < 20; ++i) {
       pool.Submit([&ran]() {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        ran.fetch_add(1);
+        ran.fetch_add(1, std::memory_order_seq_cst);
       });
     }
   }  // destructor joins after running everything queued
-  EXPECT_EQ(ran.load(), 20);
+  EXPECT_EQ(ran.load(std::memory_order_seq_cst), 20);
 }
 
 TEST(ThreadPoolTest, PauseHoldsTasksUntilResume) {
@@ -75,14 +75,14 @@ TEST(ThreadPoolTest, PauseHoldsTasksUntilResume) {
   std::atomic<int> ran{0};
   std::vector<std::future<void>> futures;
   for (int i = 0; i < 5; ++i) {
-    futures.push_back(pool.Submit([&ran]() { ran.fetch_add(1); }));
+    futures.push_back(pool.Submit([&ran]() { ran.fetch_add(1, std::memory_order_seq_cst); }));
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(ran.load(std::memory_order_seq_cst), 0);
   EXPECT_EQ(pool.QueuedTasks(), 5u);
   pool.Resume();
   for (auto& f : futures) f.get();
-  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(ran.load(std::memory_order_seq_cst), 5);
 }
 
 TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The unified static-analysis gate: one command that proves the tree's
-# concurrency and UB hygiene four ways (see docs/OPERATIONS.md "Static
-# analysis gate"):
+# concurrency and UB hygiene six ways (see docs/OPERATIONS.md "Static-analysis
+# pipeline"):
 #
 #   1. thread-safety  Clang build with VSIM_STATIC_ANALYSIS=ON
 #                     (-Werror=thread-safety over the GUARDED_BY /
@@ -10,31 +10,50 @@
 #   2. clang-tidy     Curated .clang-tidy profile (bugprone-*,
 #                     concurrency-*, performance-*, narrow
 #                     cppcoreguidelines set) over src/vsim.
-#   3. ubsan          Full test suite under -fsanitize=undefined with
+#   3. vsim-lint      Repo-specific invariant linter (tools/vsim_lint.py):
+#                     no raw std::mutex outside common/, no raw memcpy
+#                     from wire buffers in net/, no blocking calls on the
+#                     reactor loop path, every atomic access names its
+#                     memory order, every VSIM_* knob documented. Runs
+#                     its own self-test first, then the tree.
+#   4. ubsan          Full test suite under -fsanitize=undefined with
 #                     -fno-sanitize-recover (any UB aborts the test).
-#   4. tsan           The existing dynamic-race suite
-#                     (tools/check_tsan.sh), so one gate covers both
-#                     compile-time and runtime race detection.
+#   5. asan-lsan      Full test suite under AddressSanitizer with
+#                     LeakSanitizer enabled (detect_leaks=1): heap
+#                     corruption, use-after-free and leaks are hard
+#                     failures.
+#   6. tsan           The existing dynamic-race suite
+#                     (tools/check_tsan.sh) with lock-inversion
+#                     detection on (detect_deadlocks=1), so one gate
+#                     covers compile-time and runtime race detection.
 #
 # Stages 1-2 need a Clang toolchain. A missing clang++/clang-tidy is a
 # FAILURE by default: a gate that silently skips its thread-safety
 # stages on misconfigured machines is how annotation rot ships. On a
 # machine that genuinely has no Clang (and is understood to run a
 # reduced gate), set VSIM_ALLOW_STATIC_SKIP=1 to downgrade the missing
-# tools to SKIP (exit stays 0). Stages never silently disappear either
-# way: the summary prints one line per stage.
+# tools to SKIP (exit stays 0). tools/ci.sh never sets it: the CI image
+# is required to ship clang (see docs/OPERATIONS.md). Stages never
+# silently disappear either way: the summary prints one line per stage.
 #
-# Usage: tools/check_static.sh [--no-tsan] [--no-ubsan]
+# Usage: tools/check_static.sh [--no-tsan] [--no-ubsan] [--fuzz-smoke]
 #   --no-tsan / --no-ubsan   skip that stage (tools/ci.sh runs TSan as
 #                            its own pipeline stage and passes --no-tsan
 #                            here to avoid running the suite twice)
-#   VSIM_ALLOW_STATIC_SKIP=1 allow stages 1-2 to SKIP when the Clang
-#                            toolchain is not installed
+#   --fuzz-smoke             additionally build the libFuzzer VSNP codec
+#                            harness (Clang only, -DVSIM_FUZZER=ON) and
+#                            run it for 60 s under ASan, seeded from
+#                            tests/fuzz_corpus/vsnp. Excluded from the
+#                            default gate and from CTest: it is a
+#                            time-boxed smoke, not a regression test.
+#   VSIM_ALLOW_STATIC_SKIP=1 allow the Clang-only stages to SKIP when
+#                            the Clang toolchain is not installed
 #
 # Build directories follow the shared convention: everything goes under
 # $VSIM_BUILD_ROOT (default: repo root), one directory per
-# configuration (build-static, build-ubsan, build-tsan), so repeated
-# runs -- and CI stages sharing the root -- reuse incremental builds.
+# configuration (build-static, build-ubsan, build-asan, build-tsan,
+# build-fuzz), so repeated runs -- and CI stages sharing the root --
+# reuse incremental builds.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -43,11 +62,13 @@ ALLOW_SKIP="${VSIM_ALLOW_STATIC_SKIP:-0}"
 
 RUN_TSAN=1
 RUN_UBSAN=1
+RUN_FUZZ=0
 for arg in "$@"; do
   case "$arg" in
-    --no-tsan)  RUN_TSAN=0 ;;
-    --no-ubsan) RUN_UBSAN=0 ;;
-    *) echo "usage: $0 [--no-tsan] [--no-ubsan]" >&2; exit 2 ;;
+    --no-tsan)    RUN_TSAN=0 ;;
+    --no-ubsan)   RUN_UBSAN=0 ;;
+    --fuzz-smoke) RUN_FUZZ=1 ;;
+    *) echo "usage: $0 [--no-tsan] [--no-ubsan] [--fuzz-smoke]" >&2; exit 2 ;;
   esac
 done
 
@@ -62,7 +83,7 @@ record() {  # record <name> <PASS|FAIL|SKIP (reason)>
 
 # --- 1. thread-safety build (Clang) ----------------------------------
 if command -v clang++ >/dev/null 2>&1; then
-  echo "=== [1/4] thread-safety: Clang build with -Werror=thread-safety ==="
+  echo "=== [1/6] thread-safety: Clang build with -Werror=thread-safety ==="
   if cmake -B "$BUILD_ROOT/build-static" -S . \
         -DCMAKE_CXX_COMPILER=clang++ -DVSIM_STATIC_ANALYSIS=ON \
         -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
@@ -73,11 +94,11 @@ if command -v clang++ >/dev/null 2>&1; then
     record thread-safety FAIL
   fi
 elif [ "$ALLOW_SKIP" = "1" ]; then
-  echo "=== [1/4] thread-safety: SKIP (clang++ not installed," \
+  echo "=== [1/6] thread-safety: SKIP (clang++ not installed," \
        "VSIM_ALLOW_STATIC_SKIP=1) ==="
   record thread-safety "SKIP (no clang++, allowed)"
 else
-  echo "=== [1/4] thread-safety: FAIL (clang++ not installed) ===" >&2
+  echo "=== [1/6] thread-safety: FAIL (clang++ not installed) ===" >&2
   echo "    install clang or set VSIM_ALLOW_STATIC_SKIP=1 to run a" \
        "reduced gate" >&2
   record thread-safety "FAIL (no clang++)"
@@ -85,7 +106,7 @@ fi
 
 # --- 2. clang-tidy ---------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "=== [2/4] clang-tidy: curated profile over src/vsim ==="
+  echo "=== [2/6] clang-tidy: curated profile over src/vsim ==="
   # Reuse the static build's compile commands when stage 1 produced
   # them; otherwise export them from the default build directory.
   TIDY_BUILD="$BUILD_ROOT/build-static"
@@ -104,19 +125,31 @@ if command -v clang-tidy >/dev/null 2>&1; then
     fi
   fi
 elif [ "$ALLOW_SKIP" = "1" ]; then
-  echo "=== [2/4] clang-tidy: SKIP (clang-tidy not installed," \
+  echo "=== [2/6] clang-tidy: SKIP (clang-tidy not installed," \
        "VSIM_ALLOW_STATIC_SKIP=1) ==="
   record clang-tidy "SKIP (no clang-tidy, allowed)"
 else
-  echo "=== [2/4] clang-tidy: FAIL (clang-tidy not installed) ===" >&2
+  echo "=== [2/6] clang-tidy: FAIL (clang-tidy not installed) ===" >&2
   echo "    install clang-tidy or set VSIM_ALLOW_STATIC_SKIP=1 to run" \
        "a reduced gate" >&2
   record clang-tidy "FAIL (no clang-tidy)"
 fi
 
-# --- 3. UBSan test suite ---------------------------------------------
+# --- 3. vsim-lint ----------------------------------------------------
+# Toolchain-independent (python3 only), so it never SKIPs: the
+# invariant rules hold on every machine, clang or not. The self-test
+# proves the linter still catches each seeded violation class before
+# its verdict on the real tree is trusted.
+echo "=== [3/6] vsim-lint: repo invariant linter (self-test + tree) ==="
+if python3 tools/vsim_lint.py --self-test && python3 tools/vsim_lint.py; then
+  record vsim-lint PASS
+else
+  record vsim-lint FAIL
+fi
+
+# --- 4. UBSan test suite ---------------------------------------------
 if [ "$RUN_UBSAN" -eq 1 ]; then
-  echo "=== [3/4] ubsan: test suite with -fsanitize=undefined ==="
+  echo "=== [4/6] ubsan: test suite with -fsanitize=undefined ==="
   if cmake -B "$BUILD_ROOT/build-ubsan" -S . -DVSIM_SANITIZE=undefined \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
      cmake --build "$BUILD_ROOT/build-ubsan" -j "$(nproc)" \
@@ -131,9 +164,22 @@ else
   record ubsan "SKIP (--no-ubsan)"
 fi
 
-# --- 4. TSan suite ---------------------------------------------------
+# --- 5. ASan + LSan test suite ---------------------------------------
+echo "=== [5/6] asan-lsan: test suite with AddressSanitizer + LeakSanitizer ==="
+if cmake -B "$BUILD_ROOT/build-asan" -S . -DVSIM_SANITIZE=address \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+   cmake --build "$BUILD_ROOT/build-asan" -j "$(nproc)" \
+      --target vsim_tests &&
+   ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
+      "$BUILD_ROOT/build-asan/tests/vsim_tests" --gtest_brief=1; then
+  record asan-lsan PASS
+else
+  record asan-lsan FAIL
+fi
+
+# --- 6. TSan suite ---------------------------------------------------
 if [ "$RUN_TSAN" -eq 1 ]; then
-  echo "=== [4/4] tsan: dynamic race suite (tools/check_tsan.sh) ==="
+  echo "=== [6/6] tsan: dynamic race suite (tools/check_tsan.sh) ==="
   if tools/check_tsan.sh "$BUILD_ROOT/build-tsan"; then
     record tsan PASS
   else
@@ -141,6 +187,33 @@ if [ "$RUN_TSAN" -eq 1 ]; then
   fi
 else
   record tsan "SKIP (--no-tsan)"
+fi
+
+# --- optional: 60 s libFuzzer smoke over the VSNP codec --------------
+if [ "$RUN_FUZZ" -eq 1 ]; then
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== [fuzz] fuzz-smoke: 60 s libFuzzer VSNP codec run under ASan ==="
+    if cmake -B "$BUILD_ROOT/build-fuzz" -S . \
+          -DCMAKE_CXX_COMPILER=clang++ -DVSIM_FUZZER=ON \
+          -DVSIM_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+       cmake --build "$BUILD_ROOT/build-fuzz" -j "$(nproc)" \
+          --target fuzz_vsnp &&
+       ASAN_OPTIONS="detect_leaks=1" \
+          "$BUILD_ROOT/build-fuzz/tools/fuzz_vsnp" \
+          -max_total_time=60 -timeout=5 -rss_limit_mb=2048 \
+          tests/fuzz_corpus/vsnp; then
+      record fuzz-smoke PASS
+    else
+      record fuzz-smoke FAIL
+    fi
+  elif [ "$ALLOW_SKIP" = "1" ]; then
+    echo "=== [fuzz] fuzz-smoke: SKIP (libFuzzer needs clang++," \
+         "VSIM_ALLOW_STATIC_SKIP=1) ==="
+    record fuzz-smoke "SKIP (no clang++, allowed)"
+  else
+    echo "=== [fuzz] fuzz-smoke: FAIL (libFuzzer needs clang++) ===" >&2
+    record fuzz-smoke "FAIL (no clang++)"
+  fi
 fi
 
 # --- summary ---------------------------------------------------------

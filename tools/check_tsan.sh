@@ -28,8 +28,17 @@ cmake -B "$BUILD_DIR" -S . -DVSIM_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target vsim_tests
 
-TSAN_OPTIONS="halt_on_error=1" \
+# detect_deadlocks=1 turns on TSan's own lock-order inversion detector
+# (second_deadlock_stack=1 reports both acquisition sites, mirroring
+# the in-process detector behind VSIM_DEADLOCK_DETECT), so the race
+# suite also fails on AB/BA cycles that never happened to collide.
+# TryLockDoesNotEstablishOrder is excluded: it deliberately reverses
+# the order of a pair whose first acquisition was a TryLock. A try-lock
+# cannot block, so no deadlock is possible (the in-process detector
+# models this), but TSan's order graph does not distinguish try-lock
+# edges and reports the reversal as an inversion.
+TSAN_OPTIONS="halt_on_error=1:detect_deadlocks=1:second_deadlock_stack=1" \
     "$BUILD_DIR/tests/vsim_tests" \
-    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:*NetServerTest*:*NetHostileTest*:*RemoteSwapTest*:Obs*:FlightRecorder*:IoStatsConcurrency*:CachePool*:DiskServing*:SharedMutex*:PagedFile*'
+    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:*NetServerTest*:*NetHostileTest*:*RemoteSwapTest*:Obs*:FlightRecorder*:IoStatsConcurrency*:CachePool*:DiskServing*:SharedMutex*:PagedFile*:DeadlockDetector*:-DeadlockDetectorTest.TryLockDoesNotEstablishOrder'
 
-echo "TSan: service stress + snapshot-swap + net server + observability + storage stack suites clean"
+echo "TSan: service stress + snapshot-swap + net server + observability + storage stack + deadlock-detector suites clean"

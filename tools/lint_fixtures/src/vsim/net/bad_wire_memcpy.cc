@@ -1,0 +1,14 @@
+// Seeded violation: raw memcpy from a wire buffer inside net/.
+// vsim_lint.py --self-test expects [wire-memcpy] to fire here.
+#include <cstdint>
+#include <cstring>
+
+namespace vsim::net {
+
+uint32_t DecodeUnsafely(const uint8_t* wire) {
+  uint32_t v = 0;
+  std::memcpy(&v, wire, sizeof(v));  // no bounds check: forbidden
+  return v;
+}
+
+}  // namespace vsim::net

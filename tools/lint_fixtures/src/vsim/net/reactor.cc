@@ -1,0 +1,13 @@
+// Seeded violation: a blocking call on the event-loop path. The file
+// is named reactor.cc so the fixture exercises the loop-confined rule.
+// vsim_lint.py --self-test expects [reactor-blocking] to fire here.
+#include <chrono>
+#include <thread>
+
+namespace vsim::net {
+
+void LoopBody() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // forbidden
+}
+
+}  // namespace vsim::net

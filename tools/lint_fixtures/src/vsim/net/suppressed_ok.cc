@@ -1,0 +1,21 @@
+// One seeded instance of every C++ rule, each carrying a justified
+// allow() suppression: the self-test asserts NONE of them fire, i.e.
+// the suppression mechanism works and demands a reason.
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+namespace vsim::net {
+
+// vsim-lint: allow(raw-mutex) fixture: exercising the suppression path
+std::mutex g_suppressed_mutex;
+
+std::atomic<int> g_flag{0};
+
+int CopyHeader(uint8_t* dst, const uint8_t* src) {
+  // vsim-lint: allow(wire-memcpy) fixture: bounds proven by caller
+  std::memcpy(dst, src, 4);
+  return g_flag.load();  // vsim-lint: allow(atomic-order) fixture: same-line allow
+}
+
+}  // namespace vsim::net

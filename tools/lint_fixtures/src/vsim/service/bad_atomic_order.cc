@@ -1,0 +1,14 @@
+// Seeded violation: atomic accesses relying on the implicit seq_cst
+// default. vsim_lint.py --self-test expects [atomic-order] to fire.
+#include <atomic>
+
+namespace vsim {
+
+std::atomic<int> g_counter{0};
+
+int BumpImplicitly() {
+  g_counter.store(1);  // no memory order named: forbidden
+  return g_counter.load();
+}
+
+}  // namespace vsim

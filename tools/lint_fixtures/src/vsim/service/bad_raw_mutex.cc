@@ -1,0 +1,11 @@
+// Seeded violation: raw std primitives outside src/vsim/common/.
+// vsim_lint.py --self-test expects [raw-mutex] to fire here.
+#include <mutex>
+
+namespace vsim {
+
+std::mutex g_bad_mutex;
+
+void Touch() { std::lock_guard<std::mutex> lock(g_bad_mutex); }
+
+}  // namespace vsim

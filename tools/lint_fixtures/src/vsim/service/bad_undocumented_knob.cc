@@ -1,0 +1,11 @@
+// Seeded violation: a VSIM_* knob the fixture OPERATIONS.md does not
+// document. vsim_lint.py --self-test expects [knob-docs] to fire.
+#include <cstdlib>
+
+namespace vsim {
+
+bool SecretModeEnabled() {
+  return std::getenv("VSIM_UNDOCUMENTED_KNOB") != nullptr;
+}
+
+}  // namespace vsim

@@ -50,7 +50,6 @@
 #include <fstream>
 #include <future>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -59,6 +58,7 @@
 #include "vsim/cluster/optics.h"
 #include "vsim/common/rng.h"
 #include "vsim/common/stopwatch.h"
+#include "vsim/common/thread_annotations.h"
 #include "vsim/core/query_engine.h"
 #include "vsim/core/similarity.h"
 #include "vsim/data/dataset.h"
@@ -712,7 +712,7 @@ int CmdReindex(const Flags& flags) {
   std::atomic<size_t> failed{0};
   std::vector<uint64_t> responses_per_generation(
       static_cast<size_t>(swaps) + 1, 0);
-  std::mutex gen_mu;
+  Mutex gen_mu("cli.reindex.generations");
   std::vector<std::thread> clients;
   clients.reserve(kClients);
   Stopwatch watch;
@@ -720,7 +720,7 @@ int CmdReindex(const Flags& flags) {
     clients.emplace_back([&, c]() {
       Rng rng(seed ^ (0x9e3779b9ULL * (c + 1)));
       while (!stop.load(std::memory_order_relaxed)) {
-        issued.fetch_add(1);
+        issued.fetch_add(1, std::memory_order_relaxed);
         ServiceRequest req;
         req.object_id = static_cast<int>(rng.NextBounded(db_size));
         req.k = k;
@@ -728,14 +728,14 @@ int CmdReindex(const Flags& flags) {
         StatusOr<ServiceResponse> response = service.Execute(req);
         const uint64_t completion_gen = service.generation();
         if (!response.ok()) {
-          failed.fetch_add(1);
+          failed.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
         if (response->generation < admission_gen ||
             response->generation > completion_gen) {
-          wrong_generation.fetch_add(1);
+          wrong_generation.fetch_add(1, std::memory_order_relaxed);
         }
-        std::lock_guard<std::mutex> lock(gen_mu);
+        MutexLock lock(&gen_mu);
         if (response->generation < responses_per_generation.size()) {
           ++responses_per_generation[response->generation];
         }
@@ -748,13 +748,13 @@ int CmdReindex(const Flags& flags) {
   // keep hammering the service throughout).
   for (int s = 1; s <= swaps; ++s) {
     const int threshold = queries * s / (swaps + 1);
-    while (issued.load() < threshold) {
+    while (issued.load(std::memory_order_relaxed) < threshold) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     const Status st = rebuilder.Trigger().get();
     if (!st.ok()) std::fprintf(stderr, "rebuild: %s\n", st.ToString().c_str());
   }
-  while (issued.load() < queries) {
+  while (issued.load(std::memory_order_relaxed) < queries) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   stop.store(true, std::memory_order_relaxed);
@@ -764,7 +764,7 @@ int CmdReindex(const Flags& flags) {
   const Rebuilder::Stats rstats = rebuilder.stats();
   std::printf("reindex: %d queries from %d clients in %.2f s with %llu "
               "snapshot swaps (%s rebuilds, last %.2f s)\n",
-              issued.load(), kClients, elapsed,
+              issued.load(std::memory_order_relaxed), kClients, elapsed,
               static_cast<unsigned long long>(rstats.published),
               reextract ? "re-extraction" : "index-only",
               rstats.last_build_seconds);
@@ -774,7 +774,8 @@ int CmdReindex(const Flags& flags) {
                 static_cast<unsigned long long>(responses_per_generation[g]));
   }
   std::printf("generation-window violations: %zu, failed: %zu\n",
-              wrong_generation.load(), failed.load());
+              wrong_generation.load(std::memory_order_relaxed),
+              failed.load(std::memory_order_relaxed));
   service.PrintStats();
   if (flags.Has("out")) {
     const Status st = service.snapshot()->db().Save(flags.Get("out", ""));
@@ -782,7 +783,7 @@ int CmdReindex(const Flags& flags) {
     std::printf("final-generation database saved to %s\n",
                 flags.Get("out", "").c_str());
   }
-  return wrong_generation.load() == 0 ? 0 : 1;
+  return wrong_generation.load(std::memory_order_relaxed) == 0 ? 0 : 1;
 }
 
 // --- serve ------------------------------------------------------------
@@ -791,7 +792,9 @@ int CmdReindex(const Flags& flags) {
 // serve loop, which then drains in-flight requests via Server::Stop.
 std::atomic<bool> g_serve_stop{false};
 
-void HandleStopSignal(int) { g_serve_stop.store(true); }
+void HandleStopSignal(int) {
+  g_serve_stop.store(true, std::memory_order_relaxed);
+}
 
 // Runs the TCP serving front-end (net::Server) over a QueryService on
 // the given database. Every remote request goes through the same
@@ -918,7 +921,7 @@ int CmdServe(const Flags& flags) {
     }
   }
 
-  g_serve_stop.store(false);
+  g_serve_stop.store(false, std::memory_order_relaxed);
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
   const double duration_s = flags.GetDouble("duration-s", 0.0);
@@ -929,7 +932,7 @@ int CmdServe(const Flags& flags) {
   Stopwatch watch;
   double next_stats_s =
       stats_interval_s > 0 ? stats_interval_s : -1.0;
-  while (!g_serve_stop.load()) {
+  while (!g_serve_stop.load(std::memory_order_relaxed)) {
     if (duration_s > 0 && watch.ElapsedSeconds() >= duration_s) break;
     if (next_stats_s > 0 && watch.ElapsedSeconds() >= next_stats_s) {
       std::printf("--- metrics @ %.1fs ---\n%s", watch.ElapsedSeconds(),

@@ -1,0 +1,384 @@
+#!/usr/bin/env python3
+"""vsim-lint: repo-specific invariant linter (stage 3 of
+tools/check_static.sh; registered as the `vsim_lint` CTest).
+
+Enforces rules clang-tidy cannot express because they encode THIS
+repo's architecture, not general C++ hygiene:
+
+  raw-mutex        No raw std synchronization primitives (std::mutex,
+                   std::lock_guard, std::condition_variable, ...)
+                   outside src/vsim/common/. Everything else must use
+                   the annotated vsim::Mutex wrappers so Clang's
+                   thread-safety analysis and the VSIM_DEADLOCK_DETECT
+                   lock-order detector see every lock in the tree.
+  wire-memcpy      No raw memcpy in src/vsim/net/: all protocol
+                   decoding goes through the bounds-checked reader in
+                   protocol.cc (whose own primitive copies carry an
+                   allow() suppression with a justification).
+  reactor-blocking No blocking calls in the epoll reactor's
+                   loop-confined code (src/vsim/net/reactor.cc): the
+                   blocking socket helpers (ReadFrame/ReadFull/
+                   WriteAll), sleeps, and poll/select would stall every
+                   connection pinned to that event loop.
+  atomic-order     Every std::atomic load/store/RMW call names an
+                   explicit std::memory_order. The default seq_cst is
+                   almost never what reviewed code means; naming the
+                   order forces the choice to be a choice. (Regex
+                   scope: the method-call spellings .load()/.store()/
+                   fetch_*/exchange/compare_exchange*; operator
+                   sugar like ++ on atomics is caught in review.)
+  knob-docs        Every VSIM_* build/runtime knob referenced by the
+                   sources, CMake, or the tools/ scripts is documented
+                   in docs/OPERATIONS.md. A knob that is not in the
+                   operations manual does not exist for the operator
+                   debugging at 3am.
+
+Suppressions: a line (or its predecessor) containing
+    vsim-lint: allow(<rule>) <justification>
+disables <rule> for that line. The justification is mandatory.
+
+Usage:
+    tools/vsim_lint.py [--root DIR] [-q]
+    tools/vsim_lint.py --self-test
+
+Exit codes: 0 clean, 1 violations found, 2 internal/usage error.
+
+--self-test runs the linter over the seeded violation fixtures in
+tools/lint_fixtures/ (a miniature repo tree) and verifies every
+expected violation fires and the suppressed ones do not -- the linter
+fails CI if it forgets how to find its own bugs.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Directories scanned for C++ rules, relative to the root.
+CXX_DIRS = ("src", "bench", "tools", "tests", "examples")
+CXX_EXTS = (".cc", ".h")
+# The one directory allowed to touch raw std primitives: it implements
+# the wrappers and the deadlock detector itself.
+RAW_MUTEX_ALLOWED_PREFIX = "src/vsim/common/"
+# Fixture trees are linted only by --self-test.
+FIXTURE_DIR = "lint_fixtures"
+
+ALLOW_RE = re.compile(r"vsim-lint:\s*allow\((?P<rule>[a-z-]+)\)\s*(?P<why>\S.*)?")
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b"
+)
+
+WIRE_MEMCPY_RE = re.compile(r"\bmemcpy\s*\(")
+
+# Blocking calls that must never run on a reactor event-loop thread:
+# the repo's own blocking socket helpers, plus the classic syscalls.
+REACTOR_BLOCKING_RE = re.compile(
+    r"\b(ReadFrame|ReadFull|WriteAll|sleep_for|sleep_until|usleep|"
+    r"nanosleep|ppoll|poll|select|pselect)\s*\("
+)
+
+# Atomic method calls. The memory_order argument must appear within the
+# call's parentheses (possibly on a continuation line).
+ATOMIC_CALL_RE = re.compile(
+    r"(?:\.|->)(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong|"
+    r"wait|test_and_set)\s*\("
+)
+
+# Knob discovery: getenv("VSIM_X") in C++, option(VSIM_X .. / CACHE in
+# CMake, $VSIM_X / ${VSIM_X} / VSIM_X= / -DVSIM_X in shell scripts.
+GETENV_RE = re.compile(r"getenv\(\s*\"(VSIM_[A-Z0-9_]+)\"")
+CMAKE_OPTION_RE = re.compile(r"option\(\s*(VSIM_[A-Z0-9_]+)")
+CMAKE_CACHE_RE = re.compile(r"set\(\s*(VSIM_[A-Z0-9_]+)[^)]*\bCACHE\b",
+                            re.DOTALL)
+SHELL_KNOB_RE = re.compile(r"(?<![A-Z0-9_])(?:\$\{?|(?:-D))?(VSIM_[A-Z0-9_]+)")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comment(line):
+    """Drop a // comment (naive: fine for rule text, keeps strings rare
+    enough in this codebase that false negatives from // in string
+    literals are acceptable)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def allowed(lines, i, rule):
+    """True if line i (0-based) carries or follows an allow(rule)
+    suppression with a justification."""
+    for j in (i, i - 1):
+        if 0 <= j < len(lines):
+            m = ALLOW_RE.search(lines[j])
+            if m and m.group("rule") == rule and m.group("why"):
+                return True
+    return False
+
+
+def call_argument_text(lines, i, start_col):
+    """Return the argument text of the call starting at lines[i][start_col:]
+    (scans balanced parens across up to 9 continuation lines). Returns
+    whatever accumulated if the window closes before the parens balance."""
+    depth = 0
+    text = ""
+    for j in range(i, min(i + 10, len(lines))):
+        seg = lines[j][start_col:] if j == i else lines[j]
+        for k, ch in enumerate(seg):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return text + seg[:k]
+        text += seg + "\n"
+        start_col = 0
+    return text
+
+
+# Atomic methods that require a value operand: a zero-argument call to
+# one of these cannot be a std::atomic access (e.g. DbSnapshot::store()),
+# so it is exempt. A zero-argument .load() IS the implicit-order default.
+VALUE_TAKING_ATOMIC_METHODS = frozenset({
+    "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong",
+})
+
+
+def lint_cxx_file(relpath, lines):
+    violations = []
+    in_net = relpath.startswith("src/vsim/net/")
+    is_reactor = relpath == "src/vsim/net/reactor.cc"
+    raw_mutex_ok = relpath.startswith(RAW_MUTEX_ALLOWED_PREFIX)
+
+    for i, raw_line in enumerate(lines):
+        line = strip_comment(raw_line)
+
+        if not raw_mutex_ok:
+            m = RAW_MUTEX_RE.search(line)
+            if m and not allowed(lines, i, "raw-mutex"):
+                violations.append(Violation(
+                    relpath, i + 1, "raw-mutex",
+                    f"{m.group(0)} outside src/vsim/common/ -- use the "
+                    "annotated vsim::Mutex wrappers "
+                    "(common/thread_annotations.h)"))
+
+        if in_net:
+            m = WIRE_MEMCPY_RE.search(line)
+            if m and not allowed(lines, i, "wire-memcpy"):
+                violations.append(Violation(
+                    relpath, i + 1, "wire-memcpy",
+                    "raw memcpy in net/ -- decode through the "
+                    "bounds-checked PayloadReader (protocol.h)"))
+
+        if is_reactor:
+            m = REACTOR_BLOCKING_RE.search(line)
+            if m and not allowed(lines, i, "reactor-blocking"):
+                violations.append(Violation(
+                    relpath, i + 1, "reactor-blocking",
+                    f"blocking call {m.group(1)}() in reactor "
+                    "loop-confined code -- event loops must never "
+                    "block (docs/PROTOCOL.md §11)"))
+
+        for m in ATOMIC_CALL_RE.finditer(line):
+            # Heuristic pre-filter: skip obvious non-atomic receivers
+            # (e.g. dataset.load(path), futures' .wait()). Only calls
+            # whose argument list could take a memory_order are held to
+            # the rule; `wait`/`test_and_set` appear rarely enough that
+            # a receiver check is not worth an AST.
+            if m.group(1) in ("wait",):
+                continue
+            args = call_argument_text(lines, i, m.end() - 1)
+            if "memory_order" in args:
+                continue
+            if (m.group(1) in VALUE_TAKING_ATOMIC_METHODS
+                    and not args.strip(" (\n\t")):
+                continue  # zero-arg call: receiver is not a std::atomic
+            if not allowed(lines, i, "atomic-order"):
+                violations.append(Violation(
+                    relpath, i + 1, "atomic-order",
+                    f".{m.group(1)}() without an explicit "
+                    "std::memory_order argument"))
+    return violations
+
+
+def collect_knobs(root):
+    """Returns {knob_name: first_reference_site} discovered in C++
+    sources, CMake lists, and tools/ shell scripts."""
+    knobs = {}
+
+    def note(name, site):
+        knobs.setdefault(name, site)
+
+    for reldir in CXX_DIRS:
+        base = os.path.join(root, reldir)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != FIXTURE_DIR]
+            for fn in filenames:
+                if not fn.endswith(CXX_EXTS):
+                    continue
+                path = os.path.join(dirpath, fn)
+                rel = os.path.relpath(path, root)
+                try:
+                    text = open(path, encoding="utf-8",
+                                errors="replace").read()
+                except OSError:
+                    continue
+                for m in GETENV_RE.finditer(text):
+                    note(m.group(1), rel)
+
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith("build") and d != FIXTURE_DIR
+                       and not d.startswith(".")]
+        for fn in filenames:
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, root)
+            if fn == "CMakeLists.txt":
+                try:
+                    text = open(path, encoding="utf-8",
+                                errors="replace").read()
+                except OSError:
+                    continue
+                for m in CMAKE_OPTION_RE.finditer(text):
+                    note(m.group(1), rel)
+                for m in CMAKE_CACHE_RE.finditer(text):
+                    note(m.group(1), rel)
+            elif rel.startswith("tools/") and fn.endswith(".sh"):
+                try:
+                    text = open(path, encoding="utf-8",
+                                errors="replace").read()
+                except OSError:
+                    continue
+                for m in SHELL_KNOB_RE.finditer(text):
+                    note(m.group(1), rel)
+    return knobs
+
+
+def lint_knob_docs(root):
+    violations = []
+    ops_path = os.path.join(root, "docs", "OPERATIONS.md")
+    try:
+        ops = open(ops_path, encoding="utf-8", errors="replace").read()
+    except OSError:
+        return [Violation("docs/OPERATIONS.md", 1, "knob-docs",
+                          "docs/OPERATIONS.md missing -- every VSIM_* "
+                          "knob must be documented there")]
+    for name, site in sorted(collect_knobs(root).items()):
+        if name not in ops:
+            violations.append(Violation(
+                site, 1, "knob-docs",
+                f"build/runtime knob {name} is not documented in "
+                "docs/OPERATIONS.md (\"Build & debug knobs\")"))
+    return violations
+
+
+def lint_tree(root):
+    violations = []
+    for reldir in CXX_DIRS:
+        base = os.path.join(root, reldir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != FIXTURE_DIR]
+            for fn in sorted(filenames):
+                if not fn.endswith(CXX_EXTS):
+                    continue
+                path = os.path.join(dirpath, fn)
+                relpath = os.path.relpath(path, root).replace(os.sep, "/")
+                try:
+                    lines = open(path, encoding="utf-8",
+                                 errors="replace").read().splitlines()
+                except OSError as e:
+                    violations.append(Violation(relpath, 1, "io",
+                                                f"unreadable: {e}"))
+                    continue
+                violations.extend(lint_cxx_file(relpath, lines))
+    violations.extend(lint_knob_docs(root))
+    return violations
+
+
+def self_test(script_dir):
+    """Lints the fixture tree and checks the exact expected outcome:
+    each seeded violation fires (rule + file), each suppressed seed
+    stays quiet."""
+    fixture_root = os.path.join(script_dir, FIXTURE_DIR)
+    if not os.path.isdir(fixture_root):
+        print(f"vsim-lint: fixture tree missing: {fixture_root}",
+              file=sys.stderr)
+        return 2
+
+    got = {(v.rule, v.path) for v in lint_tree(fixture_root)}
+    expected = {
+        ("raw-mutex", "src/vsim/service/bad_raw_mutex.cc"),
+        ("wire-memcpy", "src/vsim/net/bad_wire_memcpy.cc"),
+        ("reactor-blocking", "src/vsim/net/reactor.cc"),
+        ("atomic-order", "src/vsim/service/bad_atomic_order.cc"),
+        ("knob-docs", "src/vsim/service/bad_undocumented_knob.cc"),
+    }
+    # The suppression fixture seeds one violation of every rule, each
+    # carrying a justified allow() -- none may fire.
+    suppressed_file = "src/vsim/net/suppressed_ok.cc"
+
+    ok = True
+    for want in sorted(expected):
+        if want not in got:
+            print(f"vsim-lint self-test: MISSING expected violation "
+                  f"{want[0]} in {want[1]}", file=sys.stderr)
+            ok = False
+    for rule, path in sorted(got):
+        if path == suppressed_file:
+            print(f"vsim-lint self-test: suppression ignored: {rule} "
+                  f"fired in {path}", file=sys.stderr)
+            ok = False
+        elif (rule, path) not in expected:
+            print(f"vsim-lint self-test: UNEXPECTED violation {rule} "
+                  f"in {path}", file=sys.stderr)
+            ok = False
+    print("vsim-lint self-test:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="tree to lint (default: repo root above "
+                             "this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the seeded fixtures and verify the "
+                             "expected violations fire")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-violation output")
+    args = parser.parse_args()
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    if args.self_test:
+        return self_test(script_dir)
+
+    root = os.path.abspath(args.root or os.path.dirname(script_dir))
+    violations = lint_tree(root)
+    if violations:
+        if not args.quiet:
+            for v in violations:
+                print(v)
+        print(f"vsim-lint: {len(violations)} violation(s)")
+        return 1
+    print("vsim-lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
