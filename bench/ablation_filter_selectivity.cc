@@ -11,6 +11,7 @@
 #include "vsim/common/rng.h"
 #include "vsim/core/query_engine.h"
 #include "vsim/distance/centroid_filter.h"
+#include "vsim/kernels/kernels.h"
 #include "vsim/distance/min_matching.h"
 
 using namespace vsim;
@@ -36,7 +37,7 @@ int main() {
     if (a == b) continue;
     const double exact = db.Distance(ModelType::kVectorSet, a, b);
     if (exact <= 0) continue;
-    const double bound = CentroidFilterDistance(db.object(a).centroid,
+    const double bound = kernels::CentroidFilterBound(db.object(a).centroid,
                                                 db.object(b).centroid, k);
     ratios.push_back(bound / exact);
   }

@@ -59,6 +59,7 @@ void BM_PlainEuclidean42d(benchmark::State& state) {
   const FeatureVector a = Flatten(RandomSet(rng, 7));
   const FeatureVector b = Flatten(RandomSet(rng, 7));
   for (auto _ : state) {
+    // vsim-lint: allow(raw-distance-loop) microbench of the per-pair primitive itself
     benchmark::DoNotOptimize(EuclideanDistance(a, b));
   }
 }

@@ -1,0 +1,242 @@
+// Kernel benchmark (docs/KERNELS.md): measures the batched distance
+// kernels against the pinned scalar reference, then the approximate
+// pre-filter's recall/latency trade per knob level.
+//
+//   - cost-matrix build at the paper's set shape (7x7 vectors, 6-d
+//     ground space) and at a larger block, per implementation;
+//   - one-query-vs-many centroid batch (the filter-step shape);
+//   - recall@10 and mean latency for approx levels 0..3 on the
+//     car-like and aircraft-like data sets.
+//
+// Prints tables plus one JSON line; `--json FILE` additionally writes
+// the raw JSON (BENCH_kernels.json is checked in from such a run).
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "vsim/common/rng.h"
+#include "vsim/common/stopwatch.h"
+#include "vsim/common/table_printer.h"
+#include "vsim/core/query_engine.h"
+#include "vsim/kernels/kernels.h"
+
+using namespace vsim;
+
+namespace {
+
+// Times `fn` by growing the batch until one window is long enough to
+// trust, then takes the fastest of several windows (minimum is the
+// standard noise filter for microbenches on a shared core) and returns
+// nanoseconds per call.
+double NsPerCall(const std::function<void()>& fn) {
+  size_t iters = 64;
+  for (;;) {
+    Stopwatch watch;
+    for (size_t i = 0; i < iters; ++i) fn();
+    if (watch.ElapsedSeconds() > 0.05 || iters > (1u << 24)) break;
+    iters *= 4;
+  }
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    Stopwatch watch;
+    for (size_t i = 0; i < iters; ++i) fn();
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best * 1e9 / static_cast<double>(iters);
+}
+
+std::vector<double> RandomBlock(size_t values, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> block(values);
+  for (double& v : block) v = rng.NextDouble();
+  return block;
+}
+
+// Distance-based recall@k: an approximate neighbor counts as a hit if
+// it is at least as close as the exact k-th neighbor (id matching would
+// punish arbitrary orderings of exact ties).
+double RecallAtK(const std::vector<Neighbor>& exact,
+                 const std::vector<Neighbor>& approx) {
+  if (exact.empty()) return 1.0;
+  const double kth = exact.back().distance + 1e-9;
+  int hits = 0;
+  for (const Neighbor& a : approx) {
+    if (a.distance <= kth) ++hits;
+  }
+  return static_cast<double>(hits) / exact.size();
+}
+
+struct LevelPoint {
+  double recall;
+  double mean_ms;
+  double mean_filter_hits;
+};
+
+// Runs the level sweep on one database: recall@10 vs the exact result
+// and mean per-query latency, for every knob level.
+std::vector<LevelPoint> LevelSweep(const CadDatabase& db, int k) {
+  QueryEngine engine(&db);
+  const int n = static_cast<int>(db.size());
+  const int queries = std::min(n, 100);
+  std::vector<std::vector<Neighbor>> exact(queries);
+  for (int q = 0; q < queries; ++q) {
+    exact[q] = engine.Knn(QueryStrategy::kVectorSetFilter, q, k);
+  }
+  std::vector<LevelPoint> points;
+  for (int level = 0; level <= kernels::kMaxApproxLevel; ++level) {
+    double recall_sum = 0.0, hits_sum = 0.0;
+    Stopwatch watch;
+    for (int q = 0; q < queries; ++q) {
+      QueryCost cost;
+      const auto got =
+          engine.Knn(QueryStrategy::kVectorSetFilter, q, k, &cost, level);
+      recall_sum += RecallAtK(exact[q], got);
+      hits_sum += static_cast<double>(cost.filter_hits);
+    }
+    const double ms = watch.ElapsedMillis() / queries;
+    points.push_back({recall_sum / queries, ms, hits_sum / queries});
+  }
+  return points;
+}
+
+std::string LevelJson(const std::vector<LevelPoint>& points) {
+  std::string json = "{";
+  for (size_t level = 0; level < points.size(); ++level) {
+    if (level > 0) json += ",";
+    json += "\"level" + std::to_string(level) + "\":{\"recall\":" +
+            TablePrinter::Num(points[level].recall, 4) + ",\"mean_ms\":" +
+            TablePrinter::Num(points[level].mean_ms, 4) +
+            ",\"mean_filter_hits\":" +
+            TablePrinter::Num(points[level].mean_filter_hits, 1) + "}";
+  }
+  return json + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig cfg = bench::Config();
+  std::printf("Kernel benchmark (active kernel set: %s)\n\n",
+              kernels::Active().name);
+
+  struct Variant {
+    const char* label;
+    const kernels::KernelSet* set;
+  };
+  std::vector<Variant> variants = {
+      {"scalar", &kernels::ForceScalar()},
+      {"portable", &kernels::Portable()},
+      {"best", &kernels::BestAvailable()},
+  };
+
+  // --- cost-matrix build -------------------------------------------
+  // The paper's shape: two sets of 7 vectors in the 6-d ground space,
+  // written into a 14-wide square Hungarian matrix (surplus dummy
+  // columns). The larger 64x64 block shows the asymptotic gap.
+  struct Shape {
+    size_t m, n, dim, stride;
+  };
+  const std::vector<Shape> shapes = {{7, 7, 6, 14}, {64, 64, 6, 64}};
+  TablePrinter cost_table(
+      {"cost matrix", "scalar ns", "portable ns", "best ns", "best speedup"});
+  std::string cost_json;
+  for (const Shape& s : shapes) {
+    const std::vector<double> a = RandomBlock(s.m * s.dim, 1);
+    const std::vector<double> b = RandomBlock(s.n * s.dim, 2);
+    std::vector<double> out(s.m * s.stride, 0.0);
+    std::vector<double> ns;
+    for (const Variant& v : variants) {
+      const kernels::CostMatrixBuildFn fn = v.set->cost_matrix_build;
+      ns.push_back(NsPerCall([&] {
+        fn(kernels::GroundKind::kEuclidean, a.data(), s.m, b.data(), s.n,
+           s.dim, out.data(), s.stride);
+      }));
+    }
+    const double speedup = ns[0] / ns[2];
+    cost_table.AddRow({std::to_string(s.m) + "x" + std::to_string(s.n),
+                       TablePrinter::Num(ns[0], 1), TablePrinter::Num(ns[1], 1),
+                       TablePrinter::Num(ns[2], 1),
+                       TablePrinter::Num(speedup, 2) + "x"});
+    if (!cost_json.empty()) cost_json += ",";
+    cost_json += "\"" + std::to_string(s.m) + "x" + std::to_string(s.n) +
+                 "\":{\"scalar_ns\":" + TablePrinter::Num(ns[0], 1) +
+                 ",\"portable_ns\":" + TablePrinter::Num(ns[1], 1) +
+                 ",\"best_ns\":" + TablePrinter::Num(ns[2], 1) +
+                 ",\"speedup_best\":" + TablePrinter::Num(speedup, 3) + "}";
+  }
+  cost_table.Print();
+
+  // --- centroid distance batch -------------------------------------
+  // One 6-d query centroid against a contiguous block of stored
+  // extended centroids -- the whole filter step in one call.
+  TablePrinter batch_table(
+      {"centroid batch", "scalar ns", "portable ns", "best ns",
+       "best speedup"});
+  std::string batch_json;
+  for (const size_t count : {256u, 4096u}) {
+    const size_t dim = 6;
+    const std::vector<double> query = RandomBlock(dim, 3);
+    const std::vector<double> block = RandomBlock(count * dim, 4);
+    std::vector<double> out(count, 0.0);
+    std::vector<double> ns;
+    for (const Variant& v : variants) {
+      const kernels::CentroidDistanceBatchFn fn =
+          v.set->centroid_distance_batch;
+      ns.push_back(
+          NsPerCall([&] { fn(query.data(), block.data(), count, dim,
+                             out.data()); }));
+    }
+    const double speedup = ns[0] / ns[2];
+    batch_table.AddRow({"1 vs " + std::to_string(count),
+                        TablePrinter::Num(ns[0], 1),
+                        TablePrinter::Num(ns[1], 1),
+                        TablePrinter::Num(ns[2], 1),
+                        TablePrinter::Num(speedup, 2) + "x"});
+    if (!batch_json.empty()) batch_json += ",";
+    batch_json += "\"n" + std::to_string(count) +
+                  "\":{\"scalar_ns\":" + TablePrinter::Num(ns[0], 1) +
+                  ",\"best_ns\":" + TablePrinter::Num(ns[2], 1) +
+                  ",\"speedup_best\":" + TablePrinter::Num(speedup, 3) + "}";
+  }
+  batch_table.Print();
+
+  // --- recall / latency per approx level ---------------------------
+  ExtractionOptions opt;
+  opt.extract_histograms = false;
+  const CadDatabase car_db =
+      bench::BuildDatabase(MakeCarDataset(cfg.car_objects, 42), opt);
+  const CadDatabase air_db =
+      bench::BuildDatabase(MakeAircraftDataset(cfg.aircraft_objects, 7), opt);
+  const int k = 10;
+  std::string recall_json;
+  const std::pair<const char*, const CadDatabase*> sweeps[] = {
+      {"car", &car_db}, {"aircraft", &air_db}};
+  for (const auto& [label, db] : sweeps) {
+    const std::vector<LevelPoint> points = LevelSweep(*db, k);
+    std::printf("\napprox knob on %s-like (%zu objects, k=%d):\n", label,
+                db->size(), k);
+    TablePrinter level_table(
+        {"level", "recall@10", "mean ms/query", "mean filter hits"});
+    for (size_t level = 0; level < points.size(); ++level) {
+      level_table.AddRow({std::to_string(level),
+                          TablePrinter::Num(points[level].recall, 3),
+                          TablePrinter::Num(points[level].mean_ms, 3),
+                          TablePrinter::Num(points[level].mean_filter_hits,
+                                            1)});
+    }
+    level_table.Print();
+    if (!recall_json.empty()) recall_json += ",";
+    recall_json += "\"" + std::string(label) + "\":" + LevelJson(points);
+  }
+
+  const std::string json =
+      "{\"bench\":\"kernels\",\"active\":\"" +
+      std::string(kernels::Active().name) + "\",\"cost_matrix\":{" +
+      cost_json + "},\"centroid_batch\":{" + batch_json + "},\"approx\":{" +
+      recall_json + "}}";
+  return bench::EmitJson(json, bench::JsonOutPath(argc, argv));
+}

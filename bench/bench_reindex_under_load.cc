@@ -83,7 +83,7 @@ PhaseResult RunPhase(QueryService& service, Rebuilder* rebuilder,
         issued.fetch_add(1, std::memory_order_relaxed);
         ServiceRequest request;
         request.object_id = static_cast<int>(rng.NextBounded(db_size));
-        request.k = k;
+        request.options.k = k;
         const uint64_t admission_gen = service.generation();
         StatusOr<ServiceResponse> response = service.Execute(request);
         const uint64_t completion_gen = service.generation();

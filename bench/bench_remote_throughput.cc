@@ -82,7 +82,7 @@ RunResult RunRemote(int port, int clients, int queries_per_client,
       for (int q = 0; q < queries_per_client; ++q) {
         ServiceRequest request;
         request.object_id = static_cast<int>(rng.NextBounded(db_size));
-        request.k = k;
+        request.options.k = k;
         Stopwatch one;
         StatusOr<ServiceResponse> response = client->Execute(request);
         if (!response.ok()) {
@@ -123,7 +123,7 @@ RunResult RunInProcess(QueryService& service, int queries, size_t db_size,
   for (int q = 0; q < queries; ++q) {
     ServiceRequest request;
     request.object_id = static_cast<int>(rng.NextBounded(db_size));
-    request.k = k;
+    request.options.k = k;
     Stopwatch one;
     StatusOr<ServiceResponse> response = service.Execute(request);
     if (!response.ok()) {
@@ -190,7 +190,7 @@ RunResult RunOpenLoop(int port, int connections, int window, int rounds,
           for (int w = 0; w < window; ++w) {
             ServiceRequest request;
             request.object_id = static_cast<int>(rng.NextBounded(db_size));
-            request.k = k;
+            request.options.k = k;
             uint64_t id = 0;
             if (!clients[c].Send(request, &id).ok()) {
               ++failures[d];

@@ -39,7 +39,7 @@ double RunWorkload(QueryService& service, const std::vector<int>& ids,
   for (int id : ids) {
     ServiceRequest request;
     request.object_id = id;
-    request.k = k;
+    request.options.k = k;
     auto submitted = service.Submit(std::move(request));
     if (submitted.ok()) pending.push_back(std::move(submitted).value());
   }

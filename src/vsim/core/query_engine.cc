@@ -9,6 +9,7 @@
 #include "vsim/distance/centroid_filter.h"
 #include "vsim/distance/min_matching.h"
 #include "vsim/features/orientation.h"
+#include "vsim/kernels/kernels.h"
 
 namespace vsim {
 
@@ -85,6 +86,8 @@ QueryEngine::QueryEngine(const CadDatabase* db, IoCostParams params)
   std::vector<int> ids;
   centroids.reserve(db_->size());
   cover_vectors.reserve(db_->size());
+  centroid_block_.reserve(db_->size() * static_cast<size_t>(dim));
+  sketches_.reserve(db_->size());
   for (int id = 0; id < static_cast<int>(db_->size()); ++id) {
     const ObjectRepr& repr = db_->object(id);
     centroids.push_back(repr.centroid);
@@ -92,6 +95,11 @@ QueryEngine::QueryEngine(const CadDatabase* db, IoCostParams params)
     ids.push_back(id);
     mtree_->Insert(repr.vector_set, id);
     scan_bytes_ += repr.VectorSetBytes();
+    // Approximate pre-filter state: the contiguous centroid block for
+    // the batched distance kernel, and one sketch per stored set.
+    centroid_block_.insert(centroid_block_.end(), repr.centroid.begin(),
+                           repr.centroid.end());
+    sketches_.push_back(kernels::SketchVectorSet(repr.vector_set));
   }
   Status st = centroid_index_->BulkLoad(centroids, ids);
   assert(st.ok());
@@ -127,14 +135,44 @@ ExactDistanceFn QueryEngine::MakeExactDistance(const ObjectRepr& query) const {
   };
 }
 
+std::vector<BoundedCandidate> QueryEngine::ApproxFilterCandidates(
+    const ObjectRepr& query, int approx_level, size_t* examined) const {
+  const size_t n = db_->size();
+  const size_t dim = query.centroid.size();
+  const kernels::SetSketch query_sketch =
+      kernels::SketchVectorSet(query.vector_set);
+  const int threshold = kernels::SketchOverlapThreshold(approx_level);
+  // One batched kernel call bounds every stored set; the block scan is
+  // RAM-resident snapshot state, so no index I/O is charged -- that is
+  // the stage's latency win under the paper's cost model.
+  std::vector<double> bounds(n);
+  kernels::Active().centroid_distance_batch(
+      query.centroid.data(), centroid_block_.data(), n, dim, bounds.data());
+  std::vector<BoundedCandidate> candidates;
+  candidates.reserve(n);
+  const double scale = static_cast<double>(num_covers_);
+  for (size_t id = 0; id < n; ++id) {
+    // Empty signatures (empty sets) carry no evidence: never pruned.
+    if (!query_sketch.empty() && !sketches_[id].empty() &&
+        kernels::SketchOverlap(query_sketch, sketches_[id]) < threshold) {
+      continue;
+    }
+    candidates.push_back({static_cast<int>(id), bounds[id] * scale});
+  }
+  *examined = n;
+  return candidates;
+}
+
 std::vector<Neighbor> QueryEngine::Knn(QueryStrategy strategy, int query_id,
-                                       int k, QueryCost* cost) const {
-  return Knn(strategy, db_->object(query_id), k, cost);
+                                       int k, QueryCost* cost,
+                                       int approx_level) const {
+  return Knn(strategy, db_->object(query_id), k, cost, approx_level);
 }
 
 std::vector<Neighbor> QueryEngine::Knn(QueryStrategy strategy,
                                        const ObjectRepr& query, int k,
-                                       QueryCost* cost) const {
+                                       QueryCost* cost,
+                                       int approx_level) const {
   QueryCost local;
   Stopwatch watch;
   std::vector<Neighbor> result;
@@ -145,9 +183,23 @@ std::vector<Neighbor> QueryEngine::Knn(QueryStrategy strategy,
     }
     case QueryStrategy::kVectorSetFilter: {
       MultiStepStats ms;
-      result = MultiStepKnn(*centroid_index_, query.centroid,
-                            static_cast<double>(num_covers_), k,
-                            MakeExactDistance(query), &local.io, &ms);
+      if (approx_level > 0) {
+        size_t examined = 0;
+        std::vector<BoundedCandidate> candidates =
+            ApproxFilterCandidates(query, approx_level, &examined);
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const BoundedCandidate& a, const BoundedCandidate& b) {
+                    return a.bound < b.bound;
+                  });
+        result = SortedBoundKnn(candidates, k, MakeExactDistance(query),
+                                &local.io, &ms);
+        local.approx_pruned = examined;
+      } else {
+        result = MultiStepKnn(*centroid_index_, query.centroid,
+                              static_cast<double>(num_covers_), k,
+                              MakeExactDistance(query), &local.io, &ms);
+        local.approx_pruned = ms.filter_hits;
+      }
       local.candidates_refined = ms.candidates_refined;
       local.filter_hits = ms.filter_hits;
       local.hungarian_invocations = ms.candidates_refined;
@@ -182,6 +234,10 @@ std::vector<Neighbor> QueryEngine::Knn(QueryStrategy strategy,
       break;
     }
   }
+  if (strategy != QueryStrategy::kVectorSetFilter) {
+    // No approx stage on this strategy: degenerate invariant chain.
+    local.approx_pruned = local.filter_hits;
+  }
   FinishStageAttribution(strategy, watch.ElapsedSeconds(), &local);
   if (cost != nullptr) *cost = local;
   return result;
@@ -212,7 +268,8 @@ std::vector<std::vector<Neighbor>> QueryEngine::KnnJoin(
 std::vector<Neighbor> QueryEngine::InvariantKnn(QueryStrategy strategy,
                                                 const ObjectRepr& query,
                                                 int k, bool with_reflections,
-                                                QueryCost* cost) const {
+                                                QueryCost* cost,
+                                                int approx_level) const {
   QueryCost total;
   const std::vector<Mat3>& group =
       with_reflections ? CubeRotationsWithReflections() : CubeRotations();
@@ -222,7 +279,8 @@ std::vector<Neighbor> QueryEngine::InvariantKnn(QueryStrategy strategy,
     oriented.vector_set = TransformVectorSet(query.vector_set, m);
     oriented.centroid = ExtendedCentroid(oriented.vector_set, num_covers_);
     QueryCost one;
-    const std::vector<Neighbor> hits = Knn(strategy, oriented, k, &one);
+    const std::vector<Neighbor> hits =
+        Knn(strategy, oriented, k, &one, approx_level);
     total += one;
     for (const Neighbor& n : hits) {
       auto [it, inserted] = best_by_object.emplace(n.id, n.distance);
@@ -245,7 +303,8 @@ std::vector<int> QueryEngine::InvariantRange(QueryStrategy strategy,
                                              const ObjectRepr& query,
                                              double eps,
                                              bool with_reflections,
-                                             QueryCost* cost) const {
+                                             QueryCost* cost,
+                                             int approx_level) const {
   QueryCost total;
   const std::vector<Mat3>& group =
       with_reflections ? CubeRotationsWithReflections() : CubeRotations();
@@ -255,7 +314,8 @@ std::vector<int> QueryEngine::InvariantRange(QueryStrategy strategy,
     oriented.vector_set = TransformVectorSet(query.vector_set, m);
     oriented.centroid = ExtendedCentroid(oriented.vector_set, num_covers_);
     QueryCost one;
-    const std::vector<int> hits = Range(strategy, oriented, eps, &one);
+    const std::vector<int> hits =
+        Range(strategy, oriented, eps, &one, approx_level);
     total += one;
     merged.insert(merged.end(), hits.begin(), hits.end());
   }
@@ -267,16 +327,27 @@ std::vector<int> QueryEngine::InvariantRange(QueryStrategy strategy,
 
 std::vector<int> QueryEngine::Range(QueryStrategy strategy,
                                     const ObjectRepr& query, double eps,
-                                    QueryCost* cost) const {
+                                    QueryCost* cost,
+                                    int approx_level) const {
   QueryCost local;
   Stopwatch watch;
   std::vector<int> result;
   switch (strategy) {
     case QueryStrategy::kVectorSetFilter: {
       MultiStepStats ms;
-      result = MultiStepRange(*centroid_index_, query.centroid,
-                              static_cast<double>(num_covers_), eps,
-                              MakeExactDistance(query), &local.io, &ms);
+      if (approx_level > 0) {
+        size_t examined = 0;
+        const std::vector<BoundedCandidate> candidates =
+            ApproxFilterCandidates(query, approx_level, &examined);
+        result = BoundedRange(candidates, eps, MakeExactDistance(query),
+                              &local.io, &ms);
+        local.approx_pruned = examined;
+      } else {
+        result = MultiStepRange(*centroid_index_, query.centroid,
+                                static_cast<double>(num_covers_), eps,
+                                MakeExactDistance(query), &local.io, &ms);
+        local.approx_pruned = ms.filter_hits;
+      }
       local.candidates_refined = ms.candidates_refined;
       local.filter_hits = ms.filter_hits;
       local.hungarian_invocations = ms.candidates_refined;
@@ -315,6 +386,10 @@ std::vector<int> QueryEngine::Range(QueryStrategy strategy,
       local.hungarian_invocations = refined;
       break;
     }
+  }
+  if (strategy != QueryStrategy::kVectorSetFilter) {
+    // No approx stage on this strategy: degenerate invariant chain.
+    local.approx_pruned = local.filter_hits;
   }
   FinishStageAttribution(strategy, watch.ElapsedSeconds(), &local);
   if (cost != nullptr) *cost = local;

@@ -98,6 +98,19 @@ StatusOr<double> InvariantVectorSetDistance(const VoxelGrid& a,
   return best;
 }
 
+void CadDatabase::ReleaseVectorSets() {
+  for (ObjectRepr& repr : objects_) {
+    repr.vector_set.vectors.clear();
+    repr.vector_set.vectors.shrink_to_fit();
+  }
+}
+
+size_t CadDatabase::VectorSetResidentBytes() const {
+  size_t bytes = 0;
+  for (const ObjectRepr& repr : objects_) bytes += repr.VectorSetBytes();
+  return bytes;
+}
+
 StatusOr<int> CadDatabase::AddObject(const parts::MeshParts& mesh_parts,
                                      int label) {
   VSIM_ASSIGN_OR_RETURN(ObjectRepr repr, ExtractObject(mesh_parts, options_));
@@ -197,17 +210,18 @@ double CadDatabase::InvariantDistance(ModelType model, int a, int b,
       const FeatureVector& fa = volume ? ra.volume : ra.solid_angle;
       const FeatureVector& fb = volume ? rb.volume : rb.solid_angle;
       for (size_t g = 0; g < group_size; ++g) {
-        best = std::min(
-            best, EuclideanDistance(fa, PermuteBins(fb, bin_permutations_[g])));
+        const FeatureVector pb = PermuteBins(fb, bin_permutations_[g]);
+        // vsim-lint: allow(raw-distance-loop) group-orbit minimum over ONE pair; each iteration permutes bins, no contiguous block to batch
+        best = std::min(best, EuclideanDistance(fa, pb));
       }
       break;
     }
     case ModelType::kCoverSequence: {
       for (size_t g = 0; g < group_size; ++g) {
-        best = std::min(best,
-                        EuclideanDistance(
-                            ra.cover_vector,
-                            TransformCoverVector(rb.cover_vector, group[g])));
+        // vsim-lint: allow(raw-distance-loop) group-orbit minimum over ONE pair; each iteration transforms the vector, no contiguous block to batch
+        const double d = EuclideanDistance(
+            ra.cover_vector, TransformCoverVector(rb.cover_vector, group[g]));
+        best = std::min(best, d);
       }
       break;
     }

@@ -119,6 +119,22 @@ class CadDatabase {
   const std::vector<int>& labels() const { return labels_; }
   const ExtractionOptions& options() const { return options_; }
 
+  // Frees the RAM copies of every object's vector set, for disk-backed
+  // serving where the authoritative copies live in a VectorSetStore and
+  // keeping them here would double the resident footprint
+  // (DbSnapshot::CreateDiskBacked calls this after the engine's index
+  // build, which is the last consumer of the RAM copies). Setup-time
+  // only: call before the database is frozen into a snapshot, never
+  // while it is being served. Distance(kVectorSet) and stored-id
+  // queries through the raw engine need the sets -- after demotion the
+  // service hydrates stored-id queries from the store instead.
+  void ReleaseVectorSets();
+
+  // Bytes currently held by the RAM copies of the vector sets (the
+  // quantity ReleaseVectorSets drops; exported as the
+  // vsim_cache_pool_resident_bytes gauge for disk-backed snapshots).
+  size_t VectorSetResidentBytes() const;
+
   // Distance between stored objects under a model.
   double Distance(ModelType model, int a, int b) const;
 

@@ -2,8 +2,6 @@
 
 #include <cassert>
 
-#include "vsim/distance/lp.h"
-
 namespace vsim {
 
 FeatureVector ExtendedCentroid(const VectorSet& set, int k,
@@ -23,11 +21,6 @@ FeatureVector ExtendedCentroid(const VectorSet& set, int k,
   }
   for (double& c : centroid) c /= static_cast<double>(k);
   return centroid;
-}
-
-double CentroidFilterDistance(const FeatureVector& centroid_a,
-                              const FeatureVector& centroid_b, int k) {
-  return static_cast<double>(k) * EuclideanDistance(centroid_a, centroid_b);
 }
 
 }  // namespace vsim

@@ -17,13 +17,14 @@ namespace vsim {
 
 // C_{k,omega}(X) = (sum_i x_i + (k - |X|) * omega) / k. An empty
 // `omega` means the origin. |X| must be <= k.
+//
+// The filter (lower-bound) distance itself -- k * ||ca - cb||_2 over
+// extended centroids -- lives in the kernel API:
+// kernels::CentroidFilterBound for one pair, the batched
+// centroid_distance_batch kernel for candidate blocks (docs/KERNELS.md
+// -- the old free-standing CentroidFilterDistance helper is gone).
 FeatureVector ExtendedCentroid(const VectorSet& set, int k,
                                const FeatureVector& omega = {});
-
-// The filter (lower-bound) distance: k * ||ca - cb||_2 where ca, cb are
-// extended centroids computed with the same k and omega.
-double CentroidFilterDistance(const FeatureVector& centroid_a,
-                              const FeatureVector& centroid_b, int k);
 
 }  // namespace vsim
 

@@ -7,10 +7,34 @@
 #include "vsim/distance/hungarian.h"
 #include "vsim/distance/min_cost_flow.h"
 #include "vsim/distance/lp.h"
+#include "vsim/kernels/kernels.h"
 
 namespace vsim {
 
 namespace {
+
+kernels::GroundKind ToKernelGround(GroundDistance g) {
+  switch (g) {
+    case GroundDistance::kEuclidean:
+      return kernels::GroundKind::kEuclidean;
+    case GroundDistance::kSquaredEuclidean:
+      return kernels::GroundKind::kSquaredEuclidean;
+    case GroundDistance::kManhattan:
+      return kernels::GroundKind::kManhattan;
+  }
+  return kernels::GroundKind::kEuclidean;
+}
+
+// Flattens a (ragged) vector set into a contiguous row-major block for
+// the batched kernels.
+void Flatten(const VectorSet& set, size_t dim, std::vector<double>* out) {
+  out->resize(set.size() * dim);
+  double* dst = out->data();
+  for (const FeatureVector& v : set.vectors) {
+    std::copy(v.begin(), v.end(), dst);
+    dst += dim;
+  }
+}
 
 double Ground(GroundDistance g, const FeatureVector& a,
               const FeatureVector& b) {
@@ -82,12 +106,21 @@ MatchingDistanceResult MinimalMatchingDistanceDetailed(
 
   // Square m x m cost matrix: columns [0, n) are the elements of the
   // smaller set; columns [n, m) are "unmatched" slots charging w(x).
+  // The ground block -- the refinement hot loop -- is one batched
+  // kernel call over both sets flattened to contiguous buffers
+  // (docs/KERNELS.md), writing rows straight into the square matrix.
+  const size_t dim = large.dim();
+  std::vector<double> large_flat, small_flat;
+  Flatten(large, dim, &large_flat);
+  Flatten(small, dim, &small_flat);
   std::vector<double> cost(static_cast<size_t>(m) * m);
+  kernels::Active().cost_matrix_build(
+      ToKernelGround(opt.ground), large_flat.data(), m, small_flat.data(), n,
+      dim, cost.data(), m);
   for (int i = 0; i < m; ++i) {
     const double w = Weight(opt.ground, large.vectors[i], opt.omega);
-    for (int j = 0; j < m; ++j) {
-      cost[static_cast<size_t>(i) * m + j] =
-          j < n ? Ground(opt.ground, large.vectors[i], small.vectors[j]) : w;
+    for (int j = n; j < m; ++j) {
+      cost[static_cast<size_t>(i) * m + j] = w;
     }
   }
   const AssignmentResult assignment = SolveAssignment(cost, m, m);

@@ -113,10 +113,10 @@ std::vector<int> VaFile::RangeQuery(const FeatureVector& query, double eps,
 
 namespace {
 
-struct BoundedCandidate {
+struct VaCandidate {
   double lower_bound;
   size_t index;
-  bool operator<(const BoundedCandidate& o) const {
+  bool operator<(const VaCandidate& o) const {
     return lower_bound < o.lower_bound;
   }
 };
@@ -129,7 +129,7 @@ std::vector<Neighbor> VaFile::MultiStepKnn(const FeatureVector& query,
                                            IoStats* stats,
                                            size_t* refined) const {
   ChargeApproximationScan(stats);
-  std::vector<BoundedCandidate> candidates(ids_.size());
+  std::vector<VaCandidate> candidates(ids_.size());
   for (size_t i = 0; i < ids_.size(); ++i) {
     candidates[i] = {filter_scale * std::sqrt(SquaredLowerBound(query, i)), i};
   }
@@ -140,7 +140,7 @@ std::vector<Neighbor> VaFile::MultiStepKnn(const FeatureVector& query,
     return a.distance < b.distance;
   };
   size_t fetched = 0;
-  for (const BoundedCandidate& cand : candidates) {
+  for (const VaCandidate& cand : candidates) {
     if (static_cast<int>(best.size()) == k &&
         cand.lower_bound > best.front().distance) {
       break;  // optimal stopping

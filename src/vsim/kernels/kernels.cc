@@ -1,0 +1,82 @@
+// Kernel dispatch: resolve the fastest implementation the CPU can
+// execute once, allow tests/operators to pin a variant, and provide
+// the batch-of-one convenience bound.
+#include "vsim/kernels/kernels.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "vsim/kernels/kernels_internal.h"
+
+namespace vsim::kernels {
+
+namespace {
+
+constexpr KernelSet kScalar = {
+    "scalar",
+    &internal::CentroidDistanceBatchScalar,
+    &internal::CostMatrixBuildScalar,
+};
+
+constexpr KernelSet kPortable = {
+    "portable",
+    &internal::CentroidDistanceBatchPortable,
+    &internal::CostMatrixBuildPortable,
+};
+
+constexpr KernelSet kAvx2 = {
+    "avx2",
+    &internal::CentroidDistanceBatchAvx2,
+    &internal::CostMatrixBuildAvx2,
+};
+
+bool CpuExecutesAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const KernelSet& ForceScalar() { return kScalar; }
+
+const KernelSet& Portable() { return kPortable; }
+
+const KernelSet& BestAvailable() {
+  // The feature probe is cheap but not free; resolve once.
+  static const KernelSet& best =
+      internal::Avx2CompiledIn() && CpuExecutesAvx2() ? kAvx2 : kPortable;
+  return best;
+}
+
+const KernelSet* ByName(const char* name) {
+  if (name == nullptr) return nullptr;
+  if (std::strcmp(name, "scalar") == 0) return &kScalar;
+  if (std::strcmp(name, "portable") == 0) return &kPortable;
+  if (std::strcmp(name, "avx2") == 0) {
+    return internal::Avx2CompiledIn() && CpuExecutesAvx2() ? &kAvx2 : nullptr;
+  }
+  return nullptr;
+}
+
+const KernelSet& Active() {
+  static const KernelSet& active = []() -> const KernelSet& {
+    const KernelSet* forced = ByName(std::getenv("VSIM_KERNELS"));
+    return forced != nullptr ? *forced : BestAvailable();
+  }();
+  return active;
+}
+
+double CentroidFilterBound(const FeatureVector& ca, const FeatureVector& cb,
+                           double k) {
+  assert(ca.size() == cb.size());
+  double distance = 0.0;
+  Active().centroid_distance_batch(ca.data(), cb.data(), 1, ca.size(),
+                                   &distance);
+  return k * distance;
+}
+
+}  // namespace vsim::kernels

@@ -1,0 +1,105 @@
+// Batched distance kernels behind one dispatching API (docs/KERNELS.md).
+//
+// Every hot distance loop in the tree -- the 6-d centroid bounds of the
+// Lemma-2 filter step and the ground-distance block of the minimal
+// matching cost matrix -- goes through a `KernelSet`: a table of
+// function pointers resolved once at startup. Three implementations
+// ship in separate translation units so each can carry its own
+// optimization flags:
+//
+//   scalar    the semantics-defining reference. Compiled with
+//             auto-vectorization disabled, so "scalar vs SIMD" in the
+//             equivalence tests and benches means what it says.
+//   portable  `#pragma omp simd` over the same loops; compiles to the
+//             host's baseline vector ISA on any compiler/arch.
+//   avx2      hand-blocked AVX2+FMA intrinsics (x86 only; the TU
+//             degrades to the portable code when __AVX2__ is absent,
+//             and runtime dispatch never selects it on hosts without
+//             the feature, so the binary stays legal everywhere).
+//
+// Callers that compute ONE pair distance on a cold path (index node
+// splits, tests' ground truths) keep using distance/lp.h directly; the
+// lint rule `raw-distance-loop` (tools/vsim_lint.py) forbids per-pair
+// helpers inside loops outside this directory so batched work cannot
+// silently regress to scalar per-pair calls.
+//
+// Thread-safety: resolution is a one-time atomic publication; the
+// KernelSet tables are immutable. Any number of threads may call any
+// kernel concurrently.
+#ifndef VSIM_KERNELS_KERNELS_H_
+#define VSIM_KERNELS_KERNELS_H_
+
+#include <cstddef>
+
+#include "vsim/features/feature_vector.h"
+
+namespace vsim::kernels {
+
+// Ground distance of a kernel call. Mirrors distance/min_matching.h's
+// GroundDistance without depending on it: kernels sit below distance/.
+enum class GroundKind {
+  kEuclidean,         // L2 (with the square root)
+  kSquaredEuclidean,  // L2^2
+  kManhattan,         // L1
+};
+
+// One query vector against `count` candidate vectors stored as a
+// contiguous row-major block (candidate i occupies
+// candidates[i*dim .. i*dim+dim)). Writes the Euclidean distance of
+// each candidate to out[i]. This is the filter-step shape: one query
+// centroid against a block of stored extended centroids.
+using CentroidDistanceBatchFn = void (*)(const double* query,
+                                         const double* candidates,
+                                         size_t count, size_t dim,
+                                         double* out);
+
+// The full refinement cost block: all pairwise ground distances between
+// the m row vectors of `a` and the n column vectors of `b` (both
+// contiguous row-major, dim doubles per vector) in one call.
+// out[i*out_stride + j] = ground(a_i, b_j). `out_stride >= n` lets the
+// minimal-matching builder write straight into the square Hungarian
+// matrix without a copy.
+using CostMatrixBuildFn = void (*)(GroundKind ground, const double* a,
+                                   size_t m, const double* b, size_t n,
+                                   size_t dim, double* out,
+                                   size_t out_stride);
+
+struct KernelSet {
+  const char* name;  // "scalar" | "portable" | "avx2"
+  CentroidDistanceBatchFn centroid_distance_batch;
+  CostMatrixBuildFn cost_matrix_build;
+};
+
+// The reference implementation (always available; tests pin it to
+// check the optimized variants against).
+const KernelSet& ForceScalar();
+
+// The `#pragma omp simd` implementation (always available).
+const KernelSet& Portable();
+
+// The fastest implementation this CPU can execute, by runtime feature
+// detection (AVX2+FMA -> avx2, else portable). Never consults the
+// environment.
+const KernelSet& BestAvailable();
+
+// Lookup by name ("scalar", "portable", "avx2"); nullptr for unknown
+// names, and nullptr for "avx2" on hosts whose CPU cannot execute it.
+const KernelSet* ByName(const char* name);
+
+// The process-wide active set: BestAvailable(), unless the
+// VSIM_KERNELS environment variable names an implementation
+// ("scalar" | "portable" | "avx2"; see docs/OPERATIONS.md). Resolved
+// once on first use; an unknown or unexecutable name falls back to
+// BestAvailable().
+const KernelSet& Active();
+
+// Lemma-2 filter bound for a single centroid pair: k * ||ca - cb||_2.
+// The batch-of-one convenience that replaced the old free-standing
+// CentroidFilterDistance helper; cold paths and tests use it, hot
+// paths batch.
+double CentroidFilterBound(const FeatureVector& ca, const FeatureVector& cb,
+                           double k);
+
+}  // namespace vsim::kernels
+
+#endif  // VSIM_KERNELS_KERNELS_H_

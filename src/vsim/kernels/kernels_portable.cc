@@ -1,0 +1,57 @@
+// Portable SIMD kernels: the same loops as the scalar reference with
+// `#pragma omp simd` over the inner dimension and candidate axes.
+// Compiled at -O3 with -fopenmp-simd (no OpenMP runtime is linked; the
+// pragma only licenses vectorization), so this TU lowers to whatever
+// baseline vector ISA the target has -- SSE2 on stock x86-64, NEON on
+// aarch64 -- without any feature detection.
+#include <cmath>
+
+#include "vsim/kernels/kernels_internal.h"
+
+namespace vsim::kernels::internal {
+
+void CentroidDistanceBatchPortable(const double* query,
+                                   const double* candidates, size_t count,
+                                   size_t dim, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const double* c = candidates + i * dim;
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (size_t d = 0; d < dim; ++d) {
+      const double diff = query[d] - c[d];
+      acc += diff * diff;
+    }
+    out[i] = std::sqrt(acc);
+  }
+}
+
+void CostMatrixBuildPortable(GroundKind ground, const double* a, size_t m,
+                             const double* b, size_t n, size_t dim,
+                             double* out, size_t out_stride) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* ai = a + i * dim;
+    double* row = out + i * out_stride;
+    if (ground == GroundKind::kManhattan) {
+      for (size_t j = 0; j < n; ++j) {
+        const double* bj = b + j * dim;
+        double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+        for (size_t d = 0; d < dim; ++d) acc += std::fabs(ai[d] - bj[d]);
+        row[j] = acc;
+      }
+      continue;
+    }
+    for (size_t j = 0; j < n; ++j) {
+      const double* bj = b + j * dim;
+      double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+      for (size_t d = 0; d < dim; ++d) {
+        const double diff = ai[d] - bj[d];
+        acc += diff * diff;
+      }
+      row[j] = ground == GroundKind::kEuclidean ? std::sqrt(acc) : acc;
+    }
+  }
+}
+
+}  // namespace vsim::kernels::internal

@@ -1,0 +1,83 @@
+#include "vsim/kernels/sketch.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+
+namespace vsim::kernels {
+
+namespace {
+
+// SplitMix64: the projection family is a pure function of (projection,
+// dimension), so no matrix is stored and any dim works.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t kSeed = 0x5ca1ab1e0ddba11ULL;
+
+// Sparse +-1 weight of dimension `d` in projection `j`: active with
+// probability 1/2, sign from the next hash bit.
+double ProjectionWeight(int j, size_t d) {
+  const uint64_t h = Mix(kSeed ^ (static_cast<uint64_t>(j) * 0x10000001bULL +
+                                  static_cast<uint64_t>(d)));
+  if ((h & 1) == 0) return 0.0;
+  return (h & 2) != 0 ? 1.0 : -1.0;
+}
+
+}  // namespace
+
+SetSketch SketchVectorSet(const VectorSet& set) {
+  SetSketch sketch;
+  if (set.empty()) return sketch;
+  // Max-pool each projection's response over the set's vectors: a
+  // permutation-invariant summary, like the extended centroid.
+  std::array<double, kSketchProjections> response;
+  for (int j = 0; j < kSketchProjections; ++j) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const FeatureVector& v : set.vectors) {
+      double dot = 0.0;
+      for (size_t d = 0; d < v.size(); ++d) dot += ProjectionWeight(j, d) * v[d];
+      best = std::max(best, dot);
+    }
+    response[j] = best;
+  }
+  // Winner-take-all: the kSketchActiveBits strongest responses win a
+  // bit. Ties break toward the lower projection index (stable
+  // ordering), keeping the sketch deterministic.
+  std::array<int, kSketchProjections> order;
+  for (int j = 0; j < kSketchProjections; ++j) order[j] = j;
+  std::partial_sort(order.begin(), order.begin() + kSketchActiveBits,
+                    order.end(), [&response](int a, int b) {
+                      if (response[a] != response[b]) {
+                        return response[a] > response[b];
+                      }
+                      return a < b;
+                    });
+  for (int r = 0; r < kSketchActiveBits; ++r) {
+    const int j = order[r];
+    sketch.words[j / 64] |= uint64_t{1} << (j % 64);
+  }
+  return sketch;
+}
+
+int SketchOverlap(const SetSketch& a, const SetSketch& b) {
+  return std::popcount(a.words[0] & b.words[0]) +
+         std::popcount(a.words[1] & b.words[1]);
+}
+
+int SketchOverlapThreshold(int level) {
+  // Calibrated on the seed datasets (bench_kernels recall/latency
+  // curve, BENCH_kernels.json): random pairs overlap ~8 of 32 bits in
+  // expectation, near-duplicates >= ~20.
+  static constexpr int kThresholds[kMaxApproxLevel + 1] = {0, 6, 10, 14};
+  if (level <= 0) return kThresholds[0];
+  if (level >= kMaxApproxLevel) return kThresholds[kMaxApproxLevel];
+  return kThresholds[level];
+}
+
+}  // namespace vsim::kernels

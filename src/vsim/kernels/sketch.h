@@ -1,0 +1,63 @@
+// Sketch-based approximate pre-filter for vector sets (docs/KERNELS.md,
+// inspired by the fly-olfactory vector-set search of arXiv 2412.03301,
+// see PAPERS.md): every stored set is summarized once at snapshot build
+// time by a 128-bit winner-take-all signature of sparse random
+// projections, and a query prunes candidates whose signature overlap
+// falls below a per-request threshold BEFORE the exact Lemma-2 centroid
+// filter runs.
+//
+// Construction: 128 deterministic sparse +-1 projections over the
+// feature dimensions (seeded hash, no stored projection matrix). Each
+// projection's response is max-pooled over the set's vectors -- like
+// the extended centroid, a permutation-invariant set summary -- and the
+// 32 strongest responses win a bit. Two sets whose vectors lie close
+// under the ground distance excite mostly the same projections, so the
+// AND-popcount overlap of their signatures is high; random pairs share
+// 32*32/128 = 8 bits in expectation.
+//
+// The prune is approximate: unlike Lemma 2 it can drop true neighbors,
+// which is exactly the recall/latency trade the per-request
+// `approx_level` knob (0 = off/exact .. 3 = aggressive) buys. Level
+// thresholds are calibrated on the seed datasets in bench_kernels
+// (BENCH_kernels.json; recall >= 0.95 at the default level 1).
+#ifndef VSIM_KERNELS_SKETCH_H_
+#define VSIM_KERNELS_SKETCH_H_
+
+#include <cstdint>
+
+#include "vsim/features/feature_vector.h"
+
+namespace vsim::kernels {
+
+inline constexpr int kSketchProjections = 128;  // signature width in bits
+inline constexpr int kSketchActiveBits = 32;    // winner-take-all winners
+
+// Approximate pre-filter aggressiveness. 0 disables the stage (exact
+// Lemma-2 pipeline only); 1..3 prune at increasing overlap thresholds.
+inline constexpr int kMaxApproxLevel = 3;
+inline constexpr int kDefaultApproxLevel = 0;
+
+struct SetSketch {
+  uint64_t words[2] = {0, 0};
+
+  // An empty vector set has no responses and therefore no winners. The
+  // prune always keeps empty-signature candidates: there is no evidence
+  // to prune on.
+  bool empty() const { return words[0] == 0 && words[1] == 0; }
+};
+
+// Deterministic: the projection family is fixed by a compiled-in seed,
+// so sketches computed at build time and query time (and across
+// processes) agree.
+SetSketch SketchVectorSet(const VectorSet& set);
+
+// Popcount of the AND of both signatures (0..kSketchActiveBits).
+int SketchOverlap(const SetSketch& a, const SetSketch& b);
+
+// Minimum overlap a candidate must reach to survive at `level`
+// (clamped to [0, kMaxApproxLevel]; level 0 returns 0 = keep all).
+int SketchOverlapThreshold(int level);
+
+}  // namespace vsim::kernels
+
+#endif  // VSIM_KERNELS_SKETCH_H_

@@ -212,10 +212,15 @@ void AppendRequestFrame(uint64_t request_id, const ServiceRequest& request,
   PutU8(&payload, request.with_reflections ? 1 : 0);
   PutU8(&payload, has_query ? 1 : 0);
   PutI32(&payload, request.object_id);
-  PutI32(&payload, request.k);
-  PutF64(&payload, request.eps);
-  PutF64(&payload, request.timeout_seconds);
+  PutI32(&payload, request.options.k);
+  PutF64(&payload, request.options.eps);
+  PutF64(&payload, request.options.timeout_seconds);
   if (has_query) AppendObjectRepr(&payload, request.query);
+  // Trailing optional QueryOptions fields (same evolution rule as the
+  // info frame's feature_flags): decoders that predate them stop at the
+  // byte above and read approx_level = 0. The ObjectRepr block is
+  // self-terminating, so the trailing position is unambiguous.
+  PutU32(&payload, static_cast<uint32_t>(request.options.approx_level));
   AppendFrame(FrameType::kRequest, kFlagFinal, request_id, payload, out);
 }
 
@@ -295,6 +300,15 @@ void AppendStatsResponseFrame(uint64_t request_id,
     PutU64(&payload, t.hungarian_invocations);
     PutU64(&payload, t.page_accesses);
     PutU64(&payload, t.bytes_read);
+  }
+  // Trailing optional approx block (one record per trace, after all the
+  // fixed 112-byte records): decoders that predate it stop above and
+  // read approx_level = approx_pruned = 0. Keeping the fixed records
+  // unchanged is what spares a wire version bump.
+  for (size_t i = 0; i < traces; ++i) {
+    const obs::QueryTrace& t = response.traces[i];
+    PutU32(&payload, static_cast<uint32_t>(t.approx_level));
+    PutU64(&payload, t.approx_pruned);
   }
   AppendFrame(FrameType::kStatsResponse, kFlagFinal, request_id, payload,
               out);
@@ -398,8 +412,9 @@ Status DecodeRequestPayload(const uint8_t* data, size_t size,
   request->kind = static_cast<QueryKind>(kind);
   request->strategy = static_cast<QueryStrategy>(strategy);
   request->with_reflections = with_reflections == 1;
-  if (!c.I32(&request->object_id) || !c.I32(&request->k) ||
-      !c.F64(&request->eps) || !c.F64(&request->timeout_seconds)) {
+  if (!c.I32(&request->object_id) || !c.I32(&request->options.k) ||
+      !c.F64(&request->options.eps) ||
+      !c.F64(&request->options.timeout_seconds)) {
     return Truncated("request");
   }
   request->query = ObjectRepr{};
@@ -409,6 +424,15 @@ Status DecodeRequestPayload(const uint8_t* data, size_t size,
           "request carries both a stored object id and an external query");
     }
     VSIM_RETURN_NOT_OK(DecodeObjectRepr(&c, &request->query));
+  }
+  // Optional trailing QueryOptions fields: absent from peers that
+  // predate them (approx_level = 0 keeps the exact pipeline). Range
+  // validation happens in QueryService::Validate, not here.
+  request->options.approx_level = 0;
+  uint32_t approx_level = 0;
+  if (!c.Done()) {
+    if (!c.U32(&approx_level)) return Truncated("request");
+    request->options.approx_level = static_cast<int>(approx_level);
   }
   if (!c.Done()) {
     return Status::InvalidArgument("trailing bytes after request payload");
@@ -555,6 +579,23 @@ Status DecodeStatsResponsePayload(const uint8_t* data, size_t size,
                                      std::to_string(t.status_code));
     }
     response->traces.push_back(t);
+  }
+  // Optional trailing approx block (u32 level + u64 pruned per trace):
+  // absent from peers that predate it, in which case every trace keeps
+  // its zero defaults.
+  if (!c.Done()) {
+    constexpr size_t kApproxRecordBytes = 12;
+    if (c.remaining() < static_cast<size_t>(n_traces) * kApproxRecordBytes) {
+      return Truncated("stats response");
+    }
+    for (uint32_t i = 0; i < n_traces; ++i) {
+      uint32_t approx_level;
+      obs::QueryTrace& t = response->traces[i];
+      if (!c.U32(&approx_level) || !c.U64(&t.approx_pruned)) {
+        return Truncated("stats trace");
+      }
+      t.approx_level = static_cast<int32_t>(approx_level);
+    }
   }
   if (!c.Done()) {
     return Status::InvalidArgument("trailing bytes after stats response");

@@ -19,11 +19,14 @@ std::shared_ptr<const DbSnapshot> DbSnapshot::Create(CadDatabase db,
 
 StatusOr<std::shared_ptr<const DbSnapshot>> DbSnapshot::CreateDiskBacked(
     CadDatabase db, const std::string& store_path, uint64_t generation,
-    IoCostParams params, size_t pool_pages) {
+    IoCostParams params, size_t pool_pages, bool keep_ram_sets) {
   auto snapshot = std::shared_ptr<DbSnapshot>(new DbSnapshot());
-  auto owned_db = std::make_unique<const CadDatabase>(std::move(db));
+  // Kept mutable until after the engine build so the RAM vector sets
+  // can be demoted below; the pointer is stable across the move into
+  // owned_db_, and the snapshot is published (and frozen) only after
+  // this function returns.
+  auto owned_db = std::make_unique<CadDatabase>(std::move(db));
   snapshot->db_ = owned_db.get();
-  snapshot->owned_db_ = std::move(owned_db);
 
   // Materialize the store file: same objects in the same order as the
   // database, so stored ids line up with engine ids.
@@ -44,6 +47,12 @@ StatusOr<std::shared_ptr<const DbSnapshot>> DbSnapshot::CreateDiskBacked(
   owned_engine->AttachStore(snapshot->owned_store_.get());
   snapshot->engine_ = owned_engine.get();
   snapshot->owned_engine_ = std::move(owned_engine);
+  // The engine build was the last consumer of the RAM vector sets (it
+  // copied what it keeps: M-tree entries, sketches, centroid block).
+  // From here on the store holds the only full copies; QueryService
+  // hydrates stored-id queries from it.
+  if (!keep_ram_sets) owned_db->ReleaseVectorSets();
+  snapshot->owned_db_ = std::move(owned_db);
   snapshot->generation_ = generation;
   return std::shared_ptr<const DbSnapshot>(snapshot);
 }

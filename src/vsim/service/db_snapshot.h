@@ -59,9 +59,18 @@ class DbSnapshot {
   // real page I/O instead of the flat per-candidate simulation. The
   // snapshot owns the store; it is serveable concurrently exactly like
   // a RAM-resident snapshot (the pool's fetch path is thread-safe).
+  //
+  // By default the RAM copies of the demoted vector sets are released
+  // after the engine's index build (the store holds the authoritative
+  // copies; keeping both doubled the resident footprint). QueryService
+  // hydrates stored-id queries back from the store, so serving is
+  // unaffected. Pass keep_ram_sets = true to retain the duplicates --
+  // for callers that hit the engine's stored-id overloads directly,
+  // bypassing the service.
   static StatusOr<std::shared_ptr<const DbSnapshot>> CreateDiskBacked(
       CadDatabase db, const std::string& store_path, uint64_t generation,
-      IoCostParams params = {}, size_t pool_pages = 64);
+      IoCostParams params = {}, size_t pool_pages = 64,
+      bool keep_ram_sets = false);
 
   // Non-owning wrapper for callers that manage db/engine lifetime
   // themselves (the legacy QueryService constructor). `db` and `engine`

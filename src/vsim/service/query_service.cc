@@ -48,6 +48,9 @@ void QueryService::RegisterMetrics() {
   refine_stage_hist_ = metrics_.RegisterHistogram(
       "vsim_refine_stage_seconds",
       "CPU time in the refinement stage (exact minimal matching)");
+  approx_pruned_total_ = metrics_.RegisterCounter(
+      "vsim_approx_pruned_total",
+      "Candidates examined by the approximate sketch pre-filter");
   filter_hits_total_ = metrics_.RegisterCounter(
       "vsim_filter_hits_total",
       "Candidates produced by the filter step across all queries");
@@ -126,6 +129,13 @@ void QueryService::RegisterMetrics() {
     std::shared_ptr<const DbSnapshot> snap = snapshot();
     if (snap != nullptr && snap->store() != nullptr) {
       cache::AppendPoolSamples(snap->store()->pool(), out);
+      // RAM still held by the database's vector-set copies: 0 once
+      // CreateDiskBacked demoted them, the full duplicate footprint
+      // under keep_ram_sets (the regression this gauge watches for).
+      add("vsim_cache_pool_resident_bytes",
+          "RAM bytes of vector-set copies duplicated beside the store",
+          static_cast<double>(snap->db().VectorSetResidentBytes()),
+          obs::MetricSample::Type::kGauge);
     }
   });
 }
@@ -139,6 +149,7 @@ void QueryService::RecordTrace(const obs::QueryTrace& trace) {
   if (trace.cache_hit != 0) return;  // hits skipped the pipeline
   filter_stage_hist_->Record(trace.filter_seconds);
   refine_stage_hist_->Record(trace.refine_seconds);
+  approx_pruned_total_->Increment(trace.approx_pruned);
   filter_hits_total_->Increment(trace.filter_hits);
   candidates_refined_total_->Increment(trace.candidates_refined);
   hungarian_total_->Increment(trace.hungarian_invocations);
@@ -179,16 +190,11 @@ Status QueryService::SwapSnapshot(std::shared_ptr<const DbSnapshot> next) {
 
 Status QueryService::Validate(const ServiceRequest& request,
                               const CadDatabase& db) const {
-  const bool knn_kind = request.kind == QueryKind::kKnn ||
-                        request.kind == QueryKind::kInvariantKnn;
   const bool invariant_kind = request.kind == QueryKind::kInvariantKnn ||
                               request.kind == QueryKind::kInvariantRange;
-  if (knn_kind && request.k <= 0) {
-    return Status::InvalidArgument("k must be positive");
-  }
-  if (!knn_kind && request.eps < 0.0) {
-    return Status::InvalidArgument("eps must be non-negative");
-  }
+  // The knob surface (k, eps, timeout, approx level) has exactly one
+  // validation point: ValidateQueryOptions in service/request_parse.h.
+  VSIM_RETURN_NOT_OK(ValidateQueryOptions(request.kind, request.options));
   if (invariant_kind && request.strategy == QueryStrategy::kOneVectorXTree) {
     return Status::InvalidArgument(
         "invariant queries are not defined for the one-vector strategy");
@@ -236,8 +242,9 @@ ResultCacheKey QueryService::MakeKey(const ServiceRequest& request,
   key.strategy = static_cast<uint8_t>(request.strategy);
   key.invariance =
       invariant_kind ? (request.with_reflections ? 2 : 1) : 0;
-  key.k = knn_kind ? request.k : 0;
-  key.eps = knn_kind ? 0.0 : request.eps;
+  key.approx_level = static_cast<uint8_t>(request.options.approx_level);
+  key.k = knn_kind ? request.options.k : 0;
+  key.eps = knn_kind ? 0.0 : request.options.eps;
   return key;
 }
 
@@ -251,8 +258,24 @@ StatusOr<ServiceResponse> QueryService::RunRequest(
   const QueryEngine& engine = snap->engine();
 
   VSIM_RETURN_NOT_OK(Validate(request, db));
-  const ObjectRepr& query =
-      request.object_id >= 0 ? db.object(request.object_id) : request.query;
+  // Stored-id queries on a disk-backed snapshot whose RAM vector sets
+  // were demoted (DbSnapshot::CreateDiskBacked default): rebuild the
+  // query's set from the store, so the exact pipeline and the cache
+  // digest see the same representation a RAM-resident snapshot would.
+  ObjectRepr hydrated;
+  const ObjectRepr* query_ptr = &request.query;
+  if (request.object_id >= 0) {
+    const ObjectRepr& stored = db.object(request.object_id);
+    query_ptr = &stored;
+    if (stored.vector_set.empty() && snap->store() != nullptr) {
+      StatusOr<VectorSet> set = snap->store()->Get(request.object_id);
+      VSIM_RETURN_NOT_OK(set.status());
+      hydrated = stored;
+      hydrated.vector_set = std::move(set).value();
+      query_ptr = &hydrated;
+    }
+  }
+  const ObjectRepr& query = *query_ptr;
 
   ServiceResponse response;
   response.generation = snap->generation();
@@ -268,24 +291,27 @@ StatusOr<ServiceResponse> QueryService::RunRequest(
     }
   }
 
+  const QueryOptions& opt = request.options;
   switch (request.kind) {
     case QueryKind::kKnn:
-      response.neighbors =
-          engine.Knn(request.strategy, query, request.k, &response.cost);
+      response.neighbors = engine.Knn(request.strategy, query, opt.k,
+                                      &response.cost, opt.approx_level);
       break;
     case QueryKind::kRange:
-      response.ids =
-          engine.Range(request.strategy, query, request.eps, &response.cost);
+      response.ids = engine.Range(request.strategy, query, opt.eps,
+                                  &response.cost, opt.approx_level);
       break;
     case QueryKind::kInvariantKnn:
       response.neighbors =
-          engine.InvariantKnn(request.strategy, query, request.k,
-                              request.with_reflections, &response.cost);
+          engine.InvariantKnn(request.strategy, query, opt.k,
+                              request.with_reflections, &response.cost,
+                              opt.approx_level);
       break;
     case QueryKind::kInvariantRange:
       response.ids =
-          engine.InvariantRange(request.strategy, query, request.eps,
-                                request.with_reflections, &response.cost);
+          engine.InvariantRange(request.strategy, query, opt.eps,
+                                request.with_reflections, &response.cost,
+                                opt.approx_level);
       break;
   }
 
@@ -323,8 +349,9 @@ StatusOr<ServiceResponse> QueryService::RunAdmitted(
   trace.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   trace.kind = static_cast<uint8_t>(request.kind);
   trace.strategy = static_cast<uint8_t>(request.strategy);
-  trace.k = request.k;
-  trace.eps = request.eps;
+  trace.k = request.options.k;
+  trace.eps = request.options.eps;
+  trace.approx_level = request.options.approx_level;
   trace.queue_seconds =
       std::chrono::duration<double>(Clock::now() - submitted).count();
   if (Clock::now() > deadline) {
@@ -351,6 +378,7 @@ StatusOr<ServiceResponse> QueryService::RunAdmitted(
     trace.cpu_seconds = r.cost.cpu_seconds;
     trace.filter_seconds = r.cost.filter_seconds;
     trace.refine_seconds = r.cost.refine_seconds;
+    trace.approx_pruned = r.cost.approx_pruned;
     trace.filter_hits = r.cost.filter_hits;
     trace.candidates_refined = r.cost.candidates_refined;
     trace.hungarian_invocations = r.cost.hungarian_invocations;
@@ -385,7 +413,7 @@ StatusOr<std::future<StatusOr<ServiceResponse>>> QueryService::Submit(
   VSIM_RETURN_NOT_OK(Admit());
   const Clock::time_point submitted = Clock::now();
   const Clock::time_point deadline =
-      DeadlineFor(request.timeout_seconds, submitted);
+      DeadlineFor(request.options.timeout_seconds, submitted);
   return pool_.Submit([this, request = std::move(request), submitted,
                        deadline]() -> StatusOr<ServiceResponse> {
     return RunAdmitted(request, submitted, deadline);
@@ -400,7 +428,7 @@ Status QueryService::SubmitWithCallback(
   VSIM_RETURN_NOT_OK(Admit());
   const Clock::time_point submitted = Clock::now();
   const Clock::time_point deadline =
-      DeadlineFor(request.timeout_seconds, submitted);
+      DeadlineFor(request.options.timeout_seconds, submitted);
   // The future from pool_.Submit is discarded deliberately: the result
   // is delivered through `done` on the worker thread, and a discarded
   // future neither blocks nor cancels the task.

@@ -1,5 +1,10 @@
 #include "vsim/service/request_parse.h"
 
+#include <exception>
+#include <string>
+
+#include "vsim/kernels/sketch.h"
+
 namespace vsim {
 
 namespace {
@@ -93,6 +98,47 @@ StatusOr<ModelType> ParseModelType(const std::string& name) {
 const char* ModelTypeNames() {
   return "volume solid-angle cover-sequence cover-sequence-permutation "
          "vector-set";
+}
+
+Status ValidateQueryOptions(QueryKind kind, const QueryOptions& options) {
+  const bool is_knn =
+      kind == QueryKind::kKnn || kind == QueryKind::kInvariantKnn;
+  if (is_knn && options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (!is_knn && options.eps < 0.0) {
+    return Status::InvalidArgument("eps must be >= 0");
+  }
+  if (options.timeout_seconds < 0.0) {
+    return Status::InvalidArgument("timeout_seconds must be >= 0");
+  }
+  if (options.approx_level < 0 ||
+      options.approx_level > kernels::kMaxApproxLevel) {
+    return Status::InvalidArgument(
+        "approx_level must be in [0, " +
+        std::to_string(kernels::kMaxApproxLevel) + "]");
+  }
+  return Status::OK();
+}
+
+StatusOr<int> ParseApproxLevel(const std::string& text) {
+  size_t consumed = 0;
+  int level = 0;
+  try {
+    level = std::stoi(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || text.empty()) {
+    return Status::InvalidArgument("approx level must be an integer: '" +
+                                   text + "'");
+  }
+  if (level < 0 || level > kernels::kMaxApproxLevel) {
+    return Status::InvalidArgument(
+        "approx level must be in [0, " +
+        std::to_string(kernels::kMaxApproxLevel) + "]");
+  }
+  return level;
 }
 
 }  // namespace vsim

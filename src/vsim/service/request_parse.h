@@ -49,6 +49,19 @@ const char* CoverSearchNames();
 StatusOr<ModelType> ParseModelType(const std::string& name);
 const char* ModelTypeNames();
 
+// --- QueryOptions (the versioned per-request knob struct declared next
+// to ServiceRequest in query_service.h). This is the single validation
+// point for the knob surface: QueryService::Validate, the wire decoder
+// and the CLI all route through it, so bounds live in exactly one
+// place. Checks the knobs relevant to `kind` (k >= 1 for k-NN kinds,
+// eps >= 0 for range kinds) plus the kind-independent ones
+// (timeout_seconds >= 0, approx_level in [0, kernels::kMaxApproxLevel]).
+Status ValidateQueryOptions(QueryKind kind, const QueryOptions& options);
+
+// Parses a decimal approx level and bounds it like ValidateQueryOptions
+// does (the CLI's --approx flag parser).
+StatusOr<int> ParseApproxLevel(const std::string& text);
+
 }  // namespace vsim
 
 #endif  // VSIM_SERVICE_REQUEST_PARSE_H_

@@ -1,4 +1,5 @@
 #include "vsim/distance/centroid_filter.h"
+#include "vsim/kernels/kernels.h"
 
 #include <gtest/gtest.h>
 
@@ -56,7 +57,7 @@ TEST(CentroidFilterTest, LowerBoundHoldsOnRandomSets) {
     const VectorSet y = RandomSet(rng, 1 + rng.NextBounded(k), 6);
     const FeatureVector cx = ExtendedCentroid(x, k);
     const FeatureVector cy = ExtendedCentroid(y, k);
-    const double filter = CentroidFilterDistance(cx, cy, k);
+    const double filter = kernels::CentroidFilterBound(cx, cy, k);
     const double exact = VectorSetDistance(x, y);
     EXPECT_LE(filter, exact + 1e-9) << "trial " << trial;
     if (filter > 1e-6) ++nontrivial;
@@ -71,7 +72,7 @@ TEST(CentroidFilterTest, TightForTranslatedSingletons) {
   x.vectors.push_back({1.0, 2.0});
   y.vectors.push_back({4.0, 6.0});
   const double filter =
-      CentroidFilterDistance(ExtendedCentroid(x, 1), ExtendedCentroid(y, 1), 1);
+      kernels::CentroidFilterBound(ExtendedCentroid(x, 1), ExtendedCentroid(y, 1), 1);
   EXPECT_NEAR(filter, 5.0, 1e-12);
   EXPECT_NEAR(filter, VectorSetDistance(x, y), 1e-12);
 }
@@ -88,7 +89,7 @@ TEST(CentroidFilterTest, TightForUniformlyTranslatedSets) {
     for (int d = 0; d < 3; ++d) v[d] += t[d];
   }
   const double filter =
-      CentroidFilterDistance(ExtendedCentroid(x, k), ExtendedCentroid(y, k), k);
+      kernels::CentroidFilterBound(ExtendedCentroid(x, k), ExtendedCentroid(y, k), k);
   const double exact = VectorSetDistance(x, y);
   EXPECT_NEAR(filter, exact, 1e-9);
   EXPECT_NEAR(exact, k * EuclideanNorm(t), 1e-9);
@@ -101,7 +102,7 @@ TEST(CentroidFilterTest, FilterSelectivityIsReasonable) {
   VectorSet base = RandomSet(rng, 5, 6);
   VectorSet far = base;
   for (auto& v : far.vectors) v[0] += 100.0;
-  const double filter = CentroidFilterDistance(ExtendedCentroid(base, 7),
+  const double filter = kernels::CentroidFilterBound(ExtendedCentroid(base, 7),
                                                ExtendedCentroid(far, 7), 7);
   EXPECT_GT(filter, 50.0);
 }

@@ -40,13 +40,18 @@ TEST(DiskServingTest, DiskBackedSnapshotMatchesRamResidentEngine) {
 
   StatusOr<CadDatabase> disk_db = BuildDb();
   ASSERT_TRUE(disk_db.ok());
-  // Tiny pool (8 frames) so refinement actually churns pages.
+  // Tiny pool (8 frames) so refinement actually churns pages. This test
+  // drives the engine's stored-id overloads directly (no service in
+  // front to hydrate queries from the store), so it opts out of the
+  // default RAM demotion.
   StatusOr<std::shared_ptr<const DbSnapshot>> snap =
       DbSnapshot::CreateDiskBacked(std::move(*disk_db),
                                    TempPath("ds_match.vsstore"), 1,
-                                   IoCostParams{}, 8);
+                                   IoCostParams{}, 8,
+                                   /*keep_ram_sets=*/true);
   ASSERT_TRUE(snap.ok()) << snap.status().ToString();
   ASSERT_NE((*snap)->store(), nullptr);
+  EXPECT_GT((*snap)->db().VectorSetResidentBytes(), 0u);
 
   const int n = static_cast<int>(ram_db->size());
   for (int id = 0; id < n; ++id) {
@@ -73,14 +78,24 @@ TEST(DiskServingTest, ConcurrentClientsOverDiskBackedSnapshot) {
                                    IoCostParams{}, 2);
   ASSERT_TRUE(snap.ok()) << snap.status().ToString();
 
-  // Serial ground truth off the same snapshot (its engine's const query
-  // methods are the reference; concurrency must not change answers).
-  const QueryEngine& engine = (*snap)->engine();
+  // The default disk-backed build demotes the RAM vector-set copies:
+  // the store is now the only full copy of each set.
   const int n = static_cast<int>((*snap)->db().size());
+  for (int id = 0; id < n; ++id) {
+    EXPECT_TRUE((*snap)->db().object(id).vector_set.empty()) << "id=" << id;
+  }
+  EXPECT_EQ((*snap)->db().VectorSetResidentBytes(), 0u);
+
+  // Serial ground truth off an identically-built RAM-resident engine
+  // (BuildDb is deterministic); the service must hydrate stored-id
+  // queries from the store and still answer exactly, concurrently.
+  StatusOr<CadDatabase> ram_db = BuildDb(120);
+  ASSERT_TRUE(ram_db.ok());
+  const QueryEngine ram_engine(&*ram_db);
   const int k = 5;
   std::vector<std::vector<Neighbor>> expected(n);
   for (int id = 0; id < n; ++id) {
-    expected[id] = engine.Knn(QueryStrategy::kVectorSetFilter, id, k);
+    expected[id] = ram_engine.Knn(QueryStrategy::kVectorSetFilter, id, k);
   }
 
   QueryServiceOptions options;
@@ -99,7 +114,7 @@ TEST(DiskServingTest, ConcurrentClientsOverDiskBackedSnapshot) {
         ServiceRequest request;
         request.object_id = id;
         request.kind = QueryKind::kKnn;
-        request.k = k;
+        request.options.k = k;
         StatusOr<ServiceResponse> response = service.Execute(request);
         if (!response.ok() || response->neighbors != expected[id]) {
           mismatches.fetch_add(1, std::memory_order_seq_cst);
@@ -120,6 +135,9 @@ TEST(DiskServingTest, ConcurrentClientsOverDiskBackedSnapshot) {
   EXPECT_NE(text.find("vsim_cache_pool_hits_total"), std::string::npos);
   EXPECT_NE(text.find("vsim_cache_pool_misses_total"), std::string::npos);
   EXPECT_NE(text.find("vsim_cache_pool_resident_pages"), std::string::npos);
+  // The demotion gauge reads zero: no duplicated RAM copies remain.
+  EXPECT_NE(text.find("vsim_cache_pool_resident_bytes 0\n"),
+            std::string::npos);
   // At least one tier's hit counter is non-zero in the exposition.
   const bool nonzero_hot =
       text.find("vsim_cache_pool_hits_total{tier=\"hot\"} 0\n") ==
@@ -128,6 +146,74 @@ TEST(DiskServingTest, ConcurrentClientsOverDiskBackedSnapshot) {
       text.find("vsim_cache_pool_hits_total{tier=\"cold\"} 0\n") ==
       std::string::npos;
   EXPECT_TRUE(nonzero_hot || nonzero_cold);
+}
+
+TEST(DiskServingTest, KeepRamSetsRetainsCopiesAndReportsGaugeNonZero) {
+  // Opting out of demotion keeps the duplicated copies and the gauge
+  // reports their true footprint, so capacity dashboards can see the
+  // doubled residency.
+  StatusOr<CadDatabase> db = BuildDb();
+  ASSERT_TRUE(db.ok());
+  StatusOr<std::shared_ptr<const DbSnapshot>> snap =
+      DbSnapshot::CreateDiskBacked(std::move(*db),
+                                   TempPath("ds_keep.vsstore"), 1,
+                                   IoCostParams{}, 8,
+                                   /*keep_ram_sets=*/true);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  const size_t resident = (*snap)->db().VectorSetResidentBytes();
+  EXPECT_GT(resident, 0u);
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(*snap, options);
+  ServiceRequest request;
+  request.object_id = 0;
+  request.options.k = 3;
+  ASSERT_TRUE(service.Execute(request).ok());
+  const std::string text = service.metrics().TextExposition();
+  EXPECT_NE(text.find("vsim_cache_pool_resident_bytes " +
+                      std::to_string(resident) + "\n"),
+            std::string::npos);
+}
+
+TEST(DiskServingTest, DemotedSnapshotAnswersStoredIdQueriesExactly) {
+  // Demotion must be invisible to service clients: every stored-id
+  // query over the demoted snapshot (the query hydrated back from the
+  // store) matches the RAM-resident reference, for both exact and
+  // approximate levels.
+  StatusOr<CadDatabase> ram_db = BuildDb();
+  ASSERT_TRUE(ram_db.ok());
+  const QueryEngine ram_engine(&*ram_db);
+
+  StatusOr<CadDatabase> disk_db = BuildDb();
+  ASSERT_TRUE(disk_db.ok());
+  StatusOr<std::shared_ptr<const DbSnapshot>> snap =
+      DbSnapshot::CreateDiskBacked(std::move(*disk_db),
+                                   TempPath("ds_demote.vsstore"), 1,
+                                   IoCostParams{}, 8);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.cache_bytes = 0;
+  QueryService service(*snap, options);
+
+  const int n = static_cast<int>(ram_db->size());
+  const int k = 5;
+  for (int id = 0; id < n; ++id) {
+    for (int level : {0, 1}) {
+      ServiceRequest request;
+      request.object_id = id;
+      request.strategy = QueryStrategy::kVectorSetFilter;
+      request.options.k = k;
+      request.options.approx_level = level;
+      StatusOr<ServiceResponse> response = service.Execute(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      QueryCost cost;
+      const std::vector<Neighbor> want = ram_engine.Knn(
+          QueryStrategy::kVectorSetFilter, id, k, &cost, level);
+      EXPECT_EQ(response->neighbors, want) << "id=" << id
+                                           << " level=" << level;
+    }
+  }
 }
 
 TEST(DiskServingTest, RamResidentSnapshotExposesNoPoolSeries) {
@@ -140,7 +226,7 @@ TEST(DiskServingTest, RamResidentSnapshotExposesNoPoolSeries) {
   QueryService service(snap, options);
   ServiceRequest request;
   request.object_id = 0;
-  request.k = 3;
+  request.options.k = 3;
   ASSERT_TRUE(service.Execute(request).ok());
   const std::string text = service.metrics().TextExposition();
   EXPECT_EQ(text.find("vsim_cache_pool_"), std::string::npos);

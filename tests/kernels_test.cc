@@ -1,0 +1,299 @@
+// The kernel API contract (docs/KERNELS.md): every variant of every
+// kernel computes the same mathematical function as the scalar
+// reference -- exactly on integer-representable inputs, and to tight
+// relative tolerance on random doubles (the AVX2 cost-matrix kernel
+// reassociates the dimension reduction, so bit-exactness is only
+// guaranteed where every intermediate is exact). Plus the dispatch
+// surface: ByName round-trips, VSIM_KERNELS is honored via ForceScalar
+// CTest runs, and the sketch pre-filter is deterministic with monotone
+// thresholds.
+#include "vsim/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "vsim/common/rng.h"
+#include "vsim/distance/centroid_filter.h"
+#include "vsim/distance/min_matching.h"
+#include "vsim/kernels/sketch.h"
+
+namespace vsim::kernels {
+namespace {
+
+std::vector<const KernelSet*> AllVariants() {
+  std::vector<const KernelSet*> variants = {&ForceScalar(), &Portable(),
+                                            &BestAvailable()};
+  if (const KernelSet* avx2 = ByName("avx2")) variants.push_back(avx2);
+  return variants;
+}
+
+// Integer coordinates in a small range: squared differences, their sums
+// and the square roots of perfect squares are all exactly
+// representable, so every variant must agree bit-for-bit.
+TEST(KernelEquivalenceTest, CentroidBatchExactOnIntegerGrid) {
+  for (size_t dim : {1u, 2u, 3u, 6u, 7u, 13u}) {
+    for (size_t count : {0u, 1u, 2u, 3u, 5u, 8u, 65u}) {
+      std::vector<double> query(dim), block(count * dim);
+      Rng rng(dim * 131 + count);
+      for (double& x : query) x = static_cast<double>(rng.UniformInt(-8, 8));
+      for (double& x : block) x = static_cast<double>(rng.UniformInt(-8, 8));
+      std::vector<double> ref(count);
+      ForceScalar().centroid_distance_batch(query.data(), block.data(),
+                                             count, dim, ref.data());
+      for (const KernelSet* ks : AllVariants()) {
+        std::vector<double> out(count, -1.0);
+        ks->centroid_distance_batch(query.data(), block.data(), count, dim,
+                                    out.data());
+        for (size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(out[i], ref[i])
+              << ks->name << " dim=" << dim << " count=" << count
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, CentroidBatchRandomDoublesWithinUlps) {
+  Rng rng(7);
+  const size_t dim = 6, count = 257;
+  std::vector<double> query(dim), block(count * dim);
+  for (double& x : query) x = rng.Uniform(-3, 3);
+  for (double& x : block) x = rng.Uniform(-3, 3);
+  std::vector<double> ref(count);
+  ForceScalar().centroid_distance_batch(query.data(), block.data(), count,
+                                         dim, ref.data());
+  for (const KernelSet* ks : AllVariants()) {
+    std::vector<double> out(count);
+    ks->centroid_distance_batch(query.data(), block.data(), count, dim,
+                                out.data());
+    for (size_t i = 0; i < count; ++i) {
+      // sqrt of an FMA-reassociated 6-term sum: a handful of ulps.
+      EXPECT_NEAR(out[i], ref[i], 8 * std::abs(ref[i]) *
+                                      std::numeric_limits<double>::epsilon())
+          << ks->name << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, CostMatrixExactOnIntegerGrid) {
+  for (GroundKind ground : {GroundKind::kEuclidean,
+                            GroundKind::kSquaredEuclidean,
+                            GroundKind::kManhattan}) {
+    for (size_t dim : {1u, 2u, 6u, 16u}) {
+      const size_t m = 7, n = 5, stride = 7;
+      std::vector<double> a(m * dim), b(n * dim);
+      Rng rng(static_cast<uint64_t>(ground) * 977 + dim);
+      for (double& x : a) x = static_cast<double>(rng.UniformInt(-6, 6));
+      for (double& x : b) x = static_cast<double>(rng.UniformInt(-6, 6));
+      std::vector<double> ref(m * stride, 0.0);
+      ForceScalar().cost_matrix_build(ground, a.data(), m, b.data(), n, dim,
+                                       ref.data(), stride);
+      for (const KernelSet* ks : AllVariants()) {
+        std::vector<double> out(m * stride, 0.0);
+        ks->cost_matrix_build(ground, a.data(), m, b.data(), n, dim,
+                              out.data(), stride);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            // Squared-Euclidean and Manhattan sums of small integers
+            // are exact in any association; Euclidean additionally
+            // takes sqrt of an exact integer, which both variants do
+            // identically.
+            EXPECT_EQ(out[i * stride + j], ref[i * stride + j])
+                << ks->name << " ground=" << static_cast<int>(ground)
+                << " dim=" << dim << " (" << i << "," << j << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, CostMatrixRandomDoublesTightRelative) {
+  Rng rng(41);
+  const size_t m = 7, n = 7, dim = 6, stride = 7;
+  std::vector<double> a(m * dim), b(n * dim);
+  for (double& x : a) x = rng.Uniform(-2, 2);
+  for (double& x : b) x = rng.Uniform(-2, 2);
+  for (GroundKind ground : {GroundKind::kEuclidean,
+                            GroundKind::kSquaredEuclidean,
+                            GroundKind::kManhattan}) {
+    std::vector<double> ref(m * stride, 0.0);
+    ForceScalar().cost_matrix_build(ground, a.data(), m, b.data(), n, dim,
+                                     ref.data(), stride);
+    for (const KernelSet* ks : AllVariants()) {
+      std::vector<double> out(m * stride, 0.0);
+      ks->cost_matrix_build(ground, a.data(), m, b.data(), n, dim,
+                            out.data(), stride);
+      for (size_t i = 0; i < m * stride; ++i) {
+        EXPECT_NEAR(out[i], ref[i], 1e-12 * (1.0 + std::abs(ref[i])))
+            << ks->name;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, CostMatrixStridePadLeftUntouched) {
+  // out_stride > n: the surplus columns (min-matching dummy weights)
+  // must not be written by the kernel.
+  const size_t m = 3, n = 2, dim = 6, stride = 5;
+  std::vector<double> a(m * dim, 1.0), b(n * dim, 2.0);
+  for (const KernelSet* ks : AllVariants()) {
+    std::vector<double> out(m * stride, -7.0);
+    ks->cost_matrix_build(GroundKind::kEuclidean, a.data(), m, b.data(), n,
+                          dim, out.data(), stride);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = n; j < stride; ++j) {
+        EXPECT_EQ(out[i * stride + j], -7.0) << ks->name;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, ByNameRoundTripsAndRejectsUnknown) {
+  EXPECT_STREQ(ForceScalar().name, "scalar");
+  EXPECT_STREQ(Portable().name, "portable");
+  EXPECT_EQ(ByName("scalar"), &ForceScalar());
+  EXPECT_EQ(ByName("portable"), &Portable());
+  EXPECT_EQ(ByName("no-such-kernel"), nullptr);
+  EXPECT_EQ(ByName(nullptr), nullptr);
+  // BestAvailable is one of the registered variants and executable on
+  // this machine by construction.
+  const KernelSet& best = BestAvailable();
+  EXPECT_EQ(ByName(best.name), &best);
+}
+
+TEST(KernelDispatchTest, ActiveHonorsEnvironmentOverride) {
+  // The CTest registration kernel_force_scalar runs this whole suite
+  // with VSIM_KERNELS=scalar; in that configuration Active() must be
+  // the scalar set, otherwise it must match BestAvailable().
+  const char* env = std::getenv("VSIM_KERNELS");
+  if (env != nullptr && std::string(env) == "scalar") {
+    EXPECT_EQ(&Active(), &ForceScalar());
+  } else if (env == nullptr) {
+    EXPECT_EQ(&Active(), &BestAvailable());
+  }
+}
+
+TEST(KernelFilterBoundTest, MatchesScaledCentroidDistance) {
+  Rng rng(3);
+  FeatureVector a(6), b(6);
+  for (double& x : a) x = rng.Uniform(-1, 1);
+  for (double& x : b) x = rng.Uniform(-1, 1);
+  double expect = 0.0;
+  for (size_t d = 0; d < 6; ++d) expect += (a[d] - b[d]) * (a[d] - b[d]);
+  expect = 7.0 * std::sqrt(expect);
+  EXPECT_NEAR(CentroidFilterBound(a, b, 7.0), expect, 1e-12);
+}
+
+VectorSet RandomSet(Rng& rng, int count, int dim) {
+  VectorSet s;
+  for (int i = 0; i < count; ++i) {
+    FeatureVector v(dim);
+    for (double& x : v) x = rng.Uniform(-1, 1);
+    s.vectors.push_back(std::move(v));
+  }
+  return s;
+}
+
+TEST(SketchTest, DeterministicAndSelfOverlapIsFull) {
+  Rng rng(11);
+  const VectorSet s = RandomSet(rng, 5, 6);
+  const SetSketch a = SketchVectorSet(s);
+  const SetSketch b = SketchVectorSet(s);
+  EXPECT_EQ(a.words[0], b.words[0]);
+  EXPECT_EQ(a.words[1], b.words[1]);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(SketchOverlap(a, b), kSketchActiveBits);
+}
+
+TEST(SketchTest, ExactlyActiveBitsSet) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SetSketch s = SketchVectorSet(RandomSet(rng, 1 + trial % 7, 6));
+    const int bits = SketchOverlap(s, s);
+    EXPECT_EQ(bits, kSketchActiveBits);
+  }
+}
+
+TEST(SketchTest, EmptySetSketchIsEmpty) {
+  EXPECT_TRUE(SketchVectorSet(VectorSet{}).empty());
+}
+
+TEST(SketchTest, PermutationInvariant) {
+  Rng rng(17);
+  VectorSet s = RandomSet(rng, 6, 6);
+  VectorSet reversed;
+  for (auto it = s.vectors.rbegin(); it != s.vectors.rend(); ++it) {
+    reversed.vectors.push_back(*it);
+  }
+  const SetSketch a = SketchVectorSet(s);
+  const SetSketch b = SketchVectorSet(reversed);
+  EXPECT_EQ(a.words[0], b.words[0]);
+  EXPECT_EQ(a.words[1], b.words[1]);
+}
+
+TEST(SketchTest, ThresholdsMonotoneAndBounded) {
+  int prev = -1;
+  for (int level = 0; level <= kMaxApproxLevel; ++level) {
+    const int t = SketchOverlapThreshold(level);
+    EXPECT_GE(t, prev);
+    EXPECT_GE(t, 0);
+    EXPECT_LE(t, kSketchActiveBits);
+    prev = t;
+  }
+  EXPECT_EQ(SketchOverlapThreshold(0), 0);
+  // Out-of-range levels clamp instead of exploding.
+  EXPECT_EQ(SketchOverlapThreshold(-3), SketchOverlapThreshold(0));
+  EXPECT_EQ(SketchOverlapThreshold(99),
+            SketchOverlapThreshold(kMaxApproxLevel));
+}
+
+TEST(SketchTest, PerturbedSetOverlapsMoreThanRandomPair) {
+  // Statistical sanity of the locality property the prune relies on:
+  // a slightly perturbed copy should share far more winners with the
+  // original than an unrelated random set does (in expectation a
+  // random pair shares 32*32/128 = 8 bits). Averaged over trials to
+  // keep the assertion stable.
+  Rng rng(23);
+  double close_sum = 0.0, random_sum = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    VectorSet base = RandomSet(rng, 6, 6);
+    VectorSet near = base;
+    for (FeatureVector& v : near.vectors) {
+      for (double& x : v) x += rng.Uniform(-0.01, 0.01);
+    }
+    const VectorSet other = RandomSet(rng, 6, 6);
+    const SetSketch sb = SketchVectorSet(base);
+    close_sum += SketchOverlap(sb, SketchVectorSet(near));
+    random_sum += SketchOverlap(sb, SketchVectorSet(other));
+  }
+  EXPECT_GT(close_sum / trials, random_sum / trials + 8.0);
+}
+
+// The rewired min-matching still satisfies Lemma 2 end to end: the
+// kernel-built cost matrix feeds the same assignment solver, and the
+// kernel-computed filter bound must lower-bound its result -- under
+// every variant, since the scalar CTest rerun forces VSIM_KERNELS.
+TEST(KernelIntegrationTest, CentroidBoundStillLowerBoundsMatching) {
+  Rng rng(29);
+  const int k = 7;
+  for (int trial = 0; trial < 25; ++trial) {
+    VectorSet x = RandomSet(rng, 1 + static_cast<int>(rng.NextBounded(k)), 6);
+    VectorSet y = RandomSet(rng, 1 + static_cast<int>(rng.NextBounded(k)), 6);
+    MinMatchingOptions opt;
+    const double exact = MinimalMatchingDistance(x, y, opt);
+    const FeatureVector cx = vsim::ExtendedCentroid(x, k);
+    const FeatureVector cy = vsim::ExtendedCentroid(y, k);
+    const double bound = CentroidFilterBound(cx, cy, k);
+    EXPECT_LE(bound, exact + 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace vsim::kernels

@@ -6,6 +6,7 @@
 
 #include "vsim/common/rng.h"
 #include "vsim/distance/centroid_filter.h"
+#include "vsim/kernels/kernels.h"
 #include "vsim/distance/lp.h"
 #include "vsim/distance/min_matching.h"
 
@@ -92,7 +93,7 @@ TEST(MultiStepKnnTest, OptimalityNeverRefinesBeyondBound) {
   size_t within_bound = 0;
   for (size_t i = 0; i < w.sets.size(); ++i) {
     const double bound =
-        CentroidFilterDistance(w.centroids[7], w.centroids[i], w.k);
+        kernels::CentroidFilterBound(w.centroids[7], w.centroids[i], w.k);
     if (bound <= kth + 1e-9) ++within_bound;
   }
   EXPECT_LE(ms.candidates_refined, within_bound);

@@ -94,7 +94,7 @@ struct Loopback {
 std::string EncodedRequest(uint64_t request_id, int object_id, int k = 3) {
   ServiceRequest req;
   req.object_id = object_id;
-  req.k = k;
+  req.options.k = k;
   std::string frame;
   AppendRequestFrame(request_id, req, &frame);
   return frame;
@@ -113,7 +113,7 @@ TEST_P(NetHostileTest, SlowLorisDribbleDoesNotStarveOtherClients) {
   Client client = loop.Connect();
   ServiceRequest probe;
   probe.object_id = 1;
-  probe.k = 3;
+  probe.options.k = 3;
 
   for (size_t i = 0; i < frame.size(); ++i) {
     ASSERT_TRUE(WriteAll(loris->get(), frame.data() + i, 1).ok());
@@ -172,7 +172,7 @@ TEST_P(NetHostileTest, ReadTimeoutReapsMidFrameStall) {
   Client client = loop.Connect();
   ServiceRequest req;
   req.object_id = 2;
-  req.k = 3;
+  req.options.k = 3;
   StatusOr<ServiceResponse> response = client.Execute(req);
   EXPECT_TRUE(response.ok()) << response.status().ToString();
 }
@@ -208,7 +208,7 @@ TEST_P(NetHostileTest, MidFrameDisconnectLeavesNothingBehind) {
   Client client = loop.Connect();
   ServiceRequest req;
   req.object_id = 3;
-  req.k = 3;
+  req.options.k = 3;
   StatusOr<ServiceResponse> remote = client.Execute(req);
   StatusOr<ServiceResponse> local = loop.service->Execute(req);
   ASSERT_TRUE(remote.ok()) << remote.status().ToString();
@@ -238,7 +238,7 @@ TEST_P(NetHostileTest, PipelinedBurstPastAdmissionQueueShedsLoad) {
   for (int i = 0; i < kBurst; ++i) {
     ServiceRequest req;
     req.object_id = i % static_cast<int>(db_->size());
-    req.k = 3;
+    req.options.k = 3;
     uint64_t id = 0;
     ASSERT_TRUE(client.Send(req, &id).ok());
     sent_ids.push_back(id);
@@ -264,7 +264,7 @@ TEST_P(NetHostileTest, PipelinedBurstPastAdmissionQueueShedsLoad) {
   // Shedding is per-request: the connection serves the next query.
   ServiceRequest req;
   req.object_id = 0;
-  req.k = 3;
+  req.options.k = 3;
   StatusOr<ServiceResponse> after = client.Execute(req);
   EXPECT_TRUE(after.ok()) << after.status().ToString();
 
@@ -295,7 +295,7 @@ TEST_P(NetHostileTest, TinyPipelineWindowBackpressuresWithoutLoss) {
   for (int i = 0; i < kBurst; ++i) {
     ServiceRequest req;
     req.object_id = i % static_cast<int>(db_->size());
-    req.k = 3;
+    req.options.k = 3;
     uint64_t id = 0;
     ASSERT_TRUE(client.Send(req, &id).ok());
     sent_ids.push_back(id);
@@ -352,7 +352,7 @@ TEST_P(NetHostileTest, OversizedPayloadLengthIsRefusedBeforeAllocation) {
   Client client = loop.Connect();
   ServiceRequest req;
   req.object_id = 1;
-  req.k = 3;
+  req.options.k = 3;
   EXPECT_TRUE(client.Execute(req).ok());
 }
 

@@ -105,23 +105,23 @@ TEST_P(NetServerTest, LoopbackParityForAllQueryKinds) {
     ServiceRequest req;
     req.kind = QueryKind::kKnn;
     req.object_id = 3;
-    req.k = 5;
+    req.options.k = 5;
     requests.push_back(req);
     req.kind = QueryKind::kRange;
-    req.eps = eps * 1.5;
+    req.options.eps = eps * 1.5;
     requests.push_back(req);
     req.kind = QueryKind::kInvariantKnn;
-    req.k = 4;
+    req.options.k = 4;
     requests.push_back(req);
     req.kind = QueryKind::kInvariantRange;
-    req.eps = eps * 2;
+    req.options.eps = eps * 2;
     requests.push_back(req);
     // External-representation query (the --mesh path): same fields the
     // wire carries, no stored id.
     req.kind = QueryKind::kKnn;
     req.object_id = -1;
     req.query = db_->object(7);
-    req.k = 5;
+    req.options.k = 5;
     requests.push_back(req);
   }
 
@@ -150,7 +150,7 @@ TEST_P(NetServerTest, PipelinedRequestsCompleteInOrder) {
   for (int i = 0; i < kWindow; ++i) {
     ServiceRequest req;
     req.object_id = i % static_cast<int>(db_->size());
-    req.k = 3;
+    req.options.k = 3;
     uint64_t id = 0;
     ASSERT_TRUE(client.Send(req, &id).ok());
     sent_ids.push_back(id);
@@ -175,7 +175,7 @@ TEST_P(NetServerTest, ChunkedResponsesReassembleAcrossTinyFrames) {
   ServiceRequest req;
   req.kind = QueryKind::kRange;
   req.object_id = 0;
-  req.eps = 1e9;  // everything
+  req.options.eps = 1e9;  // everything
   StatusOr<ServiceResponse> local = loop.service->Execute(req);
   ASSERT_TRUE(local.ok());
   ASSERT_EQ(local->ids.size(), db_->size());
@@ -201,7 +201,7 @@ TEST_P(NetServerTest, ServiceErrorsPropagateAsWireStatuses) {
   EXPECT_TRUE(response.ok()) << response.status().ToString();
 
   // Deadline already expired when a worker picks it up.
-  req.timeout_seconds = 1e-9;
+  req.options.timeout_seconds = 1e-9;
   bool saw_deadline = false;
   for (int i = 0; i < 50 && !saw_deadline; ++i) {
     response = client.Execute(req);
@@ -263,7 +263,7 @@ TEST_P(NetServerTest, MalformedFramesNeverCrashOrHangTheServer) {
 
   ServiceRequest valid_req;
   valid_req.object_id = 2;
-  valid_req.k = 3;
+  valid_req.options.k = 3;
   std::string valid_frame;
   AppendRequestFrame(1, valid_req, &valid_frame);
 
@@ -360,7 +360,7 @@ TEST_P(NetServerTest, GracefulStopDrainsInFlightRequests) {
   for (int i = 0; i < kInFlight; ++i) {
     ServiceRequest req;
     req.object_id = i % static_cast<int>(db_->size());
-    req.k = 5;
+    req.options.k = 5;
     uint64_t id = 0;
     ASSERT_TRUE(client.Send(req, &id).ok());
   }
@@ -412,7 +412,7 @@ TEST_P(RemoteSwapTest, SwapUnderRemoteLoad) {
       while (!stop.load(std::memory_order_relaxed)) {
         ServiceRequest req;
         req.object_id = (c * 13 + ++q) % 30;
-        req.k = 3;
+        req.options.k = 3;
         StatusOr<ServiceResponse> response = client->Execute(req);
         if (!response.ok()) {
           failures.fetch_add(1, std::memory_order_seq_cst);
@@ -474,7 +474,7 @@ TEST_P(NetServerTest, StatsScrapeAttributesRemoteQuery) {
   const int k = 10;
   ServiceRequest req;
   req.object_id = 4;
-  req.k = k;
+  req.options.k = k;
   StatusOr<ServiceResponse> response = client.Execute(req);
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   ASSERT_EQ(response->neighbors.size(), static_cast<size_t>(k));

@@ -9,6 +9,7 @@
 #include "vsim/common/math_util.h"
 #include "vsim/common/rng.h"
 #include "vsim/distance/centroid_filter.h"
+#include "vsim/kernels/kernels.h"
 #include "vsim/distance/min_matching.h"
 #include "vsim/features/cover_sequence.h"
 #include "vsim/geometry/primitives.h"
@@ -161,7 +162,7 @@ TEST_P(CentroidBoundSweep, LowerBoundNeverExceedsExactDistance) {
       for (double& c : v) c = rng.Uniform(-1, 1);
       y.vectors.push_back(std::move(v));
     }
-    const double bound = CentroidFilterDistance(ExtendedCentroid(x, k),
+    const double bound = kernels::CentroidFilterBound(ExtendedCentroid(x, k),
                                                 ExtendedCentroid(y, k), k);
     EXPECT_LE(bound, VectorSetDistance(x, y) + 1e-9);
   }

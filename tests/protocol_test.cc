@@ -27,10 +27,11 @@ ServiceRequest MakeExternalRequest() {
   req.kind = QueryKind::kInvariantKnn;
   req.strategy = QueryStrategy::kVectorSetMTree;
   req.object_id = -1;
-  req.k = 7;
-  req.eps = 1.25;
+  req.options.k = 7;
+  req.options.eps = 1.25;
   req.with_reflections = true;
-  req.timeout_seconds = 0.75;
+  req.options.timeout_seconds = 0.75;
+  req.options.approx_level = 2;
   Rng rng(7);
   for (int v = 0; v < 3; ++v) {
     FeatureVector vec(6);
@@ -103,10 +104,11 @@ TEST(ProtocolTest, RequestWithExternalQueryRoundTrips) {
   EXPECT_EQ(out.kind, req.kind);
   EXPECT_EQ(out.strategy, req.strategy);
   EXPECT_EQ(out.object_id, req.object_id);
-  EXPECT_EQ(out.k, req.k);
-  EXPECT_EQ(out.eps, req.eps);
+  EXPECT_EQ(out.options.k, req.options.k);
+  EXPECT_EQ(out.options.eps, req.options.eps);
   EXPECT_EQ(out.with_reflections, req.with_reflections);
-  EXPECT_EQ(out.timeout_seconds, req.timeout_seconds);
+  EXPECT_EQ(out.options.timeout_seconds, req.options.timeout_seconds);
+  EXPECT_EQ(out.options.approx_level, req.options.approx_level);
   ASSERT_EQ(out.query.vector_set.size(), req.query.vector_set.size());
   for (size_t v = 0; v < req.query.vector_set.vectors.size(); ++v) {
     EXPECT_EQ(out.query.vector_set.vectors[v],
@@ -200,6 +202,8 @@ obs::QueryTrace MakeTrace(uint64_t id) {
   t.hungarian_invocations = 12;
   t.page_accesses = 88;
   t.bytes_read = 4096;
+  t.approx_level = 2;
+  t.approx_pruned = 250;
   return t;
 }
 
@@ -260,6 +264,52 @@ TEST(ProtocolTest, StatsResponseRoundTripsTextAndTraces) {
     EXPECT_EQ(b.hungarian_invocations, a.hungarian_invocations);
     EXPECT_EQ(b.page_accesses, a.page_accesses);
     EXPECT_EQ(b.bytes_read, a.bytes_read);
+    EXPECT_EQ(b.approx_level, a.approx_level);
+    EXPECT_EQ(b.approx_pruned, a.approx_pruned);
+  }
+}
+
+TEST(ProtocolTest, LegacyRequestWithoutApproxLevelDecodesToZero) {
+  // A pre-approx client's request payload stops right after the
+  // ObjectRepr; the tolerant decode must yield approx_level 0 (exact
+  // search), mirroring the feature_flags evolution pattern.
+  const ServiceRequest req = MakeExternalRequest();
+  std::string buffer;
+  AppendRequestFrame(31, req, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  const std::string legacy = frames[0].payload.substr(
+      0, frames[0].payload.size() - sizeof(uint32_t));
+  ServiceRequest out;
+  ASSERT_TRUE(DecodeRequestPayload(Bytes(legacy), legacy.size(), &out).ok());
+  EXPECT_EQ(out.options.approx_level, 0);
+  EXPECT_EQ(out.options.k, req.options.k);
+  ASSERT_EQ(out.query.vector_set.size(), req.query.vector_set.size());
+}
+
+TEST(ProtocolTest, LegacyStatsResponseWithoutApproxBlockDecodesToZero) {
+  // A pre-approx server's stats payload ends after the fixed trace
+  // records; the trailing per-trace approx block is optional and its
+  // absence must read back as level 0 / zero pruned.
+  StatsResponse resp;
+  resp.metrics_text = "vsim_requests_completed_total 1\n";
+  resp.traces.push_back(MakeTrace(201));
+  resp.traces.push_back(MakeTrace(202));
+  std::string buffer;
+  AppendStatsResponseFrame(13, resp, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  constexpr size_t kApproxRecordBytes = sizeof(uint32_t) + sizeof(uint64_t);
+  const std::string legacy = frames[0].payload.substr(
+      0, frames[0].payload.size() - resp.traces.size() * kApproxRecordBytes);
+  StatsResponse out;
+  ASSERT_TRUE(
+      DecodeStatsResponsePayload(Bytes(legacy), legacy.size(), &out).ok());
+  ASSERT_EQ(out.traces.size(), 2u);
+  for (const obs::QueryTrace& t : out.traces) {
+    EXPECT_EQ(t.approx_level, 0);
+    EXPECT_EQ(t.approx_pruned, 0u);
+    EXPECT_EQ(t.filter_hits, 37u);  // fixed records still decode fully
   }
 }
 

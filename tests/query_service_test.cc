@@ -74,10 +74,10 @@ TEST_F(QueryServiceTest, StressMatchesSerialEngine) {
           request.object_id = id;
           if (q % 3 == 0) {
             request.kind = QueryKind::kRange;
-            request.eps = eps;
+            request.options.eps = eps;
           } else {
             request.kind = QueryKind::kKnn;
-            request.k = k;
+            request.options.k = k;
           }
           StatusOr<ServiceResponse> response = service.Execute(request);
           if (!response.ok()) {
@@ -111,7 +111,7 @@ TEST_F(QueryServiceTest, CacheHitReplaysResultWithoutCost) {
   QueryService service(db_, engine_, options);
   ServiceRequest request;
   request.object_id = 3;
-  request.k = 4;
+  request.options.k = 4;
   StatusOr<ServiceResponse> first = service.Execute(request);
   ASSERT_TRUE(first.ok());
   EXPECT_FALSE(first->cache_hit);
@@ -133,7 +133,7 @@ TEST_F(QueryServiceTest, BackpressureRejectsBeyondBound) {
 
   ServiceRequest request;
   request.object_id = 0;
-  request.k = 3;
+  request.options.k = 3;
   auto first = service.Submit(request);
   auto second = service.Submit(request);
   ASSERT_TRUE(first.ok());
@@ -159,8 +159,8 @@ TEST_F(QueryServiceTest, ExpiredDeadlineFailsFast) {
   service.Pause();
   ServiceRequest request;
   request.object_id = 0;
-  request.k = 3;
-  request.timeout_seconds = 1e-3;
+  request.options.k = 3;
+  request.options.timeout_seconds = 1e-3;
   auto submitted = service.Submit(request);
   ASSERT_TRUE(submitted.ok());
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -176,8 +176,8 @@ TEST_F(QueryServiceTest, GenerousDeadlineSucceeds) {
   QueryService service(db_, engine_, {});
   ServiceRequest request;
   request.object_id = 1;
-  request.k = 3;
-  request.timeout_seconds = 30.0;
+  request.options.k = 3;
+  request.options.timeout_seconds = 30.0;
   const StatusOr<ServiceResponse> response = service.Execute(request);
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->neighbors.size(), 3u);
@@ -193,7 +193,7 @@ TEST_F(QueryServiceTest, InvariantKnnMatchesEngine) {
   ServiceRequest request;
   request.kind = QueryKind::kInvariantKnn;
   request.object_id = 2;
-  request.k = 3;
+  request.options.k = 3;
   const StatusOr<ServiceResponse> response = service.Execute(request);
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->neighbors, expected);
@@ -203,10 +203,10 @@ TEST_F(QueryServiceTest, ExternalQueryMatchesStoredObject) {
   QueryService service(db_, engine_, {});
   ServiceRequest by_id;
   by_id.object_id = 5;
-  by_id.k = 4;
+  by_id.options.k = 4;
   ServiceRequest external;
   external.query = db_->object(5);
-  external.k = 4;
+  external.options.k = 4;
   const StatusOr<ServiceResponse> a = service.Execute(by_id);
   const StatusOr<ServiceResponse> b = service.Execute(external);
   ASSERT_TRUE(a.ok());
@@ -221,7 +221,7 @@ TEST_F(QueryServiceTest, ValidationErrors) {
   QueryService service(db_, engine_, {});
   ServiceRequest bad_k;
   bad_k.object_id = 0;
-  bad_k.k = 0;
+  bad_k.options.k = 0;
   EXPECT_EQ(service.Execute(bad_k).status().code(),
             StatusCode::kInvalidArgument);
 
@@ -257,7 +257,7 @@ TEST_F(QueryServiceTest, DestructionDrainsQueuedAndInFlightRequests) {
     for (int q = 0; q < 24; ++q) {
       ServiceRequest request;
       request.object_id = q % static_cast<int>(db_->size());
-      request.k = 3;
+      request.options.k = 3;
       auto submitted = service.Submit(request);
       ASSERT_TRUE(submitted.ok());
       futures.push_back(std::move(submitted).value());
@@ -282,7 +282,7 @@ TEST_F(QueryServiceTest, DestructionDrainsWhilePaused) {
     for (int q = 0; q < 8; ++q) {
       ServiceRequest request;
       request.object_id = q;
-      request.k = 2;
+      request.options.k = 2;
       auto submitted = service.Submit(request);
       ASSERT_TRUE(submitted.ok());
       futures.push_back(std::move(submitted).value());
@@ -309,10 +309,10 @@ TEST_F(QueryServiceTest, DeadlineExpiryRacesCompletionCleanly) {
   for (int q = 0; q < kRequests; ++q) {
     ServiceRequest request;
     request.object_id = q % static_cast<int>(db_->size());
-    request.k = 3;
+    request.options.k = 3;
     // Sweep timeouts through the actual latency scale (tens of us to
     // ~ms) so some expire in the queue and some complete first.
-    request.timeout_seconds = 1e-5 * (1 + q % 200);
+    request.options.timeout_seconds = 1e-5 * (1 + q % 200);
     auto submitted = service.Submit(request);
     ASSERT_TRUE(submitted.ok());
     futures.push_back(std::move(submitted).value());
@@ -340,7 +340,7 @@ TEST_F(QueryServiceTest, StatsSnapshotAndPrint) {
   QueryService service(db_, engine_, {});
   ServiceRequest request;
   request.object_id = 0;
-  request.k = 2;
+  request.options.k = 2;
   ASSERT_TRUE(service.Execute(request).ok());
   ASSERT_TRUE(service.Execute(request).ok());
   const ServiceStatsSnapshot stats = service.Stats();
@@ -367,7 +367,7 @@ TEST_F(QueryServiceTest, TraceRecordsPaperCountersWithLemma2Ordering) {
   const int k = 5;
   ServiceRequest request;
   request.object_id = 2;
-  request.k = k;
+  request.options.k = k;
   request.strategy = QueryStrategy::kVectorSetFilter;
   StatusOr<ServiceResponse> response = service.Execute(request);
   ASSERT_TRUE(response.ok()) << response.status().ToString();
@@ -384,6 +384,11 @@ TEST_F(QueryServiceTest, TraceRecordsPaperCountersWithLemma2Ordering) {
   EXPECT_EQ(t.status_code, 0);
   EXPECT_EQ(t.cache_hit, 0);
   EXPECT_EQ(t.generation, response->generation);
+  // Approx stage off (level 0): approx_pruned degenerates to
+  // filter_hits, keeping the extended chain intact.
+  EXPECT_EQ(t.approx_level, 0);
+  EXPECT_EQ(t.approx_pruned, t.filter_hits);
+  EXPECT_GE(t.approx_pruned, t.filter_hits);
   EXPECT_GE(t.filter_hits, t.candidates_refined);
   EXPECT_GE(t.candidates_refined, static_cast<uint64_t>(k));
   EXPECT_EQ(t.hungarian_invocations, t.candidates_refined);
@@ -407,13 +412,73 @@ TEST_F(QueryServiceTest, TraceRecordsPaperCountersWithLemma2Ordering) {
             std::string::npos);
 }
 
+TEST_F(QueryServiceTest, ApproxKnobFlowsToTraceWithExtendedChain) {
+  // The per-request knob end to end: QueryOptions.approx_level switches
+  // the filter strategy onto the sketch pre-filter pipeline, the trace
+  // reports the level, and the extended Lemma-2 invariant chain
+  // approx_pruned >= filter_hits >= candidates_refined >= k holds (the
+  // approx stage examines every stored object, then the exact stages
+  // see only survivors).
+  QueryServiceOptions options;
+  options.cache_bytes = 0;
+  QueryService service(db_, engine_, options);
+  const int k = 3;
+  ServiceRequest request;
+  request.object_id = 2;
+  request.options.k = k;
+  request.options.approx_level = 1;
+  request.strategy = QueryStrategy::kVectorSetFilter;
+  StatusOr<ServiceResponse> response = service.Execute(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  const std::vector<obs::QueryTrace> traces =
+      service.flight_recorder().Snapshot(1);
+  ASSERT_EQ(traces.size(), 1u);
+  const obs::QueryTrace& t = traces[0];
+  EXPECT_EQ(t.status_code, 0);
+  EXPECT_EQ(t.approx_level, 1);
+  EXPECT_EQ(t.approx_pruned, db_->size());  // stage examined everything
+  EXPECT_GE(t.approx_pruned, t.filter_hits);
+  EXPECT_GE(t.filter_hits, t.candidates_refined);
+  EXPECT_GE(t.candidates_refined, static_cast<uint64_t>(k));
+  const std::string text = service.metrics().TextExposition();
+  EXPECT_NE(text.find("vsim_approx_pruned_total " +
+                      std::to_string(t.approx_pruned) + "\n"),
+            std::string::npos);
+
+  // Out-of-range level is rejected at the single validation point.
+  request.options.approx_level = 99;
+  StatusOr<ServiceResponse> rejected = service.Execute(request);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryServiceTest, ApproxLevelSplitsCacheKey) {
+  // An exact result must never be replayed to an approximate request or
+  // vice versa: the approx level is part of the cache key.
+  QueryServiceOptions options;
+  options.cache_bytes = 4 << 20;
+  QueryService service(db_, engine_, options);
+  ServiceRequest request;
+  request.object_id = 4;
+  request.options.k = 3;
+  ASSERT_TRUE(service.Execute(request).ok());
+  request.options.approx_level = 2;
+  StatusOr<ServiceResponse> other = service.Execute(request);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->cache_hit);
+  StatusOr<ServiceResponse> replay = service.Execute(request);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->cache_hit);
+}
+
 TEST_F(QueryServiceTest, CacheHitTraceSkipsStageCounters) {
   QueryServiceOptions options;
   options.cache_bytes = 4 << 20;
   QueryService service(db_, engine_, options);
   ServiceRequest request;
   request.object_id = 1;
-  request.k = 3;
+  request.options.k = 3;
   ASSERT_TRUE(service.Execute(request).ok());
   StatusOr<ServiceResponse> hit = service.Execute(request);
   ASSERT_TRUE(hit.ok());

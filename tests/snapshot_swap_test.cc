@@ -91,7 +91,7 @@ TEST_F(SnapshotSwapTest, ResponsesCarryTheServingGeneration) {
   QueryService service(Snapshot(0, 0));
   ServiceRequest request;
   request.object_id = 1;
-  request.k = kK;
+  request.options.k = kK;
   StatusOr<ServiceResponse> before = service.Execute(request);
   ASSERT_TRUE(before.ok());
   EXPECT_EQ(before->generation, 0u);
@@ -116,7 +116,7 @@ TEST_F(SnapshotSwapTest, SwapInvalidatesCachedResultsWithoutFlush) {
 
   ServiceRequest request;
   request.object_id = 2;
-  request.k = kK;
+  request.options.k = kK;
   ASSERT_TRUE(service.Execute(request).ok());          // populate gen 0
   StatusOr<ServiceResponse> warm = service.Execute(request);
   ASSERT_TRUE(warm.ok());
@@ -169,7 +169,7 @@ TEST_F(SnapshotSwapTest, EightClientStressSurvivesSwapsUnderLoad) {
         issued.fetch_add(1, std::memory_order_seq_cst);
         ServiceRequest request;
         request.object_id = id;
-        request.k = kK;
+        request.options.k = kK;
         const uint64_t admission_gen = service.generation();
         StatusOr<ServiceResponse> response = service.Execute(request);
         const uint64_t completion_gen = service.generation();
@@ -246,7 +246,7 @@ TEST_F(SnapshotSwapTest, RebuilderFactoryErrorLeavesServiceUntouched) {
   // The service still serves correct gen-0 results afterwards.
   ServiceRequest request;
   request.object_id = 0;
-  request.k = kK;
+  request.options.k = kK;
   StatusOr<ServiceResponse> response = service.Execute(request);
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->neighbors, (*expected_)[0][0]);
@@ -304,7 +304,7 @@ TEST_F(SnapshotSwapTest, DisplacedSnapshotOutlivesInFlightRequests) {
   service.Pause();
   ServiceRequest request;
   request.object_id = 3;
-  request.k = kK;
+  request.options.k = kK;
   auto submitted = service.Submit(request);
   ASSERT_TRUE(submitted.ok());
   // Swap while the request is queued: it must execute on one coherent

@@ -39,6 +39,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target vsim_tests
 # edges and reports the reversal as an inversion.
 TSAN_OPTIONS="halt_on_error=1:detect_deadlocks=1:second_deadlock_stack=1" \
     "$BUILD_DIR/tests/vsim_tests" \
-    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:*NetServerTest*:*NetHostileTest*:*RemoteSwapTest*:Obs*:FlightRecorder*:IoStatsConcurrency*:CachePool*:DiskServing*:SharedMutex*:PagedFile*:DeadlockDetector*:-DeadlockDetectorTest.TryLockDoesNotEstablishOrder'
+    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:*NetServerTest*:*NetHostileTest*:*RemoteSwapTest*:Obs*:FlightRecorder*:IoStatsConcurrency*:CachePool*:DiskServing*:SharedMutex*:PagedFile*:DeadlockDetector*:Kernel*:Sketch*:-DeadlockDetectorTest.TryLockDoesNotEstablishOrder'
 
 echo "TSan: service stress + snapshot-swap + net server + observability + storage stack + deadlock-detector suites clean"

@@ -1,0 +1,16 @@
+// Seeded violation: a per-pair ground-distance helper looped over
+// candidates instead of one batched kernels::KernelSet call.
+#include <vector>
+
+namespace vsim {
+
+double NearestCentroid(const std::vector<FeatureVector>& centroids,
+                       const FeatureVector& query) {
+  double best = 1e300;
+  for (const FeatureVector& c : centroids) {
+    best = std::min(best, EuclideanDistance(query, c));
+  }
+  return best;
+}
+
+}  // namespace vsim

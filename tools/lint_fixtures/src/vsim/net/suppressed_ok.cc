@@ -12,6 +12,16 @@ std::mutex g_suppressed_mutex;
 
 std::atomic<int> g_flag{0};
 
+double SumPairDistances(const std::vector<FeatureVector>& vs,
+                        const FeatureVector& q) {
+  double sum = 0;
+  for (const FeatureVector& v : vs) {
+    // vsim-lint: allow(raw-distance-loop) fixture: justified cold loop
+    sum += EuclideanDistance(q, v);
+  }
+  return sum;
+}
+
 int CopyHeader(uint8_t* dst, const uint8_t* src) {
   // vsim-lint: allow(wire-memcpy) fixture: bounds proven by caller
   std::memcpy(dst, src, 4);

@@ -344,10 +344,14 @@ int CmdInfo(const Flags& flags) {
 
 int CmdQuery(const Flags& flags) {
   VSIM_CLI_CHECK_FLAGS(flags, "query",
-                       {"db", "id", "mesh", "k", "strategy", "invariant"});
+                       {"db", "id", "mesh", "k", "strategy", "invariant",
+                        "approx"});
   StatusOr<CadDatabase> db = OpenDb(flags);
   if (!db.ok()) return Fail(db.status());
   const int k = flags.GetInt("k", 10);
+  StatusOr<int> approx_or = ParseApproxLevel(flags.Get("approx", "0"));
+  if (!approx_or.ok()) return UsageFail(approx_or.status());
+  const int approx = approx_or.value();
   StatusOr<QueryStrategy> strategy_or =
       ParseQueryStrategy(flags.Get("strategy", "filter"));
   if (!strategy_or.ok()) return UsageFail(strategy_or.status());
@@ -367,9 +371,9 @@ int CmdQuery(const Flags& flags) {
         ExtractObject({WeldVertices(*mesh)}, db->options());
     if (!repr.ok()) return Fail(repr.status());
     if (flags.Has("invariant")) {
-      result = engine.InvariantKnn(strategy, *repr, k, true, &cost);
+      result = engine.InvariantKnn(strategy, *repr, k, true, &cost, approx);
     } else {
-      result = engine.Knn(strategy, *repr, k, &cost);
+      result = engine.Knn(strategy, *repr, k, &cost, approx);
     }
     query_desc = mesh_path;
   } else {
@@ -378,9 +382,10 @@ int CmdQuery(const Flags& flags) {
       return Fail(Status::OutOfRange("--id out of range"));
     }
     if (flags.Has("invariant")) {
-      result = engine.InvariantKnn(strategy, db->object(id), k, true, &cost);
+      result = engine.InvariantKnn(strategy, db->object(id), k, true, &cost,
+                                   approx);
     } else {
-      result = engine.Knn(strategy, id, k, &cost);
+      result = engine.Knn(strategy, id, k, &cost, approx);
     }
     query_desc = "object " + std::to_string(id);
   }
@@ -575,19 +580,19 @@ int CmdBatch(const Flags& flags) {
     } else {
       req.object_id = static_cast<int>(rng.NextBounded(db_size));
       req.strategy = strategy;
-      req.k = k;
+      req.options.k = k;
       const double roll = rng.NextDouble();
       if (roll < 0.80) {
         req.kind = QueryKind::kKnn;
       } else if (roll < 0.95) {
         req.kind = QueryKind::kRange;
-        req.eps = base_eps * (0.5 + rng.NextDouble());
+        req.options.eps = base_eps * (0.5 + rng.NextDouble());
       } else {
         req.kind = QueryKind::kInvariantKnn;
       }
       history.push_back(req);
     }
-    req.timeout_seconds = timeout_s;
+    req.options.timeout_seconds = timeout_s;
     StatusOr<std::future<StatusOr<ServiceResponse>>> submitted =
         service.Submit(std::move(req));
     if (submitted.ok()) pending.push_back(std::move(submitted).value());
@@ -723,7 +728,7 @@ int CmdReindex(const Flags& flags) {
         issued.fetch_add(1, std::memory_order_relaxed);
         ServiceRequest req;
         req.object_id = static_cast<int>(rng.NextBounded(db_size));
-        req.k = k;
+        req.options.k = k;
         const uint64_t admission_gen = service.generation();
         StatusOr<ServiceResponse> response = service.Execute(req);
         const uint64_t completion_gen = service.generation();
@@ -806,8 +811,8 @@ int CmdServe(const Flags& flags) {
                         "port-file", "duration-s", "threads", "cache-mb",
                         "max-queue", "max-connections", "simulate-io",
                         "io-page-us", "seed", "stats-interval-s", "store",
-                        "pool-pages", "transport", "reactor-threads",
-                        "read-timeout-s"});
+                        "pool-pages", "keep-ram-sets", "transport",
+                        "reactor-threads", "read-timeout-s"});
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   StatusOr<CadDatabase> db = Status::Internal("unset");
   if (flags.Has("db")) {
@@ -832,7 +837,7 @@ int CmdServe(const Flags& flags) {
                  "[--duration-s S] [--threads T] [--cache-mb MB] "
                  "[--max-queue N] [--max-connections N] [--simulate-io] "
                  "[--io-page-us U] [--stats-interval-s S] "
-                 "[--store FILE [--pool-pages N]] "
+                 "[--store FILE [--pool-pages N] [--keep-ram-sets]] "
                  "[--transport threads|epoll [--reactor-threads N]] "
                  "[--read-timeout-s S]\n");
     return 2;
@@ -864,7 +869,8 @@ int CmdServe(const Flags& flags) {
         static_cast<size_t>(flags.GetInt("pool-pages", 64));
     StatusOr<std::shared_ptr<const DbSnapshot>> disk_snap =
         DbSnapshot::CreateDiskBacked(std::move(db).value(), store_path, 0,
-                                     sopts.io_params, pool_pages);
+                                     sopts.io_params, pool_pages,
+                                     flags.Has("keep-ram-sets"));
     if (!disk_snap.ok()) return Fail(disk_snap.status());
     snapshot = std::move(disk_snap).value();
     std::printf("disk-backed store at %s (%zu-frame pool, %zu shards)\n",
@@ -967,7 +973,7 @@ int CmdRemoteQuery(const Flags& flags) {
   VSIM_CLI_CHECK_FLAGS(flags, "remote-query",
                        {"host", "port", "id", "mesh", "k", "kind",
                         "strategy", "eps", "invariant", "reflections",
-                        "timeout-ms"});
+                        "timeout-ms", "approx"});
   const int port = flags.GetInt("port", 0);
   if (port <= 0) {
     std::fprintf(stderr,
@@ -976,7 +982,7 @@ int CmdRemoteQuery(const Flags& flags) {
                  "[--kind knn|range|invariant-knn|invariant-range] "
                  "[--strategy filter|scan|mtree|vafile|onevector] "
                  "[--eps E] [--invariant] [--reflections] "
-                 "[--timeout-ms MS]\n");
+                 "[--timeout-ms MS] [--approx L]\n");
     return 2;
   }
 
@@ -995,10 +1001,13 @@ int CmdRemoteQuery(const Flags& flags) {
       ParseQueryStrategy(flags.Get("strategy", "filter"));
   if (!strategy.ok()) return UsageFail(strategy.status());
   req.strategy = strategy.value();
-  req.k = flags.GetInt("k", 10);
-  req.eps = flags.GetDouble("eps", 0.0);
+  req.options.k = flags.GetInt("k", 10);
+  req.options.eps = flags.GetDouble("eps", 0.0);
   req.with_reflections = flags.Has("reflections");
-  req.timeout_seconds = flags.GetDouble("timeout-ms", 0.0) * 1e-3;
+  req.options.timeout_seconds = flags.GetDouble("timeout-ms", 0.0) * 1e-3;
+  StatusOr<int> approx = ParseApproxLevel(flags.Get("approx", "0"));
+  if (!approx.ok()) return UsageFail(approx.status());
+  req.options.approx_level = approx.value();
 
   const std::string host = flags.Get("host", "127.0.0.1");
   StatusOr<net::Client> client = net::Client::Connect(host, port);
@@ -1041,7 +1050,7 @@ int CmdRemoteQuery(const Flags& flags) {
   }
   if (!response->ids.empty()) {
     std::printf("  %zu objects within eps %.4f:", response->ids.size(),
-                req.eps);
+                req.options.eps);
     for (int id : response->ids) std::printf(" %d", id);
     std::printf("\n");
   }
@@ -1095,7 +1104,7 @@ int CmdStats(const Flags& flags) {
   for (const obs::QueryTrace& t : stats->traces) {
     std::printf(
         "  #%llu %s/%s gen %llu%s: total %.3f ms (queue %.3f, "
-        "filter %.3f, refine %.3f); %llu filter hits -> %llu refined, "
+        "filter %.3f, refine %.3f); %s%llu filter hits -> %llu refined, "
         "%llu hungarian, %llu pages / %llu bytes I/O%s\n",
         static_cast<unsigned long long>(t.trace_id),
         QueryKindName(static_cast<QueryKind>(t.kind)),
@@ -1104,6 +1113,11 @@ int CmdStats(const Flags& flags) {
         t.cache_hit ? " (cache hit)" : "",
         1e3 * t.total_seconds, 1e3 * t.queue_seconds,
         1e3 * t.filter_seconds, 1e3 * t.refine_seconds,
+        t.approx_level == 0
+            ? ""
+            : ("approx L" + std::to_string(t.approx_level) + " " +
+               std::to_string(t.approx_pruned) + " examined -> ")
+                  .c_str(),
         static_cast<unsigned long long>(t.filter_hits),
         static_cast<unsigned long long>(t.candidates_refined),
         static_cast<unsigned long long>(t.hungarian_invocations),

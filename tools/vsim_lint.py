@@ -32,6 +32,16 @@ repo's architecture, not general C++ hygiene:
                    in docs/OPERATIONS.md. A knob that is not in the
                    operations manual does not exist for the operator
                    debugging at 3am.
+  raw-distance-loop
+                   No per-pair ground-distance helper (lp.h's
+                   EuclideanDistance & friends) inside a for/while loop
+                   in src/ or bench/, outside src/vsim/kernels/ and
+                   src/vsim/distance/. Batched distance work must go
+                   through the kernels::KernelSet API (docs/KERNELS.md)
+                   so hot loops cannot silently regress to scalar
+                   per-pair calls. Cold single-pair call sites outside
+                   loops are fine; justified loops (group-orbit minima,
+                   microbenches of the primitive itself) carry allow().
 
 Suppressions: a line (or its predecessor) containing
     vsim-lint: allow(<rule>) <justification>
@@ -87,6 +97,22 @@ ATOMIC_CALL_RE = re.compile(
     r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong|"
     r"wait|test_and_set)\s*\("
 )
+
+# Per-pair ground-distance helpers (distance/lp.h). A call within the
+# loop-window after a for/while outside kernels/ and distance/ is a
+# batched loop that bypassed the kernel API.
+RAW_DISTANCE_RE = re.compile(
+    r"\b(SquaredEuclideanDistance|EuclideanDistance|ManhattanDistance|"
+    r"ChebyshevDistance|MinkowskiDistance)\s*\("
+)
+LOOP_RE = re.compile(r"\b(for|while)\s*\(")
+# Lines after a loop header still attributed to that loop (covers the
+# clang-format continuation style used throughout the tree).
+RAW_DISTANCE_WINDOW = 3
+# Directories whose job IS per-pair distance math.
+RAW_DISTANCE_EXEMPT_PREFIXES = ("src/vsim/kernels/", "src/vsim/distance/")
+# Tests keep brute-force ground truths on purpose.
+RAW_DISTANCE_SCOPES = ("src/", "bench/")
 
 # Knob discovery: getenv("VSIM_X") in C++, option(VSIM_X .. / CACHE in
 # CMake, $VSIM_X / ${VSIM_X} / VSIM_X= / -DVSIM_X in shell scripts.
@@ -162,9 +188,24 @@ def lint_cxx_file(relpath, lines):
     in_net = relpath.startswith("src/vsim/net/")
     is_reactor = relpath == "src/vsim/net/reactor.cc"
     raw_mutex_ok = relpath.startswith(RAW_MUTEX_ALLOWED_PREFIX)
+    distance_scope = (relpath.startswith(RAW_DISTANCE_SCOPES)
+                      and not relpath.startswith(RAW_DISTANCE_EXEMPT_PREFIXES))
+    last_loop_line = -10  # 0-based line of the most recent loop header
 
     for i, raw_line in enumerate(lines):
         line = strip_comment(raw_line)
+
+        if distance_scope:
+            if LOOP_RE.search(line):
+                last_loop_line = i
+            m = RAW_DISTANCE_RE.search(line)
+            if (m and i - last_loop_line <= RAW_DISTANCE_WINDOW
+                    and not allowed(lines, i, "raw-distance-loop")):
+                violations.append(Violation(
+                    relpath, i + 1, "raw-distance-loop",
+                    f"per-pair {m.group(1)}() inside a loop -- batch "
+                    "through kernels::KernelSet (docs/KERNELS.md) "
+                    "instead of looping scalar pair calls"))
 
         if not raw_mutex_ok:
             m = RAW_MUTEX_RE.search(line)
@@ -327,6 +368,7 @@ def self_test(script_dir):
         ("reactor-blocking", "src/vsim/net/reactor.cc"),
         ("atomic-order", "src/vsim/service/bad_atomic_order.cc"),
         ("knob-docs", "src/vsim/service/bad_undocumented_knob.cc"),
+        ("raw-distance-loop", "src/vsim/core/bad_raw_distance_loop.cc"),
     }
     # The suppression fixture seeds one violation of every rule, each
     # carrying a justified allow() -- none may fire.
