@@ -1,0 +1,146 @@
+// Observability overhead bench: the cost of the span-tracing record
+// path and of the armed sampling profiler on the serving hot path
+// (docs/OBSERVABILITY.md "Tracing"). Three back-to-back configurations
+// of the SAME k-NN workload through the concurrent QueryService:
+//
+//   spans off        enable_spans=false -- the baseline
+//   spans on         every request builds and publishes its span tree
+//   spans + profiler tracing on AND the SIGPROF sampler armed at
+//                    100 Hz (the documented always-on-safe rate)
+//
+// The acceptance bar (checked in as BENCH_obs.json) is tracing-on
+// overhead <= 2% of baseline throughput: the record path is bounded,
+// lock-free and allocation-free (tests/obs_alloc_check.cc), so it must
+// stay invisible next to real filter/refine work. Scheduler noise on a
+// small shared box easily exceeds the effect being measured, so each
+// configuration gets a warm-up pass plus five interleaved measured
+// rounds, and the MEDIAN round is reported (robust against one stolen
+// timeslice in either direction, unlike best-of or mean).
+//
+// Emits a single JSON line (prefixed "JSON: "); --json FILE also
+// writes it to FILE (BENCH_obs.json is checked in from such a run).
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "vsim/common/rng.h"
+#include "vsim/common/stopwatch.h"
+#include "vsim/common/table_printer.h"
+#include "vsim/core/query_engine.h"
+#include "vsim/obs/profiler.h"
+#include "vsim/service/query_service.h"
+
+using namespace vsim;
+
+namespace {
+
+double RunWorkload(QueryService& service, const std::vector<int>& ids,
+                   int k) {
+  std::vector<std::future<StatusOr<ServiceResponse>>> pending;
+  pending.reserve(ids.size());
+  Stopwatch watch;
+  for (int id : ids) {
+    ServiceRequest request;
+    request.object_id = id;
+    request.options.k = k;
+    auto submitted = service.Submit(std::move(request));
+    if (submitted.ok()) pending.push_back(std::move(submitted).value());
+  }
+  size_t ok = 0;
+  for (auto& f : pending) ok += f.get().ok() ? 1 : 0;
+  const double elapsed = watch.ElapsedSeconds();
+  if (ok != ids.size()) {
+    std::fprintf(stderr, "workload dropped %zu/%zu queries\n",
+                 ids.size() - ok, ok);
+    std::exit(1);
+  }
+  return static_cast<double>(ok) / elapsed;
+}
+
+double RunConfig(const CadDatabase& db, const QueryEngine& engine,
+                 const std::vector<int>& ids, bool spans, int profile_hz) {
+  QueryServiceOptions options;
+  // One worker: the submitter plus one worker saturate a two-core CI
+  // box without oversubscription jitter, and the record path under
+  // test is per-request, not per-thread.
+  options.num_threads = 1;
+  options.max_queue = ids.size();
+  options.cache_bytes = 0;  // a cache hit would skip the traced stages
+  options.enable_spans = spans;
+  QueryService service(&db, &engine, options);
+  if (profile_hz > 0 && !obs::Profiler::Instance().Arm(profile_hz)) {
+    std::fprintf(stderr, "profiler failed to arm\n");
+    std::exit(1);
+  }
+  // Warm-up: spin the worker threads, the allocator and the CPU
+  // governor up before the measured pass.
+  const std::vector<int> warm(ids.begin(), ids.begin() + ids.size() / 4);
+  (void)RunWorkload(service, warm, /*k=*/10);
+  const double qps = RunWorkload(service, ids, /*k=*/10);
+  if (profile_hz > 0) obs::Profiler::Instance().Disarm();
+  return qps;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig cfg = bench::Config();
+  const size_t objects = bench::FullRun() ? cfg.aircraft_objects : 500;
+  ExtractionOptions opt;
+  opt.extract_histograms = false;
+  const Dataset ds = MakeAircraftDataset(objects, 7);
+  const CadDatabase db = bench::BuildDatabase(ds, opt);
+  const QueryEngine engine(&db);
+
+  const int queries = bench::FullRun() ? 4000 : 2000;
+  Rng rng(2026);
+  std::vector<int> ids;
+  ids.reserve(queries);
+  for (int q = 0; q < queries; ++q) {
+    ids.push_back(static_cast<int>(rng.NextBounded(db.size())));
+  }
+
+  std::printf("observability overhead: %zu objects, %d 10-NN queries, "
+              "1 worker, cache off\n\n",
+              db.size(), queries);
+
+  // Interleaved rounds, median per configuration.
+  std::vector<double> off_runs, on_runs, prof_runs;
+  for (int round = 0; round < 5; ++round) {
+    off_runs.push_back(RunConfig(db, engine, ids, false, 0));
+    on_runs.push_back(RunConfig(db, engine, ids, true, 0));
+    prof_runs.push_back(RunConfig(db, engine, ids, true, 100));
+  }
+  const double qps_off = Median(off_runs);
+  const double qps_on = Median(on_runs);
+  const double qps_prof = Median(prof_runs);
+  const double on_pct = 100.0 * (qps_off - qps_on) / qps_off;
+  const double prof_pct = 100.0 * (qps_off - qps_prof) / qps_off;
+
+  TablePrinter table({"configuration", "queries/s", "overhead"});
+  table.AddRow({"spans off", TablePrinter::Num(qps_off, 0), "--"});
+  table.AddRow({"spans on", TablePrinter::Num(qps_on, 0),
+                TablePrinter::Num(on_pct, 2) + "%"});
+  table.AddRow({"spans + profiler 100 Hz", TablePrinter::Num(qps_prof, 0),
+                TablePrinter::Num(prof_pct, 2) + "%"});
+  table.Print();
+  std::printf("\nacceptance: tracing-on overhead <= 2%% of baseline\n");
+
+  const std::string json =
+      "{\"bench\":\"obs_overhead\",\"objects\":" + std::to_string(db.size()) +
+      ",\"queries\":" + std::to_string(queries) +
+      ",\"qps_spans_off\":" + TablePrinter::Num(qps_off, 1) +
+      ",\"qps_spans_on\":" + TablePrinter::Num(qps_on, 1) +
+      ",\"qps_spans_profiled_100hz\":" + TablePrinter::Num(qps_prof, 1) +
+      ",\"tracing_overhead_pct\":" + TablePrinter::Num(on_pct, 2) +
+      ",\"profiled_overhead_pct\":" + TablePrinter::Num(prof_pct, 2) + "}";
+  return bench::EmitJson(json, bench::JsonOutPath(argc, argv));
+}

@@ -17,7 +17,18 @@ Status Client::Send(const ServiceRequest& request, uint64_t* request_id) {
   if (!ok()) return Status::FailedPrecondition("client is not connected");
   *request_id = next_request_id_++;
   std::string frame;
-  AppendRequestFrame(*request_id, request, &frame);
+  if (request.trace.valid()) {
+    last_trace_ = request.trace;
+    AppendRequestFrame(*request_id, request, &frame);
+  } else {
+    // The client is the root of the distributed trace: mint the 16-byte
+    // id here so the server's net- and service-layer trees (and, later,
+    // any scatter-gather shards) all hang off one identity.
+    ServiceRequest traced = request;
+    traced.trace = obs::MintTraceContext();
+    last_trace_ = traced.trace;
+    AppendRequestFrame(*request_id, traced, &frame);
+  }
   Status written = WriteAll(fd_.get(), frame.data(), frame.size());
   if (!written.ok()) poisoned_ = true;
   return written;
@@ -144,11 +155,15 @@ StatusOr<ServerInfo> Client::Info() {
 }
 
 StatusOr<StatsResponse> Client::Stats(uint32_t max_traces, bool slow_only) {
-  if (!ok()) return Status::FailedPrecondition("client is not connected");
-  const uint64_t id = next_request_id_++;
   StatsRequest request;
   request.max_traces = std::min(max_traces, kMaxWireTraces);
   request.slow_only = slow_only;
+  return Stats(request);
+}
+
+StatusOr<StatsResponse> Client::Stats(const StatsRequest& request) {
+  if (!ok()) return Status::FailedPrecondition("client is not connected");
+  const uint64_t id = next_request_id_++;
   std::string frame;
   AppendStatsRequestFrame(id, request, &frame);
   Status written = WriteAll(fd_.get(), frame.data(), frame.size());

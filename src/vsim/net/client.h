@@ -48,8 +48,15 @@ class Client {
 
   // Pipelined submission: writes one request frame and returns without
   // waiting for the response. *request_id receives the id that the
-  // matching completion will echo.
+  // matching completion will echo. A request without a trace context
+  // gets one minted here (docs/PROTOCOL.md §12) -- the client is the
+  // root of the distributed trace -- readable via last_trace() and
+  // echoed back in the response (ServiceResponse::trace_hi/lo).
   Status Send(const ServiceRequest& request, uint64_t* request_id);
+
+  // The trace context of the most recent Send (minted or caller-
+  // provided). Zero until the first Send.
+  const obs::TraceContext& last_trace() const { return last_trace_; }
 
   // Blocks for the next completion (in Send order). On success fills
   // *request_id (may be null) and returns the reassembled response; a
@@ -74,12 +81,19 @@ class Client {
   StatusOr<StatsResponse> Stats(uint32_t max_traces = 64,
                                 bool slow_only = false);
 
+  // Full-control stats pull (docs/PROTOCOL.md §12): span-tree snapshot
+  // (`include_spans`) and the profiler sub-request (`profile_op` /
+  // `profile_hz`) ride the same frame. Requires no other requests
+  // outstanding.
+  StatusOr<StatsResponse> Stats(const StatsRequest& request);
+
   void Close() { fd_.Reset(); }
 
  private:
   ScopedFd fd_;
   uint64_t next_request_id_ = 1;
   bool poisoned_ = false;
+  obs::TraceContext last_trace_;
 };
 
 }  // namespace vsim::net

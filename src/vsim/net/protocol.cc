@@ -14,6 +14,8 @@ namespace {
 // would be a protocol break, as documented at each enum).
 constexpr uint8_t kNumQueryKinds = 4;
 constexpr uint8_t kNumQueryStrategies = 5;
+constexpr uint8_t kNumSpanNames =
+    static_cast<uint8_t>(vsim::obs::kNumSpanNames);
 
 // --- little-endian append helpers ------------------------------------
 
@@ -221,6 +223,12 @@ void AppendRequestFrame(uint64_t request_id, const ServiceRequest& request,
   // byte above and read approx_level = 0. The ObjectRepr block is
   // self-terminating, so the trailing position is unambiguous.
   PutU32(&payload, static_cast<uint32_t>(request.options.approx_level));
+  // Trailing trace context (docs/PROTOCOL.md §12): the distributed
+  // trace identity this request belongs to, zero when untraced.
+  // Decoders that predate the block stop above and mint server-side.
+  PutU64(&payload, request.trace.trace_hi);
+  PutU64(&payload, request.trace.trace_lo);
+  PutU64(&payload, request.trace.parent_span_id);
   AppendFrame(FrameType::kRequest, kFlagFinal, request_id, payload, out);
 }
 
@@ -264,6 +272,11 @@ void AppendStatsRequestFrame(uint64_t request_id, const StatsRequest& request,
   std::string payload;
   PutU32(&payload, request.max_traces);
   PutU8(&payload, request.slow_only ? 1 : 0);
+  // Trailing span/profiler fields (docs/PROTOCOL.md §12): servers that
+  // predate them stop above (no spans, no profiler action).
+  PutU8(&payload, request.include_spans ? 1 : 0);
+  PutU8(&payload, request.profile_op);
+  PutU32(&payload, request.profile_hz);
   AppendFrame(FrameType::kStatsRequest, kFlagFinal, request_id, payload, out);
 }
 
@@ -310,6 +323,42 @@ void AppendStatsResponseFrame(uint64_t request_id,
     PutU32(&payload, static_cast<uint32_t>(t.approx_level));
     PutU64(&payload, t.approx_pruned);
   }
+  // Trailing tracing blocks (docs/PROTOCOL.md §12), emitted in a fixed
+  // order so truncation at any block boundary decodes as "absent":
+  // (a) per-trace 16-byte trace ids, (b) span trees, (c) profiler text.
+  for (size_t i = 0; i < traces; ++i) {
+    PutU64(&payload, response.traces[i].trace_hi);
+    PutU64(&payload, response.traces[i].trace_lo);
+  }
+  const size_t trees =
+      std::min<size_t>(response.span_trees.size(), kMaxWireSpanTrees);
+  PutU32(&payload, static_cast<uint32_t>(trees));
+  for (size_t i = 0; i < trees; ++i) {
+    const obs::SpanTreeRecord& tree = response.span_trees[i];
+    const uint32_t count =
+        std::min<uint32_t>(tree.span_count,
+                           static_cast<uint32_t>(obs::kSpanArenaCapacity));
+    PutU64(&payload, tree.trace_hi);
+    PutU64(&payload, tree.trace_lo);
+    PutU64(&payload, tree.query_trace_id);
+    PutU32(&payload, count);
+    PutU32(&payload, tree.spans_dropped);
+    for (uint32_t s = 0; s < count; ++s) {
+      const obs::SpanRecord& span = tree.spans[s];
+      PutU64(&payload, span.span_id);
+      PutU64(&payload, span.parent_span_id);
+      PutU64(&payload, span.start_ns);
+      PutU64(&payload, span.end_ns);
+      PutU64(&payload, span.counter);
+      PutU8(&payload, span.name);
+    }
+  }
+  std::string profile = response.profile_text;
+  if (profile.size() > kMaxWireProfileBytes) {
+    profile.resize(kMaxWireProfileBytes);
+  }
+  PutU32(&payload, static_cast<uint32_t>(profile.size()));
+  payload.append(profile);
   AppendFrame(FrameType::kStatsResponse, kFlagFinal, request_id, payload,
               out);
 }
@@ -343,6 +392,12 @@ void AppendResponseFrames(uint64_t request_id,
     const size_t ie = std::min(total_ids, (chunk + 1) * results_per_frame);
     AppendChunkBody(&payload, response, nb, ne, ib, ie);
     const bool final_chunk = chunk + 1 == chunks;
+    if (final_chunk) {
+      // Trailing trace-id echo (docs/PROTOCOL.md §12) on the final
+      // chunk only: clients that predate it stop at the chunk body.
+      PutU64(&payload, response.trace_hi);
+      PutU64(&payload, response.trace_lo);
+    }
     AppendFrame(FrameType::kResponse, final_chunk ? kFlagFinal : 0,
                 request_id, payload, out);
   }
@@ -434,6 +489,17 @@ Status DecodeRequestPayload(const uint8_t* data, size_t size,
     if (!c.U32(&approx_level)) return Truncated("request");
     request->options.approx_level = static_cast<int>(approx_level);
   }
+  // Optional trailing trace context (docs/PROTOCOL.md §12): absent from
+  // peers that predate it (the server mints an id of its own). The
+  // three words travel together; a partial block is a truncation.
+  request->trace = obs::TraceContext{};
+  if (!c.Done()) {
+    if (!c.U64(&request->trace.trace_hi) ||
+        !c.U64(&request->trace.trace_lo) ||
+        !c.U64(&request->trace.parent_span_id)) {
+      return Truncated("request");
+    }
+  }
   if (!c.Done()) {
     return Status::InvalidArgument("trailing bytes after request payload");
   }
@@ -518,6 +584,26 @@ Status DecodeStatsRequestPayload(const uint8_t* data, size_t size,
   if (request->max_traces > kMaxWireTraces) {
     return Oversized("stats trace", request->max_traces, kMaxWireTraces);
   }
+  // Optional trailing span/profiler fields (docs/PROTOCOL.md §12):
+  // absent from peers that predate them. The block travels whole.
+  request->include_spans = false;
+  request->profile_op = kProfileNone;
+  request->profile_hz = 0;
+  if (!c.Done()) {
+    uint8_t include_spans;
+    if (!c.U8(&include_spans) || !c.U8(&request->profile_op) ||
+        !c.U32(&request->profile_hz)) {
+      return Truncated("stats request");
+    }
+    if (include_spans > 1) {
+      return Status::InvalidArgument("stats request flag byte must be 0 or 1");
+    }
+    if (request->profile_op > kProfileCollect) {
+      return Status::InvalidArgument(
+          "unknown profile op " + std::to_string(request->profile_op));
+    }
+    request->include_spans = include_spans == 1;
+  }
   if (!c.Done()) {
     return Status::InvalidArgument("trailing bytes after stats request");
   }
@@ -597,6 +683,70 @@ Status DecodeStatsResponsePayload(const uint8_t* data, size_t size,
       t.approx_level = static_cast<int32_t>(approx_level);
     }
   }
+  // Optional trailing tracing blocks (docs/PROTOCOL.md §12), each
+  // absent from peers that predate it: (a) per-trace 16-byte trace
+  // ids, (b) span trees, (c) profiler text. Each block must be whole.
+  response->span_trees.clear();
+  response->profile_text.clear();
+  if (!c.Done()) {
+    if (c.remaining() < static_cast<size_t>(n_traces) * 16) {
+      return Truncated("stats response");
+    }
+    for (uint32_t i = 0; i < n_traces; ++i) {
+      obs::QueryTrace& t = response->traces[i];
+      if (!c.U64(&t.trace_hi) || !c.U64(&t.trace_lo)) {
+        return Truncated("stats trace");
+      }
+    }
+  }
+  if (!c.Done()) {
+    uint32_t n_trees;
+    if (!c.U32(&n_trees)) return Truncated("stats response");
+    if (n_trees > kMaxWireSpanTrees) {
+      return Oversized("span tree", n_trees, kMaxWireSpanTrees);
+    }
+    response->span_trees.reserve(n_trees);
+    for (uint32_t i = 0; i < n_trees; ++i) {
+      obs::SpanTreeRecord tree;
+      if (!c.U64(&tree.trace_hi) || !c.U64(&tree.trace_lo) ||
+          !c.U64(&tree.query_trace_id) || !c.U32(&tree.span_count) ||
+          !c.U32(&tree.spans_dropped)) {
+        return Truncated("span tree");
+      }
+      if (tree.span_count > obs::kSpanArenaCapacity) {
+        return Oversized("span", tree.span_count, obs::kSpanArenaCapacity);
+      }
+      // 41 bytes per span record; the full count must be present.
+      if (c.remaining() < static_cast<size_t>(tree.span_count) * 41) {
+        return Truncated("span tree");
+      }
+      for (uint32_t s = 0; s < tree.span_count; ++s) {
+        obs::SpanRecord& span = tree.spans[s];
+        if (!c.U64(&span.span_id) || !c.U64(&span.parent_span_id) ||
+            !c.U64(&span.start_ns) || !c.U64(&span.end_ns) ||
+            !c.U64(&span.counter) || !c.U8(&span.name)) {
+          return Truncated("span record");
+        }
+        if (span.name >= kNumSpanNames) {
+          return Status::InvalidArgument("unknown span name " +
+                                         std::to_string(span.name));
+        }
+      }
+      response->span_trees.push_back(tree);
+    }
+  }
+  if (!c.Done()) {
+    uint32_t profile_len;
+    if (!c.U32(&profile_len)) return Truncated("stats response");
+    if (profile_len > kMaxWireProfileBytes) {
+      return Oversized("profile text", profile_len, kMaxWireProfileBytes);
+    }
+    if (c.remaining() < profile_len) return Truncated("stats response");
+    response->profile_text.assign(profile_len, '\0');
+    if (!c.Bytes(response->profile_text.data(), profile_len)) {
+      return Truncated("stats response");
+    }
+  }
   if (!c.Done()) {
     return Status::InvalidArgument("trailing bytes after stats response");
   }
@@ -668,6 +818,13 @@ Status ResponseAssembler::Add(const uint8_t* data, size_t size,
     int32_t id;
     if (!c.I32(&id)) return Truncated("response chunk");
     response_.ids.push_back(id);
+  }
+  // Optional trailing trace-id echo on the final chunk only
+  // (docs/PROTOCOL.md §12): absent from servers that predate it.
+  if (final_chunk && !c.Done()) {
+    if (!c.U64(&response_.trace_hi) || !c.U64(&response_.trace_lo)) {
+      return Truncated("response chunk");
+    }
   }
   if (!c.Done()) {
     return Status::InvalidArgument("trailing bytes after response chunk");

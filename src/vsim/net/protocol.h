@@ -49,6 +49,7 @@
 #include "vsim/common/status.h"
 #include "vsim/features/cover_sequence.h"
 #include "vsim/obs/query_trace.h"
+#include "vsim/obs/span.h"
 #include "vsim/service/query_service.h"
 
 namespace vsim::net {
@@ -66,6 +67,8 @@ inline constexpr uint32_t kMaxWireMessageBytes = 1u << 16;
 inline constexpr uint32_t kMaxWireResults = 1u << 20;  // per response
 inline constexpr uint32_t kMaxWireStatsTextBytes = 1u << 20;  // exposition
 inline constexpr uint32_t kMaxWireTraces = 1024;  // flight-recorder pull
+inline constexpr uint32_t kMaxWireSpanTrees = 256;  // span-ring pull
+inline constexpr uint32_t kMaxWireProfileBytes = 1u << 20;  // collapsed stacks
 
 // Results per kResponse frame. Small responses (the common case) fit in
 // one final frame; large range results stream across several.
@@ -119,18 +122,39 @@ struct ServerInfo {
   uint32_t feature_flags = 0;
 };
 
+// Profiler sub-request operations carried in StatsRequest.profile_op
+// (docs/PROTOCOL.md §12): arm/disarm the in-process sampling profiler
+// or collect its collapsed-stack rendering. kProfileNone leaves the
+// profiler alone (the common stats scrape).
+inline constexpr uint8_t kProfileNone = 0;
+inline constexpr uint8_t kProfileArm = 1;
+inline constexpr uint8_t kProfileDisarm = 2;
+inline constexpr uint8_t kProfileCollect = 3;
+
 // kStatsRequest payload: how much of the flight recorder to pull
-// alongside the metrics exposition.
+// alongside the metrics exposition. The trailing fields (include_spans
+// onward) are tolerant extensions: old peers omit them and get the
+// pre-span behavior.
 struct StatsRequest {
   uint32_t max_traces = 64;  // capped server-side at kMaxWireTraces
   bool slow_only = false;    // pull the slow ring instead of the recent
+  // Pull span trees from the span ring alongside the traces
+  // (docs/PROTOCOL.md §12; capped at kMaxWireSpanTrees).
+  bool include_spans = false;
+  // Profiler control (kProfile* above). Arm uses profile_hz.
+  uint8_t profile_op = kProfileNone;
+  uint32_t profile_hz = 0;
 };
 
 // kStatsResponse payload: the full Prometheus text exposition plus the
-// requested flight-recorder traces (most recent first).
+// requested flight-recorder traces (most recent first), span trees and
+// profiler output when requested (empty otherwise; tolerant trailing
+// blocks on the wire).
 struct StatsResponse {
   std::string metrics_text;
   std::vector<obs::QueryTrace> traces;
+  std::vector<obs::SpanTreeRecord> span_trees;
+  std::string profile_text;  // collapsed stacks (flamegraph.pl input)
 };
 
 // --- Encoding (appends complete frames to *out) ----------------------

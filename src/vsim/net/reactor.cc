@@ -116,6 +116,7 @@ void EpollReactor::RunLoop(const std::shared_ptr<Loop>& loop_ref) {
   }
   const bool is_acceptor = loop->index == 0;
   std::array<epoll_event, 128> events;
+  // vsim-lint: allow(raw-clock) idle/backpressure housekeeping on chrono time_points, not span timing
   ClockT::time_point last_sweep = ClockT::now();
   for (;;) {
     // Block indefinitely when nothing is time-driven: every external
@@ -163,6 +164,7 @@ void EpollReactor::RunLoop(const std::shared_ptr<Loop>& loop_ref) {
     }
     ProcessWakeWork(loop);
     if (options_.read_timeout_seconds > 0) {
+      // vsim-lint: allow(raw-clock) idle/backpressure housekeeping on chrono time_points, not span timing
       const ClockT::time_point now = ClockT::now();
       if (now - last_sweep >= std::chrono::milliseconds(100)) {
         SweepTimeouts(loop);
@@ -237,6 +239,7 @@ void EpollReactor::HandleAccept(Loop* loop) {
 }
 
 void EpollReactor::AdoptConn(Loop* loop, std::shared_ptr<Conn> conn) {
+  // vsim-lint: allow(raw-clock) idle/backpressure housekeeping on chrono time_points, not span timing
   conn->last_activity = ClockT::now();
   if (loop->draining) {
     // Accepted after the drain began: nothing in flight; close now.
@@ -270,6 +273,7 @@ void EpollReactor::HandleReadable(Loop* loop,
   char buf[kReadChunkBytes];
   const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
   if (n > 0) {
+    // vsim-lint: allow(raw-clock) idle/backpressure housekeeping on chrono time_points, not span timing
     conn->last_activity = ClockT::now();
     conn->inbuf.append(buf, static_cast<size_t>(n));
     ParseFrames(loop, conn);
@@ -330,6 +334,7 @@ void EpollReactor::ParseFrames(Loop* loop,
       // window. The non-blocking analogue of the blocking reader's
       // wait on the completion queue.
       conn->read_paused = true;
+      // vsim-lint: allow(raw-clock) idle/backpressure housekeeping on chrono time_points, not span timing
       conn->pause_started = ClockT::now();
       UpdateInterest(loop, conn.get());
     }
@@ -368,13 +373,11 @@ void EpollReactor::DispatchFrame(Loop* loop,
         counters_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
         AppendStatusFrame(header.request_id, decoded, &slot.bytes);
       } else {
-        // Exposition and trace snapshot run on the event loop -- the
-        // same place the blocking transport's reader thread does it
-        // (they allocate; the recording hot path does not).
-        StatsResponse stats;
-        stats.metrics_text = service_->metrics().TextExposition();
-        stats.traces = service_->flight_recorder().Snapshot(
-            stats_request.max_traces, stats_request.slow_only);
+        // Exposition, trace/span snapshots and profiler ops run on the
+        // event loop -- the same place the blocking transport's reader
+        // thread does it (they allocate; the recording hot path does
+        // not). Shared handler: both transports answer identically.
+        StatsResponse stats = BuildStatsResponse(service_, stats_request);
         AppendStatsResponseFrame(header.request_id, stats, &slot.bytes);
       }
       EnqueueDoneSlot(conn, std::move(slot));
@@ -382,6 +385,7 @@ void EpollReactor::DispatchFrame(Loop* loop,
     }
     case FrameType::kRequest: {
       counters_->requests_received.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t read_ns = obs::MonotonicNowNs();
       ServiceRequest request;
       Status decoded =
           DecodeRequestPayload(payload, header.payload_bytes, &request);
@@ -396,6 +400,12 @@ void EpollReactor::DispatchFrame(Loop* loop,
         EnqueueDoneSlot(conn, std::move(slot));
         return;
       }
+      // An untraced request still gets net- and service-layer trees
+      // sharing one id: mint here, before the submit copies the
+      // context into the service (docs/PROTOCOL.md §12).
+      if (!request.trace.valid()) request.trace = obs::MintTraceContext();
+      const obs::TraceContext trace = request.trace;
+      const uint64_t decode_ns = obs::MonotonicNowNs();
       // Reserve the completion slot first; the callback finds it by
       // sequence number (robust to the slot having been discarded by a
       // close in the meantime).
@@ -405,6 +415,9 @@ void EpollReactor::DispatchFrame(Loop* loop,
         seq = conn->base_seq + conn->slots.size();
         Slot slot;
         slot.request_id = header.request_id;
+        slot.trace = trace;
+        slot.read_ns = read_ns;
+        slot.decode_ns = decode_ns;
         conn->slots.push_back(std::move(slot));
       }
       loop->pending_callbacks.fetch_add(1, std::memory_order_acq_rel);
@@ -419,6 +432,7 @@ void EpollReactor::DispatchFrame(Loop* loop,
             // only moves bytes. Service errors (kDeadlineExceeded,
             // validation, kOutOfRange after a shrinking swap) become
             // kStatus frames.
+            const uint64_t encode_start_ns = obs::MonotonicNowNs();
             std::string bytes;
             if (result.ok()) {
               AppendResponseFrames(request_id, result.value(), &bytes,
@@ -426,12 +440,15 @@ void EpollReactor::DispatchFrame(Loop* loop,
             } else {
               AppendStatusFrame(request_id, result.status(), &bytes);
             }
+            const uint64_t encode_end_ns = obs::MonotonicNowNs();
             {
               MutexLock lock(&conn->mu);
               if (!conn->dead && seq >= conn->base_seq) {
                 const size_t idx = static_cast<size_t>(seq - conn->base_seq);
                 if (idx < conn->slots.size()) {
                   conn->slots[idx].bytes = std::move(bytes);
+                  conn->slots[idx].encode_start_ns = encode_start_ns;
+                  conn->slots[idx].encode_end_ns = encode_end_ns;
                   conn->slots[idx].done = true;
                 }
               }
@@ -500,6 +517,20 @@ void EpollReactor::FlushConn(Loop* loop, const std::shared_ptr<Conn>& conn) {
   if (!conn->fd.valid()) return;
   bool close_after = false;
   size_t merged = 0;
+  // Traced query slots popped this flush; their net-layer span trees
+  // are published after the send so the flush span brackets the real
+  // syscall work. Bookkeeping only -- the spans themselves live in a
+  // stack SpanArena below.
+  struct TracedSlot {
+    obs::TraceContext trace;
+    uint64_t request_id;
+    uint64_t read_ns;
+    uint64_t decode_ns;
+    uint64_t encode_start_ns;
+    uint64_t encode_end_ns;
+  };
+  std::vector<TracedSlot> traced;
+  const bool publish_spans = service_->spans_enabled();
   {
     MutexLock lock(&conn->mu);
     while (!conn->slots.empty() && conn->slots.front().done &&
@@ -507,6 +538,12 @@ void EpollReactor::FlushConn(Loop* loop, const std::shared_ptr<Conn>& conn) {
       Slot& slot = conn->slots.front();
       conn->outbuf.append(slot.bytes);
       close_after = slot.close_after;
+      if (publish_spans && slot.trace.valid()) {
+        traced.push_back(TracedSlot{slot.trace, slot.request_id,
+                                    slot.read_ns, slot.decode_ns,
+                                    slot.encode_start_ns,
+                                    slot.encode_end_ns});
+      }
       conn->slots.pop_front();
       ++conn->base_seq;
       ++merged;
@@ -530,7 +567,32 @@ void EpollReactor::FlushConn(Loop* loop, const std::shared_ptr<Conn>& conn) {
     conn->closing = true;
     conn->inbuf.clear();
   }
+  const uint64_t flush_start_ns = obs::MonotonicNowNs();
   TrySend(loop, conn);
+  if (!traced.empty()) {
+    // Publish one net-layer tree per flushed query: accept (frame
+    // read), decode, encode (worker-side) and this flush, all sharing
+    // the request's wire trace id with the service-layer tree. A
+    // coalesced flush charges the same send to every merged request --
+    // exactly what the timeline should show.
+    const uint64_t flush_end_ns = obs::MonotonicNowNs();
+    for (const TracedSlot& t : traced) {
+      obs::SpanArena arena(t.trace, t.request_id);
+      arena.Add(obs::SpanName::kAccept, t.trace.parent_span_id, t.read_ns,
+                t.read_ns);
+      arena.Add(obs::SpanName::kDecode, t.trace.parent_span_id, t.read_ns,
+                t.decode_ns);
+      if (t.encode_end_ns != 0) {
+        arena.Add(obs::SpanName::kEncode, t.trace.parent_span_id,
+                  t.encode_start_ns, t.encode_end_ns);
+      }
+      arena.Add(obs::SpanName::kFlush, t.trace.parent_span_id,
+                flush_start_ns, flush_end_ns);
+      obs::SpanTreeRecord record;
+      obs::RenderSpanTree(arena, 0, &record);
+      service_->span_ring().Record(record);
+    }
+  }
 }
 
 void EpollReactor::TrySend(Loop* loop, const std::shared_ptr<Conn>& conn) {
@@ -541,6 +603,7 @@ void EpollReactor::TrySend(Loop* loop, const std::shared_ptr<Conn>& conn) {
                conn->outbuf.size() - conn->outpos, MSG_NOSIGNAL);
     if (n > 0) {
       conn->outpos += static_cast<size_t>(n);
+      // vsim-lint: allow(raw-clock) idle/backpressure housekeeping on chrono time_points, not span timing
       conn->last_activity = ClockT::now();
       continue;
     }
@@ -574,6 +637,7 @@ bool EpollReactor::MaybeResumeReads(Loop* loop,
   counters_->read_stall_micros.fetch_add(
       static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
+              // vsim-lint: allow(raw-clock) idle/backpressure housekeeping on chrono time_points, not span timing
               ClockT::now() - conn->pause_started)
               .count()),
       std::memory_order_relaxed);
@@ -669,6 +733,7 @@ void EpollReactor::ProcessWakeWork(Loop* loop) {
 }
 
 void EpollReactor::SweepTimeouts(Loop* loop) {
+  // vsim-lint: allow(raw-clock) idle/backpressure housekeeping on chrono time_points, not span timing
   const ClockT::time_point now = ClockT::now();
   const auto limit = std::chrono::duration_cast<ClockT::duration>(
       std::chrono::duration<double>(options_.read_timeout_seconds));

@@ -111,6 +111,17 @@ class EpollReactor {
     bool done = false;
     bool close_after = false;  // connection-fatal: write, then close
     std::string bytes;         // complete encoded frames
+
+    // Net-layer span bookkeeping for query slots (zero otherwise):
+    // the trace identity plus stage timestamps. read/decode are set by
+    // the loop at dispatch, encode by the worker callback; the flush
+    // stage is stamped by FlushConn, which publishes the tree
+    // (docs/OBSERVABILITY.md "Tracing").
+    obs::TraceContext trace;
+    uint64_t read_ns = 0;
+    uint64_t decode_ns = 0;
+    uint64_t encode_start_ns = 0;
+    uint64_t encode_end_ns = 0;
   };
 
   struct Conn {

@@ -7,8 +7,34 @@
 #include <utility>
 
 #include "vsim/net/reactor.h"
+#include "vsim/obs/profiler.h"
 
 namespace vsim::net {
+
+StatsResponse BuildStatsResponse(QueryService* service,
+                                 const StatsRequest& request) {
+  StatsResponse stats;
+  stats.metrics_text = service->metrics().TextExposition();
+  stats.traces = service->flight_recorder().Snapshot(request.max_traces,
+                                                     request.slow_only);
+  if (request.include_spans) {
+    stats.span_trees = service->span_ring().Snapshot(kMaxWireSpanTrees);
+  }
+  switch (request.profile_op) {
+    case kProfileArm:
+      obs::Profiler::Instance().Arm(static_cast<int>(request.profile_hz));
+      break;
+    case kProfileDisarm:
+      obs::Profiler::Instance().Disarm();
+      break;
+    case kProfileCollect:
+      stats.profile_text = obs::Profiler::Instance().CollapsedStacks();
+      break;
+    default:
+      break;
+  }
+  return stats;
+}
 
 ServerInfo MakeServerInfo(const DbSnapshot& snapshot) {
   const ExtractionOptions& opts = snapshot.db().options();
@@ -304,17 +330,15 @@ void Server::ReaderLoop(Connection* conn) {
           pending.ready = decoded;
           break;
         }
-        // Exposition and trace snapshot run on the reader thread --
-        // they allocate, the recording hot path does not.
+        // Exposition and snapshots run on the reader thread -- they
+        // allocate, the recording hot path does not.
         pending.has_stats = true;
-        pending.stats.metrics_text =
-            service_->metrics().TextExposition();
-        pending.stats.traces = service_->flight_recorder().Snapshot(
-            stats_request.max_traces, stats_request.slow_only);
+        pending.stats = BuildStatsResponse(service_, stats_request);
         break;
       }
       case FrameType::kRequest: {
         counters_.requests_received.fetch_add(1, std::memory_order_relaxed);
+        pending.read_ns = obs::MonotonicNowNs();
         ServiceRequest request;
         Status decoded = DecodeRequestPayload(
             reinterpret_cast<const uint8_t*>(payload.data()),
@@ -326,6 +350,10 @@ void Server::ReaderLoop(Connection* conn) {
           pending.ready = decoded;
           break;
         }
+        // Adopt the wire trace context, or mint one here so the net-
+        // and service-layer span trees of this request share an id.
+        if (!request.trace.valid()) request.trace = obs::MintTraceContext();
+        pending.trace = request.trace;
         StatusOr<std::future<StatusOr<ServiceResponse>>> submitted =
             service_->Submit(std::move(request));
         if (submitted.ok()) {
@@ -333,6 +361,7 @@ void Server::ReaderLoop(Connection* conn) {
         } else {
           pending.ready = submitted.status();  // admission rejection
         }
+        pending.decode_ns = obs::MonotonicNowNs();
         break;
       }
       default: {
@@ -375,6 +404,8 @@ void Server::WriterLoop(Connection* conn) {
     }
 
     std::string frames;
+    uint64_t encode_start_ns = 0;
+    uint64_t encode_end_ns = 0;
     if (pending.has_info) {
       AppendInfoResponseFrame(pending.request_id, pending.info, &frames);
     } else if (pending.has_stats) {
@@ -386,20 +417,43 @@ void Server::WriterLoop(Connection* conn) {
       // dead). Service errors (kDeadlineExceeded, validation,
       // kOutOfRange after a shrinking swap) become kStatus frames.
       StatusOr<ServiceResponse> result = pending.future.get();
+      encode_start_ns = obs::MonotonicNowNs();
       if (result.ok()) {
         AppendResponseFrames(pending.request_id, result.value(), &frames,
                              options_.results_per_frame);
       } else {
         AppendStatusFrame(pending.request_id, result.status(), &frames);
       }
+      encode_end_ns = obs::MonotonicNowNs();
     } else {
       AppendStatusFrame(pending.request_id, pending.ready, &frames);
     }
     close = pending.close_after;
+    const uint64_t flush_start_ns = obs::MonotonicNowNs();
     if (!WriteAll(conn->fd.get(), frames.data(), frames.size()).ok()) {
       close = true;  // peer gone; remaining completions have no reader
     } else {
       counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (pending.trace.valid() && service_->spans_enabled()) {
+      // Publish the net-layer span tree for this query request: accept,
+      // decode (reader-side timestamps), encode, flush. Keyed by the
+      // same trace id the service-layer tree carries.
+      const uint64_t flush_end_ns = obs::MonotonicNowNs();
+      obs::SpanArena arena(pending.trace, pending.request_id);
+      const uint64_t parent = pending.trace.parent_span_id;
+      arena.Add(obs::SpanName::kAccept, parent, pending.read_ns,
+                pending.read_ns);
+      arena.Add(obs::SpanName::kDecode, parent, pending.read_ns,
+                pending.decode_ns);
+      if (encode_end_ns != 0) {
+        arena.Add(obs::SpanName::kEncode, parent, encode_start_ns,
+                  encode_end_ns);
+      }
+      arena.Add(obs::SpanName::kFlush, parent, flush_start_ns, flush_end_ns);
+      obs::SpanTreeRecord record;
+      obs::RenderSpanTree(arena, 0, &record);
+      service_->span_ring().Record(record);
     }
   }
 

@@ -85,6 +85,14 @@ StatusOr<Transport> ParseTransport(const std::string& name);
 // query objects (the kInfoRequest handler, shared by both transports).
 ServerInfo MakeServerInfo(const DbSnapshot& snapshot);
 
+// The kStatsRequest handler shared by both transports: metrics
+// exposition + flight-recorder pull, plus the §12 extensions -- span
+// trees when `include_spans` and the profiler sub-request (arm /
+// disarm / collect against the process-wide obs::Profiler). Allocates;
+// runs on a reader/loop thread, never on the record path.
+StatsResponse BuildStatsResponse(QueryService* service,
+                                 const StatsRequest& request);
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;             // 0 = ephemeral; see Server::port()
@@ -184,6 +192,14 @@ class Server {
       bool has_stats = false;
       StatsResponse stats;
       bool close_after = false;  // connection-fatal: write, then close
+
+      // Net-layer span bookkeeping for query requests (zero for the
+      // info/stats/error slots): the trace identity plus the reader's
+      // stage timestamps; the writer adds encode/flush and publishes
+      // the tree (docs/OBSERVABILITY.md "Tracing").
+      obs::TraceContext trace;
+      uint64_t read_ns = 0;    // request frame fully read
+      uint64_t decode_ns = 0;  // payload decoded + request submitted
     };
 
     ScopedFd fd;

@@ -1,0 +1,194 @@
+#include "vsim/obs/profiler.h"
+
+#include <errno.h>
+#include <execinfo.h>
+#include <string.h>
+#include <sys/time.h>
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+namespace vsim::obs {
+
+Profiler& Profiler::Instance() {
+  static Profiler* instance = new Profiler();  // never destroyed: signal-safe
+  return *instance;
+}
+
+void Profiler::HandleSignal(int /*signum*/) {
+  // Preserve errno across the handler: backtrace() may clobber it and
+  // the interrupted code may be mid inspection of a syscall result.
+  const int saved_errno = errno;
+  Instance().CaptureSample();
+  errno = saved_errno;
+}
+
+void Profiler::CaptureSample() {
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  void* frames[kMaxFrames];
+  const int depth = backtrace(frames, static_cast<int>(kMaxFrames));
+  if (depth <= 0) return;
+
+  const uint64_t ticket = tickets_.fetch_add(1, std::memory_order_relaxed);
+  Sample& slot = ring_[ticket % kRingCapacity];
+  uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  if (seq & 1) {
+    // Another thread's handler owns this slot: lossy, counted drop.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!slot.seq.compare_exchange_strong(seq, seq + 1, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.depth.store(static_cast<uint32_t>(depth), std::memory_order_relaxed);
+  for (int i = 0; i < depth; ++i) {
+    slot.pcs[static_cast<size_t>(i)].store(
+        reinterpret_cast<uintptr_t>(frames[i]), std::memory_order_relaxed);
+  }
+  slot.seq.store(seq + 2, std::memory_order_release);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Profiler::Arm(int hz) {
+  MutexLock lock(&arm_mu_);
+  if (hz < 1) hz = 1;
+  if (hz > 1000) hz = 1000;
+
+  // First backtrace() may dlopen libgcc, which allocates and takes
+  // loader locks; do it here, outside any signal context.
+  void* warm[4];
+  backtrace(warm, 4);
+
+  // Clear prior samples so a fresh Arm starts a fresh profile.
+  tickets_.store(0, std::memory_order_relaxed);
+  samples_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  for (Sample& slot : ring_) {
+    slot.seq.store(0, std::memory_order_relaxed);
+  }
+
+  if (!handler_installed_) {
+    struct sigaction action;
+    memset(&action, 0, sizeof(action));
+    action.sa_handler = &Profiler::HandleSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    if (sigaction(SIGPROF, &action, &previous_action_) != 0) return false;
+    handler_installed_ = true;
+  }
+
+  armed_.store(true, std::memory_order_release);
+
+  // Split into sec/usec: setitimer rejects tv_usec >= 1e6, which the
+  // 1 Hz floor would otherwise produce.
+  const long interval_usec = 1000000L / hz;
+  struct itimerval timer;
+  memset(&timer, 0, sizeof(timer));
+  timer.it_interval.tv_sec = interval_usec / 1000000L;
+  timer.it_interval.tv_usec = interval_usec % 1000000L;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    armed_.store(false, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void Profiler::Disarm() {
+  MutexLock lock(&arm_mu_);
+  struct itimerval timer;
+  memset(&timer, 0, sizeof(timer));
+  setitimer(ITIMER_PROF, &timer, nullptr);
+  armed_.store(false, std::memory_order_release);
+  if (handler_installed_) {
+    sigaction(SIGPROF, &previous_action_, nullptr);
+    handler_installed_ = false;
+  }
+}
+
+std::string Profiler::CollapsedStacks() const {
+  // Stable snapshot of every readable slot, then symbolize once per
+  // unique program counter (symbolization is the expensive part).
+  struct RawStack {
+    std::vector<uintptr_t> pcs;
+  };
+  std::vector<RawStack> stacks;
+  const uint64_t newest = tickets_.load(std::memory_order_acquire);
+  const uint64_t walk = newest < kRingCapacity ? newest : kRingCapacity;
+  stacks.reserve(static_cast<size_t>(walk));
+  for (uint64_t i = 0; i < walk; ++i) {
+    const Sample& slot = ring_[i % kRingCapacity];
+    const uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+    if (seq1 == 0 || (seq1 & 1)) continue;
+    const uint32_t depth = slot.depth.load(std::memory_order_relaxed);
+    if (depth == 0 || depth > kMaxFrames) continue;
+    RawStack stack;
+    stack.pcs.reserve(depth);
+    for (uint32_t f = 0; f < depth; ++f) {
+      stack.pcs.push_back(slot.pcs[f].load(std::memory_order_relaxed));
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq1) continue;
+    stacks.push_back(std::move(stack));
+  }
+
+  std::map<uintptr_t, std::string> symbols;
+  for (const RawStack& stack : stacks) {
+    for (uintptr_t pc : stack.pcs) symbols.emplace(pc, std::string());
+  }
+  {
+    std::vector<void*> addrs;
+    addrs.reserve(symbols.size());
+    for (const auto& entry : symbols) {
+      addrs.push_back(reinterpret_cast<void*>(entry.first));
+    }
+    if (!addrs.empty()) {
+      char** names =
+          backtrace_symbols(addrs.data(), static_cast<int>(addrs.size()));
+      if (names != nullptr) {
+        size_t i = 0;
+        for (auto& entry : symbols) {
+          // backtrace_symbols yields "module(function+0x..) [addr]";
+          // keep the function token when present, else the whole line.
+          std::string line = names[i++];
+          const size_t open = line.find('(');
+          const size_t plus = line.find('+', open);
+          if (open != std::string::npos && plus != std::string::npos &&
+              plus > open + 1) {
+            entry.second = line.substr(open + 1, plus - open - 1);
+          } else {
+            entry.second = line;
+          }
+        }
+        free(names);
+      }
+    }
+  }
+
+  // Collapse: innermost frame is pcs[0] from backtrace(), flamegraph
+  // wants root-first, so emit the frames reversed.
+  std::map<std::string, uint64_t> collapsed;
+  for (const RawStack& stack : stacks) {
+    std::string line;
+    for (size_t f = stack.pcs.size(); f-- > 0;) {
+      const std::string& symbol = symbols[stack.pcs[f]];
+      if (!line.empty()) line += ';';
+      line += symbol.empty() ? "?" : symbol;
+    }
+    ++collapsed[line];
+  }
+
+  std::string out;
+  for (const auto& entry : collapsed) {
+    out += entry.first;
+    out += ' ';
+    out += std::to_string(entry.second);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vsim::obs

@@ -58,6 +58,14 @@ struct QueryTrace {
   int32_t approx_level = 0;
   uint32_t padding = 0;  // keep the struct in whole 64-bit words
   uint64_t approx_pruned = 0;
+
+  // Wire-propagated trace identity (obs/span.h, docs/PROTOCOL.md §12):
+  // the 16-byte distributed trace id this request belongs to, zero when
+  // the client sent none and the server minted only a local trace. Like
+  // the approx block above, these travel as tolerant trailing data on
+  // the stats wire; older peers decode zero.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
 };
 
 static_assert(std::is_trivially_copyable_v<QueryTrace>,

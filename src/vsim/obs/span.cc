@@ -1,0 +1,189 @@
+#include "vsim/obs/span.h"
+
+#include <time.h>
+
+#include <cstring>
+#include <random>
+
+namespace vsim::obs {
+namespace {
+
+// SplitMix64 finalizer: turns (seed, index) into a well-mixed span id
+// without any shared state or RNG on the record path.
+uint64_t MixSpanId(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  // Span id 0 means "no parent" everywhere; never hand it out.
+  return z == 0 ? 1 : z;
+}
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+TraceContext MintTraceContext() {
+  struct Seed {
+    uint64_t hi;
+    uint64_t lo;
+    Seed() {
+      std::random_device rd;
+      hi = (static_cast<uint64_t>(rd()) << 32) | rd();
+      lo = (static_cast<uint64_t>(rd()) << 32) | rd();
+    }
+  };
+  static const Seed seed;
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  TraceContext context;
+  context.trace_hi = MixSpanId(seed.hi, n);
+  context.trace_lo = MixSpanId(seed.lo, ~n);
+  return context;
+}
+
+const char* SpanNameString(SpanName name) {
+  switch (name) {
+    case SpanName::kRequest:
+      return "request";
+    case SpanName::kAccept:
+      return "accept";
+    case SpanName::kDecode:
+      return "decode";
+    case SpanName::kAdmission:
+      return "admission";
+    case SpanName::kQueue:
+      return "queue";
+    case SpanName::kApproxPrune:
+      return "approx_prune";
+    case SpanName::kFilter:
+      return "filter";
+    case SpanName::kRefine:
+      return "refine";
+    case SpanName::kEncode:
+      return "encode";
+    case SpanName::kFlush:
+      return "flush";
+  }
+  return "unknown";
+}
+
+SpanArena::SpanArena(const TraceContext& context, uint64_t span_id_seed)
+    : context_(context),
+      span_id_seed_(span_id_seed ^ context.trace_hi ^ context.trace_lo) {}
+
+int SpanArena::Start(SpanName name, uint64_t parent_span_id) {
+  return Add(name, parent_span_id, MonotonicNowNs(), 0);
+}
+
+void SpanArena::End(int index) {
+  if (index < 0 || static_cast<uint32_t>(index) >= count_) return;
+  spans_[static_cast<size_t>(index)].end_ns = MonotonicNowNs();
+}
+
+int SpanArena::Add(SpanName name, uint64_t parent_span_id, uint64_t start_ns,
+                   uint64_t end_ns, uint64_t counter) {
+  if (count_ >= kSpanArenaCapacity) {
+    ++dropped_;
+    return kInvalidSpan;
+  }
+  const int index = static_cast<int>(count_++);
+  SpanRecord& span = spans_[static_cast<size_t>(index)];
+  span.span_id = MixSpanId(span_id_seed_, static_cast<uint64_t>(index));
+  span.parent_span_id = parent_span_id;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.counter = counter;
+  span.name = static_cast<uint8_t>(name);
+  return index;
+}
+
+void SpanArena::SetCounter(int index, uint64_t counter) {
+  if (index < 0 || static_cast<uint32_t>(index) >= count_) return;
+  spans_[static_cast<size_t>(index)].counter = counter;
+}
+
+uint64_t SpanArena::span_id(int index) const {
+  if (index < 0 || static_cast<uint32_t>(index) >= count_) return 0;
+  return spans_[static_cast<size_t>(index)].span_id;
+}
+
+void RenderSpanTree(const SpanArena& arena, uint64_t query_trace_id,
+                    SpanTreeRecord* out) {
+  out->trace_hi = arena.context().trace_hi;
+  out->trace_lo = arena.context().trace_lo;
+  out->query_trace_id = query_trace_id;
+  out->span_count = arena.count();
+  out->spans_dropped = arena.dropped();
+  for (uint32_t i = 0; i < arena.count(); ++i) {
+    out->spans[i] = arena.span(i);
+  }
+  for (uint32_t i = arena.count(); i < kSpanArenaCapacity; ++i) {
+    out->spans[i] = SpanRecord{};
+  }
+}
+
+SpanRing::SpanRing(size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {}
+
+bool SpanRing::WriteSlot(Slot* slot, const SpanTreeRecord& tree) {
+  uint64_t seq = slot->seq.load(std::memory_order_relaxed);
+  if (seq & 1) return false;  // another writer owns the slot: lossy drop
+  if (!slot->seq.compare_exchange_strong(seq, seq + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    return false;
+  }
+  uint64_t words[kTreeWords];
+  std::memcpy(words, &tree, sizeof(tree));
+  for (size_t i = 0; i < kTreeWords; ++i) {
+    slot->words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot->seq.store(seq + 2, std::memory_order_release);
+  return true;
+}
+
+bool SpanRing::ReadSlot(const Slot& slot, SpanTreeRecord* tree) {
+  const uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+  if (seq1 == 0 || (seq1 & 1)) return false;
+  uint64_t words[kTreeWords];
+  for (size_t i = 0; i < kTreeWords; ++i) {
+    words[i] = slot.words[i].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.seq.load(std::memory_order_relaxed) != seq1) return false;
+  std::memcpy(tree, words, sizeof(*tree));
+  return true;
+}
+
+void SpanRing::Record(const SpanTreeRecord& tree) {
+  const uint64_t ticket = tickets_.fetch_add(1, std::memory_order_relaxed);
+  Slot* slot = &slots_[ticket % slots_.size()];
+  if (WriteSlot(slot, tree)) {
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SpanTreeRecord> SpanRing::Snapshot(size_t max_trees) const {
+  std::vector<SpanTreeRecord> out;
+  const uint64_t newest = tickets_.load(std::memory_order_acquire);
+  const size_t capacity = slots_.size();
+  const size_t walk = newest < capacity ? static_cast<size_t>(newest) : capacity;
+  out.reserve(walk < max_trees ? walk : max_trees);
+  for (size_t i = 0; i < walk && out.size() < max_trees; ++i) {
+    const size_t index = static_cast<size_t>((newest - 1 - i) % capacity);
+    SpanTreeRecord tree;
+    if (ReadSlot(slots_[index], &tree)) {
+      out.push_back(tree);
+    }
+  }
+  return out;
+}
+
+}  // namespace vsim::obs

@@ -1,0 +1,214 @@
+// Hierarchical per-request span tracing (docs/OBSERVABILITY.md
+// "Tracing"): a bounded, allocation-free span tree recorded along the
+// serving pipeline -- accept, decode, admission, queue, approx-prune,
+// filter, refine, encode, flush -- each span carrying one paper-native
+// counter, all spans sharing one 16-byte trace id that travels on the
+// VSNP wire (docs/PROTOCOL.md §12) so a remote query is attributable
+// end to end, and later across the Lemma-2 scatter-gather shards the
+// ROADMAP plans.
+//
+// The model is the distributed-tracing one: each layer (net transport,
+// service worker) records its *own* spans into a fixed-capacity
+// per-request SpanArena and publishes the finished tree into the
+// service's SpanRing keyed by the shared trace id. Nothing is handed
+// across threads mid-request; the export side (obs/trace_export.h)
+// groups trees by trace id and nests spans by timestamp, which is
+// sound because every layer stamps the same CLOCK_MONOTONIC timebase.
+//
+// Concurrency and allocation contract (tested by tests/obs_alloc_test
+// and the TSan Span* suites):
+//   - SpanArena is a per-request value: fixed inline storage
+//     (kSpanArenaCapacity spans), no heap, no locks. A request that
+//     outgrows the arena degrades to a counted `spans_dropped`, never
+//     an allocation.
+//   - SpanRing::Record publishes a finished tree through the same
+//     per-slot seqlock design as FlightRecorder: lock-free,
+//     allocation-free, lossy under >= capacity concurrent writers.
+//   - MonotonicNowNs() is the one sanctioned timing entry point for
+//     service/ and net/ hot paths (the vsim-lint `raw-clock` rule
+//     forbids direct clock_gettime / steady_clock::now() there, so
+//     every stage timestamp is attributable to a span).
+#ifndef VSIM_OBS_SPAN_H_
+#define VSIM_OBS_SPAN_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace vsim::obs {
+
+// Nanoseconds on the process-wide monotonic clock. All spans from all
+// layers stamp this single timebase, so cross-thread nesting by
+// timestamp is meaningful within one process.
+uint64_t MonotonicNowNs();
+
+// The wire-propagated trace identity: a 16-byte trace id (two words)
+// plus the span id of the remote parent (0 = the trace root is local).
+// Generated client-side (net::Client / `vsim remote-query`) when
+// absent; a server receiving a request without one mints its own.
+struct TraceContext {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t parent_span_id = 0;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+};
+
+// Mints a fresh random trace context (parent_span_id = 0). Used by the
+// client when a request carries none, and by server transports so the
+// net- and service-layer trees of an untraced request still share one
+// id. Thread-safe, allocation-free after first use, and not a clock
+// (the raw-clock lint rule stays satisfiable on paths that mint).
+TraceContext MintTraceContext();
+
+// The span taxonomy (docs/OBSERVABILITY.md has the full table). Values
+// are part of the SpanRecord wire/ring encoding: append only.
+enum class SpanName : uint8_t {
+  kRequest = 0,      // service root: admission to completion
+  kAccept = 1,       // net: request frame read off the socket
+  kDecode = 2,       // net: payload decode
+  kAdmission = 3,    // service: admission-control check
+  kQueue = 4,        // service: admission-queue wait
+  kApproxPrune = 5,  // engine: sketch pre-filter (counter: approx_pruned)
+  kFilter = 6,       // engine: Lemma-2 filter (counter: filter_hits)
+  kRefine = 7,       // engine: exact refinement (counter: hungarian runs)
+  kEncode = 8,       // net: response frame encode
+  kFlush = 9,        // net: response bytes onto the socket
+};
+inline constexpr int kNumSpanNames = 10;
+
+const char* SpanNameString(SpanName name);
+
+// One node of the tree. Trivially copyable and sized in whole 64-bit
+// words: published through the SpanRing seqlock and encoded field by
+// field on the wire.
+struct SpanRecord {
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root of this layer's tree
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint64_t counter = 0;  // paper-native per-span count (see taxonomy)
+  uint8_t name = 0;      // SpanName enumerator
+  uint8_t padding[7] = {};
+};
+
+static_assert(std::is_trivially_copyable_v<SpanRecord>,
+              "SpanRecord is published through a seqlock word copy");
+static_assert(sizeof(SpanRecord) % 8 == 0,
+              "SpanRecord must be sized in whole 64-bit words");
+
+// Fixed arena capacity: the full accept->flush pipeline uses ~10 spans,
+// so 32 leaves headroom for future per-shard children without making
+// the ring record heavyweight.
+inline constexpr size_t kSpanArenaCapacity = 32;
+
+// Per-request span builder with fixed inline storage. Not thread-safe:
+// one arena belongs to one request on one thread (each layer uses its
+// own arena). Record paths never allocate; exceeding the capacity
+// increments dropped() and returns kInvalidSpan.
+class SpanArena {
+ public:
+  static constexpr int kInvalidSpan = -1;
+
+  // `span_id_seed` differentiates span ids across the layers of one
+  // trace (each layer seeds with its own salt); ids are derived
+  // deterministically from seed and slot index.
+  SpanArena(const TraceContext& context, uint64_t span_id_seed);
+
+  // Opens a span starting now. Returns the span's arena index, or
+  // kInvalidSpan when the arena is full (counted in dropped()).
+  int Start(SpanName name, uint64_t parent_span_id = 0);
+  // Closes span `index` now; no-op for kInvalidSpan.
+  void End(int index);
+
+  // Adds a fully formed span with explicit timestamps (used to
+  // synthesize engine-stage children from measured stage durations).
+  int Add(SpanName name, uint64_t parent_span_id, uint64_t start_ns,
+          uint64_t end_ns, uint64_t counter = 0);
+
+  void SetCounter(int index, uint64_t counter);
+  // The id assigned to span `index` (0 for kInvalidSpan), for
+  // parent-linking children.
+  uint64_t span_id(int index) const;
+
+  const TraceContext& context() const { return context_; }
+  uint32_t count() const { return count_; }
+  uint32_t dropped() const { return dropped_; }
+  const SpanRecord& span(size_t index) const { return spans_[index]; }
+
+ private:
+  TraceContext context_;
+  uint64_t span_id_seed_;
+  uint32_t count_ = 0;
+  uint32_t dropped_ = 0;
+  std::array<SpanRecord, kSpanArenaCapacity> spans_{};
+};
+
+// The finished tree of one layer for one request, as published into
+// the SpanRing. POD sized in whole 64-bit words (seqlock + wire).
+struct SpanTreeRecord {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  // The service-local QueryTrace.trace_id this tree summarizes (0 for
+  // net-layer trees, which are keyed by trace id alone).
+  uint64_t query_trace_id = 0;
+  uint32_t span_count = 0;
+  uint32_t spans_dropped = 0;
+  SpanRecord spans[kSpanArenaCapacity] = {};
+};
+
+static_assert(std::is_trivially_copyable_v<SpanTreeRecord>,
+              "SpanTreeRecord is published through a seqlock word copy");
+static_assert(sizeof(SpanTreeRecord) % 8 == 0,
+              "SpanTreeRecord must be sized in whole 64-bit words");
+
+// Renders the arena into a ring-publishable record.
+void RenderSpanTree(const SpanArena& arena, uint64_t query_trace_id,
+                    SpanTreeRecord* out);
+
+// Lock-free ring of recent span trees: the FlightRecorder seqlock
+// design applied to SpanTreeRecord payloads. Record is lock- and
+// allocation-free and lossy under >= capacity concurrent writers;
+// Snapshot never blocks recording.
+class SpanRing {
+ public:
+  explicit SpanRing(size_t capacity = 128);
+
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  void Record(const SpanTreeRecord& tree);
+
+  // Most-recent-first trees, at most `max_trees`. A slot overwritten
+  // mid-read is skipped, not torn.
+  std::vector<SpanTreeRecord> Snapshot(size_t max_trees) const;
+
+  size_t capacity() const { return slots_.size(); }
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr size_t kTreeWords = sizeof(SpanTreeRecord) / 8;
+
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // odd while a write is in progress
+    std::array<std::atomic<uint64_t>, kTreeWords> words{};
+  };
+
+  static bool WriteSlot(Slot* slot, const SpanTreeRecord& tree);
+  static bool ReadSlot(const Slot& slot, SpanTreeRecord* tree);
+
+  std::atomic<uint64_t> tickets_{0};
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace vsim::obs
+
+#endif  // VSIM_OBS_SPAN_H_

@@ -1,0 +1,30 @@
+// Chrome trace-event JSON rendering of span-ring snapshots, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. One JSON object
+// per span as a "complete" event ("ph":"X", microsecond ts/dur); all
+// spans sharing a trace id land on one synthetic thread so the
+// accept -> decode -> ... -> flush pipeline nests visually, with the
+// paper-native counter and span ids attached as event args.
+//
+// Used by `vsim stats --trace-export FILE` (server-side snapshot
+// shipped over the stats frame) and by `vsim serve --trace-export`
+// (periodic ring dumps). Pure rendering: no locks, no clocks, no
+// I/O -- callers pass a SpanRing snapshot and write the string out.
+#ifndef VSIM_OBS_TRACE_EXPORT_H_
+#define VSIM_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "vsim/obs/span.h"
+
+namespace vsim::obs {
+
+// Renders the trees as a self-contained Chrome trace-event JSON
+// document ({"traceEvents":[...]}). Trees are grouped by 16-byte trace
+// id; each group gets a synthetic tid plus a thread_name metadata
+// event carrying the hex trace id. Deterministic for a given input.
+std::string RenderChromeTrace(const std::vector<SpanTreeRecord>& trees);
+
+}  // namespace vsim::obs
+
+#endif  // VSIM_OBS_TRACE_EXPORT_H_

@@ -1,6 +1,7 @@
 #include "vsim/service/query_service.h"
 
 #include <chrono>
+#include <random>
 #include <string>
 #include <thread>
 #include <utility>
@@ -9,6 +10,21 @@
 #include "vsim/service/request_parse.h"
 
 namespace vsim {
+
+namespace {
+
+// SplitMix64 finalizer, used to stretch the per-service random salt
+// into per-request trace ids without an RNG on the request path.
+uint64_t MixTraceWord(uint64_t value) {
+  uint64_t z = value + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline constexpr uint64_t kNoDeadlineNs = UINT64_MAX;
+
+}  // namespace
 
 const char* QueryKindName(QueryKind kind) {
   switch (kind) {
@@ -31,7 +47,12 @@ QueryService::QueryService(std::shared_ptr<const DbSnapshot> snapshot,
       cache_(options.cache_bytes, options.cache_shards),
       recorder_(options.flight_recorder_capacity, options.slow_trace_seconds,
                 options.slow_ring_capacity),
+      span_ring_(options.span_ring_capacity),
       pool_(options.num_threads) {
+  std::random_device rd;
+  trace_seed_hi_ = (static_cast<uint64_t>(rd()) << 32) | rd();
+  trace_seed_lo_ = (static_cast<uint64_t>(rd()) << 32) | rd();
+  if ((trace_seed_hi_ | trace_seed_lo_) == 0) trace_seed_lo_ = 1;
   RegisterMetrics();
 }
 
@@ -122,6 +143,19 @@ void QueryService::RegisterMetrics() {
     add("vsim_flight_recorder_dropped_total",
         "Traces dropped on slot contention",
         static_cast<double>(recorder_.dropped()));
+    add("vsim_flight_recorder_slow_threshold_seconds",
+        "Latency at or above which a trace enters the slow ring",
+        recorder_.slow_threshold_seconds(), obs::MetricSample::Type::kGauge);
+    add("vsim_span_trees_recorded_total",
+        "Span trees published into the span ring",
+        static_cast<double>(span_ring_.recorded()));
+    add("vsim_span_trees_dropped_total",
+        "Span trees dropped on span-ring slot contention",
+        static_cast<double>(span_ring_.dropped()));
+    add("vsim_spans_truncated_total",
+        "Spans dropped because a request outgrew its span arena",
+        static_cast<double>(
+            spans_truncated_.load(std::memory_order_relaxed)));
     // Disk-backed snapshots expose their buffer pool's hot/cold tier
     // counters (vsim_cache_pool_*; distinct from the result-cache
     // vsim_cache_* series above). Lock order here is registry mutex ->
@@ -339,10 +373,51 @@ Status QueryService::Admit() {
   return Status::OK();
 }
 
+void QueryService::PublishSpans(const obs::TraceContext& context,
+                                const obs::QueryTrace& trace,
+                                uint64_t submitted_ns, uint64_t pickup_ns,
+                                uint64_t end_ns) {
+  obs::SpanArena arena(context, trace.trace_id);
+  const int root =
+      arena.Add(obs::SpanName::kRequest, context.parent_span_id, submitted_ns,
+                end_ns, trace.candidates_refined);
+  const uint64_t root_id = arena.span_id(root);
+  arena.Add(obs::SpanName::kQueue, root_id, submitted_ns, pickup_ns);
+  arena.Add(obs::SpanName::kAdmission, root_id, pickup_ns, pickup_ns);
+  if (trace.status_code == 0 && trace.cache_hit == 0) {
+    // The engine ran inside [pickup, end]; reconstruct the filter and
+    // refine children from the measured stage splits (the engine
+    // itself stays span-unaware -- its QueryCost is the measurement).
+    const uint64_t filter_ns =
+        static_cast<uint64_t>(trace.filter_seconds * 1e9);
+    const uint64_t refine_ns =
+        static_cast<uint64_t>(trace.refine_seconds * 1e9);
+    uint64_t filter_end = pickup_ns + filter_ns;
+    if (filter_end > end_ns) filter_end = end_ns;
+    uint64_t refine_start = end_ns > refine_ns ? end_ns - refine_ns : end_ns;
+    if (refine_start < filter_end) refine_start = filter_end;
+    const int filter = arena.Add(obs::SpanName::kFilter, root_id, pickup_ns,
+                                 filter_end, trace.filter_hits);
+    if (trace.approx_level > 0) {
+      arena.Add(obs::SpanName::kApproxPrune, arena.span_id(filter), pickup_ns,
+                pickup_ns, trace.approx_pruned);
+    }
+    arena.Add(obs::SpanName::kRefine, root_id, refine_start, end_ns,
+              trace.hungarian_invocations);
+  }
+  obs::SpanTreeRecord record;
+  obs::RenderSpanTree(arena, trace.trace_id, &record);
+  if (arena.dropped() > 0) {
+    spans_truncated_.fetch_add(arena.dropped(), std::memory_order_relaxed);
+  }
+  span_ring_.Record(record);
+}
+
 StatusOr<ServiceResponse> QueryService::RunAdmitted(
-    const ServiceRequest& request, Clock::time_point submitted,
-    Clock::time_point deadline) {
+    const ServiceRequest& request, uint64_t submitted_ns,
+    uint64_t deadline_ns) {
   queued_.fetch_sub(1, std::memory_order_acq_rel);
+  const uint64_t pickup_ns = obs::MonotonicNowNs();
   // Every picked-up request leaves a trace, successful or not: the
   // flight recorder is most valuable precisely when requests fail.
   obs::QueryTrace trace;
@@ -352,25 +427,39 @@ StatusOr<ServiceResponse> QueryService::RunAdmitted(
   trace.k = request.options.k;
   trace.eps = request.options.eps;
   trace.approx_level = request.options.approx_level;
-  trace.queue_seconds =
-      std::chrono::duration<double>(Clock::now() - submitted).count();
-  if (Clock::now() > deadline) {
+  trace.queue_seconds = static_cast<double>(pickup_ns - submitted_ns) * 1e-9;
+  // Adopt the wire-propagated trace identity, or mint one so local
+  // callers still get correlatable span trees.
+  obs::TraceContext context = request.trace;
+  if (!context.valid()) {
+    context.trace_hi = MixTraceWord(trace_seed_hi_ ^ trace.trace_id);
+    context.trace_lo = MixTraceWord(trace_seed_lo_ + trace.trace_id);
+    context.parent_span_id = 0;
+  }
+  trace.trace_hi = context.trace_hi;
+  trace.trace_lo = context.trace_lo;
+  if (pickup_ns > deadline_ns) {
     stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
     Status expired = Status::DeadlineExceeded(
         "request deadline passed before a worker picked it up");
     trace.status_code = static_cast<uint8_t>(expired.code());
-    trace.total_seconds =
-        std::chrono::duration<double>(Clock::now() - submitted).count();
+    const uint64_t end_ns = obs::MonotonicNowNs();
+    trace.total_seconds = static_cast<double>(end_ns - submitted_ns) * 1e-9;
     RecordTrace(trace);
+    if (options_.enable_spans) {
+      PublishSpans(context, trace, submitted_ns, pickup_ns, end_ns);
+    }
     return expired;
   }
   StatusOr<ServiceResponse> response = RunRequest(request);
-  const double latency =
-      std::chrono::duration<double>(Clock::now() - submitted).count();
+  const uint64_t end_ns = obs::MonotonicNowNs();
+  const double latency = static_cast<double>(end_ns - submitted_ns) * 1e-9;
   trace.total_seconds = latency;
   if (response.ok()) {
     const ServiceResponse& r = response.value();
     response.value().latency_seconds = latency;
+    response.value().trace_hi = context.trace_hi;
+    response.value().trace_lo = context.trace_lo;
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
     stats_.latency.Record(latency);
     trace.generation = r.generation;
@@ -389,21 +478,20 @@ StatusOr<ServiceResponse> QueryService::RunAdmitted(
     trace.status_code = static_cast<uint8_t>(response.status().code());
   }
   RecordTrace(trace);
+  if (options_.enable_spans) {
+    PublishSpans(context, trace, submitted_ns, pickup_ns, end_ns);
+  }
   return response;
 }
 
 namespace {
 
 // Deadline resolution shared by both submission forms: 0 means "no
-// deadline", represented as time_point::max().
-std::chrono::steady_clock::time_point DeadlineFor(
-    double timeout_seconds,
-    std::chrono::steady_clock::time_point submitted) {
-  using SteadyClock = std::chrono::steady_clock;
+// deadline", represented as kNoDeadlineNs.
+uint64_t DeadlineForNs(double timeout_seconds, uint64_t submitted_ns) {
   return timeout_seconds > 0.0
-             ? submitted + std::chrono::duration_cast<SteadyClock::duration>(
-                               std::chrono::duration<double>(timeout_seconds))
-             : SteadyClock::time_point::max();
+             ? submitted_ns + static_cast<uint64_t>(timeout_seconds * 1e9)
+             : kNoDeadlineNs;
 }
 
 }  // namespace
@@ -411,12 +499,12 @@ std::chrono::steady_clock::time_point DeadlineFor(
 StatusOr<std::future<StatusOr<ServiceResponse>>> QueryService::Submit(
     ServiceRequest request) {
   VSIM_RETURN_NOT_OK(Admit());
-  const Clock::time_point submitted = Clock::now();
-  const Clock::time_point deadline =
-      DeadlineFor(request.options.timeout_seconds, submitted);
-  return pool_.Submit([this, request = std::move(request), submitted,
-                       deadline]() -> StatusOr<ServiceResponse> {
-    return RunAdmitted(request, submitted, deadline);
+  const uint64_t submitted_ns = obs::MonotonicNowNs();
+  const uint64_t deadline_ns =
+      DeadlineForNs(request.options.timeout_seconds, submitted_ns);
+  return pool_.Submit([this, request = std::move(request), submitted_ns,
+                       deadline_ns]() -> StatusOr<ServiceResponse> {
+    return RunAdmitted(request, submitted_ns, deadline_ns);
   });
 }
 
@@ -426,15 +514,15 @@ Status QueryService::SubmitWithCallback(
     return Status::InvalidArgument("SubmitWithCallback needs a callback");
   }
   VSIM_RETURN_NOT_OK(Admit());
-  const Clock::time_point submitted = Clock::now();
-  const Clock::time_point deadline =
-      DeadlineFor(request.options.timeout_seconds, submitted);
+  const uint64_t submitted_ns = obs::MonotonicNowNs();
+  const uint64_t deadline_ns =
+      DeadlineForNs(request.options.timeout_seconds, submitted_ns);
   // The future from pool_.Submit is discarded deliberately: the result
   // is delivered through `done` on the worker thread, and a discarded
   // future neither blocks nor cancels the task.
   pool_.Submit([this, request = std::move(request), done = std::move(done),
-                submitted, deadline]() {
-    done(RunAdmitted(request, submitted, deadline));
+                submitted_ns, deadline_ns]() {
+    done(RunAdmitted(request, submitted_ns, deadline_ns));
   });
   return Status::OK();
 }

@@ -51,6 +51,7 @@
 #include "vsim/obs/flight_recorder.h"
 #include "vsim/obs/metrics.h"
 #include "vsim/obs/query_trace.h"
+#include "vsim/obs/span.h"
 #include "vsim/service/db_snapshot.h"
 #include "vsim/service/result_cache.h"
 #include "vsim/service/service_stats.h"
@@ -111,6 +112,12 @@ struct ServiceRequest {
 
   QueryOptions options;
   bool with_reflections = false;  // invariant kinds: 48- vs 24-group
+
+  // Distributed trace identity (docs/PROTOCOL.md §12). Propagated from
+  // the wire by the transports; zero (invalid) for local callers that
+  // do not trace, in which case the service mints one per request so
+  // every span tree has an id.
+  obs::TraceContext trace;
 };
 
 struct ServiceResponse {
@@ -123,6 +130,11 @@ struct ServiceResponse {
   // Always a generation that was current at some point between the
   // request's admission and its completion.
   uint64_t generation = 0;
+  // Trace id echo (docs/PROTOCOL.md §12): the id the request carried,
+  // or the one the service minted when it carried none. Transports
+  // append it to the response's final chunk so the client can correlate.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
 };
 
 struct QueryServiceOptions {
@@ -146,6 +158,13 @@ struct QueryServiceOptions {
   size_t flight_recorder_capacity = 256;
   size_t slow_ring_capacity = 64;
   double slow_trace_seconds = 0.100;
+
+  // Hierarchical span tracing (obs/span.h). When enabled every request
+  // publishes a span tree into the span ring; the record path stays
+  // lock- and allocation-free either way, disabling only skips the
+  // arena bookkeeping and the ring publication.
+  bool enable_spans = true;
+  size_t span_ring_capacity = 128;
 };
 
 class QueryService {
@@ -232,9 +251,14 @@ class QueryService {
   // Recent / slow query traces (docs/OBSERVABILITY.md trace schema).
   const obs::FlightRecorder& flight_recorder() const { return recorder_; }
 
- private:
-  using Clock = std::chrono::steady_clock;
+  // Recent span trees (docs/OBSERVABILITY.md "Tracing"). Transports
+  // publish their net-layer trees here too, so one ring holds every
+  // layer of a trace.
+  obs::SpanRing& span_ring() { return span_ring_; }
+  const obs::SpanRing& span_ring() const { return span_ring_; }
+  bool spans_enabled() const { return options_.enable_spans; }
 
+ private:
   void RegisterMetrics();
   // Records the trace into the flight recorder and rolls its counters
   // and stage timings into the registry instruments.
@@ -245,11 +269,20 @@ class QueryService {
   // rejects with kUnavailable.
   Status Admit();
   // The worker-side body shared by both submission forms: deadline
-  // check, execution, stats and trace recording. Runs on a pool thread
-  // with the queue slot from Admit() held.
+  // check, execution, stats, trace and span recording. Runs on a pool
+  // thread with the queue slot from Admit() held. Timestamps are
+  // obs::MonotonicNowNs() nanoseconds (deadline_ns = UINT64_MAX means
+  // no deadline) so every stage boundary is span-attributable.
   StatusOr<ServiceResponse> RunAdmitted(const ServiceRequest& request,
-                                        Clock::time_point submitted,
-                                        Clock::time_point deadline);
+                                        uint64_t submitted_ns,
+                                        uint64_t deadline_ns);
+  // Builds the service-layer span tree for one picked-up request
+  // (request root, queue/admission children, engine-stage children
+  // synthesized from the trace's measured stage splits) and publishes
+  // it into the span ring. Allocation-free.
+  void PublishSpans(const obs::TraceContext& context,
+                    const obs::QueryTrace& trace, uint64_t submitted_ns,
+                    uint64_t pickup_ns, uint64_t end_ns);
   StatusOr<ServiceResponse> RunRequest(const ServiceRequest& request);
   Status Validate(const ServiceRequest& request,
                   const CadDatabase& db) const;
@@ -271,6 +304,10 @@ class QueryService {
   ServiceStats stats_;
   obs::MetricsRegistry metrics_;
   obs::FlightRecorder recorder_;
+  obs::SpanRing span_ring_;
+  // Spans dropped by arena-capacity truncation, accumulated across
+  // requests (surfaced as vsim_spans_truncated_total).
+  std::atomic<uint64_t> spans_truncated_{0};
 
   // Registry-owned instruments recorded on the request path (the
   // pointers are stable for the registry's lifetime; recording through
@@ -290,6 +327,11 @@ class QueryService {
 
   std::atomic<size_t> queued_{0};
   std::atomic<uint64_t> next_trace_id_{0};
+  // Random per-service salt for minting trace ids when a request
+  // carries none (set once at construction; not a clock, so the record
+  // path stays raw-clock-free per the vsim-lint rule).
+  uint64_t trace_seed_hi_ = 0;
+  uint64_t trace_seed_lo_ = 0;
   // Declared last: destroyed first, so queued tasks drain while every
   // member they touch is still alive.
   ThreadPool pool_;

@@ -1,0 +1,135 @@
+// Allocation-freedom check for the observability record paths
+// (registered as CTest `obs_alloc_check`): global operator new/delete
+// are replaced with counting hooks, and the hot record paths --
+// SpanArena build, RenderSpanTree, SpanRing::Record, and
+// FlightRecorder::Record -- must execute with ZERO allocations. This
+// is the "allocation asserted via counting hook" acceptance criterion:
+// a future change that sneaks a std::string or vector resize into a
+// record path fails this binary, not a profiler session in production.
+//
+// Deliberately a standalone binary (not part of vsim_tests): gtest
+// allocates freely in its own machinery, which would force the hooks
+// to discriminate call sites instead of counting globally.
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "vsim/obs/flight_recorder.h"
+#include "vsim/obs/query_trace.h"
+#include "vsim/obs/span.h"
+
+namespace {
+
+// Counting is toggled only on the main thread between phases; the
+// counter itself is plain (no other threads run in this binary).
+bool g_counting = false;
+unsigned long g_allocations = 0;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting) ++g_allocations;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+int failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+void CheckNoAllocations(const char* phase) {
+  if (g_allocations != 0) {
+    std::fprintf(stderr, "FAIL: %s allocated %lu time(s)\n", phase,
+                 g_allocations);
+    ++failures;
+  } else {
+    std::printf("ok: %s is allocation-free\n", phase);
+  }
+  g_allocations = 0;
+}
+
+}  // namespace
+
+int main() {
+  using vsim::obs::FlightRecorder;
+  using vsim::obs::kSpanArenaCapacity;
+  using vsim::obs::MonotonicNowNs;
+  using vsim::obs::QueryTrace;
+  using vsim::obs::RenderSpanTree;
+  using vsim::obs::SpanArena;
+  using vsim::obs::SpanName;
+  using vsim::obs::SpanRing;
+  using vsim::obs::SpanTreeRecord;
+  using vsim::obs::TraceContext;
+
+  // Construction may allocate (ring storage); only the record paths
+  // must not.
+  SpanRing ring(64);
+  FlightRecorder recorder(64, 0.100, 16);
+  TraceContext context;
+  context.trace_hi = 0x1234;
+  context.trace_lo = 0x5678;
+
+  // Warm the monotonic clock (first call may touch vDSO setup paths).
+  (void)MonotonicNowNs();
+
+  // --- span arena build + render + ring publish, including overflow --
+  g_counting = true;
+  {
+    SpanArena arena(context, 99);
+    const int root = arena.Start(SpanName::kRequest);
+    for (size_t i = 0; i + 2 < kSpanArenaCapacity; ++i) {
+      const int child =
+          arena.Start(SpanName::kFilter, arena.span_id(root));
+      arena.SetCounter(child, i);
+      arena.End(child);
+    }
+    arena.End(root);
+    // Overflow: the truncation path must count, never allocate.
+    for (int i = 0; i < 64; ++i) {
+      (void)arena.Start(SpanName::kRefine);
+    }
+    SpanTreeRecord record;
+    RenderSpanTree(arena, 7, &record);
+    for (int i = 0; i < 256; ++i) ring.Record(record);
+    g_counting = false;
+    Check(arena.dropped() > 0, "arena overflow counted");
+  }
+  CheckNoAllocations("span record path");
+
+  // --- flight recorder record path (both rings: fast + slow) ---------
+  QueryTrace trace{};
+  trace.trace_id = 1;
+  trace.total_seconds = 0.5;  // above the slow threshold: both rings
+  g_counting = true;
+  for (int i = 0; i < 256; ++i) recorder.Record(trace);
+  g_counting = false;
+  CheckNoAllocations("flight recorder record path");
+
+  // Sanity: the rings actually recorded (snapshots allocate -- that is
+  // their contract -- so they run outside the counting phases).
+  Check(ring.recorded() == 256, "span ring recorded");
+  Check(!ring.Snapshot(4).empty(), "span ring snapshot");
+  Check(!recorder.Snapshot(4, true).empty(), "slow ring snapshot");
+
+  if (failures == 0) {
+    std::printf("obs_alloc_check: PASS\n");
+    return 0;
+  }
+  return 1;
+}

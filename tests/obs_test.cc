@@ -364,6 +364,41 @@ TEST(FlightRecorderTest, ConcurrentRecordAndSnapshotNeverTear) {
   for (const QueryTrace& t : final_traces) ExpectDerived(t);
 }
 
+TEST(FlightRecorderTest, WraparoundAndSlowRetentionUnderConcurrentWriters) {
+  // Concurrent writers mixing fast and slow traces: after the dust
+  // settles the main ring holds exactly its capacity of coherent
+  // traces (wraparound), and the slow ring retains only slow ones --
+  // fast bursts from other threads must never evict or corrupt them.
+  // Runs under TSan via tools/check_tsan.sh.
+  FlightRecorder recorder(16, 0.100, 8);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 4000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t]() {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t id = static_cast<uint64_t>(t) * kPerThread + i;
+        // Every 16th trace is slow (0.25s); the rest are fast (1ms).
+        recorder.Record(DerivedTrace(id, (id % 16 == 0) ? 0.250 : 0.001));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(recorder.recorded(), kThreads * kPerThread);
+
+  const std::vector<QueryTrace> recent = recorder.Snapshot(64);
+  EXPECT_EQ(recent.size(), 16u);  // wraparound: capacity, no more
+  for (const QueryTrace& t : recent) ExpectDerived(t);
+
+  const std::vector<QueryTrace> slow = recorder.Snapshot(64, true);
+  EXPECT_EQ(slow.size(), 8u);  // slow ring full after 1000 slow records
+  for (const QueryTrace& t : slow) {
+    ExpectDerived(t);
+    EXPECT_EQ(t.trace_id % 16, 0u);  // only slow traces land here
+    EXPECT_EQ(t.total_seconds, 0.250);
+  }
+}
+
 // --- IoStats under concurrency ---------------------------------------
 
 TEST(IoStatsConcurrencyTest, ConcurrentChargesAndReadsAreExact) {

@@ -269,28 +269,78 @@ TEST(ProtocolTest, StatsResponseRoundTripsTextAndTraces) {
   }
 }
 
+// Trailing bytes the current request encoder emits after the
+// ObjectRepr: [approx_level u32][trace_hi u64][trace_lo u64]
+// [parent_span_id u64] (docs/PROTOCOL.md §12).
+constexpr size_t kRequestTraceBlockBytes = 3 * sizeof(uint64_t);
+constexpr size_t kRequestTrailingBytes =
+    sizeof(uint32_t) + kRequestTraceBlockBytes;
+
 TEST(ProtocolTest, LegacyRequestWithoutApproxLevelDecodesToZero) {
   // A pre-approx client's request payload stops right after the
   // ObjectRepr; the tolerant decode must yield approx_level 0 (exact
-  // search), mirroring the feature_flags evolution pattern.
+  // search) and an empty trace context, mirroring the feature_flags
+  // evolution pattern.
   const ServiceRequest req = MakeExternalRequest();
   std::string buffer;
   AppendRequestFrame(31, req, &buffer);
   const std::vector<RawFrame> frames = SplitFrames(buffer);
   ASSERT_EQ(frames.size(), 1u);
   const std::string legacy = frames[0].payload.substr(
-      0, frames[0].payload.size() - sizeof(uint32_t));
+      0, frames[0].payload.size() - kRequestTrailingBytes);
   ServiceRequest out;
   ASSERT_TRUE(DecodeRequestPayload(Bytes(legacy), legacy.size(), &out).ok());
   EXPECT_EQ(out.options.approx_level, 0);
+  EXPECT_FALSE(out.trace.valid());
   EXPECT_EQ(out.options.k, req.options.k);
   ASSERT_EQ(out.query.vector_set.size(), req.query.vector_set.size());
 }
 
+TEST(ProtocolTest, LegacyRequestWithoutTraceContextDecodesToZero) {
+  // A pre-tracing client stops after approx_level; the trace block is
+  // optional and its absence must read back as the zero (invalid)
+  // context, never an error.
+  ServiceRequest req = MakeExternalRequest();
+  req.trace.trace_hi = 0x1111222233334444ULL;
+  req.trace.trace_lo = 0x5555666677778888ULL;
+  req.trace.parent_span_id = 0x9999aaaabbbbccccULL;
+  std::string buffer;
+  AppendRequestFrame(32, req, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+
+  // Full payload round-trips the context.
+  ServiceRequest full;
+  ASSERT_TRUE(DecodeRequestPayload(Bytes(frames[0].payload),
+                                   frames[0].payload.size(), &full)
+                  .ok());
+  EXPECT_EQ(full.trace.trace_hi, req.trace.trace_hi);
+  EXPECT_EQ(full.trace.trace_lo, req.trace.trace_lo);
+  EXPECT_EQ(full.trace.parent_span_id, req.trace.parent_span_id);
+
+  // Pre-tracing truncation (approx_level kept) decodes with zeros.
+  const std::string legacy = frames[0].payload.substr(
+      0, frames[0].payload.size() - kRequestTraceBlockBytes);
+  ServiceRequest out;
+  ASSERT_TRUE(DecodeRequestPayload(Bytes(legacy), legacy.size(), &out).ok());
+  EXPECT_EQ(out.options.approx_level, req.options.approx_level);
+  EXPECT_FALSE(out.trace.valid());
+  EXPECT_EQ(out.trace.parent_span_id, 0u);
+}
+
+// Sizes of the optional trailing blocks a current stats encoder emits
+// after the fixed trace records, newest block last (docs/PROTOCOL.md
+// §12): per-trace approx records, per-trace 16-byte trace ids, the
+// span-tree block, the profiler text block.
+constexpr size_t kApproxRecordBytes = sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kTraceIdRecordBytes = 2 * sizeof(uint64_t);
+size_t EmptySpanBlockBytes() { return sizeof(uint32_t); }
+size_t EmptyProfileBlockBytes() { return sizeof(uint32_t); }
+
 TEST(ProtocolTest, LegacyStatsResponseWithoutApproxBlockDecodesToZero) {
   // A pre-approx server's stats payload ends after the fixed trace
-  // records; the trailing per-trace approx block is optional and its
-  // absence must read back as level 0 / zero pruned.
+  // records; every trailing block (approx, trace ids, span trees,
+  // profile) is optional and their absence must read back as zeros.
   StatsResponse resp;
   resp.metrics_text = "vsim_requests_completed_total 1\n";
   resp.traces.push_back(MakeTrace(201));
@@ -299,9 +349,11 @@ TEST(ProtocolTest, LegacyStatsResponseWithoutApproxBlockDecodesToZero) {
   AppendStatsResponseFrame(13, resp, &buffer);
   const std::vector<RawFrame> frames = SplitFrames(buffer);
   ASSERT_EQ(frames.size(), 1u);
-  constexpr size_t kApproxRecordBytes = sizeof(uint32_t) + sizeof(uint64_t);
-  const std::string legacy = frames[0].payload.substr(
-      0, frames[0].payload.size() - resp.traces.size() * kApproxRecordBytes);
+  const size_t trailing =
+      resp.traces.size() * (kApproxRecordBytes + kTraceIdRecordBytes) +
+      EmptySpanBlockBytes() + EmptyProfileBlockBytes();
+  const std::string legacy =
+      frames[0].payload.substr(0, frames[0].payload.size() - trailing);
   StatsResponse out;
   ASSERT_TRUE(
       DecodeStatsResponsePayload(Bytes(legacy), legacy.size(), &out).ok());
@@ -309,8 +361,171 @@ TEST(ProtocolTest, LegacyStatsResponseWithoutApproxBlockDecodesToZero) {
   for (const obs::QueryTrace& t : out.traces) {
     EXPECT_EQ(t.approx_level, 0);
     EXPECT_EQ(t.approx_pruned, 0u);
+    EXPECT_EQ(t.trace_hi, 0u);
+    EXPECT_EQ(t.trace_lo, 0u);
     EXPECT_EQ(t.filter_hits, 37u);  // fixed records still decode fully
   }
+  EXPECT_TRUE(out.span_trees.empty());
+  EXPECT_TRUE(out.profile_text.empty());
+}
+
+TEST(ProtocolTest, LegacyStatsResponseWithoutSpanBlocksDecodesEmpty) {
+  // A server that knows approx but not tracing stops after the approx
+  // block: trace ids read as zero, span trees and profile text as
+  // empty -- tolerant trailing-field evolution, no version bump.
+  StatsResponse resp;
+  resp.metrics_text = "x 1\n";
+  resp.traces.push_back(MakeTrace(301));
+  resp.traces[0].trace_hi = 0xdeadbeefULL;
+  resp.traces[0].trace_lo = 0xfeedfaceULL;
+  std::string buffer;
+  AppendStatsResponseFrame(14, resp, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  const size_t trailing = resp.traces.size() * kTraceIdRecordBytes +
+                          EmptySpanBlockBytes() + EmptyProfileBlockBytes();
+  const std::string legacy =
+      frames[0].payload.substr(0, frames[0].payload.size() - trailing);
+  StatsResponse out;
+  ASSERT_TRUE(
+      DecodeStatsResponsePayload(Bytes(legacy), legacy.size(), &out).ok());
+  ASSERT_EQ(out.traces.size(), 1u);
+  EXPECT_EQ(out.traces[0].approx_level, 2);  // approx block still present
+  EXPECT_EQ(out.traces[0].trace_hi, 0u);     // trace ids truncated away
+  EXPECT_EQ(out.traces[0].trace_lo, 0u);
+  EXPECT_TRUE(out.span_trees.empty());
+  EXPECT_TRUE(out.profile_text.empty());
+}
+
+TEST(ProtocolTest, StatsResponseRoundTripsSpanTreesAndProfile) {
+  StatsResponse resp;
+  resp.metrics_text = "x 1\n";
+  resp.traces.push_back(MakeTrace(401));
+  resp.traces[0].trace_hi = 0x0102030405060708ULL;
+  resp.traces[0].trace_lo = 0x1112131415161718ULL;
+  obs::SpanTreeRecord tree{};
+  tree.trace_hi = 0x0102030405060708ULL;
+  tree.trace_lo = 0x1112131415161718ULL;
+  tree.query_trace_id = 401;
+  tree.span_count = 2;
+  tree.spans_dropped = 3;
+  tree.spans[0].span_id = 77;
+  tree.spans[0].parent_span_id = 0;
+  tree.spans[0].start_ns = 1000;
+  tree.spans[0].end_ns = 9000;
+  tree.spans[0].counter = 12;
+  tree.spans[0].name = static_cast<uint8_t>(obs::SpanName::kRequest);
+  tree.spans[1].span_id = 78;
+  tree.spans[1].parent_span_id = 77;
+  tree.spans[1].start_ns = 2000;
+  tree.spans[1].end_ns = 4000;
+  tree.spans[1].counter = 5;
+  tree.spans[1].name = static_cast<uint8_t>(obs::SpanName::kFilter);
+  resp.span_trees.push_back(tree);
+  resp.profile_text = "main;Worker;Hungarian 17\n";
+  std::string buffer;
+  AppendStatsResponseFrame(15, resp, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  StatsResponse out;
+  ASSERT_TRUE(DecodeStatsResponsePayload(Bytes(frames[0].payload),
+                                         frames[0].payload.size(), &out)
+                  .ok());
+  ASSERT_EQ(out.traces.size(), 1u);
+  EXPECT_EQ(out.traces[0].trace_hi, resp.traces[0].trace_hi);
+  EXPECT_EQ(out.traces[0].trace_lo, resp.traces[0].trace_lo);
+  ASSERT_EQ(out.span_trees.size(), 1u);
+  const obs::SpanTreeRecord& got = out.span_trees[0];
+  EXPECT_EQ(got.trace_hi, tree.trace_hi);
+  EXPECT_EQ(got.trace_lo, tree.trace_lo);
+  EXPECT_EQ(got.query_trace_id, tree.query_trace_id);
+  ASSERT_EQ(got.span_count, 2u);
+  EXPECT_EQ(got.spans_dropped, 3u);
+  for (uint32_t i = 0; i < got.span_count; ++i) {
+    EXPECT_EQ(got.spans[i].span_id, tree.spans[i].span_id);
+    EXPECT_EQ(got.spans[i].parent_span_id, tree.spans[i].parent_span_id);
+    EXPECT_EQ(got.spans[i].start_ns, tree.spans[i].start_ns);
+    EXPECT_EQ(got.spans[i].end_ns, tree.spans[i].end_ns);
+    EXPECT_EQ(got.spans[i].counter, tree.spans[i].counter);
+    EXPECT_EQ(got.spans[i].name, tree.spans[i].name);
+  }
+  EXPECT_EQ(out.profile_text, resp.profile_text);
+}
+
+TEST(ProtocolTest, StatsRequestRoundTripsSpanAndProfileFields) {
+  StatsRequest req;
+  req.max_traces = 5;
+  req.slow_only = true;
+  req.include_spans = true;
+  req.profile_op = kProfileArm;
+  req.profile_hz = 250;
+  std::string buffer;
+  AppendStatsRequestFrame(16, req, &buffer);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_EQ(frames.size(), 1u);
+  StatsRequest out;
+  ASSERT_TRUE(DecodeStatsRequestPayload(Bytes(frames[0].payload),
+                                        frames[0].payload.size(), &out)
+                  .ok());
+  EXPECT_EQ(out.max_traces, 5u);
+  EXPECT_TRUE(out.slow_only);
+  EXPECT_TRUE(out.include_spans);
+  EXPECT_EQ(out.profile_op, kProfileArm);
+  EXPECT_EQ(out.profile_hz, 250u);
+
+  // A pre-tracing client stops after slow_only: the §12 fields must
+  // default off, never error.
+  constexpr size_t kStatsTrailing =
+      2 * sizeof(uint8_t) + sizeof(uint32_t);
+  const std::string legacy = frames[0].payload.substr(
+      0, frames[0].payload.size() - kStatsTrailing);
+  StatsRequest legacy_out;
+  ASSERT_TRUE(
+      DecodeStatsRequestPayload(Bytes(legacy), legacy.size(), &legacy_out)
+          .ok());
+  EXPECT_EQ(legacy_out.max_traces, 5u);
+  EXPECT_TRUE(legacy_out.slow_only);
+  EXPECT_FALSE(legacy_out.include_spans);
+  EXPECT_EQ(legacy_out.profile_op, kProfileNone);
+  EXPECT_EQ(legacy_out.profile_hz, 0u);
+}
+
+TEST(ProtocolTest, ResponseEchoesTraceIdAndToleratesLegacyAbsence) {
+  ServiceResponse resp = MakeResponse(4, 0);
+  resp.trace_hi = 0xaaaabbbbccccddddULL;
+  resp.trace_lo = 0x1111222233334444ULL;
+  std::string buffer;
+  AppendResponseFrames(21, resp, &buffer, 2);
+  const std::vector<RawFrame> frames = SplitFrames(buffer);
+  ASSERT_GE(frames.size(), 2u);  // 4 neighbors at 2/frame
+  ResponseAssembler assembler;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    ASSERT_TRUE(assembler
+                    .Add(Bytes(frames[i].payload), frames[i].payload.size(),
+                         (frames[i].header.flags & kFlagFinal) != 0)
+                    .ok());
+  }
+  ASSERT_TRUE(assembler.complete());
+  ServiceResponse out = assembler.Take();
+  EXPECT_EQ(out.trace_hi, resp.trace_hi);
+  EXPECT_EQ(out.trace_lo, resp.trace_lo);
+
+  // A pre-tracing server's final chunk stops before the echo; absence
+  // decodes as zeros.
+  ResponseAssembler legacy;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    std::string payload = frames[i].payload;
+    const bool final_chunk = (frames[i].header.flags & kFlagFinal) != 0;
+    if (final_chunk) {
+      payload = payload.substr(0, payload.size() - kTraceIdRecordBytes);
+    }
+    ASSERT_TRUE(
+        legacy.Add(Bytes(payload), payload.size(), final_chunk).ok());
+  }
+  ASSERT_TRUE(legacy.complete());
+  ServiceResponse legacy_out = legacy.Take();
+  EXPECT_EQ(legacy_out.trace_hi, 0u);
+  EXPECT_EQ(legacy_out.trace_lo, 0u);
 }
 
 TEST(ProtocolTest, InfoFeatureFlagsRoundTripAndLegacyDecode) {

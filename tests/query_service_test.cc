@@ -412,6 +412,129 @@ TEST_F(QueryServiceTest, TraceRecordsPaperCountersWithLemma2Ordering) {
             std::string::npos);
 }
 
+TEST_F(QueryServiceTest, CompletedRequestPublishesServiceSpanTree) {
+  // Every completed request publishes a service-layer span tree into
+  // the span ring: a kRequest root (counter: candidates_refined) with
+  // kQueue/kAdmission children and, for an engine miss, kFilter and
+  // kRefine stage spans whose counters mirror the QueryTrace
+  // (docs/OBSERVABILITY.md "Tracing"). A local caller without a trace
+  // context still gets a minted trace id.
+  QueryServiceOptions options;
+  options.cache_bytes = 0;
+  QueryService service(db_, engine_, options);
+  ServiceRequest request;
+  request.object_id = 1;
+  request.options.k = 4;
+  request.strategy = QueryStrategy::kVectorSetFilter;
+  StatusOr<ServiceResponse> response = service.Execute(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->trace_hi | response->trace_lo, 0u);  // minted
+
+  const std::vector<obs::SpanTreeRecord> trees =
+      service.span_ring().Snapshot(4);
+  ASSERT_EQ(trees.size(), 1u);
+  const obs::SpanTreeRecord& tree = trees[0];
+  EXPECT_EQ(tree.trace_hi, response->trace_hi);
+  EXPECT_EQ(tree.trace_lo, response->trace_lo);
+  EXPECT_EQ(tree.spans_dropped, 0u);
+  ASSERT_GE(tree.span_count, 4u);
+
+  const obs::QueryTrace trace = service.flight_recorder().Snapshot(1)[0];
+  EXPECT_EQ(tree.query_trace_id, trace.trace_id);
+  uint64_t root_id = 0;
+  bool saw_queue = false, saw_filter = false, saw_refine = false;
+  for (uint32_t i = 0; i < tree.span_count; ++i) {
+    const obs::SpanRecord& span = tree.spans[i];
+    ASSERT_LT(span.name, obs::kNumSpanNames);
+    EXPECT_GE(span.end_ns, span.start_ns);
+    switch (static_cast<obs::SpanName>(span.name)) {
+      case obs::SpanName::kRequest:
+        root_id = span.span_id;
+        EXPECT_EQ(span.counter, trace.candidates_refined);
+        break;
+      case obs::SpanName::kQueue:
+        saw_queue = true;
+        break;
+      case obs::SpanName::kFilter:
+        saw_filter = true;
+        EXPECT_EQ(span.counter, trace.filter_hits);
+        break;
+      case obs::SpanName::kRefine:
+        saw_refine = true;
+        EXPECT_EQ(span.counter, trace.hungarian_invocations);
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_NE(root_id, 0u);
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_filter);
+  EXPECT_TRUE(saw_refine);
+  // Children hang off the root: the tree nests.
+  for (uint32_t i = 0; i < tree.span_count; ++i) {
+    const obs::SpanRecord& span = tree.spans[i];
+    if (span.span_id != root_id) {
+      EXPECT_EQ(span.parent_span_id, root_id);
+    }
+  }
+
+  // Spans ride the metric registry too.
+  const std::string text = service.metrics().TextExposition();
+  EXPECT_NE(text.find("vsim_span_trees_recorded_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsim_span_trees_dropped_total 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsim_spans_truncated_total 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vsim_flight_recorder_slow_threshold_seconds"),
+            std::string::npos);
+}
+
+TEST_F(QueryServiceTest, SpanRecordingDisabledLeavesRingEmpty) {
+  QueryServiceOptions options;
+  options.enable_spans = false;
+  QueryService service(db_, engine_, options);
+  ServiceRequest request;
+  request.object_id = 0;
+  request.options.k = 2;
+  ASSERT_TRUE(service.Execute(request).ok());
+  EXPECT_FALSE(service.spans_enabled());
+  EXPECT_TRUE(service.span_ring().Snapshot(4).empty());
+}
+
+TEST_F(QueryServiceTest, CallerTraceContextFlowsToSpanTreeAndEcho) {
+  QueryServiceOptions options;
+  options.cache_bytes = 0;
+  QueryService service(db_, engine_, options);
+  ServiceRequest request;
+  request.object_id = 3;
+  request.options.k = 2;
+  request.trace.trace_hi = 0x00c0ffee00c0ffeeULL;
+  request.trace.trace_lo = 0x0badf00d0badf00dULL;
+  request.trace.parent_span_id = 777;
+  StatusOr<ServiceResponse> response = service.Execute(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->trace_hi, request.trace.trace_hi);
+  EXPECT_EQ(response->trace_lo, request.trace.trace_lo);
+  const std::vector<obs::SpanTreeRecord> trees =
+      service.span_ring().Snapshot(1);
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].trace_hi, request.trace.trace_hi);
+  EXPECT_EQ(trees[0].trace_lo, request.trace.trace_lo);
+  // The remote parent becomes the root span's parent: the service tree
+  // nests under the caller's span in the exported timeline.
+  bool root_found = false;
+  for (uint32_t i = 0; i < trees[0].span_count; ++i) {
+    if (trees[0].spans[i].name ==
+        static_cast<uint8_t>(obs::SpanName::kRequest)) {
+      EXPECT_EQ(trees[0].spans[i].parent_span_id, 777u);
+      root_found = true;
+    }
+  }
+  EXPECT_TRUE(root_found);
+}
+
 TEST_F(QueryServiceTest, ApproxKnobFlowsToTraceWithExtendedChain) {
   // The per-request knob end to end: QueryOptions.approx_level switches
   // the filter strategy onto the sketch pre-filter pipeline, the trace

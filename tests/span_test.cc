@@ -1,0 +1,310 @@
+// Span-tracing tests (docs/OBSERVABILITY.md "Tracing"): the
+// fixed-capacity SpanArena (including the counted-truncation contract
+// -- overflow must never allocate or crash, only count), the SpanRing
+// seqlock under concurrent writers, trace-context minting, the Chrome
+// trace-event export, and the SIGPROF sampling profiler. The Span* and
+// Profiler* suites run under TSan via tools/check_tsan.sh.
+#include "vsim/obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vsim/obs/profiler.h"
+#include "vsim/obs/trace_export.h"
+
+namespace vsim::obs {
+namespace {
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TraceContext TestContext() {
+  TraceContext context;
+  context.trace_hi = 0x0123456789abcdefULL;
+  context.trace_lo = 0xfedcba9876543210ULL;
+  return context;
+}
+
+// --- SpanArena -------------------------------------------------------
+
+TEST(SpanArenaTest, StartEndRecordsMonotoneTimestamps) {
+  SpanArena arena(TestContext(), 7);
+  const int root = arena.Start(SpanName::kRequest);
+  ASSERT_GE(root, 0);
+  const int child = arena.Start(SpanName::kFilter, arena.span_id(root));
+  ASSERT_GE(child, 0);
+  arena.End(child);
+  arena.End(root);
+  EXPECT_EQ(arena.count(), 2u);
+  EXPECT_EQ(arena.dropped(), 0u);
+  const SpanRecord& r = arena.span(static_cast<size_t>(root));
+  const SpanRecord& c = arena.span(static_cast<size_t>(child));
+  EXPECT_GT(r.span_id, 0u);
+  EXPECT_EQ(r.parent_span_id, 0u);
+  EXPECT_EQ(c.parent_span_id, r.span_id);
+  EXPECT_LE(r.start_ns, c.start_ns);
+  EXPECT_LE(c.end_ns, r.end_ns);
+  EXPECT_GE(c.end_ns, c.start_ns);
+  EXPECT_EQ(c.name, static_cast<uint8_t>(SpanName::kFilter));
+}
+
+TEST(SpanArenaTest, SpanIdsAreUniqueAndNonZero) {
+  SpanArena arena(TestContext(), 42);
+  std::set<uint64_t> ids;
+  for (size_t i = 0; i < kSpanArenaCapacity; ++i) {
+    const int index = arena.Add(SpanName::kRefine, 0, 10, 20, i);
+    ASSERT_GE(index, 0);
+    const uint64_t id = arena.span_id(index);
+    EXPECT_NE(id, 0u);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), kSpanArenaCapacity);
+}
+
+TEST(SpanArenaTest, OverflowCountsDroppedAndNeverGrows) {
+  // The truncation contract: a request that outgrows the arena keeps
+  // the first kSpanArenaCapacity spans and counts the rest -- no
+  // allocation, no reindexing, kInvalidSpan for every overflow Add.
+  SpanArena arena(TestContext(), 3);
+  for (size_t i = 0; i < kSpanArenaCapacity; ++i) {
+    ASSERT_GE(arena.Add(SpanName::kQueue, 0, i, i + 1, 0), 0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(arena.Add(SpanName::kQueue, 0, 100, 200, 0),
+              SpanArena::kInvalidSpan);
+    EXPECT_EQ(arena.Start(SpanName::kFlush), SpanArena::kInvalidSpan);
+  }
+  EXPECT_EQ(arena.count(), kSpanArenaCapacity);
+  EXPECT_EQ(arena.dropped(), 20u);
+  // End / SetCounter / span_id on the invalid index are harmless no-ops.
+  arena.End(SpanArena::kInvalidSpan);
+  arena.SetCounter(SpanArena::kInvalidSpan, 99);
+  EXPECT_EQ(arena.span_id(SpanArena::kInvalidSpan), 0u);
+
+  SpanTreeRecord record;
+  RenderSpanTree(arena, 17, &record);
+  EXPECT_EQ(record.span_count, kSpanArenaCapacity);
+  EXPECT_EQ(record.spans_dropped, 20u);
+  EXPECT_EQ(record.query_trace_id, 17u);
+  EXPECT_EQ(record.trace_hi, TestContext().trace_hi);
+}
+
+TEST(SpanArenaTest, SetCounterUpdatesOpenSpan) {
+  SpanArena arena(TestContext(), 1);
+  const int index = arena.Start(SpanName::kRefine);
+  arena.SetCounter(index, 123);
+  arena.End(index);
+  EXPECT_EQ(arena.span(static_cast<size_t>(index)).counter, 123u);
+}
+
+// --- MintTraceContext ------------------------------------------------
+
+TEST(SpanMintTest, MintedContextsAreValidAndDistinct) {
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const TraceContext context = MintTraceContext();
+    EXPECT_TRUE(context.valid());
+    EXPECT_EQ(context.parent_span_id, 0u);
+    seen.insert({context.trace_hi, context.trace_lo});
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(SpanMintTest, MintIsThreadSafe) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<TraceContext>> minted(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&minted, t] {
+      minted[static_cast<size_t>(t)].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        minted[static_cast<size_t>(t)].push_back(MintTraceContext());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (const auto& batch : minted) {
+    for (const TraceContext& context : batch) {
+      EXPECT_TRUE(context.valid());
+      seen.insert({context.trace_hi, context.trace_lo});
+    }
+  }
+  EXPECT_EQ(seen.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+// --- SpanRing --------------------------------------------------------
+
+SpanTreeRecord MakeTree(uint64_t tag) {
+  SpanArena arena(TestContext(), tag);
+  const int root = arena.Add(SpanName::kRequest, 0, tag, tag + 100, tag);
+  arena.Add(SpanName::kFilter, arena.span_id(root), tag + 10, tag + 50, 3);
+  SpanTreeRecord record;
+  RenderSpanTree(arena, tag, &record);
+  return record;
+}
+
+TEST(SpanRingTest, SnapshotReturnsNewestFirst) {
+  SpanRing ring(8);
+  for (uint64_t i = 1; i <= 5; ++i) ring.Record(MakeTree(i));
+  const std::vector<SpanTreeRecord> trees = ring.Snapshot(16);
+  ASSERT_EQ(trees.size(), 5u);
+  for (size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_EQ(trees[i].query_trace_id, 5 - i);
+  }
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SpanRingTest, WraparoundKeepsMostRecentCapacity) {
+  SpanRing ring(4);
+  for (uint64_t i = 1; i <= 10; ++i) ring.Record(MakeTree(i));
+  const std::vector<SpanTreeRecord> trees = ring.Snapshot(16);
+  ASSERT_EQ(trees.size(), 4u);
+  for (size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_EQ(trees[i].query_trace_id, 10 - i);
+  }
+}
+
+TEST(SpanRingTest, ConcurrentRecordAndSnapshotNeverTear) {
+  // The seqlock contract: a snapshot taken while writers hammer the
+  // ring yields only fully consistent records (every span's timestamps
+  // derived from its tag), never a torn mix of two writes. Runs under
+  // TSan via tools/check_tsan.sh.
+  SpanRing ring(16);
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, &stop, w] {
+      uint64_t i = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ring.Record(MakeTree(static_cast<uint64_t>(w + 1) * 1000000 + i));
+        ++i;
+      }
+    });
+  }
+  // Wait until the writers are actually producing (an empty-ring
+  // snapshot loop can outrun thread startup entirely).
+  while (ring.recorded() < 64) std::this_thread::yield();
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<SpanTreeRecord> trees = ring.Snapshot(16);
+    for (const SpanTreeRecord& tree : trees) {
+      const uint64_t tag = tree.query_trace_id;
+      ASSERT_EQ(tree.span_count, 2u);
+      EXPECT_EQ(tree.spans[0].start_ns, tag);
+      EXPECT_EQ(tree.spans[0].end_ns, tag + 100);
+      EXPECT_EQ(tree.spans[0].counter, tag);
+      EXPECT_EQ(tree.spans[1].start_ns, tag + 10);
+      EXPECT_EQ(tree.spans[1].end_ns, tag + 50);
+      EXPECT_EQ(tree.spans[1].parent_span_id, tree.spans[0].span_id);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& writer : writers) writer.join();
+  EXPECT_GT(ring.recorded(), 0u);
+}
+
+// --- Chrome trace export ---------------------------------------------
+
+TEST(TraceExportTest, RendersCompleteEventsGroupedByTraceId) {
+  std::vector<SpanTreeRecord> trees;
+  trees.push_back(MakeTree(1000));
+  trees.push_back(MakeTree(2000));
+  trees[1].trace_hi = 0x1111;  // second tree: a different trace
+  trees[1].trace_lo = 0x2222;
+  const std::string json = RenderChromeTrace(trees);
+  // Structural sanity: one JSON object with a traceEvents array, one
+  // thread_name metadata event per distinct trace id, one X event per
+  // span, µs timestamps.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"M\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 4u);
+  EXPECT_NE(json.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"filter\""), std::string::npos);
+  EXPECT_NE(json.find("0123456789abcdeffedcba9876543210"),
+            std::string::npos);
+}
+
+TEST(TraceExportTest, EmptyInputIsStillValidJson) {
+  const std::string json = RenderChromeTrace({});
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ClampsCorruptSpanCountAndReversedTimestamps) {
+  SpanTreeRecord tree{};
+  tree.trace_hi = 1;
+  tree.trace_lo = 2;
+  tree.span_count = kSpanArenaCapacity + 100;  // hostile count
+  tree.spans[0].span_id = 5;
+  tree.spans[0].start_ns = 100;
+  tree.spans[0].end_ns = 50;  // end before start
+  tree.spans[0].name = 200;   // out-of-range name
+  const std::string json = RenderChromeTrace({tree});
+  // Must not crash or emit negative durations.
+  EXPECT_EQ(json.find("-"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""),
+            static_cast<size_t>(kSpanArenaCapacity));
+}
+
+// --- Profiler --------------------------------------------------------
+
+TEST(ProfilerTest, ArmSampleCollectDisarm) {
+  Profiler& profiler = Profiler::Instance();
+  ASSERT_FALSE(profiler.armed());
+  ASSERT_TRUE(profiler.Arm(1000));
+  EXPECT_TRUE(profiler.armed());
+  // ITIMER_PROF counts CPU time: spin long enough for several ticks.
+  volatile double sink = 0;
+  const uint64_t start_ns = MonotonicNowNs();
+  while (MonotonicNowNs() - start_ns < 300000000ULL) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i) * 1e-9;
+  }
+  profiler.Disarm();
+  EXPECT_FALSE(profiler.armed());
+  EXPECT_GT(profiler.samples(), 0u);
+  const std::string collapsed = profiler.CollapsedStacks();
+  EXPECT_FALSE(collapsed.empty());
+  // Collapsed-stack shape: "frame;frame;... count\n" lines.
+  EXPECT_NE(collapsed.find(' '), std::string::npos);
+  EXPECT_EQ(collapsed.back(), '\n');
+  (void)sink;
+}
+
+TEST(ProfilerTest, RearmResetsSamples) {
+  Profiler& profiler = Profiler::Instance();
+  ASSERT_TRUE(profiler.Arm(100));
+  profiler.Disarm();
+  ASSERT_TRUE(profiler.Arm(100));
+  EXPECT_EQ(profiler.samples(), 0u);
+  profiler.Disarm();
+}
+
+TEST(ProfilerTest, ArmClampsRate) {
+  Profiler& profiler = Profiler::Instance();
+  ASSERT_TRUE(profiler.Arm(1000000));  // clamped to 1000 Hz
+  profiler.Disarm();
+  ASSERT_TRUE(profiler.Arm(0));  // clamped to 1 Hz
+  profiler.Disarm();
+}
+
+}  // namespace
+}  // namespace vsim::obs

@@ -192,16 +192,21 @@ fi
 # --- optional: 60 s libFuzzer smoke over the VSNP codec --------------
 if [ "$RUN_FUZZ" -eq 1 ]; then
   if command -v clang++ >/dev/null 2>&1; then
-    echo "=== [fuzz] fuzz-smoke: 60 s libFuzzer VSNP codec run under ASan ==="
+    echo "=== [fuzz] fuzz-smoke: 60 s libFuzzer runs (VSNP codec +" \
+         ".vsimdb store) under ASan ==="
     if cmake -B "$BUILD_ROOT/build-fuzz" -S . \
           -DCMAKE_CXX_COMPILER=clang++ -DVSIM_FUZZER=ON \
           -DVSIM_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
        cmake --build "$BUILD_ROOT/build-fuzz" -j "$(nproc)" \
-          --target fuzz_vsnp &&
+          --target fuzz_vsnp --target fuzz_store &&
        ASAN_OPTIONS="detect_leaks=1" \
           "$BUILD_ROOT/build-fuzz/tools/fuzz_vsnp" \
           -max_total_time=60 -timeout=5 -rss_limit_mb=2048 \
-          tests/fuzz_corpus/vsnp; then
+          tests/fuzz_corpus/vsnp &&
+       ASAN_OPTIONS="detect_leaks=1" \
+          "$BUILD_ROOT/build-fuzz/tools/fuzz_store" \
+          -max_total_time=60 -timeout=5 -rss_limit_mb=2048 \
+          tests/fuzz_corpus/store; then
       record fuzz-smoke PASS
     else
       record fuzz-smoke FAIL

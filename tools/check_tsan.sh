@@ -6,11 +6,13 @@
 # sharded result cache, the parallel extraction path, and the TCP
 # serving front-end (loopback server smoke + hostile-client suite +
 # snapshot swaps under live remote load, each parameterized over both
-# the thread-per-connection and epoll-reactor transports -- the
-# reactor's worker-callback/event-loop handoff is the newest
-# race-sensitive surface), the observability layer's lock-free record paths
-# (metrics registry under concurrent scrapes, flight-recorder seqlock
-# rings, IoStats counters), and the concurrent storage stack (sharded
+# the thread-per-connection and epoll-reactor transports), the
+# observability layer's lock-free record paths (metrics registry under
+# concurrent scrapes, flight-recorder seqlock rings, span-tree seqlock
+# rings under concurrent writers, the SIGPROF sampling profiler's
+# handler-vs-collector ring, the Chrome trace exporter over snapshots,
+# the cross-layer trace-propagation pipeline, IoStats counters), and
+# the concurrent storage stack (sharded
 # buffer pool stress/tiering, SharedMutex, PagedFile positioned I/O,
 # disk-backed serving end-to-end). Any data race aborts with a non-zero
 # exit.
@@ -39,6 +41,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target vsim_tests
 # edges and reports the reversal as an inversion.
 TSAN_OPTIONS="halt_on_error=1:detect_deadlocks=1:second_deadlock_stack=1" \
     "$BUILD_DIR/tests/vsim_tests" \
-    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:*NetServerTest*:*NetHostileTest*:*RemoteSwapTest*:Obs*:FlightRecorder*:IoStatsConcurrency*:CachePool*:DiskServing*:SharedMutex*:PagedFile*:DeadlockDetector*:Kernel*:Sketch*:-DeadlockDetectorTest.TryLockDoesNotEstablishOrder'
+    --gtest_filter='QueryService*:SnapshotSwap*:ThreadPool*:ResultCache*:ParallelExtraction*:*NetServerTest*:*NetHostileTest*:*RemoteSwapTest*:*TracePipeline*:Obs*:FlightRecorder*:Span*:Profiler*:TraceExport*:IoStatsConcurrency*:CachePool*:DiskServing*:SharedMutex*:PagedFile*:DeadlockDetector*:Kernel*:Sketch*:-DeadlockDetectorTest.TryLockDoesNotEstablishOrder'
 
 echo "TSan: service stress + snapshot-swap + net server + observability + storage stack + deadlock-detector suites clean"

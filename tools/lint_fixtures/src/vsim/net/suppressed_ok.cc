@@ -22,6 +22,12 @@ double SumPairDistances(const std::vector<FeatureVector>& vs,
   return sum;
 }
 
+uint64_t SweepDeadline() {
+  // vsim-lint: allow(raw-clock) fixture: justified housekeeping clock
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(now.time_since_epoch().count());
+}
+
 int CopyHeader(uint8_t* dst, const uint8_t* src) {
   // vsim-lint: allow(wire-memcpy) fixture: bounds proven by caller
   std::memcpy(dst, src, 4);

@@ -1,0 +1,14 @@
+// Seeded raw-clock violation: a hot-path timestamp taken straight from
+// std::chrono instead of obs::MonotonicNowNs(). The self-test asserts
+// the linter flags it.
+#include <chrono>
+#include <cstdint>
+
+namespace vsim {
+
+uint64_t StampRequestArrival() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(now.time_since_epoch().count());
+}
+
+}  // namespace vsim

@@ -3,7 +3,12 @@
 # stage (tools/ci.sh): starts `vsim serve` on a loopback socket with an
 # OS-assigned port, round-trips k-NN / range / invariant queries through
 # `vsim remote-query`, scrapes the observability surface with `vsim
-# stats` (the metrics must attribute the queries just served), exercises
+# stats` (the metrics must attribute the queries just served), checks
+# the span-tracing surface (every query's wire-propagated trace id is
+# echoed and printed; `vsim stats --trace-export` writes Chrome
+# trace-event JSON nesting the full accept-to-flush pipeline, validated
+# against the schema with python3; the --slow-query-ms threshold
+# surfaces as a gauge), exercises
 # the usage-error exit-code contract (tools/README.md: 0 success, 1
 # runtime failure, 2 usage error), and checks the server drains and
 # exits cleanly on SIGTERM. The whole pass runs once per transport
@@ -54,7 +59,7 @@ for TRANSPORT in threads epoll; do
   echo "=== transport: $TRANSPORT ==="
   rm -f "$TMP/port"
   "$VSIM" serve --dataset car --count 24 --port 0 --port-file "$TMP/port" \
-      --duration-s 60 --threads 2 \
+      --duration-s 60 --threads 2 --slow-query-ms 250 \
       --transport "$TRANSPORT" --reactor-threads 2 \
       > "$TMP/serve.$TRANSPORT.log" 2>&1 &
   SERVER_PID=$!
@@ -115,6 +120,58 @@ for TRANSPORT in threads epoll; do
       grep 'vsim_net' "$TMP/stats.out" | sed 's/^/  | /' | head -10
       fail=1
     fi
+  fi
+
+  # --- span tracing over the wire (docs/OBSERVABILITY.md "Tracing") ---
+  # Every remote query is traced: the client mints a 16-byte trace id
+  # and the server echoes it on the final response chunk, so the CLI
+  # prints it without "(not echoed by server)".
+  "$VSIM" remote-query --port "$PORT" --id 2 --k 4 > "$TMP/traced.out" 2>&1
+  if grep -Eq '^trace [0-9a-f]{32}$' "$TMP/traced.out"; then
+    echo "ok: remote query prints the server-echoed trace id ($TRANSPORT)"
+  else
+    echo "FAIL: no echoed trace id in remote-query output ($TRANSPORT)"
+    sed 's/^/  | /' "$TMP/traced.out" | tail -3
+    fail=1
+  fi
+  # The --slow-query-ms knob surfaces as a gauge in the scrape.
+  if grep -q '^vsim_flight_recorder_slow_threshold_seconds 0.25' \
+       "$TMP/stats.out"; then
+    echo "ok: scrape shows the slow-query threshold gauge ($TRANSPORT)"
+  else
+    echo "FAIL: vsim_flight_recorder_slow_threshold_seconds missing/wrong" \
+         "($TRANSPORT)"
+    fail=1
+  fi
+  # The Perfetto timeline export must be well-formed Chrome trace-event
+  # JSON carrying the full pipeline -- net spans (accept/decode/encode/
+  # flush) and service spans (request/queue/filter/refine) -- for the
+  # queries just served.
+  check "stats --trace-export writes a timeline ($TRANSPORT)" 0 \
+      "$VSIM" stats --port "$PORT" --trace-export "$TMP/trace.$TRANSPORT.json"
+  if python3 - "$TMP/trace.$TRANSPORT.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "no trace events"
+for e in events:
+    assert e["ph"] in ("M", "X"), f"unexpected phase: {e}"
+    assert isinstance(e["pid"], int) and isinstance(e["tid"], int), e
+    assert isinstance(e["name"], str) and e["name"], e
+    if e["ph"] == "X":
+        assert float(e["ts"]) >= 0 and float(e["dur"]) >= 0, e
+names = {e["name"] for e in events if e["ph"] == "X"}
+missing = {"request", "queue", "filter", "refine",
+           "accept", "decode", "encode", "flush"} - names
+assert not missing, f"missing spans: {sorted(missing)}"
+PYEOF
+  then
+    echo "ok: timeline export is valid and nests the full pipeline" \
+         "($TRANSPORT)"
+  else
+    echo "FAIL: timeline export schema check ($TRANSPORT)"
+    head -c 300 "$TMP/trace.$TRANSPORT.json" | sed 's/^/  | /'
+    fail=1
   fi
 
   # --- runtime failures exit 1 ----------------------------------------

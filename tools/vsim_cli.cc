@@ -65,6 +65,8 @@
 #include "vsim/geometry/mesh_io.h"
 #include "vsim/net/client.h"
 #include "vsim/net/server.h"
+#include "vsim/obs/profiler.h"
+#include "vsim/obs/trace_export.h"
 #include "vsim/service/query_service.h"
 #include "vsim/service/rebuilder.h"
 #include "vsim/service/request_parse.h"
@@ -812,7 +814,8 @@ int CmdServe(const Flags& flags) {
                         "max-queue", "max-connections", "simulate-io",
                         "io-page-us", "seed", "stats-interval-s", "store",
                         "pool-pages", "keep-ram-sets", "transport",
-                        "reactor-threads", "read-timeout-s"});
+                        "reactor-threads", "read-timeout-s",
+                        "slow-query-ms", "trace-export", "profile-hz"});
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   StatusOr<CadDatabase> db = Status::Internal("unset");
   if (flags.Has("db")) {
@@ -839,7 +842,8 @@ int CmdServe(const Flags& flags) {
                  "[--io-page-us U] [--stats-interval-s S] "
                  "[--store FILE [--pool-pages N] [--keep-ram-sets]] "
                  "[--transport threads|epoll [--reactor-threads N]] "
-                 "[--read-timeout-s S]\n");
+                 "[--read-timeout-s S] [--slow-query-ms MS] "
+                 "[--trace-export FILE] [--profile-hz HZ]\n");
     return 2;
   }
   if (!db.ok()) return Fail(db.status());
@@ -856,6 +860,17 @@ int CmdServe(const Flags& flags) {
   sopts.io_params.seconds_per_page_access =
       flags.GetDouble("io-page-us", 100.0) * 1e-6;
   sopts.io_params.seconds_per_byte = 0.0;
+  // --slow-query-ms: the flight recorder's slow-query threshold
+  // (docs/OPERATIONS.md "Slow-query triage"). Traces at or above it are
+  // retained in the dedicated slow ring (`vsim stats --slow`); the
+  // active value is exported as
+  // vsim_flight_recorder_slow_threshold_seconds.
+  const double slow_query_ms = flags.GetDouble("slow-query-ms", 100.0);
+  if (slow_query_ms < 0.0) {
+    return UsageFail(
+        Status::InvalidArgument("--slow-query-ms must be >= 0"));
+  }
+  sopts.slow_trace_seconds = slow_query_ms * 1e-3;
 
   // --store: serve disk-backed. The database's vector sets are written
   // into a VectorSetStore file and every refinement fetch goes through
@@ -915,6 +930,19 @@ int CmdServe(const Flags& flags) {
               net::TransportName(nopts.transport));
   std::fflush(stdout);
 
+  // --profile-hz: arm the in-process SIGPROF sampling profiler for the
+  // server's whole lifetime (0 = off, the default). The collapsed
+  // stacks print at shutdown; a remote `vsim stats --profile-seconds`
+  // can also arm/collect at runtime (docs/OBSERVABILITY.md
+  // "Profiling").
+  const int profile_hz = flags.GetInt("profile-hz", 0);
+  if (profile_hz < 0) {
+    return UsageFail(Status::InvalidArgument("--profile-hz must be >= 0"));
+  }
+  if (profile_hz > 0 && !obs::Profiler::Instance().Arm(profile_hz)) {
+    std::fprintf(stderr, "warning: profiler failed to arm\n");
+  }
+
   // --port-file: publish the bound port for scripts that start the
   // server with --port 0 (tools/serve_smoke.sh, tools/ci.sh).
   const std::string port_file = flags.Get("port-file", "");
@@ -950,6 +978,31 @@ int CmdServe(const Flags& flags) {
   }
   std::printf("draining...\n");
   server.Stop();
+  if (profile_hz > 0 && obs::Profiler::Instance().armed()) {
+    obs::Profiler::Instance().Disarm();
+    const std::string collapsed = obs::Profiler::Instance().CollapsedStacks();
+    std::printf("--- profile (%llu samples, collapsed stacks) ---\n%s",
+                static_cast<unsigned long long>(
+                    obs::Profiler::Instance().samples()),
+                collapsed.c_str());
+  }
+  // --trace-export: dump the span-tree ring as a Chrome trace-event
+  // timeline (load in Perfetto / chrome://tracing) covering the most
+  // recent requests at shutdown.
+  const std::string trace_export = flags.Get("trace-export", "");
+  if (!trace_export.empty()) {
+    const std::vector<obs::SpanTreeRecord> trees =
+        service.span_ring().Snapshot(service.span_ring().capacity());
+    std::ofstream out(trace_export);
+    out << obs::RenderChromeTrace(trees);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write --trace-export %s\n",
+                   trace_export.c_str());
+    } else {
+      std::printf("wrote %zu span tree(s) to %s\n", trees.size(),
+                  trace_export.c_str());
+    }
+  }
   const net::ServerStats nstats = server.stats();
   std::printf("served %llu requests (%llu responses) over %llu "
               "connections; %llu rejected, %llu protocol errors\n",
@@ -1062,6 +1115,21 @@ int CmdRemoteQuery(const Flags& flags) {
               response->cost.io.page_accesses(),
               response->cost.io.bytes_read(),
               response->cost.candidates_refined);
+  // The trace id minted client-side (docs/PROTOCOL.md §12); an old
+  // server does not echo it, so fall back to what was sent. Feed it to
+  // `vsim stats --trace-export` to pull this request's timeline.
+  const uint64_t trace_hi = response->trace_hi != 0 || response->trace_lo != 0
+                                ? response->trace_hi
+                                : client->last_trace().trace_hi;
+  const uint64_t trace_lo = response->trace_hi != 0 || response->trace_lo != 0
+                                ? response->trace_lo
+                                : client->last_trace().trace_lo;
+  std::printf("trace %016llx%016llx%s\n",
+              static_cast<unsigned long long>(trace_hi),
+              static_cast<unsigned long long>(trace_lo),
+              response->trace_hi == 0 && response->trace_lo == 0
+                  ? " (not echoed by server)"
+                  : "");
   return 0;
 }
 
@@ -1073,23 +1141,98 @@ int CmdRemoteQuery(const Flags& flags) {
 // only traces over the server's slow-query threshold are returned.
 int CmdStats(const Flags& flags) {
   VSIM_CLI_CHECK_FLAGS(flags, "stats",
-                       {"host", "port", "traces", "slow", "no-metrics"});
+                       {"host", "port", "traces", "slow", "no-metrics",
+                        "spans", "trace-export", "profile-seconds",
+                        "profile-hz"});
   const int port = flags.GetInt("port", 0);
   if (port <= 0) {
     std::fprintf(stderr,
                  "usage: vsim stats --port P [--host H] [--traces N] "
-                 "[--slow] [--no-metrics]\n");
+                 "[--slow] [--no-metrics] [--spans] "
+                 "[--trace-export FILE] "
+                 "[--profile-seconds S [--profile-hz HZ]]\n");
     return 2;
   }
   const std::string host = flags.Get("host", "127.0.0.1");
   StatusOr<net::Client> client = net::Client::Connect(host, port);
   if (!client.ok()) return Fail(client.status());
 
+  // --profile-seconds: remote profiling session -- arm the server's
+  // SIGPROF sampler, wait, collect the collapsed stacks, disarm
+  // (docs/OBSERVABILITY.md "Profiling"). Rides the same kStatsRequest
+  // frame as everything else (docs/PROTOCOL.md §12).
+  const double profile_seconds = flags.GetDouble("profile-seconds", 0.0);
+  if (profile_seconds > 0) {
+    net::StatsRequest arm;
+    arm.max_traces = 0;
+    arm.profile_op = net::kProfileArm;
+    arm.profile_hz =
+        static_cast<uint32_t>(flags.GetInt("profile-hz", 100));
+    StatusOr<net::StatsResponse> armed = client->Stats(arm);
+    if (!armed.ok()) return Fail(armed.status());
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        profile_seconds));
+    net::StatsRequest collect;
+    collect.max_traces = 0;
+    collect.profile_op = net::kProfileCollect;
+    StatusOr<net::StatsResponse> collected = client->Stats(collect);
+    if (!collected.ok()) return Fail(collected.status());
+    net::StatsRequest disarm;
+    disarm.max_traces = 0;
+    disarm.profile_op = net::kProfileDisarm;
+    StatusOr<net::StatsResponse> disarmed = client->Stats(disarm);
+    if (!disarmed.ok()) return Fail(disarmed.status());
+    std::printf("--- profile (%.1fs @ %u Hz, collapsed stacks) ---\n%s",
+                profile_seconds, arm.profile_hz,
+                collected->profile_text.c_str());
+    return 0;
+  }
+
+  const std::string trace_export = flags.Get("trace-export", "");
   const uint32_t max_traces =
       static_cast<uint32_t>(flags.GetInt("traces", 64));
-  StatusOr<net::StatsResponse> stats =
-      client->Stats(max_traces, flags.Has("slow"));
+  net::StatsRequest stats_request;
+  stats_request.max_traces = std::min(max_traces, net::kMaxWireTraces);
+  stats_request.slow_only = flags.Has("slow");
+  stats_request.include_spans =
+      flags.Has("spans") || !trace_export.empty();
+  StatusOr<net::StatsResponse> stats = client->Stats(stats_request);
   if (!stats.ok()) return Fail(stats.status());
+
+  // --trace-export: write the server's span trees as a Chrome
+  // trace-event timeline (load in Perfetto / chrome://tracing).
+  if (!trace_export.empty()) {
+    std::ofstream out(trace_export);
+    out << obs::RenderChromeTrace(stats->span_trees);
+    if (!out) {
+      return Fail(
+          Status::IOError("cannot write --trace-export " + trace_export));
+    }
+    std::printf("wrote %zu span tree(s) to %s\n",
+                stats->span_trees.size(), trace_export.c_str());
+  }
+  if (flags.Has("spans")) {
+    std::printf("%zu span tree(s), newest first:\n",
+                stats->span_trees.size());
+    for (const obs::SpanTreeRecord& tree : stats->span_trees) {
+      std::printf("  trace %016llx%016llx (query #%llu, %u spans%s):\n",
+                  static_cast<unsigned long long>(tree.trace_hi),
+                  static_cast<unsigned long long>(tree.trace_lo),
+                  static_cast<unsigned long long>(tree.query_trace_id),
+                  tree.span_count,
+                  tree.spans_dropped > 0 ? ", some dropped" : "");
+      const uint32_t shown =
+          std::min<uint32_t>(tree.span_count, obs::kSpanArenaCapacity);
+      for (uint32_t i = 0; i < shown; ++i) {
+        const obs::SpanRecord& span = tree.spans[i];
+        std::printf("    %-12s %.3f ms (counter %llu)\n",
+                    obs::SpanNameString(
+                        static_cast<obs::SpanName>(span.name)),
+                    1e-6 * static_cast<double>(span.end_ns - span.start_ns),
+                    static_cast<unsigned long long>(span.counter));
+      }
+    }
+  }
 
   if (!flags.Has("no-metrics")) {
     std::printf("%s", stats->metrics_text.c_str());

@@ -32,6 +32,15 @@ repo's architecture, not general C++ hygiene:
                    in docs/OPERATIONS.md. A knob that is not in the
                    operations manual does not exist for the operator
                    debugging at 3am.
+  raw-clock        No raw clock reads (clock_gettime, gettimeofday,
+                   std::chrono's steady_clock::now & friends, including
+                   the reactor's ClockT alias) in the serving hot paths
+                   (src/vsim/service/, src/vsim/net/). Span and trace
+                   timestamps must come from obs::MonotonicNowNs()
+                   (obs/span.h) so every layer stamps the SAME
+                   monotonic clock and exported timelines nest instead
+                   of skewing. Housekeeping clocks (connection idle
+                   sweeps) carry justified allow() suppressions.
   raw-distance-loop
                    No per-pair ground-distance helper (lp.h's
                    EuclideanDistance & friends) inside a for/while loop
@@ -97,6 +106,15 @@ ATOMIC_CALL_RE = re.compile(
     r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong|"
     r"wait|test_and_set)\s*\("
 )
+
+# Raw clock reads on the serving hot path: syscall spellings plus the
+# std::chrono ::now() family (ClockT is the reactor's steady_clock
+# alias -- an alias must not dodge the rule).
+RAW_CLOCK_RE = re.compile(
+    r"\b(clock_gettime|gettimeofday)\s*\(|"
+    r"\b(ClockT|steady_clock|system_clock|high_resolution_clock)::now\s*\("
+)
+RAW_CLOCK_SCOPE_PREFIXES = ("src/vsim/service/", "src/vsim/net/")
 
 # Per-pair ground-distance helpers (distance/lp.h). A call within the
 # loop-window after a for/while outside kernels/ and distance/ is a
@@ -186,6 +204,7 @@ VALUE_TAKING_ATOMIC_METHODS = frozenset({
 def lint_cxx_file(relpath, lines):
     violations = []
     in_net = relpath.startswith("src/vsim/net/")
+    clock_scope = relpath.startswith(RAW_CLOCK_SCOPE_PREFIXES)
     is_reactor = relpath == "src/vsim/net/reactor.cc"
     raw_mutex_ok = relpath.startswith(RAW_MUTEX_ALLOWED_PREFIX)
     distance_scope = (relpath.startswith(RAW_DISTANCE_SCOPES)
@@ -223,6 +242,16 @@ def lint_cxx_file(relpath, lines):
                     relpath, i + 1, "wire-memcpy",
                     "raw memcpy in net/ -- decode through the "
                     "bounds-checked PayloadReader (protocol.h)"))
+
+        if clock_scope:
+            m = RAW_CLOCK_RE.search(line)
+            if m and not allowed(lines, i, "raw-clock"):
+                what = m.group(1) or m.group(2) + "::now"
+                violations.append(Violation(
+                    relpath, i + 1, "raw-clock",
+                    f"raw clock read {what}() on the serving hot path "
+                    "-- stamp obs::MonotonicNowNs() (obs/span.h) so "
+                    "spans, traces and timeouts share one clock"))
 
         if is_reactor:
             m = REACTOR_BLOCKING_RE.search(line)
@@ -368,6 +397,7 @@ def self_test(script_dir):
         ("reactor-blocking", "src/vsim/net/reactor.cc"),
         ("atomic-order", "src/vsim/service/bad_atomic_order.cc"),
         ("knob-docs", "src/vsim/service/bad_undocumented_knob.cc"),
+        ("raw-clock", "src/vsim/service/bad_raw_clock.cc"),
         ("raw-distance-loop", "src/vsim/core/bad_raw_distance_loop.cc"),
     }
     # The suppression fixture seeds one violation of every rule, each
